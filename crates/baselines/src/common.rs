@@ -1,0 +1,225 @@
+//! Shared baseline scaffolding: config, the [`RecCore`] abstraction and
+//! the [`Baseline`] wrapper implementing [`SeqRecommender`].
+//!
+//! Every baseline reduces to two model-specific pieces — how items are
+//! represented and how a sequence of item representations becomes
+//! hidden states — while batching, the DAP-style in-batch softmax loss,
+//! optimisation, catalogue caching and scoring are identical across
+//! models (and identical to PMMRec's, for fairness).
+
+use pmm_data::batch::{Batch, BatchIter};
+use pmm_data::split::LeaveOneOut;
+use pmm_eval::SeqRecommender;
+use pmm_nn::{AdamW, AdamWConfig, Ctx, ParamStore};
+use pmm_tensor::{Tensor, Var};
+use pmmrec::objectives::{dap_masks, BatchIndex};
+use rand::rngs::StdRng;
+use std::cell::RefCell;
+
+/// Hyper-parameters shared by all baselines (kept aligned with
+/// [`pmmrec::PmmRecConfig`] defaults for a fair comparison).
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Hidden dimensionality.
+    pub d: usize,
+    /// Attention heads (attention-based models).
+    pub heads: usize,
+    /// Encoder depth.
+    pub layers: usize,
+    /// Feed-forward expansion.
+    pub ff_mult: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Sequences per batch.
+    pub batch_size: usize,
+    /// Maximum sequence length.
+    pub max_len: usize,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            d: 32,
+            heads: 4,
+            layers: 2,
+            ff_mult: 2,
+            dropout: 0.1,
+            lr: 3e-3,
+            batch_size: 32,
+            max_len: 12,
+        }
+    }
+}
+
+/// The two model-specific pieces of a baseline.
+pub trait RecCore {
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Catalogue size.
+    fn n_items(&self) -> usize;
+
+    /// Parameter store (for the optimizer).
+    fn store(&self) -> &ParamStore;
+
+    /// Config in force.
+    fn config(&self) -> &BaselineConfig;
+
+    /// Encodes the given item ids into `[ids.len(), d]` representations.
+    fn encode_items(&self, ctx: &mut Ctx<'_>, ids: &[usize]) -> Var;
+
+    /// Encodes per-position item representations `rows: [b*l, d]` into
+    /// hidden states `[b*l, d]`. `batch` carries ids/lengths for models
+    /// whose sequence encoder needs extra per-item inputs (FDSA).
+    fn encode_seq(&self, ctx: &mut Ctx<'_>, rows: &Var, batch: &Batch) -> Var;
+}
+
+/// Wraps a [`RecCore`] with training/scoring plumbing and implements
+/// [`SeqRecommender`].
+pub struct Baseline<T: RecCore> {
+    core: T,
+    opt: AdamW,
+    catalog: RefCell<Option<Tensor>>,
+}
+
+impl<T: RecCore> Baseline<T> {
+    /// Wraps a core with a fresh AdamW.
+    pub fn new(core: T) -> Baseline<T> {
+        let lr = core.config().lr;
+        Baseline {
+            core,
+            opt: AdamW::new(lr, AdamWConfig::default()),
+            catalog: RefCell::new(None),
+        }
+    }
+
+    /// Access to the inner model.
+    pub fn core(&self) -> &T {
+        &self.core
+    }
+
+    /// Mutable access to the inner model.
+    pub fn core_mut(&mut self) -> &mut T {
+        self.catalog.replace(None);
+        &mut self.core
+    }
+
+    /// Saves all parameters (the baseline transfer mechanism; UniSRec,
+    /// VQRec and MoRec++ have no per-item ID tables, so their full
+    /// parameter sets are catalogue-independent).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), pmm_nn::checkpoint::CheckpointError> {
+        pmm_nn::checkpoint::save(self.core.store(), path)
+    }
+
+    /// Loads parameters matching `prefixes` (empty = everything) from a
+    /// checkpoint saved by a same-architecture model.
+    pub fn load_filtered(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        prefixes: &[&str],
+    ) -> Result<pmm_nn::checkpoint::LoadReport, pmm_nn::checkpoint::CheckpointError> {
+        self.catalog.replace(None);
+        pmm_nn::checkpoint::load_filtered(self.core.store(), path, prefixes)
+    }
+
+    fn step(&mut self, batch: &Batch, rng: &mut StdRng) -> f32 {
+        let idx = BatchIndex::new(batch);
+        let (b, l) = (batch.b, batch.l);
+        let mut ctx = Ctx::train(rng);
+        let reps = self.core.encode_items(&mut ctx, &idx.unique);
+        let pos_cols: Vec<usize> = (0..b * l)
+            .map(|row| {
+                let (bi, t) = (row / l, row % l);
+                if t < batch.lens[bi] {
+                    idx.col[&batch.items[row]]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let rows = reps.gather_rows(&pos_cols);
+        let h = self.core.encode_seq(&mut ctx, &rows, batch);
+        let sims = h.matmul_nt(&reps);
+        let (pos, den, w) = dap_masks(batch, &idx);
+        let loss = sims.group_contrastive_loss(&pos, &den, Some(&w));
+        let value = loss.value().scalar_value();
+        loss.backward();
+        self.opt.step(self.core.store(), &ctx);
+        value
+    }
+
+    fn catalog_reps(&self) -> Tensor {
+        if let Some(cat) = self.catalog.borrow().as_ref() {
+            return cat.clone();
+        }
+        const CHUNK: usize = 128;
+        let n = self.core.n_items();
+        let d = self.core.config().d;
+        let mut data = Vec::with_capacity(n * d);
+        let mut start = 0usize;
+        while start < n {
+            let ids: Vec<usize> = (start..(start + CHUNK).min(n)).collect();
+            let mut ctx = Ctx::eval();
+            let reps = self.core.encode_items(&mut ctx, &ids);
+            data.extend_from_slice(reps.value().data());
+            start += CHUNK;
+        }
+        let cat = Tensor::from_vec(data, &[n, d]).expect("catalog numel");
+        *self.catalog.borrow_mut() = Some(cat.clone());
+        cat
+    }
+}
+
+impl<T: RecCore> SeqRecommender for Baseline<T> {
+    fn name(&self) -> &str {
+        self.core.name()
+    }
+
+    fn n_items(&self) -> usize {
+        self.core.n_items()
+    }
+
+    fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32 {
+        self.catalog.replace(None);
+        let cfg = *self.core.config();
+        let batches: Vec<Batch> =
+            BatchIter::new(train, cfg.batch_size, cfg.max_len, rng).collect();
+        if batches.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0f32;
+        for batch in &batches {
+            total += self.step(batch, rng);
+        }
+        total / batches.len() as f32
+    }
+
+    fn score_cases(&self, cases: &[LeaveOneOut]) -> Vec<Vec<f32>> {
+        if cases.is_empty() {
+            return Vec::new();
+        }
+        let cat = self.catalog_reps();
+        let max_len = self.core.config().max_len;
+        let prefixes: Vec<&[usize]> = cases
+            .iter()
+            .map(|c| {
+                let p = c.prefix.as_slice();
+                &p[p.len().saturating_sub(max_len)..]
+            })
+            .collect();
+        let batch = Batch::from_sequences(&prefixes, max_len);
+        let (b, l) = (batch.b, batch.l);
+        let rows = cat.gather_rows(&batch.items);
+        let mut ctx = Ctx::eval();
+        let h = self.core.encode_seq(&mut ctx, &Var::constant(rows), &batch);
+        let last_rows: Vec<usize> = (0..b).map(|bi| bi * l + batch.lens[bi] - 1).collect();
+        let h_last = h.gather_rows(&last_rows);
+        let scores = h_last.value().matmul_t(&cat, false, true);
+        let n = self.core.n_items();
+        (0..b)
+            .map(|bi| scores.data()[bi * n..(bi + 1) * n].to_vec())
+            .collect()
+    }
+}

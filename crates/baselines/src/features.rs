@@ -1,0 +1,115 @@
+//! Pre-extracted ("frozen") content features for the non-end-to-end
+//! baselines (UniSRec, VQRec, and the context vectors of CARCA++).
+
+use pmm_data::dataset::Dataset;
+use pmm_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Simulates a frozen pre-trained language model: a fixed random token
+/// projection table, mean-pooled over each item's tokens.
+///
+/// This mirrors ZESRec/UniSRec's "pre-extracted text embeddings": the
+/// representation is informative (tokens encode the latent) but *not*
+/// trainable end-to-end, which is exactly the weakness the paper
+/// attributes to this model family.
+pub fn frozen_text_embeddings(dataset: &Dataset, d_frozen: usize, seed: u64) -> Tensor {
+    let vocab = dataset.content.vocab;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let table = Tensor::randn(&[vocab, d_frozen], 1.0, &mut rng);
+    let n = dataset.items.len();
+    let mut out = vec![0.0f32; n * d_frozen];
+    for (i, item) in dataset.items.iter().enumerate() {
+        let inv = 1.0 / item.tokens.len().max(1) as f32;
+        for &t in &item.tokens {
+            for j in 0..d_frozen {
+                out[i * d_frozen + j] += table.data()[t * d_frozen + j] * inv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, d_frozen]).expect("frozen text numel")
+}
+
+/// Mean patch vector per item: the cheap "image feature" used as
+/// CARCA++'s visual context.
+pub fn vision_mean_features(dataset: &Dataset) -> Tensor {
+    let dv = dataset.content.patch_dim;
+    let q = dataset.content.n_patches;
+    let n = dataset.items.len();
+    let mut out = vec![0.0f32; n * dv];
+    for (i, item) in dataset.items.iter().enumerate() {
+        for k in 0..q {
+            for j in 0..dv {
+                out[i * dv + j] += item.patches[k * dv + j] / q as f32;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, dv]).expect("vision mean numel")
+}
+
+/// Bag-of-tokens multi-hot matrix `[n, vocab]` normalised per item
+/// (FDSA's raw text feature before its trainable projection).
+pub fn token_bow(dataset: &Dataset) -> Tensor {
+    let vocab = dataset.content.vocab;
+    let n = dataset.items.len();
+    let mut out = vec![0.0f32; n * vocab];
+    for (i, item) in dataset.items.iter().enumerate() {
+        let inv = 1.0 / item.tokens.len().max(1) as f32;
+        for &t in &item.tokens {
+            out[i * vocab + t] += inv;
+        }
+    }
+    Tensor::from_vec(out, &[n, vocab]).expect("bow numel")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::world::{World, WorldConfig};
+
+    fn ds() -> Dataset {
+        let world = World::new(WorldConfig::default());
+        build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42)
+    }
+
+    #[test]
+    fn frozen_embeddings_are_deterministic_and_shaped() {
+        let d = ds();
+        let a = frozen_text_embeddings(&d, 24, 7);
+        let b = frozen_text_embeddings(&d, 24, 7);
+        assert_eq!(a.shape(), &[d.items.len(), 24]);
+        assert_eq!(a.data(), b.data());
+        let c = frozen_text_embeddings(&d, 24, 8);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn frozen_embeddings_separate_items_with_different_tokens() {
+        let d = ds();
+        let e = frozen_text_embeddings(&d, 24, 7);
+        // Find two items with different token multisets.
+        let (i, j) = (0, d.items.len() - 1);
+        if d.items[i].tokens != d.items[j].tokens {
+            assert_ne!(&e.data()[i * 24..(i + 1) * 24], &e.data()[j * 24..(j + 1) * 24]);
+        }
+    }
+
+    #[test]
+    fn vision_mean_has_patch_dim_width() {
+        let d = ds();
+        let v = vision_mean_features(&d);
+        assert_eq!(v.shape(), &[d.items.len(), d.content.patch_dim]);
+        assert!(v.all_finite());
+    }
+
+    #[test]
+    fn bow_rows_sum_to_one() {
+        let d = ds();
+        let b = token_bow(&d);
+        for i in 0..d.items.len() {
+            let s: f32 = b.data()[i * d.content.vocab..(i + 1) * d.content.vocab].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # pmm-baselines
+//!
+//! The paper's eight comparison systems, re-implemented on the same
+//! tensor substrate and trained with the same in-batch softmax loss and
+//! evaluation protocol as PMMRec:
+//!
+//! * **Pure ID-based** (`IDSR`): [`GruRec`], [`NextItNet`], [`SasRec`].
+//! * **ID + side features** (`IDSR w. side feat.`): [`Fdsa`] (feature-
+//!   level self-attention) and [`CarcaPP`] (cross-attention over
+//!   multi-modal context; the paper's multi-modal upgrade of CARCA).
+//! * **Transferable SR**: [`UniSRec`] (frozen text embeddings +
+//!   whitening adaptor), [`VqRec`] (product-quantised text codes) and
+//!   [`MoRecPP`] (trainable text+vision encoders with additive fusion —
+//!   PMMRec's backbone without the alignment/denoising objectives).
+//!
+//! All models expose the [`pmm_eval::SeqRecommender`] interface via the
+//! shared [`Baseline`] wrapper, so the experiment harness drives them
+//! uniformly.
+
+pub mod carca;
+pub mod common;
+pub mod fdsa;
+pub mod features;
+pub mod gru_rec;
+pub mod morec;
+pub mod nextitnet;
+pub mod sasrec;
+pub mod unisrec;
+pub mod vq;
+pub mod vqrec;
+
+pub use carca::CarcaPP;
+pub use common::{Baseline, BaselineConfig};
+pub use fdsa::Fdsa;
+pub use gru_rec::GruRec;
+pub use morec::MoRecPP;
+pub use nextitnet::NextItNet;
+pub use sasrec::SasRec;
+pub use unisrec::UniSRec;
+pub use vqrec::VqRec;

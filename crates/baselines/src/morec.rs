@@ -1,0 +1,141 @@
+//! MoRec++: the paper's multi-modal upgrade of MoRec (Yuan et al.,
+//! 2023) — trainable text and vision encoders whose CLS embeddings are
+//! *additively* fused and fed to a SASRec user encoder, trained with
+//! next-item prediction only.
+//!
+//! Architecturally this is PMMRec's backbone without the merge-
+//! attention fusion and without NICL/NID/RCL: the ablation that the
+//! paper's Tables III/IV use to isolate the value of alignment and
+//! denoising.
+
+use crate::common::{Baseline, BaselineConfig, RecCore};
+use pmm_data::batch::Batch;
+use pmm_data::dataset::Dataset;
+use pmm_data::world::Item;
+use pmm_nn::{Ctx, ParamStore};
+use pmm_tensor::Var;
+use pmmrec::config::{Modality, PmmRecConfig};
+use pmmrec::encoders::{TextEncoder, VisionEncoder};
+use pmmrec::user_encoder::UserEncoder;
+use rand::rngs::StdRng;
+
+/// The MoRec++ model.
+pub type MoRecPP = Baseline<MoRecCore>;
+
+/// Model-specific pieces of MoRec++.
+pub struct MoRecCore {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    corpus: Vec<Item>,
+    text: TextEncoder,
+    vision: VisionEncoder,
+    user: UserEncoder,
+}
+
+fn to_pmm_cfg(cfg: &BaselineConfig) -> PmmRecConfig {
+    PmmRecConfig {
+        d: cfg.d,
+        heads: cfg.heads,
+        text_layers: cfg.layers,
+        vision_layers: cfg.layers,
+        fusion_layers: 1,
+        user_layers: cfg.layers,
+        ff_mult: cfg.ff_mult,
+        dropout: cfg.dropout,
+        modality: Modality::Both,
+        lr: cfg.lr,
+        batch_size: cfg.batch_size,
+        max_len: cfg.max_len,
+        finetune_top_blocks: None,
+    }
+}
+
+/// Builds a MoRec++ over the dataset.
+pub fn build(cfg: BaselineConfig, dataset: &Dataset, rng: &mut StdRng) -> MoRecPP {
+    let pmm_cfg = to_pmm_cfg(&cfg);
+    let spec = dataset.content;
+    let mut store = ParamStore::new();
+    let text = TextEncoder::new(&mut store, "text_encoder", &pmm_cfg, spec.vocab, spec.text_len, rng);
+    let vision = VisionEncoder::new(
+        &mut store,
+        "vision_encoder",
+        &pmm_cfg,
+        spec.n_patches,
+        spec.patch_dim,
+        rng,
+    );
+    let user = UserEncoder::new(&mut store, "user_encoder", &pmm_cfg, rng);
+    Baseline::new(MoRecCore {
+        cfg,
+        store,
+        corpus: dataset.items.clone(),
+        text,
+        vision,
+        user,
+    })
+}
+
+impl RecCore for MoRecCore {
+    fn name(&self) -> &str {
+        "MoRec++"
+    }
+
+    fn n_items(&self) -> usize {
+        self.corpus.len()
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    fn encode_items(&self, ctx: &mut Ctx<'_>, ids: &[usize]) -> Var {
+        // Additive fusion of the two modality CLS embeddings.
+        let t = self.text.forward(ctx, &self.corpus, ids);
+        let v = self.vision.forward(ctx, &self.corpus, ids);
+        t.cls.add(&v.cls).scale(0.5)
+    }
+
+    fn encode_seq(&self, ctx: &mut Ctx<'_>, rows: &Var, batch: &Batch) -> Var {
+        self.user.forward(ctx, rows, batch.b, batch.l, &batch.lens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::split::SplitDataset;
+    use pmm_data::world::{World, WorldConfig};
+    use pmm_eval::{evaluate_cases, SeqRecommender};
+    use rand::SeedableRng;
+
+    #[test]
+    fn morec_trains_and_improves() {
+        let world = World::new(WorldConfig::default());
+        let split = SplitDataset::new(build_dataset(&world, DatasetId::AmazonClothes, Scale::Tiny, 42));
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = BaselineConfig {
+            d: 16,
+            heads: 2,
+            layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let mut model = build(cfg, &split.dataset, &mut rng);
+        let before = evaluate_cases(&model, &split.valid);
+        for _ in 0..8 {
+            model.train_epoch(&split.train, &mut rng);
+        }
+        let after = evaluate_cases(&model, &split.valid);
+        assert!(
+            after.ndcg10() > before.ndcg10(),
+            "{} -> {}",
+            before.ndcg10(),
+            after.ndcg10()
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! UniSRec: universal sequence representation via frozen text
+//! embeddings and a whitening adaptor (Hou et al., 2022).
+//!
+//! Item text is embedded by a *frozen* extractor (here: the random
+//! projection in [`crate::features::frozen_text_embeddings`], playing
+//! the role of a frozen BERT); a trainable mixture-of-whitening adaptor
+//! maps it into the recommendation space; a causal Transformer encodes
+//! the sequence. The model never fine-tunes the text representation
+//! end-to-end — the limitation the paper's experiments expose.
+
+use crate::common::{Baseline, BaselineConfig, RecCore};
+use crate::features::frozen_text_embeddings;
+use pmm_data::batch::Batch;
+use pmm_data::dataset::Dataset;
+use pmm_nn::{Ctx, Dropout, LayerNorm, Linear, Param, ParamStore, TransformerEncoder};
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+
+/// Frozen text-embedding width (the stand-in for BERT's hidden size).
+pub const FROZEN_DIM: usize = 24;
+/// Number of whitening experts in the adaptor.
+const EXPERTS: usize = 2;
+
+/// The UniSRec model.
+pub type UniSRec = Baseline<UniSRecCore>;
+
+/// Model-specific pieces of UniSRec.
+pub struct UniSRecCore {
+    cfg: BaselineConfig,
+    store: ParamStore,
+    /// Frozen `[n_items, FROZEN_DIM]` text embeddings.
+    frozen: Tensor,
+    experts: Vec<Linear>,
+    gate: Linear,
+    adaptor_ln: LayerNorm,
+    pos: Param,
+    encoder: TransformerEncoder,
+    dropout: Dropout,
+    n_items: usize,
+}
+
+/// Builds a UniSRec over the dataset.
+pub fn build(cfg: BaselineConfig, dataset: &Dataset, rng: &mut StdRng) -> UniSRec {
+    let mut store = ParamStore::new();
+    let experts = (0..EXPERTS)
+        .map(|e| Linear::new(&mut store, &format!("whiten.{e}"), FROZEN_DIM, cfg.d, true, rng))
+        .collect();
+    let gate = Linear::new(&mut store, "gate", FROZEN_DIM, EXPERTS, true, rng);
+    let adaptor_ln = LayerNorm::new(&mut store, "adaptor_ln", cfg.d);
+    let pos = store.register("pos", Tensor::randn(&[cfg.max_len, cfg.d], 0.02, rng));
+    let encoder = TransformerEncoder::new(
+        &mut store,
+        "trm",
+        pmm_nn::TransformerConfig {
+            d: cfg.d,
+            heads: cfg.heads,
+            layers: cfg.layers,
+            ff_mult: cfg.ff_mult,
+            dropout: cfg.dropout,
+            causal: true,
+        },
+        rng,
+    );
+    Baseline::new(UniSRecCore {
+        dropout: Dropout::new(cfg.dropout),
+        frozen: frozen_text_embeddings(dataset, FROZEN_DIM, 0xC0FFEE),
+        cfg,
+        store,
+        experts,
+        gate,
+        adaptor_ln,
+        pos,
+        encoder,
+        n_items: dataset.items.len(),
+    })
+}
+
+impl RecCore for UniSRecCore {
+    fn name(&self) -> &str {
+        "UniSRec"
+    }
+
+    fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn config(&self) -> &BaselineConfig {
+        &self.cfg
+    }
+
+    fn encode_items(&self, ctx: &mut Ctx<'_>, ids: &[usize]) -> Var {
+        // MoE whitening adaptor: softmax-gated mixture of linear
+        // whitening transforms over the frozen embedding.
+        let raw = Var::constant(self.frozen.gather_rows(ids));
+        let gates = self.gate.forward(ctx, &raw).softmax_last(); // [n, E]
+        let mut mixed: Option<Var> = None;
+        for (e, expert) in self.experts.iter().enumerate() {
+            let out = expert.forward(ctx, &raw); // [n, d]
+            // Scale rows by gate column e (broadcast across d).
+            let cols: Vec<usize> = (0..ids.len()).map(|i| i * EXPERTS + e).collect();
+            let g = gates.reshape(&[ids.len() * EXPERTS, 1]).gather_rows(&cols);
+            let gd = broadcast_cols(&g, self.cfg.d);
+            let term = out.mul(&gd);
+            mixed = Some(match mixed {
+                Some(m) => m.add(&term),
+                None => term,
+            });
+        }
+        self.adaptor_ln.forward(ctx, &mixed.expect("at least one expert"))
+    }
+
+    fn encode_seq(&self, ctx: &mut Ctx<'_>, rows: &Var, batch: &Batch) -> Var {
+        let (b, l) = (batch.b, batch.l);
+        let pos_ids: Vec<usize> = (0..b * l).map(|r| r % l).collect();
+        let pos = ctx.var(&self.pos).gather_rows(&pos_ids);
+        let x = self.dropout.forward(ctx, &rows.add(&pos));
+        self.encoder.forward(ctx, &x, b, l, &batch.lens)
+    }
+}
+
+/// Expands a `[n, 1]` column into `[n, d]` by repeating the column.
+fn broadcast_cols(col: &Var, d: usize) -> Var {
+    // gather_rows over the flattened [n*1] view repeated d times per row.
+    let n = col.shape()[0];
+    let idx: Vec<usize> = (0..n * d).map(|r| r / d).collect();
+    col.reshape(&[n, 1]).gather_rows(&idx).reshape(&[n, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::split::SplitDataset;
+    use pmm_data::world::{World, WorldConfig};
+    use pmm_eval::SeqRecommender;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unisrec_trains() {
+        let world = World::new(WorldConfig::default());
+        let split = SplitDataset::new(build_dataset(&world, DatasetId::BiliMovie, Scale::Tiny, 42));
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = BaselineConfig {
+            d: 16,
+            heads: 2,
+            layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let mut model = build(cfg, &split.dataset, &mut rng);
+        let first = model.train_epoch(&split.train, &mut rng);
+        let mut last = first;
+        for _ in 0..7 {
+            last = model.train_epoch(&split.train, &mut rng);
+        }
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn broadcast_cols_repeats_column() {
+        let c = Var::constant(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]).unwrap());
+        let b = broadcast_cols(&c, 3);
+        assert_eq!(b.value().data(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+    }
+}

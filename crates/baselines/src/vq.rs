@@ -1,0 +1,227 @@
+//! Product quantisation of frozen embeddings (the VQRec substrate).
+
+use pmm_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Lloyd's k-means over `n` points of dimension `dim` (flat data).
+/// Returns `(centroids [k*dim], assignments [n])`.
+pub fn kmeans(
+    data: &[f32],
+    n: usize,
+    dim: usize,
+    k: usize,
+    iters: usize,
+    rng: &mut StdRng,
+) -> (Vec<f32>, Vec<usize>) {
+    assert!(n > 0 && dim > 0 && k > 0, "kmeans: degenerate input");
+    assert_eq!(data.len(), n * dim, "kmeans: data length");
+    let k = k.min(n);
+    // k-means++-lite: distinct random points as initial centroids.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut centroids: Vec<f32> = order[..k]
+        .iter()
+        .flat_map(|&i| data[i * dim..(i + 1) * dim].iter().copied())
+        .collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..iters {
+        // Assignment step.
+        for i in 0..n {
+            let p = &data[i * dim..(i + 1) * dim];
+            let mut best = (f32::INFINITY, 0usize);
+            for c in 0..k {
+                let q = &centroids[c * dim..(c + 1) * dim];
+                let d2: f32 = p.iter().zip(q).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                if d2 < best.0 {
+                    best = (d2, c);
+                }
+            }
+            assign[i] = best.1;
+        }
+        // Update step (empty clusters keep their previous centroid).
+        let mut sums = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assign[i]] += 1;
+            for j in 0..dim {
+                sums[assign[i] * dim + j] += data[i * dim + j];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..dim {
+                    centroids[c * dim + j] = sums[c * dim + j] / counts[c] as f32;
+                }
+            }
+        }
+    }
+    (centroids, assign)
+}
+
+/// Product quantiser: splits each embedding into `groups` contiguous
+/// sub-vectors and k-means-codes each group independently.
+///
+/// The centroids are retained so a quantiser fitted on a *source*
+/// corpus can [`ProductQuantizer::recode`] a *target* corpus — the
+/// mechanism by which VQRec's code-embedding table transfers across
+/// catalogues.
+pub struct ProductQuantizer {
+    /// Codes per item: `[n][groups]`, each in `0..k`.
+    pub codes: Vec<Vec<usize>>,
+    /// Per-group centroids: `[groups][k * sub_dim]`.
+    centroids: Vec<Vec<f32>>,
+    /// Sub-vector dimensionality.
+    sub_dim: usize,
+    /// Number of groups.
+    pub groups: usize,
+    /// Codebook size per group.
+    pub k: usize,
+}
+
+impl ProductQuantizer {
+    /// Quantises `[n, d]` embeddings into `groups × k` discrete codes.
+    #[track_caller]
+    pub fn fit(embeddings: &Tensor, groups: usize, k: usize, rng: &mut StdRng) -> ProductQuantizer {
+        assert_eq!(embeddings.shape().len(), 2, "pq: embeddings must be rank 2");
+        let (n, d) = (embeddings.shape()[0], embeddings.shape()[1]);
+        assert_eq!(d % groups, 0, "pq: dim {d} not divisible into {groups} groups");
+        let sub = d / groups;
+        let mut codes = vec![vec![0usize; groups]; n];
+        let mut centroids = Vec::with_capacity(groups);
+        for g in 0..groups {
+            // Extract the group slice of every item.
+            let mut slice = Vec::with_capacity(n * sub);
+            for i in 0..n {
+                slice.extend_from_slice(&embeddings.data()[i * d + g * sub..i * d + (g + 1) * sub]);
+            }
+            let (cents, assign) = kmeans(&slice, n, sub, k, 8, rng);
+            for (row, &a) in codes.iter_mut().zip(&assign) {
+                row[g] = a;
+            }
+            centroids.push(cents);
+        }
+        ProductQuantizer {
+            codes,
+            centroids,
+            sub_dim: sub,
+            groups,
+            k,
+        }
+    }
+
+    /// Re-codes a different corpus' embeddings with this quantiser's
+    /// centroids (codebook transfer). The embeddings must have the same
+    /// width the quantiser was fitted on.
+    #[track_caller]
+    pub fn recode(&self, embeddings: &Tensor) -> ProductQuantizer {
+        let (n, d) = (embeddings.shape()[0], embeddings.shape()[1]);
+        assert_eq!(
+            d,
+            self.groups * self.sub_dim,
+            "pq: embedding width {d} incompatible with fitted quantiser"
+        );
+        let sub = self.sub_dim;
+        let mut codes = vec![vec![0usize; self.groups]; n];
+        for g in 0..self.groups {
+            let cents = &self.centroids[g];
+            let k_eff = cents.len() / sub;
+            for (i, code_row) in codes.iter_mut().enumerate() {
+                let p = &embeddings.data()[i * d + g * sub..i * d + (g + 1) * sub];
+                let mut best = (f32::INFINITY, 0usize);
+                for c in 0..k_eff {
+                    let q = &cents[c * sub..(c + 1) * sub];
+                    let d2: f32 = p.iter().zip(q).map(|(&a, &b)| (a - b) * (a - b)).sum();
+                    if d2 < best.0 {
+                        best = (d2, c);
+                    }
+                }
+                code_row[g] = best.1;
+            }
+        }
+        ProductQuantizer {
+            codes,
+            centroids: self.centroids.clone(),
+            sub_dim: sub,
+            groups: self.groups,
+            k: self.k,
+        }
+    }
+
+    /// Flattened code-table index of item `i`'s group-`g` code.
+    pub fn table_index(&self, i: usize, g: usize) -> usize {
+        g * self.k + self.codes[i][g]
+    }
+
+    /// Size of the flat code-embedding table.
+    pub fn table_size(&self) -> usize {
+        self.groups * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let center = if i < 10 { -5.0 } else { 5.0 };
+            data.push(center + (i % 3) as f32 * 0.1);
+            data.push(center - (i % 2) as f32 * 0.1);
+        }
+        let (_, assign) = kmeans(&data, 20, 2, 2, 10, &mut rng);
+        // All points in the same blob share a cluster.
+        assert!(assign[..10].iter().all(|&a| a == assign[0]));
+        assert!(assign[10..].iter().all(|&a| a == assign[10]));
+        assert_ne!(assign[0], assign[10]);
+    }
+
+    #[test]
+    fn kmeans_caps_k_at_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = vec![1.0f32, 2.0, 3.0];
+        let (centroids, assign) = kmeans(&data, 3, 1, 10, 4, &mut rng);
+        assert_eq!(centroids.len(), 3);
+        assert_eq!(assign.len(), 3);
+    }
+
+    #[test]
+    fn pq_codes_are_in_range_and_deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let emb = Tensor::randn(&[30, 8], 1.0, &mut rng);
+        let pq = ProductQuantizer::fit(&emb, 4, 4, &mut StdRng::seed_from_u64(3));
+        assert_eq!(pq.table_size(), 16);
+        for i in 0..30 {
+            for g in 0..4 {
+                assert!(pq.codes[i][g] < 4);
+                assert!(pq.table_index(i, g) < 16);
+            }
+        }
+        let pq2 = ProductQuantizer::fit(&emb, 4, 4, &mut StdRng::seed_from_u64(3));
+        assert_eq!(pq.codes, pq2.codes);
+    }
+
+    #[test]
+    fn similar_items_share_more_codes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Two clusters of items.
+        let mut data = Vec::new();
+        for i in 0..20 {
+            let c = if i < 10 { 3.0 } else { -3.0 };
+            for _ in 0..8 {
+                data.push(c + rng.random::<f32>() * 0.2);
+            }
+        }
+        use rand::Rng;
+        let emb = Tensor::from_vec(data, &[20, 8]).unwrap();
+        let pq = ProductQuantizer::fit(&emb, 2, 2, &mut rng);
+        let share = |a: usize, b: usize| {
+            (0..2).filter(|&g| pq.codes[a][g] == pq.codes[b][g]).count()
+        };
+        assert!(share(0, 1) >= share(0, 15));
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! experiments: tensor ops, attention, item encoding, fusion, scoring,
+//! and the relative cost of the contrastive objectives (an ablation of
+//! objective *cost* complementing Table VIII's ablation of objective
+//! *value*).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmm_data::batch::Batch;
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::SeqRecommender;
+use pmm_nn::{mask, Ctx, MultiHeadAttention, ParamStore};
+use pmm_tensor::{Tensor, Var};
+use pmmrec::objectives::{dap_masks, nicl_masks, BatchIndex};
+use pmmrec::{NiclVariant, PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    c.bench_function("tensor/matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    let x = Tensor::randn(&[256, 64], 1.0, &mut rng);
+    c.bench_function("tensor/softmax_256x64", |bench| {
+        bench.iter(|| black_box(x.softmax_last()))
+    });
+    c.bench_function("tensor/matmul_backward", |bench| {
+        bench.iter(|| {
+            let va = Var::leaf(a.clone());
+            let vb = Var::leaf(b.clone());
+            let loss = va.matmul(&vb).sum_all();
+            loss.backward();
+            black_box(va.grad())
+        })
+    });
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(0);
+    let mha = MultiHeadAttention::new(&mut store, "attn", 32, 4, 0.0, &mut rng);
+    let x = Tensor::randn(&[16 * 12, 32], 1.0, &mut rng);
+    let m = mask::attention_mask(16, 4, 12, &[12; 16], true);
+    c.bench_function("nn/attention_fwd_b16_l12_d32", |bench| {
+        bench.iter(|| {
+            let mut ctx = Ctx::eval();
+            black_box(mha.forward(&mut ctx, &Var::constant(x.clone()), 16, 12, &m))
+        })
+    });
+}
+
+fn model_fixture() -> (SplitDataset, PmmRec) {
+    let world = World::new(WorldConfig::default());
+    let split = SplitDataset::new(build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42));
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+    (split, model)
+}
+
+fn bench_model(c: &mut Criterion) {
+    let (split, mut model) = model_fixture();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("pmmrec/train_epoch_tiny", |bench| {
+        bench.iter(|| black_box(model.train_epoch(&split.train, &mut rng)))
+    });
+    let (split, model) = model_fixture();
+    c.bench_function("pmmrec/score_16_cases", |bench| {
+        bench.iter(|| black_box(model.score_cases(&split.valid[..16.min(split.valid.len())])))
+    });
+}
+
+fn bench_objective_masks(c: &mut Criterion) {
+    let seqs: Vec<Vec<usize>> = (0..16).map(|u| (0..12).map(|t| (u * 7 + t * 3) % 40).collect()).collect();
+    let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
+    let batch = Batch::from_sequences(&refs, 12);
+    let idx = BatchIndex::new(&batch);
+    c.bench_function("objectives/dap_masks_b16", |bench| {
+        bench.iter(|| black_box(dap_masks(&batch, &idx)))
+    });
+    c.bench_function("objectives/nicl_masks_full_b16", |bench| {
+        bench.iter(|| black_box(nicl_masks(&batch, &idx, NiclVariant::Full)))
+    });
+    c.bench_function("objectives/nicl_masks_vcl_b16", |bench| {
+        bench.iter(|| black_box(nicl_masks(&batch, &idx, NiclVariant::Vcl)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_tensor_kernels, bench_attention, bench_model, bench_objective_masks
+}
+criterion_main!(benches);

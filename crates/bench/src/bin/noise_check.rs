@@ -1,0 +1,43 @@
+//! Noise quantification: how stable are single-seed model comparisons
+//! at this reproduction's scale? Trains PMMRec and SASRec on one source
+//! and runs a paired bootstrap over their per-case NDCG contributions —
+//! the calibration behind EXPERIMENTS.md's "within noise" annotations.
+
+use pmm_bench::cli::Cli;
+use pmm_bench::models::ModelKind;
+use pmm_bench::runner;
+use pmm_data::registry::DatasetId;
+use pmm_eval::metrics::ranks_for_cases;
+use pmm_eval::significance::{ndcg_contributions, paired_bootstrap};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+    let split = runner::split(&world, DatasetId::Hm, &cli);
+    eprintln!("[noise] training PMMRec and SASRec on {}…", split.dataset.name);
+
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    let mut pmm = ModelKind::PmmRec.build(&split.dataset, &mut rng);
+    runner::run(pmm.as_mut(), &split, &cli);
+    let mut sas = ModelKind::SasRec.build(&split.dataset, &mut rng);
+    runner::run(sas.as_mut(), &split, &cli);
+
+    let pmm_ranks = ranks_for_cases(pmm.as_ref(), &split.test);
+    let sas_ranks = ranks_for_cases(sas.as_ref(), &split.test);
+    let a = ndcg_contributions(&pmm_ranks, 10);
+    let b = ndcg_contributions(&sas_ranks, 10);
+    let mut brng = StdRng::seed_from_u64(cli.seed ^ 0xB007);
+    let report = paired_bootstrap(&a, &b, 2000, &mut brng);
+
+    println!("== Paired bootstrap: PMMRec vs SASRec (NDCG@10 contributions) ==");
+    println!("cases:            {}", a.len());
+    println!("observed diff:    {:+.4} ({:+.2} NDCG@10 points)", report.observed_diff, 100.0 * report.observed_diff);
+    println!("sign stability:   {:.3} over {} resamples", report.sign_stability, report.resamples);
+    println!("significant(95%): {}", report.significant());
+    println!(
+        "\nInterpretation: differences whose sign stability is below 0.95 are\n\
+         annotated as 'within noise' in EXPERIMENTS.md."
+    );
+}

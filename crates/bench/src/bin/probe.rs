@@ -1,0 +1,31 @@
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_data::cold::{cold_items, cold_start_cases};
+use pmm_data::registry::DatasetId;
+use pmm_data::split::LeaveOneOut;
+use pmm_eval::metrics::ranks_for_cases;
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+    let split = runner::split(&world, DatasetId::Amazon, &cli);
+    let cold = cold_items(&split, 7);
+    let cases: Vec<LeaveOneOut> = cold_start_cases(&split, 7)
+        .into_iter().map(|c| LeaveOneOut { prefix: c.prefix, target: c.target }).collect();
+    for pretrain in [false, true] {
+        let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x77);
+        let mut model = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+        model.set_pretraining(pretrain);
+        runner::run(&mut model, &split, &cli);
+        let ranks = ranks_for_cases(&model, &cases);
+        let mean: f32 = ranks.iter().sum::<f32>() / ranks.len() as f32;
+        let min = ranks.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hits = ranks.iter().filter(|&&r| r < 10.0).count();
+        eprintln!("pretrain={pretrain}: mean rank {mean:.1}, min {min}, hits@10 {hits}/{}", ranks.len());
+    }
+    // Where do cold items rank on average regardless of case? (scores for one popular prefix)
+    let _ = cold;
+}

@@ -1,0 +1,67 @@
+//! Table II: dataset statistics after preprocessing.
+//!
+//! Regenerates the statistics of all 14 datasets (4 sources + 10
+//! targets) plus the fused source corpus at the chosen scale. Absolute
+//! counts are scaled down from the paper (see DESIGN.md §2); the table
+//! prints the paper's numbers alongside for the ratio comparison.
+
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_bench::table::Table;
+use pmm_data::registry::{build_dataset, fused_sources, SOURCES, TARGETS};
+
+/// Paper Table II values: (users, items, actions, avg_len).
+const PAPER: [(&str, usize, usize, usize, f32); 15] = [
+    ("Source", 600_000, 232_772, 6_953_503, 11.59),
+    ("Bili", 100_000, 44_887, 1_537_850, 15.38),
+    ("Kwai", 200_000, 39_410, 1_512_646, 7.56),
+    ("HM", 200_000, 85_019, 3_160_543, 15.80),
+    ("Amazon", 100_000, 63_456, 742_464, 7.42),
+    ("Bili_Food", 6_485, 1_574, 39_152, 6.04),
+    ("Bili_Movie", 16_452, 3_493, 114_239, 6.94),
+    ("Bili_Cartoon", 30_102, 4_702, 211_497, 7.03),
+    ("Kwai_Food", 8_549, 2_097, 72_741, 8.51),
+    ("Kwai_Movie", 8_477, 7_024, 60_208, 7.10),
+    ("Kwai_Cartoon", 17_429, 7_284, 131_733, 7.56),
+    ("HM_Clothes", 27_883, 2_742, 185_297, 6.65),
+    ("HM_Shoes", 21_666, 3_743, 164_621, 7.60),
+    ("Amazon_Clothes", 5_009, 5_855, 30_383, 6.06),
+    ("Amazon_Shoes", 15_264, 16_852, 93_999, 6.16),
+];
+
+fn paper_row(name: &str) -> Option<&'static (&'static str, usize, usize, usize, f32)> {
+    PAPER.iter().find(|r| r.0 == name)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+    let mut t = Table::new(
+        format!("Table II — dataset statistics ({:?} scale, seed {})", cli.scale, cli.seed),
+        &["Dataset", "#users", "#items", "#actions", "avg.len", "sparsity", "paper avg.len"],
+    );
+    let mut emit = |name: &str, ds: &pmm_data::dataset::Dataset| {
+        let s = ds.stats();
+        let p = paper_row(name).map(|r| format!("{:.2}", r.4)).unwrap_or_default();
+        t.row(&[
+            name.to_string(),
+            s.users.to_string(),
+            s.items.to_string(),
+            s.actions.to_string(),
+            format!("{:.2}", s.avg_length),
+            format!("{:.2}%", 100.0 * s.sparsity),
+            p,
+        ]);
+    };
+    let fused = fused_sources(&world, cli.scale, cli.seed);
+    emit("Source", &fused);
+    for id in SOURCES.into_iter().chain(TARGETS) {
+        let ds = build_dataset(&world, id, cli.scale, cli.seed);
+        emit(id.name(), &ds);
+    }
+    t.print();
+    println!(
+        "\nShape checks mirrored from the paper: sources >> targets; HM is the\n\
+         largest source; video targets have shorter sequences than sources."
+    );
+}

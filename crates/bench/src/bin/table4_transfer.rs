@@ -1,0 +1,185 @@
+//! Table IV: transfer-learning comparison on the ten downstream
+//! datasets — SASRec (from scratch) vs UniSRec / VQRec / MoRec++ /
+//! PMMRec, each without pre-training and with pre-training on the
+//! fused four sources.
+//!
+//! Expected shape (paper): PMMRec w. PT best everywhere; MoRec++ the
+//! runner-up; pre-training helps the multi-modal models consistently
+//! while UniSRec/VQRec sometimes *degrade* with PT (marked "v"); both
+//! frozen-text methods trail SASRec.
+
+use pmm_baselines::{common::BaselineConfig, morec, unisrec, vqrec};
+use pmm_bench::cli::Cli;
+use pmm_bench::runner::{self, checkpoint_path};
+use pmm_bench::table::Table;
+use pmm_data::dataset::Dataset;
+use pmm_data::registry::{self, SOURCES, TARGETS};
+use pmm_data::split::SplitDataset;
+use pmm_eval::SeqRecommender;
+use pmmrec::{ObjectiveConfig, PmmRec, PmmRecConfig, TransferSetting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper (HR@10 w/o PT, HR@10 w. PT) for PMMRec per target, for the
+/// reference column.
+const PAPER_PMM: [(&str, f32, f32); 10] = [
+    ("Bili_Food", 20.05, 22.67),
+    ("Bili_Movie", 13.50, 15.02),
+    ("Bili_Cartoon", 14.49, 15.82),
+    ("Kwai_Food", 37.03, 38.51),
+    ("Kwai_Movie", 7.43, 8.84),
+    ("Kwai_Cartoon", 15.39, 16.42),
+    ("HM_Clothes", 10.13, 14.70),
+    ("HM_Shoes", 14.30, 18.97),
+    ("Amazon_Clothes", 40.42, 43.78),
+    ("Amazon_Shoes", 11.85, 15.97),
+];
+
+fn fused_dataset(cli: &Cli, world: &pmm_data::world::World) -> Dataset {
+    let parts: Vec<_> = SOURCES
+        .iter()
+        .map(|&id| registry::build_dataset(world, id, cli.scale, cli.seed))
+        .collect();
+    Dataset::fuse("Source", &parts)
+}
+
+/// Pre-trains a baseline on the fused sources (cached on disk).
+fn pretrain_baseline(
+    tag: &str,
+    cli: &Cli,
+    fused: &Dataset,
+    build: impl FnOnce(&Dataset, &mut StdRng) -> Box<dyn PretrainableBaseline>,
+) -> std::path::PathBuf {
+    let path = checkpoint_path(tag, cli);
+    if path.exists() {
+        eprintln!("[table4] reusing {tag} checkpoint");
+        return path;
+    }
+    let split = SplitDataset::new(fused.clone());
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0xBA5E);
+    let mut model = build(&split.dataset, &mut rng);
+    eprintln!("[table4] pre-training {tag} on {} users…", split.train.len());
+    let cfg = runner::train_cfg(cli);
+    let result = pmm_eval::train_model(model.as_mut_rec(), &split, &cfg, &mut rng);
+    eprintln!("[table4] {tag} pre-trained (valid {})", result.valid);
+    model.save_to(&path);
+    path
+}
+
+/// Object-safe facade over the three transferable baselines.
+trait PretrainableBaseline {
+    fn as_mut_rec(&mut self) -> &mut dyn SeqRecommender;
+    fn save_to(&self, path: &std::path::Path);
+}
+
+macro_rules! pretrainable {
+    ($core:ty) => {
+        impl PretrainableBaseline for pmm_baselines::common::Baseline<$core> {
+            fn as_mut_rec(&mut self) -> &mut dyn SeqRecommender {
+                self
+            }
+            fn save_to(&self, path: &std::path::Path) {
+                self.save(path).expect("save baseline checkpoint");
+            }
+        }
+    };
+}
+pretrainable!(pmm_baselines::unisrec::UniSRecCore);
+pretrainable!(pmm_baselines::vqrec::VqRecCore);
+pretrainable!(pmm_baselines::morec::MoRecCore);
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+    let bcfg = BaselineConfig::default();
+    let fused = fused_dataset(&cli, &world);
+
+    // Pre-train all four transferable models (cached).
+    let pmm_ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world);
+    let uni_ckpt = pretrain_baseline("unisrec_fused", &cli, &fused, |d, rng| {
+        Box::new(unisrec::build(bcfg, d, rng))
+    });
+    let vq_src = vqrec::fit_quantizer(&fused);
+    let vq_ckpt = pretrain_baseline("vqrec_fused", &cli, &fused, |d, rng| {
+        Box::new(vqrec::build(bcfg, d, rng))
+    });
+    let morec_ckpt = pretrain_baseline("morec_fused", &cli, &fused, |d, rng| {
+        Box::new(morec::build(bcfg, d, rng))
+    });
+
+    let mut t = Table::new(
+        "Table IV — transfer learning on downstream datasets (HR@10 / NG@10)",
+        &[
+            "Dataset", "SASRec",
+            "UniSRec w/o", "UniSRec w.PT",
+            "VQRec w/o", "VQRec w.PT",
+            "MoRec++ w/o", "MoRec++ w.PT",
+            "PMMRec w/o", "PMMRec w.PT",
+            "paper PMMRec w/o->w.PT",
+        ],
+    );
+
+    for (ti, id) in TARGETS.into_iter().enumerate() {
+        let split = runner::split(&world, id, &cli);
+        eprintln!("[table4] {} ({} users)", id.name(), split.train.len());
+        let mut rng = StdRng::seed_from_u64(cli.seed ^ ((ti as u64) << 4));
+        let fmt = |m: pmm_eval::MetricSet| format!("{:.2}/{:.2}", m.hr10(), m.ndcg10());
+        let down = |wo: f32, w: f32| if w < wo { " v" } else { "" };
+
+        // SASRec from scratch.
+        let mut sas = pmm_baselines::sasrec::build(bcfg, &split.dataset, &mut rng);
+        let sas_m = runner::run_target(&mut sas, &split, &cli).test;
+
+        // UniSRec.
+        let mut uni_wo = unisrec::build(bcfg, &split.dataset, &mut rng);
+        let uni_wo_m = runner::run_target(&mut uni_wo, &split, &cli).test;
+        let mut uni_w = unisrec::build(bcfg, &split.dataset, &mut rng);
+        uni_w.load_filtered(&uni_ckpt, &[]).expect("unisrec ckpt");
+        let uni_w_m = runner::run_target(&mut uni_w, &split, &cli).test;
+
+        // VQRec (codebook transferred via source centroids).
+        let mut vq_wo = vqrec::build(bcfg, &split.dataset, &mut rng);
+        let vq_wo_m = runner::run_target(&mut vq_wo, &split, &cli).test;
+        let target_pq = vqrec::recode_for(&vq_src, &split.dataset);
+        let mut vq_w = vqrec::build_with_quantizer(bcfg, &split.dataset, target_pq, &mut rng);
+        vq_w.load_filtered(&vq_ckpt, &[]).expect("vqrec ckpt");
+        let vq_w_m = runner::run_target(&mut vq_w, &split, &cli).test;
+
+        // MoRec++.
+        let mut mo_wo = morec::build(bcfg, &split.dataset, &mut rng);
+        let mo_wo_m = runner::run_target(&mut mo_wo, &split, &cli).test;
+        let mut mo_w = morec::build(bcfg, &split.dataset, &mut rng);
+        mo_w.load_filtered(&morec_ckpt, &[]).expect("morec ckpt");
+        let mo_w_m = runner::run_target(&mut mo_w, &split, &cli).test;
+
+        // PMMRec.
+        let mut pmm_wo = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+        pmm_wo.set_pretraining(true); // from-scratch = full Eq. 12 objective
+        let pmm_wo_m = runner::run_target(&mut pmm_wo, &split, &cli).test;
+        let mut pmm_w = runner::finetune_model(&split, TransferSetting::Full, &pmm_ckpt, &cli);
+        let pmm_w_m = runner::run_target(&mut pmm_w, &split, &cli).test;
+
+        let paper = PAPER_PMM[ti];
+        t.row(&[
+            id.name().to_string(),
+            fmt(sas_m),
+            fmt(uni_wo_m),
+            format!("{}{}", fmt(uni_w_m), down(uni_wo_m.hr10(), uni_w_m.hr10())),
+            fmt(vq_wo_m),
+            format!("{}{}", fmt(vq_w_m), down(vq_wo_m.hr10(), vq_w_m.hr10())),
+            fmt(mo_wo_m),
+            format!("{}{}", fmt(mo_w_m), down(mo_wo_m.hr10(), mo_w_m.hr10())),
+            fmt(pmm_wo_m),
+            format!("{}{}", fmt(pmm_w_m), down(pmm_wo_m.hr10(), pmm_w_m.hr10())),
+            format!("{:.2} -> {:.2}", paper.1, paper.2),
+        ]);
+        eprintln!(
+            "[table4] {}: PMMRec {:.2} -> {:.2} HR@10",
+            id.name(),
+            pmm_wo_m.hr10(),
+            pmm_w_m.hr10()
+        );
+    }
+    t.print();
+    println!("\n'v' marks cases where pre-training reduced HR@10 (the paper's down-arrows).");
+}

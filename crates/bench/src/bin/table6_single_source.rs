@@ -1,0 +1,65 @@
+//! Table VI: single-source transfer — PMMRec pre-trained on ONE source
+//! platform at a time, fine-tuned on all ten targets; compared against
+//! the ID baseline (SASRec) and PMMRec trained from scratch.
+//!
+//! Expected shape (paper): the diagonal (homogeneous platform) wins;
+//! transfers from complex platforms (Bili/Kwai) to simple targets
+//! (HM/Amazon) hold up, while simple -> complex (especially -> Kwai)
+//! often drops below from-scratch training ("v" markers).
+
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_bench::table::Table;
+use pmm_data::registry::{DatasetId, SOURCES, TARGETS};
+use pmmrec::{ObjectiveConfig, PmmRec, PmmRecConfig, TransferSetting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+
+    // One checkpoint per single source.
+    let ckpts: Vec<(DatasetId, std::path::PathBuf)> = SOURCES
+        .into_iter()
+        .map(|src| {
+            let tag = format!("single_{}", src.name());
+            (src, runner::pretrain_cached(&tag, &[src], ObjectiveConfig::default(), &cli, &world))
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Table VI — single-source transfer (HR@10; 'v' = below w/o PT)",
+        &["Dataset", "ID (SASRec)", "w/o PT", "Bili", "Kwai", "HM", "Amazon"],
+    );
+
+    for id in TARGETS {
+        let split = runner::split(&world, id, &cli);
+        eprintln!("[table6] {}", id.name());
+        let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x66);
+        let mut sas = pmm_baselines::sasrec::build(Default::default(), &split.dataset, &mut rng);
+        let sas_m = runner::run_target(&mut sas, &split, &cli).test;
+        let mut scratch = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+        scratch.set_pretraining(true); // from-scratch = full Eq. 12 objective
+        let scratch_m = runner::run_target(&mut scratch, &split, &cli).test;
+
+        let mut cells = vec![
+            id.name().to_string(),
+            format!("{:.2}", sas_m.hr10()),
+            format!("{:.2}", scratch_m.hr10()),
+        ];
+        for (src, ckpt) in &ckpts {
+            let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli);
+            let m = runner::run_target(&mut model, &split, &cli).test;
+            let homogeneous = id.platform() == src.platform();
+            let marker = if m.hr10() < scratch_m.hr10() { " v" } else if homogeneous { " *" } else { "" };
+            cells.push(format!("{:.2}{marker}", m.hr10()));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!(
+        "\n'*' marks the homogeneous (same-platform) source — expected to be the\n\
+         best column per the paper's diagonal; 'v' marks negative transfer."
+    );
+}

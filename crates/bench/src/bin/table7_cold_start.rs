@@ -1,0 +1,92 @@
+//! Table VII: cold-start comparison on the four source datasets —
+//! SASRec vs PMMRec-T vs PMMRec-V vs full PMMRec, evaluated on
+//! truncated sub-sequences ending in a cold item (< 10 train
+//! occurrences in the paper; threshold scales with our corpus).
+//!
+//! Expected shape (paper): every content-based variant beats the
+//! ID-based SASRec by an order of magnitude; PMMRec-T beats PMMRec-V
+//! (text carries denser information than images).
+
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_bench::table::Table;
+use pmm_data::cold::cold_holdout;
+use pmm_data::registry::{Scale, SOURCES};
+use pmm_data::split::LeaveOneOut;
+use pmm_eval::evaluate_cases;
+use pmmrec::{Modality, PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper HR@10 values (SASRec, PMMRec-T, PMMRec-V, PMMRec).
+const PAPER_HR10: [(&str, [f32; 4]); 4] = [
+    ("Bili", [0.0883, 1.1476, 0.6886, 1.0240]),
+    ("Kwai", [0.0311, 2.9490, 2.9191, 3.5106]),
+    ("HM", [0.0576, 2.1767, 1.3893, 2.0387]),
+    ("Amazon", [0.1276, 3.6437, 3.3248, 4.1646]),
+];
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+    // Our corpora are ~500x smaller than the paper's; a lower cold
+    // threshold keeps a comparable fraction of items "cold".
+    let threshold = match cli.scale {
+        Scale::Tiny => 6,
+        Scale::Paper => 7,
+    };
+
+    let mut t = Table::new(
+        "Table VII — cold-start performance (HR@10 / NG@10)",
+        &["Dataset", "#cold cases", "SASRec", "PMMRec-T", "PMMRec-V", "PMMRec", "paper (SAS vs PMM)"],
+    );
+
+    for (di, id) in SOURCES.into_iter().enumerate() {
+        let mut split = runner::split(&world, id, &cli);
+        // Strict holdout: cold items never appear in training, so ID
+        // embeddings for them are untrained while content remains
+        // readable (see pmm_data::cold::cold_holdout).
+        let (train, cases_raw) = cold_holdout(&split, threshold);
+        split.train = train;
+        let cases: Vec<LeaveOneOut> = cases_raw
+            .into_iter()
+            .map(|c| LeaveOneOut {
+                prefix: c.prefix,
+                target: c.target,
+            })
+            .collect();
+        eprintln!("[table7] {}: {} cold cases", id.name(), cases.len());
+        if cases.is_empty() {
+            t.row(&[id.name().to_string(), "0".to_string()]);
+            continue;
+        }
+
+        let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x77);
+        let fmt = |m: pmm_eval::MetricSet| format!("{:.2}/{:.2}", m.hr10(), m.ndcg10());
+
+        let mut sas = pmm_baselines::sasrec::build(Default::default(), &split.dataset, &mut rng);
+        runner::run(&mut sas, &split, &cli);
+        let sas_m = evaluate_cases(&sas, &cases);
+
+        let mut row = vec![id.name().to_string(), cases.len().to_string(), fmt(sas_m)];
+        for modality in [Modality::TextOnly, Modality::VisionOnly, Modality::Both] {
+            let cfg = PmmRecConfig {
+                modality,
+                ..PmmRecConfig::default()
+            };
+            let mut model = PmmRec::new(cfg, &split.dataset, &mut rng);
+            model.set_pretraining(true); // full Eq. 12 objective, as on sources
+            runner::run(&mut model, &split, &cli);
+            let m = evaluate_cases(&model, &cases);
+            row.push(fmt(m));
+        }
+        let p = PAPER_HR10[di].1;
+        row.push(format!("{:.2} vs {:.2}", p[0], p[3]));
+        t.row(&row);
+    }
+    t.print();
+    println!(
+        "\nPaper shape: content-based variants dominate the ID baseline on cold\n\
+         items; PMMRec-T > PMMRec-V (information density of text vs images)."
+    );
+}

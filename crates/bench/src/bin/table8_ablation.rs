@@ -1,0 +1,74 @@
+//! Table VIII: ablation of the pre-training objectives. Six variants —
+//! w/o NICL, only VCL, only NCL, w/o NID, w/o RCL, full PMMRec — are
+//! each pre-trained on the fused sources and fine-tuned on four
+//! representative targets.
+//!
+//! Expected shape (paper): the full model wins (or ties); removing
+//! NICL hurts most; VCL < NCL < NICL (positives and intra-modality
+//! negatives both matter); dropping NID or RCL costs a smaller margin.
+
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_bench::table::Table;
+use pmm_data::registry::{DatasetId, SOURCES};
+use pmmrec::{ObjectiveConfig, TransferSetting};
+
+const ABLATION_TARGETS: [DatasetId; 4] = [
+    DatasetId::BiliMovie,
+    DatasetId::KwaiMovie,
+    DatasetId::HmShoes,
+    DatasetId::AmazonShoes,
+];
+
+/// Paper HR@10 per target for (w/o NICL, only VCL, only NCL, w/o NID,
+/// w/o RCL, PMMRec).
+const PAPER_HR10: [(&str, [f32; 6]); 4] = [
+    ("Bili_Movie", [14.24, 14.86, 14.55, 14.76, 14.81, 15.02]),
+    ("Kwai_Movie", [7.74, 7.68, 8.15, 8.44, 8.93, 8.84]),
+    ("HM_Shoes", [13.01, 12.67, 13.95, 14.21, 14.52, 14.70]),
+    ("Amazon_Shoes", [39.13, 40.80, 42.24, 42.25, 43.83, 43.98]),
+];
+
+fn main() {
+    let cli = Cli::from_env();
+    let world = runner::world();
+    let variants = ObjectiveConfig::table8_variants();
+
+    // One pre-training run per ablation variant (cached on disk).
+    let ckpts: Vec<(String, std::path::PathBuf)> = variants
+        .iter()
+        .map(|(name, obj)| {
+            // The full model shares the checkpoint used by Tables IV/V.
+            let tag = if *name == "PMMRec" {
+                "fused".to_string()
+            } else {
+                format!("abl_{}", name.replace([' ', '/'], "_"))
+            };
+            (name.to_string(), runner::pretrain_cached(&tag, &SOURCES, *obj, &cli, &world))
+        })
+        .collect();
+
+    let mut header: Vec<&str> = vec!["Dataset"];
+    header.extend(variants.iter().map(|(n, _)| *n));
+    header.push("paper full");
+    let mut t = Table::new("Table VIII — objective ablation (HR@10 / NG@10)", &header);
+
+    for (ti, id) in ABLATION_TARGETS.into_iter().enumerate() {
+        let split = runner::split(&world, id, &cli);
+        eprintln!("[table8] {}", id.name());
+        let mut cells = vec![id.name().to_string()];
+        for (name, ckpt) in &ckpts {
+            let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli);
+            let m = runner::run_target(&mut model, &split, &cli).test;
+            cells.push(format!("{:.2}/{:.2}", m.hr10(), m.ndcg10()));
+            eprintln!("[table8]   {name}: HR@10 {:.2}", m.hr10());
+        }
+        cells.push(format!("{:.2}", PAPER_HR10[ti].1[5]));
+        t.row(&cells);
+    }
+    t.print();
+    println!(
+        "\nPaper shape: full PMMRec >= every ablation; 'w/o NICL' is the\n\
+         costliest removal; 'only VCL' < 'only NCL' < full NICL."
+    );
+}

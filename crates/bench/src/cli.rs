@@ -1,0 +1,103 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+use pmm_data::registry::Scale;
+
+/// Common experiment flags.
+#[derive(Debug, Clone, Copy)]
+pub struct Cli {
+    /// Dataset scale (`--scale tiny|paper`, default `paper`).
+    pub scale: Scale,
+    /// Experiment seed (`--seed N`, default 42).
+    pub seed: u64,
+    /// Maximum training epochs (`--epochs N`; harness defaults vary by
+    /// binary when absent).
+    pub epochs: Option<usize>,
+    /// Verbose per-epoch logging (`--verbose`).
+    pub verbose: bool,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: Scale::Paper,
+            seed: 42,
+            epochs: None,
+            verbose: false,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`, panicking with usage on bad input.
+    pub fn from_env() -> Cli {
+        Cli::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (testable).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Cli {
+        let mut cli = Cli::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().expect("--scale needs a value");
+                    cli.scale = match v.as_str() {
+                        "tiny" => Scale::Tiny,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale {other:?} (use tiny|paper)"),
+                    };
+                }
+                "--seed" => {
+                    cli.seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                "--epochs" => {
+                    cli.epochs = Some(
+                        it.next()
+                            .expect("--epochs needs a value")
+                            .parse()
+                            .expect("--epochs must be an integer"),
+                    );
+                }
+                "--verbose" => cli.verbose = true,
+                other => panic!("unknown flag {other:?} (flags: --scale --seed --epochs --verbose)"),
+            }
+        }
+        cli
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Cli {
+        Cli::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_scale_seed_42() {
+        let cli = parse(&[]);
+        assert_eq!(cli.scale, Scale::Paper);
+        assert_eq!(cli.seed, 42);
+        assert!(cli.epochs.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = parse(&["--scale", "tiny", "--seed", "7", "--epochs", "3", "--verbose"]);
+        assert_eq!(cli.scale, Scale::Tiny);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.epochs, Some(3));
+        assert!(cli.verbose);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flags() {
+        parse(&["--bogus"]);
+    }
+}

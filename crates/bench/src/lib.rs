@@ -1,0 +1,23 @@
+//! # pmm-bench
+//!
+//! The experiment harness that regenerates every table and figure of
+//! the PMMRec paper (see DESIGN.md §5 for the experiment index).
+//!
+//! Each table is a binary (`cargo run --release -p pmm-bench --bin
+//! table3_source_performance -- --scale paper --seed 42`); shared
+//! plumbing lives here:
+//!
+//! * [`cli::Cli`] — a tiny flag parser (`--scale`, `--seed`,
+//!   `--epochs`) shared by all binaries.
+//! * [`models::ModelKind`] — uniform construction of PMMRec and all
+//!   eight baselines.
+//! * [`runner`] — train/evaluate wrappers and pre-training checkpoint
+//!   caching (pre-train once on the fused sources, reuse across
+//!   binaries).
+//! * [`table`] — fixed-width table printing with paper-reference
+//!   columns.
+
+pub mod cli;
+pub mod models;
+pub mod runner;
+pub mod table;

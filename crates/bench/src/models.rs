@@ -1,0 +1,103 @@
+//! Uniform model construction for the experiment binaries.
+
+use pmm_baselines::{carca, common::BaselineConfig, fdsa, gru_rec, morec, nextitnet, sasrec, unisrec, vqrec};
+use pmm_data::dataset::Dataset;
+use pmm_eval::SeqRecommender;
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+
+/// Every method compared in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// GRU4Rec (IDSR).
+    GruRec,
+    /// NextItNet (IDSR).
+    NextItNet,
+    /// SASRec (IDSR).
+    SasRec,
+    /// FDSA (IDSR + side features).
+    Fdsa,
+    /// CARCA++ (IDSR + multi-modal side features).
+    CarcaPP,
+    /// UniSRec (transferable, text-only, frozen embeddings).
+    UniSRec,
+    /// VQRec (transferable, quantised text codes).
+    VqRec,
+    /// MoRec++ (transferable, multi-modal, no alignment objectives).
+    MoRecPP,
+    /// PMMRec (ours).
+    PmmRec,
+}
+
+impl ModelKind {
+    /// Table III's nine methods, in column order.
+    pub const TABLE3: [ModelKind; 9] = [
+        ModelKind::GruRec,
+        ModelKind::NextItNet,
+        ModelKind::SasRec,
+        ModelKind::Fdsa,
+        ModelKind::CarcaPP,
+        ModelKind::UniSRec,
+        ModelKind::VqRec,
+        ModelKind::MoRecPP,
+        ModelKind::PmmRec,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::GruRec => "GRURec",
+            ModelKind::NextItNet => "NextItNet",
+            ModelKind::SasRec => "SASRec",
+            ModelKind::Fdsa => "FDSA",
+            ModelKind::CarcaPP => "CARCA++",
+            ModelKind::UniSRec => "UniSRec",
+            ModelKind::VqRec => "VQRec",
+            ModelKind::MoRecPP => "MoRec++",
+            ModelKind::PmmRec => "PMMRec",
+        }
+    }
+
+    /// Builds a fresh model of this kind over `dataset`.
+    pub fn build(self, dataset: &Dataset, rng: &mut StdRng) -> Box<dyn SeqRecommender> {
+        let cfg = BaselineConfig::default();
+        match self {
+            ModelKind::GruRec => Box::new(gru_rec::build(cfg, dataset, rng)),
+            ModelKind::NextItNet => Box::new(nextitnet::build(cfg, dataset, rng)),
+            ModelKind::SasRec => Box::new(sasrec::build(cfg, dataset, rng)),
+            ModelKind::Fdsa => Box::new(fdsa::build(cfg, dataset, rng)),
+            ModelKind::CarcaPP => Box::new(carca::build(cfg, dataset, rng)),
+            ModelKind::UniSRec => Box::new(unisrec::build(cfg, dataset, rng)),
+            ModelKind::VqRec => Box::new(vqrec::build(cfg, dataset, rng)),
+            ModelKind::MoRecPP => Box::new(morec::build(cfg, dataset, rng)),
+            ModelKind::PmmRec => {
+                // Training PMMRec "on a dataset" means its full Eq. 12
+                // multi-task objective (fine-tuning after transfer is
+                // the only DAP-only mode, per Section III-E2).
+                let mut model = PmmRec::new(PmmRecConfig::default(), dataset, rng);
+                model.set_pretraining(true);
+                Box::new(model)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::world::{World, WorldConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_kind_builds() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+        let mut rng = StdRng::seed_from_u64(0);
+        for kind in ModelKind::TABLE3 {
+            let model = kind.build(&ds, &mut rng);
+            assert_eq!(model.n_items(), ds.items.len(), "{}", kind.name());
+            assert_eq!(model.name(), kind.name());
+        }
+    }
+}

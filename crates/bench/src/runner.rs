@@ -1,0 +1,177 @@
+//! Training/evaluation wrappers and pre-training checkpoint caching.
+
+use crate::cli::Cli;
+use pmm_data::registry::{self, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{train_model, SeqRecommender, TrainConfig, TrainResult};
+use pmmrec::{ObjectiveConfig, PmmRec, PmmRecConfig, TransferSetting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// The shared world for an experiment seed (world structure is pinned
+/// to its own constant so `--seed` varies the *data*, not the physics).
+pub fn world() -> World {
+    World::new(WorldConfig::default())
+}
+
+/// Builds the leave-one-out split of a named dataset.
+pub fn split(world: &World, id: DatasetId, cli: &Cli) -> SplitDataset {
+    SplitDataset::new(registry::build_dataset(world, id, cli.scale, cli.seed))
+}
+
+/// Harness defaults: fewer epochs at tiny scale, early stopping always.
+pub fn train_cfg(cli: &Cli) -> TrainConfig {
+    TrainConfig {
+        max_epochs: cli.epochs.unwrap_or(match cli.scale {
+            Scale::Tiny => 6,
+            Scale::Paper => 40,
+        }),
+        patience: 3,
+        eval_every: 2,
+        verbose: cli.verbose,
+    }
+}
+
+/// Trains a model on a split with the harness defaults (the 40-epoch
+/// source budget).
+pub fn run(model: &mut dyn SeqRecommender, split: &SplitDataset, cli: &Cli) -> TrainResult {
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x5EED);
+    train_model(model, split, &train_cfg(cli), &mut rng)
+}
+
+/// Trains with the shorter *target* budget (downstream datasets are
+/// small and converge quickly; fine-tuning even faster).
+pub fn run_target(model: &mut dyn SeqRecommender, split: &SplitDataset, cli: &Cli) -> TrainResult {
+    let mut cfg = train_cfg(cli);
+    cfg.max_epochs = cli.epochs.unwrap_or(match cli.scale {
+        Scale::Tiny => 6,
+        Scale::Paper => 24,
+    });
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x5EED);
+    train_model(model, split, &cfg, &mut rng)
+}
+
+/// Location of the cached pre-training checkpoint for a source set.
+pub fn checkpoint_path(tag: &str, cli: &Cli) -> PathBuf {
+    let dir = std::env::temp_dir().join("pmmrec_checkpoints");
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    let scale = match cli.scale {
+        Scale::Tiny => "tiny",
+        Scale::Paper => "paper",
+    };
+    dir.join(format!("pmmrec_{tag}_{scale}_seed{}.ckpt", cli.seed))
+}
+
+/// Pre-trains PMMRec on the given source corpus and saves a checkpoint;
+/// reuses a cached file when present (delete the file to force a
+/// re-run). Returns the checkpoint path.
+pub fn pretrain_cached(
+    tag: &str,
+    sources: &[DatasetId],
+    obj: ObjectiveConfig,
+    cli: &Cli,
+    world: &World,
+) -> PathBuf {
+    let path = checkpoint_path(tag, cli);
+    if path.exists() {
+        eprintln!("[pretrain:{tag}] reusing cached checkpoint {}", path.display());
+        return path;
+    }
+    let fused = if sources.len() == 1 {
+        registry::build_dataset(world, sources[0], cli.scale, cli.seed)
+    } else {
+        let parts: Vec<_> = sources
+            .iter()
+            .map(|&id| registry::build_dataset(world, id, cli.scale, cli.seed))
+            .collect();
+        pmm_data::dataset::Dataset::fuse("Source", &parts)
+    };
+    let split = SplitDataset::new(fused);
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x9E1A);
+    let mut model = PmmRec::with_objectives(PmmRecConfig::default(), obj, &split.dataset, &mut rng);
+    model.set_pretraining(true);
+    let cfg = TrainConfig {
+        max_epochs: cli.epochs.unwrap_or(match cli.scale {
+            Scale::Tiny => 4,
+            Scale::Paper => 24,
+        }),
+        patience: 0, // pre-training uses the full budget
+        eval_every: 2,
+        verbose: cli.verbose,
+    };
+    eprintln!("[pretrain:{tag}] pre-training on {} users…", split.train.len());
+    let result = train_model(&mut model, &split, &cfg, &mut rng);
+    eprintln!(
+        "[pretrain:{tag}] done at epoch {} (valid {})",
+        result.best_epoch, result.valid
+    );
+    model.save(&path).expect("save pre-trained checkpoint");
+    path
+}
+
+/// Builds a PMMRec for a target dataset and loads pre-trained
+/// components per the setting.
+pub fn finetune_model(
+    split: &SplitDataset,
+    setting: TransferSetting,
+    ckpt: &std::path::Path,
+    cli: &Cli,
+) -> PmmRec {
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0xF17E);
+    let cfg = PmmRecConfig {
+        modality: setting.modality(),
+        ..PmmRecConfig::default()
+    };
+    let mut model = PmmRec::new(cfg, &split.dataset, &mut rng);
+    let report = model.load_transfer(ckpt, setting).expect("load checkpoint");
+    assert!(
+        !report.loaded.is_empty(),
+        "transfer loaded nothing for {setting:?}"
+    );
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cli() -> Cli {
+        Cli {
+            scale: Scale::Tiny,
+            seed: 1717,
+            epochs: Some(1),
+            verbose: false,
+        }
+    }
+
+    #[test]
+    fn pretrain_cache_roundtrip() {
+        let cli = tiny_cli();
+        let w = world();
+        let path = checkpoint_path("test_cache", &cli);
+        std::fs::remove_file(&path).ok();
+        let p1 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w);
+        assert!(p1.exists());
+        // Second call reuses the file (fast path).
+        let p2 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w);
+        assert_eq!(p1, p2);
+        std::fs::remove_file(&p1).ok();
+    }
+
+    #[test]
+    fn finetune_model_loads_components() {
+        let cli = tiny_cli();
+        let w = world();
+        let path = checkpoint_path("test_ft", &cli);
+        std::fs::remove_file(&path).ok();
+        let ckpt = pretrain_cached("test_ft", &[DatasetId::Hm], ObjectiveConfig::default(), &cli, &w);
+        let target = split(&w, DatasetId::HmClothes, &cli);
+        for setting in TransferSetting::ALL {
+            let model = finetune_model(&target, setting, &ckpt, &cli);
+            assert_eq!(model.n_items(), target.n_items(), "{setting:?}");
+        }
+        std::fs::remove_file(ckpt).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixed-width table printing with optional paper-reference columns.
+
+/// A printable experiment table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are padded/truncated to the header count).
+    pub fn row(&mut self, cells: &[String]) {
+        let mut r: Vec<String> = cells.to_vec();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Convenience: row from display-able cells.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let hline: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:<w$} "))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&hline);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a percentage metric to two decimals.
+pub fn pct(v: f32) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats "measured (paper: X)" comparison cells.
+pub fn with_ref(measured: f32, paper: f32) -> String {
+    format!("{measured:.2} (paper {paper:.2})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["model", "HR@10"]);
+        t.row(&["SASRec".into(), "12.34".into()]);
+        t.row(&["PMMRec".into(), "15.06".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("SASRec"));
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        // All data lines share the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("demo", &["a", "b", "c"]);
+        t.row(&["x".into()]);
+        assert!(t.render().lines().count() >= 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(12.345), "12.35");
+        assert_eq!(with_ref(1.0, 2.0), "1.00 (paper 2.00)");
+    }
+}

@@ -1,0 +1,141 @@
+//! PMMRec hyper-parameters.
+
+use pmm_nn::TransformerConfig;
+
+/// Which modality path the model runs (Section III-E's single-modality
+/// transfer settings train/score with one item encoder only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modality {
+    /// Text + vision + fusion (the default PMMRec).
+    Both,
+    /// Text encoder feeds the user encoder directly (`PMMRec-T`).
+    TextOnly,
+    /// Vision encoder feeds the user encoder directly (`PMMRec-V`).
+    VisionOnly,
+}
+
+impl Modality {
+    /// Short suffix used in model display names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Modality::Both => "",
+            Modality::TextOnly => "-T",
+            Modality::VisionOnly => "-V",
+        }
+    }
+}
+
+/// Full model configuration.
+///
+/// The paper uses d=768 (RoBERTa/CLIP-ViT scale); this reproduction
+/// defaults to d=32 — the architecture is identical, only the width and
+/// depth are scaled to CPU training (see DESIGN.md §2).
+#[derive(Debug, Clone, Copy)]
+pub struct PmmRecConfig {
+    /// Shared hidden dimensionality of all components.
+    pub d: usize,
+    /// Attention heads in every Transformer.
+    pub heads: usize,
+    /// Text-encoder depth.
+    pub text_layers: usize,
+    /// Vision-encoder depth.
+    pub vision_layers: usize,
+    /// Fusion-module depth (the paper uses a single merge-attention
+    /// Transformer layer).
+    pub fusion_layers: usize,
+    /// User-encoder depth (SASRec-equivalent).
+    pub user_layers: usize,
+    /// Feed-forward expansion factor.
+    pub ff_mult: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Which modality path to run.
+    pub modality: Modality,
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Sequences per training batch.
+    pub batch_size: usize,
+    /// Maximum user-sequence length (most recent items kept).
+    pub max_len: usize,
+    /// When set, freeze everything in the item encoders except the top
+    /// `n` Transformer blocks (the paper fine-tunes only the top 2
+    /// blocks of RoBERTa/ViT).
+    pub finetune_top_blocks: Option<usize>,
+}
+
+impl Default for PmmRecConfig {
+    fn default() -> Self {
+        PmmRecConfig {
+            d: 32,
+            heads: 4,
+            text_layers: 2,
+            vision_layers: 2,
+            fusion_layers: 1,
+            user_layers: 2,
+            ff_mult: 2,
+            dropout: 0.1,
+            modality: Modality::Both,
+            lr: 3e-3,
+            batch_size: 32,
+            max_len: 12,
+            finetune_top_blocks: None,
+        }
+    }
+}
+
+impl PmmRecConfig {
+    /// Transformer config for a bidirectional item-level encoder.
+    pub fn item_encoder_cfg(&self, layers: usize) -> TransformerConfig {
+        TransformerConfig {
+            d: self.d,
+            heads: self.heads,
+            layers,
+            ff_mult: self.ff_mult,
+            dropout: self.dropout,
+            causal: false,
+        }
+    }
+
+    /// Transformer config for the causal user encoder.
+    pub fn user_encoder_cfg(&self) -> TransformerConfig {
+        TransformerConfig {
+            d: self.d,
+            heads: self.heads,
+            layers: self.user_layers,
+            ff_mult: self.ff_mult,
+            dropout: self.dropout,
+            causal: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let cfg = PmmRecConfig::default();
+        assert_eq!(cfg.d % cfg.heads, 0);
+        assert!(cfg.dropout < 1.0);
+        assert_eq!(cfg.modality, Modality::Both);
+    }
+
+    #[test]
+    fn encoder_cfgs_inherit_dimensions() {
+        let cfg = PmmRecConfig::default();
+        let t = cfg.item_encoder_cfg(cfg.text_layers);
+        assert!(!t.causal);
+        assert_eq!(t.d, cfg.d);
+        let u = cfg.user_encoder_cfg();
+        assert!(u.causal);
+        assert_eq!(u.layers, cfg.user_layers);
+    }
+
+    #[test]
+    fn modality_suffixes() {
+        assert_eq!(Modality::Both.suffix(), "");
+        assert_eq!(Modality::TextOnly.suffix(), "-T");
+        assert_eq!(Modality::VisionOnly.suffix(), "-V");
+    }
+}

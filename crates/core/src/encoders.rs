@@ -1,0 +1,349 @@
+//! Item-level encoders: text (mini-RoBERTa), vision (mini-ViT) and the
+//! merge-attention fusion module (Section III-B).
+
+use crate::config::PmmRecConfig;
+use pmm_data::world::Item;
+use pmm_nn::{Ctx, Dropout, Embedding, Linear, Param, ParamStore, TransformerEncoder};
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+
+/// Output of an item encoder over a batch of `n` items.
+pub struct EncodedModality {
+    /// `[n, d]` modality CLS embeddings (t^cls / v^cls in the paper).
+    pub cls: Var,
+    /// `[n * len, d]` per-token (or per-patch) states fed to fusion.
+    pub tokens: Var,
+    /// Tokens per item.
+    pub len: usize,
+}
+
+/// Builds the interleaved `[n*(len+1), d]` sequence `[CLS; x_1..x_len]`
+/// per item from a shared CLS row and a flat `[n*len, d]` content block,
+/// then adds positional embeddings.
+fn assemble_with_cls(
+    ctx: &mut Ctx<'_>,
+    cls: &Param,
+    pos: &Param,
+    content: &Var,
+    n: usize,
+    len: usize,
+) -> Var {
+    let cls_block = ctx.var(cls).gather_rows(&vec![0usize; n]);
+    let combined = Var::concat0(&[cls_block, content.clone()]);
+    // Row (i*(len+1)) <- cls i; row (i*(len+1)+1+j) <- n + i*len + j.
+    let mut perm = Vec::with_capacity(n * (len + 1));
+    for i in 0..n {
+        perm.push(i);
+        for j in 0..len {
+            perm.push(n + i * len + j);
+        }
+    }
+    let x = combined.gather_rows(&perm);
+    let pos_ids: Vec<usize> = (0..n * (len + 1)).map(|r| r % (len + 1)).collect();
+    let pos_block = ctx.var(pos).gather_rows(&pos_ids);
+    x.add(&pos_block)
+}
+
+/// Splits encoder output back into `(cls, tokens)`.
+fn split_cls(states: &Var, n: usize, len: usize) -> (Var, Var) {
+    let cls_rows: Vec<usize> = (0..n).map(|i| i * (len + 1)).collect();
+    let tok_rows: Vec<usize> = (0..n)
+        .flat_map(|i| (1..=len).map(move |j| i * (len + 1) + j))
+        .collect();
+    (states.gather_rows(&cls_rows), states.gather_rows(&tok_rows))
+}
+
+/// The Text Encoder (TE): token embedding + learned positions + a
+/// bidirectional Transformer, standing in for multilingual RoBERTa.
+pub struct TextEncoder {
+    embed: Embedding,
+    cls: Param,
+    pos: Param,
+    encoder: TransformerEncoder,
+    dropout: Dropout,
+    text_len: usize,
+}
+
+impl TextEncoder {
+    /// Registers all parameters under `{name}.*`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &PmmRecConfig,
+        vocab: usize,
+        text_len: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let d = cfg.d;
+        TextEncoder {
+            embed: Embedding::new(store, &format!("{name}.embed"), vocab, d, rng),
+            cls: store.register(format!("{name}.cls"), Tensor::randn(&[1, d], 0.02, rng)),
+            pos: store.register(
+                format!("{name}.pos"),
+                Tensor::randn(&[text_len + 1, d], 0.02, rng),
+            ),
+            encoder: TransformerEncoder::new(
+                store,
+                &format!("{name}.trm"),
+                cfg.item_encoder_cfg(cfg.text_layers),
+                rng,
+            ),
+            dropout: Dropout::new(cfg.dropout),
+            text_len,
+        }
+    }
+
+    /// Encodes the text of `ids` drawn from `corpus`.
+    #[track_caller]
+    pub fn forward(&self, ctx: &mut Ctx<'_>, corpus: &[Item], ids: &[usize]) -> EncodedModality {
+        let n = ids.len();
+        let p = self.text_len;
+        let mut flat = Vec::with_capacity(n * p);
+        for &i in ids {
+            debug_assert_eq!(corpus[i].tokens.len(), p, "item text length mismatch");
+            flat.extend_from_slice(&corpus[i].tokens);
+        }
+        let tok = self.embed.forward(ctx, &flat);
+        let x = assemble_with_cls(ctx, &self.cls, &self.pos, &tok, n, p);
+        let x = self.dropout.forward(ctx, &x);
+        let lens = vec![p + 1; n];
+        let states = self.encoder.forward(ctx, &x, n, p + 1, &lens);
+        let (cls, tokens) = split_cls(&states, n, p);
+        EncodedModality {
+            cls,
+            tokens,
+            len: p,
+        }
+    }
+}
+
+/// The Vision Encoder (VE): linear patch projection + learned positions
+/// + a bidirectional Transformer, standing in for CLIP-ViT.
+pub struct VisionEncoder {
+    proj: Linear,
+    cls: Param,
+    pos: Param,
+    encoder: TransformerEncoder,
+    dropout: Dropout,
+    n_patches: usize,
+    patch_dim: usize,
+}
+
+impl VisionEncoder {
+    /// Registers all parameters under `{name}.*`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        cfg: &PmmRecConfig,
+        n_patches: usize,
+        patch_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let d = cfg.d;
+        VisionEncoder {
+            proj: Linear::new(store, &format!("{name}.proj"), patch_dim, d, true, rng),
+            cls: store.register(format!("{name}.cls"), Tensor::randn(&[1, d], 0.02, rng)),
+            pos: store.register(
+                format!("{name}.pos"),
+                Tensor::randn(&[n_patches + 1, d], 0.02, rng),
+            ),
+            encoder: TransformerEncoder::new(
+                store,
+                &format!("{name}.trm"),
+                cfg.item_encoder_cfg(cfg.vision_layers),
+                rng,
+            ),
+            dropout: Dropout::new(cfg.dropout),
+            n_patches,
+            patch_dim,
+        }
+    }
+
+    /// Encodes the images of `ids` drawn from `corpus`.
+    #[track_caller]
+    pub fn forward(&self, ctx: &mut Ctx<'_>, corpus: &[Item], ids: &[usize]) -> EncodedModality {
+        let n = ids.len();
+        let (q, dv) = (self.n_patches, self.patch_dim);
+        let mut flat = Vec::with_capacity(n * q * dv);
+        for &i in ids {
+            debug_assert_eq!(corpus[i].patches.len(), q * dv, "item patch size mismatch");
+            flat.extend_from_slice(&corpus[i].patches);
+        }
+        let raw = Var::constant(Tensor::from_vec(flat, &[n * q, dv]).expect("patch numel"));
+        let patches = self.proj.forward(ctx, &raw);
+        let x = assemble_with_cls(ctx, &self.cls, &self.pos, &patches, n, q);
+        let x = self.dropout.forward(ctx, &x);
+        let lens = vec![q + 1; n];
+        let states = self.encoder.forward(ctx, &x, n, q + 1, &lens);
+        let (cls, tokens) = split_cls(&states, n, q);
+        EncodedModality {
+            cls,
+            tokens,
+            len: q,
+        }
+    }
+}
+
+/// The merge-attention fusion module (Eq. 3): a multi-modal CLS token is
+/// prepended to the concatenation of token and patch states and fed
+/// through a Transformer; the CLS output is the item representation.
+pub struct FusionModule {
+    mm_cls: Param,
+    encoder: TransformerEncoder,
+}
+
+impl FusionModule {
+    /// Registers all parameters under `{name}.*`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &PmmRecConfig, rng: &mut StdRng) -> Self {
+        FusionModule {
+            mm_cls: store.register(format!("{name}.mm_cls"), Tensor::randn(&[1, cfg.d], 0.02, rng)),
+            encoder: TransformerEncoder::new(
+                store,
+                &format!("{name}.trm"),
+                cfg.item_encoder_cfg(cfg.fusion_layers),
+                rng,
+            ),
+        }
+    }
+
+    /// Fuses per-item text and vision states into `[n, d]` item
+    /// representations (`e^cls` in the paper).
+    #[track_caller]
+    pub fn forward(&self, ctx: &mut Ctx<'_>, text: &EncodedModality, vision: &EncodedModality) -> Var {
+        let (p, q) = (text.len, vision.len);
+        let n = text.cls.shape()[0];
+        debug_assert_eq!(vision.cls.shape()[0], n, "modality batch mismatch");
+        let l = 1 + p + q;
+        let cls_block = ctx.var(&self.mm_cls).gather_rows(&vec![0usize; n]);
+        // Layout per item: [mm_cls; t_1..t_p; v_1..v_q].
+        let combined = Var::concat0(&[cls_block, text.tokens.clone(), vision.tokens.clone()]);
+        let mut perm = Vec::with_capacity(n * l);
+        for i in 0..n {
+            perm.push(i);
+            for j in 0..p {
+                perm.push(n + i * p + j);
+            }
+            for j in 0..q {
+                perm.push(n + n * p + i * q + j);
+            }
+        }
+        let x = combined.gather_rows(&perm);
+        let lens = vec![l; n];
+        let states = self.encoder.forward(ctx, &x, n, l, &lens);
+        let cls_rows: Vec<usize> = (0..n).map(|i| i * l).collect();
+        states.gather_rows(&cls_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_data::style::Platform;
+    use pmm_data::world::{World, WorldConfig};
+    use rand::SeedableRng;
+
+    fn corpus(n: usize) -> (World, Vec<Item>) {
+        let world = World::new(WorldConfig::default());
+        let style = Platform::Hm.style();
+        let mut rng = StdRng::seed_from_u64(0);
+        let items = (0..n).map(|i| world.sample_item(i % 5, &style, &mut rng)).collect();
+        (world, items)
+    }
+
+    fn cfg() -> PmmRecConfig {
+        PmmRecConfig {
+            d: 16,
+            heads: 2,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn text_encoder_shapes() {
+        let (world, items) = corpus(6);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let te = TextEncoder::new(&mut store, "te", &cfg, world.cfg.vocab(), world.cfg.text_len, &mut rng);
+        let mut ctx = Ctx::eval();
+        let enc = te.forward(&mut ctx, &items, &[0, 3, 5]);
+        assert_eq!(enc.cls.shape(), &[3, 16]);
+        assert_eq!(enc.tokens.shape(), &[3 * world.cfg.text_len, 16]);
+        assert!(enc.cls.value().all_finite());
+    }
+
+    #[test]
+    fn vision_encoder_shapes() {
+        let (world, items) = corpus(6);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let ve = VisionEncoder::new(&mut store, "ve", &cfg, world.cfg.n_patches, world.cfg.patch_dim, &mut rng);
+        let mut ctx = Ctx::eval();
+        let enc = ve.forward(&mut ctx, &items, &[1, 2]);
+        assert_eq!(enc.cls.shape(), &[2, 16]);
+        assert_eq!(enc.tokens.shape(), &[2 * world.cfg.n_patches, 16]);
+    }
+
+    #[test]
+    fn fusion_produces_one_vector_per_item() {
+        let (world, items) = corpus(4);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let te = TextEncoder::new(&mut store, "te", &cfg, world.cfg.vocab(), world.cfg.text_len, &mut rng);
+        let ve = VisionEncoder::new(&mut store, "ve", &cfg, world.cfg.n_patches, world.cfg.patch_dim, &mut rng);
+        let fu = FusionModule::new(&mut store, "fu", &cfg, &mut rng);
+        let mut ctx = Ctx::eval();
+        let t = te.forward(&mut ctx, &items, &[0, 1, 2]);
+        let v = ve.forward(&mut ctx, &items, &[0, 1, 2]);
+        let e = fu.forward(&mut ctx, &t, &v);
+        assert_eq!(e.shape(), &[3, 16]);
+        assert!(e.value().all_finite());
+    }
+
+    #[test]
+    fn same_item_encodes_identically_in_eval_mode() {
+        let (world, items) = corpus(3);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let te = TextEncoder::new(&mut store, "te", &cfg, world.cfg.vocab(), world.cfg.text_len, &mut rng);
+        let mut ctx = Ctx::eval();
+        let enc = te.forward(&mut ctx, &items, &[2, 2]);
+        let d = enc.cls.value().data();
+        let (a, b) = d.split_at(16);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_items_encode_differently() {
+        let (world, items) = corpus(3);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let te = TextEncoder::new(&mut store, "te", &cfg, world.cfg.vocab(), world.cfg.text_len, &mut rng);
+        let mut ctx = Ctx::eval();
+        let enc = te.forward(&mut ctx, &items, &[0, 1]);
+        let d = enc.cls.value().data();
+        let (a, b) = d.split_at(16);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encoder_gradients_reach_embeddings() {
+        let (world, items) = corpus(3);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let te = TextEncoder::new(&mut store, "te", &cfg, world.cfg.vocab(), world.cfg.text_len, &mut rng);
+        let mut ctx = Ctx::train(&mut rng);
+        let enc = te.forward(&mut ctx, &items, &[0, 1]);
+        enc.cls.mul(&enc.cls).sum_all().backward();
+        let emb = store.get("te.embed.weight").unwrap();
+        assert!(ctx.grad_of(emb).is_some());
+        let cls = store.get("te.cls").unwrap();
+        assert!(ctx.grad_of(cls).is_some());
+    }
+}

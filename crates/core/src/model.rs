@@ -1,0 +1,558 @@
+//! The PMMRec model: composition, pre-training/fine-tuning steps,
+//! scoring and component transfer.
+
+use crate::ablation::ObjectiveConfig;
+use crate::config::{Modality, PmmRecConfig};
+use crate::encoders::{FusionModule, TextEncoder, VisionEncoder};
+use crate::objectives::{dap_masks, nicl_masks, rcl_masks, BatchIndex};
+use crate::transfer::TransferSetting;
+use crate::user_encoder::UserEncoder;
+use pmm_data::batch::{Batch, BatchIter};
+use pmm_data::corrupt::{corrupt_sequence, CorruptionConfig};
+use pmm_data::dataset::Dataset;
+use pmm_data::split::LeaveOneOut;
+use pmm_data::world::Item;
+use pmm_eval::SeqRecommender;
+use pmm_nn::checkpoint::{self, CheckpointError, LoadReport};
+use pmm_nn::{mask, AdamW, AdamWConfig, Ctx, Linear, ParamStore};
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use std::cell::RefCell;
+use std::path::Path;
+
+/// The Pure Multi-Modality Recommender.
+pub struct PmmRec {
+    cfg: PmmRecConfig,
+    obj: ObjectiveConfig,
+    pretraining: bool,
+    corpus: Vec<Item>,
+    store: ParamStore,
+    text: Option<TextEncoder>,
+    vision: Option<VisionEncoder>,
+    fusion: Option<FusionModule>,
+    user: UserEncoder,
+    nid_head: Linear,
+    opt: AdamW,
+    name: String,
+    /// Cached `[n_items, d]` catalogue representations for scoring;
+    /// invalidated by every training epoch.
+    catalog: RefCell<Option<Tensor>>,
+}
+
+impl PmmRec {
+    /// Builds a fresh model over `dataset`'s item corpus with the
+    /// default (full) objective configuration.
+    pub fn new(cfg: PmmRecConfig, dataset: &Dataset, rng: &mut StdRng) -> PmmRec {
+        PmmRec::with_objectives(cfg, ObjectiveConfig::default(), dataset, rng)
+    }
+
+    /// Builds a model with explicit objective switches (ablations).
+    pub fn with_objectives(
+        cfg: PmmRecConfig,
+        obj: ObjectiveConfig,
+        dataset: &Dataset,
+        rng: &mut StdRng,
+    ) -> PmmRec {
+        let corpus = dataset.items.clone();
+        let spec = dataset.content;
+        let (vocab, text_len, n_patches, patch_dim) =
+            (spec.vocab, spec.text_len, spec.n_patches, spec.patch_dim);
+        let mut store = ParamStore::new();
+        let text = matches!(cfg.modality, Modality::Both | Modality::TextOnly).then(|| {
+            TextEncoder::new(&mut store, "text_encoder", &cfg, vocab, text_len, rng)
+        });
+        let vision = matches!(cfg.modality, Modality::Both | Modality::VisionOnly).then(|| {
+            VisionEncoder::new(&mut store, "vision_encoder", &cfg, n_patches, patch_dim, rng)
+        });
+        let fusion = (cfg.modality == Modality::Both)
+            .then(|| FusionModule::new(&mut store, "fusion", &cfg, rng));
+        let user = UserEncoder::new(&mut store, "user_encoder", &cfg, rng);
+        let nid_head = Linear::new(&mut store, "nid_head", cfg.d, 3, true, rng);
+        apply_block_freezing(&mut store, &cfg);
+        let opt = AdamW::new(cfg.lr, AdamWConfig::default());
+        let name = format!("PMMRec{}", cfg.modality.suffix());
+        PmmRec {
+            cfg,
+            obj,
+            pretraining: false,
+            corpus,
+            store,
+            text,
+            vision,
+            fusion,
+            user,
+            nid_head,
+            opt,
+            name,
+            catalog: RefCell::new(None),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PmmRecConfig {
+        &self.cfg
+    }
+
+    /// Switches between pre-training (all of Eq. 12) and fine-tuning
+    /// (DAP only, Section III-E2).
+    pub fn set_pretraining(&mut self, on: bool) {
+        self.pretraining = on;
+    }
+
+    /// Overrides the display name (useful for table labelling).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Total trainable scalar parameters.
+    pub fn n_params(&self) -> usize {
+        self.store.total_numel()
+    }
+
+    /// Saves the full parameter set.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        checkpoint::save(&self.store, path)
+    }
+
+    /// Loads pre-trained components per the transfer setting. The model
+    /// must have been constructed with the setting's modality (the
+    /// architectures must agree).
+    #[track_caller]
+    pub fn load_transfer(
+        &mut self,
+        path: impl AsRef<Path>,
+        setting: TransferSetting,
+    ) -> Result<LoadReport, CheckpointError> {
+        assert_eq!(
+            self.cfg.modality,
+            setting.modality(),
+            "load_transfer: model runs {:?} but setting {:?} requires {:?}",
+            self.cfg.modality,
+            setting,
+            setting.modality()
+        );
+        self.catalog.replace(None);
+        checkpoint::load_filtered(&self.store, path, setting.prefixes())
+    }
+
+    // ------------------------------------------------------------------
+    // Forward passes
+    // ------------------------------------------------------------------
+
+    /// Encodes unique items into per-item representations, returning
+    /// `(rep, text_cls, vision_cls)`; the CLS pair is present only on
+    /// the dual-modality path.
+    fn encode_unique(&self, ctx: &mut Ctx<'_>, ids: &[usize]) -> (Var, Option<(Var, Var)>) {
+        match self.cfg.modality {
+            Modality::Both => {
+                let t = self.text.as_ref().expect("text encoder").forward(ctx, &self.corpus, ids);
+                let v = self
+                    .vision
+                    .as_ref()
+                    .expect("vision encoder")
+                    .forward(ctx, &self.corpus, ids);
+                let e = self.fusion.as_ref().expect("fusion").forward(ctx, &t, &v);
+                (e, Some((t.cls, v.cls)))
+            }
+            Modality::TextOnly => {
+                let t = self.text.as_ref().expect("text encoder").forward(ctx, &self.corpus, ids);
+                (t.cls, None)
+            }
+            Modality::VisionOnly => {
+                let v = self
+                    .vision
+                    .as_ref()
+                    .expect("vision encoder")
+                    .forward(ctx, &self.corpus, ids);
+                (v.cls, None)
+            }
+        }
+    }
+
+    /// One optimisation step over a batch; returns the loss value.
+    fn step(&mut self, batch: &Batch, rng: &mut StdRng) -> f32 {
+        let idx = BatchIndex::new(batch);
+        let (b, l) = (batch.b, batch.l);
+        let valid_w = mask::row_weights(b, l, &batch.lens);
+
+        // Corruption happens before the graph is built (it needs the rng).
+        let corruption = (self.pretraining && (self.obj.nid || self.obj.rcl)).then(|| {
+            let pool = &idx.unique;
+            let mut corr = batch.items.clone();
+            let mut labels = vec![0usize; b * l];
+            for bi in 0..b {
+                let len = batch.lens[bi];
+                let (c, lab) = corrupt_sequence(
+                    &batch.items[bi * l..bi * l + len],
+                    pool,
+                    &CorruptionConfig::default(),
+                    rng,
+                );
+                corr[bi * l..bi * l + len].copy_from_slice(&c);
+                for (t, la) in lab.iter().enumerate() {
+                    labels[bi * l + t] = la.class();
+                }
+            }
+            (corr, labels)
+        });
+
+        let mut ctx = Ctx::train(rng);
+        let (reps, cls_pair) = self.encode_unique(&mut ctx, &idx.unique);
+
+        // Per-position representation rows (padding maps to column 0,
+        // masked out of every loss).
+        let pos_cols: Vec<usize> = (0..b * l)
+            .map(|row| {
+                let (bi, t) = (row / l, row % l);
+                if t < batch.lens[bi] {
+                    idx.col[&batch.items[row]]
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let item_rows = reps.gather_rows(&pos_cols);
+        let h = self.user.forward(&mut ctx, &item_rows, b, l, &batch.lens);
+
+        // DAP (Eq. 5): always on.
+        let sims = h.matmul_nt(&reps);
+        let (pos_m, den_m, w) = dap_masks(batch, &idx);
+        let mut loss = sims.group_contrastive_loss(&pos_m, &den_m, Some(&w));
+
+        if self.pretraining {
+            let aux = self.obj.aux_weight;
+            // NICL (Eqs. 8-9): requires both modalities.
+            if self.obj.nicl.enabled() {
+                if let Some((t_cls, v_cls)) = &cls_pair {
+                    let inv_t = 1.0 / self.obj.nicl_temperature.max(1e-3);
+                    let t_n = t_cls.l2_normalize_rows();
+                    let v_n = v_cls.l2_normalize_rows();
+                    let (np, nd, nw) = nicl_masks(batch, &idx, self.obj.nicl);
+                    let anchors_t = t_n.gather_rows(&pos_cols);
+                    let m_t = Var::concat0(&[v_n.clone(), t_n.clone()]);
+                    let l_t = anchors_t
+                        .matmul_nt(&m_t)
+                        .scale(inv_t)
+                        .group_contrastive_loss(&np, &nd, Some(&nw));
+                    let anchors_v = v_n.gather_rows(&pos_cols);
+                    let m_v = Var::concat0(&[t_n, v_n]);
+                    let l_v = anchors_v
+                        .matmul_nt(&m_v)
+                        .scale(inv_t)
+                        .group_contrastive_loss(&np, &nd, Some(&nw));
+                    loss = loss.add(&l_t.add(&l_v).scale(0.5 * aux));
+                }
+            }
+
+            if let Some((corr_items, labels)) = &corruption {
+                let corr_cols: Vec<usize> = (0..b * l)
+                    .map(|row| {
+                        let (bi, t) = (row / l, row % l);
+                        if t < batch.lens[bi] {
+                            idx.col[&corr_items[row]]
+                        } else {
+                            0
+                        }
+                    })
+                    .collect();
+                let corr_rows = reps.gather_rows(&corr_cols);
+                let h_tilde = self.user.forward(&mut ctx, &corr_rows, b, l, &batch.lens);
+
+                // NID (Eq. 10): 3-way classification with a ReLU head.
+                if self.obj.nid {
+                    let logits = self.nid_head.forward(&mut ctx, &h_tilde).relu();
+                    let nid = logits.cross_entropy_logits(labels, Some(&valid_w));
+                    loss = loss.add(&nid.scale(aux));
+                }
+
+                // RCL (Eq. 11): pooled original vs corrupted sequences.
+                if self.obj.rcl {
+                    let pooled = h.mean_pool(b, l, &valid_w);
+                    let pooled_tilde = h_tilde.mean_pool(b, l, &valid_w);
+                    let rcl_sims = pooled.matmul_nt(&pooled_tilde);
+                    let (rp, rd) = rcl_masks(b);
+                    let rcl = rcl_sims.group_contrastive_loss(&rp, &rd, None);
+                    loss = loss.add(&rcl.scale(aux));
+                }
+            }
+        }
+
+        let loss_value = loss.value().scalar_value();
+        loss.backward();
+        self.opt.step(&self.store, &ctx);
+        loss_value
+    }
+
+    /// Encodes the full catalogue with the current weights (cached).
+    fn catalog_reps(&self) -> Tensor {
+        if let Some(cat) = self.catalog.borrow().as_ref() {
+            return cat.clone();
+        }
+        const CHUNK: usize = 64;
+        let n = self.corpus.len();
+        let mut data = Vec::with_capacity(n * self.cfg.d);
+        let mut start = 0usize;
+        while start < n {
+            let ids: Vec<usize> = (start..(start + CHUNK).min(n)).collect();
+            let mut ctx = Ctx::eval();
+            let (reps, _) = self.encode_unique(&mut ctx, &ids);
+            data.extend_from_slice(reps.value().data());
+            start += CHUNK;
+        }
+        let cat = Tensor::from_vec(data, &[n, self.cfg.d]).expect("catalog numel");
+        *self.catalog.borrow_mut() = Some(cat.clone());
+        cat
+    }
+
+    /// Crate-internal access to the cached catalogue (see
+    /// [`PmmRec::item_representations`]).
+    pub(crate) fn catalog_for_export(&self) -> Tensor {
+        self.catalog_reps()
+    }
+
+    /// Final user-encoder hidden state per sequence of a padded batch.
+    pub(crate) fn user_hidden_last(&self, batch: &Batch) -> Tensor {
+        let cat = self.catalog_reps();
+        let (b, l) = (batch.b, batch.l);
+        let rows = cat.gather_rows(&batch.items);
+        let mut ctx = Ctx::eval();
+        let h = self
+            .user
+            .forward(&mut ctx, &Var::constant(rows), b, l, &batch.lens);
+        let last_rows: Vec<usize> = (0..b).map(|bi| bi * l + batch.lens[bi] - 1).collect();
+        h.value().gather_rows(&last_rows)
+    }
+}
+
+/// Freezes everything in the item encoders except the top `k` blocks
+/// (mirrors "all text and vision encoders are fine-tuned with only the
+/// top 2 Transformer blocks").
+fn apply_block_freezing(store: &mut ParamStore, cfg: &PmmRecConfig) {
+    let Some(top) = cfg.finetune_top_blocks else {
+        return;
+    };
+    for (prefix, layers) in [
+        ("text_encoder", cfg.text_layers),
+        ("vision_encoder", cfg.vision_layers),
+    ] {
+        store.freeze_prefix(format!("{prefix}.embed"));
+        store.freeze_prefix(format!("{prefix}.proj"));
+        for i in 0..layers.saturating_sub(top) {
+            store.freeze_prefix(format!("{prefix}.trm.blocks.{i}."));
+        }
+    }
+}
+
+impl SeqRecommender for PmmRec {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn n_items(&self) -> usize {
+        self.corpus.len()
+    }
+
+    fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32 {
+        self.catalog.replace(None);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        // Drive batching with a dedicated iterator RNG so the item-count
+        // of corruption draws cannot desynchronise batch composition.
+        let batch_list: Vec<Batch> =
+            BatchIter::new(train, self.cfg.batch_size, self.cfg.max_len, rng).collect();
+        for batch in &batch_list {
+            total += self.step(batch, rng);
+            batches += 1;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            total / batches as f32
+        }
+    }
+
+    fn score_cases(&self, cases: &[LeaveOneOut]) -> Vec<Vec<f32>> {
+        if cases.is_empty() {
+            return Vec::new();
+        }
+        let cat = self.catalog_reps();
+        let max_len = self.cfg.max_len;
+        let prefixes: Vec<&[usize]> = cases
+            .iter()
+            .map(|c| {
+                let p = c.prefix.as_slice();
+                &p[p.len().saturating_sub(max_len)..]
+            })
+            .collect();
+        let batch = Batch::from_sequences(&prefixes, max_len);
+        let b = batch.b;
+        let h_last = self.user_hidden_last(&batch);
+        let scores = h_last.matmul_t(&cat, false, true);
+        let n = self.corpus.len();
+        (0..b)
+            .map(|bi| scores.data()[bi * n..(bi + 1) * n].to_vec())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::world::{World, WorldConfig};
+    use pmm_eval::{evaluate_cases, train_model, TrainConfig};
+    use pmm_data::split::SplitDataset;
+    use rand::SeedableRng;
+
+    fn tiny_cfg() -> PmmRecConfig {
+        PmmRecConfig {
+            d: 16,
+            heads: 2,
+            text_layers: 1,
+            vision_layers: 1,
+            fusion_layers: 1,
+            user_layers: 1,
+            batch_size: 8,
+            max_len: 8,
+            dropout: 0.0,
+            ..Default::default()
+        }
+    }
+
+    fn tiny_split(id: DatasetId) -> SplitDataset {
+        let world = World::new(WorldConfig::default());
+        SplitDataset::new(build_dataset(&world, id, Scale::Tiny, 42))
+    }
+
+    #[test]
+    fn finetune_step_reduces_loss() {
+        let split = tiny_split(DatasetId::HmClothes);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        let first = model.train_epoch(&split.train, &mut rng);
+        let mut last = first;
+        for _ in 0..4 {
+            last = model.train_epoch(&split.train, &mut rng);
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(last.is_finite());
+    }
+
+    #[test]
+    fn pretraining_runs_all_objectives() {
+        let split = tiny_split(DatasetId::Bili);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        model.set_pretraining(true);
+        let loss = model.train_epoch(&split.train, &mut rng);
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn single_modality_variants_train() {
+        let split = tiny_split(DatasetId::KwaiFood);
+        for modality in [Modality::TextOnly, Modality::VisionOnly] {
+            let mut rng = StdRng::seed_from_u64(0);
+            let cfg = PmmRecConfig { modality, ..tiny_cfg() };
+            let mut model = PmmRec::new(cfg, &split.dataset, &mut rng);
+            let loss = model.train_epoch(&split.train, &mut rng);
+            assert!(loss.is_finite(), "{modality:?}");
+            let m = evaluate_cases(&model, &split.valid);
+            assert_eq!(m.cases, split.valid.len());
+        }
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_ranking() {
+        let split = tiny_split(DatasetId::HmShoes);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        let before = evaluate_cases(&model, &split.valid);
+        let cfg = TrainConfig {
+            max_epochs: 12,
+            patience: 0,
+            eval_every: 4,
+            verbose: false,
+        };
+        let result = train_model(&mut model, &split, &cfg, &mut rng);
+        assert!(
+            result.valid.ndcg10() > before.ndcg10(),
+            "training did not help: {} -> {}",
+            before.ndcg10(),
+            result.valid.ndcg10()
+        );
+    }
+
+    #[test]
+    fn transfer_roundtrip_restores_components() {
+        let split = tiny_split(DatasetId::Amazon);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut source = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        source.set_pretraining(true);
+        source.train_epoch(&split.train, &mut rng);
+        let path = std::env::temp_dir().join(format!("pmmrec_test_{}.ckpt", std::process::id()));
+        source.save(&path).unwrap();
+
+        let target_split = tiny_split(DatasetId::AmazonShoes);
+        let mut target = PmmRec::new(tiny_cfg(), &target_split.dataset, &mut rng);
+        let report = target.load_transfer(&path, TransferSetting::Full).unwrap();
+        assert!(report.loaded.iter().any(|n| n.starts_with("user_encoder.")));
+        assert!(report.loaded.iter().any(|n| n.starts_with("fusion.")));
+        // Item-encoder-only transfer leaves the user encoder fresh.
+        let mut target2 = PmmRec::new(tiny_cfg(), &target_split.dataset, &mut rng);
+        let report2 = target2.load_transfer(&path, TransferSetting::ItemEncoders).unwrap();
+        assert!(report2.loaded.iter().all(|n| !n.starts_with("user_encoder.")));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "load_transfer")]
+    fn transfer_modality_mismatch_is_rejected() {
+        let split = tiny_split(DatasetId::AmazonShoes);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        let _ = model.load_transfer("/nonexistent", TransferSetting::TextOnly);
+    }
+
+    #[test]
+    fn catalog_cache_is_invalidated_by_training() {
+        let split = tiny_split(DatasetId::BiliFood);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        let before = model.catalog_reps();
+        model.train_epoch(&split.train, &mut rng);
+        let after = model.catalog_reps();
+        assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn ablation_variants_all_train() {
+        let split = tiny_split(DatasetId::Kwai);
+        for (name, obj) in ObjectiveConfig::table8_variants() {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut model = PmmRec::with_objectives(tiny_cfg(), obj, &split.dataset, &mut rng);
+            model.set_pretraining(true);
+            let loss = model.train_epoch(&split.train[..8.min(split.train.len())], &mut rng);
+            assert!(loss.is_finite(), "{name}: loss {loss}");
+        }
+    }
+
+    #[test]
+    fn block_freezing_freezes_lower_layers() {
+        let split = tiny_split(DatasetId::HmClothes);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = PmmRecConfig {
+            text_layers: 2,
+            vision_layers: 2,
+            finetune_top_blocks: Some(1),
+            ..tiny_cfg()
+        };
+        let model = PmmRec::new(cfg, &split.dataset, &mut rng);
+        let emb = model.store.get("text_encoder.embed.weight").unwrap();
+        assert!(model.store.is_frozen(emb));
+        let top = model.store.get("text_encoder.trm.blocks.1.attn.wq.weight").unwrap();
+        assert!(!model.store.is_frozen(top));
+        let bottom = model.store.get("text_encoder.trm.blocks.0.attn.wq.weight").unwrap();
+        assert!(model.store.is_frozen(bottom));
+    }
+}

@@ -1,0 +1,271 @@
+//! Mask construction for the contrastive objectives (Eqs. 5–9, 11).
+//!
+//! Every objective reduces to `group_contrastive_loss(sims, pos, den,
+//! weights)`; this module builds the `pos`/`den` masks from a batch:
+//!
+//! * **DAP** (Eq. 5): anchor `h_{u,l}`, positive `e_{l+1}`, negatives =
+//!   in-batch items not interacted by user `u`.
+//! * **NICL** (Eq. 8): anchor is one modality's CLS of item `i`;
+//!   positives are the *other* modality of `i`, the other modality of
+//!   the next item `j`, and the *same* modality of `j`; negatives are
+//!   both modalities of in-batch items from other users, excluding `i`
+//!   and `j`. The [`NiclVariant`] ladder (VCL → ICL → NCL → NICL)
+//!   toggles the extra positives/negatives for the Table VIII ablation.
+//! * **RCL** (Eq. 11): identity positives between original and
+//!   corrupted pooled sequences.
+
+use crate::ablation::NiclVariant;
+use pmm_data::batch::Batch;
+use pmm_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+
+/// Index structures shared by all per-batch objectives.
+pub struct BatchIndex {
+    /// Sorted distinct item ids in the batch (the candidate columns).
+    pub unique: Vec<usize>,
+    /// item id -> candidate column.
+    pub col: HashMap<usize, usize>,
+    /// Per sequence: the set of items that user interacted with (these
+    /// are excluded from that user's negatives, per Eq. 5).
+    pub own: Vec<HashSet<usize>>,
+}
+
+impl BatchIndex {
+    /// Builds the index for a batch.
+    pub fn new(batch: &Batch) -> BatchIndex {
+        let unique = batch.distinct_items();
+        let col: HashMap<usize, usize> = unique.iter().enumerate().map(|(c, &i)| (i, c)).collect();
+        let own = (0..batch.b)
+            .map(|bi| {
+                (0..batch.lens[bi])
+                    .map(|t| batch.items[bi * batch.l + t])
+                    .collect::<HashSet<usize>>()
+            })
+            .collect();
+        BatchIndex { unique, col, own }
+    }
+
+    /// Number of candidate columns.
+    pub fn n_cols(&self) -> usize {
+        self.unique.len()
+    }
+}
+
+/// DAP masks: `(pos, den, row_weights)` over `[b*l, C]`.
+///
+/// Row `(bi, t)` is active when the next position `t+1` is valid; its
+/// positive is the column of the next item, its denominator is that
+/// positive plus every candidate the user never interacted with.
+pub fn dap_masks(batch: &Batch, idx: &BatchIndex) -> (Tensor, Tensor, Vec<f32>) {
+    let (b, l, c) = (batch.b, batch.l, idx.n_cols());
+    let mut pos = vec![0.0f32; b * l * c];
+    let mut den = vec![0.0f32; b * l * c];
+    let mut w = vec![0.0f32; b * l];
+    for bi in 0..b {
+        for t in 0..l {
+            let row = bi * l + t;
+            if t + 1 >= batch.lens[bi] {
+                continue;
+            }
+            let next = batch.items[bi * l + t + 1];
+            let next_col = idx.col[&next];
+            w[row] = 1.0;
+            pos[row * c + next_col] = 1.0;
+            den[row * c + next_col] = 1.0;
+            for (cc, &cand) in idx.unique.iter().enumerate() {
+                if !idx.own[bi].contains(&cand) {
+                    den[row * c + cc] = 1.0;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(pos, &[b * l, c]).expect("dap pos"),
+        Tensor::from_vec(den, &[b * l, c]).expect("dap den"),
+        w,
+    )
+}
+
+/// NICL masks over `[b*l, 2C]` where columns `0..C` are the **other**
+/// modality's candidates and `C..2C` the anchor's **own** modality.
+///
+/// By this block convention the masks are identical for the T→V and
+/// V→T directions, so one construction serves both (Eq. 9's symmetry).
+pub fn nicl_masks(
+    batch: &Batch,
+    idx: &BatchIndex,
+    variant: NiclVariant,
+) -> (Tensor, Tensor, Vec<f32>) {
+    let (b, l, c) = (batch.b, batch.l, idx.n_cols());
+    let width = 2 * c;
+    let mut pos = vec![0.0f32; b * l * width];
+    let mut den = vec![0.0f32; b * l * width];
+    let mut w = vec![0.0f32; b * l];
+    let next_positives = variant.next_item_positives();
+    let intra_negatives = variant.intra_modality_negatives();
+    for bi in 0..b {
+        for t in 0..l {
+            let row = bi * l + t;
+            // NICL anchors need a next item (the paper computes Eq. 8
+            // over l in 1..L-1); plain VCL/ICL could use the final
+            // position too, but we keep the anchor set identical across
+            // variants so Table VIII compares like for like.
+            if t + 1 >= batch.lens[bi] {
+                continue;
+            }
+            let item = batch.items[bi * l + t];
+            let next = batch.items[bi * l + t + 1];
+            let (ci, cj) = (idx.col[&item], idx.col[&next]);
+            w[row] = 1.0;
+            let base = row * width;
+            // Cross-modal positive of the anchor item (always).
+            pos[base + ci] = 1.0;
+            den[base + ci] = 1.0;
+            if next_positives {
+                // Other modality of the next item + same modality of
+                // the next item.
+                pos[base + cj] = 1.0;
+                pos[base + c + cj] = 1.0;
+            }
+            for (cc, &cand) in idx.unique.iter().enumerate() {
+                if idx.own[bi].contains(&cand) || cand == item || cand == next {
+                    continue;
+                }
+                den[base + cc] = 1.0;
+                if intra_negatives {
+                    den[base + c + cc] = 1.0;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(pos, &[b * l, width]).expect("nicl pos"),
+        Tensor::from_vec(den, &[b * l, width]).expect("nicl den"),
+        w,
+    )
+}
+
+/// RCL masks over `[b, b]`: identity positives, full denominator.
+pub fn rcl_masks(b: usize) -> (Tensor, Tensor) {
+    let mut pos = vec![0.0f32; b * b];
+    for i in 0..b {
+        pos[i * b + i] = 1.0;
+    }
+    (
+        Tensor::from_vec(pos, &[b, b]).expect("rcl pos"),
+        Tensor::ones(&[b, b]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        // Two users: [10, 11, 12] and [20, 10].
+        let s1 = vec![10usize, 11, 12];
+        let s2 = vec![20usize, 10];
+        Batch::from_sequences(&[&s1, &s2], 4)
+    }
+
+    #[test]
+    fn batch_index_columns_are_sorted_distinct() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        assert_eq!(idx.unique, vec![10, 11, 12, 20]);
+        assert_eq!(idx.col[&12], 2);
+        assert!(idx.own[0].contains(&11));
+        assert!(!idx.own[0].contains(&20));
+    }
+
+    #[test]
+    fn dap_positive_is_next_item() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        let (pos, den, w) = dap_masks(&b, &idx);
+        let c = idx.n_cols();
+        // User 0, t=0: next is 11 (col 1).
+        assert_eq!(pos.data()[1], 1.0);
+        // Weights: user0 rows 0,1 valid; row 2 (last) invalid; user1 row l..l+1.
+        assert_eq!(w, vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+        // Denominator excludes user0's own items (10,11,12) except the positive.
+        let row0 = &den.data()[..c];
+        assert_eq!(row0, &[0.0, 1.0, 0.0, 1.0]); // pos(11) + negative 20
+    }
+
+    #[test]
+    fn dap_negatives_exclude_all_own_items() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        let (_, den, _) = dap_masks(&b, &idx);
+        let c = idx.n_cols();
+        // User 1, t=0 (row = l=3): own items {20, 10}; next = 10 (pos).
+        let row = &den.data()[3 * c..4 * c];
+        // 10 is the positive -> in den; 11, 12 are negatives; 20 own -> out.
+        assert_eq!(row, &[1.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn nicl_full_has_three_positives() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        let (pos, den, w) = nicl_masks(&b, &idx, NiclVariant::Full);
+        let c = idx.n_cols();
+        // User 0, t=0: item 10 (col 0), next 11 (col 1).
+        let prow = &pos.data()[..2 * c];
+        assert_eq!(prow.iter().filter(|&&v| v == 1.0).count(), 3);
+        assert_eq!(prow[0], 1.0); // other-modality of item
+        assert_eq!(prow[1], 1.0); // other-modality of next
+        assert_eq!(prow[c + 1], 1.0); // same-modality of next
+        // Denominator: other-modality of item + both modalities of 20.
+        let drow = &den.data()[..2 * c];
+        assert_eq!(drow[0], 1.0);
+        assert_eq!(drow[3], 1.0);
+        assert_eq!(drow[c + 3], 1.0);
+        assert_eq!(drow.iter().filter(|&&v| v == 1.0).count(), 3);
+        assert_eq!(w[0], 1.0);
+    }
+
+    #[test]
+    fn vcl_variant_strips_extras() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        let (pos, den, _) = nicl_masks(&b, &idx, NiclVariant::Vcl);
+        let c = idx.n_cols();
+        let prow = &pos.data()[..2 * c];
+        assert_eq!(prow.iter().filter(|&&v| v == 1.0).count(), 1);
+        let drow = &den.data()[..2 * c];
+        // No intra-modality negatives: the own-modality block is empty.
+        assert!(drow[c..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ncl_variant_keeps_next_positives_without_intra_negatives() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        let (pos, den, _) = nicl_masks(&b, &idx, NiclVariant::Ncl);
+        let c = idx.n_cols();
+        let prow = &pos.data()[..2 * c];
+        assert_eq!(prow.iter().filter(|&&v| v == 1.0).count(), 3);
+        let drow = &den.data()[..2 * c];
+        assert!(drow[c..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn icl_variant_adds_intra_negatives_only() {
+        let b = batch();
+        let idx = BatchIndex::new(&b);
+        let (pos, den, _) = nicl_masks(&b, &idx, NiclVariant::Icl);
+        let c = idx.n_cols();
+        assert_eq!(pos.data()[..2 * c].iter().filter(|&&v| v == 1.0).count(), 1);
+        // Intra-modality negative for item 20 present.
+        assert_eq!(den.data()[c + 3], 1.0);
+    }
+
+    #[test]
+    fn rcl_masks_are_identity_over_full() {
+        let (pos, den) = rcl_masks(3);
+        assert_eq!(pos.data(), &[1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+        assert!(den.data().iter().all(|&v| v == 1.0));
+    }
+}

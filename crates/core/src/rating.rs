@@ -1,0 +1,251 @@
+//! Rating prediction — the paper's stated future-work extension.
+//!
+//! A small MLP head is trained as a probe on top of a (trained or
+//! transferred) PMMRec backbone: the input is the concatenation of the
+//! user representation (final user-encoder hidden state over the
+//! prefix) and the candidate item representation; the output is a
+//! scalar rating trained with MSE. Because the backbone is content-
+//! based, the head generalises to items never rated before — the same
+//! property that powers the cold-start results.
+
+use crate::model::PmmRec;
+use pmm_nn::{AdamW, AdamWConfig, Ctx, Linear, ParamStore};
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Prepared rating-prediction data: `(prefix, item, rating)` triples.
+pub struct RatingData {
+    triples: Vec<(Vec<usize>, usize, f32)>,
+}
+
+impl RatingData {
+    /// Builds from borrowed triples (see
+    /// `pmm_data::ratings::Ratings::triples`).
+    pub fn new(triples: Vec<(Vec<usize>, usize, f32)>) -> RatingData {
+        RatingData { triples }
+    }
+
+    /// Number of rating examples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when no examples are present.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Read access to the underlying triples.
+    pub fn triples(&self) -> &[(Vec<usize>, usize, f32)] {
+        &self.triples
+    }
+
+    /// Splits off the last `fraction` of examples as a held-out set.
+    pub fn split_holdout(mut self, fraction: f32) -> (RatingData, RatingData) {
+        let n = self.triples.len();
+        let hold = ((n as f32 * fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
+        let tail = self.triples.split_off(n - hold);
+        (self, RatingData { triples: tail })
+    }
+}
+
+/// The rating head:
+/// `rating = w2 · gelu(W1 [h_user ; mean(prefix reps) ; e_item]) + b`.
+///
+/// The mean of the prefix item representations is an explicit taste
+/// summary — ratings are driven by user-taste/item affinity, which the
+/// causal last state alone under-represents.
+pub struct RatingHead {
+    store: ParamStore,
+    l1: Linear,
+    l2: Linear,
+    opt: AdamW,
+    batch: usize,
+}
+
+impl RatingHead {
+    /// Creates a head for backbones of hidden size `d`.
+    pub fn new(d: usize, lr: f32, rng: &mut StdRng) -> RatingHead {
+        let mut store = ParamStore::new();
+        let l1 = Linear::new(&mut store, "rating.l1", 3 * d, d, true, rng);
+        let l2 = Linear::new(&mut store, "rating.l2", d, 1, true, rng);
+        RatingHead {
+            store,
+            l1,
+            l2,
+            opt: AdamW::new(lr, AdamWConfig::default()),
+            batch: 64,
+        }
+    }
+
+    /// Builds the `[n, 3d]` head inputs for a batch of triples.
+    fn features(&self, backbone: &PmmRec, triples: &[(Vec<usize>, usize, f32)]) -> Tensor {
+        let prefixes: Vec<&[usize]> = triples.iter().map(|(p, _, _)| p.as_slice()).collect();
+        let users = backbone.encode_prefixes(&prefixes);
+        let cat = backbone.item_representations();
+        let items: Vec<usize> = triples.iter().map(|&(_, i, _)| i).collect();
+        let item_reps = cat.gather_rows(&items);
+        let (n, d) = (triples.len(), users.shape()[1]);
+        let mut data = Vec::with_capacity(n * 3 * d);
+        for (i, (prefix, _, _)) in triples.iter().enumerate() {
+            data.extend_from_slice(&users.data()[i * d..(i + 1) * d]);
+            // Taste summary: mean of the prefix's item representations.
+            let mut mean = vec![0.0f32; d];
+            for &p in prefix.iter() {
+                for (m, &v) in mean.iter_mut().zip(&cat.data()[p * d..(p + 1) * d]) {
+                    *m += v / prefix.len() as f32;
+                }
+            }
+            data.extend_from_slice(&mean);
+            data.extend_from_slice(&item_reps.data()[i * d..(i + 1) * d]);
+        }
+        Tensor::from_vec(data, &[n, 3 * d]).expect("rating features")
+    }
+
+    fn forward(&self, ctx: &mut Ctx<'_>, x: &Var) -> Var {
+        let h = self.l1.forward(ctx, x).gelu();
+        self.l2.forward(ctx, &h)
+    }
+
+    /// One training epoch over the rating data (backbone frozen);
+    /// returns the mean MSE.
+    pub fn train_epoch(&mut self, backbone: &PmmRec, data: &RatingData, rng: &mut StdRng) -> f32 {
+        let mut order: Vec<usize> = (0..data.triples.len()).collect();
+        order.shuffle(rng);
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(self.batch) {
+            let triples: Vec<(Vec<usize>, usize, f32)> =
+                chunk.iter().map(|&i| data.triples[i].clone()).collect();
+            let x = Var::constant(self.features(backbone, &triples));
+            let targets: Vec<f32> = triples.iter().map(|&(_, _, r)| r).collect();
+            let mut ctx = Ctx::train(rng);
+            let pred = self.forward(&mut ctx, &x);
+            let loss = pred.mse_loss(&targets, None);
+            total += loss.value().scalar_value();
+            loss.backward();
+            self.opt.step(&self.store, &ctx);
+            batches += 1;
+        }
+        if batches == 0 {
+            0.0
+        } else {
+            total / batches as f32
+        }
+    }
+
+    /// Predicts ratings for triples (the rating value field is ignored).
+    pub fn predict(&self, backbone: &PmmRec, triples: &[(Vec<usize>, usize, f32)]) -> Vec<f32> {
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        let x = Var::constant(self.features(backbone, triples));
+        let mut ctx = Ctx::eval();
+        self.forward(&mut ctx, &x).value().data().to_vec()
+    }
+
+    /// RMSE and MAE on held-out data.
+    pub fn evaluate(&self, backbone: &PmmRec, data: &RatingData) -> (f32, f32) {
+        let preds = self.predict(backbone, &data.triples);
+        rmse_mae(
+            &preds,
+            &data.triples.iter().map(|&(_, _, r)| r).collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// RMSE and MAE of predictions against targets.
+#[track_caller]
+pub fn rmse_mae(preds: &[f32], targets: &[f32]) -> (f32, f32) {
+    assert_eq!(preds.len(), targets.len(), "rmse_mae: length mismatch");
+    if preds.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = preds.len() as f32;
+    let mut se = 0.0f32;
+    let mut ae = 0.0f32;
+    for (&p, &t) in preds.iter().zip(targets) {
+        se += (p - t) * (p - t);
+        ae += (p - t).abs();
+    }
+    ((se / n).sqrt(), ae / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PmmRec, PmmRecConfig};
+    use pmm_data::ratings::synthesize_ratings;
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::world::{World, WorldConfig};
+    use rand::SeedableRng;
+
+    fn fixture() -> (PmmRec, RatingData, RatingData, f32) {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+        let ratings = synthesize_ratings(&ds, 7);
+        let triples: Vec<(Vec<usize>, usize, f32)> = ratings
+            .triples(&ds)
+            .into_iter()
+            .map(|(p, i, r)| (p.to_vec(), i, r))
+            .collect();
+        let mean = ratings.global_mean();
+        let (train, test) = RatingData::new(triples).split_holdout(0.2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PmmRecConfig {
+            d: 16,
+            heads: 2,
+            text_layers: 1,
+            vision_layers: 1,
+            user_layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let mut backbone = PmmRec::new(cfg, &ds, &mut rng);
+        // A couple of epochs so representations carry content signal.
+        let split = pmm_data::split::SplitDataset::new(ds);
+        for _ in 0..5 {
+            pmm_eval::SeqRecommender::train_epoch(&mut backbone, &split.train, &mut rng);
+        }
+        (backbone, train, test, mean)
+    }
+
+    #[test]
+    fn rating_head_beats_global_mean_baseline() {
+        let (backbone, train, test, mean) = fixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = RatingHead::new(16, 3e-3, &mut rng);
+        let mut last = f32::INFINITY;
+        for _ in 0..30 {
+            last = head.train_epoch(&backbone, &train, &mut rng);
+        }
+        assert!(last.is_finite());
+        let (rmse, mae) = head.evaluate(&backbone, &test);
+        // Baseline: predict the global mean for everything.
+        let baseline: Vec<f32> = vec![mean; test.len()];
+        let targets: Vec<f32> = test.triples.iter().map(|&(_, _, r)| r).collect();
+        let (base_rmse, _) = rmse_mae(&baseline, &targets);
+        assert!(
+            rmse < base_rmse,
+            "content head RMSE {rmse:.3} should beat mean baseline {base_rmse:.3}"
+        );
+        assert!(mae <= rmse + 1e-4);
+    }
+
+    #[test]
+    fn rmse_mae_hand_values() {
+        let (rmse, mae) = rmse_mae(&[1.0, 3.0], &[2.0, 1.0]);
+        assert!((mae - 1.5).abs() < 1e-6);
+        assert!((rmse - (2.5f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn holdout_split_partitions() {
+        let triples: Vec<(Vec<usize>, usize, f32)> =
+            (0..10).map(|i| (vec![0], i, 3.0)).collect();
+        let (a, b) = RatingData::new(triples).split_holdout(0.3);
+        assert_eq!(a.len() + b.len(), 10);
+        assert_eq!(b.len(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Inference conveniences: top-k recommendation and embedding export.
+//!
+//! These are the APIs a downstream service would call after training or
+//! transferring a model; they reuse the cached catalogue encoding.
+
+use crate::model::PmmRec;
+use pmm_data::batch::Batch;
+use pmm_data::split::LeaveOneOut;
+use pmm_eval::SeqRecommender;
+use pmm_tensor::Tensor;
+
+/// One recommendation: item id and its (unnormalised) score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// Catalogue item id.
+    pub item: usize,
+    /// Dot-product score (higher = better).
+    pub score: f32,
+}
+
+impl PmmRec {
+    /// The `[n_items, d]` item representations (`e^cls` per item) under
+    /// the current weights. Useful for downstream retrieval indexes or
+    /// visualisation; recomputed lazily after training.
+    pub fn item_representations(&self) -> Tensor {
+        self.catalog_for_export()
+    }
+
+    /// Encodes interaction prefixes into `[n, d]` user representations
+    /// (the final hidden state of the user encoder).
+    #[track_caller]
+    pub fn encode_prefixes(&self, prefixes: &[&[usize]]) -> Tensor {
+        assert!(!prefixes.is_empty(), "encode_prefixes: no prefixes");
+        assert!(
+            prefixes.iter().all(|p| !p.is_empty()),
+            "encode_prefixes: empty prefix"
+        );
+        let max_len = self.config().max_len;
+        let clipped: Vec<&[usize]> = prefixes
+            .iter()
+            .map(|p| &p[p.len().saturating_sub(max_len)..])
+            .collect();
+        let batch = Batch::from_sequences(&clipped, max_len);
+        self.user_hidden_last(&batch)
+    }
+
+    /// Ranks the whole catalogue for a user prefix and returns the top
+    /// `k` items. `exclude_seen` removes items already in the prefix
+    /// (the usual deployment behaviour).
+    #[track_caller]
+    pub fn recommend_top_k(&self, prefix: &[usize], k: usize, exclude_seen: bool) -> Vec<Recommendation> {
+        assert!(!prefix.is_empty(), "recommend_top_k: empty prefix");
+        let case = LeaveOneOut {
+            prefix: prefix.to_vec(),
+            target: 0, // unused: we keep the full score row
+        };
+        let scores = self.score_cases(std::slice::from_ref(&case)).remove(0);
+        let mut ranked: Vec<Recommendation> = scores
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !exclude_seen || !prefix.contains(i))
+            .map(|(item, score)| Recommendation { item, score })
+            .collect();
+        ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
+        ranked.truncate(k);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PmmRec, PmmRecConfig};
+    use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::world::{World, WorldConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> (PmmRec, pmm_data::dataset::Dataset) {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PmmRecConfig {
+            d: 16,
+            heads: 2,
+            text_layers: 1,
+            vision_layers: 1,
+            user_layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        (PmmRec::new(cfg, &ds, &mut rng), ds)
+    }
+
+    #[test]
+    fn item_representations_cover_catalogue() {
+        let (m, ds) = model();
+        let reps = m.item_representations();
+        assert_eq!(reps.shape(), &[ds.items.len(), 16]);
+        assert!(reps.all_finite());
+    }
+
+    #[test]
+    fn encode_prefixes_shapes() {
+        let (m, _) = model();
+        let reps = m.encode_prefixes(&[&[0, 1, 2], &[3]]);
+        assert_eq!(reps.shape(), &[2, 16]);
+    }
+
+    #[test]
+    fn recommend_returns_sorted_unseen_items() {
+        let (m, ds) = model();
+        let prefix = [0usize, 1, 2];
+        let recs = m.recommend_top_k(&prefix, 5, true);
+        assert_eq!(recs.len(), 5.min(ds.items.len() - prefix.len()));
+        for w in recs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        for r in &recs {
+            assert!(!prefix.contains(&r.item));
+        }
+    }
+
+    #[test]
+    fn recommend_scores_match_trait_scoring() {
+        let (m, _) = model();
+        let prefix = [0usize, 1];
+        let recs = m.recommend_top_k(&prefix, 3, false);
+        let case = LeaveOneOut { prefix: prefix.to_vec(), target: 0 };
+        let scores = m.score_cases(&[case]).remove(0);
+        for r in &recs {
+            assert_eq!(r.score, scores[r.item]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prefix")]
+    fn empty_prefix_rejected() {
+        let (m, _) = model();
+        let _ = m.recommend_top_k(&[], 5, false);
+    }
+}

@@ -1,0 +1,102 @@
+//! The five transfer-learning settings (Section III-E, Table I).
+
+use crate::config::Modality;
+
+/// Component name prefixes used in checkpoints.
+pub mod components {
+    /// Text encoder parameters.
+    pub const TEXT: &str = "text_encoder.";
+    /// Vision encoder parameters.
+    pub const VISION: &str = "vision_encoder.";
+    /// Multi-modal fusion parameters.
+    pub const FUSION: &str = "fusion.";
+    /// User encoder parameters.
+    pub const USER: &str = "user_encoder.";
+}
+
+/// Which pre-trained components are carried to the target dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferSetting {
+    /// Transfer everything (the default setting).
+    Full,
+    /// Transfer the item encoders + fusion only.
+    ItemEncoders,
+    /// Transfer the user encoder only.
+    UserEncoder,
+    /// Transfer text encoder + user encoder; run text-only.
+    TextOnly,
+    /// Transfer vision encoder + user encoder; run vision-only.
+    VisionOnly,
+}
+
+impl TransferSetting {
+    /// All settings, in Table V's column order.
+    pub const ALL: [TransferSetting; 5] = [
+        TransferSetting::TextOnly,
+        TransferSetting::VisionOnly,
+        TransferSetting::ItemEncoders,
+        TransferSetting::UserEncoder,
+        TransferSetting::Full,
+    ];
+
+    /// Checkpoint prefixes to load for this setting.
+    pub fn prefixes(self) -> &'static [&'static str] {
+        use components::*;
+        match self {
+            TransferSetting::Full => &[TEXT, VISION, FUSION, USER],
+            TransferSetting::ItemEncoders => &[TEXT, VISION, FUSION],
+            TransferSetting::UserEncoder => &[USER],
+            TransferSetting::TextOnly => &[TEXT, USER],
+            TransferSetting::VisionOnly => &[VISION, USER],
+        }
+    }
+
+    /// The modality path the fine-tuned model must run.
+    pub fn modality(self) -> Modality {
+        match self {
+            TransferSetting::TextOnly => Modality::TextOnly,
+            TransferSetting::VisionOnly => Modality::VisionOnly,
+            _ => Modality::Both,
+        }
+    }
+
+    /// Paper-style label ("w. PT", "w. PT-I", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransferSetting::Full => "w. PT",
+            TransferSetting::ItemEncoders => "w. PT-I",
+            TransferSetting::UserEncoder => "w. PT-U",
+            TransferSetting::TextOnly => "PMMRec-T w. PT",
+            TransferSetting::VisionOnly => "PMMRec-V w. PT",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_transfer_covers_all_components() {
+        assert_eq!(TransferSetting::Full.prefixes().len(), 4);
+    }
+
+    #[test]
+    fn single_modality_settings_route_modality() {
+        assert_eq!(TransferSetting::TextOnly.modality(), Modality::TextOnly);
+        assert_eq!(TransferSetting::VisionOnly.modality(), Modality::VisionOnly);
+        assert_eq!(TransferSetting::ItemEncoders.modality(), Modality::Both);
+    }
+
+    #[test]
+    fn item_encoder_transfer_excludes_user_encoder() {
+        let p = TransferSetting::ItemEncoders.prefixes();
+        assert!(!p.contains(&components::USER));
+        assert!(p.contains(&components::FUSION));
+    }
+
+    #[test]
+    fn user_encoder_transfer_is_minimal() {
+        assert_eq!(TransferSetting::UserEncoder.prefixes(), &[components::USER]);
+    }
+}

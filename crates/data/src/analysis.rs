@@ -1,0 +1,184 @@
+//! Dataset analysis utilities: popularity concentration, transition
+//! structure and cross-dataset content similarity — the diagnostics
+//! used to calibrate the world model (DESIGN.md §6) and to sanity-check
+//! external datasets ingested through [`crate::io::DatasetBuilder`].
+
+use crate::dataset::Dataset;
+use std::collections::HashMap;
+
+/// Gini coefficient of item popularity (0 = perfectly uniform,
+/// → 1 = all interactions on one item).
+pub fn popularity_gini(dataset: &Dataset) -> f32 {
+    let mut counts = vec![0usize; dataset.items.len()];
+    for s in &dataset.sequences {
+        for &i in s {
+            counts[i] += 1;
+        }
+    }
+    gini(&counts.iter().map(|&c| c as f32).collect::<Vec<_>>())
+}
+
+/// Gini coefficient of arbitrary non-negative values.
+pub fn gini(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(f32::total_cmp);
+    let n = sorted.len() as f32;
+    let total: f32 = sorted.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let weighted: f32 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f32 + 1.0) * v)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+/// Empirical category-transition matrix (row-stochastic, `[K, K]`).
+///
+/// Compare against [`crate::world::World::transitions`] to verify the
+/// generated sequences follow the intended universal pattern.
+pub fn category_transition_matrix(dataset: &Dataset, n_categories: usize) -> Vec<Vec<f32>> {
+    let mut counts = vec![vec![0.0f32; n_categories]; n_categories];
+    for s in &dataset.sequences {
+        for w in s.windows(2) {
+            let a = dataset.items[w[0]].category;
+            let b = dataset.items[w[1]].category;
+            counts[a][b] += 1.0;
+        }
+    }
+    for row in counts.iter_mut() {
+        let total: f32 = row.iter().sum();
+        if total > 0.0 {
+            row.iter_mut().for_each(|v| *v /= total);
+        }
+    }
+    counts
+}
+
+/// Shannon entropy (bits) of the empirical next-item distribution per
+/// previous item, averaged over previous items with at least
+/// `min_support` observed transitions. Lower entropy = more predictable
+/// sequences.
+pub fn transition_entropy(dataset: &Dataset, min_support: usize) -> f32 {
+    let mut next: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    for s in &dataset.sequences {
+        for w in s.windows(2) {
+            *next.entry(w[0]).or_default().entry(w[1]).or_default() += 1;
+        }
+    }
+    let mut total_entropy = 0.0f32;
+    let mut contributing = 0usize;
+    for dist in next.values() {
+        let support: usize = dist.values().sum();
+        if support < min_support {
+            continue;
+        }
+        let mut h = 0.0f32;
+        for &c in dist.values() {
+            let p = c as f32 / support as f32;
+            h -= p * p.log2();
+        }
+        total_entropy += h;
+        contributing += 1;
+    }
+    if contributing == 0 {
+        0.0
+    } else {
+        total_entropy / contributing as f32
+    }
+}
+
+/// Mean cosine similarity between the average latent of two datasets'
+/// items — a cheap measure of content-domain overlap (e.g. Bili_Food vs
+/// Kwai_Food should exceed Bili_Food vs HM_Shoes).
+///
+/// Defined only for *generated* datasets: items ingested through
+/// [`crate::io::DatasetBuilder`] carry no ground-truth latent, and the
+/// similarity degenerates to `0.0` for them.
+pub fn content_similarity(a: &Dataset, b: &Dataset) -> f32 {
+    let mean = |d: &Dataset| {
+        let m = d.items.first().map_or(0, |i| i.latent.len());
+        let mut acc = vec![0.0f32; m];
+        for item in &d.items {
+            for (x, &l) in acc.iter_mut().zip(&item.latent) {
+                *x += l / d.items.len() as f32;
+            }
+        }
+        acc
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let dot: f32 = ma.iter().zip(&mb).map(|(&x, &y)| x * y).sum();
+    let na: f32 = ma.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = mb.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if na * nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{build_dataset, DatasetId, Scale};
+    use crate::world::{World, WorldConfig};
+
+    #[test]
+    fn gini_bounds_and_extremes() {
+        assert_eq!(gini(&[]), 0.0);
+        assert!(gini(&[1.0, 1.0, 1.0, 1.0]).abs() < 1e-6, "uniform = 0");
+        let concentrated = gini(&[0.0, 0.0, 0.0, 100.0]);
+        assert!(concentrated > 0.7, "concentrated {concentrated}");
+        let g = gini(&[5.0, 1.0, 3.0, 2.0]);
+        assert!((0.0..=1.0).contains(&g));
+    }
+
+    #[test]
+    fn popularity_is_moderately_skewed_by_design() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::Hm, Scale::Tiny, 42);
+        let g = popularity_gini(&ds);
+        // Zipf 0.35 with affinity mixing: skew present but not extreme.
+        assert!((0.05..0.8).contains(&g), "gini {g}");
+    }
+
+    #[test]
+    fn empirical_transitions_are_row_stochastic() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::Bili, Scale::Tiny, 42);
+        let t = category_transition_matrix(&ds, world.cfg.n_categories);
+        for row in &t {
+            let s: f32 = row.iter().sum();
+            assert!(s == 0.0 || (s - 1.0).abs() < 1e-4);
+        }
+        // Bili covers categories 0..3 only: rows 3-4 are empty.
+        assert!(t[3].iter().sum::<f32>() == 0.0);
+    }
+
+    #[test]
+    fn transition_entropy_is_finite_and_positive() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::Kwai, Scale::Tiny, 42);
+        let h = transition_entropy(&ds, 2);
+        assert!(h >= 0.0 && h.is_finite());
+    }
+
+    #[test]
+    fn same_category_datasets_are_more_similar() {
+        let world = World::new(WorldConfig::default());
+        let bili_food = build_dataset(&world, DatasetId::BiliFood, Scale::Tiny, 42);
+        let kwai_food = build_dataset(&world, DatasetId::KwaiFood, Scale::Tiny, 42);
+        let hm_shoes = build_dataset(&world, DatasetId::HmShoes, Scale::Tiny, 42);
+        let same = content_similarity(&bili_food, &kwai_food);
+        let diff = content_similarity(&bili_food, &hm_shoes);
+        assert!(
+            same > diff,
+            "cross-platform same-category ({same:.3}) should exceed cross-category ({diff:.3})"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Padded mini-batching of user sequences.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A padded batch of user sequences in `(b, l)` row-major layout.
+///
+/// Padding rows reuse item id 0; every consumer must honour `lens`
+/// (loss row-weights and attention masks are derived from it), so the
+/// padded content never influences training.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Number of sequences.
+    pub b: usize,
+    /// Padded capacity.
+    pub l: usize,
+    /// Flattened `b*l` item ids.
+    pub items: Vec<usize>,
+    /// Valid lengths per sequence.
+    pub lens: Vec<usize>,
+}
+
+impl Batch {
+    /// Builds a batch from raw sequences, truncating each to its most
+    /// recent `max_len` items.
+    #[track_caller]
+    pub fn from_sequences(seqs: &[&[usize]], max_len: usize) -> Batch {
+        assert!(!seqs.is_empty(), "Batch: empty batch");
+        assert!(max_len > 0, "Batch: max_len must be positive");
+        let lens: Vec<usize> = seqs.iter().map(|s| s.len().min(max_len)).collect();
+        let l = *lens.iter().max().expect("non-empty");
+        let b = seqs.len();
+        let mut items = vec![0usize; b * l];
+        for (bi, s) in seqs.iter().enumerate() {
+            let tail = &s[s.len() - lens[bi]..];
+            items[bi * l..bi * l + lens[bi]].copy_from_slice(tail);
+        }
+        Batch { b, l, items, lens }
+    }
+
+    /// The valid item id at `(bi, t)`, if within the sequence.
+    pub fn item_at(&self, bi: usize, t: usize) -> Option<usize> {
+        (t < self.lens[bi]).then(|| self.items[bi * self.l + t])
+    }
+
+    /// Distinct item ids appearing in the batch (the NID replacement
+    /// pool and in-batch negative sets).
+    pub fn distinct_items(&self) -> Vec<usize> {
+        let mut pool: Vec<usize> = self
+            .lens
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &len)| self.items[bi * self.l..bi * self.l + len].iter().copied())
+            .collect();
+        pool.sort_unstable();
+        pool.dedup();
+        pool
+    }
+}
+
+/// Epoch iterator: shuffles sequence order, yields fixed-size batches.
+pub struct BatchIter<'a> {
+    seqs: &'a [Vec<usize>],
+    order: Vec<usize>,
+    cursor: usize,
+    batch_size: usize,
+    max_len: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Starts one epoch over `seqs`, skipping sequences shorter than 2
+    /// (no next-item signal).
+    pub fn new(seqs: &'a [Vec<usize>], batch_size: usize, max_len: usize, rng: &mut StdRng) -> Self {
+        let mut order: Vec<usize> = (0..seqs.len()).filter(|&i| seqs[i].len() >= 2).collect();
+        order.shuffle(rng);
+        BatchIter {
+            seqs,
+            order,
+            cursor: 0,
+            batch_size,
+            max_len,
+        }
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let chunk: Vec<&[usize]> = self.order[self.cursor..end]
+            .iter()
+            .map(|&i| self.seqs[i].as_slice())
+            .collect();
+        self.cursor = end;
+        Some(Batch::from_sequences(&chunk, self.max_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_pads_and_truncates() {
+        let s1 = vec![1usize, 2, 3];
+        let s2 = vec![4usize, 5, 6, 7, 8, 9];
+        let batch = Batch::from_sequences(&[&s1, &s2], 4);
+        assert_eq!(batch.b, 2);
+        assert_eq!(batch.l, 4);
+        assert_eq!(batch.lens, vec![3, 4]);
+        // Second sequence keeps its most recent 4 items.
+        assert_eq!(&batch.items[4..], &[6, 7, 8, 9]);
+        assert_eq!(&batch.items[..4], &[1, 2, 3, 0]);
+        assert_eq!(batch.item_at(0, 3), None);
+        assert_eq!(batch.item_at(1, 3), Some(9));
+    }
+
+    #[test]
+    fn distinct_items_ignores_padding() {
+        let s1 = vec![5usize, 5];
+        let s2 = vec![7usize, 8, 9];
+        let batch = Batch::from_sequences(&[&s1, &s2], 3);
+        assert_eq!(batch.distinct_items(), vec![5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn iterator_covers_all_long_sequences_once() {
+        let seqs: Vec<Vec<usize>> = (0..10).map(|i| vec![i; 3]).collect();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = 0;
+        for batch in BatchIter::new(&seqs, 4, 8, &mut rng) {
+            seen += batch.b;
+        }
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn iterator_skips_singletons() {
+        let seqs = vec![vec![1usize], vec![2usize, 3]];
+        let mut rng = StdRng::seed_from_u64(0);
+        let total: usize = BatchIter::new(&seqs, 4, 8, &mut rng).map(|b| b.b).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn shuffling_is_seed_dependent_but_deterministic() {
+        let seqs: Vec<Vec<usize>> = (0..32).map(|i| vec![i, i + 1]).collect();
+        let collect = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            BatchIter::new(&seqs, 8, 8, &mut rng)
+                .flat_map(|b| b.items.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(1), collect(1));
+        assert_ne!(collect(1), collect(2));
+    }
+}

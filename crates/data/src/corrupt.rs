@@ -1,0 +1,172 @@
+//! Sequence corruption for the NID and RCL objectives (Section III-D).
+//!
+//! Per the paper: shuffle 15% of the positions and replace an
+//! additional 5% with random items, labelling every position as
+//! unchanged / shuffled / replaced for the 3-way NID classifier.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// NID's 3-way per-position label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NidLabel {
+    /// Item kept its original position.
+    Unchanged = 0,
+    /// Item was moved by the shuffle.
+    Shuffled = 1,
+    /// Item was replaced by a random item.
+    Replaced = 2,
+}
+
+impl NidLabel {
+    /// Class index for the cross-entropy head.
+    pub fn class(self) -> usize {
+        self as usize
+    }
+}
+
+/// Corruption hyper-parameters (paper defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct CorruptionConfig {
+    /// Fraction of positions to shuffle.
+    pub shuffle_rate: f32,
+    /// Fraction of positions to replace with random items.
+    pub replace_rate: f32,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        CorruptionConfig {
+            shuffle_rate: 0.15,
+            replace_rate: 0.05,
+        }
+    }
+}
+
+/// Corrupts one sequence, returning the corrupted copy and per-position
+/// labels. `item_pool` supplies replacement candidates (the paper draws
+/// them from the batch; callers pass the batch's item set).
+pub fn corrupt_sequence(
+    seq: &[usize],
+    pool: &[usize],
+    cfg: &CorruptionConfig,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<NidLabel>) {
+    let n = seq.len();
+    let mut out = seq.to_vec();
+    let mut labels = vec![NidLabel::Unchanged; n];
+    if n == 0 {
+        return (out, labels);
+    }
+
+    // Pick disjoint position sets for shuffling and replacement.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let n_shuffle = (((n as f32) * cfg.shuffle_rate).round() as usize).min(n);
+    // At least two positions are needed for a meaningful shuffle.
+    let n_shuffle = if n_shuffle == 1 { 2.min(n) } else { n_shuffle };
+    let n_replace = (((n as f32) * cfg.replace_rate).ceil() as usize).min(n - n_shuffle);
+
+    let shuffle_pos: Vec<usize> = order[..n_shuffle].to_vec();
+    let replace_pos: Vec<usize> = order[n_shuffle..n_shuffle + n_replace].to_vec();
+
+    // Shuffle: derange the chosen positions among themselves.
+    if shuffle_pos.len() >= 2 {
+        let values: Vec<usize> = shuffle_pos.iter().map(|&p| seq[p]).collect();
+        let mut perm: Vec<usize> = (0..values.len()).collect();
+        // Rotate by a random non-zero offset: a simple guaranteed
+        // derangement of positions (items may still coincide if the
+        // sequence repeats an item, which mirrors real logs).
+        let offset = rng.random_range(1..values.len());
+        perm.rotate_left(offset);
+        for (slot, &src) in shuffle_pos.iter().zip(&perm) {
+            out[*slot] = values[src];
+            labels[*slot] = NidLabel::Shuffled;
+        }
+    }
+
+    // Replace with random items from the pool.
+    for &p in &replace_pos {
+        if pool.is_empty() {
+            break;
+        }
+        out[p] = pool[rng.random_range(0..pool.len())];
+        labels[p] = NidLabel::Replaced;
+    }
+
+    (out, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corruption_preserves_length_and_multiset_of_unreplaced() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<usize> = (0..20).collect();
+        let pool: Vec<usize> = (100..120).collect();
+        let (out, labels) = corrupt_sequence(&seq, &pool, &CorruptionConfig::default(), &mut rng);
+        assert_eq!(out.len(), seq.len());
+        assert_eq!(labels.len(), seq.len());
+        // Unchanged positions hold their original item.
+        for (i, l) in labels.iter().enumerate() {
+            if *l == NidLabel::Unchanged {
+                assert_eq!(out[i], seq[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn default_rates_approximate_paper_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let seq: Vec<usize> = (0..100).collect();
+        let pool: Vec<usize> = (500..600).collect();
+        let (_, labels) = corrupt_sequence(&seq, &pool, &CorruptionConfig::default(), &mut rng);
+        let shuffled = labels.iter().filter(|&&l| l == NidLabel::Shuffled).count();
+        let replaced = labels.iter().filter(|&&l| l == NidLabel::Replaced).count();
+        assert_eq!(shuffled, 15);
+        assert_eq!(replaced, 5);
+    }
+
+    #[test]
+    fn shuffled_positions_actually_move() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seq: Vec<usize> = (0..40).collect(); // all distinct
+        let (out, labels) = corrupt_sequence(&seq, &[999], &CorruptionConfig::default(), &mut rng);
+        let moved = labels
+            .iter()
+            .enumerate()
+            .filter(|(i, &l)| l == NidLabel::Shuffled && out[*i] != seq[*i])
+            .count();
+        let shuffled = labels.iter().filter(|&&l| l == NidLabel::Shuffled).count();
+        assert_eq!(moved, shuffled, "rotation must displace all shuffled positions");
+    }
+
+    #[test]
+    fn replaced_items_come_from_pool() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let seq: Vec<usize> = (0..50).collect();
+        let pool = vec![777usize];
+        let (out, labels) = corrupt_sequence(&seq, &pool, &CorruptionConfig::default(), &mut rng);
+        for (i, &l) in labels.iter().enumerate() {
+            if l == NidLabel::Replaced {
+                assert_eq!(out[i], 777);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_sequences_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in 0..4 {
+            let seq: Vec<usize> = (0..n).collect();
+            let (out, labels) =
+                corrupt_sequence(&seq, &[5, 6], &CorruptionConfig::default(), &mut rng);
+            assert_eq!(out.len(), n);
+            assert_eq!(labels.len(), n);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Datasets: item corpus + user sequences, preprocessing (5-core
+//! filtering), fused-source merging and Table-II style statistics.
+
+use crate::style::Platform;
+use crate::world::{Item, WorldConfig};
+use std::collections::HashMap;
+
+/// Content geometry shared by every dataset generated from one world.
+///
+/// Models size their embedding tables and patch projections from this,
+/// so it must be identical between pre-training and fine-tuning corpora
+/// for checkpoints to be interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContentSpec {
+    /// Text vocabulary size.
+    pub vocab: usize,
+    /// Tokens per item text.
+    pub text_len: usize,
+    /// Patches per item image.
+    pub n_patches: usize,
+    /// Raw dimensionality of one patch.
+    pub patch_dim: usize,
+}
+
+impl ContentSpec {
+    /// Derives the spec from a world configuration.
+    pub fn from_world(cfg: &WorldConfig) -> ContentSpec {
+        ContentSpec {
+            vocab: cfg.vocab(),
+            text_len: cfg.text_len,
+            n_patches: cfg.n_patches,
+            patch_dim: cfg.patch_dim,
+        }
+    }
+}
+
+/// A preprocessed interaction dataset.
+#[derive(Clone)]
+pub struct Dataset {
+    /// Display name (matching the paper's tables, e.g. `Bili_Food`).
+    pub name: String,
+    /// Originating platform (fused datasets report the first).
+    pub platform: Platform,
+    /// Content geometry of the generating world.
+    pub content: ContentSpec,
+    /// Item corpus; sequence entries index into this.
+    pub items: Vec<Item>,
+    /// User interaction sequences (chronological item indices).
+    pub sequences: Vec<Vec<usize>>,
+}
+
+/// Table-II style statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of users after preprocessing.
+    pub users: usize,
+    /// Number of distinct interacted items.
+    pub items: usize,
+    /// Total interactions.
+    pub actions: usize,
+    /// Mean sequence length.
+    pub avg_length: f32,
+    /// `1 - actions / (users * items)`.
+    pub sparsity: f32,
+}
+
+impl Dataset {
+    /// Applies the paper's preprocessing: iteratively drop users with
+    /// fewer than `min_interactions` interactions and items with fewer
+    /// than `min_interactions` occurrences (5-core filtering), then
+    /// compact item ids. Content is preserved for surviving items.
+    pub fn five_core(mut self, min_interactions: usize) -> Dataset {
+        loop {
+            let mut item_counts: HashMap<usize, usize> = HashMap::new();
+            for s in &self.sequences {
+                for &i in s {
+                    *item_counts.entry(i).or_default() += 1;
+                }
+            }
+            let bad_item = |i: usize| item_counts.get(&i).copied().unwrap_or(0) < min_interactions;
+
+            let mut changed = false;
+            // Drop cold items from sequences.
+            for s in self.sequences.iter_mut() {
+                let before = s.len();
+                s.retain(|&i| !bad_item(i));
+                changed |= s.len() != before;
+            }
+            // Drop short users.
+            let before_users = self.sequences.len();
+            self.sequences.retain(|s| s.len() >= min_interactions);
+            changed |= self.sequences.len() != before_users;
+            if !changed {
+                break;
+            }
+        }
+        self.compact_items();
+        self
+    }
+
+    /// Reindexes items so only interacted items remain, ids dense.
+    fn compact_items(&mut self) {
+        let mut used: Vec<bool> = vec![false; self.items.len()];
+        for s in &self.sequences {
+            for &i in s {
+                used[i] = true;
+            }
+        }
+        let mut remap: Vec<usize> = vec![usize::MAX; self.items.len()];
+        let mut new_items = Vec::new();
+        for (i, item) in self.items.iter().enumerate() {
+            if used[i] {
+                remap[i] = new_items.len();
+                new_items.push(item.clone());
+            }
+        }
+        for s in self.sequences.iter_mut() {
+            for i in s.iter_mut() {
+                *i = remap[*i];
+            }
+        }
+        self.items = new_items;
+    }
+
+    /// Concatenates several datasets into one fused corpus with offset
+    /// item ids (the pre-training "fused 4 source datasets").
+    #[track_caller]
+    pub fn fuse(name: &str, parts: &[Dataset]) -> Dataset {
+        assert!(!parts.is_empty(), "fuse: need at least one dataset");
+        let mut items = Vec::new();
+        let mut sequences = Vec::new();
+        for part in parts {
+            assert_eq!(
+                part.content, parts[0].content,
+                "fuse: datasets come from incompatible worlds"
+            );
+            let offset = items.len();
+            items.extend(part.items.iter().cloned());
+            sequences.extend(
+                part.sequences
+                    .iter()
+                    .map(|s| s.iter().map(|&i| i + offset).collect::<Vec<_>>()),
+            );
+        }
+        Dataset {
+            name: name.to_string(),
+            platform: parts[0].platform,
+            content: parts[0].content,
+            items,
+            sequences,
+        }
+    }
+
+    /// Computes Table-II style statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let users = self.sequences.len();
+        let actions: usize = self.sequences.iter().map(Vec::len).sum();
+        let items = self.items.len();
+        let avg_length = if users == 0 { 0.0 } else { actions as f32 / users as f32 };
+        let sparsity = if users == 0 || items == 0 {
+            1.0
+        } else {
+            1.0 - actions as f32 / (users as f32 * items as f32)
+        };
+        DatasetStats {
+            users,
+            items,
+            actions,
+            avg_length,
+            sparsity,
+        }
+    }
+
+    /// Maximum sequence length present.
+    pub fn max_len(&self) -> usize {
+        self.sequences.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{World, WorldConfig};
+
+    fn toy(seqs: Vec<Vec<usize>>, n_items: usize) -> Dataset {
+        let world = World::new(WorldConfig::default());
+        let style = Platform::Hm.style();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let items = (0..n_items)
+            .map(|i| world.sample_item(3 + i % 2, &style, &mut rng))
+            .collect();
+        Dataset {
+            name: "toy".into(),
+            platform: Platform::Hm,
+            content: ContentSpec::from_world(&world.cfg),
+            items,
+            sequences: seqs,
+        }
+    }
+
+    #[test]
+    fn five_core_drops_rare_items_and_short_users() {
+        // Item 9 appears once; user 2 is too short after filtering.
+        let ds = toy(
+            vec![
+                vec![0, 1, 2, 0, 1, 2],
+                vec![0, 1, 2, 0, 1, 2, 0, 1, 2],
+                vec![9, 0, 1],
+                vec![0, 1, 2, 1, 0, 2],
+            ],
+            10,
+        );
+        let filtered = ds.five_core(5);
+        assert!(filtered.sequences.iter().all(|s| s.len() >= 5));
+        // Only items 0,1,2 survive, compacted to 0..3.
+        assert_eq!(filtered.items.len(), 3);
+        for s in &filtered.sequences {
+            assert!(s.iter().all(|&i| i < 3));
+        }
+    }
+
+    #[test]
+    fn five_core_is_iterative() {
+        // Dropping a user can push an item below threshold, which then
+        // shortens another user below threshold.
+        let ds = toy(
+            vec![
+                vec![0, 0, 1, 1, 2], // user A
+                vec![2, 2, 2, 3, 3], // user B: item 3 appears twice here only
+                vec![3, 4, 4, 4, 4], // user C
+            ],
+            5,
+        );
+        let filtered = ds.five_core(3);
+        // All sequences must satisfy the invariant simultaneously.
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for s in &filtered.sequences {
+            assert!(s.len() >= 3);
+            for &i in s {
+                *counts.entry(i).or_default() += 1;
+            }
+        }
+        assert!(counts.values().all(|&c| c >= 3), "{counts:?}");
+    }
+
+    #[test]
+    fn compact_preserves_item_content() {
+        let ds = toy(vec![vec![2, 2, 2, 2, 2, 3, 3, 3, 3, 3]], 5);
+        let orig_cat2 = ds.items[2].category;
+        let filtered = ds.five_core(5);
+        assert_eq!(filtered.items.len(), 2);
+        assert_eq!(filtered.items[0].category, orig_cat2);
+    }
+
+    #[test]
+    fn fuse_offsets_item_ids() {
+        let a = toy(vec![vec![0, 1]], 2);
+        let b = toy(vec![vec![0, 1]], 2);
+        let fused = Dataset::fuse("fused", &[a, b]);
+        assert_eq!(fused.items.len(), 4);
+        assert_eq!(fused.sequences, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let ds = toy(vec![vec![0, 1, 0], vec![1, 1, 1, 1, 1]], 2);
+        let st = ds.stats();
+        assert_eq!(st.users, 2);
+        assert_eq!(st.actions, 8);
+        assert_eq!(st.items, 2);
+        assert!((st.avg_length - 4.0).abs() < 1e-6);
+        assert!((st.sparsity - (1.0 - 8.0 / 4.0)).abs() < 1e-6);
+    }
+}

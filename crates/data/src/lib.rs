@@ -1,0 +1,54 @@
+//! # pmm-data
+//!
+//! A generative *world model* standing in for the paper's proprietary
+//! multi-modal recommendation datasets (Amazon, HM, Bili, Kwai), plus
+//! all dataset tooling: preprocessing, splits, batching, sequence
+//! corruption and cold-start carving.
+//!
+//! ## The world model
+//!
+//! The paper's central claim (Fig. 1) is that *transition patterns* are
+//! universal across platforms even when the content styles differ. The
+//! synthetic world encodes exactly that:
+//!
+//! * A shared latent semantic space with `K` categories (food, movie,
+//!   cartoon, clothes, shoes) whose centroids are global constants.
+//! * A single global category-level Markov transition matrix drives
+//!   every user sequence on every platform — the transferable signal.
+//! * Each [`Platform`] has a [`StyleProfile`]: how noisy its images are
+//!   (clean product shots vs cluttered video posters), how often text
+//!   and image mismatch, and how noisy the interaction logs are — the
+//!   non-transferable nuisance.
+//! * Items express their latent vector through **text** (descriptor
+//!   tokens bucketising the latent coordinates) and through **image**
+//!   (fixed random projections of the latent into patch space). Item
+//!   IDs are arbitrary per dataset and never shared — exactly the
+//!   setting PMMRec targets.
+//!
+//! The 14 datasets of the paper (4 sources, 10 category-sliced targets)
+//! are reproduced at reduced scale by [`registry`].
+
+pub mod analysis;
+pub mod batch;
+pub mod cold;
+pub mod corrupt;
+pub mod dataset;
+pub mod io;
+pub mod ratings;
+pub mod registry;
+pub mod split;
+pub mod style;
+pub mod users;
+pub mod world;
+
+pub use batch::{Batch, BatchIter};
+pub use cold::{cold_holdout, cold_items, cold_start_cases, ColdStartCase};
+pub use corrupt::{corrupt_sequence, CorruptionConfig, NidLabel};
+pub use dataset::{ContentSpec, Dataset, DatasetStats};
+pub use io::{load_dataset, save_dataset, DataError, DatasetBuilder};
+pub use ratings::{synthesize_ratings, Ratings};
+pub use registry::{build_dataset, fused_sources, DatasetId, Scale, SOURCES, TARGETS};
+pub use split::{LeaveOneOut, SplitDataset};
+pub use style::{Platform, StyleProfile};
+pub use users::SequenceGenerator;
+pub use world::{Item, World, WorldConfig};

@@ -1,0 +1,275 @@
+//! The named datasets of the paper (Table II) at reduced scale.
+//!
+//! Four sources (full platform category mix) and ten targets (single
+//! category slices), all generated from the one shared [`World`] so
+//! that transition patterns transfer while items do not.
+
+use crate::dataset::Dataset;
+use crate::style::Platform;
+use crate::users::{GeneratorSpec, SequenceGenerator};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// All fourteen datasets of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Source: Bilibili (food + movie + cartoon).
+    Bili,
+    /// Source: Kuaishou (food + movie + cartoon).
+    Kwai,
+    /// Source: H&M (clothes + shoes).
+    Hm,
+    /// Source: Amazon (clothes + shoes).
+    Amazon,
+    /// Target slice.
+    BiliFood,
+    /// Target slice.
+    BiliMovie,
+    /// Target slice.
+    BiliCartoon,
+    /// Target slice.
+    KwaiFood,
+    /// Target slice.
+    KwaiMovie,
+    /// Target slice.
+    KwaiCartoon,
+    /// Target slice.
+    HmClothes,
+    /// Target slice.
+    HmShoes,
+    /// Target slice.
+    AmazonClothes,
+    /// Target slice.
+    AmazonShoes,
+}
+
+/// The four pre-training sources, in the paper's order.
+pub const SOURCES: [DatasetId; 4] = [
+    DatasetId::Bili,
+    DatasetId::Kwai,
+    DatasetId::Hm,
+    DatasetId::Amazon,
+];
+
+/// The ten downstream targets, in the paper's order.
+pub const TARGETS: [DatasetId; 10] = [
+    DatasetId::BiliFood,
+    DatasetId::BiliMovie,
+    DatasetId::BiliCartoon,
+    DatasetId::KwaiFood,
+    DatasetId::KwaiMovie,
+    DatasetId::KwaiCartoon,
+    DatasetId::HmClothes,
+    DatasetId::HmShoes,
+    DatasetId::AmazonClothes,
+    DatasetId::AmazonShoes,
+];
+
+impl DatasetId {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::Bili => "Bili",
+            DatasetId::Kwai => "Kwai",
+            DatasetId::Hm => "HM",
+            DatasetId::Amazon => "Amazon",
+            DatasetId::BiliFood => "Bili_Food",
+            DatasetId::BiliMovie => "Bili_Movie",
+            DatasetId::BiliCartoon => "Bili_Cartoon",
+            DatasetId::KwaiFood => "Kwai_Food",
+            DatasetId::KwaiMovie => "Kwai_Movie",
+            DatasetId::KwaiCartoon => "Kwai_Cartoon",
+            DatasetId::HmClothes => "HM_Clothes",
+            DatasetId::HmShoes => "HM_Shoes",
+            DatasetId::AmazonClothes => "Amazon_Clothes",
+            DatasetId::AmazonShoes => "Amazon_Shoes",
+        }
+    }
+
+    /// Platform providing content style.
+    pub fn platform(self) -> Platform {
+        match self {
+            DatasetId::Bili | DatasetId::BiliFood | DatasetId::BiliMovie | DatasetId::BiliCartoon => {
+                Platform::Bili
+            }
+            DatasetId::Kwai | DatasetId::KwaiFood | DatasetId::KwaiMovie | DatasetId::KwaiCartoon => {
+                Platform::Kwai
+            }
+            DatasetId::Hm | DatasetId::HmClothes | DatasetId::HmShoes => Platform::Hm,
+            DatasetId::Amazon | DatasetId::AmazonClothes | DatasetId::AmazonShoes => Platform::Amazon,
+        }
+    }
+
+    /// Whether this is one of the four sources.
+    pub fn is_source(self) -> bool {
+        SOURCES.contains(&self)
+    }
+
+    /// Category restriction (None for the full-platform sources).
+    fn category(self) -> Option<usize> {
+        match self {
+            DatasetId::BiliFood | DatasetId::KwaiFood => Some(0),
+            DatasetId::BiliMovie | DatasetId::KwaiMovie => Some(1),
+            DatasetId::BiliCartoon | DatasetId::KwaiCartoon => Some(2),
+            DatasetId::HmClothes | DatasetId::AmazonClothes => Some(3),
+            DatasetId::HmShoes | DatasetId::AmazonShoes => Some(4),
+            _ => None,
+        }
+    }
+
+    /// Per-dataset generation seed offset (so datasets are mutually
+    /// independent given the experiment seed).
+    fn seed_offset(self) -> u64 {
+        match self {
+            DatasetId::Bili => 1,
+            DatasetId::Kwai => 2,
+            DatasetId::Hm => 3,
+            DatasetId::Amazon => 4,
+            DatasetId::BiliFood => 10,
+            DatasetId::BiliMovie => 11,
+            DatasetId::BiliCartoon => 12,
+            DatasetId::KwaiFood => 13,
+            DatasetId::KwaiMovie => 14,
+            DatasetId::KwaiCartoon => 15,
+            DatasetId::HmClothes => 16,
+            DatasetId::HmShoes => 17,
+            DatasetId::AmazonClothes => 18,
+            DatasetId::AmazonShoes => 19,
+        }
+    }
+}
+
+/// Generation scale. `Tiny` keeps tests fast; `Paper` is the default
+/// for the table-regeneration binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minimal datasets for unit/integration tests.
+    Tiny,
+    /// The experiment scale used by the bench harness.
+    Paper,
+}
+
+impl Scale {
+    /// `(n_users, n_items, min_len, max_len)` for a dataset id.
+    fn sizing(self, id: DatasetId) -> (usize, usize, usize, usize) {
+        match (self, id.is_source()) {
+            (Scale::Tiny, true) => (60, 24, 5, 9),
+            (Scale::Tiny, false) => (40, 14, 5, 8),
+            (Scale::Paper, true) => match id {
+                // Relative sizes mirror Table II: HM is the biggest
+                // source, Kwai has many users with short sequences,
+                // Amazon is the smallest and shortest.
+                DatasetId::Bili => (550, 480, 6, 16),
+                DatasetId::Kwai => (650, 420, 5, 10),
+                DatasetId::Hm => (700, 540, 6, 16),
+                _ => (450, 430, 5, 10),
+            },
+            (Scale::Paper, false) => match id.platform() {
+                Platform::Bili => (220, 170, 5, 10),
+                Platform::Kwai => (230, 180, 5, 11),
+                Platform::Hm => (240, 190, 5, 10),
+                Platform::Amazon => (210, 176, 5, 10),
+            },
+        }
+    }
+}
+
+/// Builds (and 5-core preprocesses) one named dataset.
+pub fn build_dataset(world: &World, id: DatasetId, scale: Scale, seed: u64) -> Dataset {
+    let (n_users, n_items, min_len, max_len) = scale.sizing(id);
+    let spec = GeneratorSpec {
+        platform: id.platform(),
+        categories: id.category().map(|c| vec![c]),
+        n_users,
+        n_items,
+        min_len,
+        max_len,
+        zipf_s: 0.35,
+    };
+    let generator = SequenceGenerator::new(world, spec);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(id.seed_offset()));
+    let items = generator.items(&mut rng);
+    let sequences = generator.sequences(&items, &mut rng);
+    Dataset {
+        name: id.name().to_string(),
+        platform: id.platform(),
+        content: crate::dataset::ContentSpec::from_world(&world.cfg),
+        items,
+        sequences,
+    }
+    .five_core(5)
+}
+
+/// Builds the fused 4-source pre-training corpus.
+pub fn fused_sources(world: &World, scale: Scale, seed: u64) -> Dataset {
+    let parts: Vec<Dataset> = SOURCES
+        .iter()
+        .map(|&id| build_dataset(world, id, scale, seed))
+        .collect();
+    Dataset::fuse("Source", &parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn all_fourteen_datasets_build_at_tiny_scale() {
+        let world = World::new(WorldConfig::default());
+        for id in SOURCES.into_iter().chain(TARGETS) {
+            let ds = build_dataset(&world, id, Scale::Tiny, 42);
+            let stats = ds.stats();
+            assert!(stats.users > 10, "{}: only {} users survived", id.name(), stats.users);
+            assert!(stats.items > 5, "{}: only {} items survived", id.name(), stats.items);
+            assert!(stats.avg_length >= 4.0, "{}: avg len {}", id.name(), stats.avg_length);
+        }
+    }
+
+    #[test]
+    fn datasets_are_seed_deterministic() {
+        let world = World::new(WorldConfig::default());
+        let a = build_dataset(&world, DatasetId::BiliFood, Scale::Tiny, 7);
+        let b = build_dataset(&world, DatasetId::BiliFood, Scale::Tiny, 7);
+        assert_eq!(a.sequences, b.sequences);
+        let c = build_dataset(&world, DatasetId::BiliFood, Scale::Tiny, 8);
+        assert_ne!(a.sequences, c.sequences);
+    }
+
+    #[test]
+    fn target_slices_are_single_category() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::KwaiCartoon, Scale::Tiny, 42);
+        assert!(ds.items.iter().all(|i| i.category == 2));
+    }
+
+    #[test]
+    fn fused_sources_concatenate_all_platforms() {
+        let world = World::new(WorldConfig::default());
+        let fused = fused_sources(&world, Scale::Tiny, 42);
+        let individual: usize = SOURCES
+            .iter()
+            .map(|&id| build_dataset(&world, id, Scale::Tiny, 42).stats().users)
+            .sum();
+        assert_eq!(fused.stats().users, individual);
+        // Items from multiple categories present.
+        let cats: std::collections::HashSet<usize> =
+            fused.items.iter().map(|i| i.category).collect();
+        assert_eq!(cats.len(), 5);
+    }
+
+    #[test]
+    fn five_core_invariant_holds_after_build() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::Hm, Scale::Tiny, 42);
+        let mut counts = std::collections::HashMap::<usize, usize>::new();
+        for s in &ds.sequences {
+            assert!(s.len() >= 5);
+            for &i in s {
+                *counts.entry(i).or_default() += 1;
+            }
+        }
+        assert!(counts.values().all(|&c| c >= 5));
+    }
+}

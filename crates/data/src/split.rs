@@ -1,0 +1,113 @@
+//! Leave-one-out splitting (the paper's evaluation protocol).
+
+use crate::dataset::Dataset;
+
+/// One held-out evaluation case: a prefix and the ground-truth next item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaveOneOut {
+    /// Input prefix (chronological item indices).
+    pub prefix: Vec<usize>,
+    /// Item to be ranked first.
+    pub target: usize,
+}
+
+/// Train sequences plus validation/test leave-one-out cases.
+#[derive(Clone)]
+pub struct SplitDataset {
+    /// The underlying dataset (items + full sequences).
+    pub dataset: Dataset,
+    /// Training sequences: each user's sequence minus the last two
+    /// interactions.
+    pub train: Vec<Vec<usize>>,
+    /// Validation cases: predict the second-to-last item from the
+    /// preceding prefix.
+    pub valid: Vec<LeaveOneOut>,
+    /// Test cases: predict the last item from everything before it.
+    pub test: Vec<LeaveOneOut>,
+}
+
+impl SplitDataset {
+    /// Standard leave-one-out split. Users whose sequences are too
+    /// short to yield a non-empty train prefix (fewer than 3 items) are
+    /// used for training only.
+    pub fn new(dataset: Dataset) -> SplitDataset {
+        let mut train = Vec::with_capacity(dataset.sequences.len());
+        let mut valid = Vec::new();
+        let mut test = Vec::new();
+        for s in &dataset.sequences {
+            if s.len() < 3 {
+                train.push(s.clone());
+                continue;
+            }
+            let n = s.len();
+            train.push(s[..n - 2].to_vec());
+            valid.push(LeaveOneOut {
+                prefix: s[..n - 2].to_vec(),
+                target: s[n - 2],
+            });
+            test.push(LeaveOneOut {
+                prefix: s[..n - 1].to_vec(),
+                target: s[n - 1],
+            });
+        }
+        SplitDataset {
+            dataset,
+            train,
+            valid,
+            test,
+        }
+    }
+
+    /// Number of items in the catalogue (ranking candidates).
+    pub fn n_items(&self) -> usize {
+        self.dataset.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::Platform;
+    use crate::world::{World, WorldConfig};
+
+    fn ds(seqs: Vec<Vec<usize>>) -> Dataset {
+        let world = World::new(WorldConfig::default());
+        let style = Platform::Amazon.style();
+        let mut rng = rand::SeedableRng::seed_from_u64(0);
+        let items = (0..10).map(|_| world.sample_item(3, &style, &mut rng)).collect();
+        Dataset {
+            name: "t".into(),
+            platform: Platform::Amazon,
+            content: crate::dataset::ContentSpec::from_world(&world.cfg),
+            items,
+            sequences: seqs,
+        }
+    }
+
+    #[test]
+    fn split_holds_out_last_two() {
+        let split = SplitDataset::new(ds(vec![vec![1, 2, 3, 4, 5]]));
+        assert_eq!(split.train, vec![vec![1, 2, 3]]);
+        assert_eq!(split.valid[0], LeaveOneOut { prefix: vec![1, 2, 3], target: 4 });
+        assert_eq!(split.test[0], LeaveOneOut { prefix: vec![1, 2, 3, 4], target: 5 });
+    }
+
+    #[test]
+    fn short_sequences_train_only() {
+        let split = SplitDataset::new(ds(vec![vec![1, 2]]));
+        assert_eq!(split.train.len(), 1);
+        assert!(split.valid.is_empty() && split.test.is_empty());
+    }
+
+    #[test]
+    fn split_counts_are_consistent() {
+        let split = SplitDataset::new(ds(vec![vec![1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]));
+        assert_eq!(split.train.len(), 3);
+        assert_eq!(split.valid.len(), 2);
+        assert_eq!(split.test.len(), 2);
+        // Disjointness: the test target never appears in that user's train prefix length.
+        for (t, tr) in split.test.iter().zip(&split.train) {
+            assert_eq!(t.prefix.len(), tr.len() + 1);
+        }
+    }
+}

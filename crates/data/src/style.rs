@@ -1,0 +1,141 @@
+//! Platforms and their content-style profiles.
+
+/// The four source platforms of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// Bilibili — short videos, complex poster-style covers.
+    Bili,
+    /// Kuaishou — short videos, complex covers, noisiest interactions.
+    Kwai,
+    /// H&M — e-commerce, clean product photography.
+    Hm,
+    /// Amazon — e-commerce, clean product photography.
+    Amazon,
+}
+
+impl Platform {
+    /// All platforms, in the paper's order.
+    pub const ALL: [Platform; 4] = [Platform::Bili, Platform::Kwai, Platform::Hm, Platform::Amazon];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::Bili => "Bili",
+            Platform::Kwai => "Kwai",
+            Platform::Hm => "HM",
+            Platform::Amazon => "Amazon",
+        }
+    }
+
+    /// Whether the platform has "complex" visual content (short-video
+    /// posters) as opposed to clean product shots.
+    pub fn is_complex(self) -> bool {
+        matches!(self, Platform::Bili | Platform::Kwai)
+    }
+
+    /// The content-style profile used by the generators.
+    pub fn style(self) -> StyleProfile {
+        match self {
+            // Short-video platforms: cluttered posters, frequent
+            // text/image mismatch, noisy implicit feedback.
+            Platform::Bili => StyleProfile {
+                visual_noise: 0.9,
+                clutter_rate: 0.35,
+                text_noise_rate: 0.20,
+                mismatch_rate: 0.12,
+                interaction_noise: 0.15,
+                style_shift_seed: 11,
+            },
+            Platform::Kwai => StyleProfile {
+                visual_noise: 1.0,
+                clutter_rate: 0.40,
+                text_noise_rate: 0.25,
+                mismatch_rate: 0.15,
+                interaction_noise: 0.18,
+                style_shift_seed: 12,
+            },
+            // E-commerce platforms: clean backgrounds, consistent
+            // descriptions, lower feedback noise.
+            Platform::Hm => StyleProfile {
+                visual_noise: 0.25,
+                clutter_rate: 0.05,
+                text_noise_rate: 0.05,
+                mismatch_rate: 0.02,
+                interaction_noise: 0.06,
+                style_shift_seed: 13,
+            },
+            Platform::Amazon => StyleProfile {
+                visual_noise: 0.30,
+                clutter_rate: 0.08,
+                text_noise_rate: 0.08,
+                mismatch_rate: 0.03,
+                interaction_noise: 0.08,
+                style_shift_seed: 14,
+            },
+        }
+    }
+
+    /// Semantic categories present on the platform (indices into the
+    /// world's category list; see [`crate::world::CATEGORY_NAMES`]).
+    pub fn categories(self) -> &'static [usize] {
+        match self {
+            // food, movie, cartoon
+            Platform::Bili | Platform::Kwai => &[0, 1, 2],
+            // clothes, shoes
+            Platform::Hm | Platform::Amazon => &[3, 4],
+        }
+    }
+}
+
+/// Content/interaction noise characteristics of a platform.
+#[derive(Debug, Clone, Copy)]
+pub struct StyleProfile {
+    /// Std of gaussian noise on image patches.
+    pub visual_noise: f32,
+    /// Probability that a patch is pure background clutter.
+    pub clutter_rate: f32,
+    /// Probability that a text token is replaced by a noise token.
+    pub text_noise_rate: f32,
+    /// Probability that an item's image is generated from an unrelated
+    /// latent (text/image mismatch, Section I "severe data noises").
+    pub mismatch_rate: f32,
+    /// Probability that a logged interaction is random noise rather
+    /// than preference-driven.
+    pub interaction_noise: f32,
+    /// Seed selecting the platform's deterministic image style shift.
+    pub style_shift_seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_platforms_are_noisier_than_ecommerce() {
+        for video in [Platform::Bili, Platform::Kwai] {
+            for shop in [Platform::Hm, Platform::Amazon] {
+                assert!(video.style().visual_noise > shop.style().visual_noise);
+                assert!(video.style().mismatch_rate > shop.style().mismatch_rate);
+                assert!(video.style().interaction_noise > shop.style().interaction_noise);
+            }
+        }
+    }
+
+    #[test]
+    fn platform_categories_partition_by_domain() {
+        assert_eq!(Platform::Bili.categories(), Platform::Kwai.categories());
+        assert_eq!(Platform::Hm.categories(), Platform::Amazon.categories());
+        assert!(Platform::Bili
+            .categories()
+            .iter()
+            .all(|c| !Platform::Hm.categories().contains(c)));
+    }
+
+    #[test]
+    fn complexity_flag_matches_platform_type() {
+        assert!(Platform::Bili.is_complex());
+        assert!(Platform::Kwai.is_complex());
+        assert!(!Platform::Hm.is_complex());
+        assert!(!Platform::Amazon.is_complex());
+    }
+}

@@ -1,0 +1,458 @@
+//! The shared latent world: categories, the universal transition
+//! matrix, and multi-modal item content generation.
+
+use crate::style::StyleProfile;
+#[cfg(test)]
+use crate::style::Platform;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Human-readable names of the five semantic categories.
+pub const CATEGORY_NAMES: [&str; 5] = ["food", "movie", "cartoon", "clothes", "shoes"];
+
+/// Tokens reserved at the bottom of the vocabulary.
+pub const PAD_TOKEN: usize = 0;
+/// Reserved CLS id (item encoders prepend their own CLS embedding; this
+/// id simply stays unused inside item text).
+pub const CLS_TOKEN: usize = 1;
+const RESERVED: usize = 2;
+const CAT_TOKENS: usize = 4;
+const BUCKETS: usize = 4;
+const NOISE_TOKENS: usize = 32;
+
+/// Static configuration of the generative world.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Latent semantic dimensionality.
+    pub latent_dim: usize,
+    /// Number of semantic categories (5 in the paper mirror).
+    pub n_categories: usize,
+    /// Tokens of item text (excluding the encoder-side CLS).
+    pub text_len: usize,
+    /// Number of image patches per item.
+    pub n_patches: usize,
+    /// Raw dimensionality of one image patch.
+    pub patch_dim: usize,
+    /// World seed: category centroids, projections and the transition
+    /// matrix are all deterministic functions of it.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            latent_dim: 12,
+            n_categories: CATEGORY_NAMES.len(),
+            text_len: 12,
+            n_patches: 8,
+            patch_dim: 12,
+            seed: 1234,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// Total text vocabulary size implied by the config.
+    pub fn vocab(&self) -> usize {
+        RESERVED + self.n_categories * CAT_TOKENS + self.latent_dim * BUCKETS + NOISE_TOKENS
+    }
+
+    fn cat_token_base(&self) -> usize {
+        RESERVED
+    }
+
+    fn descr_token_base(&self) -> usize {
+        RESERVED + self.n_categories * CAT_TOKENS
+    }
+
+    fn noise_token_base(&self) -> usize {
+        self.descr_token_base() + self.latent_dim * BUCKETS
+    }
+}
+
+/// One generated item: its ground-truth latent plus the two observable
+/// modalities. Item IDs are positions in a per-dataset corpus and carry
+/// no cross-dataset meaning.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Ground-truth semantic category.
+    pub category: usize,
+    /// Ground-truth latent vector (unit norm) — used only by the
+    /// generator and by tests, never by models.
+    pub latent: Vec<f32>,
+    /// Text modality: `text_len` token ids.
+    pub tokens: Vec<usize>,
+    /// Vision modality: `n_patches * patch_dim` flat patch values.
+    pub patches: Vec<f32>,
+    /// Whether the image was generated from a mismatched latent (noise
+    /// injected per the platform profile) — ground truth for analyses.
+    pub mismatched: bool,
+}
+
+/// The world: deterministic global structures shared by every platform.
+pub struct World {
+    /// The configuration the world was built from.
+    pub cfg: WorldConfig,
+    /// `[K, m]` category centroids (unit norm).
+    category_latents: Vec<Vec<f32>>,
+    /// Per-patch projection matrices `[q][patch_dim * m]`.
+    patch_proj: Vec<Vec<f32>>,
+    /// `[K, K]` row-stochastic universal transition matrix.
+    transitions: Vec<Vec<f32>>,
+    /// `[m, m]` latent transition field: users tend to move from an
+    /// item with latent `u` towards items whose latent aligns with
+    /// `T(u)`. Like the category matrix, `T` is a *global* structure —
+    /// the item-level half of Figure 1's universal transition patterns.
+    latent_field: Vec<f32>,
+}
+
+impl World {
+    /// Builds the world deterministically from `cfg.seed`.
+    pub fn new(cfg: WorldConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let m = cfg.latent_dim;
+        let category_latents: Vec<Vec<f32>> = (0..cfg.n_categories)
+            .map(|_| {
+                let mut v: Vec<f32> = (0..m).map(|_| sample_gauss(&mut rng)).collect();
+                normalize(&mut v);
+                v
+            })
+            .collect();
+        let patch_proj: Vec<Vec<f32>> = (0..cfg.n_patches)
+            .map(|_| {
+                (0..cfg.patch_dim * m)
+                    .map(|_| sample_gauss(&mut rng) / (m as f32).sqrt())
+                    .collect()
+            })
+            .collect();
+        // Universal transition pattern: strong self-continuation, a
+        // preferred "next" category, thin uniform background. This is
+        // the Figure-1 structure every platform shares.
+        let k = cfg.n_categories;
+        let mut transitions = vec![vec![0.0f32; k]; k];
+        for (i, row) in transitions.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = if j == i {
+                    0.50
+                } else if j == (i + 1) % k {
+                    0.30
+                } else {
+                    0.20 / (k - 2) as f32
+                };
+            }
+        }
+        // Latent transition field T = 0.5 I + 0.9 Q with random Q:
+        // enough identity for continuity, enough rotation that the
+        // field must be *learned* rather than assumed.
+        let mut latent_field = vec![0.0f32; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                latent_field[i * m + j] =
+                    0.9 * sample_gauss(&mut rng) / (m as f32).sqrt() + if i == j { 0.5 } else { 0.0 };
+            }
+        }
+        World {
+            cfg,
+            category_latents,
+            patch_proj,
+            transitions,
+            latent_field,
+        }
+    }
+
+    /// Applies the global latent transition field: the direction in
+    /// latent space a user is drawn towards after consuming an item
+    /// with latent `u` (unit-normalised output).
+    pub fn latent_drift(&self, u: &[f32]) -> Vec<f32> {
+        let m = self.cfg.latent_dim;
+        debug_assert_eq!(u.len(), m, "latent_drift: dimension mismatch");
+        let mut out = vec![0.0f32; m];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.latent_field[i * m..(i + 1) * m];
+            *o = row.iter().zip(u).map(|(&f, &x)| f * x).sum();
+        }
+        normalize(&mut out);
+        out
+    }
+
+    /// The `[K, K]` universal transition matrix (row-stochastic).
+    pub fn transitions(&self) -> &[Vec<f32>] {
+        &self.transitions
+    }
+
+    /// Centroid of category `c`.
+    pub fn category_latent(&self, c: usize) -> &[f32] {
+        &self.category_latents[c]
+    }
+
+    /// Samples one item of category `c` with platform style applied.
+    pub fn sample_item(&self, c: usize, style: &StyleProfile, rng: &mut StdRng) -> Item {
+        let m = self.cfg.latent_dim;
+        // Latent: centroid plus item-level variation, renormalised.
+        let mut latent: Vec<f32> = self.category_latents[c]
+            .iter()
+            .map(|&z| z + 0.45 * sample_gauss(rng))
+            .collect();
+        normalize(&mut latent);
+
+        let tokens = self.sample_text(c, &latent, style, rng);
+        let mismatched = rng.random::<f32>() < style.mismatch_rate;
+        let image_latent: Vec<f32> = if mismatched {
+            // Mismatch: image comes from a different random category.
+            let other = rng.random_range(0..self.cfg.n_categories);
+            let mut v: Vec<f32> = self.category_latents[other]
+                .iter()
+                .map(|&z| z + 0.45 * sample_gauss(rng))
+                .collect();
+            normalize(&mut v);
+            v
+        } else {
+            latent.clone()
+        };
+        let patches = self.sample_image(&image_latent, style, rng);
+        let _ = m;
+        Item {
+            category: c,
+            latent,
+            tokens,
+            patches,
+            mismatched,
+        }
+    }
+
+    /// Text: two category-marker tokens plus descriptor tokens that
+    /// bucketise the largest-magnitude latent coordinates; platform
+    /// noise replaces tokens with junk.
+    fn sample_text(
+        &self,
+        c: usize,
+        latent: &[f32],
+        style: &StyleProfile,
+        rng: &mut StdRng,
+    ) -> Vec<usize> {
+        let cfg = &self.cfg;
+        let mut tokens = Vec::with_capacity(cfg.text_len);
+        // Category markers (synonymous variants, like real tag phrases).
+        for _ in 0..2usize.min(cfg.text_len) {
+            tokens.push(cfg.cat_token_base() + c * CAT_TOKENS + rng.random_range(0..CAT_TOKENS));
+        }
+        // Descriptors: top coordinates by magnitude, bucketed.
+        let mut order: Vec<usize> = (0..cfg.latent_dim).collect();
+        order.sort_by(|&a, &b| latent[b].abs().total_cmp(&latent[a].abs()));
+        for &dim in order.iter().take(cfg.text_len.saturating_sub(tokens.len())) {
+            let v = latent[dim];
+            let bucket = match v {
+                v if v <= -0.25 => 0,
+                v if v < 0.0 => 1,
+                v if v < 0.25 => 2,
+                _ => 3,
+            };
+            tokens.push(cfg.descr_token_base() + dim * BUCKETS + bucket);
+        }
+        // Platform text noise.
+        for t in tokens.iter_mut() {
+            if rng.random::<f32>() < style.text_noise_rate {
+                *t = cfg.noise_token_base() + rng.random_range(0..NOISE_TOKENS);
+            }
+        }
+        tokens
+    }
+
+    /// Image: per-patch projection of the latent plus a deterministic
+    /// platform style shift, gaussian noise, and clutter patches.
+    fn sample_image(&self, latent: &[f32], style: &StyleProfile, rng: &mut StdRng) -> Vec<f32> {
+        let cfg = &self.cfg;
+        let (q, dv, m) = (cfg.n_patches, cfg.patch_dim, cfg.latent_dim);
+        let mut style_rng = StdRng::seed_from_u64(cfg.seed ^ style.style_shift_seed);
+        let mut out = Vec::with_capacity(q * dv);
+        for (k, proj) in self.patch_proj.iter().enumerate() {
+            let cluttered = rng.random::<f32>() < style.clutter_rate;
+            for r in 0..dv {
+                // Deterministic per-(platform, patch, row) style offset.
+                let shift = 0.5 * sample_gauss(&mut style_rng);
+                let v = if cluttered {
+                    shift + style.visual_noise * sample_gauss(rng)
+                } else {
+                    let mut acc = 0.0f32;
+                    for (j, &l) in latent.iter().enumerate() {
+                        acc += proj[r * m + j] * l;
+                    }
+                    acc + shift + style.visual_noise * 0.3 * sample_gauss(rng)
+                };
+                out.push(v);
+            }
+            let _ = k;
+        }
+        out
+    }
+
+    /// Samples the next category given the current one and a user
+    /// preference distribution over categories (restricted support).
+    pub fn next_category(&self, current: usize, pref: &[f32], rng: &mut StdRng) -> usize {
+        let row = &self.transitions[current];
+        let weights: Vec<f32> = row.iter().zip(pref).map(|(&t, &p)| t * p).collect();
+        sample_categorical(&weights, rng)
+    }
+}
+
+/// Draws from an unnormalised categorical distribution; falls back to
+/// uniform if all weights vanish.
+pub fn sample_categorical(weights: &[f32], rng: &mut StdRng) -> usize {
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut u = rng.random::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn sample_gauss(rng: &mut StdRng) -> f32 {
+    // Box–Muller (one sample; the discarded pair keeps code simple).
+    let u1: f32 = rng.random::<f32>().max(1e-12);
+    let u2: f32 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+fn normalize(v: &mut [f32]) {
+    let n = v.iter().map(|&x| x * x).sum::<f32>().sqrt().max(1e-8);
+    v.iter_mut().for_each(|x| *x /= n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(WorldConfig::default())
+    }
+
+    #[test]
+    fn world_is_seed_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.category_latent(0), b.category_latent(0));
+        assert_eq!(a.transitions()[2], b.transitions()[2]);
+    }
+
+    #[test]
+    fn transition_rows_are_stochastic() {
+        let w = world();
+        for row in w.transitions() {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row sums to {s}");
+            assert!(row.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn item_latents_are_unit_norm_and_near_centroid() {
+        let w = world();
+        let style = Platform::Hm.style();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mean_dot = 0.0f32;
+        for _ in 0..50 {
+            let item = w.sample_item(3, &style, &mut rng);
+            let n: f32 = item.latent.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+            let dot: f32 = item
+                .latent
+                .iter()
+                .zip(w.category_latent(3))
+                .map(|(&a, &b)| a * b)
+                .sum();
+            mean_dot += dot / 50.0;
+        }
+        assert!(mean_dot > 0.5, "items drifted too far from their category: {mean_dot}");
+    }
+
+    #[test]
+    fn text_tokens_are_in_vocab_and_identify_category() {
+        let w = world();
+        let style = Platform::Hm.style(); // low text noise
+        let mut rng = StdRng::seed_from_u64(1);
+        let vocab = w.cfg.vocab();
+        let mut cat_hits = 0;
+        for _ in 0..100 {
+            let item = w.sample_item(1, &style, &mut rng);
+            assert_eq!(item.tokens.len(), w.cfg.text_len);
+            assert!(item.tokens.iter().all(|&t| t < vocab));
+            let base = w.cfg.cat_token_base() + CAT_TOKENS;
+            if item.tokens.iter().any(|&t| (base..base + CAT_TOKENS).contains(&t)) {
+                cat_hits += 1;
+            }
+        }
+        assert!(cat_hits > 80, "category markers mostly survive clean platforms: {cat_hits}");
+    }
+
+    #[test]
+    fn noisy_platform_produces_more_mismatches() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let count = |style: &StyleProfile, rng: &mut StdRng| {
+            (0..400)
+                .filter(|_| w.sample_item(0, style, rng).mismatched)
+                .count()
+        };
+        let kwai = count(&Platform::Kwai.style(), &mut rng);
+        let hm = count(&Platform::Hm.style(), &mut rng);
+        assert!(kwai > hm, "kwai {kwai} vs hm {hm}");
+    }
+
+    #[test]
+    fn image_patches_carry_category_signal_on_clean_platforms() {
+        // Average patch vectors of two categories should differ more
+        // than within-category repetitions.
+        let w = world();
+        let style = Platform::Hm.style();
+        let mut rng = StdRng::seed_from_u64(3);
+        let avg = |c: usize, rng: &mut StdRng| {
+            let mut acc = vec![0.0f32; w.cfg.n_patches * w.cfg.patch_dim];
+            for _ in 0..40 {
+                let item = w.sample_item(c, &style, rng);
+                for (a, &p) in acc.iter_mut().zip(&item.patches) {
+                    *a += p / 40.0;
+                }
+            }
+            acc
+        };
+        let a1 = avg(3, &mut rng);
+        let a2 = avg(3, &mut rng);
+        let b = avg(4, &mut rng);
+        let dist = |x: &[f32], y: &[f32]| {
+            x.iter().zip(y).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>()
+        };
+        assert!(dist(&a1, &b) > 2.0 * dist(&a1, &a2), "categories not separable in image space");
+    }
+
+    #[test]
+    fn sample_categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sample_categorical(&[0.1, 0.8, 0.1], &mut rng)] += 1;
+        }
+        assert!(counts[1] > 2000, "{counts:?}");
+    }
+
+    #[test]
+    fn sample_categorical_handles_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let i = sample_categorical(&[0.0, 0.0], &mut rng);
+        assert!(i < 2);
+    }
+
+    #[test]
+    fn vocab_accounts_for_all_token_regions() {
+        let cfg = WorldConfig::default();
+        assert_eq!(
+            cfg.vocab(),
+            2 + cfg.n_categories * 4 + cfg.latent_dim * 4 + 32
+        );
+    }
+}

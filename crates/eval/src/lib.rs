@@ -1,0 +1,17 @@
+//! # pmm-eval
+//!
+//! Full-catalogue ranking evaluation (HR@k / NDCG@k with leave-one-out
+//! cases, as in the paper: "we rank the prediction results on the whole
+//! dataset"), a model-agnostic [`SeqRecommender`] trait, and a training
+//! harness with early stopping and convergence-curve recording
+//! (Figure 3).
+
+pub mod harness;
+pub mod metrics;
+pub mod recommender;
+pub mod significance;
+
+pub use harness::{train_model, ConvergencePoint, TrainConfig, TrainResult};
+pub use metrics::{evaluate_cases, evaluate_ranks, mrr, rank_of_target, ranks_for_cases, MetricSet, TOP_KS};
+pub use recommender::SeqRecommender;
+pub use significance::{paired_bootstrap, BootstrapReport};

@@ -1,0 +1,198 @@
+//! Top-N ranking metrics over the full item catalogue.
+
+use crate::recommender::SeqRecommender;
+use pmm_data::split::LeaveOneOut;
+
+/// The cut-offs reported in the paper's tables.
+pub const TOP_KS: [usize; 3] = [10, 20, 50];
+
+/// HR@k and NDCG@k at the three paper cut-offs, in percent.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricSet {
+    /// Hit ratio at `TOP_KS[i]`, percent.
+    pub hr: [f32; 3],
+    /// NDCG at `TOP_KS[i]`, percent.
+    pub ndcg: [f32; 3],
+    /// Number of evaluation cases aggregated.
+    pub cases: usize,
+}
+
+impl MetricSet {
+    /// HR@10 (the headline metric of Tables IV–VIII).
+    pub fn hr10(&self) -> f32 {
+        self.hr[0]
+    }
+
+    /// NDCG@10.
+    pub fn ndcg10(&self) -> f32 {
+        self.ndcg[0]
+    }
+}
+
+impl std::fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HR@10 {:5.2} HR@20 {:5.2} HR@50 {:5.2} | NG@10 {:5.2} NG@20 {:5.2} NG@50 {:5.2}",
+            self.hr[0], self.hr[1], self.hr[2], self.ndcg[0], self.ndcg[1], self.ndcg[2]
+        )
+    }
+}
+
+/// 0-based rank of the target among `scores` (full ranking).
+///
+/// Ties are counted pessimistically on the half: items scoring strictly
+/// higher than the target rank above it; items tying with it contribute
+/// half a position each (the expected rank under random tie-breaking).
+pub fn rank_of_target(scores: &[f32], target: usize) -> f32 {
+    let t = scores[target];
+    let mut above = 0usize;
+    let mut ties = 0usize;
+    for (i, &s) in scores.iter().enumerate() {
+        if i == target {
+            continue;
+        }
+        if s > t {
+            above += 1;
+        } else if s == t {
+            ties += 1;
+        }
+    }
+    above as f32 + ties as f32 / 2.0
+}
+
+/// Aggregates HR/NDCG from 0-based target ranks.
+pub fn evaluate_ranks(ranks: &[f32]) -> MetricSet {
+    let mut m = MetricSet {
+        cases: ranks.len(),
+        ..Default::default()
+    };
+    if ranks.is_empty() {
+        return m;
+    }
+    for &r in ranks {
+        for (ki, &k) in TOP_KS.iter().enumerate() {
+            if (r as usize) < k {
+                m.hr[ki] += 1.0;
+                m.ndcg[ki] += 1.0 / (r + 2.0).log2();
+            }
+        }
+    }
+    let n = ranks.len() as f32;
+    for ki in 0..TOP_KS.len() {
+        m.hr[ki] = 100.0 * m.hr[ki] / n;
+        m.ndcg[ki] = 100.0 * m.ndcg[ki] / n;
+    }
+    m
+}
+
+/// Scores every case with the model and aggregates metrics.
+pub fn evaluate_cases(model: &dyn SeqRecommender, cases: &[LeaveOneOut]) -> MetricSet {
+    let mut ranks = Vec::with_capacity(cases.len());
+    // Score in chunks so models can amortise catalogue encoding.
+    const CHUNK: usize = 64;
+    for chunk in cases.chunks(CHUNK) {
+        let scores = model.score_cases(chunk);
+        debug_assert_eq!(scores.len(), chunk.len());
+        for (case, s) in chunk.iter().zip(&scores) {
+            ranks.push(rank_of_target(s, case.target));
+        }
+    }
+    evaluate_ranks(&ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_strictly_greater() {
+        assert_eq!(rank_of_target(&[0.1, 0.9, 0.5], 2), 1.0);
+        assert_eq!(rank_of_target(&[0.1, 0.9, 0.5], 1), 0.0);
+        assert_eq!(rank_of_target(&[0.1, 0.9, 0.5], 0), 2.0);
+    }
+
+    #[test]
+    fn ties_contribute_half() {
+        assert_eq!(rank_of_target(&[0.5, 0.5, 0.5], 1), 1.0);
+        assert_eq!(rank_of_target(&[0.5, 0.5], 0), 0.5);
+    }
+
+    #[test]
+    fn perfect_ranking_gives_100() {
+        let m = evaluate_ranks(&[0.0, 0.0, 0.0]);
+        assert_eq!(m.hr, [100.0; 3]);
+        assert_eq!(m.ndcg, [100.0; 3]);
+    }
+
+    #[test]
+    fn rank_outside_all_cutoffs_gives_zero() {
+        let m = evaluate_ranks(&[60.0]);
+        assert_eq!(m.hr, [0.0; 3]);
+        assert_eq!(m.ndcg, [0.0; 3]);
+    }
+
+    #[test]
+    fn ndcg_discounts_by_position() {
+        let first = evaluate_ranks(&[0.0]);
+        let ninth = evaluate_ranks(&[8.0]);
+        assert_eq!(first.hr10(), ninth.hr10());
+        assert!(first.ndcg10() > ninth.ndcg10());
+        // NDCG@10 for rank 8 = 1/log2(10) ~ 0.301.
+        assert!((ninth.ndcg10() - 100.0 / (10.0f32).log2()).abs() < 0.01);
+    }
+
+    #[test]
+    fn hr_is_monotone_in_k() {
+        let m = evaluate_ranks(&[5.0, 15.0, 45.0, 70.0]);
+        assert!(m.hr[0] <= m.hr[1] && m.hr[1] <= m.hr[2]);
+        assert_eq!(m.hr, [25.0, 50.0, 75.0]);
+    }
+
+    #[test]
+    fn empty_case_set_is_all_zero() {
+        let m = evaluate_ranks(&[]);
+        assert_eq!(m.cases, 0);
+        assert_eq!(m.hr, [0.0; 3]);
+    }
+}
+
+/// Mean reciprocal rank over 0-based ranks (in percent, like the
+/// HR/NDCG fields).
+pub fn mrr(ranks: &[f32]) -> f32 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    100.0 * ranks.iter().map(|&r| 1.0 / (r + 1.0)).sum::<f32>() / ranks.len() as f32
+}
+
+/// Per-case 0-based target ranks for a model over cases — the raw
+/// material for [`crate::significance::paired_bootstrap`].
+pub fn ranks_for_cases(model: &dyn SeqRecommender, cases: &[LeaveOneOut]) -> Vec<f32> {
+    let mut ranks = Vec::with_capacity(cases.len());
+    const CHUNK: usize = 64;
+    for chunk in cases.chunks(CHUNK) {
+        let scores = model.score_cases(chunk);
+        for (case, s) in chunk.iter().zip(&scores) {
+            ranks.push(rank_of_target(s, case.target));
+        }
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod mrr_tests {
+    use super::*;
+
+    #[test]
+    fn mrr_of_perfect_ranking_is_100() {
+        assert_eq!(mrr(&[0.0, 0.0]), 100.0);
+    }
+
+    #[test]
+    fn mrr_decays_with_rank() {
+        assert!((mrr(&[1.0]) - 50.0).abs() < 1e-4);
+        assert!(mrr(&[4.0]) < mrr(&[1.0]));
+        assert_eq!(mrr(&[]), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! AdamW with decoupled weight decay and global gradient clipping.
+
+use crate::ctx::Ctx;
+use crate::param::{Param, ParamStore};
+use pmm_tensor::Tensor;
+use std::collections::HashMap;
+
+/// AdamW hyper-parameters (defaults follow the paper's training setup).
+#[derive(Debug, Clone, Copy)]
+pub struct AdamWConfig {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabiliser.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    /// Global gradient-norm clip (disabled when `<= 0`).
+    pub clip_norm: f32,
+}
+
+impl Default for AdamWConfig {
+    fn default() -> Self {
+        AdamWConfig {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+            clip_norm: 5.0,
+        }
+    }
+}
+
+struct MomentState {
+    m: Tensor,
+    v: Tensor,
+}
+
+/// The AdamW optimizer. Moment state is keyed by parameter id, so one
+/// optimizer instance can drive any subset of a [`ParamStore`].
+pub struct AdamW {
+    lr: f32,
+    cfg: AdamWConfig,
+    step: u64,
+    state: HashMap<u64, MomentState>,
+}
+
+impl AdamW {
+    /// Creates an optimizer with the given learning rate.
+    pub fn new(lr: f32, cfg: AdamWConfig) -> Self {
+        AdamW {
+            lr,
+            cfg,
+            step: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Adjusts the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of completed steps.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Applies one update using the gradients accumulated in `ctx`.
+    ///
+    /// Frozen parameters (per [`ParamStore::is_frozen`]) and parameters
+    /// without gradients this step are skipped. Returns the (pre-clip)
+    /// global gradient norm.
+    pub fn step(&mut self, store: &ParamStore, ctx: &Ctx<'_>) -> f32 {
+        let mut grads: Vec<(&Param, Tensor)> = Vec::new();
+        let mut sq_norm = 0.0f32;
+        for p in store.params() {
+            if store.is_frozen(p) {
+                continue;
+            }
+            if let Some(g) = ctx.grad_of(p) {
+                sq_norm += g.data().iter().map(|&v| v * v).sum::<f32>();
+                grads.push((p, g));
+            }
+        }
+        let norm = sq_norm.sqrt();
+        let clip_scale = if self.cfg.clip_norm > 0.0 && norm > self.cfg.clip_norm {
+            self.cfg.clip_norm / norm
+        } else {
+            1.0
+        };
+
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - self.cfg.beta1.powf(t);
+        let bc2 = 1.0 - self.cfg.beta2.powf(t);
+        for (p, mut g) in grads {
+            if !g.all_finite() {
+                // A non-finite gradient poisons the moments; skip this
+                // parameter for the step rather than corrupting it.
+                continue;
+            }
+            if clip_scale != 1.0 {
+                g = g.scale(clip_scale);
+            }
+            let st = self.state.entry(p.id()).or_insert_with(|| MomentState {
+                m: Tensor::zeros(g.shape()),
+                v: Tensor::zeros(g.shape()),
+            });
+            let (b1, b2, eps) = (self.cfg.beta1, self.cfg.beta2, self.cfg.eps);
+            let (lr, wd) = (self.lr, self.cfg.weight_decay);
+            for i in 0..g.len() {
+                let gi = g.data()[i];
+                st.m.data_mut()[i] = b1 * st.m.data()[i] + (1.0 - b1) * gi;
+                st.v.data_mut()[i] = b2 * st.v.data()[i] + (1.0 - b2) * gi * gi;
+            }
+            let m = &st.m;
+            let v = &st.v;
+            p.update(|w| {
+                for i in 0..w.len() {
+                    let mhat = m.data()[i] / bc1;
+                    let vhat = v.data()[i] / bc2;
+                    let decayed = w.data()[i] * (1.0 - lr * wd);
+                    w.data_mut()[i] = decayed - lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_tensor::Var;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimises (w - 3)^2 and expects convergence near 3.
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = AdamW::new(
+            0.1,
+            AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let mut ctx = Ctx::train(&mut rng);
+            let wv = ctx.var(&w);
+            let diff = wv.add_scalar(-3.0);
+            let loss = diff.mul(&diff).sum_all();
+            loss.backward();
+            opt.step(&store, &ctx);
+        }
+        assert!((w.value_cloned().scalar_value() - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_directions() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(1.0));
+        let mut opt = AdamW::new(
+            0.01,
+            AdamWConfig {
+                weight_decay: 0.5,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let mut ctx = Ctx::train(&mut rng);
+            // Constant tiny gradient: decay dominates.
+            let wv = ctx.var(&w);
+            let loss = wv.scale(1e-6).sum_all();
+            loss.backward();
+            opt.step(&store, &ctx);
+        }
+        assert!(w.value_cloned().scalar_value() < 0.9);
+    }
+
+    #[test]
+    fn frozen_params_are_not_updated() {
+        let mut store = ParamStore::new();
+        let w = store.register("enc.w", Tensor::scalar(1.0));
+        store.freeze_prefix("enc.");
+        let mut opt = AdamW::new(0.1, AdamWConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::train(&mut rng);
+        let loss = ctx.var(&w).mul(&ctx.var(&w)).sum_all();
+        loss.backward();
+        opt.step(&store, &ctx);
+        assert_eq!(w.value_cloned().scalar_value(), 1.0);
+    }
+
+    #[test]
+    fn clip_norm_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = AdamW::new(
+            0.1,
+            AdamWConfig {
+                clip_norm: 1.0,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::train(&mut rng);
+        // Huge gradient: loss = 1e6 * w.
+        let loss = ctx.var(&w).scale(1e6).sum_all();
+        loss.backward();
+        let norm = opt.step(&store, &ctx);
+        assert!(norm > 1e5);
+        // With clipping and bias correction the first Adam step is ~lr.
+        assert!(w.value_cloned().scalar_value().abs() <= 0.11);
+    }
+
+    #[test]
+    fn non_finite_gradients_are_skipped() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(2.0));
+        let mut opt = AdamW::new(0.1, AdamWConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::train(&mut rng);
+        // ln(0) -> -inf path creates non-finite grads via 1/x at x=0...
+        // simpler: craft a NaN loss via 0 * inf using scale.
+        let v = ctx.var(&w);
+        let inf = v.scale(f32::INFINITY);
+        let loss = inf.scale(0.0).sum_all(); // NaN value, NaN grads
+        loss.backward();
+        opt.step(&store, &ctx);
+        assert_eq!(w.value_cloned().scalar_value(), 2.0);
+    }
+
+    #[test]
+    fn state_is_per_parameter() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Tensor::scalar(0.0));
+        let b = store.register("b", Tensor::scalar(0.0));
+        let mut opt = AdamW::new(
+            0.1,
+            AdamWConfig {
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let mut ctx = Ctx::train(&mut rng);
+            let av = ctx.var(&a).add_scalar(-1.0);
+            let bv = ctx.var(&b).add_scalar(2.0);
+            let loss = av.mul(&av).add(&bv.mul(&bv)).sum_all();
+            loss.backward();
+            opt.step(&store, &ctx);
+        }
+        assert!((a.value_cloned().scalar_value() - 1.0).abs() < 0.1);
+        assert!((b.value_cloned().scalar_value() + 2.0).abs() < 0.1);
+        let _ = Var::constant(Tensor::scalar(0.0)); // keep import used
+    }
+}

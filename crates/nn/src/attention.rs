@@ -1,0 +1,161 @@
+//! Multi-head attention (self- and cross-attention).
+
+use crate::ctx::Ctx;
+use crate::layers::{Dropout, Linear};
+use crate::param::ParamStore;
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+
+/// Multi-head scaled-dot-product attention.
+///
+/// Operates on flattened token batches `[b*l, d]`; the caller supplies
+/// the `(b, l)` geometry and a `[b*h, l_q, l_k]` mask built with
+/// [`crate::mask::attention_mask`].
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    attn_dropout: Dropout,
+    /// Number of heads.
+    pub heads: usize,
+    /// Model dimension.
+    pub d: usize,
+}
+
+impl MultiHeadAttention {
+    /// Registers projections under `{name}.{wq,wk,wv,wo}`.
+    #[track_caller]
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d: usize,
+        heads: usize,
+        dropout: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert_eq!(d % heads, 0, "attention: d={d} not divisible by heads={heads}");
+        MultiHeadAttention {
+            wq: Linear::new(store, &format!("{name}.wq"), d, d, true, rng),
+            wk: Linear::new(store, &format!("{name}.wk"), d, d, true, rng),
+            wv: Linear::new(store, &format!("{name}.wv"), d, d, true, rng),
+            wo: Linear::new(store, &format!("{name}.wo"), d, d, true, rng),
+            attn_dropout: Dropout::new(dropout),
+            heads,
+            d,
+        }
+    }
+
+    /// Self-attention over `x: [b*l, d]` with mask `[b*h, l, l]`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var, b: usize, l: usize, mask: &Tensor) -> Var {
+        self.forward_kv(ctx, x, x, b, l, l, mask)
+    }
+
+    /// Cross-attention: queries from `q: [b*lq, d]`, keys/values from
+    /// `kv: [b*lk, d]`, mask `[b*h, lq, lk]`.
+    #[allow(clippy::too_many_arguments)]
+    #[track_caller]
+    pub fn forward_kv(
+        &self,
+        ctx: &mut Ctx<'_>,
+        q_in: &Var,
+        kv_in: &Var,
+        b: usize,
+        lq: usize,
+        lk: usize,
+        mask: &Tensor,
+    ) -> Var {
+        let h = self.heads;
+        let dh = self.d / h;
+        assert_eq!(
+            mask.shape(),
+            &[b * h, lq, lk],
+            "attention: mask shape {:?}, expected [{}, {lq}, {lk}]",
+            mask.shape(),
+            b * h
+        );
+        let q = self.wq.forward(ctx, q_in).split_heads(b, lq, h);
+        let k = self.wk.forward(ctx, kv_in).split_heads(b, lk, h);
+        let v = self.wv.forward(ctx, kv_in).split_heads(b, lk, h);
+        let scale = 1.0 / (dh as f32).sqrt();
+        let scores = q.bmm_nt(&k).scale(scale);
+        let attn = scores.masked_softmax_last(mask);
+        let attn = self.attn_dropout.forward(ctx, &attn);
+        let out = attn.bmm(&v).merge_heads(b, h);
+        self.wo.forward(ctx, &out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::attention_mask;
+    use rand::SeedableRng;
+
+    fn setup(d: usize, heads: usize) -> (ParamStore, MultiHeadAttention, StdRng) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(&mut store, "attn", d, heads, 0.0, &mut rng);
+        (store, mha, rng)
+    }
+
+    #[test]
+    fn self_attention_preserves_shape() {
+        let (_s, mha, mut rng) = setup(8, 2);
+        let mut ctx = Ctx::train(&mut rng);
+        let x = Var::constant(Tensor::randn(&[6, 8], 1.0, &mut StdRng::seed_from_u64(1)));
+        let mask = attention_mask(2, 2, 3, &[3, 2], true);
+        let y = mha.forward(&mut ctx, &x, 2, 3, &mask);
+        assert_eq!(y.shape(), &[6, 8]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_information() {
+        // Changing a *future* token must not affect an earlier output.
+        let (_s, mha, _) = setup(4, 1);
+        let mask = attention_mask(1, 1, 3, &[3], true);
+        let base = Tensor::randn(&[3, 4], 1.0, &mut StdRng::seed_from_u64(2));
+        let mut perturbed = base.clone();
+        perturbed.data_mut()[8] += 10.0; // token 2 (future for queries 0/1)
+
+        let mut ctx = Ctx::eval();
+        let y0 = mha.forward(&mut ctx, &Var::constant(base), 1, 3, &mask);
+        let mut ctx2 = Ctx::eval();
+        let y1 = mha.forward(&mut ctx2, &Var::constant(perturbed), 1, 3, &mask);
+        for j in 0..8 {
+            assert!(
+                (y0.value().data()[j] - y1.value().data()[j]).abs() < 1e-5,
+                "position {} leaked future info",
+                j / 4
+            );
+        }
+        // The final position must differ.
+        assert!((y0.value().data()[8] - y1.value().data()[8]).abs() > 1e-4);
+    }
+
+    #[test]
+    fn cross_attention_shapes() {
+        let (_s, mha, _) = setup(4, 2);
+        let mut ctx = Ctx::eval();
+        let q = Var::constant(Tensor::randn(&[2, 4], 1.0, &mut StdRng::seed_from_u64(3)));
+        let kv = Var::constant(Tensor::randn(&[5, 4], 1.0, &mut StdRng::seed_from_u64(4)));
+        let mask = Tensor::ones(&[2, 2, 5]); // b=1, h=2, lq=2, lk=5
+        let y = mha.forward_kv(&mut ctx, &q, &kv, 1, 2, 5, &mask);
+        assert_eq!(y.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_projections() {
+        let (store, mha, mut rng) = setup(4, 2);
+        let mut ctx = Ctx::train(&mut rng);
+        let x = Var::constant(Tensor::randn(&[2, 4], 1.0, &mut StdRng::seed_from_u64(5)));
+        let mask = attention_mask(1, 2, 2, &[2], false);
+        let y = mha.forward(&mut ctx, &x, 1, 2, &mask);
+        y.sum_all().backward();
+        for name in ["attn.wq.weight", "attn.wk.weight", "attn.wv.weight", "attn.wo.weight"] {
+            let p = store.get(name).unwrap();
+            assert!(ctx.grad_of(p).is_some(), "{name} missing grad");
+        }
+    }
+}

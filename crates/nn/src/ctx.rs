@@ -1,0 +1,135 @@
+//! Per-step forward context: parameter interning, training mode and RNG.
+
+use crate::param::Param;
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A single forward/backward step's context.
+///
+/// * Interns each [`Param`] into exactly one graph leaf per step, so a
+///   parameter used twice (e.g. tied embeddings) accumulates gradients
+///   correctly.
+/// * Carries the training flag (dropout on/off) and the step RNG.
+pub struct Ctx<'r> {
+    training: bool,
+    rng: Option<&'r mut StdRng>,
+    interned: HashMap<u64, Var>,
+}
+
+impl<'r> Ctx<'r> {
+    /// Training-mode context (dropout active, RNG required).
+    pub fn train(rng: &'r mut StdRng) -> Self {
+        Ctx {
+            training: true,
+            rng: Some(rng),
+            interned: HashMap::new(),
+        }
+    }
+
+    /// Inference-mode context: dropout is the identity, no RNG needed,
+    /// and parameters are interned as constants so the graph is pruned.
+    pub fn eval() -> Self {
+        Ctx {
+            training: false,
+            rng: None,
+            interned: HashMap::new(),
+        }
+    }
+
+    /// Whether dropout and other stochastic regularisers are active.
+    #[inline]
+    pub fn training(&self) -> bool {
+        self.training
+    }
+
+    /// Interns a parameter as a graph leaf (cached per step).
+    pub fn var(&mut self, p: &Param) -> Var {
+        if let Some(v) = self.interned.get(&p.id()) {
+            return v.clone();
+        }
+        let v = if self.training {
+            Var::leaf(p.value_cloned())
+        } else {
+            Var::constant(p.value_cloned())
+        };
+        self.interned.insert(p.id(), v.clone());
+        v
+    }
+
+    /// The gradient accumulated for `p` this step, if any.
+    pub fn grad_of(&self, p: &Param) -> Option<Tensor> {
+        self.interned.get(&p.id()).and_then(Var::grad)
+    }
+
+    /// Samples an inverted-scaling dropout keep-mask of the given shape.
+    ///
+    /// Returns `None` when not training or `p == 0`, meaning "skip the
+    /// dropout op entirely".
+    pub fn dropout_mask(&mut self, shape: &[usize], p: f32) -> Option<Tensor> {
+        if !self.training || p <= 0.0 {
+            return None;
+        }
+        let rng = self
+            .rng
+            .as_mut()
+            .expect("training Ctx always carries an RNG");
+        let keep = 1.0 - p;
+        let scale = 1.0 / keep;
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = (0..n)
+            .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        Some(Tensor::from_vec(data, shape).expect("mask numel"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamStore;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interning_is_cached_per_param() {
+        let mut store = ParamStore::new();
+        let p = store.register("w", Tensor::ones(&[2]));
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::train(&mut rng);
+        let a = ctx.var(&p);
+        let b = ctx.var(&p);
+        // Same underlying node: gradient accumulates once.
+        let y = a.add(&b).sum_all();
+        y.backward();
+        assert_eq!(ctx.grad_of(&p).unwrap().data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn eval_ctx_produces_constant_leaves() {
+        let mut store = ParamStore::new();
+        let p = store.register("w", Tensor::ones(&[2]));
+        let mut ctx = Ctx::eval();
+        assert!(!ctx.var(&p).requires_grad());
+        assert!(ctx.dropout_mask(&[4], 0.5).is_none());
+    }
+
+    #[test]
+    fn dropout_mask_values_are_zero_or_scaled() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = Ctx::train(&mut rng);
+        let m = ctx.dropout_mask(&[1000], 0.5).unwrap();
+        for &v in m.data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+        let kept = m.data().iter().filter(|&&v| v > 0.0).count();
+        assert!((300..700).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn dropout_mask_none_for_zero_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = Ctx::train(&mut rng);
+        assert!(ctx.dropout_mask(&[4], 0.0).is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Embedding tables (token, patch-position, sequence-position).
+
+use crate::ctx::Ctx;
+use crate::init::normal_init;
+use crate::param::{Param, ParamStore};
+use pmm_tensor::Var;
+use rand::rngs::StdRng;
+
+/// A `[vocab, d]` lookup table.
+pub struct Embedding {
+    weight: Param,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub d: usize,
+}
+
+impl Embedding {
+    /// Registers `{name}.weight` initialised `N(0, 0.02)` (the BERT
+    /// convention).
+    pub fn new(store: &mut ParamStore, name: &str, vocab: usize, d: usize, rng: &mut StdRng) -> Self {
+        let weight = store.register(format!("{name}.weight"), normal_init(&[vocab, d], 0.02, rng));
+        Embedding { weight, vocab, d }
+    }
+
+    /// Looks up `ids` producing `[ids.len(), d]`.
+    #[track_caller]
+    pub fn forward(&self, ctx: &mut Ctx<'_>, ids: &[usize]) -> Var {
+        debug_assert!(
+            ids.iter().all(|&i| i < self.vocab),
+            "embedding id out of range (vocab {})",
+            self.vocab
+        );
+        ctx.var(&self.weight).gather_rows(ids)
+    }
+
+    /// The full table as a graph node (for output projections that tie
+    /// weights with the input embedding).
+    pub fn table(&self, ctx: &mut Ctx<'_>) -> Var {
+        ctx.var(&self.weight)
+    }
+
+    /// The table parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_shape_and_grad_scatter() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng);
+        let mut ctx = Ctx::train(&mut rng);
+        let x = emb.forward(&mut ctx, &[1, 1, 3]);
+        assert_eq!(x.shape(), &[3, 4]);
+        x.sum_all().backward();
+        let g = ctx.grad_of(emb.weight()).unwrap();
+        // Row 1 hit twice, row 3 once, others zero.
+        assert_eq!(g.data()[4..8], [2.0; 4]);
+        assert_eq!(g.data()[12..16], [1.0; 4]);
+        assert_eq!(g.data()[..4], [0.0; 4]);
+    }
+
+    #[test]
+    fn table_is_shared_with_lookup() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let emb = Embedding::new(&mut store, "e", 4, 2, &mut rng);
+        let mut ctx = Ctx::train(&mut rng);
+        let x = emb.forward(&mut ctx, &[0]);
+        let t = emb.table(&mut ctx);
+        // Tied usage: logits = x @ table^T.
+        let y = x.matmul_nt(&t).sum_all();
+        y.backward();
+        assert!(ctx.grad_of(emb.weight()).is_some());
+    }
+}

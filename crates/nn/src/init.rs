@@ -1,0 +1,51 @@
+//! Weight initialisation schemes.
+
+use pmm_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(&[fan_in, fan_out], -a, a, rng)
+}
+
+/// Kaiming/He normal for ReLU fan-in: `N(0, sqrt(2/fan_in))`.
+pub fn kaiming_normal(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Tensor::randn(&[fan_in, fan_out], std, rng)
+}
+
+/// Plain `N(0, std)` of arbitrary shape (embedding tables, positions).
+pub fn normal_init(shape: &[usize], std: f32, rng: &mut StdRng) -> Tensor {
+    Tensor::randn(shape, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(w.data().iter().all(|&v| v.abs() <= a));
+    }
+
+    #[test]
+    fn kaiming_std_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = kaiming_normal(100, 100, &mut rng);
+        let std = (w.data().iter().map(|&v| v * v).sum::<f32>() / w.len() as f32).sqrt();
+        let expect = (2.0f32 / 100.0).sqrt();
+        assert!((std - expect).abs() / expect < 0.15, "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn initialisation_is_seed_deterministic() {
+        let a = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        let b = xavier_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.data(), b.data());
+    }
+}

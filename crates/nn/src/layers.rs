@@ -1,0 +1,174 @@
+//! Basic layers: linear projection, layer norm and dropout.
+
+use crate::ctx::Ctx;
+use crate::init::xavier_uniform;
+use crate::param::{Param, ParamStore};
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+
+/// Affine projection `y = x W + b` with `W: [in, out]`.
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+    /// Input feature dimension.
+    pub d_in: usize,
+    /// Output feature dimension.
+    pub d_out: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer under `name` (params `{name}.weight`
+    /// and optionally `{name}.bias`).
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        d_in: usize,
+        d_out: usize,
+        bias: bool,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = store.register(format!("{name}.weight"), xavier_uniform(d_in, d_out, rng));
+        let bias = bias.then(|| store.register(format!("{name}.bias"), Tensor::zeros(&[d_out])));
+        Linear {
+            weight,
+            bias,
+            d_in,
+            d_out,
+        }
+    }
+
+    /// Applies the projection to `[.., d_in]` rows (input is viewed as
+    /// `[rows, d_in]`).
+    #[track_caller]
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var) -> Var {
+        let rows = x.value().len() / self.d_in;
+        let x2 = if x.shape().len() == 2 && x.shape()[1] == self.d_in {
+            x.clone()
+        } else {
+            x.reshape(&[rows, self.d_in])
+        };
+        let w = ctx.var(&self.weight);
+        let y = x2.matmul(&w);
+        match &self.bias {
+            Some(b) => y.add_bias(&ctx.var(b)),
+            None => y,
+        }
+    }
+
+    /// The weight parameter (for weight tying / inspection).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+/// Learnable layer normalisation over the last axis.
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Registers `{name}.gamma` (ones) and `{name}.beta` (zeros).
+    pub fn new(store: &mut ParamStore, name: &str, d: usize) -> Self {
+        LayerNorm {
+            gamma: store.register(format!("{name}.gamma"), Tensor::ones(&[d])),
+            beta: store.register(format!("{name}.beta"), Tensor::zeros(&[d])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises rows of `[.., d]`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var) -> Var {
+        x.layer_norm(&ctx.var(&self.gamma), &ctx.var(&self.beta), self.eps)
+    }
+}
+
+/// Inverted dropout; identity in eval mode.
+#[derive(Clone, Copy)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` in `[0, 1)`.
+    #[track_caller]
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} must be in [0, 1)");
+        Dropout { p }
+    }
+
+    /// Applies dropout when the context is in training mode.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var) -> Var {
+        match ctx.dropout_mask(x.shape(), self.p) {
+            Some(mask) => x.dropout(&mask),
+            None => x.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 3, 5, true, &mut rng);
+        let mut ctx = Ctx::eval();
+        let x = Var::constant(Tensor::ones(&[4, 3]));
+        let y = lin.forward(&mut ctx, &x);
+        assert_eq!(y.shape(), &[4, 5]);
+        assert!(store.get("l.weight").is_some());
+        assert!(store.get("l.bias").is_some());
+    }
+
+    #[test]
+    fn linear_reshapes_higher_rank_inputs() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 4, 2, false, &mut rng);
+        let mut ctx = Ctx::eval();
+        let x = Var::constant(Tensor::ones(&[2, 3, 4]));
+        let y = lin.forward(&mut ctx, &x);
+        assert_eq!(y.shape(), &[6, 2]);
+    }
+
+    #[test]
+    fn linear_gradients_reach_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, "l", 2, 2, true, &mut rng);
+        let mut ctx = Ctx::train(&mut rng);
+        let x = Var::constant(Tensor::ones(&[1, 2]));
+        let y = lin.forward(&mut ctx, &x).sum_all();
+        y.backward();
+        assert!(ctx.grad_of(lin.weight()).is_some());
+    }
+
+    #[test]
+    fn layer_norm_default_params_standardise() {
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 4);
+        let mut ctx = Ctx::eval();
+        let x = Var::constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 4]).unwrap());
+        let y = ln.forward(&mut ctx, &x);
+        assert!(y.value().mean().abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_identity_in_eval() {
+        let d = Dropout::new(0.9);
+        let mut ctx = Ctx::eval();
+        let x = Var::constant(Tensor::ones(&[8]));
+        assert_eq!(d.forward(&mut ctx, &x).value().data(), &[1.0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1)")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0);
+    }
+}

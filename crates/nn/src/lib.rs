@@ -1,0 +1,60 @@
+//! # pmm-nn
+//!
+//! Neural-network building blocks on top of [`pmm_tensor`]: named
+//! parameters, layers (linear, embedding, layer-norm, multi-head
+//! attention, Transformer encoders, GRU, dilated causal convolutions),
+//! the AdamW optimizer, and a checkpoint codec that supports
+//! prefix-filtered loading (the mechanism behind PMMRec's plug-and-play
+//! component transfer).
+//!
+//! ## Training-step protocol
+//!
+//! Parameters live in a [`ParamStore`]. Each step creates a fresh
+//! [`Ctx`], the model's `forward`/`loss` methods intern parameters into
+//! graph leaves through it, `loss.backward()` fills the leaf gradients,
+//! and [`AdamW::step`] reads them back via the same `Ctx`:
+//!
+//! ```
+//! use pmm_nn::{AdamW, Ctx, Linear, ParamStore};
+//! use pmm_tensor::{Tensor, Var};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let lin = Linear::new(&mut store, "probe", 4, 1, true, &mut rng);
+//! let mut opt = AdamW::new(1e-2, Default::default());
+//! for _ in 0..10 {
+//!     let mut ctx = Ctx::train(&mut rng);
+//!     let x = Var::constant(Tensor::ones(&[2, 4]));
+//!     let y = lin.forward(&mut ctx, &x);
+//!     let loss = y.mul(&y).mean_all();
+//!     loss.backward();
+//!     opt.step(&store, &ctx);
+//! }
+//! ```
+
+mod adamw;
+mod attention;
+pub mod checkpoint;
+mod conv;
+mod ctx;
+mod embedding;
+mod gru;
+mod init;
+mod layers;
+pub mod mask;
+mod param;
+mod schedule;
+mod transformer;
+
+pub use adamw::{AdamW, AdamWConfig};
+pub use attention::MultiHeadAttention;
+pub use conv::{DilatedCausalConv1d, NextItNetBlock};
+pub use ctx::Ctx;
+pub use embedding::Embedding;
+pub use gru::{Gru, GruCell};
+pub use init::{kaiming_normal, normal_init, xavier_uniform};
+pub use layers::{Dropout, LayerNorm, Linear};
+pub use param::{Param, ParamStore};
+pub use schedule::LrSchedule;
+pub use transformer::{FeedForward, TransformerBlock, TransformerConfig, TransformerEncoder};

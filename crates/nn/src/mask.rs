@@ -1,0 +1,90 @@
+//! Attention-mask construction helpers.
+//!
+//! Masks are plain (non-differentiable) tensors with `1.0` = attend,
+//! `0.0` = blocked, shaped `[b*h, l, l]` to align with the batched
+//! attention scores produced by `split_heads` + `bmm`.
+
+use pmm_tensor::Tensor;
+
+/// Builds the standard attention mask for `b` right-padded sequences of
+/// capacity `l` with valid lengths `lens`, replicated over `h` heads.
+///
+/// * `causal = true`: query `t` may attend keys `0..=t` (SASRec-style).
+/// * `causal = false`: full bidirectional attention over valid keys.
+///
+/// Padded *key* positions are always blocked. Padded *query* rows keep
+/// self-attention open so softmax stays well-defined; their outputs are
+/// discarded by loss masking downstream.
+#[track_caller]
+pub fn attention_mask(b: usize, h: usize, l: usize, lens: &[usize], causal: bool) -> Tensor {
+    assert_eq!(lens.len(), b, "attention_mask: lens must have one entry per sequence");
+    let mut data = vec![0.0f32; b * h * l * l];
+    for (bi, &len) in lens.iter().enumerate() {
+        assert!(len <= l, "attention_mask: length {len} exceeds capacity {l}");
+        for hi in 0..h {
+            let base = (bi * h + hi) * l * l;
+            for q in 0..l {
+                let row = &mut data[base + q * l..base + (q + 1) * l];
+                if q < len {
+                    let hi_key = if causal { q + 1 } else { len };
+                    row[..hi_key.min(len)].iter_mut().for_each(|v| *v = 1.0);
+                } else {
+                    // Padded query: attend only itself to keep softmax finite.
+                    row[q] = 1.0;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(data, &[b * h, l, l]).expect("mask numel")
+}
+
+/// Per-row validity weights for a flattened `[b*l]` token batch:
+/// `1.0` for rows `< len`, `0.0` for padding.
+pub fn row_weights(b: usize, l: usize, lens: &[usize]) -> Vec<f32> {
+    assert_eq!(lens.len(), b, "row_weights: lens must have one entry per sequence");
+    let mut w = vec![0.0f32; b * l];
+    for (bi, &len) in lens.iter().enumerate() {
+        w[bi * l..bi * l + len.min(l)].iter_mut().for_each(|v| *v = 1.0);
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_mask_is_lower_triangular() {
+        let m = attention_mask(1, 1, 3, &[3], true);
+        let d = m.data();
+        assert_eq!(d, &[1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn bidirectional_mask_covers_valid_keys() {
+        let m = attention_mask(1, 1, 3, &[2], false);
+        let d = m.data();
+        // Queries 0-1 see keys 0-1; padded query 2 sees only itself.
+        assert_eq!(d, &[1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn mask_replicates_across_heads_and_batches() {
+        let m = attention_mask(2, 3, 2, &[2, 1], true);
+        assert_eq!(m.shape(), &[6, 2, 2]);
+        let d = m.data();
+        // First sequence (heads 0..3): causal full-length.
+        for hi in 0..3 {
+            assert_eq!(&d[hi * 4..hi * 4 + 4], &[1.0, 0.0, 1.0, 1.0]);
+        }
+        // Second sequence: length 1, padded query keeps self.
+        for hi in 3..6 {
+            assert_eq!(&d[hi * 4..hi * 4 + 4], &[1.0, 0.0, 0.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn row_weights_mark_valid_positions() {
+        assert_eq!(row_weights(2, 3, &[3, 1]), vec![1.0, 1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+}

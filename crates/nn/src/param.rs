@@ -1,0 +1,240 @@
+//! Named, shared model parameters.
+
+use pmm_tensor::Tensor;
+use std::cell::{Ref, RefCell};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+struct ParamInner {
+    id: u64,
+    name: String,
+    value: RefCell<Tensor>,
+    trainable: bool,
+}
+
+/// A shared handle to one named parameter tensor.
+///
+/// Layers hold `Param` clones; the owning [`ParamStore`] keeps the
+/// canonical list for the optimizer and the checkpoint codec.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<ParamInner>,
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Param")
+            .field("name", &self.inner.name)
+            .field("shape", &self.inner.value.borrow().shape())
+            .field("trainable", &self.inner.trainable)
+            .finish()
+    }
+}
+
+impl Param {
+    /// Stable unique id (used to key optimizer state and `Ctx` interning).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// Fully qualified dotted name, e.g. `user_encoder.blocks.0.wq.weight`.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Whether the optimizer should update this parameter.
+    #[inline]
+    pub fn trainable(&self) -> bool {
+        self.inner.trainable
+    }
+
+    /// Borrows the current value.
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        self.inner.value.borrow()
+    }
+
+    /// Clones the current value.
+    pub fn value_cloned(&self) -> Tensor {
+        self.inner.value.borrow().clone()
+    }
+
+    /// Replaces the value (shape must match; used by the optimizer and
+    /// the checkpoint loader).
+    #[track_caller]
+    pub fn set_value(&self, t: Tensor) {
+        let cur_shape = self.inner.value.borrow().shape().to_vec();
+        assert_eq!(
+            cur_shape,
+            t.shape(),
+            "Param::set_value({}): shape {:?} -> {:?} not allowed",
+            self.inner.name,
+            cur_shape,
+            t.shape()
+        );
+        *self.inner.value.borrow_mut() = t;
+    }
+
+    /// Applies an in-place update to the value.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.inner.value.borrow_mut());
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.inner.value.borrow().len()
+    }
+}
+
+/// Registry of all parameters of a model (or a family of models).
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+    frozen: Vec<String>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a trainable parameter under `name`.
+    ///
+    /// Panics if the name is already taken — duplicate names would make
+    /// checkpoints ambiguous.
+    #[track_caller]
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> Param {
+        self.register_with(name, value, true)
+    }
+
+    /// Registers a parameter with explicit trainability (frozen
+    /// parameters are saved/loaded but never updated — PMMRec freezes
+    /// the lower encoder blocks this way).
+    #[track_caller]
+    pub fn register_with(
+        &mut self,
+        name: impl Into<String>,
+        value: Tensor,
+        trainable: bool,
+    ) -> Param {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "ParamStore::register: duplicate parameter name {name:?}"
+        );
+        let p = Param {
+            inner: Rc::new(ParamInner {
+                id: NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed),
+                name,
+                value: RefCell::new(value),
+                trainable,
+            }),
+        };
+        self.params.push(p.clone());
+        p
+    }
+
+    /// Looks a parameter up by exact name.
+    pub fn get(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name() == name)
+    }
+
+    /// All parameters, in registration order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Parameters whose name starts with `prefix`.
+    pub fn with_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a Param> + 'a {
+        self.params.iter().filter(move |p| p.name().starts_with(prefix))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn total_numel(&self) -> usize {
+        self.params.iter().map(Param::numel).sum()
+    }
+
+    /// Marks every parameter under `prefix` as non-trainable by
+    /// re-registering is not possible; instead the optimizer consults
+    /// [`ParamStore::frozen_prefixes`]. Freezing is additive.
+    pub fn freeze_prefix(&mut self, prefix: impl Into<String>) {
+        self.frozen.push(prefix.into());
+    }
+
+    /// Whether a parameter is currently frozen (either registered
+    /// non-trainable or covered by a frozen prefix).
+    pub fn is_frozen(&self, p: &Param) -> bool {
+        !p.trainable() || self.frozen.iter().any(|f| p.name().starts_with(f))
+    }
+}
+
+// Keep the frozen-prefix list out of the happy-path struct literal.
+impl ParamStore {
+    /// Currently frozen prefixes.
+    pub fn frozen_prefixes(&self) -> &[String] {
+        &self.frozen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut s = ParamStore::new();
+        let p = s.register("a.w", Tensor::ones(&[2, 2]));
+        assert_eq!(p.name(), "a.w");
+        assert!(s.get("a.w").is_some());
+        assert!(s.get("a.b").is_none());
+        assert_eq!(s.total_numel(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut s = ParamStore::new();
+        s.register("w", Tensor::ones(&[1]));
+        s.register("w", Tensor::ones(&[1]));
+    }
+
+    #[test]
+    fn prefix_iteration() {
+        let mut s = ParamStore::new();
+        s.register("enc.w1", Tensor::ones(&[1]));
+        s.register("enc.w2", Tensor::ones(&[1]));
+        s.register("dec.w", Tensor::ones(&[1]));
+        assert_eq!(s.with_prefix("enc.").count(), 2);
+        assert_eq!(s.with_prefix("dec.").count(), 1);
+    }
+
+    #[test]
+    fn freeze_prefix_marks_params() {
+        let mut s = ParamStore::new();
+        let w = s.register("enc.w", Tensor::ones(&[1]));
+        let v = s.register("head.w", Tensor::ones(&[1]));
+        s.freeze_prefix("enc.");
+        assert!(s.is_frozen(&w));
+        assert!(!s.is_frozen(&v));
+    }
+
+    #[test]
+    fn set_value_enforces_shape() {
+        let mut s = ParamStore::new();
+        let p = s.register("w", Tensor::ones(&[2]));
+        p.set_value(Tensor::zeros(&[2]));
+        assert_eq!(p.value_cloned().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allowed")]
+    fn set_value_rejects_shape_change() {
+        let mut s = ParamStore::new();
+        let p = s.register("w", Tensor::ones(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+}

@@ -1,0 +1,109 @@
+//! Learning-rate schedules (linear warmup + constant/cosine decay).
+
+/// A step-indexed learning-rate schedule.
+#[derive(Debug, Clone, Copy)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup_steps`, then constant.
+    Warmup {
+        /// Peak rate.
+        lr: f32,
+        /// Steps to reach the peak.
+        warmup_steps: u64,
+    },
+    /// Linear warmup then cosine decay to `min_lr` at `total_steps`.
+    WarmupCosine {
+        /// Peak rate.
+        lr: f32,
+        /// Steps to reach the peak.
+        warmup_steps: u64,
+        /// Step at which the floor is reached.
+        total_steps: u64,
+        /// Final rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at (1-based) optimizer step `step`.
+    pub fn at(&self, step: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Warmup { lr, warmup_steps } => {
+                if warmup_steps == 0 || step >= warmup_steps {
+                    lr
+                } else {
+                    lr * step as f32 / warmup_steps as f32
+                }
+            }
+            LrSchedule::WarmupCosine {
+                lr,
+                warmup_steps,
+                total_steps,
+                min_lr,
+            } => {
+                if step < warmup_steps {
+                    return lr * step as f32 / warmup_steps.max(1) as f32;
+                }
+                if step >= total_steps || total_steps <= warmup_steps {
+                    return min_lr;
+                }
+                let progress =
+                    (step - warmup_steps) as f32 / (total_steps - warmup_steps) as f32;
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+
+    /// Applies the schedule to an optimizer before its next step.
+    pub fn apply(&self, opt: &mut crate::AdamW) {
+        opt.set_lr(self.at(opt.steps() + 1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(1), 0.1);
+        assert_eq!(s.at(1000), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { lr: 1.0, warmup_steps: 10 };
+        assert!((s.at(5) - 0.5).abs() < 1e-6);
+        assert_eq!(s.at(10), 1.0);
+        assert_eq!(s.at(50), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_to_floor() {
+        let s = LrSchedule::WarmupCosine {
+            lr: 1.0,
+            warmup_steps: 10,
+            total_steps: 110,
+            min_lr: 0.1,
+        };
+        assert!((s.at(10) - 1.0).abs() < 1e-5);
+        // Midpoint of decay: (1 + 0.1)/2.
+        assert!((s.at(60) - 0.55).abs() < 1e-3);
+        assert_eq!(s.at(110), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn schedule_drives_optimizer() {
+        let mut opt = crate::AdamW::new(0.0, crate::AdamWConfig::default());
+        let s = LrSchedule::Warmup { lr: 1.0, warmup_steps: 4 };
+        s.apply(&mut opt);
+        assert!((opt.lr() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,209 @@
+//! Transformer blocks and encoders (post-LN, SASRec/BERT style).
+
+use crate::attention::MultiHeadAttention;
+use crate::ctx::Ctx;
+use crate::layers::{Dropout, LayerNorm, Linear};
+use crate::param::ParamStore;
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+
+/// Hyper-parameters shared by every Transformer encoder in the project.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Model dimension.
+    pub d: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Number of blocks.
+    pub layers: usize,
+    /// Feed-forward expansion factor (hidden = `d * ff_mult`).
+    pub ff_mult: usize,
+    /// Dropout probability (attention + residual branches).
+    pub dropout: f32,
+    /// Causal (autoregressive) attention when true; bidirectional
+    /// otherwise.
+    pub causal: bool,
+}
+
+impl Default for TransformerConfig {
+    fn default() -> Self {
+        TransformerConfig {
+            d: 48,
+            heads: 4,
+            layers: 2,
+            ff_mult: 2,
+            dropout: 0.1,
+            causal: false,
+        }
+    }
+}
+
+/// Two-layer GELU MLP.
+pub struct FeedForward {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl FeedForward {
+    /// Registers `{name}.fc1` / `{name}.fc2`.
+    pub fn new(store: &mut ParamStore, name: &str, d: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        FeedForward {
+            fc1: Linear::new(store, &format!("{name}.fc1"), d, hidden, true, rng),
+            fc2: Linear::new(store, &format!("{name}.fc2"), hidden, d, true, rng),
+        }
+    }
+
+    /// `fc2(gelu(fc1(x)))`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var) -> Var {
+        let h = self.fc1.forward(ctx, x).gelu();
+        self.fc2.forward(ctx, &h)
+    }
+}
+
+/// One post-LN Transformer block:
+/// `x = LN(x + Drop(MHA(x))); x = LN(x + Drop(FFN(x)))`.
+pub struct TransformerBlock {
+    attn: MultiHeadAttention,
+    ff: FeedForward,
+    ln1: LayerNorm,
+    ln2: LayerNorm,
+    dropout: Dropout,
+}
+
+impl TransformerBlock {
+    /// Registers all sub-layers under `name`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: &TransformerConfig, rng: &mut StdRng) -> Self {
+        TransformerBlock {
+            attn: MultiHeadAttention::new(store, &format!("{name}.attn"), cfg.d, cfg.heads, cfg.dropout, rng),
+            ff: FeedForward::new(store, &format!("{name}.ff"), cfg.d, cfg.d * cfg.ff_mult, rng),
+            ln1: LayerNorm::new(store, &format!("{name}.ln1"), cfg.d),
+            ln2: LayerNorm::new(store, &format!("{name}.ln2"), cfg.d),
+            dropout: Dropout::new(cfg.dropout),
+        }
+    }
+
+    /// Applies the block to `[b*l, d]` tokens under `mask`.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var, b: usize, l: usize, mask: &Tensor) -> Var {
+        let a = self.attn.forward(ctx, x, b, l, mask);
+        let a = self.dropout.forward(ctx, &a);
+        let x = self.ln1.forward(ctx, &x.add(&a));
+        let f = self.ff.forward(ctx, &x);
+        let f = self.dropout.forward(ctx, &f);
+        self.ln2.forward(ctx, &x.add(&f))
+    }
+}
+
+/// A stack of [`TransformerBlock`]s with a shared mask policy.
+pub struct TransformerEncoder {
+    blocks: Vec<TransformerBlock>,
+    /// The configuration this encoder was built with.
+    pub cfg: TransformerConfig,
+}
+
+impl TransformerEncoder {
+    /// Registers `layers` blocks under `{name}.blocks.{i}`.
+    pub fn new(store: &mut ParamStore, name: &str, cfg: TransformerConfig, rng: &mut StdRng) -> Self {
+        let blocks = (0..cfg.layers)
+            .map(|i| TransformerBlock::new(store, &format!("{name}.blocks.{i}"), &cfg, rng))
+            .collect();
+        TransformerEncoder { blocks, cfg }
+    }
+
+    /// Encodes `[b*l, d]` tokens; builds the mask from `lens` and the
+    /// configured causality.
+    pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var, b: usize, l: usize, lens: &[usize]) -> Var {
+        let mask = crate::mask::attention_mask(b, self.cfg.heads, l, lens, self.cfg.causal);
+        self.forward_masked(ctx, x, b, l, &mask)
+    }
+
+    /// Encodes with a caller-provided mask `[b*h, l, l]`.
+    pub fn forward_masked(&self, ctx: &mut Ctx<'_>, x: &Var, b: usize, l: usize, mask: &Tensor) -> Var {
+        let mut h = x.clone();
+        for block in &self.blocks {
+            h = block.forward(ctx, &h, b, l, mask);
+        }
+        h
+    }
+
+    /// Number of blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg(causal: bool) -> TransformerConfig {
+        TransformerConfig {
+            d: 8,
+            heads: 2,
+            layers: 2,
+            ff_mult: 2,
+            dropout: 0.0,
+            causal,
+        }
+    }
+
+    #[test]
+    fn encoder_output_shape_and_finiteness() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = TransformerEncoder::new(&mut store, "enc", cfg(false), &mut rng);
+        let mut ctx = Ctx::eval();
+        let x = Var::constant(Tensor::randn(&[6, 8], 1.0, &mut rng));
+        let y = enc.forward(&mut ctx, &x, 2, 3, &[3, 2]);
+        assert_eq!(y.shape(), &[6, 8]);
+        assert!(y.value().all_finite());
+    }
+
+    #[test]
+    fn causal_encoder_blocks_future_tokens() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = TransformerEncoder::new(&mut store, "enc", cfg(true), &mut rng);
+        let base = Tensor::randn(&[4, 8], 1.0, &mut rng);
+        let mut perturbed = base.clone();
+        perturbed.data_mut()[3 * 8] += 5.0; // last token
+
+        let mut c0 = Ctx::eval();
+        let y0 = enc.forward(&mut c0, &Var::constant(base), 1, 4, &[4]);
+        let mut c1 = Ctx::eval();
+        let y1 = enc.forward(&mut c1, &Var::constant(perturbed), 1, 4, &[4]);
+        for j in 0..3 * 8 {
+            assert!((y0.value().data()[j] - y1.value().data()[j]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parameter_count_scales_with_depth() {
+        let mut s1 = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = TransformerEncoder::new(&mut s1, "e", cfg(false), &mut rng);
+        let mut s2 = ParamStore::new();
+        let mut deep = cfg(false);
+        deep.layers = 4;
+        let _ = TransformerEncoder::new(&mut s2, "e", deep, &mut rng);
+        assert_eq!(s2.total_numel(), 2 * s1.total_numel());
+    }
+
+    #[test]
+    fn training_forward_backward_fills_every_block_param() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = TransformerEncoder::new(&mut store, "enc", cfg(false), &mut rng);
+        let mut ctx = Ctx::train(&mut rng);
+        let x = Var::constant(Tensor::randn(&[4, 8], 1.0, &mut StdRng::seed_from_u64(9)));
+        let y = enc.forward(&mut ctx, &x, 1, 4, &[4]);
+        y.mul(&y).sum_all().backward();
+        let missing: Vec<_> = store
+            .params()
+            .iter()
+            .filter(|p| ctx.grad_of(p).is_none())
+            .map(|p| p.name().to_string())
+            .collect();
+        assert!(missing.is_empty(), "params without grads: {missing:?}");
+    }
+}

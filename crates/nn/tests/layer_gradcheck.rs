@@ -1,0 +1,119 @@
+//! Finite-difference gradient checks for whole layers.
+//!
+//! The op-level checks live in `pmm-tensor`; these validate that layer
+//! *compositions* (attention, Transformer block, GRU, dilated conv,
+//! layer norm residuals) produce correct gradients for their parameters
+//! by perturbing parameter tensors directly.
+
+use pmm_nn::{mask, Ctx, Gru, MultiHeadAttention, NextItNetBlock, ParamStore, TransformerConfig, TransformerEncoder};
+use pmm_tensor::{Tensor, Var};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Central-difference check of d(loss)/d(param) for every parameter of
+/// a store against autograd, where `loss_fn` rebuilds the forward pass.
+fn check_param_grads(
+    store: &ParamStore,
+    loss_fn: &dyn Fn(&mut Ctx<'_>) -> Var,
+    eps: f32,
+    tol: f32,
+) {
+    // Analytic gradients.
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut ctx = Ctx::train(&mut rng);
+    let loss = loss_fn(&mut ctx);
+    loss.backward();
+
+    let eval = || {
+        let mut ctx = Ctx::eval();
+        loss_fn(&mut ctx).value().scalar_value()
+    };
+
+    for p in store.params() {
+        let g = ctx
+            .grad_of(p)
+            .unwrap_or_else(|| Tensor::zeros(p.value().shape()));
+        // Probe a handful of coordinates per parameter to keep runtime
+        // bounded; coordinates are spread deterministically.
+        let n = p.numel();
+        let probes: Vec<usize> = (0..n.min(4)).map(|i| i * (n / n.min(4)).max(1)).collect();
+        for &k in &probes {
+            let orig = p.value().data()[k];
+            p.update(|t| t.data_mut()[k] = orig + eps);
+            let up = eval();
+            p.update(|t| t.data_mut()[k] = orig - eps);
+            let down = eval();
+            p.update(|t| t.data_mut()[k] = orig);
+            let numeric = (up - down) / (2.0 * eps);
+            let exact = g.data()[k];
+            let abs = (numeric - exact).abs();
+            let rel = abs / numeric.abs().max(exact.abs()).max(1e-3);
+            assert!(
+                abs <= tol || rel <= tol,
+                "{} coord {k}: analytic {exact} vs numeric {numeric}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn attention_parameter_gradients_match_finite_differences() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mha = MultiHeadAttention::new(&mut store, "attn", 8, 2, 0.0, &mut rng);
+    let x = Tensor::randn(&[4, 8], 0.5, &mut rng);
+    let m = mask::attention_mask(2, 2, 2, &[2, 2], true);
+    let loss_fn = move |ctx: &mut Ctx<'_>| {
+        let y = mha.forward(ctx, &Var::constant(x.clone()), 2, 2, &m);
+        y.mul(&y).sum_all()
+    };
+    check_param_grads(&store, &loss_fn, 1e-2, 3e-2);
+}
+
+#[test]
+fn transformer_block_parameter_gradients_match() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = TransformerConfig {
+        d: 8,
+        heads: 2,
+        layers: 1,
+        ff_mult: 2,
+        dropout: 0.0,
+        causal: false,
+    };
+    let enc = TransformerEncoder::new(&mut store, "enc", cfg, &mut rng);
+    let x = Tensor::randn(&[4, 8], 0.5, &mut rng);
+    let loss_fn = move |ctx: &mut Ctx<'_>| {
+        let y = enc.forward(ctx, &Var::constant(x.clone()), 2, 2, &[2, 2]);
+        y.mul(&y).mean_all()
+    };
+    check_param_grads(&store, &loss_fn, 1e-2, 5e-2);
+}
+
+#[test]
+fn gru_parameter_gradients_match() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let gru = Gru::new(&mut store, "g", 4, 4, &mut rng);
+    let x = Tensor::randn(&[6, 4], 0.5, &mut rng);
+    let loss_fn = move |ctx: &mut Ctx<'_>| {
+        let y = gru.forward(ctx, &Var::constant(x.clone()), 2, 3);
+        y.mul(&y).mean_all()
+    };
+    check_param_grads(&store, &loss_fn, 1e-2, 5e-2);
+}
+
+#[test]
+fn nextitnet_block_parameter_gradients_match() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(4);
+    let block = NextItNetBlock::new(&mut store, "b", 4, 2, 1, &mut rng);
+    let x = Tensor::randn(&[4, 4], 0.5, &mut rng);
+    let loss_fn = move |ctx: &mut Ctx<'_>| {
+        let y = block.forward(ctx, &Var::constant(x.clone()), 1, 4);
+        y.mul(&y).mean_all()
+    };
+    check_param_grads(&store, &loss_fn, 1e-2, 5e-2);
+}

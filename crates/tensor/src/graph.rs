@@ -1,0 +1,268 @@
+//! Reverse-mode autograd graph.
+//!
+//! A [`Var`] is a cheaply clonable handle (an `Rc`) to a node holding a
+//! value, an optional gradient slot, the parent handles and a backward
+//! closure. Graphs are built dynamically by calling op methods (defined
+//! in the `ops` modules) and torn down when the last handle drops, so a
+//! fresh graph exists per training step — parameters enter each step as
+//! fresh leaves.
+
+use crate::Tensor;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+type BackwardFn = Box<dyn Fn(&Tensor)>;
+
+pub(crate) struct VarInner {
+    id: u64,
+    value: Tensor,
+    grad: RefCell<Option<Tensor>>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+/// A node in the autograd graph. Clone is cheap (reference count bump).
+#[derive(Clone)]
+pub struct Var {
+    inner: Rc<VarInner>,
+}
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.inner.id)
+            .field("shape", &self.inner.value.shape())
+            .field("requires_grad", &self.inner.requires_grad)
+            .finish()
+    }
+}
+
+impl Var {
+    fn new(
+        value: Tensor,
+        requires_grad: bool,
+        parents: Vec<Var>,
+        backward: Option<BackwardFn>,
+    ) -> Self {
+        Var {
+            inner: Rc::new(VarInner {
+                id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                value,
+                grad: RefCell::new(None),
+                requires_grad,
+                parents,
+                backward,
+            }),
+        }
+    }
+
+    /// A differentiable leaf (e.g. a model parameter for this step).
+    pub fn leaf(value: Tensor) -> Self {
+        Var::new(value, true, Vec::new(), None)
+    }
+
+    /// A non-differentiable input (data, masks, …). Ops whose inputs are
+    /// all constants skip recording backward closures entirely.
+    pub fn constant(value: Tensor) -> Self {
+        Var::new(value, false, Vec::new(), None)
+    }
+
+    /// Records a new op node. `backward` receives the gradient w.r.t.
+    /// this node's value and must accumulate into the parents it
+    /// captured. When no parent requires gradients the closure and the
+    /// parent list are dropped, pruning the graph.
+    pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        let requires = parents.iter().any(|p| p.inner.requires_grad);
+        if requires {
+            Var::new(value, true, parents, Some(backward))
+        } else {
+            Var::new(value, false, Vec::new(), None)
+        }
+    }
+
+    /// The node's value.
+    #[inline]
+    pub fn value(&self) -> &Tensor {
+        &self.inner.value
+    }
+
+    /// The node's shape (convenience).
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        self.inner.value.shape()
+    }
+
+    /// Whether this node participates in gradient computation.
+    #[inline]
+    pub fn requires_grad(&self) -> bool {
+        self.inner.requires_grad
+    }
+
+    /// Clones the accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.inner.grad.borrow().clone()
+    }
+
+    /// Cuts the graph: returns a constant with the same value.
+    pub fn detach(&self) -> Var {
+        Var::constant(self.inner.value.clone())
+    }
+
+    /// Accumulates `g` into this node's gradient slot.
+    pub(crate) fn accum_grad(&self, g: &Tensor) {
+        if !self.inner.requires_grad {
+            return;
+        }
+        let mut slot = self.inner.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => existing.add_assign(g),
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this node, which must be a
+    /// single-element tensor (a loss). Gradients accumulate in every
+    /// reachable node with `requires_grad`.
+    #[track_caller]
+    pub fn backward(&self) {
+        assert_eq!(
+            self.value().len(),
+            1,
+            "backward: root must be a scalar loss, got shape {:?}",
+            self.shape()
+        );
+        self.backward_with(Tensor::ones(self.shape()));
+    }
+
+    /// Reverse-mode differentiation seeded with an explicit output
+    /// gradient (for vector-Jacobian products in tests).
+    #[track_caller]
+    pub fn backward_with(&self, seed: Tensor) {
+        assert_eq!(
+            seed.shape(),
+            self.shape(),
+            "backward_with: seed shape {:?} != value shape {:?}",
+            seed.shape(),
+            self.shape()
+        );
+        if !self.inner.requires_grad {
+            return;
+        }
+        self.accum_grad(&seed);
+
+        // Collect reachable grad-requiring nodes; ids increase with
+        // creation order, so visiting in descending id order is a valid
+        // reverse topological order.
+        let mut nodes: Vec<Var> = Vec::new();
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut stack = vec![self.clone()];
+        while let Some(v) = stack.pop() {
+            if !v.inner.requires_grad || !seen.insert(v.inner.id) {
+                continue;
+            }
+            for p in &v.inner.parents {
+                stack.push(p.clone());
+            }
+            nodes.push(v);
+        }
+        nodes.sort_unstable_by_key(|v| std::cmp::Reverse(v.inner.id));
+
+        for node in &nodes {
+            let Some(backward) = node.inner.backward.as_ref() else {
+                continue;
+            };
+            // Take the grad out so the closure can freely borrow other
+            // nodes' slots (a node never parents itself).
+            let g = node.inner.grad.borrow().clone();
+            if let Some(g) = g {
+                backward(&g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_leaf(v: f32) -> Var {
+        Var::leaf(Tensor::scalar(v))
+    }
+
+    #[test]
+    fn leaf_grad_is_seed() {
+        let x = scalar_leaf(3.0);
+        x.backward();
+        assert_eq!(x.grad().unwrap().scalar_value(), 1.0);
+    }
+
+    #[test]
+    fn constant_gets_no_grad() {
+        let c = Var::constant(Tensor::scalar(3.0));
+        let x = scalar_leaf(2.0);
+        let y = x.mul(&c);
+        y.backward();
+        assert!(c.grad().is_none());
+        assert_eq!(x.grad().unwrap().scalar_value(), 3.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // y = x*x + x*x => dy/dx = 4x
+        let x = scalar_leaf(3.0);
+        let a = x.mul(&x);
+        let b = x.mul(&x);
+        let y = a.add(&b);
+        y.backward();
+        assert_eq!(x.grad().unwrap().scalar_value(), 12.0);
+    }
+
+    #[test]
+    fn shared_subexpression_backward_runs_once() {
+        // z = (x*2) used twice; gradient must be exact, not doubled
+        // through repeated traversal.
+        let x = scalar_leaf(1.0);
+        let z = x.scale(2.0);
+        let y = z.add(&z); // y = 4x
+        y.backward();
+        assert_eq!(x.grad().unwrap().scalar_value(), 4.0);
+    }
+
+    #[test]
+    fn detach_blocks_gradient() {
+        let x = scalar_leaf(5.0);
+        let d = x.mul(&x).detach();
+        let y = d.mul(&x); // only the explicit x factor is differentiable
+        y.backward();
+        assert_eq!(x.grad().unwrap().scalar_value(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn backward_rejects_non_scalar_root() {
+        let x = Var::leaf(Tensor::ones(&[2]));
+        x.backward();
+    }
+
+    #[test]
+    fn backward_with_seed_scales_grads() {
+        let x = scalar_leaf(2.0);
+        let y = x.scale(3.0);
+        y.backward_with(Tensor::scalar(10.0));
+        assert_eq!(x.grad().unwrap().scalar_value(), 30.0);
+    }
+
+    #[test]
+    fn graph_of_constants_is_pruned() {
+        let a = Var::constant(Tensor::ones(&[4]));
+        let b = Var::constant(Tensor::ones(&[4]));
+        let c = a.add(&b);
+        assert!(!c.requires_grad());
+        assert!(c.inner.parents.is_empty());
+    }
+}

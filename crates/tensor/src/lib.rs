@@ -1,0 +1,50 @@
+//! # pmm-tensor
+//!
+//! Dense `f32` tensors with reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate for the PMMRec reproduction: a
+//! deliberately small, dependency-free (besides `rand`) tensor library
+//! that provides exactly the operator set needed to train Transformer
+//! encoders, GRUs and dilated convolutions on CPU, with gradients that
+//! are property-tested against finite differences.
+//!
+//! ## Layout
+//!
+//! * [`Tensor`] — row-major `Vec<f32>` storage plus a shape. All
+//!   non-autograd numerical kernels live here.
+//! * [`Var`] — a node in a dynamically built computation graph. Calling
+//!   an op method on a [`Var`] records the backward closure; calling
+//!   [`Var::backward`] on a scalar propagates gradients to every
+//!   reachable leaf that requires them.
+//! * [`gradcheck`] — central finite-difference utilities used by the
+//!   test-suite to validate every differentiable op.
+//!
+//! ## Conventions
+//!
+//! * Shapes are checked eagerly; shape mismatches are *programmer
+//!   errors* and panic with a descriptive message (the same contract as
+//!   `ndarray`).
+//! * "Row ops" (softmax, layer-norm, l2-normalize, …) operate over the
+//!   **last** axis and are defined for any rank by viewing the tensor as
+//!   `[numel / last, last]`.
+//! * Batched matmul ([`Var::bmm`]) treats the first axis as the batch.
+//!
+//! ```
+//! use pmm_tensor::{Tensor, Var};
+//!
+//! let a = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+//! let b = Var::leaf(Tensor::from_vec(vec![0.5, 0.0, 0.0, 0.5], &[2, 2]).unwrap());
+//! let loss = a.matmul(&b).sum_all();
+//! loss.backward();
+//! assert_eq!(a.grad().unwrap().shape(), &[2, 2]);
+//! ```
+
+mod graph;
+pub mod gradcheck;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use graph::Var;
+pub use shape::{check_same_shape, numel, ShapeError};
+pub use tensor::Tensor;

@@ -1,0 +1,159 @@
+//! Pointwise nonlinearities.
+
+use crate::Var;
+#[cfg(test)]
+use crate::Tensor;
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+const GELU_A: f32 = 0.044_715;
+
+impl Var {
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let out = self.value().map(|v| v.max(0.0));
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let dx = g.zip_map(a.value(), |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// GELU with the tanh approximation (as used by RoBERTa/ViT).
+    pub fn gelu(&self) -> Var {
+        let out = self.value().map(gelu_scalar);
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let dx = g.zip_map(a.value(), |gv, xv| gv * gelu_grad_scalar(xv));
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let out = self.value().map(f32::tanh);
+        let a = self.clone();
+        let y = out.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let dx = g.zip_map(&y, |gv, yv| gv * (1.0 - yv * yv));
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let out = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        let a = self.clone();
+        let y = out.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let dx = g.zip_map(&y, |gv, yv| gv * yv * (1.0 - yv));
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        let out = self.value().map(f32::exp);
+        let a = self.clone();
+        let y = out.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.mul(&y))),
+        )
+    }
+
+    /// Elementwise natural logarithm of inputs clamped to `>= 1e-12`.
+    pub fn ln(&self) -> Var {
+        let out = self.value().map(|v| v.max(1e-12).ln());
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let dx = g.zip_map(a.value(), |gv, xv| gv / xv.max(1e-12));
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+}
+
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + GELU_A * x * x * x)).tanh())
+}
+
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = GELU_C * (x + GELU_A * x * x * x);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * GELU_C * (1.0 + 3.0 * GELU_A * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32]) -> Var {
+        Var::leaf(Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap())
+    }
+
+    #[test]
+    fn relu_clamps_and_masks_grad() {
+        let x = v(&[-1.0, 2.0]);
+        let y = x.relu();
+        assert_eq!(y.value().data(), &[0.0, 2.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        // Reference values from the tanh-approximation formula.
+        assert!((gelu_scalar(0.0)).abs() < 1e-7);
+        assert!((gelu_scalar(1.0) - 0.841_192).abs() < 1e-4);
+        assert!((gelu_scalar(-1.0) + 0.158_808).abs() < 1e-4);
+    }
+
+    #[test]
+    fn tanh_sigmoid_ranges() {
+        let x = v(&[-10.0, 0.0, 10.0]);
+        let t = x.tanh();
+        assert!(t.value().data()[0] < -0.999 && t.value().data()[2] > 0.999);
+        assert_eq!(t.value().data()[1], 0.0);
+        let s = x.sigmoid();
+        assert!(s.value().data()[0] < 1e-4 && s.value().data()[2] > 0.9999);
+        assert_eq!(s.value().data()[1], 0.5);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip_grad() {
+        let x = v(&[0.5]);
+        let y = x.exp().ln(); // identity
+        assert!((y.value().scalar_value() - 0.5).abs() < 1e-6);
+        y.backward();
+        assert!((x.grad().unwrap().scalar_value() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_grad_at_zero_is_quarter() {
+        let x = v(&[0.0]);
+        let y = x.sigmoid();
+        y.backward();
+        assert!((x.grad().unwrap().scalar_value() - 0.25).abs() < 1e-6);
+    }
+}

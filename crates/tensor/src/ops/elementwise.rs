@@ -1,0 +1,181 @@
+//! Elementwise and broadcasting arithmetic ops.
+
+use crate::shape::check_same_shape;
+use crate::{Tensor, Var};
+
+impl Var {
+    /// Elementwise sum (same shape).
+    #[track_caller]
+    pub fn add(&self, other: &Var) -> Var {
+        check_same_shape("Var::add", self.shape(), other.shape());
+        let out = self.value().add(other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(g);
+                b.accum_grad(g);
+            }),
+        )
+    }
+
+    /// Elementwise difference (same shape).
+    #[track_caller]
+    pub fn sub(&self, other: &Var) -> Var {
+        check_same_shape("Var::sub", self.shape(), other.shape());
+        let out = self.value().sub(other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(g);
+                b.accum_grad(&g.scale(-1.0));
+            }),
+        )
+    }
+
+    /// Hadamard product (same shape).
+    #[track_caller]
+    pub fn mul(&self, other: &Var) -> Var {
+        check_same_shape("Var::mul", self.shape(), other.shape());
+        let out = self.value().mul(other.value());
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                a.accum_grad(&g.mul(b.value()));
+                b.accum_grad(&g.mul(a.value()));
+            }),
+        )
+    }
+
+    /// Multiplication by a constant scalar.
+    pub fn scale(&self, c: f32) -> Var {
+        let out = self.value().scale(c);
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.scale(c))),
+        )
+    }
+
+    /// Addition of a constant scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Var {
+        let out = self.value().map(|v| v + c);
+        let a = self.clone();
+        Var::from_op(out, vec![self.clone()], Box::new(move |g| a.accum_grad(g)))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Var {
+        self.scale(-1.0)
+    }
+
+    /// Broadcast-adds a rank-1 bias over the last axis: `[.., d] + [d]`.
+    #[track_caller]
+    pub fn add_bias(&self, bias: &Var) -> Var {
+        let d = *self
+            .shape()
+            .last()
+            .expect("add_bias: lhs must have rank >= 1");
+        assert_eq!(
+            bias.shape(),
+            &[d],
+            "add_bias: bias shape {:?} incompatible with input {:?}",
+            bias.shape(),
+            self.shape()
+        );
+        let rows = self.value().len() / d;
+        let mut data = self.value().data().to_vec();
+        let bv = bias.value().data();
+        for r in 0..rows {
+            for (x, &b) in data[r * d..(r + 1) * d].iter_mut().zip(bv) {
+                *x += b;
+            }
+        }
+        let out = Tensor::from_vec(data, self.shape()).expect("same numel");
+        let (a, b) = (self.clone(), bias.clone());
+        Var::from_op(
+            out,
+            vec![self.clone(), bias.clone()],
+            Box::new(move |g| {
+                a.accum_grad(g);
+                // Bias gradient: sum over all broadcast rows.
+                let mut gb = vec![0.0f32; d];
+                for (i, &gv) in g.data().iter().enumerate() {
+                    gb[i % d] += gv;
+                }
+                b.accum_grad(&Tensor::from_vec(gb, &[d]).expect("bias grad shape"));
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32], shape: &[usize]) -> Var {
+        Var::leaf(Tensor::from_vec(data.to_vec(), shape).unwrap())
+    }
+
+    #[test]
+    fn add_sub_mul_values() {
+        let a = v(&[1.0, 2.0], &[2]);
+        let b = v(&[3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).value().data(), &[4.0, 7.0]);
+        assert_eq!(a.sub(&b).value().data(), &[-2.0, -3.0]);
+        assert_eq!(a.mul(&b).value().data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn mul_gradients() {
+        let a = v(&[2.0], &[1]);
+        let b = v(&[7.0], &[1]);
+        let y = a.mul(&b);
+        y.backward();
+        assert_eq!(a.grad().unwrap().scalar_value(), 7.0);
+        assert_eq!(b.grad().unwrap().scalar_value(), 2.0);
+    }
+
+    #[test]
+    fn sub_gradient_signs() {
+        let a = v(&[1.0], &[1]);
+        let b = v(&[1.0], &[1]);
+        a.sub(&b).backward();
+        assert_eq!(a.grad().unwrap().scalar_value(), 1.0);
+        assert_eq!(b.grad().unwrap().scalar_value(), -1.0);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let a = v(&[2.0], &[1]);
+        let y = a.scale(3.0).add_scalar(1.0); // 7
+        assert_eq!(y.value().scalar_value(), 7.0);
+        y.backward();
+        assert_eq!(a.grad().unwrap().scalar_value(), 3.0);
+    }
+
+    #[test]
+    fn add_bias_broadcasts_and_sums_grad() {
+        let x = v(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = v(&[10.0, 20.0], &[2]);
+        let y = x.add_bias(&b);
+        assert_eq!(y.value().data(), &[11.0, 22.0, 13.0, 24.0]);
+        y.sum_all().backward();
+        assert_eq!(b.grad().unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_rejects_shape_mismatch() {
+        let a = v(&[1.0, 2.0], &[2]);
+        let b = v(&[1.0], &[1]);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,183 @@
+//! Matrix products (2-D and batched) with transpose flags.
+
+use crate::{Tensor, Var};
+
+impl Var {
+    /// 2-D matrix product `self @ other`.
+    #[track_caller]
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.matmul_tt(other, false, false)
+    }
+
+    /// 2-D matrix product `self @ other^T`.
+    #[track_caller]
+    pub fn matmul_nt(&self, other: &Var) -> Var {
+        self.matmul_tt(other, false, true)
+    }
+
+    /// 2-D matrix product `self^T @ other`.
+    #[track_caller]
+    pub fn matmul_tn(&self, other: &Var) -> Var {
+        self.matmul_tt(other, true, false)
+    }
+
+    /// 2-D matrix product with explicit transpose flags.
+    ///
+    /// `C = opA(A) @ opB(B)` where `opX` transposes when the flag is set.
+    #[track_caller]
+    pub fn matmul_tt(&self, other: &Var, trans_a: bool, trans_b: bool) -> Var {
+        let out = self.value().matmul_t(other.value(), trans_a, trans_b);
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let (da, db) = matmul_grads(a.value(), b.value(), g, trans_a, trans_b, false);
+                a.accum_grad(&da);
+                b.accum_grad(&db);
+            }),
+        )
+    }
+
+    /// Batched matrix product `[b, m, k] @ [b, k, n] -> [b, m, n]`.
+    #[track_caller]
+    pub fn bmm(&self, other: &Var) -> Var {
+        self.bmm_tt(other, false, false)
+    }
+
+    /// Batched matrix product `self @ other^T` per batch element.
+    #[track_caller]
+    pub fn bmm_nt(&self, other: &Var) -> Var {
+        self.bmm_tt(other, false, true)
+    }
+
+    /// Batched matrix product with explicit transpose flags.
+    #[track_caller]
+    pub fn bmm_tt(&self, other: &Var, trans_a: bool, trans_b: bool) -> Var {
+        let out = self.value().bmm_t(other.value(), trans_a, trans_b);
+        let (a, b) = (self.clone(), other.clone());
+        Var::from_op(
+            out,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g| {
+                let (da, db) = matmul_grads(a.value(), b.value(), g, trans_a, trans_b, true);
+                a.accum_grad(&da);
+                b.accum_grad(&db);
+            }),
+        )
+    }
+
+    /// 2-D transpose as a graph op.
+    #[track_caller]
+    pub fn transpose2(&self) -> Var {
+        let out = self.value().transpose2();
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.transpose2())),
+        )
+    }
+}
+
+/// Gradients of `C = opA(A) @ opB(B)` for both the 2-D and batched case.
+fn matmul_grads(
+    av: &Tensor,
+    bv: &Tensor,
+    g: &Tensor,
+    trans_a: bool,
+    trans_b: bool,
+    batched: bool,
+) -> (Tensor, Tensor) {
+    let mm = |x: &Tensor, y: &Tensor, tx: bool, ty: bool| {
+        if batched {
+            x.bmm_t(y, tx, ty)
+        } else {
+            x.matmul_t(y, tx, ty)
+        }
+    };
+    match (trans_a, trans_b) {
+        // C = A B: dA = G B^T, dB = A^T G
+        (false, false) => (mm(g, bv, false, true), mm(av, g, true, false)),
+        // C = A B^T: dA = G B, dB = G^T A
+        (false, true) => (mm(g, bv, false, false), mm(g, av, true, false)),
+        // C = A^T B: dA = B G^T, dB = A G
+        (true, false) => (mm(bv, g, false, true), mm(av, g, false, false)),
+        // C = A^T B^T: dA = B^T G^T, dB = G^T A^T
+        (true, true) => (mm(bv, g, true, true), mm(g, av, true, true)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn leaf(shape: &[usize], seed: u64) -> Var {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Var::leaf(Tensor::randn(shape, 1.0, &mut rng))
+    }
+
+    #[test]
+    fn matmul_forward_shape() {
+        let a = leaf(&[2, 3], 0);
+        let b = leaf(&[3, 4], 1);
+        assert_eq!(a.matmul(&b).shape(), &[2, 4]);
+        assert_eq!(a.matmul_tn(&leaf(&[2, 5], 2)).shape(), &[3, 5]);
+        assert_eq!(a.matmul_nt(&leaf(&[4, 3], 3)).shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn matmul_grad_shapes_match_inputs() {
+        for (ta, tb, ashape, bshape) in [
+            (false, false, [2usize, 3usize], [3usize, 4usize]),
+            (false, true, [2, 3], [4, 3]),
+            (true, false, [3, 2], [3, 4]),
+            (true, true, [3, 2], [4, 3]),
+        ] {
+            let a = leaf(&ashape, 10);
+            let b = leaf(&bshape, 11);
+            let y = a.matmul_tt(&b, ta, tb).sum_all();
+            y.backward();
+            assert_eq!(a.grad().unwrap().shape(), &ashape, "ta={ta} tb={tb}");
+            assert_eq!(b.grad().unwrap().shape(), &bshape, "ta={ta} tb={tb}");
+        }
+    }
+
+    #[test]
+    fn bmm_grad_shapes_match_inputs() {
+        for (ta, tb, ashape, bshape) in [
+            (false, false, [2usize, 3, 4], [2usize, 4, 5]),
+            (false, true, [2, 3, 4], [2, 5, 4]),
+            (true, false, [2, 4, 3], [2, 4, 5]),
+            (true, true, [2, 4, 3], [2, 5, 4]),
+        ] {
+            let a = leaf(&ashape, 20);
+            let b = leaf(&bshape, 21);
+            let y = a.bmm_tt(&b, ta, tb).sum_all();
+            y.backward();
+            assert_eq!(a.grad().unwrap().shape(), &ashape, "ta={ta} tb={tb}");
+            assert_eq!(b.grad().unwrap().shape(), &bshape, "ta={ta} tb={tb}");
+        }
+    }
+
+    #[test]
+    fn matmul_grad_against_manual() {
+        // y = sum(A @ B): dA = ones @ B^T (row sums of B), dB = A^T @ ones.
+        let a = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = Var::leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap());
+        a.matmul(&b).sum_all().backward();
+        assert_eq!(a.grad().unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(b.grad().unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_grad_is_transpose() {
+        let a = Var::leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap());
+        let y = a.transpose2();
+        assert_eq!(y.shape(), &[3, 2]);
+        y.sum_all().backward();
+        assert_eq!(a.grad().unwrap().shape(), &[2, 3]);
+    }
+}

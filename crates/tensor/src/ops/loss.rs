@@ -1,0 +1,364 @@
+//! Fused loss heads.
+//!
+//! Both losses here are numerically stabilised log-sum-exp reductions
+//! with analytically derived gradients; they are the work-horses for
+//! every objective in the PMMRec paper (DAP, VCL/ICL/NICL, NID, RCL all
+//! reduce to one of these two).
+
+use crate::{Tensor, Var};
+use std::rc::Rc;
+
+impl Var {
+    /// Mean softmax cross-entropy with integer targets.
+    ///
+    /// `self` is `[n, c]` logits; `targets[i] < c`. `row_weights`
+    /// (defaulting to all ones) lets callers mask padded rows; the loss
+    /// is normalised by the weight sum. Returns a `[1]` scalar.
+    #[track_caller]
+    pub fn cross_entropy_logits(&self, targets: &[usize], row_weights: Option<&[f32]>) -> Var {
+        assert_eq!(self.shape().len(), 2, "cross_entropy: logits must be rank 2");
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(targets.len(), n, "cross_entropy: {n} rows, {} targets", targets.len());
+        if let Some(w) = row_weights {
+            assert_eq!(w.len(), n, "cross_entropy: weights len != rows");
+        }
+        let weights: Rc<[f32]> = match row_weights {
+            Some(w) => w.into(),
+            None => vec![1.0f32; n].into(),
+        };
+        let wsum: f32 = weights.iter().sum();
+        let x = self.value().data();
+        // Cache softmax probabilities for the backward pass.
+        let probs = self.value().softmax_last();
+        let mut loss = 0.0f32;
+        for i in 0..n {
+            if weights[i] == 0.0 {
+                continue;
+            }
+            let t = targets[i];
+            assert!(t < c, "cross_entropy: target {t} out of range 0..{c}");
+            let row = &x[i * c..(i + 1) * c];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse: f32 = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            loss += weights[i] * (lse - row[t]);
+        }
+        let norm = if wsum > 0.0 { wsum } else { 1.0 };
+        let out = Tensor::scalar(loss / norm);
+        let a = self.clone();
+        let targets: Rc<[usize]> = targets.into();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gs = g.scalar_value() / norm;
+                let mut dx = probs.clone();
+                let buf = dx.data_mut();
+                for i in 0..n {
+                    let w = weights[i];
+                    if w == 0.0 {
+                        buf[i * c..(i + 1) * c].iter_mut().for_each(|v| *v = 0.0);
+                        continue;
+                    }
+                    buf[i * c + targets[i]] -= 1.0;
+                    for v in &mut buf[i * c..(i + 1) * c] {
+                        *v *= gs * w;
+                    }
+                }
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Group contrastive loss over a similarity matrix (the NICL/DAP
+    /// family, Eqs. 5–9 of the paper).
+    ///
+    /// For each row `i` of the `[n, m]` similarity matrix `S`:
+    ///
+    /// ```text
+    /// L_i = -log( sum_{j in pos_i} exp(S_ij) / sum_{j in den_i} exp(S_ij) )
+    ///     = lse(S_i | den_i) - lse(S_i | pos_i)
+    /// ```
+    ///
+    /// where `pos`/`den` are 0/1 masks. This generalises InfoNCE:
+    /// a single positive and `den = pos + negatives` recovers Eq. 5/6;
+    /// multi-positive numerators recover NICL (Eq. 8). Rows whose
+    /// positive mask is empty (or with `row_weights` zero) are skipped.
+    /// The loss is averaged over contributing weight.
+    #[track_caller]
+    pub fn group_contrastive_loss(
+        &self,
+        pos_mask: &Tensor,
+        den_mask: &Tensor,
+        row_weights: Option<&[f32]>,
+    ) -> Var {
+        assert_eq!(self.shape().len(), 2, "group_contrastive: sims must be rank 2");
+        let (n, m) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(pos_mask.shape(), &[n, m], "group_contrastive: pos mask shape");
+        assert_eq!(den_mask.shape(), &[n, m], "group_contrastive: den mask shape");
+        if let Some(w) = row_weights {
+            assert_eq!(w.len(), n, "group_contrastive: weights len != rows");
+        }
+        let s = self.value().data();
+        let pm = pos_mask.data();
+        let dm = den_mask.data();
+        let mut loss = 0.0f32;
+        let mut wsum = 0.0f32;
+        // Per-row softmax distributions within each mask, cached for backward.
+        let mut p_pos = vec![0.0f32; n * m];
+        let mut p_den = vec![0.0f32; n * m];
+        let mut row_w = vec![0.0f32; n];
+        for i in 0..n {
+            let w = row_weights.map_or(1.0, |w| w[i]);
+            if w == 0.0 {
+                continue;
+            }
+            let srow = &s[i * m..(i + 1) * m];
+            let prow = &pm[i * m..(i + 1) * m];
+            let drow = &dm[i * m..(i + 1) * m];
+            // Stabilise with the max over the union of both masks.
+            let mut max = f32::NEG_INFINITY;
+            let mut any_pos = false;
+            for j in 0..m {
+                if prow[j] != 0.0 {
+                    any_pos = true;
+                }
+                if prow[j] != 0.0 || drow[j] != 0.0 {
+                    max = max.max(srow[j]);
+                }
+            }
+            if !any_pos || !max.is_finite() {
+                continue;
+            }
+            let mut sum_pos = 0.0f32;
+            let mut sum_den = 0.0f32;
+            for j in 0..m {
+                let e = (srow[j] - max).exp();
+                if prow[j] != 0.0 {
+                    p_pos[i * m + j] = e;
+                    sum_pos += e;
+                }
+                if drow[j] != 0.0 {
+                    p_den[i * m + j] = e;
+                    sum_den += e;
+                }
+            }
+            if sum_pos <= 0.0 || sum_den <= 0.0 {
+                continue;
+            }
+            let inv_p = 1.0 / sum_pos;
+            let inv_d = 1.0 / sum_den;
+            for j in 0..m {
+                p_pos[i * m + j] *= inv_p;
+                p_den[i * m + j] *= inv_d;
+            }
+            loss += w * (sum_den.ln() - sum_pos.ln());
+            row_w[i] = w;
+            wsum += w;
+        }
+        let norm = if wsum > 0.0 { wsum } else { 1.0 };
+        let out = Tensor::scalar(loss / norm);
+        let a = self.clone();
+        let shape = self.shape().to_vec();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gs = g.scalar_value() / norm;
+                let mut dx = vec![0.0f32; n * m];
+                for i in 0..n {
+                    if row_w[i] == 0.0 {
+                        continue;
+                    }
+                    let c = gs * row_w[i];
+                    for j in 0..m {
+                        dx[i * m + j] = c * (p_den[i * m + j] - p_pos[i * m + j]);
+                    }
+                }
+                a.accum_grad(&Tensor::from_vec(dx, &shape).expect("gcl dx"));
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32], shape: &[usize]) -> Var {
+        Var::leaf(Tensor::from_vec(data.to_vec(), shape).unwrap())
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_logits_is_ln_c() {
+        let x = v(&[0.0; 8], &[2, 4]);
+        let l = x.cross_entropy_logits(&[1, 3], None);
+        assert!((l.value().scalar_value() - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_is_probs_minus_onehot() {
+        let x = v(&[0.0, 0.0], &[1, 2]);
+        let l = x.cross_entropy_logits(&[0], None);
+        l.backward();
+        let g = x.grad().unwrap();
+        assert!((g.data()[0] + 0.5).abs() < 1e-6);
+        assert!((g.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_weighted_rows() {
+        let x = v(&[5.0, 0.0, 0.0, 5.0], &[2, 2]);
+        // Row 0 predicts class 0 (correct), row 1 predicts class 1 but we
+        // mask it out entirely — loss is only row 0's small loss.
+        let l = x.cross_entropy_logits(&[0, 0], Some(&[1.0, 0.0]));
+        assert!(l.value().scalar_value() < 0.01);
+        l.backward();
+        let g = x.grad().unwrap();
+        assert_eq!(&g.data()[2..], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_decreases_with_confidence() {
+        let weak = v(&[1.0, 0.0], &[1, 2]).cross_entropy_logits(&[0], None);
+        let strong = v(&[5.0, 0.0], &[1, 2]).cross_entropy_logits(&[0], None);
+        assert!(strong.value().scalar_value() < weak.value().scalar_value());
+    }
+
+    #[test]
+    fn group_contrastive_matches_cross_entropy_for_single_positive() {
+        // With pos = {target}, den = everything, the loss equals CE.
+        let logits = [1.0f32, -0.5, 0.25, 2.0];
+        let x1 = v(&logits, &[1, 4]);
+        let ce = x1.cross_entropy_logits(&[2], None);
+        let x2 = v(&logits, &[1, 4]);
+        let pos = Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0], &[1, 4]).unwrap();
+        let den = Tensor::ones(&[1, 4]);
+        let gc = x2.group_contrastive_loss(&pos, &den, None);
+        assert!(
+            (ce.value().scalar_value() - gc.value().scalar_value()).abs() < 1e-5,
+            "{} vs {}",
+            ce.value().scalar_value(),
+            gc.value().scalar_value()
+        );
+        ce.backward();
+        gc.backward();
+        for (a, b) in x1.grad().unwrap().data().iter().zip(x2.grad().unwrap().data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn group_contrastive_multi_positive_reduces_loss() {
+        let logits = [1.0f32, 1.0, -3.0, -3.0];
+        let single_pos = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[1, 4]).unwrap();
+        let multi_pos = Tensor::from_vec(vec![1.0, 1.0, 0.0, 0.0], &[1, 4]).unwrap();
+        let den = Tensor::ones(&[1, 4]);
+        let l1 = v(&logits, &[1, 4]).group_contrastive_loss(&single_pos, &den, None);
+        let l2 = v(&logits, &[1, 4]).group_contrastive_loss(&multi_pos, &den, None);
+        assert!(l2.value().scalar_value() < l1.value().scalar_value());
+    }
+
+    #[test]
+    fn group_contrastive_skips_rows_without_positives() {
+        let x = v(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let pos = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let den = Tensor::ones(&[2, 2]);
+        let l = x.group_contrastive_loss(&pos, &den, None);
+        l.backward();
+        let g = x.grad().unwrap();
+        assert_eq!(&g.data()[2..], &[0.0, 0.0], "skipped row must get zero grad");
+    }
+
+    #[test]
+    fn group_contrastive_loss_is_nonnegative_when_pos_subset_of_den() {
+        let x = v(&[0.3, -0.7, 1.9, 0.2], &[1, 4]);
+        let pos = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[1, 4]).unwrap();
+        let den = Tensor::ones(&[1, 4]);
+        let l = x.group_contrastive_loss(&pos, &den, None);
+        assert!(l.value().scalar_value() >= 0.0);
+    }
+
+    #[test]
+    fn group_contrastive_perfect_separation_approaches_zero() {
+        let x = v(&[20.0, -20.0, -20.0], &[1, 3]);
+        let pos = Tensor::from_vec(vec![1.0, 0.0, 0.0], &[1, 3]).unwrap();
+        let den = Tensor::ones(&[1, 3]);
+        let l = x.group_contrastive_loss(&pos, &den, None);
+        assert!(l.value().scalar_value() < 1e-5);
+    }
+}
+
+impl Var {
+    /// Weighted mean-squared error against constant targets.
+    ///
+    /// `self` is `[n]` or `[n, 1]` predictions; returns a `[1]` scalar
+    /// `sum_i w_i (x_i - t_i)^2 / sum_i w_i`.
+    #[track_caller]
+    pub fn mse_loss(&self, targets: &[f32], row_weights: Option<&[f32]>) -> Var {
+        let n = self.value().len();
+        assert_eq!(targets.len(), n, "mse_loss: {n} predictions, {} targets", targets.len());
+        if let Some(w) = row_weights {
+            assert_eq!(w.len(), n, "mse_loss: weights len != predictions");
+        }
+        let weights: Rc<[f32]> = match row_weights {
+            Some(w) => w.into(),
+            None => vec![1.0f32; n].into(),
+        };
+        let wsum: f32 = weights.iter().sum();
+        let norm = if wsum > 0.0 { wsum } else { 1.0 };
+        let x = self.value().data();
+        let mut loss = 0.0f32;
+        let mut resid = vec![0.0f32; n];
+        for i in 0..n {
+            let r = x[i] - targets[i];
+            resid[i] = r;
+            loss += weights[i] * r * r;
+        }
+        let out = Tensor::scalar(loss / norm);
+        let a = self.clone();
+        let shape = self.shape().to_vec();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gs = g.scalar_value() / norm;
+                let dx: Vec<f32> = resid
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(&r, &w)| 2.0 * w * r * gs)
+                    .collect();
+                a.accum_grad(&Tensor::from_vec(dx, &shape).expect("mse dx"));
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod mse_tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_exact_predictions_is_zero() {
+        let x = Var::leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let l = x.mse_loss(&[1.0, 2.0], None);
+        assert_eq!(l.value().scalar_value(), 0.0);
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let x = Var::leaf(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let l = x.mse_loss(&[1.0], None); // (3-1)^2 = 4
+        assert_eq!(l.value().scalar_value(), 4.0);
+        l.backward();
+        assert_eq!(x.grad().unwrap().scalar_value(), 4.0); // 2(3-1)
+    }
+
+    #[test]
+    fn mse_weights_mask_rows() {
+        let x = Var::leaf(Tensor::from_vec(vec![5.0, 1.0], &[2]).unwrap());
+        let l = x.mse_loss(&[0.0, 0.0], Some(&[0.0, 1.0]));
+        assert_eq!(l.value().scalar_value(), 1.0);
+        l.backward();
+        assert_eq!(x.grad().unwrap().data()[0], 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Differentiable operators on [`crate::Var`], grouped by family.
+//!
+//! Every op follows the same pattern: compute the output `Tensor`
+//! eagerly, then record a backward closure that maps the output gradient
+//! to parent gradients via [`crate::Var::accum_grad`]. Ops whose inputs
+//! are all constants are pruned automatically by `Var::from_op`.
+
+mod activation;
+mod elementwise;
+mod linalg;
+mod loss;
+mod norm;
+mod structural;

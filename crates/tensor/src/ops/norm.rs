@@ -1,0 +1,314 @@
+//! Row-wise normalisation ops: softmax (plain/masked), layer norm,
+//! l2-normalisation and dropout.
+
+use crate::shape::rows_last;
+use crate::tensor::softmax_row;
+use crate::{Tensor, Var};
+
+impl Var {
+    /// Softmax over the last axis.
+    pub fn softmax_last(&self) -> Var {
+        let out = self.value().softmax_last();
+        let a = self.clone();
+        let y = out.clone();
+        let (rows, last) = rows_last("softmax", self.shape());
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&softmax_backward(&y, g, rows, last))),
+        )
+    }
+
+    /// Masked softmax over the last axis.
+    ///
+    /// `mask` must have the same shape; entries equal to `0.0` are
+    /// treated as `-inf` logits (their output probability and gradient
+    /// are exactly zero). Fully masked rows produce all-zero rows.
+    #[track_caller]
+    pub fn masked_softmax_last(&self, mask: &Tensor) -> Var {
+        assert_eq!(
+            mask.shape(),
+            self.shape(),
+            "masked_softmax: mask shape {:?} != input {:?}",
+            mask.shape(),
+            self.shape()
+        );
+        let (rows, last) = rows_last("masked_softmax", self.shape());
+        let mut masked = self.value().zip_map(mask, |x, m| {
+            if m == 0.0 {
+                f32::NEG_INFINITY
+            } else {
+                x
+            }
+        });
+        let buf = masked.data_mut();
+        let mut out = vec![0.0f32; buf.len()];
+        for r in 0..rows {
+            let src = &buf[r * last..(r + 1) * last];
+            softmax_row(src, &mut out[r * last..(r + 1) * last]);
+        }
+        let out = Tensor::from_vec(out, self.shape()).expect("softmax numel");
+        let a = self.clone();
+        let y = out.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&softmax_backward(&y, g, rows, last))),
+        )
+    }
+
+    /// Layer normalisation over the last axis with affine parameters.
+    ///
+    /// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, row-wise.
+    #[track_caller]
+    pub fn layer_norm(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        let (rows, d) = rows_last("layer_norm", self.shape());
+        assert_eq!(gamma.shape(), &[d], "layer_norm: gamma must be [{d}]");
+        assert_eq!(beta.shape(), &[d], "layer_norm: beta must be [{d}]");
+        let x = self.value().data();
+        let gm = gamma.value().data();
+        let bt = beta.value().data();
+        let mut out = vec![0.0f32; x.len()];
+        let mut xhat = vec![0.0f32; x.len()];
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for j in 0..d {
+                let xh = (row[j] - mean) * istd;
+                xhat[r * d + j] = xh;
+                out[r * d + j] = gm[j] * xh + bt[j];
+            }
+        }
+        let out = Tensor::from_vec(out, self.shape()).expect("ln numel");
+        let (a, gv, bv) = (self.clone(), gamma.clone(), beta.clone());
+        let shape = self.shape().to_vec();
+        Var::from_op(
+            out,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |g| {
+                let gd = g.data();
+                let gmv = gv.value().data();
+                let mut dx = vec![0.0f32; gd.len()];
+                let mut dgamma = vec![0.0f32; d];
+                let mut dbeta = vec![0.0f32; d];
+                for r in 0..rows {
+                    let istd = inv_std[r];
+                    let xh = &xhat[r * d..(r + 1) * d];
+                    let go = &gd[r * d..(r + 1) * d];
+                    // dxhat = g * gamma; accumulate row statistics.
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for j in 0..d {
+                        let dxh = go[j] * gmv[j];
+                        sum_dxhat += dxh;
+                        sum_dxhat_xhat += dxh * xh[j];
+                        dgamma[j] += go[j] * xh[j];
+                        dbeta[j] += go[j];
+                    }
+                    let inv_d = 1.0 / d as f32;
+                    for j in 0..d {
+                        let dxh = go[j] * gmv[j];
+                        dx[r * d + j] =
+                            istd * (dxh - inv_d * sum_dxhat - xh[j] * inv_d * sum_dxhat_xhat);
+                    }
+                }
+                a.accum_grad(&Tensor::from_vec(dx, &shape).expect("ln dx"));
+                gv.accum_grad(&Tensor::from_vec(dgamma, &[d]).expect("ln dgamma"));
+                bv.accum_grad(&Tensor::from_vec(dbeta, &[d]).expect("ln dbeta"));
+            }),
+        )
+    }
+
+    /// Row-wise l2 normalisation over the last axis:
+    /// `y = x / max(||x||, eps)`.
+    pub fn l2_normalize_rows(&self) -> Var {
+        const EPS: f32 = 1e-8;
+        let (rows, d) = rows_last("l2_normalize", self.shape());
+        let x = self.value().data();
+        let mut out = vec![0.0f32; x.len()];
+        let mut norms = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &x[r * d..(r + 1) * d];
+            let n = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(EPS);
+            norms[r] = n;
+            for j in 0..d {
+                out[r * d + j] = row[j] / n;
+            }
+        }
+        let y = Tensor::from_vec(out, self.shape()).expect("l2 numel");
+        let a = self.clone();
+        let yv = y.clone();
+        let shape = self.shape().to_vec();
+        Var::from_op(
+            y,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gd = g.data();
+                let yd = yv.data();
+                let mut dx = vec![0.0f32; gd.len()];
+                for r in 0..rows {
+                    let go = &gd[r * d..(r + 1) * d];
+                    let yo = &yd[r * d..(r + 1) * d];
+                    let dot: f32 = go.iter().zip(yo).map(|(&a, &b)| a * b).sum();
+                    let inv_n = 1.0 / norms[r];
+                    for j in 0..d {
+                        dx[r * d + j] = (go[j] - dot * yo[j]) * inv_n;
+                    }
+                }
+                a.accum_grad(&Tensor::from_vec(dx, &shape).expect("l2 dx"));
+            }),
+        )
+    }
+
+    /// Dropout with a caller-supplied keep mask.
+    ///
+    /// `mask` entries should be `0.0` (dropped) or `1/(1-p)` (kept,
+    /// inverted scaling); the layer in `pmm-nn` generates them. Applying
+    /// an all-one mask is the identity (inference mode).
+    #[track_caller]
+    pub fn dropout(&self, mask: &Tensor) -> Var {
+        assert_eq!(
+            mask.shape(),
+            self.shape(),
+            "dropout: mask shape {:?} != input {:?}",
+            mask.shape(),
+            self.shape()
+        );
+        let out = self.value().mul(mask);
+        let a = self.clone();
+        let mask = mask.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.mul(&mask))),
+        )
+    }
+}
+
+/// Shared softmax backward: `dx = (g - sum(g*y)) * y` per row.
+fn softmax_backward(y: &Tensor, g: &Tensor, rows: usize, last: usize) -> Tensor {
+    let yd = y.data();
+    let gd = g.data();
+    let mut dx = vec![0.0f32; gd.len()];
+    for r in 0..rows {
+        let yo = &yd[r * last..(r + 1) * last];
+        let go = &gd[r * last..(r + 1) * last];
+        let dot: f32 = yo.iter().zip(go).map(|(&a, &b)| a * b).sum();
+        for j in 0..last {
+            dx[r * last + j] = (go[j] - dot) * yo[j];
+        }
+    }
+    Tensor::from_vec(dx, y.shape()).expect("softmax dx")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32], shape: &[usize]) -> Var {
+        Var::leaf(Tensor::from_vec(data.to_vec(), shape).unwrap())
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_grad_sums_to_zero() {
+        let x = v(&[1.0, 2.0, 3.0, 0.5, 0.5, 0.5], &[2, 3]);
+        let y = x.softmax_last();
+        for r in 0..2 {
+            let s: f32 = y.value().data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Pick out one element: grad wrt logits must sum to ~0 per row.
+        let seed = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0], &[2, 3]).unwrap();
+        y.backward_with(seed);
+        let g = x.grad().unwrap();
+        let row_sum: f32 = g.data()[..3].iter().sum();
+        assert!(row_sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn masked_softmax_zeroes_masked_positions() {
+        let x = v(&[5.0, 1.0, 3.0], &[1, 3]);
+        let mask = Tensor::from_vec(vec![1.0, 0.0, 1.0], &[1, 3]).unwrap();
+        let y = x.masked_softmax_last(&mask);
+        assert_eq!(y.value().data()[1], 0.0);
+        let s: f32 = y.value().data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        y.sum_all().backward();
+        // sum over softmax outputs has zero gradient everywhere.
+        assert!(x.grad().unwrap().data().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn masked_softmax_fully_masked_row_is_zero() {
+        let x = v(&[5.0, 1.0], &[1, 2]);
+        let mask = Tensor::zeros(&[1, 2]);
+        let y = x.masked_softmax_last(&mask);
+        assert_eq!(y.value().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardised() {
+        let x = v(&[1.0, 2.0, 3.0, 4.0], &[1, 4]);
+        let gamma = Var::leaf(Tensor::ones(&[4]));
+        let beta = Var::leaf(Tensor::zeros(&[4]));
+        let y = x.layer_norm(&gamma, &beta, 1e-5);
+        let mean: f32 = y.value().data().iter().sum::<f32>() / 4.0;
+        let var: f32 = y.value().data().iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_grads_populate_all_three_inputs() {
+        let x = v(&[0.3, -1.2, 0.8, 2.0, -0.5, 0.1], &[2, 3]);
+        let gamma = Var::leaf(Tensor::from_vec(vec![1.5, 0.5, 1.0], &[3]).unwrap());
+        let beta = Var::leaf(Tensor::from_vec(vec![0.1, -0.1, 0.0], &[3]).unwrap());
+        let y = x.layer_norm(&gamma, &beta, 1e-5);
+        // A non-uniform seed so dx is nontrivial.
+        let seed = Tensor::from_vec(vec![1.0, -2.0, 0.5, 0.3, 0.7, -1.1], &[2, 3]).unwrap();
+        y.backward_with(seed);
+        assert!(x.grad().unwrap().all_finite());
+        assert!(gamma.grad().unwrap().all_finite());
+        // dbeta = column sums of the seed.
+        let db = beta.grad().unwrap();
+        assert!((db.data()[0] - 1.3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn l2_normalize_produces_unit_rows() {
+        let x = v(&[3.0, 4.0, 0.0, 5.0], &[2, 2]);
+        let y = x.l2_normalize_rows();
+        for r in 0..2 {
+            let n: f32 = y.value().data()[r * 2..(r + 1) * 2]
+                .iter()
+                .map(|&v| v * v)
+                .sum::<f32>()
+                .sqrt();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l2_normalize_grad_is_orthogonal_to_output() {
+        // d||y||^2/dx = 0 because ||y|| is constant 1 -> grad of sum(y*y) is 0.
+        let x = v(&[1.0, 2.0, 2.0], &[1, 3]);
+        let y = x.l2_normalize_rows();
+        let z = y.mul(&y).sum_all();
+        z.backward();
+        assert!(x.grad().unwrap().data().iter().all(|v| v.abs() < 1e-5));
+    }
+
+    #[test]
+    fn dropout_applies_mask_in_forward_and_backward() {
+        let x = v(&[1.0, 2.0, 3.0, 4.0], &[4]);
+        let mask = Tensor::from_vec(vec![2.0, 0.0, 2.0, 0.0], &[4]).unwrap();
+        let y = x.dropout(&mask);
+        assert_eq!(y.value().data(), &[2.0, 0.0, 6.0, 0.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[2.0, 0.0, 2.0, 0.0]);
+    }
+}

@@ -1,0 +1,385 @@
+//! Shape-changing and index-moving ops: reshape, concat, gather, head
+//! splitting for attention, pooling and global reductions.
+
+use crate::shape::numel;
+use crate::{Tensor, Var};
+use std::rc::Rc;
+
+impl Var {
+    /// Views the value under a new shape with identical element count.
+    #[track_caller]
+    pub fn reshape(&self, shape: &[usize]) -> Var {
+        let old_shape = self.shape().to_vec();
+        let out = self.value().reshape_ref(shape);
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| a.accum_grad(&g.reshape_ref(&old_shape))),
+        )
+    }
+
+    /// Concatenates along axis 0. All inputs must share trailing axes.
+    #[track_caller]
+    pub fn concat0(parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat0: no inputs");
+        let trailing: Vec<usize> = parts[0].shape()[1..].to_vec();
+        let row = numel(&trailing).max(1);
+        let mut total0 = 0usize;
+        for p in parts {
+            assert_eq!(
+                &p.shape()[1..],
+                trailing.as_slice(),
+                "concat0: trailing axes differ: {:?} vs {:?}",
+                p.shape(),
+                parts[0].shape()
+            );
+            total0 += p.shape()[0];
+        }
+        let mut data = Vec::with_capacity(total0 * row);
+        for p in parts {
+            data.extend_from_slice(p.value().data());
+        }
+        let mut shape = vec![total0];
+        shape.extend_from_slice(&trailing);
+        let out = Tensor::from_vec(data, &shape).expect("concat numel");
+        let owned: Vec<Var> = parts.to_vec();
+        let sizes: Vec<usize> = parts.iter().map(|p| p.value().len()).collect();
+        let shapes: Vec<Vec<usize>> = parts.iter().map(|p| p.shape().to_vec()).collect();
+        let captured = owned.clone();
+        Var::from_op(
+            out,
+            owned,
+            Box::new(move |g| {
+                let mut offset = 0usize;
+                for (i, p) in captured.iter().enumerate() {
+                    let part = Tensor::from_vec(
+                        g.data()[offset..offset + sizes[i]].to_vec(),
+                        &shapes[i],
+                    )
+                    .expect("split numel");
+                    p.accum_grad(&part);
+                    offset += sizes[i];
+                }
+            }),
+        )
+    }
+
+    /// Gathers rows of a 2-D tensor: `out[i] = self[ids[i]]`.
+    ///
+    /// This doubles as the embedding-lookup op; gradients scatter-add
+    /// back into the source rows (repeated ids accumulate).
+    #[track_caller]
+    pub fn gather_rows(&self, ids: &[usize]) -> Var {
+        assert_eq!(self.shape().len(), 2, "gather_rows: input must be rank 2");
+        let out = self.value().gather_rows(ids);
+        let a = self.clone();
+        let src_shape = self.shape().to_vec();
+        let ids: Rc<[usize]> = ids.into();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let d = src_shape[1];
+                let mut dx = Tensor::zeros(&src_shape);
+                let buf = dx.data_mut();
+                for (r, &i) in ids.iter().enumerate() {
+                    for (dst, &gv) in buf[i * d..(i + 1) * d].iter_mut().zip(&g.data()[r * d..(r + 1) * d]) {
+                        *dst += gv;
+                    }
+                }
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Slice of rows `[start, start+len)` of a 2-D tensor.
+    #[track_caller]
+    pub fn slice_rows(&self, start: usize, len: usize) -> Var {
+        assert_eq!(self.shape().len(), 2, "slice_rows: input must be rank 2");
+        let (n, d) = (self.shape()[0], self.shape()[1]);
+        assert!(start + len <= n, "slice_rows: {start}+{len} > {n} rows");
+        let out = Tensor::from_vec(
+            self.value().data()[start * d..(start + len) * d].to_vec(),
+            &[len, d],
+        )
+        .expect("slice numel");
+        let a = self.clone();
+        let src_shape = self.shape().to_vec();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut dx = Tensor::zeros(&src_shape);
+                dx.data_mut()[start * d..(start + len) * d].copy_from_slice(g.data());
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Rearranges a flattened token batch `[b*l, h*dh]` into per-head
+    /// sequences `[b*h, l, dh]` for batched attention.
+    #[track_caller]
+    pub fn split_heads(&self, b: usize, l: usize, h: usize) -> Var {
+        assert_eq!(self.shape().len(), 2, "split_heads: input must be rank 2");
+        let (n, d) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(n, b * l, "split_heads: rows {n} != b*l = {}", b * l);
+        assert_eq!(d % h, 0, "split_heads: model dim {d} not divisible by {h} heads");
+        let dh = d / h;
+        let src = self.value().data();
+        let mut data = vec![0.0f32; n * d];
+        for bi in 0..b {
+            for hi in 0..h {
+                for li in 0..l {
+                    let src_off = (bi * l + li) * d + hi * dh;
+                    let dst_off = ((bi * h + hi) * l + li) * dh;
+                    data[dst_off..dst_off + dh].copy_from_slice(&src[src_off..src_off + dh]);
+                }
+            }
+        }
+        let out = Tensor::from_vec(data, &[b * h, l, dh]).expect("split_heads numel");
+        let a = self.clone();
+        let src_shape = self.shape().to_vec();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let d = src_shape[1];
+                let dh = d / h;
+                let mut dx = Tensor::zeros(&src_shape);
+                let buf = dx.data_mut();
+                let gd = g.data();
+                for bi in 0..b {
+                    for hi in 0..h {
+                        for li in 0..l {
+                            let dst_off = (bi * l + li) * d + hi * dh;
+                            let src_off = ((bi * h + hi) * l + li) * dh;
+                            buf[dst_off..dst_off + dh]
+                                .copy_from_slice(&gd[src_off..src_off + dh]);
+                        }
+                    }
+                }
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Inverse of [`Var::split_heads`]: `[b*h, l, dh] -> [b*l, h*dh]`.
+    #[track_caller]
+    pub fn merge_heads(&self, b: usize, h: usize) -> Var {
+        assert_eq!(self.shape().len(), 3, "merge_heads: input must be rank 3");
+        assert_eq!(
+            self.shape()[0],
+            b * h,
+            "merge_heads: batch axis {} != b*h = {}",
+            self.shape()[0],
+            b * h
+        );
+        let (l, dh) = (self.shape()[1], self.shape()[2]);
+        let d = h * dh;
+        let src = self.value().data();
+        let mut data = vec![0.0f32; b * l * d];
+        for bi in 0..b {
+            for hi in 0..h {
+                for li in 0..l {
+                    let src_off = ((bi * h + hi) * l + li) * dh;
+                    let dst_off = (bi * l + li) * d + hi * dh;
+                    data[dst_off..dst_off + dh].copy_from_slice(&src[src_off..src_off + dh]);
+                }
+            }
+        }
+        let out = Tensor::from_vec(data, &[b * l, d]).expect("merge_heads numel");
+        let a = self.clone();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut dx = Tensor::zeros(&[b * h, l, dh]);
+                let buf = dx.data_mut();
+                let gd = g.data();
+                for bi in 0..b {
+                    for hi in 0..h {
+                        for li in 0..l {
+                            let dst_off = ((bi * h + hi) * l + li) * dh;
+                            let src_off = (bi * l + li) * d + hi * dh;
+                            buf[dst_off..dst_off + dh]
+                                .copy_from_slice(&gd[src_off..src_off + dh]);
+                        }
+                    }
+                }
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Weighted mean-pooling of `b` segments of `l` rows each:
+    /// `out[i] = sum_j w[i*l+j] * x[i*l+j] / sum_j w[i*l+j]`.
+    ///
+    /// `weights` typically holds the padding mask; fully masked segments
+    /// pool to zero.
+    #[track_caller]
+    pub fn mean_pool(&self, b: usize, l: usize, weights: &[f32]) -> Var {
+        assert_eq!(self.shape().len(), 2, "mean_pool: input must be rank 2");
+        let (n, d) = (self.shape()[0], self.shape()[1]);
+        assert_eq!(n, b * l, "mean_pool: rows {n} != b*l = {}", b * l);
+        assert_eq!(weights.len(), n, "mean_pool: weights len != rows");
+        let src = self.value().data();
+        let mut data = vec![0.0f32; b * d];
+        let mut denom = vec![0.0f32; b];
+        for bi in 0..b {
+            for li in 0..l {
+                let w = weights[bi * l + li];
+                denom[bi] += w;
+                if w != 0.0 {
+                    let row = &src[(bi * l + li) * d..(bi * l + li + 1) * d];
+                    for (o, &x) in data[bi * d..(bi + 1) * d].iter_mut().zip(row) {
+                        *o += w * x;
+                    }
+                }
+            }
+            if denom[bi] > 0.0 {
+                let inv = 1.0 / denom[bi];
+                data[bi * d..(bi + 1) * d].iter_mut().for_each(|o| *o *= inv);
+            }
+        }
+        let out = Tensor::from_vec(data, &[b, d]).expect("mean_pool numel");
+        let a = self.clone();
+        let weights: Rc<[f32]> = weights.into();
+        let denom: Rc<[f32]> = denom.into();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let mut dx = Tensor::zeros(&[b * l, d]);
+                let buf = dx.data_mut();
+                let gd = g.data();
+                for bi in 0..b {
+                    if denom[bi] == 0.0 {
+                        continue;
+                    }
+                    let inv = 1.0 / denom[bi];
+                    for li in 0..l {
+                        let w = weights[bi * l + li];
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let row = &mut buf[(bi * l + li) * d..(bi * l + li + 1) * d];
+                        for (o, &gv) in row.iter_mut().zip(&gd[bi * d..(bi + 1) * d]) {
+                            *o = w * inv * gv;
+                        }
+                    }
+                }
+                a.accum_grad(&dx);
+            }),
+        )
+    }
+
+    /// Sum of all elements as a `[1]` tensor.
+    pub fn sum_all(&self) -> Var {
+        let out = Tensor::scalar(self.value().sum());
+        let a = self.clone();
+        let shape = self.shape().to_vec();
+        Var::from_op(
+            out,
+            vec![self.clone()],
+            Box::new(move |g| {
+                let gv = g.scalar_value();
+                a.accum_grad(&Tensor::full(&shape, gv));
+            }),
+        )
+    }
+
+    /// Mean of all elements as a `[1]` tensor.
+    pub fn mean_all(&self) -> Var {
+        let n = self.value().len().max(1) as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(data: &[f32], shape: &[usize]) -> Var {
+        Var::leaf(Tensor::from_vec(data.to_vec(), shape).unwrap())
+    }
+
+    #[test]
+    fn reshape_roundtrip_grad() {
+        let x = v(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.reshape(&[4]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn concat_then_split_grad() {
+        let a = v(&[1.0, 2.0], &[1, 2]);
+        let b = v(&[3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let c = Var::concat0(&[a.clone(), b.clone()]);
+        assert_eq!(c.shape(), &[3, 2]);
+        c.slice_rows(1, 2).sum_all().backward();
+        assert_eq!(a.grad().unwrap().data(), &[0.0, 0.0]);
+        assert_eq!(b.grad().unwrap().data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds_repeats() {
+        let x = v(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let g = x.gather_rows(&[0, 0, 1]);
+        assert_eq!(g.shape(), &[3, 2]);
+        g.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn split_merge_heads_is_identity() {
+        let (b, l, h, dh) = (2usize, 3usize, 2usize, 2usize);
+        let d = h * dh;
+        let data: Vec<f32> = (0..b * l * d).map(|i| i as f32).collect();
+        let x = v(&data, &[b * l, d]);
+        let y = x.split_heads(b, l, h).merge_heads(b, h);
+        assert_eq!(y.value().data(), x.value().data());
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &vec![1.0; b * l * d][..]);
+    }
+
+    #[test]
+    fn split_heads_places_head_blocks() {
+        // b=1, l=2, h=2, dh=1: x = [[a0 a1],[b0 b1]]
+        let x = v(&[10.0, 20.0, 30.0, 40.0], &[2, 2]);
+        let y = x.split_heads(1, 2, 2);
+        assert_eq!(y.shape(), &[2, 2, 1]);
+        // head 0 sequence: [10, 30]; head 1 sequence: [20, 40]
+        assert_eq!(y.value().data(), &[10.0, 30.0, 20.0, 40.0]);
+    }
+
+    #[test]
+    fn mean_pool_respects_mask() {
+        let x = v(&[1.0, 1.0, 3.0, 3.0, 10.0, 10.0, 99.0, 99.0], &[4, 2]);
+        // Two segments of two rows; second row of segment 2 masked out.
+        let y = x.mean_pool(2, 2, &[1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(y.value().data(), &[2.0, 2.0, 10.0, 10.0]);
+        y.sum_all().backward();
+        let g = x.grad().unwrap();
+        assert_eq!(g.data(), &[0.5, 0.5, 0.5, 0.5, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_pool_fully_masked_segment_is_zero() {
+        let x = v(&[5.0, 5.0], &[1, 2]);
+        let y = x.mean_pool(1, 1, &[0.0]);
+        assert_eq!(y.value().data(), &[0.0, 0.0]);
+        y.sum_all().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_all_divides() {
+        let x = v(&[2.0, 4.0], &[2]);
+        let y = x.mean_all();
+        assert_eq!(y.value().scalar_value(), 3.0);
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Shape bookkeeping shared by [`crate::Tensor`] and the autograd ops.
+
+use std::fmt;
+
+/// Error returned by fallible tensor constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The flat buffer length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements in the provided buffer.
+        len: usize,
+        /// Requested shape.
+        shape: Vec<usize>,
+    },
+    /// A shape contained a zero-sized axis where one is not allowed.
+    ZeroAxis {
+        /// Offending shape.
+        shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::LengthMismatch { len, shape } => write!(
+                f,
+                "buffer of length {len} cannot be viewed as shape {shape:?} \
+                 ({} elements)",
+                numel(shape)
+            ),
+            ShapeError::ZeroAxis { shape } => {
+                write!(f, "shape {shape:?} has a zero-sized axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Number of elements implied by `shape` (product of axes; 1 for rank 0).
+#[inline]
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Panics with a descriptive message unless the two shapes are identical.
+///
+/// Shape mismatches are programmer errors throughout this crate, mirroring
+/// the `ndarray` contract.
+#[inline]
+#[track_caller]
+pub fn check_same_shape(op: &str, a: &[usize], b: &[usize]) {
+    assert_eq!(
+        a, b,
+        "{op}: shape mismatch between operands: {a:?} vs {b:?}"
+    );
+}
+
+/// Splits a shape into `(rows, last)` for row-wise ops over the last axis.
+#[inline]
+#[track_caller]
+pub fn rows_last(op: &str, shape: &[usize]) -> (usize, usize) {
+    assert!(!shape.is_empty(), "{op}: rank-0 tensor has no last axis");
+    let last = *shape.last().expect("non-empty");
+    assert!(last > 0, "{op}: last axis must be non-empty, shape {shape:?}");
+    (numel(shape) / last, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_shape_is_one() {
+        assert_eq!(numel(&[]), 1);
+    }
+
+    #[test]
+    fn numel_multiplies_axes() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+    }
+
+    #[test]
+    fn rows_last_splits() {
+        assert_eq!(rows_last("t", &[2, 3, 4]), (6, 4));
+        assert_eq!(rows_last("t", &[5]), (1, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn check_same_shape_panics_on_mismatch() {
+        check_same_shape("add", &[2, 2], &[2, 3]);
+    }
+
+    #[test]
+    fn shape_error_display_mentions_sizes() {
+        let e = ShapeError::LengthMismatch {
+            len: 5,
+            shape: vec![2, 3],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('5') && msg.contains('6'), "{msg}");
+    }
+}

@@ -1,0 +1,714 @@
+//! Dense row-major `f32` tensor storage and the non-autograd kernels.
+
+use crate::shape::{check_same_shape, numel, rows_last, ShapeError};
+use rand::Rng;
+
+/// A dense, row-major, heap-allocated `f32` tensor.
+///
+/// `Tensor` is plain data: all methods that combine tensors allocate a
+/// fresh output (or write into `self` for the `_inplace` variants). The
+/// autograd layer ([`crate::Var`]) wraps `Tensor`s into graph nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from a flat buffer, validating the shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, ShapeError> {
+        if data.len() != numel(shape) {
+            return Err(ShapeError::LengthMismatch {
+                len: data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        Ok(Self {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            data: vec![value; numel(shape)],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Rank-1 "scalar" tensor (shape `[1]`), used for loss values.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            data: vec![value],
+            shape: vec![1],
+        }
+    }
+
+    /// Samples i.i.d. `N(0, std^2)` entries (Box–Muller, driven by `rng`).
+    pub fn randn<R: Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        let n = numel(shape);
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            // Box–Muller transform: two uniforms -> two gaussians.
+            let u1: f32 = rng.random::<f32>().max(1e-12);
+            let u2: f32 = rng.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Samples i.i.d. `U(lo, hi)` entries.
+    pub fn uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
+        let n = numel(shape);
+        let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Tensor shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat read-only view of the storage.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the storage.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Value of a rank-1 single-element tensor.
+    #[track_caller]
+    pub fn scalar_value(&self) -> f32 {
+        assert_eq!(
+            self.len(),
+            1,
+            "scalar_value: tensor has {} elements (shape {:?})",
+            self.len(),
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Element at a 2-D index (for tests/diagnostics; not a hot path).
+    #[track_caller]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 on rank-{} tensor", self.shape.len());
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Reinterprets the buffer under a new shape with equal element count.
+    #[track_caller]
+    pub fn reshaped(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.len(),
+            numel(shape),
+            "reshape: cannot view {:?} as {:?}",
+            self.shape,
+            shape
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Borrowing variant of [`Tensor::reshaped`].
+    #[track_caller]
+    pub fn reshape_ref(&self, shape: &[usize]) -> Self {
+        self.clone().reshaped(shape)
+    }
+
+    /// Row `i` of a 2-D view `[rows, last]` over the last axis.
+    #[inline]
+    pub(crate) fn row(&self, last: usize, i: usize) -> &[f32] {
+        &self.data[i * last..(i + 1) * last]
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise kernels
+    // ------------------------------------------------------------------
+
+    /// `self + other` (same shape).
+    #[track_caller]
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        check_same_shape("add", &self.shape, &other.shape);
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// `self - other` (same shape).
+    #[track_caller]
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        check_same_shape("sub", &self.shape, &other.shape);
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Hadamard product (same shape).
+    #[track_caller]
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        check_same_shape("mul", &self.shape, &other.shape);
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// `self * c`.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|a| a * c)
+    }
+
+    /// Applies `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&a| f(a)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` elementwise against `other`.
+    #[track_caller]
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        check_same_shape("zip_map", &self.shape, &other.shape);
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// `self += other` (same shape), reusing `self`'s allocation.
+    #[track_caller]
+    pub fn add_assign(&mut self, other: &Tensor) {
+        check_same_shape("add_assign", &self.shape, &other.shape);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += c * other` (same shape); the AXPY kernel.
+    #[track_caller]
+    pub fn axpy(&mut self, c: f32, other: &Tensor) {
+        check_same_shape("axpy", &self.shape, &other.shape);
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += c * b;
+        }
+    }
+
+    /// Overwrites every element with zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Matmul kernels
+    // ------------------------------------------------------------------
+
+    /// 2-D matrix product with optional transposes:
+    /// `op_a(self) @ op_b(other)` where `op_x` transposes when the flag is set.
+    #[track_caller]
+    pub fn matmul_t(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul: lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul: rhs must be rank 2");
+        let (m, ka) = if trans_a {
+            (self.shape[1], self.shape[0])
+        } else {
+            (self.shape[0], self.shape[1])
+        };
+        let (kb, n) = if trans_b {
+            (other.shape[1], other.shape[0])
+        } else {
+            (other.shape[0], other.shape[1])
+        };
+        assert_eq!(
+            ka, kb,
+            "matmul: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
+            self.shape, other.shape
+        );
+        let mut out = vec![0.0f32; m * n];
+        matmul_kernel(
+            &self.data,
+            self.shape[1],
+            &other.data,
+            other.shape[1],
+            &mut out,
+            m,
+            ka,
+            n,
+            trans_a,
+            trans_b,
+        );
+        Tensor {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// Plain 2-D matrix product `self @ other`.
+    #[track_caller]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.matmul_t(other, false, false)
+    }
+
+    /// Batched matmul over the leading axis with optional transposes:
+    /// `[b, m, k] @ [b, k, n] -> [b, m, n]`.
+    #[track_caller]
+    pub fn bmm_t(&self, other: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        assert_eq!(self.shape.len(), 3, "bmm: lhs must be rank 3");
+        assert_eq!(other.shape.len(), 3, "bmm: rhs must be rank 3");
+        assert_eq!(
+            self.shape[0], other.shape[0],
+            "bmm: batch dims differ: {:?} vs {:?}",
+            self.shape, other.shape
+        );
+        let b = self.shape[0];
+        let (m, ka) = if trans_a {
+            (self.shape[2], self.shape[1])
+        } else {
+            (self.shape[1], self.shape[2])
+        };
+        let (kb, n) = if trans_b {
+            (other.shape[2], other.shape[1])
+        } else {
+            (other.shape[1], other.shape[2])
+        };
+        assert_eq!(
+            ka, kb,
+            "bmm: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
+            self.shape, other.shape
+        );
+        let a_stride = self.shape[1] * self.shape[2];
+        let b_stride = other.shape[1] * other.shape[2];
+        let o_stride = m * n;
+        let mut out = vec![0.0f32; b * o_stride];
+        for i in 0..b {
+            matmul_kernel(
+                &self.data[i * a_stride..(i + 1) * a_stride],
+                self.shape[2],
+                &other.data[i * b_stride..(i + 1) * b_stride],
+                other.shape[2],
+                &mut out[i * o_stride..(i + 1) * o_stride],
+                m,
+                ka,
+                n,
+                trans_a,
+                trans_b,
+            );
+        }
+        Tensor {
+            data: out,
+            shape: vec![b, m, n],
+        }
+    }
+
+    /// 2-D transpose.
+    #[track_caller]
+    pub fn transpose2(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose2: rank must be 2");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![n, m],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions & row ops
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Softmax over the last axis, numerically stabilised.
+    pub fn softmax_last(&self) -> Tensor {
+        let (rows, last) = rows_last("softmax", &self.shape);
+        let mut out = vec![0.0f32; self.data.len()];
+        for r in 0..rows {
+            let src = self.row(last, r);
+            let dst = &mut out[r * last..(r + 1) * last];
+            softmax_row(src, dst);
+        }
+        Tensor {
+            data: out,
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Index of the maximum element in each row of the last axis.
+    pub fn argmax_last(&self) -> Vec<usize> {
+        let (rows, last) = rows_last("argmax", &self.shape);
+        (0..rows)
+            .map(|r| {
+                let row = self.row(last, r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .expect("non-empty row")
+            })
+            .collect()
+    }
+
+    /// Euclidean norm of the whole tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|a| a.is_finite())
+    }
+
+    /// Gathers rows `ids` from a 2-D tensor into a new `[ids.len(), d]` tensor.
+    #[track_caller]
+    pub fn gather_rows(&self, ids: &[usize]) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "gather_rows: rank must be 2");
+        let d = self.shape[1];
+        let mut data = Vec::with_capacity(ids.len() * d);
+        for &i in ids {
+            assert!(
+                i < self.shape[0],
+                "gather_rows: index {i} out of bounds for {} rows",
+                self.shape[0]
+            );
+            data.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+        }
+        Tensor {
+            data,
+            shape: vec![ids.len(), d],
+        }
+    }
+}
+
+/// Stable softmax of one row into `dst`.
+pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
+    let max = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    // A fully masked row (all -inf) degenerates to all zeros.
+    if max == f32::NEG_INFINITY {
+        dst.iter_mut().for_each(|d| *d = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let e = (s - max).exp();
+        *d = e;
+        sum += e;
+    }
+    // A fully masked row (all -inf) degenerates to uniform zeros.
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        dst.iter_mut().for_each(|d| *d *= inv);
+    }
+}
+
+/// Shared triple-loop matmul kernel with transpose flags.
+///
+/// `a` is `[?, lda]`-strided, `b` is `[?, ldb]`-strided; writes
+/// `out[m, n] = sum_k opA(a)[m, k] * opB(b)[k, n]`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_kernel(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+) {
+    // i-k-j ordering keeps the innermost loop contiguous for the common
+    // (no-transpose) case, which the optimizer can vectorise.
+    match (trans_a, trans_b) {
+        (false, false) => {
+            for i in 0..m {
+                let arow = &a[i * lda..i * lda + k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * ldb..kk * ldb + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // b is [n, k]; dot rows of a with rows of b.
+            for i in 0..m {
+                let arow = &a[i * lda..i * lda + k];
+                for j in 0..n {
+                    let brow = &b[j * ldb..j * ldb + k];
+                    let mut acc = 0.0f32;
+                    for (av, bv) in arow.iter().zip(brow) {
+                        acc += av * bv;
+                    }
+                    out[i * n + j] += acc;
+                }
+            }
+        }
+        (true, false) => {
+            // a is [k, m].
+            for kk in 0..k {
+                let arow = &a[kk * lda..kk * lda + m];
+                let brow = &b[kk * ldb..kk * ldb + n];
+                for (i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (true, true) => {
+            // a is [k, m], b is [n, k].
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += a[kk * lda + i] * b[j * ldb + kk];
+                    }
+                    out[i * n + j] += acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn from_vec_rejects_wrong_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+    }
+
+    #[test]
+    fn full_and_scalar() {
+        assert_eq!(Tensor::full(&[2, 2], 3.0).sum(), 12.0);
+        assert_eq!(Tensor::scalar(7.5).scalar_value(), 7.5);
+    }
+
+    #[test]
+    fn elementwise_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!(a.add(&b).data(), &[5.0; 4]);
+        assert_eq!(a.sub(&b).data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let b = t(&[2.0, 3.0], &[2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let i = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transpose_flags_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[3, 5], 1.0, &mut rng);
+        let via_flag = a.matmul_t(&b, true, false);
+        let via_explicit = a.transpose2().matmul(&b);
+        for (x, y) in via_flag.data().iter().zip(via_explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let c = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let nt = a.matmul_t(&c, false, true);
+        let nt_explicit = a.matmul(&c.transpose2());
+        for (x, y) in nt.data().iter().zip(nt_explicit.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        let tt = a.matmul_t(&Tensor::randn(&[5, 3], 1.0, &mut rng), true, true);
+        assert_eq!(tt.shape(), &[4, 5]);
+    }
+
+    #[test]
+    fn bmm_batches_independently() {
+        let a = t(&[1.0, 0.0, 0.0, 1.0, 2.0, 0.0, 0.0, 2.0], &[2, 2, 2]);
+        let b = t(&[1.0, 2.0, 3.0, 4.0, 1.0, 2.0, 3.0, 4.0], &[2, 2, 2]);
+        let c = a.bmm_t(&b, false, false);
+        assert_eq!(c.shape(), &[2, 2, 2]);
+        assert_eq!(&c.data()[..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&c.data()[4..], &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = t(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = x.softmax_last();
+        for r in 0..2 {
+            let sum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone: bigger logit, bigger prob.
+        assert!(s.data()[2] > s.data()[1] && s.data()[1] > s.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = t(&[100.0, 101.0, 102.0], &[1, 3]);
+        let y = t(&[0.0, 1.0, 2.0], &[1, 3]);
+        let sx = x.softmax_last();
+        let sy = y.softmax_last();
+        for (a, b) in sx.data().iter().zip(sy.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn argmax_last_picks_max_per_row() {
+        let x = t(&[1.0, 9.0, 2.0, 8.0, 0.0, -1.0], &[2, 3]);
+        assert_eq!(x.argmax_last(), vec![1, 0]);
+    }
+
+    #[test]
+    fn gather_rows_copies_requested_rows() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = x.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::randn(&[10_000], 2.0, &mut rng);
+        assert!(x.mean().abs() < 0.1, "mean {}", x.mean());
+        let var: f32 =
+            x.data().iter().map(|&v| (v - x.mean()).powi(2)).sum::<f32>() / x.len() as f32;
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(x.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.reshape_ref(&[4]);
+        assert_eq!(y.shape(), &[4]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape")]
+    fn reshape_rejects_wrong_numel() {
+        let x = t(&[1.0, 2.0], &[2]);
+        let _ = x.reshaped(&[3]);
+    }
+
+    #[test]
+    fn norm_and_finiteness() {
+        let x = t(&[3.0, 4.0], &[2]);
+        assert!((x.norm() - 5.0).abs() < 1e-6);
+        assert!(x.all_finite());
+        let bad = t(&[f32::NAN, 1.0], &[2]);
+        assert!(!bad.all_finite());
+    }
+}

@@ -1,0 +1,166 @@
+//! Finite-difference validation for every differentiable op.
+//!
+//! Each test builds a small random input, composes the op under test
+//! into a scalar loss, and asserts the analytic gradient matches central
+//! finite differences. Proptest drives the randomisation so shapes and
+//! values vary between runs while staying shrinkable.
+
+use pmm_tensor::gradcheck::check_gradients;
+use pmm_tensor::{Tensor, Var};
+use proptest::prelude::*;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+fn small_tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    let sh = shape.clone();
+    proptest::collection::vec(-2.0f32..2.0, n)
+        .prop_map(move |v| Tensor::from_vec(v, &sh).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn grad_add_mul_sub(x in small_tensor(vec![2, 3]), y in small_tensor(vec![2, 3])) {
+        check_gradients(&[x, y], |v| v[0].mul(&v[1]).add(&v[0]).sub(&v[1]).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_add_bias(x in small_tensor(vec![3, 4]), b in small_tensor(vec![4])) {
+        check_gradients(&[x, b], |v| v[0].add_bias(&v[1]).mul(&v[0].add_bias(&v[1])).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_matmul_all_transpose_modes(a in small_tensor(vec![3, 2]), b in small_tensor(vec![2, 4])) {
+        check_gradients(&[a.clone(), b.clone()], |v| v[0].matmul(&v[1]).sum_all(), EPS, TOL);
+        check_gradients(&[a.clone(), b.clone()], |v| v[1].matmul_tn(&v[1]).matmul(&v[0].matmul(&v[1]).transpose2()).sum_all(), EPS, TOL);
+        check_gradients(std::slice::from_ref(&a), |v| v[0].matmul_nt(&v[0]).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_bmm(a in small_tensor(vec![2, 2, 3]), b in small_tensor(vec![2, 3, 2])) {
+        check_gradients(&[a.clone(), b.clone()], |v| v[0].bmm(&v[1]).sum_all(), EPS, TOL);
+        check_gradients(&[a], |v| v[0].bmm_nt(&v[0]).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_activations(x in small_tensor(vec![2, 3])) {
+        check_gradients(std::slice::from_ref(&x), |v| v[0].relu().mul(&v[0]).sum_all(), EPS, 5e-2);
+        check_gradients(std::slice::from_ref(&x), |v| v[0].gelu().sum_all(), EPS, TOL);
+        check_gradients(std::slice::from_ref(&x), |v| v[0].tanh().sum_all(), EPS, TOL);
+        check_gradients(std::slice::from_ref(&x), |v| v[0].sigmoid().sum_all(), EPS, TOL);
+        check_gradients(&[x], |v| v[0].exp().sum_all(), EPS, 5e-2);
+    }
+
+    #[test]
+    fn grad_ln_positive_inputs(x in proptest::collection::vec(0.2f32..3.0, 6)) {
+        let t = Tensor::from_vec(x, &[2, 3]).unwrap();
+        check_gradients(&[t], |v| v[0].ln().sum_all(), 1e-3, TOL);
+    }
+
+    #[test]
+    fn grad_softmax(x in small_tensor(vec![2, 4]), w in small_tensor(vec![2, 4])) {
+        check_gradients(&[x, w], |v| v[0].softmax_last().mul(&v[1]).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_masked_softmax(x in small_tensor(vec![2, 4]), w in small_tensor(vec![2, 4])) {
+        let mask = Tensor::from_vec(vec![1.0, 1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[2, 4]).unwrap();
+        check_gradients(&[x, w], move |v| v[0].masked_softmax_last(&mask).mul(&v[1]).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_layer_norm(
+        x in small_tensor(vec![3, 4]),
+        g in small_tensor(vec![4]),
+        b in small_tensor(vec![4]),
+        w in small_tensor(vec![3, 4]),
+    ) {
+        check_gradients(
+            &[x, g, b, w],
+            |v| v[0].layer_norm(&v[1], &v[2], 1e-5).mul(&v[3]).sum_all(),
+            EPS,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_l2_normalize(x in proptest::collection::vec(0.5f32..2.0, 6), w in small_tensor(vec![2, 3])) {
+        let t = Tensor::from_vec(x, &[2, 3]).unwrap();
+        check_gradients(&[t, w], |v| v[0].l2_normalize_rows().mul(&v[1]).sum_all(), 1e-3, TOL);
+    }
+
+    #[test]
+    fn grad_structural_ops(x in small_tensor(vec![4, 4])) {
+        check_gradients(std::slice::from_ref(&x), |v| v[0].reshape(&[2, 8]).mul(&v[0].reshape(&[2, 8])).sum_all(), EPS, TOL);
+        check_gradients(std::slice::from_ref(&x), |v| v[0].gather_rows(&[0, 2, 2, 3]).mul(&v[0]).sum_all(), EPS, TOL);
+        check_gradients(std::slice::from_ref(&x), |v| v[0].slice_rows(1, 2).mul(&v[0].slice_rows(0, 2)).sum_all(), EPS, TOL);
+        check_gradients(std::slice::from_ref(&x), |v| {
+            v[0].split_heads(2, 2, 2).bmm_nt(&v[0].split_heads(2, 2, 2)).sum_all()
+        }, EPS, TOL);
+        check_gradients(&[x], |v| v[0].mean_pool(2, 2, &[1.0, 1.0, 1.0, 0.0]).mul(&v[0].slice_rows(0, 2)).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_concat(a in small_tensor(vec![2, 3]), b in small_tensor(vec![3, 3])) {
+        check_gradients(&[a, b], |v| {
+            let c = Var::concat0(&[v[0].clone(), v[1].clone()]);
+            c.mul(&c).sum_all()
+        }, EPS, TOL);
+    }
+
+    #[test]
+    fn grad_cross_entropy(x in small_tensor(vec![3, 5])) {
+        check_gradients(std::slice::from_ref(&x), |v| v[0].cross_entropy_logits(&[0, 2, 4], None), 1e-3, TOL);
+        check_gradients(&[x], |v| v[0].cross_entropy_logits(&[1, 1, 3], Some(&[1.0, 0.0, 2.0])), 1e-3, TOL);
+    }
+
+    #[test]
+    fn grad_group_contrastive(x in small_tensor(vec![3, 5])) {
+        let pos = Tensor::from_vec(
+            vec![
+                1.0, 0.0, 1.0, 0.0, 0.0, //
+                0.0, 1.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 1.0, 1.0,
+            ],
+            &[3, 5],
+        )
+        .unwrap();
+        let den = Tensor::from_vec(
+            vec![
+                1.0, 1.0, 0.0, 1.0, 1.0, //
+                0.0, 1.0, 1.0, 1.0, 1.0, //
+                1.0, 1.0, 1.0, 1.0, 0.0,
+            ],
+            &[3, 5],
+        )
+        .unwrap();
+        check_gradients(
+            &[x],
+            move |v| v[0].group_contrastive_loss(&pos, &den, Some(&[1.0, 0.5, 2.0])),
+            1e-3,
+            TOL,
+        );
+    }
+
+    #[test]
+    fn grad_dropout(x in small_tensor(vec![2, 4])) {
+        let mask = Tensor::from_vec(vec![2.0, 0.0, 2.0, 0.0, 0.0, 2.0, 2.0, 2.0], &[2, 4]).unwrap();
+        check_gradients(&[x], move |v| v[0].dropout(&mask).mul(&v[0].dropout(&mask)).sum_all(), EPS, TOL);
+    }
+
+    #[test]
+    fn grad_composite_attention_like(x in small_tensor(vec![4, 4]), w in small_tensor(vec![4, 4])) {
+        // A miniature attention block: q=k=v=xW, scores softmaxed, then
+        // a weighted sum — exercises the op chain end to end.
+        check_gradients(&[x, w], |v| {
+            let h = v[0].matmul(&v[1]);
+            let q = h.split_heads(2, 2, 2);
+            let scores = q.bmm_nt(&q).scale(0.5);
+            let attn = scores.softmax_last();
+            attn.bmm(&q).merge_heads(2, 2).sum_all()
+        }, EPS, 5e-2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Cold-start rescue: demonstrates why pure multi-modality matters
+//! when items are new. An ID-based SASRec scores cold items with
+//! untrained embeddings (near-random), while PMMRec reads their text
+//! and image content and ranks them sensibly.
+//!
+//! ```text
+//! cargo run --release -p pmm-examples --bin cold_start_rescue
+//! ```
+
+use pmm_baselines::sasrec;
+use pmm_data::cold::{cold_items, cold_start_cases};
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::{LeaveOneOut, SplitDataset};
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{evaluate_cases, train_model, TrainConfig};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let world = World::new(WorldConfig::default());
+    let split = SplitDataset::new(build_dataset(&world, DatasetId::Amazon, Scale::Paper, 42));
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // Identify cold items (rare in the training split) and build the
+    // truncated evaluation cases that end in one.
+    let threshold = 7;
+    let cold = cold_items(&split, threshold);
+    let cases: Vec<LeaveOneOut> = cold_start_cases(&split, threshold)
+        .into_iter()
+        .map(|c| LeaveOneOut { prefix: c.prefix, target: c.target })
+        .collect();
+    println!(
+        "{}: {} cold items (<{} train occurrences), {} cold-start cases",
+        split.dataset.name,
+        cold.len(),
+        threshold,
+        cases.len()
+    );
+    if cases.is_empty() {
+        println!("no cold cases at this scale; increase the threshold");
+        return;
+    }
+
+    let cfg = TrainConfig {
+        max_epochs: 10,
+        patience: 2,
+        eval_every: 1,
+        verbose: false,
+    };
+
+    // Train both models on the normal training split…
+    let mut sas = sasrec::build(Default::default(), &split.dataset, &mut rng);
+    let sas_overall = train_model(&mut sas, &split, &cfg, &mut rng);
+    let mut pmm = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+    let pmm_overall = train_model(&mut pmm, &split, &cfg, &mut rng);
+
+    // …then evaluate on cold-item cases only.
+    let sas_cold = evaluate_cases(&sas, &cases);
+    let pmm_cold = evaluate_cases(&pmm, &cases);
+
+    println!("\n              overall test            cold items only");
+    println!("SASRec (ID):  HR@10 {:5.2}              HR@10 {:5.2}", sas_overall.test.hr10(), sas_cold.hr10());
+    println!("PMMRec:       HR@10 {:5.2}              HR@10 {:5.2}", pmm_overall.test.hr10(), pmm_cold.hr10());
+    println!(
+        "\nThe ID model collapses on cold items (its embeddings never trained);\n\
+         the content model keeps ranking from text and image alone."
+    );
+}

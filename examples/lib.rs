@@ -1,0 +1,3 @@
+//! Runnable examples for the PMMRec reproduction. See the `[[bin]]`
+//! targets: `quickstart`, `cross_platform_transfer`,
+//! `cold_start_rescue`, `modality_dropout`.

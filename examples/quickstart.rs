@@ -1,0 +1,53 @@
+//! Quickstart: train PMMRec on one synthetic dataset and print metrics.
+//!
+//! ```text
+//! cargo run --release -p pmm-examples --bin quickstart
+//! ```
+//!
+//! Walks through the whole pipeline: build the shared world, generate a
+//! dataset, split it leave-one-out, train PMMRec with early stopping,
+//! and evaluate full-catalogue ranking metrics.
+
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{train_model, TrainConfig};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. The world: shared latent categories + the universal transition
+    //    matrix every platform obeys.
+    let world = World::new(WorldConfig::default());
+
+    // 2. A dataset: the HM_Clothes target slice, 5-core filtered.
+    let dataset = build_dataset(&world, DatasetId::HmClothes, Scale::Paper, 42);
+    let stats = dataset.stats();
+    println!(
+        "dataset {}: {} users, {} items, {} actions (avg len {:.1})",
+        dataset.name, stats.users, stats.items, stats.actions, stats.avg_length
+    );
+
+    // 3. Leave-one-out split (train / valid / test).
+    let split = SplitDataset::new(dataset);
+
+    // 4. PMMRec with default hyper-parameters. No item IDs anywhere:
+    //    the model sees only each item's text tokens and image patches.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut model = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+    println!("model: {} parameters", model.n_params());
+
+    // 5. Train with early stopping on validation NDCG@10.
+    let cfg = TrainConfig {
+        max_epochs: 12,
+        patience: 2,
+        eval_every: 1,
+        verbose: true,
+    };
+    let result = train_model(&mut model, &split, &cfg, &mut rng);
+
+    println!("\nbest epoch: {}", result.best_epoch);
+    println!("validation: {}", result.valid);
+    println!("test:       {}", result.test);
+}

@@ -1,0 +1,63 @@
+//! Rating prediction (the paper's future-work extension): train a
+//! PMMRec backbone on implicit sequences, then probe it with a small
+//! rating head on synthetic explicit ratings and compare against the
+//! global-mean baseline.
+//!
+//! Uses a multi-category source dataset: single-category target slices
+//! carry little item-quality variance in the backbone representations,
+//! so the head's edge over the mean baseline shows most clearly here.
+//!
+//! ```text
+//! cargo run --release -p pmm-examples --bin rating_prediction
+//! ```
+
+use pmm_data::ratings::synthesize_ratings;
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{train_model, TrainConfig};
+use pmmrec::rating::rmse_mae;
+use pmmrec::{PmmRec, PmmRecConfig, RatingData, RatingHead};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::Amazon, Scale::Paper, 42);
+    let ratings = synthesize_ratings(&ds, 42);
+    println!("{}: {} rated interactions, global mean {:.2}",
+        ds.name, ratings.triples(&ds).len(), ratings.global_mean());
+
+    // 1. Train the backbone on the implicit next-item task.
+    let mut rng = StdRng::seed_from_u64(42);
+    let split = SplitDataset::new(ds.clone());
+    let mut backbone = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+    let cfg = TrainConfig { max_epochs: 16, patience: 3, eval_every: 2, verbose: false };
+    let result = train_model(&mut backbone, &split, &cfg, &mut rng);
+    println!("backbone test ranking: {}", result.test);
+
+    // 2. Probe with a rating head (backbone frozen).
+    let triples: Vec<(Vec<usize>, usize, f32)> = ratings
+        .triples(&ds)
+        .into_iter()
+        .map(|(p, i, r)| (p.to_vec(), i, r))
+        .collect();
+    let mean = ratings.global_mean();
+    let (train, test) = RatingData::new(triples).split_holdout(0.2);
+    let mut head = RatingHead::new(backbone.config().d, 1e-2, &mut rng);
+    for epoch in 1..=40 {
+        let mse = head.train_epoch(&backbone, &train, &mut rng);
+        if epoch % 10 == 0 {
+            println!("head epoch {epoch:2}: train MSE {mse:.4}");
+        }
+    }
+
+    // 3. Compare against predicting the global mean for everything.
+    let (rmse, mae) = head.evaluate(&backbone, &test);
+    let held_targets: Vec<f32> = test.triples().iter().map(|&(_, _, r)| r).collect();
+    let baseline = vec![mean; held_targets.len()];
+    let (base_rmse, base_mae) = rmse_mae(&baseline, &held_targets);
+    println!("\ncontent head:          RMSE {rmse:.3}  MAE {mae:.3}");
+    println!("global-mean baseline:  RMSE {base_rmse:.3}  MAE {base_mae:.3}");
+    println!("\nThe head predicts item quality from content alone — the same property\nthat lets PMMRec rank cold items.");
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every table and figure of the PMMRec paper.
+# Usage: ./run_experiments.sh [extra flags passed to every binary]
+set -e
+FLAGS="$*"
+for bin in table1_versatility_matrix table2_dataset_stats table3_source_performance \
+           table4_transfer table5_versatility fig3_convergence \
+           table6_single_source table7_cold_start table8_ablation \
+           inspect_world noise_check; do
+    echo "=== $bin ==="
+    cargo run --release -q -p pmm-bench --bin "$bin" -- $FLAGS \
+        > "results/$bin.txt" 2> "results/$bin.log"
+    echo "--- done: $bin"
+done

@@ -1,0 +1,83 @@
+//! All nine recommenders behave uniformly under the shared interface.
+
+use pmm_baselines::{carca, common::BaselineConfig, fdsa, gru_rec, morec, nextitnet, sasrec, unisrec, vqrec};
+use pmm_data::dataset::Dataset;
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{evaluate_cases, SeqRecommender};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_models(ds: &Dataset, rng: &mut StdRng) -> Vec<Box<dyn SeqRecommender>> {
+    let cfg = BaselineConfig {
+        d: 16,
+        heads: 2,
+        layers: 1,
+        dropout: 0.0,
+        batch_size: 8,
+        max_len: 8,
+        ..Default::default()
+    };
+    let pmm_cfg = PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        batch_size: 8,
+        max_len: 8,
+        ..Default::default()
+    };
+    vec![
+        Box::new(gru_rec::build(cfg, ds, rng)),
+        Box::new(nextitnet::build(cfg, ds, rng)),
+        Box::new(sasrec::build(cfg, ds, rng)),
+        Box::new(fdsa::build(cfg, ds, rng)),
+        Box::new(carca::build(cfg, ds, rng)),
+        Box::new(unisrec::build(cfg, ds, rng)),
+        Box::new(vqrec::build(cfg, ds, rng)),
+        Box::new(morec::build(cfg, ds, rng)),
+        Box::new(PmmRec::new(pmm_cfg, ds, rng)),
+    ]
+}
+
+#[test]
+fn every_model_trains_and_scores_consistently() {
+    let world = World::new(WorldConfig::default());
+    let split = SplitDataset::new(build_dataset(&world, DatasetId::KwaiCartoon, Scale::Tiny, 42));
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut names = std::collections::HashSet::new();
+    for mut model in all_models(&split.dataset, &mut rng) {
+        assert!(names.insert(model.name().to_string()), "duplicate name {}", model.name());
+        assert_eq!(model.n_items(), split.n_items());
+        let loss = model.train_epoch(&split.train, &mut rng);
+        assert!(loss.is_finite() && loss > 0.0, "{}: loss {loss}", model.name());
+        let scores = model.score_cases(&split.valid[..2.min(split.valid.len())]);
+        for row in &scores {
+            assert_eq!(row.len(), split.n_items(), "{}", model.name());
+            assert!(row.iter().all(|s| s.is_finite()), "{}", model.name());
+        }
+        let m = evaluate_cases(model.as_ref(), &split.valid);
+        assert_eq!(m.cases, split.valid.len(), "{}", model.name());
+    }
+    assert_eq!(names.len(), 9);
+}
+
+#[test]
+fn id_models_cannot_score_beyond_catalogue_but_content_models_share_worlds() {
+    // Two datasets from the same world have disjoint catalogues; models
+    // are bound to their own corpus by construction.
+    let world = World::new(WorldConfig::default());
+    let a = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+    let b = build_dataset(&world, DatasetId::HmShoes, Scale::Tiny, 42);
+    assert_eq!(a.content, b.content, "same world -> same content geometry");
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = BaselineConfig { d: 16, heads: 2, layers: 1, ..Default::default() };
+    let sas_a = sasrec::build(cfg, &a, &mut rng);
+    let sas_b = sasrec::build(cfg, &b, &mut rng);
+    assert_eq!(sas_a.n_items(), a.items.len());
+    assert_eq!(sas_b.n_items(), b.items.len());
+}

@@ -1,0 +1,86 @@
+//! End-to-end: world -> dataset -> split -> train -> evaluate ->
+//! checkpoint -> reload -> identical scores.
+
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{evaluate_cases, train_model, SeqRecommender, TrainConfig};
+use pmmrec::{PmmRec, PmmRecConfig, TransferSetting};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg() -> PmmRecConfig {
+    PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        batch_size: 8,
+        max_len: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_trains_evaluates_and_roundtrips() {
+    let world = World::new(WorldConfig::default());
+    let split = SplitDataset::new(build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42));
+    assert!(split.n_items() > 5);
+    assert!(!split.valid.is_empty() && !split.test.is_empty());
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+    model.set_pretraining(true);
+    let cfg = TrainConfig {
+        max_epochs: 4,
+        patience: 0,
+        eval_every: 2,
+        verbose: false,
+    };
+    let result = train_model(&mut model, &split, &cfg, &mut rng);
+    assert!(result.test.hr10().is_finite());
+    assert!(result.curve.len() == 2);
+    assert!(result.curve.iter().all(|p| p.loss.is_finite()));
+
+    // Checkpoint roundtrip: reloaded model scores identically.
+    let path = std::env::temp_dir().join(format!("e2e_{}.ckpt", std::process::id()));
+    model.save(&path).unwrap();
+    let mut rng2 = StdRng::seed_from_u64(7);
+    let mut reloaded = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng2);
+    reloaded.load_transfer(&path, TransferSetting::Full).unwrap();
+    let a = evaluate_cases(&model, &split.test);
+    let b = evaluate_cases(&reloaded, &split.test);
+    // Full transfer restores every scoring-relevant parameter, so the
+    // ranking metrics must agree exactly.
+    assert_eq!(a.hr, b.hr, "reloaded model ranks differently");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn training_is_seed_reproducible() {
+    let world = World::new(WorldConfig::default());
+    let split = SplitDataset::new(build_dataset(&world, DatasetId::BiliFood, Scale::Tiny, 42));
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        let l1 = model.train_epoch(&split.train, &mut rng);
+        let l2 = model.train_epoch(&split.train, &mut rng);
+        let m = evaluate_cases(&model, &split.valid);
+        (l1, l2, m.hr, m.ndcg)
+    };
+    assert_eq!(run(), run(), "identical seeds must give identical runs");
+}
+
+#[test]
+fn different_seeds_give_different_models() {
+    let world = World::new(WorldConfig::default());
+    let split = SplitDataset::new(build_dataset(&world, DatasetId::BiliFood, Scale::Tiny, 42));
+    let loss = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        model.train_epoch(&split.train, &mut rng)
+    };
+    assert_ne!(loss(1), loss(2));
+}

@@ -1,0 +1,143 @@
+//! Integration coverage for the extension features: rating prediction,
+//! top-k recommendation, baseline checkpoint transfer, dataset IO and
+//! the significance tooling.
+
+use pmm_baselines::{common::BaselineConfig, morec, unisrec, vqrec};
+use pmm_data::ratings::synthesize_ratings;
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::metrics::ranks_for_cases;
+use pmm_eval::significance::{hit_indicators, paired_bootstrap};
+use pmm_eval::SeqRecommender;
+use pmmrec::{PmmRec, PmmRecConfig, RatingData, RatingHead};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_pmm_cfg() -> PmmRecConfig {
+    PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        batch_size: 8,
+        max_len: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn rating_pipeline_end_to_end() {
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::AmazonClothes, Scale::Tiny, 42);
+    let ratings = synthesize_ratings(&ds, 42);
+    let triples: Vec<(Vec<usize>, usize, f32)> = ratings
+        .triples(&ds)
+        .into_iter()
+        .map(|(p, i, r)| (p.to_vec(), i, r))
+        .collect();
+    let (train, test) = RatingData::new(triples).split_holdout(0.25);
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut backbone = PmmRec::new(tiny_pmm_cfg(), &ds, &mut rng);
+    let split = SplitDataset::new(ds);
+    backbone.train_epoch(&split.train, &mut rng);
+
+    let mut head = RatingHead::new(16, 3e-3, &mut rng);
+    let first = head.train_epoch(&backbone, &train, &mut rng);
+    let mut last = first;
+    for _ in 0..6 {
+        last = head.train_epoch(&backbone, &train, &mut rng);
+    }
+    assert!(last < first, "rating MSE did not improve: {first} -> {last}");
+    let (rmse, mae) = head.evaluate(&backbone, &test);
+    assert!(rmse.is_finite() && mae.is_finite());
+    assert!(mae <= rmse + 1e-4, "MAE must never exceed RMSE");
+    // Predictions land in a sane rating range after training.
+    let preds = head.predict(&backbone, test.triples());
+    assert!(preds.iter().all(|&p| (-1.0..7.0).contains(&p)), "{preds:?}");
+}
+
+#[test]
+fn recommendation_api_respects_catalogue() {
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::BiliCartoon, Scale::Tiny, 42);
+    let n = ds.items.len();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = PmmRec::new(tiny_pmm_cfg(), &ds, &mut rng);
+    let recs = model.recommend_top_k(&[0, 1], n + 100, false);
+    assert_eq!(recs.len(), n, "cannot recommend more items than exist");
+    let reps = model.item_representations();
+    assert_eq!(reps.shape()[0], n);
+}
+
+#[test]
+fn transferable_baselines_roundtrip_checkpoints_across_datasets() {
+    let world = World::new(WorldConfig::default());
+    let source = build_dataset(&world, DatasetId::Kwai, Scale::Tiny, 42);
+    let target = build_dataset(&world, DatasetId::KwaiMovie, Scale::Tiny, 42);
+    let cfg = BaselineConfig {
+        d: 16,
+        heads: 2,
+        layers: 1,
+        batch_size: 8,
+        max_len: 8,
+        ..Default::default()
+    };
+    let src_split = SplitDataset::new(source.clone());
+    let mut rng = StdRng::seed_from_u64(2);
+    let dir = std::env::temp_dir();
+
+    // UniSRec: all parameters are catalogue-independent.
+    let mut uni = unisrec::build(cfg, &source, &mut rng);
+    uni.train_epoch(&src_split.train, &mut rng);
+    let p = dir.join(format!("ext_uni_{}.ckpt", std::process::id()));
+    uni.save(&p).unwrap();
+    let mut uni_t = unisrec::build(cfg, &target, &mut rng);
+    let report = uni_t.load_filtered(&p, &[]).unwrap();
+    assert!(report.missing.is_empty(), "unisrec missing {:?}", report.missing);
+    std::fs::remove_file(&p).ok();
+
+    // VQRec: codebook transfer via source centroids.
+    let pq_src = vqrec::fit_quantizer(&source);
+    let mut vq = vqrec::build_with_quantizer(cfg, &source, vqrec::recode_for(&pq_src, &source), &mut rng);
+    vq.train_epoch(&src_split.train, &mut rng);
+    let p = dir.join(format!("ext_vq_{}.ckpt", std::process::id()));
+    vq.save(&p).unwrap();
+    let target_pq = vqrec::recode_for(&pq_src, &target);
+    let mut vq_t = vqrec::build_with_quantizer(cfg, &target, target_pq, &mut rng);
+    let report = vq_t.load_filtered(&p, &[]).unwrap();
+    assert!(report.missing.is_empty(), "vqrec missing {:?}", report.missing);
+    std::fs::remove_file(&p).ok();
+
+    // MoRec++: content encoders + user encoder transfer whole.
+    let mut mo = morec::build(cfg, &source, &mut rng);
+    mo.train_epoch(&src_split.train, &mut rng);
+    let p = dir.join(format!("ext_mo_{}.ckpt", std::process::id()));
+    mo.save(&p).unwrap();
+    let mut mo_t = morec::build(cfg, &target, &mut rng);
+    let report = mo_t.load_filtered(&p, &[]).unwrap();
+    assert!(report.missing.is_empty(), "morec missing {:?}", report.missing);
+    // The transferred model still trains and scores on the new corpus.
+    let tgt_split = SplitDataset::new(target);
+    let loss = mo_t.train_epoch(&tgt_split.train, &mut rng);
+    assert!(loss.is_finite());
+    std::fs::remove_file(&p).ok();
+}
+
+#[test]
+fn bootstrap_on_identical_models_is_insignificant() {
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::HmShoes, Scale::Tiny, 42);
+    let split = SplitDataset::new(ds);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = PmmRec::new(tiny_pmm_cfg(), &split.dataset, &mut rng);
+    model.train_epoch(&split.train, &mut rng);
+    let ranks = ranks_for_cases(&model, &split.test);
+    let a = hit_indicators(&ranks, 10);
+    let rep = paired_bootstrap(&a, &a, 200, &mut rng);
+    assert!(!rep.significant(), "a model cannot significantly beat itself");
+    assert_eq!(rep.observed_diff, 0.0);
+}

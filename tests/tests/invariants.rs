@@ -1,0 +1,88 @@
+//! Property-based invariants spanning the data tooling and metrics.
+
+use pmm_data::batch::Batch;
+use pmm_data::corrupt::{corrupt_sequence, CorruptionConfig, NidLabel};
+use pmm_eval::{evaluate_ranks, rank_of_target};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NDCG can never exceed HR at the same cut-off: each hit adds at
+    /// most 1 to both numerators.
+    #[test]
+    fn ndcg_bounded_by_hr(ranks in proptest::collection::vec(0.0f32..200.0, 1..50)) {
+        let m = evaluate_ranks(&ranks);
+        for k in 0..3 {
+            prop_assert!(m.ndcg[k] <= m.hr[k] + 1e-4);
+            prop_assert!(m.hr[k] <= 100.0 + 1e-4);
+            prop_assert!(m.ndcg[k] >= 0.0);
+        }
+        // Monotone in k.
+        prop_assert!(m.hr[0] <= m.hr[1] && m.hr[1] <= m.hr[2]);
+    }
+
+    /// The rank of the target is consistent: exactly the number of
+    /// strictly-better items plus half the ties.
+    #[test]
+    fn rank_is_permutation_invariant_in_total(
+        scores in proptest::collection::vec(-10.0f32..10.0, 2..40),
+        target_seed in 0usize..1000,
+    ) {
+        let target = target_seed % scores.len();
+        let r = rank_of_target(&scores, target);
+        prop_assert!(r >= 0.0 && r <= (scores.len() - 1) as f32);
+        // Boosting the target strictly can only improve (lower) its rank.
+        let mut boosted = scores.clone();
+        boosted[target] += 100.0;
+        prop_assert!(rank_of_target(&boosted, target) <= r);
+    }
+
+    /// Corruption never changes length, keeps labels consistent with
+    /// the edits, and respects approximate rates.
+    #[test]
+    fn corruption_invariants(
+        seq in proptest::collection::vec(0usize..100, 2..60),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pool: Vec<usize> = (1000..1050).collect();
+        let (out, labels) = corrupt_sequence(&seq, &pool, &CorruptionConfig::default(), &mut rng);
+        prop_assert_eq!(out.len(), seq.len());
+        prop_assert_eq!(labels.len(), seq.len());
+        for (i, &l) in labels.iter().enumerate() {
+            match l {
+                NidLabel::Unchanged => prop_assert_eq!(out[i], seq[i]),
+                NidLabel::Replaced => prop_assert!(pool.contains(&out[i])),
+                NidLabel::Shuffled => {
+                    // The moved-in value came from somewhere in the
+                    // original sequence.
+                    prop_assert!(seq.contains(&out[i]));
+                }
+            }
+        }
+        let replaced = labels.iter().filter(|&&l| l == NidLabel::Replaced).count();
+        prop_assert!(replaced as f32 <= (seq.len() as f32 * 0.05).ceil());
+    }
+
+    /// Batching: padding never leaks into `lens`, items are preserved
+    /// most-recent-first under truncation.
+    #[test]
+    fn batch_invariants(
+        seqs in proptest::collection::vec(proptest::collection::vec(0usize..50, 1..20), 1..8),
+        max_len in 1usize..12,
+    ) {
+        let refs: Vec<&[usize]> = seqs.iter().map(|s| s.as_slice()).collect();
+        let batch = Batch::from_sequences(&refs, max_len);
+        prop_assert_eq!(batch.b, seqs.len());
+        prop_assert!(batch.l <= max_len);
+        for (bi, s) in seqs.iter().enumerate() {
+            let len = batch.lens[bi];
+            prop_assert_eq!(len, s.len().min(max_len));
+            let tail = &s[s.len() - len..];
+            prop_assert_eq!(&batch.items[bi * batch.l..bi * batch.l + len], tail);
+        }
+    }
+}
