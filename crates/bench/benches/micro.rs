@@ -40,6 +40,43 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     });
 }
 
+/// Telemetry overhead: the same matmul with observability disabled
+/// (the default — spans and counters reduce to one relaxed atomic
+/// load) versus enabled (span timing + FLOP accounting). The raw
+/// `Tensor` kernel isolates the counter gate; the `Var` graph op adds
+/// the span around it.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+
+    pmm_obs::set_enabled(false);
+    c.bench_function("obs/matmul_64x64_telemetry_off", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("obs/var_matmul_64x64_telemetry_off", |bench| {
+        bench.iter(|| {
+            let va = Var::constant(a.clone());
+            let vb = Var::constant(b.clone());
+            black_box(va.matmul(&vb).value().clone())
+        })
+    });
+
+    pmm_obs::set_enabled(true);
+    c.bench_function("obs/matmul_64x64_telemetry_on", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("obs/var_matmul_64x64_telemetry_on", |bench| {
+        bench.iter(|| {
+            let va = Var::constant(a.clone());
+            let vb = Var::constant(b.clone());
+            black_box(va.matmul(&vb).value().clone())
+        })
+    });
+    pmm_obs::set_enabled(false);
+    pmm_obs::reset();
+}
+
 fn bench_attention(c: &mut Criterion) {
     let mut store = ParamStore::new();
     let mut rng = StdRng::seed_from_u64(0);
@@ -93,6 +130,6 @@ fn bench_objective_masks(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
-    targets = bench_tensor_kernels, bench_attention, bench_model, bench_objective_masks
+    targets = bench_tensor_kernels, bench_obs_overhead, bench_attention, bench_model, bench_objective_masks
 }
 criterion_main!(benches);

@@ -39,7 +39,7 @@ fn curve(
         max_epochs: cli.epochs.unwrap_or(16),
         patience: 0, // full curves, no early stop
         eval_every: 1,
-        verbose: cli.verbose,
+        log_level: cli.log_level,
     };
     train_model(&mut model, split, &cfg, &mut rng).curve
 }
@@ -70,13 +70,14 @@ fn ascii_chart(series: &[(&str, Vec<ConvergencePoint>)]) -> String {
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world);
 
     println!("== Figure 3 — convergence curves (validation NDCG@10 per epoch) ==");
     for id in CURVE_TARGETS {
         let split = runner::split(&world, id, &cli);
-        eprintln!("[fig3] {}", id.name());
+        pmm_obs::obs_info!("fig3", "{}", id.name());
         let series = [
             ("w/o PT", curve(&split, None, &ckpt, &cli)),
             ("w. PT-I", curve(&split, Some(TransferSetting::ItemEncoders), &ckpt, &cli)),
@@ -100,4 +101,5 @@ fn main() {
         "\nPaper shape: pre-trained settings start high and peak within a few\n\
          epochs; PT-I tracks full PT; PT-U barely improves on w/o PT."
     );
+    pmm_bench::obs::finish("fig3_convergence");
 }

@@ -11,6 +11,7 @@ use pmm_data::registry::{build_dataset, DatasetId, SOURCES, TARGETS};
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
 
     let mut t = Table::new(
@@ -58,4 +59,5 @@ fn main() {
          platform) similar; food-clothes pairs dissimilar — items never\n\
          transfer, content geometry does."
     );
+    pmm_bench::obs::finish("inspect_world");
 }

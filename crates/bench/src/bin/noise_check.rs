@@ -14,9 +14,10 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let split = runner::split(&world, DatasetId::Hm, &cli);
-    eprintln!("[noise] training PMMRec and SASRec on {}…", split.dataset.name);
+    pmm_obs::obs_info!("noise", "training PMMRec and SASRec on {}…", split.dataset.name);
 
     let mut rng = StdRng::seed_from_u64(cli.seed);
     let mut pmm = ModelKind::PmmRec.build(&split.dataset, &mut rng);
@@ -40,4 +41,5 @@ fn main() {
         "\nInterpretation: differences whose sign stability is below 0.95 are\n\
          annotated as 'within noise' in EXPERIMENTS.md."
     );
+    pmm_bench::obs::finish("noise_check");
 }

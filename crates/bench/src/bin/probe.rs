@@ -10,6 +10,7 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let split = runner::split(&world, DatasetId::Amazon, &cli);
     let cold = cold_items(&split, 7);
@@ -24,8 +25,13 @@ fn main() {
         let mean: f32 = ranks.iter().sum::<f32>() / ranks.len() as f32;
         let min = ranks.iter().cloned().fold(f32::INFINITY, f32::min);
         let hits = ranks.iter().filter(|&&r| r < 10.0).count();
-        eprintln!("pretrain={pretrain}: mean rank {mean:.1}, min {min}, hits@10 {hits}/{}", ranks.len());
+        pmm_obs::obs_info!(
+            "probe",
+            "pretrain={pretrain}: mean rank {mean:.1}, min {min}, hits@10 {hits}/{}",
+            ranks.len()
+        );
     }
     // Where do cold items rank on average regardless of case? (scores for one popular prefix)
     let _ = cold;
+    pmm_bench::obs::finish("probe");
 }

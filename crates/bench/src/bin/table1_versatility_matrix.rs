@@ -8,9 +8,10 @@ use pmm_bench::cli::Cli;
 use pmm_bench::table::Table;
 
 fn main() {
-    // No knobs apply, but parse anyway so typo'd flags error loudly
-    // instead of being ignored.
-    let _ = Cli::from_env();
+    // Only the telemetry knobs apply, but parse everything so typo'd
+    // flags error loudly instead of being ignored.
+    let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let mut t = Table::new(
         "Table I — comparison of transfer learning settings",
         &["Method", "Full", "Item Enc.", "User Enc.", "Text", "Vision"],
@@ -34,4 +35,5 @@ fn main() {
         "\nPMMRec's columns are exercised end-to-end by table5_versatility;\n\
          UniSRec/VQRec text-only and MoRec++ multi-modal paths run in table4_transfer."
     );
+    pmm_bench::obs::finish("table1_versatility_matrix");
 }

@@ -35,6 +35,7 @@ fn paper_row(name: &str) -> Option<&'static (&'static str, usize, usize, usize, 
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let mut t = Table::new(
         format!("Table II — dataset statistics ({:?} scale, seed {})", cli.scale, cli.seed),
@@ -64,4 +65,5 @@ fn main() {
         "\nShape checks mirrored from the paper: sources >> targets; HM is the\n\
          largest source; video targets have shorter sequences than sources."
     );
+    pmm_bench::obs::finish("table2_dataset_stats");
 }

@@ -12,6 +12,7 @@ use pmm_bench::models::ModelKind;
 use pmm_bench::runner;
 use pmm_bench::table::Table;
 use pmm_data::registry::SOURCES;
+use pmm_obs::obs_info;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -26,12 +27,14 @@ const PAPER_HR10: [(&str, [f32; 9]); 4] = [
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     for (di, id) in SOURCES.into_iter().enumerate() {
         let split = runner::split(&world, id, &cli);
         let stats = split.dataset.stats();
-        eprintln!(
-            "[table3] {}: {} users, {} items",
+        obs_info!(
+            "table3",
+            "{}: {} users, {} items",
             id.name(),
             stats.users,
             stats.items
@@ -56,8 +59,9 @@ fn main() {
                 format!("{:.2}", m.ndcg[2]),
                 format!("{:.2}", PAPER_HR10[di].1[mi]),
             ]);
-            eprintln!(
-                "[table3] {} / {}: HR@10 {:.2} ({}s)",
+            obs_info!(
+                "table3",
+                "{} / {}: HR@10 {:.2} ({}s)",
                 id.name(),
                 kind.name(),
                 m.hr10(),
@@ -66,4 +70,5 @@ fn main() {
         }
         t.print();
     }
+    pmm_bench::obs::finish("table3_source_performance");
 }

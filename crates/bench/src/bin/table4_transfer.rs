@@ -16,6 +16,7 @@ use pmm_data::dataset::Dataset;
 use pmm_data::registry::{self, SOURCES, TARGETS};
 use pmm_data::split::SplitDataset;
 use pmm_eval::SeqRecommender;
+use pmm_obs::obs_info;
 use pmmrec::{ObjectiveConfig, PmmRec, PmmRecConfig, TransferSetting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,18 +51,22 @@ fn pretrain_baseline(
     fused: &Dataset,
     build: impl FnOnce(&Dataset, &mut StdRng) -> Box<dyn PretrainableBaseline>,
 ) -> std::path::PathBuf {
-    let path = checkpoint_path(tag, cli);
+    let cfg = runner::train_cfg(cli);
+    // Baselines have no objective switches; keying the cache on the
+    // default config still folds the epoch budget into the filename.
+    let path = checkpoint_path(tag, cli, &ObjectiveConfig::default(), cfg.max_epochs);
     if path.exists() {
-        eprintln!("[table4] reusing {tag} checkpoint");
+        obs_info!("table4", "reusing {tag} checkpoint");
+        pmm_obs::sink::emit_cache(tag, true, &path.display().to_string());
         return path;
     }
+    pmm_obs::sink::emit_cache(tag, false, &path.display().to_string());
     let split = SplitDataset::new(fused.clone());
     let mut rng = StdRng::seed_from_u64(cli.seed ^ 0xBA5E);
     let mut model = build(&split.dataset, &mut rng);
-    eprintln!("[table4] pre-training {tag} on {} users…", split.train.len());
-    let cfg = runner::train_cfg(cli);
+    obs_info!("table4", "pre-training {tag} on {} users…", split.train.len());
     let result = pmm_eval::train_model(model.as_mut_rec(), &split, &cfg, &mut rng);
-    eprintln!("[table4] {tag} pre-trained (valid {})", result.valid);
+    obs_info!("table4", "{tag} pre-trained (valid {})", result.valid);
     model.save_to(&path);
     path
 }
@@ -90,6 +95,7 @@ pretrainable!(pmm_baselines::morec::MoRecCore);
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let bcfg = BaselineConfig::default();
     let fused = fused_dataset(&cli, &world);
@@ -121,7 +127,7 @@ fn main() {
 
     for (ti, id) in TARGETS.into_iter().enumerate() {
         let split = runner::split(&world, id, &cli);
-        eprintln!("[table4] {} ({} users)", id.name(), split.train.len());
+        obs_info!("table4", "{} ({} users)", id.name(), split.train.len());
         let mut rng = StdRng::seed_from_u64(cli.seed ^ ((ti as u64) << 4));
         let fmt = |m: pmm_eval::MetricSet| format!("{:.2}/{:.2}", m.hr10(), m.ndcg10());
         let down = |wo: f32, w: f32| if w < wo { " v" } else { "" };
@@ -173,8 +179,9 @@ fn main() {
             format!("{}{}", fmt(pmm_w_m), down(pmm_wo_m.hr10(), pmm_w_m.hr10())),
             format!("{:.2} -> {:.2}", paper.1, paper.2),
         ]);
-        eprintln!(
-            "[table4] {}: PMMRec {:.2} -> {:.2} HR@10",
+        obs_info!(
+            "table4",
+            "{}: PMMRec {:.2} -> {:.2} HR@10",
             id.name(),
             pmm_wo_m.hr10(),
             pmm_w_m.hr10()
@@ -182,4 +189,5 @@ fn main() {
     }
     t.print();
     println!("\n'v' marks cases where pre-training reduced HR@10 (the paper's down-arrows).");
+    pmm_bench::obs::finish("table4_transfer");
 }

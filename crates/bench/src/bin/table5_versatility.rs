@@ -39,6 +39,7 @@ fn transferred(
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world);
 
@@ -55,7 +56,7 @@ fn main() {
 
     for id in TARGETS {
         let split = runner::split(&world, id, &cli);
-        eprintln!("[table5] {}", id.name());
+        pmm_obs::obs_info!("table5", "{}", id.name());
         let row = [
             fmt(scratch(&split, Modality::TextOnly, &cli)),
             fmt(transferred(&split, TransferSetting::TextOnly, &ckpt, &cli)),
@@ -75,4 +76,5 @@ fn main() {
         "\nPaper shape: full >= PT-I > PT-U; single-modality transfers remain\n\
          competitive; text-only transfers better than vision-only on average."
     );
+    pmm_bench::obs::finish("table5_versatility");
 }

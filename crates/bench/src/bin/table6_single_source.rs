@@ -17,6 +17,7 @@ use rand::SeedableRng;
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
 
     // One checkpoint per single source.
@@ -35,7 +36,7 @@ fn main() {
 
     for id in TARGETS {
         let split = runner::split(&world, id, &cli);
-        eprintln!("[table6] {}", id.name());
+        pmm_obs::obs_info!("table6", "{}", id.name());
         let mut rng = StdRng::seed_from_u64(cli.seed ^ 0x66);
         let mut sas = pmm_baselines::sasrec::build(Default::default(), &split.dataset, &mut rng);
         let sas_m = runner::run_target(&mut sas, &split, &cli).test;
@@ -62,4 +63,5 @@ fn main() {
         "\n'*' marks the homogeneous (same-platform) source — expected to be the\n\
          best column per the paper's diagonal; 'v' marks negative transfer."
     );
+    pmm_bench::obs::finish("table6_single_source");
 }

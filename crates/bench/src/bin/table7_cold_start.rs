@@ -28,6 +28,7 @@ const PAPER_HR10: [(&str, [f32; 4]); 4] = [
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     // Our corpora are ~500x smaller than the paper's; a lower cold
     // threshold keeps a comparable fraction of items "cold".
@@ -55,7 +56,7 @@ fn main() {
                 target: c.target,
             })
             .collect();
-        eprintln!("[table7] {}: {} cold cases", id.name(), cases.len());
+        pmm_obs::obs_info!("table7", "{}: {} cold cases", id.name(), cases.len());
         if cases.is_empty() {
             t.row(&[id.name().to_string(), "0".to_string()]);
             continue;
@@ -89,4 +90,5 @@ fn main() {
         "\nPaper shape: content-based variants dominate the ID baseline on cold\n\
          items; PMMRec-T > PMMRec-V (information density of text vs images)."
     );
+    pmm_bench::obs::finish("table7_cold_start");
 }

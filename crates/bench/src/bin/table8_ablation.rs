@@ -31,6 +31,7 @@ const PAPER_HR10: [(&str, [f32; 6]); 4] = [
 
 fn main() {
     let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
     let world = runner::world();
     let variants = ObjectiveConfig::table8_variants();
 
@@ -55,13 +56,13 @@ fn main() {
 
     for (ti, id) in ABLATION_TARGETS.into_iter().enumerate() {
         let split = runner::split(&world, id, &cli);
-        eprintln!("[table8] {}", id.name());
+        pmm_obs::obs_info!("table8", "{}", id.name());
         let mut cells = vec![id.name().to_string()];
         for (name, ckpt) in &ckpts {
             let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli);
             let m = runner::run_target(&mut model, &split, &cli).test;
             cells.push(format!("{:.2}/{:.2}", m.hr10(), m.ndcg10()));
-            eprintln!("[table8]   {name}: HR@10 {:.2}", m.hr10());
+            pmm_obs::obs_info!("table8", "  {name}: HR@10 {:.2}", m.hr10());
         }
         cells.push(format!("{:.2}", PAPER_HR10[ti].1[5]));
         t.row(&cells);
@@ -71,4 +72,5 @@ fn main() {
         "\nPaper shape: full PMMRec >= every ablation; 'w/o NICL' is the\n\
          costliest removal; 'only VCL' < 'only NCL' < full NICL."
     );
+    pmm_bench::obs::finish("table8_ablation");
 }

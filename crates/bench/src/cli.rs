@@ -1,9 +1,10 @@
 //! Minimal command-line parsing shared by the experiment binaries.
 
 use pmm_data::registry::Scale;
+use pmm_obs::Level;
 
 /// Common experiment flags.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Cli {
     /// Dataset scale (`--scale tiny|paper`, default `paper`).
     pub scale: Scale,
@@ -12,8 +13,12 @@ pub struct Cli {
     /// Maximum training epochs (`--epochs N`; harness defaults vary by
     /// binary when absent).
     pub epochs: Option<usize>,
-    /// Verbose per-epoch logging (`--verbose`).
-    pub verbose: bool,
+    /// Harness verbosity (`--log-level error|warn|info|debug|trace`,
+    /// default `warn`; `--verbose` is an alias for `--log-level info`).
+    pub log_level: Level,
+    /// JSONL telemetry sink path (`--obs PATH`; the `PMM_OBS`
+    /// environment variable is honoured when the flag is absent).
+    pub obs: Option<String>,
 }
 
 impl Default for Cli {
@@ -22,7 +27,8 @@ impl Default for Cli {
             scale: Scale::Paper,
             seed: 42,
             epochs: None,
-            verbose: false,
+            log_level: Level::Warn,
+            obs: None,
         }
     }
 }
@@ -62,8 +68,16 @@ impl Cli {
                             .expect("--epochs must be an integer"),
                     );
                 }
-                "--verbose" => cli.verbose = true,
-                other => panic!("unknown flag {other:?} (flags: --scale --seed --epochs --verbose)"),
+                "--log-level" => {
+                    let v = it.next().expect("--log-level needs a value");
+                    cli.log_level = Level::parse(&v)
+                        .unwrap_or_else(|| panic!("unknown log level {v:?} (use error|warn|info|debug|trace)"));
+                }
+                "--verbose" => cli.log_level = Level::Info,
+                "--obs" => cli.obs = Some(it.next().expect("--obs needs a path")),
+                other => panic!(
+                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs)"
+                ),
             }
         }
         cli
@@ -84,15 +98,28 @@ mod tests {
         assert_eq!(cli.scale, Scale::Paper);
         assert_eq!(cli.seed, 42);
         assert!(cli.epochs.is_none());
+        assert_eq!(cli.log_level, Level::Warn);
+        assert!(cli.obs.is_none());
     }
 
     #[test]
     fn parses_all_flags() {
-        let cli = parse(&["--scale", "tiny", "--seed", "7", "--epochs", "3", "--verbose"]);
+        let cli = parse(&[
+            "--scale", "tiny", "--seed", "7", "--epochs", "3", "--log-level", "debug", "--obs",
+            "/tmp/t.jsonl",
+        ]);
         assert_eq!(cli.scale, Scale::Tiny);
         assert_eq!(cli.seed, 7);
         assert_eq!(cli.epochs, Some(3));
-        assert!(cli.verbose);
+        assert_eq!(cli.log_level, Level::Debug);
+        assert_eq!(cli.obs.as_deref(), Some("/tmp/t.jsonl"));
+    }
+
+    #[test]
+    fn verbose_is_an_info_alias() {
+        assert_eq!(parse(&["--verbose"]).log_level, Level::Info);
+        // An explicit later --log-level still wins.
+        assert_eq!(parse(&["--verbose", "--log-level", "trace"]).log_level, Level::Trace);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! plumbing lives here:
 //!
 //! * [`cli::Cli`] — a tiny flag parser (`--scale`, `--seed`,
-//!   `--epochs`) shared by all binaries.
+//!   `--epochs`, `--log-level`, `--obs`) shared by all binaries.
 //! * [`models::ModelKind`] — uniform construction of PMMRec and all
 //!   eight baselines.
 //! * [`runner`] — train/evaluate wrappers and pre-training checkpoint
@@ -16,8 +16,11 @@
 //!   binaries).
 //! * [`table`] — fixed-width table printing with paper-reference
 //!   columns.
+//! * [`obs`] — telemetry setup (`--obs` / `PMM_OBS`) plus the end-of-
+//!   run profile table and `BENCH_obs.json` summary.
 
 pub mod cli;
 pub mod models;
+pub mod obs;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,225 @@
+//! Bench-side observability wiring: sink setup from CLI/env, the
+//! end-of-run hierarchical profile table, and the `BENCH_obs.json`
+//! performance summary that seeds the repo's perf trajectory.
+
+use crate::cli::Cli;
+use pmm_obs::{obs_info, obs_warn, EpochRecord, Level, SpanStat};
+use std::path::Path;
+
+/// Configure telemetry for a table binary: honour `PMM_OBS` /
+/// `PMM_OBS_LOG`, then let `--obs` and `--log-level` override. Call
+/// once at the top of `main`.
+pub fn setup(cli: &Cli) {
+    pmm_obs::init_from_env();
+    if let Some(path) = &cli.obs {
+        match pmm_obs::sink::open(Path::new(path)) {
+            Ok(()) => {
+                pmm_obs::set_enabled(true);
+                obs_info!("obs", "telemetry on, JSONL trace -> {path}");
+            }
+            Err(e) => obs_warn!("obs", "cannot open --obs {path}: {e}; telemetry stays off"),
+        }
+    }
+    // The CLI can raise verbosity but never silences what the
+    // environment asked for.
+    if cli.log_level > pmm_obs::log::max_level() {
+        pmm_obs::log::set_max_level(cli.log_level);
+    }
+}
+
+/// Summarize a finished run: print the aggregated span profile, write
+/// `BENCH_obs.json`, dump profile events into the JSONL sink, and
+/// close it. A no-op when telemetry is off.
+pub fn finish(bin: &str) {
+    if !pmm_obs::enabled() {
+        return;
+    }
+    let profile = pmm_obs::span::profile_snapshot();
+    let epochs = pmm_obs::stats::epoch_records();
+    for line in profile_table(&profile) {
+        pmm_obs::log::log(Level::Info, "profile", &line);
+    }
+    if let Some(cov) = epoch_coverage(&profile) {
+        obs_info!("profile", "child spans cover {:.1}% of epoch wall-clock", cov * 100.0);
+    }
+    let summary = summary_json(bin, &epochs, &profile);
+    match std::fs::write("BENCH_obs.json", summary) {
+        Ok(()) => obs_info!("obs", "wrote BENCH_obs.json ({} epochs)", epochs.len()),
+        Err(e) => obs_warn!("obs", "cannot write BENCH_obs.json: {e}"),
+    }
+    pmm_obs::sink::flush_profile();
+    pmm_obs::sink::close();
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+/// Whether `path` is a direct child of `parent` in the slash hierarchy.
+fn is_direct_child(parent: &str, path: &str) -> bool {
+    path.len() > parent.len() + 1
+        && path.starts_with(parent)
+        && path.as_bytes()[parent.len()] == b'/'
+        && !path[parent.len() + 1..].contains('/')
+}
+
+fn self_ns(profile: &[(String, SpanStat)], idx: usize) -> u64 {
+    let (path, stat) = &profile[idx];
+    let children: u64 = profile
+        .iter()
+        .filter(|(p, _)| is_direct_child(path, p))
+        .map(|(_, s)| s.total_ns)
+        .sum();
+    stat.total_ns.saturating_sub(children)
+}
+
+/// Render the aggregated span profile as fixed-width table lines.
+/// `total` is inclusive time, `self` excludes direct children.
+pub fn profile_table(profile: &[(String, SpanStat)]) -> Vec<String> {
+    if profile.is_empty() {
+        return Vec::new();
+    }
+    let mut lines = vec![format!("{:<44} {:>10} {:>10} {:>10}", "span", "count", "total", "self")];
+    for (i, (path, stat)) in profile.iter().enumerate() {
+        let depth = path.matches('/').count();
+        let label = format!("{}{}", "  ".repeat(depth), path.rsplit('/').next().unwrap_or(path));
+        lines.push(format!(
+            "{label:<44} {:>10} {:>10} {:>10}",
+            stat.count,
+            fmt_ns(stat.total_ns),
+            fmt_ns(self_ns(profile, i))
+        ));
+    }
+    lines
+}
+
+/// Fraction of `epoch` wall-clock accounted for by its direct child
+/// spans; `None` when no epoch span was recorded.
+pub fn epoch_coverage(profile: &[(String, SpanStat)]) -> Option<f64> {
+    let epoch = profile.iter().find(|(p, _)| p == "epoch")?;
+    if epoch.1.total_ns == 0 {
+        return Some(1.0);
+    }
+    let children: u64 = profile
+        .iter()
+        .filter(|(p, _)| is_direct_child("epoch", p))
+        .map(|(_, s)| s.total_ns)
+        .sum();
+    Some(children as f64 / epoch.1.total_ns as f64)
+}
+
+/// Build the `BENCH_obs.json` document: one object with per-epoch
+/// wall-clock / FLOP-rate / tape-peak entries, final counter values,
+/// and the span profile.
+pub fn summary_json(bin: &str, epochs: &[EpochRecord], profile: &[(String, SpanStat)]) -> String {
+    use pmm_obs::json::{escape, JsonObj};
+    let epoch_items: Vec<String> = epochs
+        .iter()
+        .map(|r| {
+            let mut obj = JsonObj::new()
+                .u64("epoch", r.epoch as u64)
+                .f64("wall_s", r.wall_s)
+                .u64("flops", r.flops)
+                .f64("flops_per_sec", r.flops_per_sec())
+                .u64("tape_peak", r.tape_peak)
+                .f64("loss", f64::from(r.stats.loss))
+                .f64("grad_norm", f64::from(r.stats.grad_norm))
+                .f64("param_norm", f64::from(r.stats.param_norm));
+            if let Some(b) = r.stats.breakdown {
+                obj = obj
+                    .f64("dap", f64::from(b.dap))
+                    .f64("nicl", f64::from(b.nicl))
+                    .f64("nid", f64::from(b.nid))
+                    .f64("rcl", f64::from(b.rcl));
+            }
+            format!("    {}", obj.finish())
+        })
+        .collect();
+    let counter_items: Vec<String> = pmm_obs::counter::counters_snapshot()
+        .iter()
+        .map(|(name, value)| format!("    \"{}\": {value}", escape(name)))
+        .collect();
+    let profile_items: Vec<String> = profile
+        .iter()
+        .map(|(path, stat)| {
+            format!(
+                "    {}",
+                JsonObj::new()
+                    .str("path", path)
+                    .u64("count", stat.count)
+                    .u64("total_ns", stat.total_ns)
+                    .finish()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bin\": \"{}\",\n  \"epochs\": [\n{}\n  ],\n  \"counters\": {{\n{}\n  }},\n  \"profile\": [\n{}\n  ]\n}}\n",
+        escape(bin),
+        epoch_items.join(",\n"),
+        counter_items.join(",\n"),
+        profile_items.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(count: u64, total_ns: u64) -> SpanStat {
+        SpanStat { count, total_ns }
+    }
+
+    fn sample_profile() -> Vec<(String, SpanStat)> {
+        vec![
+            ("epoch".into(), stat(2, 1_000)),
+            ("epoch/backward".into(), stat(10, 300)),
+            ("epoch/forward".into(), stat(10, 600)),
+            ("epoch/forward/matmul".into(), stat(40, 450)),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let p = sample_profile();
+        assert_eq!(self_ns(&p, 0), 100); // 1000 - (300 + 600)
+        assert_eq!(self_ns(&p, 2), 150); // 600 - 450
+        assert_eq!(self_ns(&p, 3), 450); // leaf keeps everything
+    }
+
+    #[test]
+    fn coverage_uses_direct_children_of_epoch() {
+        let cov = epoch_coverage(&sample_profile()).unwrap();
+        assert!((cov - 0.9).abs() < 1e-9);
+        assert!(epoch_coverage(&[]).is_none());
+    }
+
+    #[test]
+    fn table_indents_by_depth() {
+        let lines = profile_table(&sample_profile());
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("epoch "));
+        assert!(lines[3].starts_with("  forward"));
+        assert!(lines[4].starts_with("    matmul"));
+    }
+
+    #[test]
+    fn summary_json_mentions_every_section() {
+        let r = EpochRecord {
+            epoch: 1,
+            wall_s: 0.5,
+            flops: 1_000_000,
+            tape_peak: 42,
+            stats: pmm_obs::EpochStats::from_loss(2.0),
+        };
+        let s = summary_json("test_bin", &[r], &sample_profile());
+        for needle in ["\"bin\": \"test_bin\"", "\"epochs\"", "\"counters\"", "\"profile\"", "flops_per_sec"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

@@ -5,6 +5,7 @@ use pmm_data::registry::{self, DatasetId, Scale};
 use pmm_data::split::SplitDataset;
 use pmm_data::world::{World, WorldConfig};
 use pmm_eval::{train_model, SeqRecommender, TrainConfig, TrainResult};
+use pmm_obs::obs_info;
 use pmmrec::{ObjectiveConfig, PmmRec, PmmRecConfig, TransferSetting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +31,7 @@ pub fn train_cfg(cli: &Cli) -> TrainConfig {
         }),
         patience: 3,
         eval_every: 2,
-        verbose: cli.verbose,
+        log_level: cli.log_level,
     }
 }
 
@@ -53,15 +54,49 @@ pub fn run_target(model: &mut dyn SeqRecommender, split: &SplitDataset, cli: &Cl
     train_model(model, split, &cfg, &mut rng)
 }
 
-/// Location of the cached pre-training checkpoint for a source set.
-pub fn checkpoint_path(tag: &str, cli: &Cli) -> PathBuf {
+/// The effective pre-training epoch budget for a CLI.
+pub fn pretrain_epochs(cli: &Cli) -> usize {
+    cli.epochs.unwrap_or(match cli.scale {
+        Scale::Tiny => 4,
+        Scale::Paper => 24,
+    })
+}
+
+fn fnv1a(mut h: u64, word: u64) -> u64 {
+    for i in 0..8 {
+        h ^= (word >> (8 * i)) & 0xff;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a fingerprint of everything (beyond tag/scale/seed) that
+/// changes what a pre-training run produces: the objective switches
+/// and the epoch budget. Folding it into the checkpoint filename keeps
+/// a cached checkpoint from being silently reused after the recipe
+/// changed.
+pub fn pretrain_fingerprint(obj: &ObjectiveConfig, epochs: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv1a(h, obj.nicl as u64);
+    h = fnv1a(h, obj.nid as u64);
+    h = fnv1a(h, obj.rcl as u64);
+    h = fnv1a(h, u64::from(obj.nicl_temperature.to_bits()));
+    h = fnv1a(h, u64::from(obj.aux_weight.to_bits()));
+    h = fnv1a(h, epochs as u64);
+    h
+}
+
+/// Location of the cached pre-training checkpoint for a source set and
+/// pre-training recipe.
+pub fn checkpoint_path(tag: &str, cli: &Cli, obj: &ObjectiveConfig, epochs: usize) -> PathBuf {
     let dir = std::env::temp_dir().join("pmmrec_checkpoints");
     std::fs::create_dir_all(&dir).expect("create checkpoint dir");
     let scale = match cli.scale {
         Scale::Tiny => "tiny",
         Scale::Paper => "paper",
     };
-    dir.join(format!("pmmrec_{tag}_{scale}_seed{}.ckpt", cli.seed))
+    let fp = pretrain_fingerprint(obj, epochs);
+    dir.join(format!("pmmrec_{tag}_{scale}_seed{}_{fp:016x}.ckpt", cli.seed))
 }
 
 /// Pre-trains PMMRec on the given source corpus and saves a checkpoint;
@@ -74,11 +109,14 @@ pub fn pretrain_cached(
     cli: &Cli,
     world: &World,
 ) -> PathBuf {
-    let path = checkpoint_path(tag, cli);
+    let epochs = pretrain_epochs(cli);
+    let path = checkpoint_path(tag, cli, &obj, epochs);
     if path.exists() {
-        eprintln!("[pretrain:{tag}] reusing cached checkpoint {}", path.display());
+        obs_info!("pretrain", "[{tag}] reusing cached checkpoint {}", path.display());
+        pmm_obs::sink::emit_cache(tag, true, &path.display().to_string());
         return path;
     }
+    pmm_obs::sink::emit_cache(tag, false, &path.display().to_string());
     let fused = if sources.len() == 1 {
         registry::build_dataset(world, sources[0], cli.scale, cli.seed)
     } else {
@@ -93,19 +131,18 @@ pub fn pretrain_cached(
     let mut model = PmmRec::with_objectives(PmmRecConfig::default(), obj, &split.dataset, &mut rng);
     model.set_pretraining(true);
     let cfg = TrainConfig {
-        max_epochs: cli.epochs.unwrap_or(match cli.scale {
-            Scale::Tiny => 4,
-            Scale::Paper => 24,
-        }),
+        max_epochs: epochs,
         patience: 0, // pre-training uses the full budget
         eval_every: 2,
-        verbose: cli.verbose,
+        log_level: cli.log_level,
     };
-    eprintln!("[pretrain:{tag}] pre-training on {} users…", split.train.len());
+    obs_info!("pretrain", "[{tag}] pre-training on {} users…", split.train.len());
     let result = train_model(&mut model, &split, &cfg, &mut rng);
-    eprintln!(
-        "[pretrain:{tag}] done at epoch {} (valid {})",
-        result.best_epoch, result.valid
+    obs_info!(
+        "pretrain",
+        "[{tag}] done at epoch {} (valid {})",
+        result.best_epoch,
+        result.valid
     );
     model.save(&path).expect("save pre-trained checkpoint");
     path
@@ -142,15 +179,27 @@ mod tests {
             scale: Scale::Tiny,
             seed: 1717,
             epochs: Some(1),
-            verbose: false,
+            ..Cli::default()
         }
+    }
+
+    #[test]
+    fn cache_fingerprint_distinguishes_recipes() {
+        let cli = tiny_cli();
+        let full = ObjectiveConfig::default();
+        let ablated = ObjectiveConfig { nid: false, ..Default::default() };
+        let e = pretrain_epochs(&cli);
+        // Same recipe -> same file; any recipe change -> a fresh file.
+        assert_eq!(checkpoint_path("t", &cli, &full, e), checkpoint_path("t", &cli, &full, e));
+        assert_ne!(checkpoint_path("t", &cli, &full, e), checkpoint_path("t", &cli, &ablated, e));
+        assert_ne!(checkpoint_path("t", &cli, &full, e), checkpoint_path("t", &cli, &full, e + 1));
     }
 
     #[test]
     fn pretrain_cache_roundtrip() {
         let cli = tiny_cli();
         let w = world();
-        let path = checkpoint_path("test_cache", &cli);
+        let path = checkpoint_path("test_cache", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli));
         std::fs::remove_file(&path).ok();
         let p1 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w);
         assert!(p1.exists());
@@ -164,7 +213,7 @@ mod tests {
     fn finetune_model_loads_components() {
         let cli = tiny_cli();
         let w = world();
-        let path = checkpoint_path("test_ft", &cli);
+        let path = checkpoint_path("test_ft", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli));
         std::fs::remove_file(&path).ok();
         let ckpt = pretrain_cached("test_ft", &[DatasetId::Hm], ObjectiveConfig::default(), &cli, &w);
         let target = split(&w, DatasetId::HmClothes, &cli);

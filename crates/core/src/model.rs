@@ -15,6 +15,7 @@ use pmm_data::world::Item;
 use pmm_eval::SeqRecommender;
 use pmm_nn::checkpoint::{self, CheckpointError, LoadReport};
 use pmm_nn::{mask, AdamW, AdamWConfig, Ctx, Linear, ParamStore};
+use pmm_obs::{EpochStats, LossBreakdown};
 use pmm_tensor::{Tensor, Var};
 use rand::rngs::StdRng;
 use std::cell::RefCell;
@@ -37,6 +38,20 @@ pub struct PmmRec {
     /// Cached `[n_items, d]` catalogue representations for scoring;
     /// invalidated by every training epoch.
     catalog: RefCell<Option<Tensor>>,
+    /// Telemetry from the most recent `train_epoch`.
+    last_stats: Option<EpochStats>,
+}
+
+/// Per-step telemetry from [`PmmRec::step`]. Objective components are
+/// post-weighting, so `dap + nicl + nid + rcl == loss`.
+#[derive(Default)]
+struct StepOutcome {
+    loss: f32,
+    dap: f32,
+    nicl: f32,
+    nid: f32,
+    rcl: f32,
+    grad_norm: f32,
 }
 
 impl PmmRec {
@@ -85,6 +100,7 @@ impl PmmRec {
             opt,
             name,
             catalog: RefCell::new(None),
+            last_stats: None,
         }
     }
 
@@ -169,8 +185,9 @@ impl PmmRec {
         }
     }
 
-    /// One optimisation step over a batch; returns the loss value.
-    fn step(&mut self, batch: &Batch, rng: &mut StdRng) -> f32 {
+    /// One optimisation step over a batch; returns the loss value and
+    /// its per-objective decomposition.
+    fn step(&mut self, batch: &Batch, rng: &mut StdRng) -> StepOutcome {
         let idx = BatchIndex::new(batch);
         let (b, l) = (batch.b, batch.l);
         let valid_w = mask::row_weights(b, l, &batch.lens);
@@ -196,6 +213,7 @@ impl PmmRec {
             (corr, labels)
         });
 
+        let fwd = pmm_obs::span("forward");
         let mut ctx = Ctx::train(rng);
         let (reps, cls_pair) = self.encode_unique(&mut ctx, &idx.unique);
 
@@ -218,6 +236,7 @@ impl PmmRec {
         let sims = h.matmul_nt(&reps);
         let (pos_m, den_m, w) = dap_masks(batch, &idx);
         let mut loss = sims.group_contrastive_loss(&pos_m, &den_m, Some(&w));
+        let mut out = StepOutcome { dap: loss.value().scalar_value(), ..Default::default() };
 
         if self.pretraining {
             let aux = self.obj.aux_weight;
@@ -240,7 +259,9 @@ impl PmmRec {
                         .matmul_nt(&m_v)
                         .scale(inv_t)
                         .group_contrastive_loss(&np, &nd, Some(&nw));
-                    loss = loss.add(&l_t.add(&l_v).scale(0.5 * aux));
+                    let term = l_t.add(&l_v).scale(0.5 * aux);
+                    out.nicl = term.value().scalar_value();
+                    loss = loss.add(&term);
                 }
             }
 
@@ -262,7 +283,9 @@ impl PmmRec {
                 if self.obj.nid {
                     let logits = self.nid_head.forward(&mut ctx, &h_tilde).relu();
                     let nid = logits.cross_entropy_logits(labels, Some(&valid_w));
-                    loss = loss.add(&nid.scale(aux));
+                    let term = nid.scale(aux);
+                    out.nid = term.value().scalar_value();
+                    loss = loss.add(&term);
                 }
 
                 // RCL (Eq. 11): pooled original vs corrupted sequences.
@@ -272,15 +295,30 @@ impl PmmRec {
                     let rcl_sims = pooled.matmul_nt(&pooled_tilde);
                     let (rp, rd) = rcl_masks(b);
                     let rcl = rcl_sims.group_contrastive_loss(&rp, &rd, None);
-                    loss = loss.add(&rcl.scale(aux));
+                    let term = rcl.scale(aux);
+                    out.rcl = term.value().scalar_value();
+                    loss = loss.add(&term);
                 }
             }
         }
 
-        let loss_value = loss.value().scalar_value();
+        out.loss = loss.value().scalar_value();
+        drop(fwd);
         loss.backward();
-        self.opt.step(&self.store, &ctx);
-        loss_value
+        let _sp = pmm_obs::span("optimizer");
+        out.grad_norm = self.opt.step(&self.store, &ctx);
+        out
+    }
+
+    /// Global L2 norm over all parameters (frozen ones included).
+    fn param_norm(&self) -> f32 {
+        let mut sq = 0.0f64;
+        for p in self.store.params() {
+            for v in p.value().data() {
+                sq += f64::from(*v) * f64::from(*v);
+            }
+        }
+        sq.sqrt() as f32
     }
 
     /// Encodes the full catalogue with the current weights (cached).
@@ -354,21 +392,45 @@ impl SeqRecommender for PmmRec {
 
     fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32 {
         self.catalog.replace(None);
-        let mut total = 0.0f32;
+        let mut sum = StepOutcome::default();
         let mut batches = 0usize;
         // Drive batching with a dedicated iterator RNG so the item-count
         // of corruption draws cannot desynchronise batch composition.
         let batch_list: Vec<Batch> =
             BatchIter::new(train, self.cfg.batch_size, self.cfg.max_len, rng).collect();
         for batch in &batch_list {
-            total += self.step(batch, rng);
+            let out = self.step(batch, rng);
+            sum.loss += out.loss;
+            sum.dap += out.dap;
+            sum.nicl += out.nicl;
+            sum.nid += out.nid;
+            sum.rcl += out.rcl;
+            sum.grad_norm += out.grad_norm;
             batches += 1;
         }
         if batches == 0 {
-            0.0
-        } else {
-            total / batches as f32
+            self.last_stats = None;
+            return 0.0;
         }
+        let inv = 1.0 / batches as f32;
+        let stats = EpochStats {
+            loss: sum.loss * inv,
+            breakdown: Some(LossBreakdown {
+                dap: sum.dap * inv,
+                nicl: sum.nicl * inv,
+                nid: sum.nid * inv,
+                rcl: sum.rcl * inv,
+            }),
+            grad_norm: sum.grad_norm * inv,
+            param_norm: self.param_norm(),
+            steps: batches as u32,
+        };
+        self.last_stats = Some(stats);
+        stats.loss
+    }
+
+    fn epoch_stats(&self) -> Option<EpochStats> {
+        self.last_stats
     }
 
     fn score_cases(&self, cases: &[LeaveOneOut]) -> Vec<Vec<f32>> {
@@ -449,6 +511,28 @@ mod tests {
     }
 
     #[test]
+    fn epoch_stats_breakdown_sums_to_loss() {
+        let split = tiny_split(DatasetId::Bili);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        model.set_pretraining(true);
+        let loss = model.train_epoch(&split.train, &mut rng);
+        let stats = model.epoch_stats().expect("stats after epoch");
+        assert_eq!(stats.loss, loss);
+        assert!(stats.steps > 0);
+        assert!(stats.grad_norm > 0.0, "grad norm {}", stats.grad_norm);
+        assert!(stats.param_norm > 0.0, "param norm {}", stats.param_norm);
+        let b = stats.breakdown.expect("pmmrec reports a breakdown");
+        assert!(
+            (b.total() - loss).abs() <= 1e-4 * loss.abs().max(1.0),
+            "components {b:?} sum {} != loss {loss}",
+            b.total()
+        );
+        // All four objectives are active under the default config.
+        assert!(b.dap > 0.0 && b.nicl > 0.0 && b.nid > 0.0 && b.rcl > 0.0, "{b:?}");
+    }
+
+    #[test]
     fn single_modality_variants_train() {
         let split = tiny_split(DatasetId::KwaiFood);
         for modality in [Modality::TextOnly, Modality::VisionOnly] {
@@ -472,7 +556,7 @@ mod tests {
             max_epochs: 12,
             patience: 0,
             eval_every: 4,
-            verbose: false,
+            log_level: pmm_obs::Level::Warn,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert!(

@@ -4,7 +4,9 @@
 use crate::metrics::{evaluate_cases, MetricSet};
 use crate::recommender::SeqRecommender;
 use pmm_data::split::SplitDataset;
+use pmm_obs::{obs_log, EpochRecord, EpochStats, Level};
 use rand::rngs::StdRng;
+use std::time::Instant;
 
 /// Harness configuration.
 #[derive(Debug, Clone, Copy)]
@@ -16,8 +18,10 @@ pub struct TrainConfig {
     pub patience: usize,
     /// Evaluate every `eval_every` epochs.
     pub eval_every: usize,
-    /// Print progress lines.
-    pub verbose: bool,
+    /// Verbosity of this run's progress lines: `Info` prints one line
+    /// per eval round, `Debug` adds the loss breakdown and norms,
+    /// `Warn` (the default) is silent.
+    pub log_level: Level,
 }
 
 impl Default for TrainConfig {
@@ -26,7 +30,7 @@ impl Default for TrainConfig {
             max_epochs: 30,
             patience: 3,
             eval_every: 1,
-            verbose: false,
+            log_level: Level::Warn,
         }
     }
 }
@@ -40,6 +44,10 @@ pub struct ConvergencePoint {
     pub loss: f32,
     /// Validation metrics at this epoch.
     pub valid: MetricSet,
+    /// Model-reported epoch telemetry (loss breakdown, norms). Falls
+    /// back to [`EpochStats::from_loss`] for models without richer
+    /// reporting.
+    pub stats: EpochStats,
 }
 
 /// Outcome of a training run.
@@ -75,24 +83,63 @@ pub fn train_model(
     let mut rounds_since_best = 0usize;
 
     for epoch in 1..=cfg.max_epochs.max(1) {
-        let loss = model.train_epoch(&split.train, rng);
+        let flops_before = pmm_obs::counter::MATMUL_FLOPS.get();
+        let clock = Instant::now();
+        let loss = {
+            let _sp = pmm_obs::span("epoch");
+            model.train_epoch(&split.train, rng)
+        };
+        let wall_s = clock.elapsed().as_secs_f64();
+        let stats = model.epoch_stats().unwrap_or_else(|| EpochStats::from_loss(loss));
+        if pmm_obs::enabled() {
+            pmm_obs::stats::record_epoch(EpochRecord {
+                epoch,
+                wall_s,
+                flops: pmm_obs::counter::MATMUL_FLOPS.get().saturating_sub(flops_before),
+                tape_peak: pmm_obs::counter::tape_peak(),
+                stats,
+            });
+        }
         if epoch % cfg.eval_every.max(1) != 0 && epoch != cfg.max_epochs {
             continue;
         }
-        let valid = evaluate_cases(model, &split.valid);
-        best.curve.push(ConvergencePoint { epoch, loss, valid });
-        if cfg.verbose {
-            eprintln!(
-                "[{}] epoch {epoch:3} loss {loss:7.4} valid {}",
-                model.name(),
-                valid
+        let valid = {
+            let _sp = pmm_obs::span("eval");
+            evaluate_cases(model, &split.valid)
+        };
+        best.curve.push(ConvergencePoint { epoch, loss, valid, stats });
+        if cfg.log_level >= Level::Info {
+            obs_log!(
+                Level::Info,
+                "train",
+                "[{}] epoch {epoch:3} loss {loss:7.4} valid {valid}",
+                model.name()
             );
+        }
+        if cfg.log_level >= Level::Debug {
+            if let Some(b) = stats.breakdown {
+                obs_log!(
+                    Level::Debug,
+                    "train",
+                    "[{}] epoch {epoch:3} dap {:.4} nicl {:.4} nid {:.4} rcl {:.4} |g| {:.3} |w| {:.2}",
+                    model.name(),
+                    b.dap,
+                    b.nicl,
+                    b.nid,
+                    b.rcl,
+                    stats.grad_norm,
+                    stats.param_norm
+                );
+            }
         }
         if valid.ndcg10() > best_score {
             best_score = valid.ndcg10();
             best.valid = valid;
             best.best_epoch = epoch;
-            best.test = evaluate_cases(model, &split.test);
+            best.test = {
+                let _sp = pmm_obs::span("eval");
+                evaluate_cases(model, &split.test)
+            };
             rounds_since_best = 0;
         } else {
             rounds_since_best += 1;
@@ -132,7 +179,7 @@ mod tests {
             max_epochs: 8,
             patience: 0,
             eval_every: 1,
-            verbose: false,
+            log_level: Level::Warn,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert_eq!(result.curve.len(), 8);
@@ -157,7 +204,7 @@ mod tests {
             max_epochs: 50,
             patience: 2,
             eval_every: 1,
-            verbose: false,
+            log_level: Level::Warn,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert!(result.curve.len() <= 4, "ran {} rounds", result.curve.len());
@@ -177,10 +224,33 @@ mod tests {
             max_epochs: 6,
             patience: 0,
             eval_every: 2,
-            verbose: false,
+            log_level: Level::Warn,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert_eq!(result.curve.len(), 3);
         assert!(result.curve.iter().all(|p| p.epoch % 2 == 0));
+    }
+
+    #[test]
+    fn curve_carries_fallback_stats_for_plain_models() {
+        let split = tiny_split();
+        let mut model = OracleModel {
+            n_items: split.n_items(),
+            skill: 0.0,
+            epochs_seen: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TrainConfig {
+            max_epochs: 2,
+            patience: 0,
+            eval_every: 1,
+            log_level: Level::Warn,
+        };
+        let result = train_model(&mut model, &split, &cfg, &mut rng);
+        for p in &result.curve {
+            // OracleModel has no epoch_stats override: the harness must
+            // fall back to the scalar loss with no breakdown.
+            assert_eq!(p.stats, EpochStats::from_loss(p.loss));
+        }
     }
 }

@@ -93,6 +93,7 @@ pub fn evaluate_cases(model: &dyn SeqRecommender, cases: &[LeaveOneOut]) -> Metr
     const CHUNK: usize = 64;
     for chunk in cases.chunks(CHUNK) {
         let scores = model.score_cases(chunk);
+        pmm_obs::counter::EVAL_CASES.add(chunk.len() as u64);
         debug_assert_eq!(scores.len(), chunk.len());
         for (case, s) in chunk.iter().zip(&scores) {
             ranks.push(rank_of_target(s, case.target));

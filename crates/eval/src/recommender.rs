@@ -18,6 +18,14 @@ pub trait SeqRecommender {
     /// mean training loss.
     fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32;
 
+    /// Rich telemetry for the most recent [`Self::train_epoch`] call:
+    /// per-objective loss breakdown and gradient/parameter norms.
+    /// Models without richer telemetry return `None` and the harness
+    /// falls back to the scalar loss.
+    fn epoch_stats(&self) -> Option<pmm_obs::EpochStats> {
+        None
+    }
+
     /// Scores the full catalogue for each case's prefix. Returns one
     /// `n_items()`-sized score row per case (higher = better).
     fn score_cases(&self, cases: &[LeaveOneOut]) -> Vec<Vec<f32>>;

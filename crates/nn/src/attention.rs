@@ -65,6 +65,7 @@ impl MultiHeadAttention {
         lk: usize,
         mask: &Tensor,
     ) -> Var {
+        let _sp = pmm_obs::span("attention");
         let h = self.heads;
         let dh = self.d / h;
         assert_eq!(

@@ -55,6 +55,7 @@ impl FeedForward {
 
     /// `fc2(gelu(fc1(x)))`.
     pub fn forward(&self, ctx: &mut Ctx<'_>, x: &Var) -> Var {
+        let _sp = pmm_obs::span("ffn");
         let h = self.fc1.forward(ctx, x).gelu();
         self.fc2.forward(ctx, &h)
     }
@@ -118,6 +119,7 @@ impl TransformerEncoder {
 
     /// Encodes with a caller-provided mask `[b*h, l, l]`.
     pub fn forward_masked(&self, ctx: &mut Ctx<'_>, x: &Var, b: usize, l: usize, mask: &Tensor) -> Var {
+        let _sp = pmm_obs::span("transformer");
         let mut h = x.clone();
         for block in &self.blocks {
             h = block.forward(ctx, &h, b, l, mask);

@@ -1,0 +1,151 @@
+//! Monotonic global counters plus the backward-tape live gauge.
+//!
+//! Counters are static `AtomicU64`s; an increment is one relaxed
+//! atomic load (the enable check) plus one relaxed `fetch_add` when
+//! collection is on, and just the load when off.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A named monotonic counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n`; no-op while collection is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Estimated floating-point operations in matmul kernels (2·m·k·n per
+/// product, accumulated from actual shapes).
+pub static MATMUL_FLOPS: Counter = Counter::new("matmul_flops");
+/// Dense tensors materialized.
+pub static TENSOR_ALLOCS: Counter = Counter::new("tensor_allocs");
+/// Bytes of tensor element storage allocated.
+pub static TENSOR_ALLOC_BYTES: Counter = Counter::new("tensor_alloc_bytes");
+/// Autograd tape nodes ever created.
+pub static TAPE_NODES: Counter = Counter::new("tape_nodes");
+/// Evaluation cases scored by the ranking metrics.
+pub static EVAL_CASES: Counter = Counter::new("eval_cases");
+
+/// Currently-live tape nodes. Can dip below zero transiently if
+/// collection is toggled while a graph is alive; the peak is what
+/// matters and is monotone within an enabled window.
+static TAPE_LIVE: AtomicI64 = AtomicI64::new(0);
+static TAPE_PEAK: AtomicI64 = AtomicI64::new(0);
+
+/// Record a matmul of `[m, k] x [k, n]` (or the equivalent transposed
+/// layout): 2·m·k·n scalar FLOPs.
+#[inline]
+pub fn record_matmul(m: usize, k: usize, n: usize) {
+    MATMUL_FLOPS.add(2 * (m as u64) * (k as u64) * (n as u64));
+}
+
+/// Record a batched matmul: `batch` products of `[m, k] x [k, n]`.
+#[inline]
+pub fn record_bmm(batch: usize, m: usize, k: usize, n: usize) {
+    MATMUL_FLOPS.add((batch as u64) * 2 * (m as u64) * (k as u64) * (n as u64));
+}
+
+/// Record one dense tensor materialization of `elems` `f32` elements —
+/// a single enable check covering both the count and byte counters.
+#[inline]
+pub fn record_tensor_alloc(elems: usize) {
+    if crate::enabled() {
+        TENSOR_ALLOCS.value.fetch_add(1, Ordering::Relaxed);
+        TENSOR_ALLOC_BYTES
+            .value
+            .fetch_add((elems * std::mem::size_of::<f32>()) as u64, Ordering::Relaxed);
+    }
+}
+
+/// Exact FLOP estimate [`record_matmul`] uses, exposed so tests and
+/// roofline math share one definition.
+pub fn matmul_flop_estimate(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
+
+/// Note a tape node's birth: bumps the monotonic total and the live
+/// gauge, updating the high-water mark.
+#[inline]
+pub fn tape_node_created() {
+    if crate::enabled() {
+        TAPE_NODES.value.fetch_add(1, Ordering::Relaxed);
+        let live = TAPE_LIVE.fetch_add(1, Ordering::Relaxed) + 1;
+        TAPE_PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+}
+
+/// Note a tape node's drop.
+#[inline]
+pub fn tape_node_dropped() {
+    if crate::enabled() {
+        TAPE_LIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// High-water mark of simultaneously-live tape nodes.
+pub fn tape_peak() -> u64 {
+    TAPE_PEAK.load(Ordering::Relaxed).max(0) as u64
+}
+
+/// Currently-live tape nodes (clamped at zero).
+pub fn tape_live() -> u64 {
+    TAPE_LIVE.load(Ordering::Relaxed).max(0) as u64
+}
+
+/// All counter values by name, including the tape peak, in a stable
+/// order suitable for reports.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    vec![
+        (MATMUL_FLOPS.name, MATMUL_FLOPS.get()),
+        (TENSOR_ALLOCS.name, TENSOR_ALLOCS.get()),
+        (TENSOR_ALLOC_BYTES.name, TENSOR_ALLOC_BYTES.get()),
+        (TAPE_NODES.name, TAPE_NODES.get()),
+        ("tape_peak", tape_peak()),
+        (EVAL_CASES.name, EVAL_CASES.get()),
+    ]
+}
+
+/// Zero every counter and the tape gauge/peak.
+pub fn reset_counters() {
+    for c in [&MATMUL_FLOPS, &TENSOR_ALLOCS, &TENSOR_ALLOC_BYTES, &TAPE_NODES, &EVAL_CASES] {
+        c.reset();
+    }
+    TAPE_LIVE.store(0, Ordering::Relaxed);
+    TAPE_PEAK.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_estimate_matches_closed_form() {
+        assert_eq!(matmul_flop_estimate(3, 4, 5), 2 * 3 * 4 * 5);
+        assert_eq!(matmul_flop_estimate(64, 64, 64), 524_288);
+        assert_eq!(matmul_flop_estimate(0, 7, 9), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Hand-rolled JSON helpers: an object writer for the sink and a flat
+//! parser for round-trip validation. Std-only by design.
+//!
+//! The parser handles exactly what the sink emits — one-level objects
+//! whose values are strings, finite numbers, booleans, or null — and
+//! rejects anything else.
+
+use std::collections::HashMap;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental builder for one flat JSON object.
+#[derive(Default)]
+pub struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    pub fn new() -> Self {
+        JsonObj { buf: String::from("{") }
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.sep();
+        if value.is_finite() {
+            // Enough digits to round-trip f32-precision telemetry.
+            self.buf.push_str(&format!("\"{}\":{:e}", escape(key), value));
+        } else {
+            self.buf.push_str(&format!("\"{}\":null", escape(key)));
+        }
+        self
+    }
+
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.sep();
+        self.buf.push_str(&format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A value in a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+impl JsonValue {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one flat JSON object (no nesting, no arrays). Returns `None`
+/// on any syntax the sink never produces.
+pub fn parse_flat(line: &str) -> Option<HashMap<String, JsonValue>> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next()? != '{' {
+        return None;
+    }
+    let mut map = HashMap::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                skip_ws(&mut chars);
+                return if chars.next().is_none() { Some(map) } else { None };
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            '"' => {
+                let key = parse_string(&mut chars)?;
+                skip_ws(&mut chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                skip_ws(&mut chars);
+                let value = parse_value(&mut chars)?;
+                map.insert(key, value);
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_value(chars: &mut std::iter::Peekable<std::str::Chars>) -> Option<JsonValue> {
+    match chars.peek()? {
+        '"' => parse_string(chars).map(JsonValue::Str),
+        't' => take_literal(chars, "true").map(|_| JsonValue::Bool(true)),
+        'f' => take_literal(chars, "false").map(|_| JsonValue::Bool(false)),
+        'n' => take_literal(chars, "null").map(|_| JsonValue::Null),
+        _ => {
+            let mut num = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')) {
+                num.push(chars.next().unwrap());
+            }
+            num.parse::<f64>().ok().map(JsonValue::Num)
+        }
+    }
+}
+
+fn take_literal(chars: &mut std::iter::Peekable<std::str::Chars>, lit: &str) -> Option<()> {
+    for expected in lit.chars() {
+        if chars.next()? != expected {
+            return None;
+        }
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_parses_back() {
+        let line = JsonObj::new()
+            .str("ev", "log")
+            .str("msg", "tab\there \"quoted\" back\\slash")
+            .u64("count", 42)
+            .f64("loss", 0.125)
+            .f64("nan", f64::NAN)
+            .bool("hit", true)
+            .finish();
+        let map = parse_flat(&line).expect("round trip");
+        assert_eq!(map["ev"], JsonValue::Str("log".into()));
+        assert_eq!(map["msg"].as_str().unwrap(), "tab\there \"quoted\" back\\slash");
+        assert_eq!(map["count"].as_f64().unwrap(), 42.0);
+        assert_eq!(map["loss"].as_f64().unwrap(), 0.125);
+        assert_eq!(map["nan"], JsonValue::Null);
+        assert_eq!(map["hit"], JsonValue::Bool(true));
+    }
+
+    #[test]
+    fn parser_rejects_junk() {
+        assert!(parse_flat("").is_none());
+        assert!(parse_flat("{\"a\":1").is_none());
+        assert!(parse_flat("{\"a\":}").is_none());
+        assert!(parse_flat("[1,2]").is_none());
+        assert!(parse_flat("{\"a\":1} trailing").is_none());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat("{}").unwrap().is_empty());
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+}

@@ -1,0 +1,89 @@
+//! `pmm-obs` — observability for the PMMRec stack.
+//!
+//! Std-only, zero external dependencies, and near-zero cost when
+//! disabled: every collection point is gated on one relaxed atomic
+//! load. Four pieces:
+//!
+//! - [`span`]: RAII scoped timers with thread-local nesting that
+//!   aggregate into a hierarchical wall-clock profile keyed by slash
+//!   paths such as `epoch/forward/attention/matmul`.
+//! - [`counter`]: monotonic global counters for matmul FLOPs (estimated
+//!   from shapes), tensor allocations and bytes, backward-tape nodes
+//!   (with a live gauge and high-water mark), and eval cases scored.
+//! - [`log`]: a single leveled logger (error < warn < info < debug <
+//!   trace) replacing scattered `eprintln!`, with `obs_*!` macros.
+//! - [`sink`]: an optional JSONL event stream (logs, epochs, cache
+//!   probes, final span/counter dumps) for machine-readable traces.
+//!
+//! Telemetry *collection* (spans + counters) is off by default and
+//! switched by [`set_enabled`]; the logger always works. The usual
+//! entry point is [`init_from_env`]:
+//!
+//! - `PMM_OBS=<path>` — enable collection and stream JSONL to `<path>`.
+//! - `PMM_OBS_LOG=<error|warn|info|debug|trace>` — logger threshold
+//!   (default `info`).
+
+pub mod counter;
+pub mod json;
+pub mod log;
+pub mod sink;
+pub mod span;
+pub mod stats;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub use counter::{record_matmul, Counter};
+pub use log::Level;
+pub use span::{span, SpanStat};
+pub use stats::{EpochRecord, EpochStats, LossBreakdown};
+
+/// Master switch for span/counter collection.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span/counter collection is on. One relaxed load; this is
+/// the only cost telemetry adds to hot paths when disabled.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn span/counter collection on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Configure observability from the environment; returns whether
+/// collection was enabled. See the crate docs for the variables.
+pub fn init_from_env() -> bool {
+    if let Ok(lvl) = std::env::var("PMM_OBS_LOG") {
+        match Level::parse(&lvl) {
+            Some(l) => log::set_max_level(l),
+            None => obs_warn!("obs", "PMM_OBS_LOG={lvl} is not a log level; keeping {}", log::max_level().as_str()),
+        }
+    }
+    match std::env::var("PMM_OBS") {
+        Ok(path) if !path.is_empty() => {
+            match sink::open(std::path::Path::new(&path)) {
+                Ok(()) => {
+                    set_enabled(true);
+                    obs_info!("obs", "telemetry on, JSONL trace -> {path}");
+                    true
+                }
+                Err(e) => {
+                    obs_warn!("obs", "cannot open PMM_OBS={path}: {e}; telemetry stays off");
+                    false
+                }
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Reset all global telemetry state (profile, counters, epoch records).
+/// Intended for tests and for benchmark drivers that scope collection
+/// to one run.
+pub fn reset() {
+    span::reset_profile();
+    counter::reset_counters();
+    stats::reset_epochs();
+}

@@ -1,0 +1,129 @@
+//! Leveled logging: one global threshold, stderr output, and mirrored
+//! emission into the JSONL sink when one is open.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity levels, ordered so that `Error < Warn < Info < Debug <
+/// Trace` — a message is shown when its level is at or below the
+/// configured maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+}
+
+impl Level {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive); accepts the common
+    /// abbreviations cargo users expect.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "err" | "e" => Some(Level::Error),
+            "warn" | "warning" | "w" => Some(Level::Warn),
+            "info" | "i" => Some(Level::Info),
+            "debug" | "d" => Some(Level::Debug),
+            "trace" | "t" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+}
+
+/// Global logger threshold; `info` by default so progress messages
+/// show but debug chatter does not.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn max_level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emit a pre-formatted message: one line on stderr, plus a `log`
+/// event in the JSONL sink when one is open. Prefer the `obs_*!`
+/// macros, which skip formatting entirely below the threshold.
+pub fn log(level: Level, target: &str, msg: &str) {
+    if !enabled(level) {
+        return;
+    }
+    eprintln!("[{} {target}] {msg}", level.as_str());
+    crate::sink::emit_log(level, target, msg);
+}
+
+/// Log at an explicit [`Level`]: `obs_log!(Level::Info, "target", "fmt", ..)`.
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $target:expr, $($arg:tt)*) => {
+        if $crate::log::enabled($level) {
+            $crate::log::log($level, $target, &format!($($arg)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! obs_error {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Error, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_warn {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Warn, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_info {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Info, $target, $($arg)*) };
+}
+
+#[macro_export]
+macro_rules! obs_debug {
+    ($target:expr, $($arg:tt)*) => { $crate::obs_log!($crate::Level::Debug, $target, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("verbose"), None);
+        for l in [Level::Error, Level::Warn, Level::Info, Level::Debug, Level::Trace] {
+            assert_eq!(Level::parse(l.as_str()), Some(l));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! JSONL event sink. When open, every event is one flat JSON object on
+//! its own line; when closed, emission is a no-op costing one mutex-
+//! free atomic check via `OnceLock` initialization state.
+//!
+//! Event kinds (`"ev"` field): `log`, `epoch`, `cache`, `span`,
+//! `counter`. See README "Observability" for the full schema.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::json::JsonObj;
+use crate::log::Level;
+use crate::span::SpanStat;
+use crate::stats::EpochRecord;
+
+fn sink() -> &'static Mutex<Option<BufWriter<File>>> {
+    static SINK: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn ts_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Open (or replace) the JSONL sink at `path`.
+pub fn open(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    *sink().lock().unwrap() = Some(BufWriter::new(file));
+    Ok(())
+}
+
+/// Whether a sink is currently open.
+pub fn is_open() -> bool {
+    sink().lock().unwrap().is_some()
+}
+
+/// Flush and close the sink; later emissions are dropped.
+pub fn close() {
+    if let Some(mut w) = sink().lock().unwrap().take() {
+        let _ = w.flush();
+    }
+}
+
+fn write_line(line: String) {
+    if let Some(w) = sink().lock().unwrap().as_mut() {
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+pub fn emit_log(level: Level, target: &str, msg: &str) {
+    if !is_open() {
+        return;
+    }
+    write_line(
+        JsonObj::new()
+            .str("ev", "log")
+            .u64("ts_ms", ts_ms())
+            .str("level", level.as_str())
+            .str("target", target)
+            .str("msg", msg)
+            .finish(),
+    );
+}
+
+/// Checkpoint-cache probe outcome.
+pub fn emit_cache(key: &str, hit: bool, path: &str) {
+    if !is_open() {
+        return;
+    }
+    write_line(
+        JsonObj::new()
+            .str("ev", "cache")
+            .u64("ts_ms", ts_ms())
+            .str("key", key)
+            .bool("hit", hit)
+            .str("path", path)
+            .finish(),
+    );
+}
+
+/// One finished training epoch with its telemetry deltas.
+pub fn emit_epoch(r: &EpochRecord) {
+    if !is_open() {
+        return;
+    }
+    let mut obj = JsonObj::new()
+        .str("ev", "epoch")
+        .u64("ts_ms", ts_ms())
+        .u64("epoch", r.epoch as u64)
+        .f64("loss", r.stats.loss as f64)
+        .f64("grad_norm", r.stats.grad_norm as f64)
+        .f64("param_norm", r.stats.param_norm as f64)
+        .f64("wall_s", r.wall_s)
+        .u64("flops", r.flops)
+        .u64("tape_peak", r.tape_peak);
+    if let Some(b) = r.stats.breakdown {
+        obj = obj
+            .f64("dap", b.dap as f64)
+            .f64("nicl", b.nicl as f64)
+            .f64("nid", b.nid as f64)
+            .f64("rcl", b.rcl as f64);
+    }
+    write_line(obj.finish());
+}
+
+pub fn emit_span(path: &str, stat: &SpanStat) {
+    if !is_open() {
+        return;
+    }
+    write_line(
+        JsonObj::new()
+            .str("ev", "span")
+            .str("path", path)
+            .u64("count", stat.count)
+            .u64("total_ns", stat.total_ns)
+            .finish(),
+    );
+}
+
+pub fn emit_counter(name: &str, value: u64) {
+    if !is_open() {
+        return;
+    }
+    write_line(
+        JsonObj::new()
+            .str("ev", "counter")
+            .str("name", name)
+            .u64("value", value)
+            .finish(),
+    );
+}
+
+/// Dump the aggregated span profile and all counters as events — the
+/// usual last step before [`close`].
+pub fn flush_profile() {
+    for (path, stat) in crate::span::profile_snapshot() {
+        emit_span(&path, &stat);
+    }
+    for (name, value) in crate::counter::counters_snapshot() {
+        emit_counter(name, value);
+    }
+}

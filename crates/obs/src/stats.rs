@@ -1,0 +1,120 @@
+//! Training-telemetry value types shared across the stack, plus the
+//! global per-epoch record store the bench summarizer reads.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Per-objective loss decomposition for one PMMRec epoch. Components
+/// carry their weights (the auxiliary terms are already scaled by
+/// `aux_weight`), so they sum to the reported total loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LossBreakdown {
+    /// Next-item (DAP) cross-entropy, the main objective.
+    pub dap: f32,
+    /// Cross-modal contrastive (NICL), weighted.
+    pub nicl: f32,
+    /// Noised-item detection (NID), weighted.
+    pub nid: f32,
+    /// Robustness-aware contrastive (RCL), weighted.
+    pub rcl: f32,
+}
+
+impl LossBreakdown {
+    /// Sum of the weighted components — equals the training loss.
+    pub fn total(&self) -> f32 {
+        self.dap + self.nicl + self.nid + self.rcl
+    }
+}
+
+/// What a model can report about one training epoch beyond the scalar
+/// loss. All fields are averages over the epoch's optimization steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochStats {
+    /// Mean total training loss.
+    pub loss: f32,
+    /// Per-objective decomposition, for models that have one.
+    pub breakdown: Option<LossBreakdown>,
+    /// Mean global gradient norm (pre-clipping).
+    pub grad_norm: f32,
+    /// Global parameter L2 norm at epoch end.
+    pub param_norm: f32,
+    /// Optimization steps taken.
+    pub steps: u32,
+}
+
+impl EpochStats {
+    /// Stats carrying only a scalar loss — the default for models
+    /// without richer telemetry.
+    pub fn from_loss(loss: f32) -> Self {
+        EpochStats { loss, ..Default::default() }
+    }
+}
+
+/// One epoch's telemetry as recorded by the training harness:
+/// model-reported stats plus harness-measured wall clock and counter
+/// deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index within its training run.
+    pub epoch: usize,
+    /// Wall-clock seconds spent in `train_epoch`.
+    pub wall_s: f64,
+    /// Estimated matmul FLOPs executed during the epoch.
+    pub flops: u64,
+    /// High-water mark of live backward-tape nodes so far.
+    pub tape_peak: u64,
+    /// Model-reported stats for the epoch.
+    pub stats: EpochStats,
+}
+
+impl EpochRecord {
+    /// Estimated achieved FLOP/s; zero when the clock delta is too
+    /// small to divide by.
+    pub fn flops_per_sec(&self) -> f64 {
+        if self.wall_s > 1e-9 {
+            self.flops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn epochs() -> &'static Mutex<Vec<EpochRecord>> {
+    static EPOCHS: OnceLock<Mutex<Vec<EpochRecord>>> = OnceLock::new();
+    EPOCHS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Append an epoch record to the global store and mirror it into the
+/// JSONL sink. Called by the harness only while collection is enabled.
+pub fn record_epoch(record: EpochRecord) {
+    crate::sink::emit_epoch(&record);
+    epochs().lock().unwrap().push(record);
+}
+
+/// Snapshot of all recorded epochs, in recording order.
+pub fn epoch_records() -> Vec<EpochRecord> {
+    epochs().lock().unwrap().clone()
+}
+
+/// Clear the epoch store.
+pub fn reset_epochs() {
+    epochs().lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_is_component_sum() {
+        let b = LossBreakdown { dap: 1.5, nicl: 0.25, nid: 0.125, rcl: 0.0625 };
+        assert!((b.total() - 1.9375).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flops_per_sec_guards_zero_wall() {
+        let mut r = EpochRecord { flops: 1_000_000, wall_s: 0.5, ..Default::default() };
+        assert!((r.flops_per_sec() - 2_000_000.0).abs() < 1.0);
+        r.wall_s = 0.0;
+        assert_eq!(r.flops_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! End-to-end tests of the global telemetry state: span nesting and
+//! aggregation across threads, counter monotonicity, and the JSONL
+//! sink round-trip.
+//!
+//! The enable flag, profile map, counters, and sink are process
+//! globals shared by every test thread in this binary, so each test
+//! holds `guard()` for its whole body and restores the disabled state
+//! before releasing it.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use pmm_obs::json::{parse_flat, JsonValue};
+use pmm_obs::{sink, span, EpochRecord, EpochStats, Level, LossBreakdown};
+
+fn guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    let g = GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    pmm_obs::reset();
+    pmm_obs::set_enabled(true);
+    g
+}
+
+fn finish(g: MutexGuard<'static, ()>) {
+    pmm_obs::set_enabled(false);
+    pmm_obs::reset();
+    drop(g);
+}
+
+fn spin(iters: u32) -> u32 {
+    // Busy work a span can time without sleeping.
+    let mut acc = 0u32;
+    for i in 0..iters {
+        acc = acc.wrapping_mul(31).wrapping_add(std::hint::black_box(i));
+    }
+    acc
+}
+
+#[test]
+fn spans_nest_and_aggregate_across_threads() {
+    let g = guard();
+    const THREADS: usize = 3;
+    const INNER: usize = 5;
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            std::thread::spawn(|| {
+                let _outer = span("outer");
+                for _ in 0..INNER {
+                    let _inner = span("inner");
+                    std::hint::black_box(spin(10_000));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let profile: std::collections::HashMap<String, pmm_obs::SpanStat> =
+        pmm_obs::span::profile_snapshot().into_iter().collect();
+    let outer = profile["outer"];
+    let inner = profile["outer/inner"];
+    assert_eq!(outer.count, THREADS as u64);
+    assert_eq!(inner.count, (THREADS * INNER) as u64);
+    // Each thread's inner spans are strict sub-intervals of its outer
+    // span, so the aggregate obeys the same containment.
+    assert!(outer.total_ns >= inner.total_ns, "outer {outer:?} vs inner {inner:?}");
+    // Nesting is per thread: no thread saw another's stack, so the
+    // only paths are the two we created.
+    assert_eq!(profile.len(), 2, "unexpected paths: {:?}", profile.keys());
+    finish(g);
+}
+
+#[test]
+fn disabled_spans_record_nothing() {
+    let g = guard();
+    pmm_obs::set_enabled(false);
+    {
+        let _sp = span("ghost");
+        std::hint::black_box(spin(100));
+    }
+    assert!(pmm_obs::span::profile_snapshot().is_empty());
+    finish(g);
+}
+
+#[test]
+fn counters_are_monotonic_and_gated() {
+    let g = guard();
+    let c = &pmm_obs::counter::MATMUL_FLOPS;
+    let mut prev = c.get();
+    assert_eq!(prev, 0);
+    for _ in 0..10 {
+        pmm_obs::record_matmul(4, 5, 6);
+        let now = c.get();
+        assert!(now > prev, "counter must strictly increase while enabled");
+        assert_eq!(now - prev, pmm_obs::counter::matmul_flop_estimate(4, 5, 6));
+        prev = now;
+    }
+    pmm_obs::set_enabled(false);
+    pmm_obs::record_matmul(4, 5, 6);
+    assert_eq!(c.get(), prev, "disabled adds must be no-ops");
+    finish(g);
+}
+
+#[test]
+fn tape_gauge_tracks_peak() {
+    let g = guard();
+    for _ in 0..4 {
+        pmm_obs::counter::tape_node_created();
+    }
+    pmm_obs::counter::tape_node_dropped();
+    pmm_obs::counter::tape_node_dropped();
+    assert_eq!(pmm_obs::counter::tape_live(), 2);
+    assert_eq!(pmm_obs::counter::tape_peak(), 4);
+    assert_eq!(pmm_obs::counter::TAPE_NODES.get(), 4);
+    finish(g);
+}
+
+#[test]
+fn jsonl_sink_round_trips_every_event_kind() {
+    let g = guard();
+    let path = std::env::temp_dir().join(format!("pmm_obs_test_{}.jsonl", std::process::id()));
+    sink::open(&path).unwrap();
+    assert!(sink::is_open());
+
+    sink::emit_log(Level::Info, "test", "hello \"quoted\"\nline");
+    sink::emit_cache("fused", true, "/tmp/ckpt");
+    sink::emit_epoch(&EpochRecord {
+        epoch: 3,
+        wall_s: 1.5,
+        flops: 1024,
+        tape_peak: 77,
+        stats: EpochStats {
+            loss: 2.0,
+            breakdown: Some(LossBreakdown { dap: 1.0, nicl: 0.5, nid: 0.25, rcl: 0.25 }),
+            grad_norm: 0.9,
+            param_norm: 12.0,
+            steps: 8,
+        },
+    });
+    {
+        let _sp = span("rt");
+        std::hint::black_box(spin(100));
+    }
+    pmm_obs::record_matmul(2, 3, 4);
+    sink::flush_profile();
+    sink::close();
+    assert!(!sink::is_open());
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<_> = text.lines().collect();
+    let events: Vec<_> = lines
+        .iter()
+        .map(|l| parse_flat(l).unwrap_or_else(|| panic!("invalid JSONL line: {l}")))
+        .collect();
+
+    let kind = |ev: &str| {
+        events
+            .iter()
+            .filter(|e| e["ev"].as_str() == Some(ev))
+            .cloned()
+            .collect::<Vec<_>>()
+    };
+    let logs = kind("log");
+    let log = &logs[0];
+    assert_eq!(log["msg"].as_str().unwrap(), "hello \"quoted\"\nline");
+    assert_eq!(log["level"].as_str().unwrap(), "info");
+
+    let caches = kind("cache");
+    let cache = &caches[0];
+    assert_eq!(cache["hit"], JsonValue::Bool(true));
+
+    let epochs = kind("epoch");
+    let epoch = &epochs[0];
+    assert_eq!(epoch["epoch"].as_f64().unwrap(), 3.0);
+    assert_eq!(epoch["flops"].as_f64().unwrap(), 1024.0);
+    let total = ["dap", "nicl", "nid", "rcl"]
+        .iter()
+        .map(|k| epoch[*k].as_f64().unwrap())
+        .sum::<f64>();
+    assert!((total - epoch["loss"].as_f64().unwrap()).abs() < 1e-9);
+
+    let spans = kind("span");
+    assert!(spans.iter().any(|s| s["path"].as_str() == Some("rt")));
+    let counters = kind("counter");
+    let flops = counters
+        .iter()
+        .find(|c| c["name"].as_str() == Some("matmul_flops"))
+        .expect("matmul_flops counter event");
+    assert_eq!(flops["value"].as_f64().unwrap(), f64::from(2 * 2 * 3 * 4));
+    finish(g);
+}
+
+#[test]
+fn closed_sink_drops_events_silently() {
+    let g = guard();
+    sink::close();
+    sink::emit_log(Level::Error, "test", "into the void");
+    sink::emit_counter("nope", 1);
+    assert!(!sink::is_open());
+    finish(g);
+}

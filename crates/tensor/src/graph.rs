@@ -42,6 +42,12 @@ impl std::fmt::Debug for Var {
     }
 }
 
+impl Drop for VarInner {
+    fn drop(&mut self) {
+        pmm_obs::counter::tape_node_dropped();
+    }
+}
+
 impl Var {
     fn new(
         value: Tensor,
@@ -49,6 +55,7 @@ impl Var {
         parents: Vec<Var>,
         backward: Option<BackwardFn>,
     ) -> Self {
+        pmm_obs::counter::tape_node_created();
         Var {
             inner: Rc::new(VarInner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -153,6 +160,7 @@ impl Var {
         if !self.inner.requires_grad {
             return;
         }
+        let _sp = pmm_obs::span("backward");
         self.accum_grad(&seed);
 
         // Collect reachable grad-requiring nodes; ids increase with

@@ -10,6 +10,7 @@ const GELU_A: f32 = 0.044_715;
 impl Var {
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
+        let _sp = pmm_obs::span("relu");
         let out = self.value().map(|v| v.max(0.0));
         let a = self.clone();
         Var::from_op(
@@ -24,6 +25,7 @@ impl Var {
 
     /// GELU with the tanh approximation (as used by RoBERTa/ViT).
     pub fn gelu(&self) -> Var {
+        let _sp = pmm_obs::span("gelu");
         let out = self.value().map(gelu_scalar);
         let a = self.clone();
         Var::from_op(

@@ -26,6 +26,7 @@ impl Var {
     /// `C = opA(A) @ opB(B)` where `opX` transposes when the flag is set.
     #[track_caller]
     pub fn matmul_tt(&self, other: &Var, trans_a: bool, trans_b: bool) -> Var {
+        let _sp = pmm_obs::span("matmul");
         let out = self.value().matmul_t(other.value(), trans_a, trans_b);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(
@@ -54,6 +55,7 @@ impl Var {
     /// Batched matrix product with explicit transpose flags.
     #[track_caller]
     pub fn bmm_tt(&self, other: &Var, trans_a: bool, trans_b: bool) -> Var {
+        let _sp = pmm_obs::span("bmm");
         let out = self.value().bmm_t(other.value(), trans_a, trans_b);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(

@@ -8,13 +8,31 @@ use rand::Rng;
 /// `Tensor` is plain data: all methods that combine tensors allocate a
 /// fresh output (or write into `self` for the `_inplace` variants). The
 /// autograd layer ([`crate::Var`]) wraps `Tensor`s into graph nodes.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every materialization (constructor, kernel output, or clone) funnels
+/// through [`Tensor::from_parts`], which feeds the `pmm-obs` allocation
+/// counters when telemetry is enabled; in-place reshapes are not
+/// counted because they reuse the buffer.
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
 }
 
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor::from_parts(self.data.clone(), self.shape.clone())
+    }
+}
+
 impl Tensor {
+    /// The single construction funnel: counts the materialization and
+    /// assembles the tensor. Callers have already validated the shape.
+    #[inline]
+    fn from_parts(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        pmm_obs::counter::record_tensor_alloc(data.len());
+        Self { data, shape }
+    }
     // ------------------------------------------------------------------
     // Constructors
     // ------------------------------------------------------------------
@@ -27,18 +45,12 @@ impl Tensor {
                 shape: shape.to_vec(),
             });
         }
-        Ok(Self {
-            data,
-            shape: shape.to_vec(),
-        })
+        Ok(Self::from_parts(data, shape.to_vec()))
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self {
-            data: vec![value; numel(shape)],
-            shape: shape.to_vec(),
-        }
+        Self::from_parts(vec![value; numel(shape)], shape.to_vec())
     }
 
     /// All-zeros tensor.
@@ -53,10 +65,7 @@ impl Tensor {
 
     /// Rank-1 "scalar" tensor (shape `[1]`), used for loss values.
     pub fn scalar(value: f32) -> Self {
-        Self {
-            data: vec![value],
-            shape: vec![1],
-        }
+        Self::from_parts(vec![value], vec![1])
     }
 
     /// Samples i.i.d. `N(0, std^2)` entries (Box–Muller, driven by `rng`).
@@ -74,20 +83,14 @@ impl Tensor {
                 data.push(r * theta.sin() * std);
             }
         }
-        Self {
-            data,
-            shape: shape.to_vec(),
-        }
+        Self::from_parts(data, shape.to_vec())
     }
 
     /// Samples i.i.d. `U(lo, hi)` entries.
     pub fn uniform<R: Rng + ?Sized>(shape: &[usize], lo: f32, hi: f32, rng: &mut R) -> Self {
         let n = numel(shape);
         let data = (0..n).map(|_| rng.random_range(lo..hi)).collect();
-        Self {
-            data,
-            shape: shape.to_vec(),
-        }
+        Self::from_parts(data, shape.to_vec())
     }
 
     // ------------------------------------------------------------------
@@ -207,25 +210,21 @@ impl Tensor {
 
     /// Applies `f` elementwise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&a| f(a)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor::from_parts(self.data.iter().map(|&a| f(a)).collect(), self.shape.clone())
     }
 
     /// Applies `f` elementwise against `other`.
     #[track_caller]
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         check_same_shape("zip_map", &self.shape, &other.shape);
-        Tensor {
-            data: self
-                .data
+        Tensor::from_parts(
+            self.data
                 .iter()
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-            shape: self.shape.clone(),
-        }
+            self.shape.clone(),
+        )
     }
 
     /// `self += other` (same shape), reusing `self`'s allocation.
@@ -276,6 +275,7 @@ impl Tensor {
             "matmul: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
             self.shape, other.shape
         );
+        pmm_obs::record_matmul(m, ka, n);
         let mut out = vec![0.0f32; m * n];
         matmul_kernel(
             &self.data,
@@ -289,10 +289,7 @@ impl Tensor {
             trans_a,
             trans_b,
         );
-        Tensor {
-            data: out,
-            shape: vec![m, n],
-        }
+        Tensor::from_parts(out, vec![m, n])
     }
 
     /// Plain 2-D matrix product `self @ other`.
@@ -328,6 +325,7 @@ impl Tensor {
             "bmm: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
             self.shape, other.shape
         );
+        pmm_obs::counter::record_bmm(b, m, ka, n);
         let a_stride = self.shape[1] * self.shape[2];
         let b_stride = other.shape[1] * other.shape[2];
         let o_stride = m * n;
@@ -346,10 +344,7 @@ impl Tensor {
                 trans_b,
             );
         }
-        Tensor {
-            data: out,
-            shape: vec![b, m, n],
-        }
+        Tensor::from_parts(out, vec![b, m, n])
     }
 
     /// 2-D transpose.
@@ -363,10 +358,7 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor {
-            data: out,
-            shape: vec![n, m],
-        }
+        Tensor::from_parts(out, vec![n, m])
     }
 
     // ------------------------------------------------------------------
@@ -396,10 +388,7 @@ impl Tensor {
             let dst = &mut out[r * last..(r + 1) * last];
             softmax_row(src, dst);
         }
-        Tensor {
-            data: out,
-            shape: self.shape.clone(),
-        }
+        Tensor::from_parts(out, self.shape.clone())
     }
 
     /// Index of the maximum element in each row of the last axis.
@@ -441,10 +430,7 @@ impl Tensor {
             );
             data.extend_from_slice(&self.data[i * d..(i + 1) * d]);
         }
-        Tensor {
-            data,
-            shape: vec![ids.len(), d],
-        }
+        Tensor::from_parts(data, vec![ids.len(), d])
     }
 }
 

@@ -46,7 +46,7 @@ fn main() {
         max_epochs: 10,
         patience: 2,
         eval_every: 1,
-        verbose: false,
+        log_level: pmm_obs::Level::Warn,
     };
 
     // Train both models on the normal training split…

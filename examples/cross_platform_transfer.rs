@@ -23,7 +23,7 @@ fn main() {
         max_epochs: 10,
         patience: 2,
         eval_every: 1,
-        verbose: false,
+        log_level: pmm_obs::Level::Warn,
     };
 
     // --- Pre-train on the source platform with all four objectives ---

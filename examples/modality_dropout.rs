@@ -22,7 +22,7 @@ fn main() {
         max_epochs: 10,
         patience: 2,
         eval_every: 1,
-        verbose: false,
+        log_level: pmm_obs::Level::Warn,
     };
 
     // Multi-modal pre-training on Kwai.

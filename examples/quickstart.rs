@@ -43,7 +43,7 @@ fn main() {
         max_epochs: 12,
         patience: 2,
         eval_every: 1,
-        verbose: true,
+        log_level: pmm_obs::Level::Info,
     };
     let result = train_model(&mut model, &split, &cfg, &mut rng);
 

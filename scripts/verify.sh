@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local verification: release build, test suite, and lints.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> verify OK"
