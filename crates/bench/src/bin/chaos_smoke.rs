@@ -1,0 +1,117 @@
+//! Chaos smoke test: one end-to-end training run under a deterministic
+//! fault plan — injected NaN losses (isolated and consecutive), a
+//! corrupted checkpoint write, and a transient IO failure — asserting
+//! the resilience invariants of the fault-tolerant runtime:
+//!
+//! * anomalous steps are skipped without advancing the optimizer;
+//! * an isolated anomaly backs the learning rate off and recovers;
+//! * consecutive anomalies roll the model back to epoch-start weights;
+//! * a corrupt newest checkpoint falls back to an older generation;
+//! * the injected IO failure is absorbed by the bounded retry;
+//! * the restored model serves finite scores end to end.
+//!
+//! The process exits non-zero when any invariant is violated, so
+//! `scripts/verify.sh` runs this binary as its fault-injection smoke
+//! test (`--scale tiny --epochs 3`).
+
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_data::registry::DatasetId;
+use pmm_eval::{evaluate_cases, SeqRecommender};
+use pmm_nn::checkpoint::CheckpointRotation;
+use pmm_obs::obs_info;
+use pmmrec::{GuardConfig, PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), String> {
+    let mut cli = Cli::from_env();
+    let epochs = cli.epochs.unwrap_or(3).max(2);
+    cli.epochs = Some(epochs);
+    // Default chaos recipe (overridable with --fault-plan): two
+    // consecutive NaN steps force a rollback, a later isolated NaN
+    // exercises skip + LR-backoff + recovery, the FINAL checkpoint
+    // save is corrupted so restore must fall back a generation, and
+    // the first guarded IO read fails once.
+    let default_plan = cli.fault_plan.is_none();
+    if default_plan {
+        cli.fault_plan = Some(format!("nan@1,nan@2,nan@4,ckpt@{},io@0", epochs - 1));
+    }
+    pmm_bench::obs::setup(&cli);
+    let spec = cli.fault_plan.clone().unwrap_or_default();
+    println!("== chaos smoke — fault plan {spec:?}, {epochs} epochs ==");
+
+    let world = runner::world();
+    let split = runner::split(&world, DatasetId::HmClothes, &cli);
+    let mut rng = StdRng::seed_from_u64(cli.seed ^ 0xC4A05);
+    let mut model = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
+    // Two consecutive anomalies are enough to trigger a rollback, so
+    // the default plan exercises the whole escalation ladder.
+    model.set_guard_config(GuardConfig { max_consecutive: 2, ..GuardConfig::default() });
+
+    let ckpt_dir = std::env::temp_dir().join(format!("pmmrec_chaos_{}", std::process::id()));
+    let rot = CheckpointRotation::new(&ckpt_dir, "chaos", 3)
+        .map_err(|e| format!("cannot create checkpoint rotation in {}: {e}", ckpt_dir.display()))?;
+
+    let mut last_loss = f32::NAN;
+    for epoch in 1..=epochs {
+        last_loss = model.train_epoch(&split.train, &mut rng);
+        let report = model.guard_report();
+        println!(
+            "  epoch {epoch}: loss {last_loss:.4} (anomalies {}, rollbacks {}, recoveries {}, opt steps {})",
+            report.anomalies,
+            report.rollbacks,
+            report.recoveries,
+            model.optimizer_steps()
+        );
+        let path = rot
+            .save(model.param_store(), epoch as u64)
+            .map_err(|e| format!("epoch {epoch}: cannot save rotating checkpoint: {e}"))?;
+        obs_info!("chaos", "epoch {epoch} checkpointed at {}", path.display());
+    }
+
+    // Restore into a fresh model; the corrupted newest generation must
+    // fall back to an older one (CRC failure + injected IO error on the
+    // first read are both absorbed here).
+    let mut fresh_rng = StdRng::seed_from_u64(cli.seed ^ 0xC4A05);
+    let restored = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut fresh_rng);
+    let (seq, load) = rot
+        .load_latest(restored.param_store())
+        .map_err(|e| format!("cannot restore from rotation {}: {e}", ckpt_dir.display()))?;
+    let metrics = evaluate_cases(&restored, &split.valid);
+    let (nan_fired, ckpt_fired, io_fired) = pmm_fault::fired();
+    let report = model.guard_report();
+    println!(
+        "  restored generation {seq}/{epochs} ({} tensors); valid {metrics}",
+        load.loaded.len()
+    );
+    println!("  faults fired: nan {nan_fired}, ckpt {ckpt_fired}, io {io_fired}");
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    // Resilience invariants. The guard/fallback-specific ones only hold
+    // under the default plan; a custom --fault-plan may inject nothing.
+    let mut failures = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+    check(last_loss.is_finite(), "final epoch loss is finite");
+    check(!load.loaded.is_empty(), "restore loaded parameters");
+    check(metrics.hr10().is_finite() && metrics.ndcg10().is_finite(), "restored model serves finite metrics");
+    if default_plan {
+        check(report.anomalies >= 3, "all injected NaN steps were caught");
+        check(report.rollbacks >= 1, "consecutive anomalies triggered a rollback");
+        check(report.recoveries >= 1, "an isolated anomaly recovered");
+        check(nan_fired == 3 && ckpt_fired == 1 && io_fired == 1, "every planned fault fired");
+        check(seq == epochs as u64 - 1, "restore fell back past the corrupted generation");
+    }
+    pmm_fault::clear();
+    pmm_bench::obs::finish("chaos_smoke");
+    if failures.is_empty() {
+        println!("chaos smoke PASSED: training rode through every injected fault");
+        Ok(())
+    } else {
+        Err(format!("chaos smoke FAILED: {}", failures.join("; ")))
+    }
+}

@@ -29,10 +29,10 @@ fn curve(
     setting: Option<TransferSetting>,
     ckpt: &std::path::Path,
     cli: &Cli,
-) -> Vec<ConvergencePoint> {
+) -> Result<Vec<ConvergencePoint>, String> {
     let mut rng = StdRng::seed_from_u64(cli.seed ^ 0xF16);
     let mut model = match setting {
-        Some(s) => runner::finetune_model(split, s, ckpt, cli),
+        Some(s) => runner::finetune_model(split, s, ckpt, cli)?,
         None => PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng),
     };
     let cfg = TrainConfig {
@@ -40,8 +40,9 @@ fn curve(
         patience: 0, // full curves, no early stop
         eval_every: 1,
         log_level: cli.log_level,
+        start_epoch: 0,
     };
-    train_model(&mut model, split, &cfg, &mut rng).curve
+    Ok(train_model(&mut model, split, &cfg, &mut rng).curve)
 }
 
 fn ascii_chart(series: &[(&str, Vec<ConvergencePoint>)]) -> String {
@@ -68,21 +69,21 @@ fn ascii_chart(series: &[(&str, Vec<ConvergencePoint>)]) -> String {
     out
 }
 
-fn main() {
+fn main() -> Result<(), String> {
     let cli = Cli::from_env();
     pmm_bench::obs::setup(&cli);
     let world = runner::world();
-    let ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world);
+    let ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world)?;
 
     println!("== Figure 3 — convergence curves (validation NDCG@10 per epoch) ==");
     for id in CURVE_TARGETS {
         let split = runner::split(&world, id, &cli);
         pmm_obs::obs_info!("fig3", "{}", id.name());
         let series = [
-            ("w/o PT", curve(&split, None, &ckpt, &cli)),
-            ("w. PT-I", curve(&split, Some(TransferSetting::ItemEncoders), &ckpt, &cli)),
-            ("w. PT-U", curve(&split, Some(TransferSetting::UserEncoder), &ckpt, &cli)),
-            ("w. PT", curve(&split, Some(TransferSetting::Full), &ckpt, &cli)),
+            ("w/o PT", curve(&split, None, &ckpt, &cli)?),
+            ("w. PT-I", curve(&split, Some(TransferSetting::ItemEncoders), &ckpt, &cli)?),
+            ("w. PT-U", curve(&split, Some(TransferSetting::UserEncoder), &ckpt, &cli)?),
+            ("w. PT", curve(&split, Some(TransferSetting::Full), &ckpt, &cli)?),
         ];
         println!("\n{} (epochs left to right):", id.name());
         print!("{}", ascii_chart(&series));
@@ -102,4 +103,5 @@ fn main() {
          epochs; PT-I tracks full PT; PT-U barely improves on w/o PT."
     );
     pmm_bench::obs::finish("fig3_convergence");
+    Ok(())
 }

@@ -50,7 +50,7 @@ fn pretrain_baseline(
     cli: &Cli,
     fused: &Dataset,
     build: impl FnOnce(&Dataset, &mut StdRng) -> Box<dyn PretrainableBaseline>,
-) -> std::path::PathBuf {
+) -> Result<std::path::PathBuf, String> {
     let cfg = runner::train_cfg(cli);
     // Baselines have no objective switches; keying the cache on the
     // default config still folds the epoch budget into the filename.
@@ -58,7 +58,7 @@ fn pretrain_baseline(
     if path.exists() {
         obs_info!("table4", "reusing {tag} checkpoint");
         pmm_obs::sink::emit_cache(tag, true, &path.display().to_string());
-        return path;
+        return Ok(path);
     }
     pmm_obs::sink::emit_cache(tag, false, &path.display().to_string());
     let split = SplitDataset::new(fused.clone());
@@ -67,14 +67,14 @@ fn pretrain_baseline(
     obs_info!("table4", "pre-training {tag} on {} users…", split.train.len());
     let result = pmm_eval::train_model(model.as_mut_rec(), &split, &cfg, &mut rng);
     obs_info!("table4", "{tag} pre-trained (valid {})", result.valid);
-    model.save_to(&path);
-    path
+    model.save_to(&path)?;
+    Ok(path)
 }
 
 /// Object-safe facade over the three transferable baselines.
 trait PretrainableBaseline {
     fn as_mut_rec(&mut self) -> &mut dyn SeqRecommender;
-    fn save_to(&self, path: &std::path::Path);
+    fn save_to(&self, path: &std::path::Path) -> Result<(), String>;
 }
 
 macro_rules! pretrainable {
@@ -83,8 +83,9 @@ macro_rules! pretrainable {
             fn as_mut_rec(&mut self) -> &mut dyn SeqRecommender {
                 self
             }
-            fn save_to(&self, path: &std::path::Path) {
-                self.save(path).expect("save baseline checkpoint");
+            fn save_to(&self, path: &std::path::Path) -> Result<(), String> {
+                self.save(path)
+                    .map_err(|e| format!("cannot save baseline checkpoint {}: {e}", path.display()))
             }
         }
     };
@@ -93,7 +94,7 @@ pretrainable!(pmm_baselines::unisrec::UniSRecCore);
 pretrainable!(pmm_baselines::vqrec::VqRecCore);
 pretrainable!(pmm_baselines::morec::MoRecCore);
 
-fn main() {
+fn main() -> Result<(), String> {
     let cli = Cli::from_env();
     pmm_bench::obs::setup(&cli);
     let world = runner::world();
@@ -101,17 +102,17 @@ fn main() {
     let fused = fused_dataset(&cli, &world);
 
     // Pre-train all four transferable models (cached).
-    let pmm_ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world);
+    let pmm_ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world)?;
     let uni_ckpt = pretrain_baseline("unisrec_fused", &cli, &fused, |d, rng| {
         Box::new(unisrec::build(bcfg, d, rng))
-    });
+    })?;
     let vq_src = vqrec::fit_quantizer(&fused);
     let vq_ckpt = pretrain_baseline("vqrec_fused", &cli, &fused, |d, rng| {
         Box::new(vqrec::build(bcfg, d, rng))
-    });
+    })?;
     let morec_ckpt = pretrain_baseline("morec_fused", &cli, &fused, |d, rng| {
         Box::new(morec::build(bcfg, d, rng))
-    });
+    })?;
 
     let mut t = Table::new(
         "Table IV — transfer learning on downstream datasets (HR@10 / NG@10)",
@@ -140,7 +141,9 @@ fn main() {
         let mut uni_wo = unisrec::build(bcfg, &split.dataset, &mut rng);
         let uni_wo_m = runner::run_target(&mut uni_wo, &split, &cli).test;
         let mut uni_w = unisrec::build(bcfg, &split.dataset, &mut rng);
-        uni_w.load_filtered(&uni_ckpt, &[]).expect("unisrec ckpt");
+        uni_w
+            .load_filtered(&uni_ckpt, &[])
+            .map_err(|e| format!("cannot load UniSRec checkpoint {}: {e}", uni_ckpt.display()))?;
         let uni_w_m = runner::run_target(&mut uni_w, &split, &cli).test;
 
         // VQRec (codebook transferred via source centroids).
@@ -148,21 +151,23 @@ fn main() {
         let vq_wo_m = runner::run_target(&mut vq_wo, &split, &cli).test;
         let target_pq = vqrec::recode_for(&vq_src, &split.dataset);
         let mut vq_w = vqrec::build_with_quantizer(bcfg, &split.dataset, target_pq, &mut rng);
-        vq_w.load_filtered(&vq_ckpt, &[]).expect("vqrec ckpt");
+        vq_w.load_filtered(&vq_ckpt, &[])
+            .map_err(|e| format!("cannot load VQRec checkpoint {}: {e}", vq_ckpt.display()))?;
         let vq_w_m = runner::run_target(&mut vq_w, &split, &cli).test;
 
         // MoRec++.
         let mut mo_wo = morec::build(bcfg, &split.dataset, &mut rng);
         let mo_wo_m = runner::run_target(&mut mo_wo, &split, &cli).test;
         let mut mo_w = morec::build(bcfg, &split.dataset, &mut rng);
-        mo_w.load_filtered(&morec_ckpt, &[]).expect("morec ckpt");
+        mo_w.load_filtered(&morec_ckpt, &[])
+            .map_err(|e| format!("cannot load MoRec++ checkpoint {}: {e}", morec_ckpt.display()))?;
         let mo_w_m = runner::run_target(&mut mo_w, &split, &cli).test;
 
         // PMMRec.
         let mut pmm_wo = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
         pmm_wo.set_pretraining(true); // from-scratch = full Eq. 12 objective
         let pmm_wo_m = runner::run_target(&mut pmm_wo, &split, &cli).test;
-        let mut pmm_w = runner::finetune_model(&split, TransferSetting::Full, &pmm_ckpt, &cli);
+        let mut pmm_w = runner::finetune_model(&split, TransferSetting::Full, &pmm_ckpt, &cli)?;
         let pmm_w_m = runner::run_target(&mut pmm_w, &split, &cli).test;
 
         let paper = PAPER_PMM[ti];
@@ -190,4 +195,5 @@ fn main() {
     t.print();
     println!("\n'v' marks cases where pre-training reduced HR@10 (the paper's down-arrows).");
     pmm_bench::obs::finish("table4_transfer");
+    Ok(())
 }

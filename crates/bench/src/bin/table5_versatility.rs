@@ -32,16 +32,16 @@ fn transferred(
     setting: TransferSetting,
     ckpt: &std::path::Path,
     cli: &Cli,
-) -> MetricSet {
-    let mut model = runner::finetune_model(split, setting, ckpt, cli);
-    runner::run_target(&mut model, split, cli).test
+) -> Result<MetricSet, String> {
+    let mut model = runner::finetune_model(split, setting, ckpt, cli)?;
+    Ok(runner::run_target(&mut model, split, cli).test)
 }
 
-fn main() {
+fn main() -> Result<(), String> {
     let cli = Cli::from_env();
     pmm_bench::obs::setup(&cli);
     let world = runner::world();
-    let ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world);
+    let ckpt = runner::pretrain_cached("fused", &SOURCES, ObjectiveConfig::default(), &cli, &world)?;
 
     let mut t = Table::new(
         "Table V — versatile transfer settings (HR@10 / NG@10)",
@@ -59,13 +59,13 @@ fn main() {
         pmm_obs::obs_info!("table5", "{}", id.name());
         let row = [
             fmt(scratch(&split, Modality::TextOnly, &cli)),
-            fmt(transferred(&split, TransferSetting::TextOnly, &ckpt, &cli)),
+            fmt(transferred(&split, TransferSetting::TextOnly, &ckpt, &cli)?),
             fmt(scratch(&split, Modality::VisionOnly, &cli)),
-            fmt(transferred(&split, TransferSetting::VisionOnly, &ckpt, &cli)),
+            fmt(transferred(&split, TransferSetting::VisionOnly, &ckpt, &cli)?),
             fmt(scratch(&split, Modality::Both, &cli)),
-            fmt(transferred(&split, TransferSetting::ItemEncoders, &ckpt, &cli)),
-            fmt(transferred(&split, TransferSetting::UserEncoder, &ckpt, &cli)),
-            fmt(transferred(&split, TransferSetting::Full, &ckpt, &cli)),
+            fmt(transferred(&split, TransferSetting::ItemEncoders, &ckpt, &cli)?),
+            fmt(transferred(&split, TransferSetting::UserEncoder, &ckpt, &cli)?),
+            fmt(transferred(&split, TransferSetting::Full, &ckpt, &cli)?),
         ];
         let mut cells = vec![id.name().to_string()];
         cells.extend(row);
@@ -77,4 +77,5 @@ fn main() {
          competitive; text-only transfers better than vision-only on average."
     );
     pmm_bench::obs::finish("table5_versatility");
+    Ok(())
 }

@@ -15,7 +15,7 @@ use pmmrec::{ObjectiveConfig, PmmRec, PmmRecConfig, TransferSetting};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), String> {
     let cli = Cli::from_env();
     pmm_bench::obs::setup(&cli);
     let world = runner::world();
@@ -25,9 +25,10 @@ fn main() {
         .into_iter()
         .map(|src| {
             let tag = format!("single_{}", src.name());
-            (src, runner::pretrain_cached(&tag, &[src], ObjectiveConfig::default(), &cli, &world))
+            let ckpt = runner::pretrain_cached(&tag, &[src], ObjectiveConfig::default(), &cli, &world)?;
+            Ok((src, ckpt))
         })
-        .collect();
+        .collect::<Result<_, String>>()?;
 
     let mut t = Table::new(
         "Table VI — single-source transfer (HR@10; 'v' = below w/o PT)",
@@ -50,7 +51,7 @@ fn main() {
             format!("{:.2}", scratch_m.hr10()),
         ];
         for (src, ckpt) in &ckpts {
-            let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli);
+            let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli)?;
             let m = runner::run_target(&mut model, &split, &cli).test;
             let homogeneous = id.platform() == src.platform();
             let marker = if m.hr10() < scratch_m.hr10() { " v" } else if homogeneous { " *" } else { "" };
@@ -64,4 +65,5 @@ fn main() {
          best column per the paper's diagonal; 'v' marks negative transfer."
     );
     pmm_bench::obs::finish("table6_single_source");
+    Ok(())
 }

@@ -29,7 +29,7 @@ const PAPER_HR10: [(&str, [f32; 6]); 4] = [
     ("Amazon_Shoes", [39.13, 40.80, 42.24, 42.25, 43.83, 43.98]),
 ];
 
-fn main() {
+fn main() -> Result<(), String> {
     let cli = Cli::from_env();
     pmm_bench::obs::setup(&cli);
     let world = runner::world();
@@ -45,9 +45,10 @@ fn main() {
             } else {
                 format!("abl_{}", name.replace([' ', '/'], "_"))
             };
-            (name.to_string(), runner::pretrain_cached(&tag, &SOURCES, *obj, &cli, &world))
+            let ckpt = runner::pretrain_cached(&tag, &SOURCES, *obj, &cli, &world)?;
+            Ok((name.to_string(), ckpt))
         })
-        .collect();
+        .collect::<Result<_, String>>()?;
 
     let mut header: Vec<&str> = vec!["Dataset"];
     header.extend(variants.iter().map(|(n, _)| *n));
@@ -59,7 +60,7 @@ fn main() {
         pmm_obs::obs_info!("table8", "{}", id.name());
         let mut cells = vec![id.name().to_string()];
         for (name, ckpt) in &ckpts {
-            let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli);
+            let mut model = runner::finetune_model(&split, TransferSetting::Full, ckpt, &cli)?;
             let m = runner::run_target(&mut model, &split, &cli).test;
             cells.push(format!("{:.2}/{:.2}", m.hr10(), m.ndcg10()));
             pmm_obs::obs_info!("table8", "  {name}: HR@10 {:.2}", m.hr10());
@@ -73,4 +74,5 @@ fn main() {
          costliest removal; 'only VCL' < 'only NCL' < full NICL."
     );
     pmm_bench::obs::finish("table8_ablation");
+    Ok(())
 }

@@ -19,6 +19,10 @@ pub struct Cli {
     /// JSONL telemetry sink path (`--obs PATH`; the `PMM_OBS`
     /// environment variable is honoured when the flag is absent).
     pub obs: Option<String>,
+    /// Deterministic fault-injection plan (`--fault-plan SPEC`, e.g.
+    /// `nan@3,ckpt@0,io@1`; see `pmm_fault::FaultPlan::parse`). Absent
+    /// means no faults are injected.
+    pub fault_plan: Option<String>,
 }
 
 impl Default for Cli {
@@ -29,6 +33,7 @@ impl Default for Cli {
             epochs: None,
             log_level: Level::Warn,
             obs: None,
+            fault_plan: None,
         }
     }
 }
@@ -75,8 +80,16 @@ impl Cli {
                 }
                 "--verbose" => cli.log_level = Level::Info,
                 "--obs" => cli.obs = Some(it.next().expect("--obs needs a path")),
+                "--fault-plan" => {
+                    let spec = it.next().expect("--fault-plan needs a spec");
+                    // Fail fast on a bad spec, at parse time not mid-run.
+                    if let Err(e) = pmm_fault::FaultPlan::parse(&spec) {
+                        panic!("invalid --fault-plan {spec:?}: {e}");
+                    }
+                    cli.fault_plan = Some(spec);
+                }
                 other => panic!(
-                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs)"
+                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan)"
                 ),
             }
         }
@@ -113,6 +126,19 @@ mod tests {
         assert_eq!(cli.epochs, Some(3));
         assert_eq!(cli.log_level, Level::Debug);
         assert_eq!(cli.obs.as_deref(), Some("/tmp/t.jsonl"));
+    }
+
+    #[test]
+    fn parses_fault_plan() {
+        let cli = parse(&["--fault-plan", "nan@2,ckpt@0,io@1"]);
+        assert_eq!(cli.fault_plan.as_deref(), Some("nan@2,ckpt@0,io@1"));
+        assert!(parse(&[]).fault_plan.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --fault-plan")]
+    fn rejects_malformed_fault_plan() {
+        parse(&["--fault-plan", "nan@x"]);
     }
 
     #[test]

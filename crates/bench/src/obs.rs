@@ -25,6 +25,17 @@ pub fn setup(cli: &Cli) {
     if cli.log_level > pmm_obs::log::max_level() {
         pmm_obs::log::set_max_level(cli.log_level);
     }
+    // Arm deterministic fault injection for chaos runs. The spec was
+    // validated at CLI parse time.
+    if let Some(spec) = &cli.fault_plan {
+        match pmm_fault::FaultPlan::parse(spec) {
+            Ok(plan) => {
+                pmm_fault::install(plan);
+                obs_info!("fault", "fault plan armed: {spec}");
+            }
+            Err(e) => obs_warn!("fault", "ignoring fault plan {spec:?}: {e}"),
+        }
+    }
 }
 
 /// Summarize a finished run: print the aggregated span profile, write

@@ -32,6 +32,7 @@ pub fn train_cfg(cli: &Cli) -> TrainConfig {
         patience: 3,
         eval_every: 2,
         log_level: cli.log_level,
+        start_epoch: 0,
     }
 }
 
@@ -101,20 +102,21 @@ pub fn checkpoint_path(tag: &str, cli: &Cli, obj: &ObjectiveConfig, epochs: usiz
 
 /// Pre-trains PMMRec on the given source corpus and saves a checkpoint;
 /// reuses a cached file when present (delete the file to force a
-/// re-run). Returns the checkpoint path.
+/// re-run). Returns the checkpoint path, or a contextual error when the
+/// checkpoint cannot be written.
 pub fn pretrain_cached(
     tag: &str,
     sources: &[DatasetId],
     obj: ObjectiveConfig,
     cli: &Cli,
     world: &World,
-) -> PathBuf {
+) -> Result<PathBuf, String> {
     let epochs = pretrain_epochs(cli);
     let path = checkpoint_path(tag, cli, &obj, epochs);
     if path.exists() {
         obs_info!("pretrain", "[{tag}] reusing cached checkpoint {}", path.display());
         pmm_obs::sink::emit_cache(tag, true, &path.display().to_string());
-        return path;
+        return Ok(path);
     }
     pmm_obs::sink::emit_cache(tag, false, &path.display().to_string());
     let fused = if sources.len() == 1 {
@@ -135,6 +137,7 @@ pub fn pretrain_cached(
         patience: 0, // pre-training uses the full budget
         eval_every: 2,
         log_level: cli.log_level,
+        start_epoch: 0,
     };
     obs_info!("pretrain", "[{tag}] pre-training on {} users…", split.train.len());
     let result = train_model(&mut model, &split, &cfg, &mut rng);
@@ -144,30 +147,34 @@ pub fn pretrain_cached(
         result.best_epoch,
         result.valid
     );
-    model.save(&path).expect("save pre-trained checkpoint");
-    path
+    model
+        .save(&path)
+        .map_err(|e| format!("[{tag}] cannot save pre-trained checkpoint {}: {e}", path.display()))?;
+    Ok(path)
 }
 
 /// Builds a PMMRec for a target dataset and loads pre-trained
-/// components per the setting.
+/// components per the setting; errors carry the checkpoint path and
+/// transfer setting for context.
 pub fn finetune_model(
     split: &SplitDataset,
     setting: TransferSetting,
     ckpt: &std::path::Path,
     cli: &Cli,
-) -> PmmRec {
+) -> Result<PmmRec, String> {
     let mut rng = StdRng::seed_from_u64(cli.seed ^ 0xF17E);
     let cfg = PmmRecConfig {
         modality: setting.modality(),
         ..PmmRecConfig::default()
     };
     let mut model = PmmRec::new(cfg, &split.dataset, &mut rng);
-    let report = model.load_transfer(ckpt, setting).expect("load checkpoint");
-    assert!(
-        !report.loaded.is_empty(),
-        "transfer loaded nothing for {setting:?}"
-    );
-    model
+    let report = model
+        .load_transfer(ckpt, setting)
+        .map_err(|e| format!("cannot load checkpoint {} for {setting:?}: {e}", ckpt.display()))?;
+    if report.loaded.is_empty() {
+        return Err(format!("transfer from {} loaded nothing for {setting:?}", ckpt.display()));
+    }
+    Ok(model)
 }
 
 #[cfg(test)]
@@ -196,31 +203,51 @@ mod tests {
     }
 
     #[test]
-    fn pretrain_cache_roundtrip() {
+    fn pretrain_cache_roundtrip() -> Result<(), String> {
         let cli = tiny_cli();
         let w = world();
         let path = checkpoint_path("test_cache", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli));
         std::fs::remove_file(&path).ok();
-        let p1 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w);
+        let p1 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w)?;
         assert!(p1.exists());
         // Second call reuses the file (fast path).
-        let p2 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w);
+        let p2 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w)?;
         assert_eq!(p1, p2);
         std::fs::remove_file(&p1).ok();
+        Ok(())
     }
 
     #[test]
-    fn finetune_model_loads_components() {
+    fn finetune_model_loads_components() -> Result<(), String> {
         let cli = tiny_cli();
         let w = world();
         let path = checkpoint_path("test_ft", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli));
         std::fs::remove_file(&path).ok();
-        let ckpt = pretrain_cached("test_ft", &[DatasetId::Hm], ObjectiveConfig::default(), &cli, &w);
+        let ckpt = pretrain_cached("test_ft", &[DatasetId::Hm], ObjectiveConfig::default(), &cli, &w)?;
         let target = split(&w, DatasetId::HmClothes, &cli);
         for setting in TransferSetting::ALL {
-            let model = finetune_model(&target, setting, &ckpt, &cli);
+            let model = finetune_model(&target, setting, &ckpt, &cli)?;
             assert_eq!(model.n_items(), target.n_items(), "{setting:?}");
         }
         std::fs::remove_file(ckpt).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn finetune_errors_carry_checkpoint_context() {
+        let cli = tiny_cli();
+        let w = world();
+        let target = split(&w, DatasetId::HmClothes, &cli);
+        let err = match finetune_model(
+            &target,
+            TransferSetting::Full,
+            std::path::Path::new("/nonexistent/missing.ckpt"),
+            &cli,
+        ) {
+            Ok(_) => panic!("finetune from a missing checkpoint must fail"),
+            Err(e) => e,
+        };
+        assert!(err.contains("/nonexistent/missing.ckpt"), "{err}");
+        assert!(err.contains("Full"), "{err}");
     }
 }

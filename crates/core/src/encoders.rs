@@ -2,7 +2,7 @@
 //! merge-attention fusion module (Section III-B).
 
 use crate::config::PmmRecConfig;
-use pmm_data::world::Item;
+use pmm_data::world::{Item, PAD_TOKEN};
 use pmm_nn::{Ctx, Dropout, Embedding, Linear, Param, ParamStore, TransformerEncoder};
 use pmm_tensor::{Tensor, Var};
 use rand::rngs::StdRng;
@@ -94,14 +94,30 @@ impl TextEncoder {
     }
 
     /// Encodes the text of `ids` drawn from `corpus`.
+    ///
+    /// Items whose token list is missing or the wrong length (a common
+    /// transfer-time condition) are padded/clipped to the expected
+    /// length with `PAD_TOKEN` instead of erroring — degraded but
+    /// finite, counted by `pmm_obs::counter::DEGRADED_ENCODES`.
     #[track_caller]
     pub fn forward(&self, ctx: &mut Ctx<'_>, corpus: &[Item], ids: &[usize]) -> EncodedModality {
         let n = ids.len();
         let p = self.text_len;
         let mut flat = Vec::with_capacity(n * p);
+        let mut degraded = 0u64;
         for &i in ids {
-            debug_assert_eq!(corpus[i].tokens.len(), p, "item text length mismatch");
-            flat.extend_from_slice(&corpus[i].tokens);
+            let tokens = &corpus[i].tokens;
+            if tokens.len() == p {
+                flat.extend_from_slice(tokens);
+            } else {
+                degraded += 1;
+                let take = tokens.len().min(p);
+                flat.extend_from_slice(&tokens[..take]);
+                flat.resize(flat.len() + (p - take), PAD_TOKEN);
+            }
+        }
+        if degraded > 0 {
+            pmm_obs::counter::DEGRADED_ENCODES.add(degraded);
         }
         let tok = self.embed.forward(ctx, &flat);
         let x = assemble_with_cls(ctx, &self.cls, &self.pos, &tok, n, p);
@@ -160,14 +176,30 @@ impl VisionEncoder {
     }
 
     /// Encodes the images of `ids` drawn from `corpus`.
+    ///
+    /// Items with missing or mis-sized patch data are zero-filled to
+    /// the expected `[n_patches, patch_dim]` layout instead of erroring
+    /// (see [`TextEncoder::forward`] for the degradation contract).
     #[track_caller]
     pub fn forward(&self, ctx: &mut Ctx<'_>, corpus: &[Item], ids: &[usize]) -> EncodedModality {
         let n = ids.len();
         let (q, dv) = (self.n_patches, self.patch_dim);
-        let mut flat = Vec::with_capacity(n * q * dv);
+        let want = q * dv;
+        let mut flat = Vec::with_capacity(n * want);
+        let mut degraded = 0u64;
         for &i in ids {
-            debug_assert_eq!(corpus[i].patches.len(), q * dv, "item patch size mismatch");
-            flat.extend_from_slice(&corpus[i].patches);
+            let patches = &corpus[i].patches;
+            if patches.len() == want {
+                flat.extend_from_slice(patches);
+            } else {
+                degraded += 1;
+                let take = patches.len().min(want);
+                flat.extend_from_slice(&patches[..take]);
+                flat.resize(flat.len() + (want - take), 0.0);
+            }
+        }
+        if degraded > 0 {
+            pmm_obs::counter::DEGRADED_ENCODES.add(degraded);
         }
         let raw = Var::constant(Tensor::from_vec(flat, &[n * q, dv]).expect("patch numel"));
         let patches = self.proj.forward(ctx, &raw);

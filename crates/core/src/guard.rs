@@ -1,0 +1,190 @@
+//! Anomaly guard: the training-side half of the fault-tolerance layer.
+//!
+//! A single NaN loss would normally poison the AdamW moments and every
+//! parameter they later touch — one bad batch ends the run. The guard
+//! turns that into a recoverable event with an escalation ladder:
+//!
+//! 1. **Skip** — a step whose loss or gradient norm is non-finite is
+//!    dropped before the optimizer sees it (no backward, no moment
+//!    update), and the learning rate is backed off multiplicatively.
+//! 2. **Rollback** — after `max_consecutive` anomalous steps in a row,
+//!    the model restores the last good parameter snapshot and resets
+//!    optimizer state, abandoning the divergent trajectory.
+//! 3. **Recovery** — the first finite step after any anomaly restores
+//!    the pre-backoff learning rate and resets the escalation counter.
+//!
+//! The state machine lives here, free of model specifics, so tests can
+//! drive it exhaustively; [`crate::PmmRec`] wires its verdicts into the
+//! actual train loop.
+
+/// Anomaly-guard policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardConfig {
+    /// Master switch; disabled means every step is treated as normal.
+    pub enabled: bool,
+    /// Consecutive anomalous steps tolerated before a rollback
+    /// (`K` in the escalation ladder). Must be at least 1.
+    pub max_consecutive: usize,
+    /// Multiplicative learning-rate backoff applied per anomalous step.
+    pub lr_backoff: f32,
+    /// Floor under the backed-off learning rate.
+    pub min_lr: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            max_consecutive: 3,
+            lr_backoff: 0.5,
+            min_lr: 1e-6,
+        }
+    }
+}
+
+/// What the training loop must do after reporting a step to the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardVerdict {
+    /// Step was healthy; apply it normally.
+    Proceed,
+    /// Step was anomalous; skip it and back off the learning rate.
+    Skip,
+    /// Too many consecutive anomalies; restore the last good snapshot
+    /// and reset optimizer state.
+    Rollback,
+}
+
+/// Cumulative guard activity, surfaced by [`crate::PmmRec`] after
+/// training and asserted on by chaos tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardReport {
+    /// Steps skipped for a non-finite loss or gradient norm.
+    pub anomalies: u64,
+    /// Snapshot rollbacks performed.
+    pub rollbacks: u64,
+    /// Recoveries (finite step after at least one anomaly).
+    pub recoveries: u64,
+}
+
+/// The escalation state machine. One instance lives per model.
+#[derive(Debug)]
+pub struct AnomalyGuard {
+    cfg: GuardConfig,
+    consecutive: usize,
+    report: GuardReport,
+}
+
+impl AnomalyGuard {
+    /// A fresh guard under `cfg`.
+    pub fn new(cfg: GuardConfig) -> AnomalyGuard {
+        AnomalyGuard { cfg, consecutive: 0, report: GuardReport::default() }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &GuardConfig {
+        &self.cfg
+    }
+
+    /// Cumulative activity so far.
+    pub fn report(&self) -> GuardReport {
+        self.report
+    }
+
+    /// Reports one optimisation step; `finite` is whether both the loss
+    /// and the gradient norm were finite. Returns the action the
+    /// training loop must take.
+    pub fn observe(&mut self, finite: bool) -> GuardVerdict {
+        if !self.cfg.enabled {
+            return GuardVerdict::Proceed;
+        }
+        if finite {
+            if self.consecutive > 0 {
+                self.consecutive = 0;
+                self.report.recoveries += 1;
+            }
+            return GuardVerdict::Proceed;
+        }
+        self.report.anomalies += 1;
+        self.consecutive += 1;
+        if self.consecutive >= self.cfg.max_consecutive.max(1) {
+            self.consecutive = 0;
+            self.report.rollbacks += 1;
+            GuardVerdict::Rollback
+        } else {
+            GuardVerdict::Skip
+        }
+    }
+
+    /// The learning rate to run with after an anomalous step.
+    pub fn backed_off_lr(&self, lr: f32) -> f32 {
+        (lr * self.cfg.lr_backoff).max(self.cfg.min_lr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_stream_never_intervenes() {
+        let mut g = AnomalyGuard::new(GuardConfig::default());
+        for _ in 0..100 {
+            assert_eq!(g.observe(true), GuardVerdict::Proceed);
+        }
+        assert_eq!(g.report(), GuardReport::default());
+    }
+
+    #[test]
+    fn isolated_anomalies_skip_then_recover() {
+        let mut g = AnomalyGuard::new(GuardConfig { max_consecutive: 3, ..Default::default() });
+        assert_eq!(g.observe(false), GuardVerdict::Skip);
+        assert_eq!(g.observe(true), GuardVerdict::Proceed);
+        assert_eq!(g.observe(false), GuardVerdict::Skip);
+        assert_eq!(g.observe(false), GuardVerdict::Skip);
+        assert_eq!(g.observe(true), GuardVerdict::Proceed);
+        let r = g.report();
+        assert_eq!(r.anomalies, 3);
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.recoveries, 2);
+    }
+
+    #[test]
+    fn k_consecutive_anomalies_trigger_rollback() {
+        let mut g = AnomalyGuard::new(GuardConfig { max_consecutive: 3, ..Default::default() });
+        assert_eq!(g.observe(false), GuardVerdict::Skip);
+        assert_eq!(g.observe(false), GuardVerdict::Skip);
+        assert_eq!(g.observe(false), GuardVerdict::Rollback);
+        // The ladder restarts after a rollback.
+        assert_eq!(g.observe(false), GuardVerdict::Skip);
+        assert_eq!(g.report().rollbacks, 1);
+        assert_eq!(g.report().anomalies, 4);
+    }
+
+    #[test]
+    fn max_consecutive_one_rolls_back_immediately() {
+        let mut g = AnomalyGuard::new(GuardConfig { max_consecutive: 1, ..Default::default() });
+        assert_eq!(g.observe(false), GuardVerdict::Rollback);
+        assert_eq!(g.observe(false), GuardVerdict::Rollback);
+        assert_eq!(g.report().rollbacks, 2);
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let mut g = AnomalyGuard::new(GuardConfig { enabled: false, ..Default::default() });
+        for _ in 0..10 {
+            assert_eq!(g.observe(false), GuardVerdict::Proceed);
+        }
+        assert_eq!(g.report(), GuardReport::default());
+    }
+
+    #[test]
+    fn lr_backoff_halves_with_floor() {
+        let g = AnomalyGuard::new(GuardConfig {
+            lr_backoff: 0.5,
+            min_lr: 1e-3,
+            ..Default::default()
+        });
+        assert!((g.backed_off_lr(0.1) - 0.05).abs() < 1e-9);
+        assert_eq!(g.backed_off_lr(1e-3), 1e-3, "floor holds");
+    }
+}

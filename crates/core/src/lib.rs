@@ -34,6 +34,7 @@
 pub mod ablation;
 pub mod config;
 pub mod encoders;
+pub mod guard;
 pub mod model;
 pub mod objectives;
 pub mod rating;
@@ -43,6 +44,7 @@ pub mod user_encoder;
 
 pub use ablation::{NiclVariant, ObjectiveConfig};
 pub use config::{Modality, PmmRecConfig};
+pub use guard::{AnomalyGuard, GuardConfig, GuardReport, GuardVerdict};
 pub use model::PmmRec;
 pub use rating::{RatingData, RatingHead};
 pub use recommend::Recommendation;

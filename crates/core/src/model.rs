@@ -4,6 +4,7 @@
 use crate::ablation::ObjectiveConfig;
 use crate::config::{Modality, PmmRecConfig};
 use crate::encoders::{FusionModule, TextEncoder, VisionEncoder};
+use crate::guard::{AnomalyGuard, GuardConfig, GuardReport, GuardVerdict};
 use crate::objectives::{dap_masks, nicl_masks, rcl_masks, BatchIndex};
 use crate::transfer::TransferSetting;
 use crate::user_encoder::UserEncoder;
@@ -40,6 +41,13 @@ pub struct PmmRec {
     catalog: RefCell<Option<Tensor>>,
     /// Telemetry from the most recent `train_epoch`.
     last_stats: Option<EpochStats>,
+    /// Non-finite loss/gradient escalation state machine.
+    guard: AnomalyGuard,
+    /// Learning rate before the guard's current backoff, if any; set on
+    /// the first anomalous step of a streak and restored on recovery.
+    healthy_lr: Option<f32>,
+    /// Monotonic count of attempted optimisation steps, for telemetry.
+    step_seq: u64,
 }
 
 /// Per-step telemetry from [`PmmRec::step`]. Objective components are
@@ -101,6 +109,9 @@ impl PmmRec {
             name,
             catalog: RefCell::new(None),
             last_stats: None,
+            guard: AnomalyGuard::new(GuardConfig::default()),
+            healthy_lr: None,
+            step_seq: 0,
         }
     }
 
@@ -123,6 +134,43 @@ impl PmmRec {
     /// Total trainable scalar parameters.
     pub fn n_params(&self) -> usize {
         self.store.total_numel()
+    }
+
+    /// Replaces the anomaly-guard policy. Resets the guard's escalation
+    /// state and report.
+    pub fn set_guard_config(&mut self, cfg: GuardConfig) {
+        self.guard = AnomalyGuard::new(cfg);
+    }
+
+    /// Cumulative anomaly-guard activity (skips, rollbacks, recoveries)
+    /// over this model's lifetime.
+    pub fn guard_report(&self) -> GuardReport {
+        self.guard.report()
+    }
+
+    /// Completed optimizer steps. Anomalous (skipped) steps do not
+    /// advance this counter — the invariant chaos tests assert on.
+    pub fn optimizer_steps(&self) -> u64 {
+        self.opt.steps()
+    }
+
+    /// Read access to the parameter store, for external checkpointing
+    /// (e.g. [`pmm_nn::checkpoint::CheckpointRotation`]).
+    pub fn param_store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Clones every parameter tensor, in store order.
+    fn snapshot_params(&self) -> Vec<Tensor> {
+        self.store.params().iter().map(pmm_nn::Param::value_cloned).collect()
+    }
+
+    /// Restores a snapshot taken by [`PmmRec::snapshot_params`].
+    fn restore_params(&self, snap: &[Tensor]) {
+        debug_assert_eq!(snap.len(), self.store.params().len());
+        for (p, t) in self.store.params().iter().zip(snap) {
+            p.set_value(t.clone());
+        }
     }
 
     /// Saves the full parameter set.
@@ -158,6 +206,12 @@ impl PmmRec {
     /// Encodes unique items into per-item representations, returning
     /// `(rep, text_cls, vision_cls)`; the CLS pair is present only on
     /// the dual-modality path.
+    ///
+    /// On the dual-modality path, items missing exactly one modality
+    /// are served from the surviving encoder's CLS instead of the
+    /// fusion output (whose other half would be padding) — the
+    /// text-only / vision-only serving paths of the paper's transfer
+    /// settings, applied per item.
     fn encode_unique(&self, ctx: &mut Ctx<'_>, ids: &[usize]) -> (Var, Option<(Var, Var)>) {
         match self.cfg.modality {
             Modality::Both => {
@@ -168,7 +222,31 @@ impl PmmRec {
                     .expect("vision encoder")
                     .forward(ctx, &self.corpus, ids);
                 let e = self.fusion.as_ref().expect("fusion").forward(ctx, &t, &v);
-                (e, Some((t.cls, v.cls)))
+                let n = ids.len();
+                let partial = ids.iter().any(|&i| {
+                    self.corpus[i].tokens.is_empty() != self.corpus[i].patches.is_empty()
+                });
+                let rep = if partial {
+                    // Row j of `combined` is the fused rep, row n+j the
+                    // text CLS, row 2n+j the vision CLS of item j.
+                    let combined = Var::concat0(&[e, t.cls.clone(), v.cls.clone()]);
+                    let rows: Vec<usize> = ids
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &i)| {
+                            let item = &self.corpus[i];
+                            match (item.tokens.is_empty(), item.patches.is_empty()) {
+                                (false, true) => n + j, // vision missing -> text CLS
+                                (true, false) => 2 * n + j, // text missing -> vision CLS
+                                _ => j,
+                            }
+                        })
+                        .collect();
+                    combined.gather_rows(&rows)
+                } else {
+                    e
+                };
+                (rep, Some((t.cls, v.cls)))
             }
             Modality::TextOnly => {
                 let t = self.text.as_ref().expect("text encoder").forward(ctx, &self.corpus, ids);
@@ -304,6 +382,16 @@ impl PmmRec {
 
         out.loss = loss.value().scalar_value();
         drop(fwd);
+        if pmm_fault::trip_nan_loss() {
+            // Deterministic chaos: pretend this batch diverged.
+            out.loss = f32::NAN;
+        }
+        if !out.loss.is_finite() {
+            // Backpropagating a poisoned loss would only spread the
+            // non-finite values; leave the optimizer untouched and let
+            // the anomaly guard in `train_epoch` decide what to do.
+            return out;
+        }
         loss.backward();
         let _sp = pmm_obs::span("optimizer");
         out.grad_norm = self.opt.step(&self.store, &ctx);
@@ -392,27 +480,107 @@ impl SeqRecommender for PmmRec {
 
     fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32 {
         self.catalog.replace(None);
+        // "Last good checkpoint" for rollbacks: the epoch-start weights,
+        // held in memory so recovery never touches the filesystem.
+        let snapshot = self.guard.config().enabled.then(|| self.snapshot_params());
         let mut sum = StepOutcome::default();
-        let mut batches = 0usize;
+        let mut applied = 0usize;
+        let mut skipped = 0u32;
         // Drive batching with a dedicated iterator RNG so the item-count
         // of corruption draws cannot desynchronise batch composition.
         let batch_list: Vec<Batch> =
             BatchIter::new(train, self.cfg.batch_size, self.cfg.max_len, rng).collect();
         for batch in &batch_list {
+            self.step_seq += 1;
             let out = self.step(batch, rng);
-            sum.loss += out.loss;
-            sum.dap += out.dap;
-            sum.nicl += out.nicl;
-            sum.nid += out.nid;
-            sum.rcl += out.rcl;
-            sum.grad_norm += out.grad_norm;
-            batches += 1;
+            let finite = out.loss.is_finite() && out.grad_norm.is_finite();
+            match self.guard.observe(finite) {
+                GuardVerdict::Proceed => {
+                    if let Some(lr) = self.healthy_lr.take() {
+                        self.opt.set_lr(lr);
+                        pmm_obs::counter::RECOVERIES.add(1);
+                        pmm_obs::sink::emit_guard(
+                            "recovery",
+                            self.step_seq,
+                            "finite step after anomaly; learning rate restored",
+                        );
+                    }
+                    sum.loss += out.loss;
+                    sum.dap += out.dap;
+                    sum.nicl += out.nicl;
+                    sum.nid += out.nid;
+                    sum.rcl += out.rcl;
+                    sum.grad_norm += out.grad_norm;
+                    applied += 1;
+                }
+                GuardVerdict::Skip => {
+                    skipped += 1;
+                    let lr = self.opt.lr();
+                    self.healthy_lr.get_or_insert(lr);
+                    let backed = self.guard.backed_off_lr(lr);
+                    self.opt.set_lr(backed);
+                    pmm_obs::counter::ANOMALY_STEPS.add(1);
+                    pmm_obs::sink::emit_guard(
+                        "anomaly",
+                        self.step_seq,
+                        &format!(
+                            "non-finite step (loss {}, grad_norm {}) skipped; lr {lr:e} -> {backed:e}",
+                            out.loss, out.grad_norm
+                        ),
+                    );
+                    pmm_obs::obs_warn!(
+                        "guard",
+                        "[{}] step {}: non-finite loss/grad; skipped, lr backed off to {backed:e}",
+                        self.name,
+                        self.step_seq
+                    );
+                }
+                GuardVerdict::Rollback => {
+                    skipped += 1;
+                    pmm_obs::counter::ANOMALY_STEPS.add(1);
+                    pmm_obs::counter::ROLLBACKS.add(1);
+                    if let Some(snap) = &snapshot {
+                        self.restore_params(snap);
+                    }
+                    self.opt.reset_state();
+                    if let Some(lr) = self.healthy_lr.take() {
+                        self.opt.set_lr(lr);
+                    }
+                    pmm_obs::sink::emit_guard(
+                        "rollback",
+                        self.step_seq,
+                        "consecutive anomaly limit hit; epoch-start weights restored, optimizer state reset",
+                    );
+                    pmm_obs::obs_warn!(
+                        "guard",
+                        "[{}] step {}: {} consecutive anomalies; rolled back to epoch-start weights",
+                        self.name,
+                        self.step_seq,
+                        self.guard.config().max_consecutive
+                    );
+                }
+            }
         }
-        if batches == 0 {
+        if applied + skipped as usize == 0 {
             self.last_stats = None;
             return 0.0;
         }
-        let inv = 1.0 / batches as f32;
+        if applied == 0 {
+            // Every step was anomalous: report a non-finite loss so the
+            // harness can flag the epoch instead of mistaking 0 for
+            // perfect convergence.
+            let stats = EpochStats {
+                loss: f32::NAN,
+                breakdown: None,
+                grad_norm: f32::NAN,
+                param_norm: self.param_norm(),
+                steps: 0,
+                skipped,
+            };
+            self.last_stats = Some(stats);
+            return stats.loss;
+        }
+        let inv = 1.0 / applied as f32;
         let stats = EpochStats {
             loss: sum.loss * inv,
             breakdown: Some(LossBreakdown {
@@ -423,7 +591,8 @@ impl SeqRecommender for PmmRec {
             }),
             grad_norm: sum.grad_norm * inv,
             param_norm: self.param_norm(),
-            steps: batches as u32,
+            steps: applied as u32,
+            skipped,
         };
         self.last_stats = Some(stats);
         stats.loss
@@ -557,6 +726,7 @@ mod tests {
             patience: 0,
             eval_every: 4,
             log_level: pmm_obs::Level::Warn,
+            start_epoch: 0,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert!(
@@ -568,25 +738,26 @@ mod tests {
     }
 
     #[test]
-    fn transfer_roundtrip_restores_components() {
+    fn transfer_roundtrip_restores_components() -> Result<(), CheckpointError> {
         let split = tiny_split(DatasetId::Amazon);
         let mut rng = StdRng::seed_from_u64(2);
         let mut source = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
         source.set_pretraining(true);
         source.train_epoch(&split.train, &mut rng);
         let path = std::env::temp_dir().join(format!("pmmrec_test_{}.ckpt", std::process::id()));
-        source.save(&path).unwrap();
+        source.save(&path)?;
 
         let target_split = tiny_split(DatasetId::AmazonShoes);
         let mut target = PmmRec::new(tiny_cfg(), &target_split.dataset, &mut rng);
-        let report = target.load_transfer(&path, TransferSetting::Full).unwrap();
+        let report = target.load_transfer(&path, TransferSetting::Full)?;
         assert!(report.loaded.iter().any(|n| n.starts_with("user_encoder.")));
         assert!(report.loaded.iter().any(|n| n.starts_with("fusion.")));
         // Item-encoder-only transfer leaves the user encoder fresh.
         let mut target2 = PmmRec::new(tiny_cfg(), &target_split.dataset, &mut rng);
-        let report2 = target2.load_transfer(&path, TransferSetting::ItemEncoders).unwrap();
+        let report2 = target2.load_transfer(&path, TransferSetting::ItemEncoders)?;
         assert!(report2.loaded.iter().all(|n| !n.starts_with("user_encoder.")));
         std::fs::remove_file(path).ok();
+        Ok(())
     }
 
     #[test]
@@ -619,6 +790,99 @@ mod tests {
             let loss = model.train_epoch(&split.train[..8.min(split.train.len())], &mut rng);
             assert!(loss.is_finite(), "{name}: loss {loss}");
         }
+    }
+
+    #[test]
+    fn anomaly_guard_skips_injected_nan_step() {
+        let _fg = pmm_fault::test_guard();
+        let split = tiny_split(DatasetId::HmClothes);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        pmm_fault::install(pmm_fault::FaultPlan::parse("nan@0").unwrap());
+        let loss = model.train_epoch(&split.train, &mut rng);
+        pmm_fault::clear();
+        assert!(loss.is_finite(), "healthy steps must still average to a finite loss");
+        let r = model.guard_report();
+        assert_eq!(r.anomalies, 1);
+        assert_eq!(r.rollbacks, 0);
+        assert_eq!(r.recoveries, 1, "the next finite step recovers");
+        let stats = model.epoch_stats().expect("stats");
+        assert_eq!(stats.skipped, 1);
+        assert!(stats.steps > 0);
+        // The poisoned step left no trace in the optimizer: only the
+        // applied steps advanced AdamW (so no moments were written for
+        // the skipped batch either).
+        assert_eq!(model.optimizer_steps(), u64::from(stats.steps));
+        // Recovery restored the pre-backoff learning rate.
+        assert_eq!(model.opt.lr(), model.cfg.lr);
+    }
+
+    #[test]
+    fn guard_rolls_back_to_epoch_start_after_k_anomalies() {
+        let _fg = pmm_fault::test_guard();
+        let split = tiny_split(DatasetId::Bili);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        model.set_guard_config(crate::guard::GuardConfig {
+            max_consecutive: 2,
+            ..Default::default()
+        });
+        let before = model.item_representations();
+        // Poison every step of the epoch: the guard must roll back and
+        // the epoch must end exactly where it started.
+        let spec: Vec<String> = (0..200).map(|i| format!("nan@{i}")).collect();
+        pmm_fault::install(pmm_fault::FaultPlan::parse(&spec.join(",")).unwrap());
+        let loss = model.train_epoch(&split.train, &mut rng);
+        pmm_fault::clear();
+        assert!(loss.is_nan(), "an epoch with zero applied steps reports NaN, not 0");
+        let r = model.guard_report();
+        assert!(r.rollbacks >= 1, "{r:?}");
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(model.optimizer_steps(), 0, "no optimizer state may survive");
+        let stats = model.epoch_stats().expect("stats");
+        assert_eq!(stats.steps, 0);
+        assert!(stats.skipped > 0);
+        let after = model.item_representations();
+        assert_eq!(before.data(), after.data(), "rollback must restore epoch-start weights");
+    }
+
+    #[test]
+    fn guard_recovers_training_after_rollback() {
+        let _fg = pmm_fault::test_guard();
+        let split = tiny_split(DatasetId::KwaiFood);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        model.set_guard_config(crate::guard::GuardConfig {
+            max_consecutive: 2,
+            ..Default::default()
+        });
+        // Two consecutive poisoned steps force a rollback; the rest of
+        // the epoch trains normally from the restored weights.
+        pmm_fault::install(pmm_fault::FaultPlan::parse("nan@0,nan@1").unwrap());
+        let loss = model.train_epoch(&split.train, &mut rng);
+        pmm_fault::clear();
+        let r = model.guard_report();
+        assert_eq!(r.rollbacks, 1);
+        assert_eq!(r.anomalies, 2);
+        assert!(loss.is_finite(), "post-rollback steps keep the run alive");
+        assert!(model.optimizer_steps() > 0);
+    }
+
+    #[test]
+    fn missing_modality_items_train_to_finite_loss() {
+        let world = World::new(WorldConfig::default());
+        let mut ds = build_dataset(&world, DatasetId::HmShoes, Scale::Tiny, 42);
+        ds.items[1].tokens.clear(); // text missing
+        ds.items[2].patches.clear(); // vision missing
+        ds.items[3].tokens.clear();
+        ds.items[3].patches.clear(); // both missing
+        let split = SplitDataset::new(ds);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut model = PmmRec::new(tiny_cfg(), &split.dataset, &mut rng);
+        model.set_pretraining(true);
+        let loss = model.train_epoch(&split.train, &mut rng);
+        assert!(loss.is_finite(), "degraded items must not poison training");
+        assert_eq!(model.guard_report().anomalies, 0);
     }
 
     #[test]

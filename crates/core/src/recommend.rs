@@ -139,4 +139,91 @@ mod tests {
         let (m, _) = model();
         let _ = m.recommend_top_k(&[], 5, false);
     }
+
+    /// Degrades a few catalogue items to one (or zero) modalities.
+    fn degraded_dataset() -> pmm_data::dataset::Dataset {
+        let world = World::new(WorldConfig::default());
+        let mut ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+        ds.items[0].tokens.clear(); // text missing
+        ds.items[1].patches.clear(); // vision missing
+        ds.items[2].tokens.clear();
+        ds.items[2].patches.clear(); // both missing
+        ds.items[4].tokens.truncate(1); // short text, still served
+        ds
+    }
+
+    #[test]
+    fn missing_modality_items_score_finite() {
+        let ds = degraded_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PmmRecConfig {
+            d: 16,
+            heads: 2,
+            text_layers: 1,
+            vision_layers: 1,
+            user_layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let m = PmmRec::new(cfg, &ds, &mut rng);
+        // Every catalogue representation — including the degraded
+        // items' — must be finite.
+        assert!(m.item_representations().all_finite());
+        // Serving a prefix that runs *through* degraded items works.
+        let recs = m.recommend_top_k(&[0, 1, 2, 4], 5, false);
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| r.score.is_finite()));
+        // And full eval over leave-one-out cases stays finite.
+        let split = pmm_data::split::SplitDataset::new(degraded_dataset());
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = PmmRec::new(*m.config(), &split.dataset, &mut rng);
+        let metrics = pmm_eval::evaluate_cases(&m, &split.valid);
+        assert!(metrics.ndcg10().is_finite() && metrics.hr10().is_finite());
+    }
+
+    #[test]
+    fn partial_items_fall_back_to_surviving_modality() {
+        let ds = degraded_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PmmRecConfig {
+            d: 16,
+            heads: 2,
+            text_layers: 1,
+            vision_layers: 1,
+            user_layers: 1,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        let m = PmmRec::new(cfg, &ds, &mut rng);
+        let reps = m.item_representations();
+        // Item 3 is intact, items 0-2 degraded; all rows must differ
+        // (the fallback is per item, not a shared constant).
+        let d = 16;
+        let row = |i: usize| &reps.data()[i * d..(i + 1) * d];
+        assert_ne!(row(0), row(1), "text-CLS vs vision-CLS fallbacks differ");
+        assert_ne!(row(0), row(3));
+        assert_ne!(row(1), row(3));
+    }
+
+    #[test]
+    fn single_modality_models_serve_degraded_items() {
+        for modality in [crate::Modality::TextOnly, crate::Modality::VisionOnly] {
+            let ds = degraded_dataset();
+            let mut rng = StdRng::seed_from_u64(3);
+            let cfg = PmmRecConfig {
+                d: 16,
+                heads: 2,
+                text_layers: 1,
+                vision_layers: 1,
+                user_layers: 1,
+                dropout: 0.0,
+                modality,
+                ..Default::default()
+            };
+            let m = PmmRec::new(cfg, &ds, &mut rng);
+            assert!(m.item_representations().all_finite(), "{modality:?}");
+            let recs = m.recommend_top_k(&[0, 2], 3, false);
+            assert!(recs.iter().all(|r| r.score.is_finite()), "{modality:?}");
+        }
+    }
 }

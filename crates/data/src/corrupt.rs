@@ -44,15 +44,36 @@ impl Default for CorruptionConfig {
     }
 }
 
+impl CorruptionConfig {
+    /// Returns a copy with both rates forced into `[0, 1]` (NaN maps
+    /// to 0) and, when their sum exceeds 1, scaled down proportionally
+    /// so shuffling and replacement can still use disjoint position
+    /// sets instead of replacement being silently starved.
+    pub fn clamped(&self) -> CorruptionConfig {
+        let sanitize = |r: f32| if r.is_finite() { r.clamp(0.0, 1.0) } else { 0.0 };
+        let (mut shuffle, mut replace) = (sanitize(self.shuffle_rate), sanitize(self.replace_rate));
+        let sum = shuffle + replace;
+        if sum > 1.0 {
+            shuffle /= sum;
+            replace /= sum;
+        }
+        CorruptionConfig { shuffle_rate: shuffle, replace_rate: replace }
+    }
+}
+
 /// Corrupts one sequence, returning the corrupted copy and per-position
 /// labels. `item_pool` supplies replacement candidates (the paper draws
-/// them from the batch; callers pass the batch's item set).
+/// them from the batch; callers pass the batch's item set). Rates are
+/// clamped via [`CorruptionConfig::clamped`], and sequences too short
+/// to corrupt (empty or length 1 with nothing to replace) come back
+/// unchanged rather than panicking.
 pub fn corrupt_sequence(
     seq: &[usize],
     pool: &[usize],
     cfg: &CorruptionConfig,
     rng: &mut StdRng,
 ) -> (Vec<usize>, Vec<NidLabel>) {
+    let cfg = cfg.clamped();
     let n = seq.len();
     let mut out = seq.to_vec();
     let mut labels = vec![NidLabel::Unchanged; n];
@@ -64,8 +85,12 @@ pub fn corrupt_sequence(
     let mut order: Vec<usize> = (0..n).collect();
     order.shuffle(rng);
     let n_shuffle = (((n as f32) * cfg.shuffle_rate).round() as usize).min(n);
-    // At least two positions are needed for a meaningful shuffle.
-    let n_shuffle = if n_shuffle == 1 { 2.min(n) } else { n_shuffle };
+    // At least two positions are needed for a meaningful shuffle; a
+    // length-1 sequence cannot shuffle at all.
+    let n_shuffle = match n_shuffle {
+        1 => if n >= 2 { 2 } else { 0 },
+        k => k,
+    };
     let n_replace = (((n as f32) * cfg.replace_rate).ceil() as usize).min(n - n_shuffle);
 
     let shuffle_pos: Vec<usize> = order[..n_shuffle].to_vec();
@@ -167,6 +192,56 @@ mod tests {
                 corrupt_sequence(&seq, &[5, 6], &CorruptionConfig::default(), &mut rng);
             assert_eq!(out.len(), n);
             assert_eq!(labels.len(), n);
+        }
+    }
+
+    #[test]
+    fn clamped_normalizes_oversubscribed_rates() {
+        let cfg = CorruptionConfig { shuffle_rate: 0.9, replace_rate: 0.6 }.clamped();
+        assert!((cfg.shuffle_rate + cfg.replace_rate - 1.0).abs() < 1e-6);
+        assert!((cfg.shuffle_rate - 0.6).abs() < 1e-6);
+        // Proportions are preserved: 0.9 : 0.6 == cfg.shuffle : cfg.replace.
+        assert!((cfg.shuffle_rate / cfg.replace_rate - 1.5).abs() < 1e-6);
+        // In-range configs pass through untouched.
+        let ok = CorruptionConfig::default().clamped();
+        assert_eq!(ok.shuffle_rate, 0.15);
+        assert_eq!(ok.replace_rate, 0.05);
+    }
+
+    #[test]
+    fn clamped_sanitizes_pathological_rates() {
+        let cfg = CorruptionConfig { shuffle_rate: -0.5, replace_rate: f32::NAN }.clamped();
+        assert_eq!(cfg.shuffle_rate, 0.0);
+        assert_eq!(cfg.replace_rate, 0.0);
+        let cfg = CorruptionConfig { shuffle_rate: f32::INFINITY, replace_rate: 2.0 }.clamped();
+        assert!(cfg.shuffle_rate >= 0.0 && cfg.shuffle_rate <= 1.0);
+        assert!(cfg.shuffle_rate + cfg.replace_rate <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn oversubscribed_rates_still_corrupt_without_panicking() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let seq: Vec<usize> = (0..20).collect();
+        let cfg = CorruptionConfig { shuffle_rate: 1.0, replace_rate: 1.0 };
+        let (out, labels) = corrupt_sequence(&seq, &[99], &cfg, &mut rng);
+        assert_eq!(out.len(), 20);
+        // Both corruption kinds got a share of the positions.
+        assert!(labels.contains(&NidLabel::Shuffled));
+        assert!(labels.contains(&NidLabel::Replaced));
+    }
+
+    #[test]
+    fn length_one_sequences_replace_but_never_shuffle() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Force a rate that would round the shuffle count to 1.
+        let cfg = CorruptionConfig { shuffle_rate: 0.6, replace_rate: 0.9 };
+        for _ in 0..20 {
+            let (out, labels) = corrupt_sequence(&[7], &[42], &cfg, &mut rng);
+            assert_eq!(out.len(), 1);
+            assert_ne!(labels[0], NidLabel::Shuffled, "length-1 cannot shuffle");
+            if labels[0] == NidLabel::Replaced {
+                assert_eq!(out[0], 42);
+            }
         }
     }
 }

@@ -11,9 +11,28 @@
 use crate::dataset::{ContentSpec, Dataset};
 use crate::style::Platform;
 use crate::world::Item;
+use pmm_obs::obs_warn;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Opens a file via `op` with bounded retry/backoff (and fault-plan
+/// awareness), counting retries in `pmm-obs`.
+fn open_with_retry(
+    what: &str,
+    path: &Path,
+    mut op: impl FnMut() -> io::Result<File>,
+) -> io::Result<File> {
+    pmm_fault::with_io_retry_notify(
+        &format!("{what} {}", path.display()),
+        &mut op,
+        |attempt, e| {
+            pmm_obs::counter::IO_RETRIES.add(1);
+            pmm_obs::sink::emit_guard("io_retry", u64::from(attempt), &e.to_string());
+            obs_warn!("data_io", "{what} {} failed (attempt {}): {e}; retrying", path.display(), attempt + 1);
+        },
+    )
+}
 
 const MAGIC: &[u8; 8] = b"PMMDATA1";
 
@@ -67,7 +86,8 @@ fn platform_from(tag: u8) -> Result<Platform, DataError> {
 
 /// Serialises a dataset (items with full content + sequences).
 pub fn save_dataset(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), DataError> {
-    let mut w = BufWriter::new(File::create(path)?);
+    let path = path.as_ref();
+    let mut w = BufWriter::new(open_with_retry("create dataset", path, || File::create(path))?);
     w.write_all(MAGIC)?;
     write_str(&mut w, &ds.name)?;
     w.write_all(&[platform_tag(ds.platform)])?;
@@ -103,7 +123,8 @@ pub fn save_dataset(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), DataErro
 
 /// Loads a dataset saved by [`save_dataset`].
 pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, DataError> {
-    let mut r = BufReader::new(File::open(path)?);
+    let path = path.as_ref();
+    let mut r = BufReader::new(open_with_retry("open dataset", path, || File::open(path))?);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -396,6 +417,21 @@ mod tests {
         let stats = ds.stats();
         assert_eq!(stats.users, 8);
         assert_eq!(stats.items, 12);
+    }
+
+    #[test]
+    fn injected_io_failure_is_retried_transparently() {
+        let _g = pmm_fault::test_guard();
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::KwaiFood, Scale::Tiny, 42);
+        let path = tmp("retry");
+        save_dataset(&ds, &path).unwrap();
+        pmm_fault::install(pmm_fault::FaultPlan::parse("io@0").unwrap());
+        let back = load_dataset(&path);
+        pmm_fault::clear();
+        let back = back.expect("one injected IO failure must be absorbed by retry");
+        assert_eq!(back.sequences, ds.sequences);
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

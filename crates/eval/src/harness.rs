@@ -22,6 +22,13 @@ pub struct TrainConfig {
     /// per eval round, `Debug` adds the loss breakdown and norms,
     /// `Warn` (the default) is silent.
     pub log_level: Level,
+    /// Epochs already completed before this call — the resume point
+    /// after a crash-restart. The loop runs epochs
+    /// `start_epoch + 1 ..= max_epochs`, so curve epoch numbers stay
+    /// globally consistent across restarts (pair with
+    /// `pmm_nn::checkpoint::CheckpointRotation::load_latest`, whose
+    /// returned sequence number is the natural value here).
+    pub start_epoch: usize,
 }
 
 impl Default for TrainConfig {
@@ -31,6 +38,7 @@ impl Default for TrainConfig {
             patience: 3,
             eval_every: 1,
             log_level: Level::Warn,
+            start_epoch: 0,
         }
     }
 }
@@ -82,7 +90,8 @@ pub fn train_model(
     let mut best_score = f32::NEG_INFINITY;
     let mut rounds_since_best = 0usize;
 
-    for epoch in 1..=cfg.max_epochs.max(1) {
+    let first = cfg.start_epoch + 1;
+    for epoch in first..=cfg.max_epochs.max(first) {
         let flops_before = pmm_obs::counter::MATMUL_FLOPS.get();
         let clock = Instant::now();
         let loss = {
@@ -99,6 +108,20 @@ pub fn train_model(
                 tape_peak: pmm_obs::counter::tape_peak(),
                 stats,
             });
+        }
+        if !loss.is_finite() {
+            // Every step of the epoch was anomalous (the model's guard
+            // reports NaN rather than a fake 0). Evaluating or running
+            // model selection on it would be noise; log and move on —
+            // the guard has already rolled the weights back.
+            obs_log!(
+                Level::Warn,
+                "train",
+                "[{}] epoch {epoch:3} had no applied steps ({} skipped); eval round skipped",
+                model.name(),
+                stats.skipped
+            );
+            continue;
         }
         if epoch % cfg.eval_every.max(1) != 0 && epoch != cfg.max_epochs {
             continue;
@@ -180,6 +203,7 @@ mod tests {
             patience: 0,
             eval_every: 1,
             log_level: Level::Warn,
+            start_epoch: 0,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert_eq!(result.curve.len(), 8);
@@ -205,6 +229,7 @@ mod tests {
             patience: 2,
             eval_every: 1,
             log_level: Level::Warn,
+            start_epoch: 0,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert!(result.curve.len() <= 4, "ran {} rounds", result.curve.len());
@@ -225,10 +250,97 @@ mod tests {
             patience: 0,
             eval_every: 2,
             log_level: Level::Warn,
+            start_epoch: 0,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert_eq!(result.curve.len(), 3);
         assert!(result.curve.iter().all(|p| p.epoch % 2 == 0));
+    }
+
+    #[test]
+    fn resume_continues_epoch_numbering() {
+        let split = tiny_split();
+        let mut model = OracleModel {
+            n_items: split.n_items(),
+            skill: 0.0,
+            epochs_seen: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        // Simulate a crash-restart after epoch 5 of 8.
+        let cfg = TrainConfig {
+            max_epochs: 8,
+            patience: 0,
+            eval_every: 1,
+            log_level: Level::Warn,
+            start_epoch: 5,
+        };
+        let result = train_model(&mut model, &split, &cfg, &mut rng);
+        let epochs: Vec<usize> = result.curve.iter().map(|p| p.epoch).collect();
+        assert_eq!(epochs, vec![6, 7, 8], "resumed run continues global numbering");
+        assert_eq!(model.epochs_seen, 3, "only the remaining epochs are trained");
+        // A fully-complete run resumes to at least one epoch (the loop
+        // never underflows past `start_epoch`).
+        let done = TrainConfig { start_epoch: 8, ..cfg };
+        let result = train_model(&mut model, &split, &done, &mut rng);
+        assert_eq!(result.curve.len(), 1);
+        assert_eq!(result.curve[0].epoch, 9);
+    }
+
+    /// Model whose first `nan_epochs` epochs report a NaN loss (as the
+    /// anomaly guard does when every step of an epoch was skipped).
+    struct FlakyModel {
+        inner: OracleModel,
+        nan_epochs: usize,
+    }
+
+    impl SeqRecommender for FlakyModel {
+        fn name(&self) -> &str {
+            "Flaky"
+        }
+        fn n_items(&self) -> usize {
+            self.inner.n_items
+        }
+        fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32 {
+            let loss = self.inner.train_epoch(train, rng);
+            if self.inner.epochs_seen <= self.nan_epochs {
+                f32::NAN
+            } else {
+                loss
+            }
+        }
+        fn score_cases(&self, cases: &[pmm_data::split::LeaveOneOut]) -> Vec<Vec<f32>> {
+            self.inner.score_cases(cases)
+        }
+    }
+
+    #[test]
+    fn non_finite_epochs_skip_eval_but_not_the_run() {
+        let split = tiny_split();
+        let mut model = FlakyModel {
+            inner: OracleModel {
+                n_items: split.n_items(),
+                skill: 0.0,
+                epochs_seen: 0,
+            },
+            nan_epochs: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = TrainConfig {
+            max_epochs: 6,
+            patience: 2, // must NOT count NaN epochs against patience
+            eval_every: 1,
+            log_level: Level::Warn,
+            start_epoch: 0,
+        };
+        let result = train_model(&mut model, &split, &cfg, &mut rng);
+        // Epochs 1-2 are anomalous: no curve point, no NaN anywhere,
+        // and the NaN rounds don't count against patience (the run
+        // reaches epoch 3 and saturates there; patience then stops it
+        // two stagnant rounds later).
+        let epochs: Vec<usize> = result.curve.iter().map(|p| p.epoch).collect();
+        assert_eq!(epochs, vec![3, 4, 5]);
+        assert!(result.curve.iter().all(|p| p.loss.is_finite()));
+        assert_eq!(result.best_epoch, 3);
     }
 
     #[test]
@@ -245,6 +357,7 @@ mod tests {
             patience: 0,
             eval_every: 1,
             log_level: Level::Warn,
+            start_epoch: 0,
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         for p in &result.curve {

@@ -1,0 +1,306 @@
+//! # pmm-fault
+//!
+//! Deterministic fault injection for chaos-testing the training and
+//! serving runtime. A [`FaultPlan`] names exactly *which* occurrence of
+//! each guarded operation misbehaves, so every recovery path (anomaly
+//! skip, LR backoff, rollback, checkpoint fallback, IO retry) can be
+//! exercised reproducibly in tests and in the `chaos_smoke` binary.
+//!
+//! Three trip points are offered to the rest of the workspace:
+//!
+//! * [`trip_nan_loss`] — consulted once per optimisation step; when it
+//!   fires, the training loop poisons that step's loss with NaN.
+//! * [`trip_corrupt_save`] — consulted once per rotating checkpoint
+//!   save; when it fires, the freshly written file is truncated to
+//!   simulate a crash mid-write / on-disk corruption.
+//! * [`with_io_retry`] — wraps a fallible IO operation; the plan can
+//!   force the first attempt of the N-th guarded operation to fail,
+//!   exercising the retry-with-backoff path.
+//!
+//! With no plan installed every trip point is a no-op costing one
+//! atomic load, so production code can call them unconditionally.
+//!
+//! Plans are process-global (faults cross crate boundaries exactly as
+//! real ones do). Tests that install plans must serialise on
+//! [`test_guard`] so parallel tests cannot observe each other's faults.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Which occurrences (0-based) of each guarded operation misbehave.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Optimisation steps whose loss is poisoned with NaN.
+    pub nan_steps: Vec<u64>,
+    /// Rotating checkpoint saves whose file is truncated after write.
+    pub corrupt_saves: Vec<u64>,
+    /// Guarded IO operations whose first attempt fails with an
+    /// injected `io::Error` (the retry succeeds).
+    pub io_failures: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nan_steps.is_empty() && self.corrupt_saves.is_empty() && self.io_failures.is_empty()
+    }
+
+    /// Parses a plan spec: comma-separated `kind@N` tokens where kind
+    /// is `nan` (training step), `ckpt` (rotating save) or `io`
+    /// (guarded IO operation), e.g. `"nan@3,nan@4,ckpt@1,io@0"`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, idx) = token
+                .split_once('@')
+                .ok_or_else(|| format!("fault token {token:?} is not kind@N"))?;
+            let n: u64 = idx
+                .parse()
+                .map_err(|_| format!("fault token {token:?}: {idx:?} is not an integer"))?;
+            match kind {
+                "nan" => plan.nan_steps.push(n),
+                "ckpt" => plan.corrupt_saves.push(n),
+                "io" => plan.io_failures.push(n),
+                other => return Err(format!("unknown fault kind {other:?} (use nan|ckpt|io)")),
+            }
+        }
+        plan.nan_steps.sort_unstable();
+        plan.corrupt_saves.sort_unstable();
+        plan.io_failures.sort_unstable();
+        Ok(plan)
+    }
+}
+
+/// An installed plan plus per-kind occurrence counters.
+#[derive(Debug, Default)]
+struct ActivePlan {
+    plan: FaultPlan,
+    steps_seen: u64,
+    saves_seen: u64,
+    ios_seen: u64,
+    fired_nan: u64,
+    fired_corrupt: u64,
+    fired_io: u64,
+}
+
+/// Fast-path switch: true only while a plan is installed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn active() -> &'static Mutex<Option<ActivePlan>> {
+    static ACTIVE: OnceLock<Mutex<Option<ActivePlan>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+/// Install `plan`, replacing any previous one and resetting counters.
+pub fn install(plan: FaultPlan) {
+    let mut a = active().lock().unwrap();
+    ARMED.store(!plan.is_empty(), Ordering::Relaxed);
+    *a = Some(ActivePlan { plan, ..Default::default() });
+}
+
+/// Remove the installed plan; all trip points become no-ops again.
+pub fn clear() {
+    ARMED.store(false, Ordering::Relaxed);
+    *active().lock().unwrap() = None;
+}
+
+/// Counts of faults actually fired so far: `(nan, corrupt, io)`.
+pub fn fired() -> (u64, u64, u64) {
+    match active().lock().unwrap().as_ref() {
+        Some(a) => (a.fired_nan, a.fired_corrupt, a.fired_io),
+        None => (0, 0, 0),
+    }
+}
+
+#[inline]
+fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Consume one optimisation-step occurrence; true when this step's
+/// loss should be poisoned with NaN.
+pub fn trip_nan_loss() -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut guard = active().lock().unwrap();
+    let Some(a) = guard.as_mut() else { return false };
+    let n = a.steps_seen;
+    a.steps_seen += 1;
+    let hit = a.plan.nan_steps.binary_search(&n).is_ok();
+    if hit {
+        a.fired_nan += 1;
+    }
+    hit
+}
+
+/// Consume one rotating-save occurrence; true when the written file
+/// should be corrupted afterwards.
+pub fn trip_corrupt_save() -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut guard = active().lock().unwrap();
+    let Some(a) = guard.as_mut() else { return false };
+    let n = a.saves_seen;
+    a.saves_seen += 1;
+    let hit = a.plan.corrupt_saves.binary_search(&n).is_ok();
+    if hit {
+        a.fired_corrupt += 1;
+    }
+    hit
+}
+
+/// Consume one guarded-IO occurrence; true when its first attempt
+/// should fail.
+fn trip_io_failure() -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut guard = active().lock().unwrap();
+    let Some(a) = guard.as_mut() else { return false };
+    let n = a.ios_seen;
+    a.ios_seen += 1;
+    let hit = a.plan.io_failures.binary_search(&n).is_ok();
+    if hit {
+        a.fired_io += 1;
+    }
+    hit
+}
+
+/// Maximum attempts [`with_io_retry`] makes (1 initial + 2 retries).
+pub const IO_ATTEMPTS: u32 = 3;
+
+/// Runs a fallible IO operation with bounded retry and exponential
+/// backoff (1 ms, 4 ms). An installed plan can force the first attempt
+/// of the N-th guarded operation to fail with an injected error.
+/// Returns the first success or the last error.
+pub fn with_io_retry<T>(
+    what: &str,
+    op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    with_io_retry_notify(what, op, |_, _| {})
+}
+
+/// [`with_io_retry`] with an `on_retry(attempt, error)` callback fired
+/// before each backoff sleep — the hook observability layers use to
+/// count retries without this crate depending on them.
+pub fn with_io_retry_notify<T>(
+    what: &str,
+    mut op: impl FnMut() -> std::io::Result<T>,
+    mut on_retry: impl FnMut(u32, &std::io::Error),
+) -> std::io::Result<T> {
+    let inject = trip_io_failure();
+    let mut last_err = None;
+    for attempt in 0..IO_ATTEMPTS {
+        if attempt == 0 && inject {
+            last_err = Some(std::io::Error::other(format!("injected fault: {what}")));
+        } else {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if attempt + 1 < IO_ATTEMPTS {
+            if let Some(e) = &last_err {
+                on_retry(attempt, e);
+            }
+            std::thread::sleep(Duration::from_millis(1 << (2 * attempt)));
+        }
+    }
+    Err(last_err.unwrap_or_else(|| std::io::Error::other(format!("{what}: no attempts made"))))
+}
+
+/// Truncate `path` to half its length (at least cutting one byte) —
+/// the canonical "crashed mid-write" corruption used when
+/// [`trip_corrupt_save`] fires.
+pub fn corrupt_file(path: &std::path::Path) -> std::io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    let keep = (len / 2).min(len.saturating_sub(1));
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep)?;
+    Ok(())
+}
+
+/// Serialises tests (and other callers) that install process-global
+/// plans. Hold the guard for the whole install..clear window.
+pub fn test_guard() -> MutexGuard<'static, ()> {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    GUARD
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_kinds_and_sorts() {
+        let p = FaultPlan::parse("nan@4, nan@2,ckpt@1,io@0").unwrap();
+        assert_eq!(p.nan_steps, vec![2, 4]);
+        assert_eq!(p.corrupt_saves, vec![1]);
+        assert_eq!(p.io_failures, vec![0]);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        assert!(FaultPlan::parse("nan").is_err());
+        assert!(FaultPlan::parse("nan@x").is_err());
+        assert!(FaultPlan::parse("disk@3").is_err());
+    }
+
+    #[test]
+    fn trips_fire_on_exact_occurrences() {
+        let _g = test_guard();
+        install(FaultPlan::parse("nan@1,ckpt@0").unwrap());
+        assert!(!trip_nan_loss()); // step 0
+        assert!(trip_nan_loss()); // step 1
+        assert!(!trip_nan_loss()); // step 2
+        assert!(trip_corrupt_save()); // save 0
+        assert!(!trip_corrupt_save()); // save 1
+        assert_eq!(fired(), (1, 1, 0));
+        clear();
+        assert!(!trip_nan_loss());
+    }
+
+    #[test]
+    fn io_retry_recovers_from_injected_failure() {
+        let _g = test_guard();
+        install(FaultPlan::parse("io@0").unwrap());
+        let mut calls = 0;
+        let out = with_io_retry("read", || {
+            calls += 1;
+            Ok::<_, std::io::Error>(7)
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(calls, 1, "first attempt consumed by the injected error");
+        assert_eq!(fired().2, 1);
+        clear();
+    }
+
+    #[test]
+    fn io_retry_surfaces_persistent_errors() {
+        let _g = test_guard();
+        clear();
+        let mut calls = 0;
+        let out: std::io::Result<()> = with_io_retry("read", || {
+            calls += 1;
+            Err(std::io::Error::other("always down"))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, IO_ATTEMPTS);
+    }
+
+    #[test]
+    fn corrupt_file_truncates() {
+        let path = std::env::temp_dir().join(format!("pmm_fault_corrupt_{}", std::process::id()));
+        std::fs::write(&path, vec![7u8; 100]).unwrap();
+        corrupt_file(&path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -72,11 +72,23 @@ impl AdamW {
         self.step
     }
 
+    /// Discards all moment state and the step counter, as after a
+    /// parameter rollback: stale moments would steer the restored
+    /// weights back towards the divergent trajectory.
+    pub fn reset_state(&mut self) {
+        self.step = 0;
+        self.state.clear();
+    }
+
     /// Applies one update using the gradients accumulated in `ctx`.
     ///
     /// Frozen parameters (per [`ParamStore::is_frozen`]) and parameters
     /// without gradients this step are skipped. Returns the (pre-clip)
     /// global gradient norm.
+    ///
+    /// A non-finite global gradient norm skips the *entire* update —
+    /// no moment is touched and the step counter does not advance — so
+    /// one poisoned backward pass cannot corrupt optimizer state.
     pub fn step(&mut self, store: &ParamStore, ctx: &Ctx<'_>) -> f32 {
         let mut grads: Vec<(&Param, Tensor)> = Vec::new();
         let mut sq_norm = 0.0f32;
@@ -90,6 +102,9 @@ impl AdamW {
             }
         }
         let norm = sq_norm.sqrt();
+        if !norm.is_finite() {
+            return norm;
+        }
         let clip_scale = if self.cfg.clip_norm > 0.0 && norm > self.cfg.clip_norm {
             self.cfg.clip_norm / norm
         } else {
@@ -241,6 +256,26 @@ mod tests {
         loss.backward();
         opt.step(&store, &ctx);
         assert_eq!(w.value_cloned().scalar_value(), 2.0);
+        // The poisoned step leaves no trace in optimizer state either.
+        assert_eq!(opt.steps(), 0, "step counter must not advance on a NaN update");
+        assert!(opt.state.is_empty(), "no moments may be created by a NaN update");
+    }
+
+    #[test]
+    fn reset_state_clears_moments_and_steps() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        let mut opt = AdamW::new(0.1, AdamWConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = Ctx::train(&mut rng);
+        let loss = ctx.var(&w).add_scalar(-1.0).sum_all();
+        loss.backward();
+        opt.step(&store, &ctx);
+        assert_eq!(opt.steps(), 1);
+        assert!(!opt.state.is_empty());
+        opt.reset_state();
+        assert_eq!(opt.steps(), 0);
+        assert!(opt.state.is_empty());
     }
 
     #[test]

@@ -49,6 +49,21 @@ pub static TENSOR_ALLOC_BYTES: Counter = Counter::new("tensor_alloc_bytes");
 pub static TAPE_NODES: Counter = Counter::new("tape_nodes");
 /// Evaluation cases scored by the ranking metrics.
 pub static EVAL_CASES: Counter = Counter::new("eval_cases");
+/// Optimisation steps skipped by the anomaly guard (non-finite loss or
+/// gradient norm).
+pub static ANOMALY_STEPS: Counter = Counter::new("anomaly_steps");
+/// Parameter rollbacks triggered by consecutive anomalies.
+pub static ROLLBACKS: Counter = Counter::new("rollbacks");
+/// Recoveries: finite steps arriving after an anomaly streak, with the
+/// backed-off learning rate restored.
+pub static RECOVERIES: Counter = Counter::new("recoveries");
+/// Corrupt/unreadable checkpoints skipped while falling back to an
+/// older generation.
+pub static CKPT_FALLBACKS: Counter = Counter::new("ckpt_fallbacks");
+/// IO operations that succeeded only after at least one retry.
+pub static IO_RETRIES: Counter = Counter::new("io_retries");
+/// Item encodes served with a missing modality (degraded content).
+pub static DEGRADED_ENCODES: Counter = Counter::new("degraded_encodes");
 
 /// Currently-live tape nodes. Can dip below zero transiently if
 /// collection is toggled while a graph is alive; the peak is what
@@ -126,12 +141,30 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (TAPE_NODES.name, TAPE_NODES.get()),
         ("tape_peak", tape_peak()),
         (EVAL_CASES.name, EVAL_CASES.get()),
+        (ANOMALY_STEPS.name, ANOMALY_STEPS.get()),
+        (ROLLBACKS.name, ROLLBACKS.get()),
+        (RECOVERIES.name, RECOVERIES.get()),
+        (CKPT_FALLBACKS.name, CKPT_FALLBACKS.get()),
+        (IO_RETRIES.name, IO_RETRIES.get()),
+        (DEGRADED_ENCODES.name, DEGRADED_ENCODES.get()),
     ]
 }
 
 /// Zero every counter and the tape gauge/peak.
 pub fn reset_counters() {
-    for c in [&MATMUL_FLOPS, &TENSOR_ALLOCS, &TENSOR_ALLOC_BYTES, &TAPE_NODES, &EVAL_CASES] {
+    for c in [
+        &MATMUL_FLOPS,
+        &TENSOR_ALLOCS,
+        &TENSOR_ALLOC_BYTES,
+        &TAPE_NODES,
+        &EVAL_CASES,
+        &ANOMALY_STEPS,
+        &ROLLBACKS,
+        &RECOVERIES,
+        &CKPT_FALLBACKS,
+        &IO_RETRIES,
+        &DEGRADED_ENCODES,
+    ] {
         c.reset();
     }
     TAPE_LIVE.store(0, Ordering::Relaxed);

@@ -2,8 +2,8 @@
 //! its own line; when closed, emission is a no-op costing one mutex-
 //! free atomic check via `OnceLock` initialization state.
 //!
-//! Event kinds (`"ev"` field): `log`, `epoch`, `cache`, `span`,
-//! `counter`. See README "Observability" for the full schema.
+//! Event kinds (`"ev"` field): `log`, `epoch`, `cache`, `guard`,
+//! `span`, `counter`. See README "Observability" for the full schema.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -98,7 +98,8 @@ pub fn emit_epoch(r: &EpochRecord) {
         .f64("param_norm", r.stats.param_norm as f64)
         .f64("wall_s", r.wall_s)
         .u64("flops", r.flops)
-        .u64("tape_peak", r.tape_peak);
+        .u64("tape_peak", r.tape_peak)
+        .u64("skipped", u64::from(r.stats.skipped));
     if let Some(b) = r.stats.breakdown {
         obj = obj
             .f64("dap", b.dap as f64)
@@ -107,6 +108,27 @@ pub fn emit_epoch(r: &EpochRecord) {
             .f64("rcl", b.rcl as f64);
     }
     write_line(obj.finish());
+}
+
+/// A fault-tolerance event: `kind` is one of `anomaly` (step skipped),
+/// `rollback` (parameters restored), `recovery` (training resumed after
+/// rollback), `ckpt_fallback` (corrupt checkpoint skipped),
+/// `io_retry` (guarded IO succeeded after retry) or `degraded`
+/// (serving with a missing modality). `seq` is the step/epoch/save
+/// index the event refers to.
+pub fn emit_guard(kind: &str, seq: u64, detail: &str) {
+    if !is_open() {
+        return;
+    }
+    write_line(
+        JsonObj::new()
+            .str("ev", "guard")
+            .u64("ts_ms", ts_ms())
+            .str("kind", kind)
+            .u64("seq", seq)
+            .str("detail", detail)
+            .finish(),
+    );
 }
 
 pub fn emit_span(path: &str, stat: &SpanStat) {

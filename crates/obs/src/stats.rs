@@ -39,6 +39,9 @@ pub struct EpochStats {
     pub param_norm: f32,
     /// Optimization steps taken.
     pub steps: u32,
+    /// Steps skipped by an anomaly guard (non-finite loss or gradient
+    /// norm); zero for models without one.
+    pub skipped: u32,
 }
 
 impl EpochStats {

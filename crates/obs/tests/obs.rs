@@ -138,6 +138,7 @@ fn jsonl_sink_round_trips_every_event_kind() {
             grad_norm: 0.9,
             param_norm: 12.0,
             steps: 8,
+            skipped: 0,
         },
     });
     {

@@ -416,6 +416,21 @@ impl Tensor {
         self.data.iter().all(|a| a.is_finite())
     }
 
+    /// Number of non-finite (NaN or ±inf) elements.
+    pub fn count_non_finite(&self) -> usize {
+        self.data.iter().filter(|a| !a.is_finite()).count()
+    }
+
+    /// Flat index and value of the first non-finite element, if any —
+    /// the diagnostic an anomaly guard wants in its log line.
+    pub fn first_non_finite(&self) -> Option<(usize, f32)> {
+        self.data
+            .iter()
+            .enumerate()
+            .find(|(_, a)| !a.is_finite())
+            .map(|(i, &a)| (i, a))
+    }
+
     /// Gathers rows `ids` from a 2-D tensor into a new `[ids.len(), d]` tensor.
     #[track_caller]
     pub fn gather_rows(&self, ids: &[usize]) -> Tensor {
@@ -696,5 +711,17 @@ mod tests {
         assert!(x.all_finite());
         let bad = t(&[f32::NAN, 1.0], &[2]);
         assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn non_finite_diagnostics() {
+        let x = t(&[1.0, 2.0], &[2]);
+        assert_eq!(x.count_non_finite(), 0);
+        assert_eq!(x.first_non_finite(), None);
+        let bad = t(&[1.0, f32::INFINITY, f32::NAN], &[3]);
+        assert_eq!(bad.count_non_finite(), 2);
+        let (idx, val) = bad.first_non_finite().unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(val, f32::INFINITY);
     }
 }

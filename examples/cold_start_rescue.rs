@@ -47,6 +47,7 @@ fn main() {
         patience: 2,
         eval_every: 1,
         log_level: pmm_obs::Level::Warn,
+        start_epoch: 0,
     };
 
     // Train both models on the normal training split…

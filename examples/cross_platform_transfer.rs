@@ -24,6 +24,7 @@ fn main() {
         patience: 2,
         eval_every: 1,
         log_level: pmm_obs::Level::Warn,
+        start_epoch: 0,
     };
 
     // --- Pre-train on the source platform with all four objectives ---

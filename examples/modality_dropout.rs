@@ -23,6 +23,7 @@ fn main() {
         patience: 2,
         eval_every: 1,
         log_level: pmm_obs::Level::Warn,
+        start_epoch: 0,
     };
 
     // Multi-modal pre-training on Kwai.

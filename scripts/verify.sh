@@ -13,4 +13,7 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> chaos smoke (fault injection: NaN steps, checkpoint corruption, IO failure)"
+cargo run --release -q -p pmm-bench --bin chaos_smoke -- --scale tiny --epochs 3
+
 echo "==> verify OK"

@@ -38,6 +38,7 @@ fn full_pipeline_trains_evaluates_and_roundtrips() {
         patience: 0,
         eval_every: 2,
         log_level: pmm_obs::Level::Warn,
+        start_epoch: 0,
     };
     let result = train_model(&mut model, &split, &cfg, &mut rng);
     assert!(result.test.hr10().is_finite());
