@@ -25,6 +25,18 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     c.bench_function("tensor/matmul_64x64", |bench| {
         bench.iter(|| black_box(a.matmul(&b)))
     });
+    // Transposed-lhs paths: the kernel packs the transposed operand
+    // into a contiguous scratch before multiplying, which roughly
+    // halved the tt time versus the old strided walk (see EXPERIMENTS
+    // "Transposed-operand packing" for the before/after numbers).
+    let at = a.transpose2();
+    let bt = b.transpose2();
+    c.bench_function("tensor/matmul_tn_64x64", |bench| {
+        bench.iter(|| black_box(at.matmul_t(&b, true, false)))
+    });
+    c.bench_function("tensor/matmul_tt_64x64", |bench| {
+        bench.iter(|| black_box(at.matmul_t(&bt, true, true)))
+    });
     let x = Tensor::randn(&[256, 64], 1.0, &mut rng);
     c.bench_function("tensor/softmax_256x64", |bench| {
         bench.iter(|| black_box(x.softmax_last()))

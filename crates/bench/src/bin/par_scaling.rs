@@ -1,0 +1,151 @@
+//! Thread-scaling benchmark for the pmm-par kernel runtime.
+//!
+//! Times the parallelised tensor kernels plus the catalogue
+//! encode/score path at several worker counts, verifies every output is
+//! bit-identical to the single-threaded run, and writes
+//! `BENCH_par.json`. At threads=1 the runtime dispatches as a plain
+//! direct call, so that column *is* the sequential baseline; speedups
+//! at higher counts only materialise where the hardware has cores to
+//! give (the JSON records `hardware_threads` so readers can tell).
+//!
+//! This binary sweeps thread counts itself, overriding any `--threads`
+//! flag or `PMM_THREADS` setting for the duration of each measurement.
+
+use pmm_bench::cli::Cli;
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::LeaveOneOut;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::SeqRecommender;
+use pmm_obs::json::JsonObj;
+use pmm_tensor::Tensor;
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct BenchResult {
+    name: &'static str,
+    threads: usize,
+    wall_s: f64,
+}
+
+/// Runs `f` `reps` times at the given thread count; returns the best
+/// wall time and the last output for the bit-identity check.
+fn time_at(threads: usize, reps: usize, mut f: impl FnMut() -> Vec<f32>) -> (f64, Vec<f32>) {
+    pmm_par::set_threads(Some(threads));
+    let mut best = f64::INFINITY;
+    let mut out = Vec::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    pmm_par::set_threads(None);
+    (best, out)
+}
+
+/// A small model over the tiny catalogue; the same seed gives the same
+/// weights, so outputs are comparable bitwise across thread counts.
+fn model() -> PmmRec {
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+    PmmRec::new(PmmRecConfig::default(), &ds, &mut rng)
+}
+
+fn main() {
+    let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
+    let hw = pmm_par::hardware_threads();
+    println!("par_scaling: hardware_threads={hw} (threads=1 is the sequential baseline)");
+
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    let a = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    let a3 = Tensor::randn(&[8, 128, 64], 1.0, &mut rng);
+    let b3 = Tensor::randn(&[8, 64, 128], 1.0, &mut rng);
+    let sm = Tensor::randn(&[2048, 512], 1.0, &mut rng);
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    let mut identical = true;
+
+    type Kernel<'k> = Box<dyn Fn() -> Vec<f32> + 'k>;
+    let kernels: Vec<(&'static str, usize, Kernel)> = vec![
+        ("matmul_nn_256", 5, Box::new(|| a.matmul(&b).into_vec())),
+        ("matmul_tt_256", 5, Box::new(|| a.matmul_t(&b, true, true).into_vec())),
+        ("bmm_nn_8x128x64x128", 5, Box::new(|| a3.bmm_t(&b3, false, false).into_vec())),
+        ("softmax_2048x512", 5, Box::new(|| sm.softmax_last().into_vec())),
+        // Fresh model per call so the catalogue cache cannot serve the
+        // encode; construction happens inside the timer but is the same
+        // work at every thread count.
+        ("catalog_encode_tiny", 2, Box::new(|| model().item_representations().into_vec())),
+    ];
+    for (name, reps, f) in &kernels {
+        let mut reference: Option<Vec<f32>> = None;
+        for &t in &THREAD_COUNTS {
+            let (wall_s, out) = time_at(t, *reps, f);
+            match &reference {
+                None => reference = Some(out),
+                Some(r) if *r != out => {
+                    identical = false;
+                    println!("par_scaling: {name} DIVERGED at threads={t}");
+                }
+                Some(_) => {}
+            }
+            println!("  {name:<24} threads={t}  {:.3} ms", wall_s * 1e3);
+            results.push(BenchResult { name, threads: t, wall_s });
+        }
+    }
+
+    // Catalogue scoring with a warm cache: times the score matmul and
+    // the rank/top-k loops that sit on it.
+    {
+        let m = model();
+        let _ = m.item_representations();
+        let cases: Vec<LeaveOneOut> = (0..32)
+            .map(|i| LeaveOneOut { prefix: vec![i % 8, (i + 1) % 8, (i + 2) % 8], target: 0 })
+            .collect();
+        let mut reference: Option<Vec<f32>> = None;
+        for &t in &THREAD_COUNTS {
+            let (wall_s, out) = time_at(t, 3, || {
+                m.score_cases(&cases).into_iter().flatten().collect()
+            });
+            match &reference {
+                None => reference = Some(out),
+                Some(r) if *r != out => {
+                    identical = false;
+                    println!("par_scaling: score_cases DIVERGED at threads={t}");
+                }
+                Some(_) => {}
+            }
+            println!("  {:<24} threads={t}  {:.3} ms", "score_cases_32", wall_s * 1e3);
+            results.push(BenchResult { name: "score_cases_32", threads: t, wall_s });
+        }
+    }
+
+    let result_items: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {}",
+                JsonObj::new()
+                    .str("bench", r.name)
+                    .u64("threads", r.threads as u64)
+                    .f64("wall_s", r.wall_s)
+                    .finish()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bin\": \"par_scaling\",\n  \"hardware_threads\": {hw},\n  \"bit_identical\": {identical},\n  \"results\": [\n{}\n  ]\n}}\n",
+        result_items.join(",\n"),
+    );
+    match std::fs::write("BENCH_par.json", &json) {
+        Ok(()) => println!("par_scaling: wrote BENCH_par.json ({} rows)", results.len()),
+        Err(e) => println!("par_scaling: cannot write BENCH_par.json: {e}"),
+    }
+    pmm_bench::obs::finish("par_scaling");
+    assert!(identical, "parallel kernels diverged from the sequential baseline");
+}

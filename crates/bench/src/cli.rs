@@ -23,6 +23,10 @@ pub struct Cli {
     /// `nan@3,ckpt@0,io@1`; see `pmm_fault::FaultPlan::parse`). Absent
     /// means no faults are injected.
     pub fault_plan: Option<String>,
+    /// Worker threads for the pmm-par kernel runtime (`--threads N`).
+    /// Absent defers to `PMM_THREADS` or the hardware count; results
+    /// are bit-identical at every setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for Cli {
@@ -34,6 +38,7 @@ impl Default for Cli {
             log_level: Level::Warn,
             obs: None,
             fault_plan: None,
+            threads: None,
         }
     }
 }
@@ -88,8 +93,17 @@ impl Cli {
                     }
                     cli.fault_plan = Some(spec);
                 }
+                "--threads" => {
+                    let n: usize = it
+                        .next()
+                        .expect("--threads needs a value")
+                        .parse()
+                        .expect("--threads must be an integer");
+                    assert!(n >= 1, "--threads must be at least 1");
+                    cli.threads = Some(n);
+                }
                 other => panic!(
-                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan)"
+                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads)"
                 ),
             }
         }
@@ -139,6 +153,18 @@ mod tests {
     #[should_panic(expected = "invalid --fault-plan")]
     fn rejects_malformed_fault_plan() {
         parse(&["--fault-plan", "nan@x"]);
+    }
+
+    #[test]
+    fn parses_threads() {
+        assert_eq!(parse(&["--threads", "4"]).threads, Some(4));
+        assert!(parse(&[]).threads.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be at least 1")]
+    fn rejects_zero_threads() {
+        parse(&["--threads", "0"]);
     }
 
     #[test]

@@ -25,6 +25,12 @@ pub fn setup(cli: &Cli) {
     if cli.log_level > pmm_obs::log::max_level() {
         pmm_obs::log::set_max_level(cli.log_level);
     }
+    // Apply the kernel thread count before any tensor work runs; the
+    // flag wins over PMM_THREADS and the hardware default.
+    pmm_par::set_threads(cli.threads);
+    if let Some(n) = cli.threads {
+        obs_info!("par", "kernel threads pinned to {n}");
+    }
     // Arm deterministic fault injection for chaos runs. The spec was
     // validated at CLI parse time.
     if let Some(spec) = &cli.fault_plan {

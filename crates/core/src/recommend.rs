@@ -55,16 +55,36 @@ impl PmmRec {
             target: 0, // unused: we keep the full score row
         };
         let scores = self.score_cases(std::slice::from_ref(&case)).remove(0);
-        let mut ranked: Vec<Recommendation> = scores
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| !exclude_seen || !prefix.contains(i))
-            .map(|(item, score)| Recommendation { item, score })
-            .collect();
-        ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
-        ranked.truncate(k);
-        ranked
+        top_k_chunked(&scores, k, |item| !exclude_seen || !prefix.contains(&item))
     }
+}
+
+/// Chunked top-k over a score row: each block keeps its own top-k
+/// candidates, then one stable merge sort picks the global winners.
+/// Both the per-block and the final sort are stable with items
+/// enumerated in ascending id, so ties resolve to the lower id exactly
+/// like a plain full-catalogue sort — the result is identical at every
+/// worker count. An item a block drops has ≥ k better-or-equal items
+/// in its own block, all of which also outrank it globally, so it can
+/// never belong to the true top k.
+fn top_k_chunked(scores: &[f32], k: usize, keep: impl Fn(usize) -> bool + Sync) -> Vec<Recommendation> {
+    let mut ranked: Vec<Recommendation> = pmm_par::map_chunks(scores, 1 << 15, |off, block| {
+        let mut local: Vec<Recommendation> = block
+            .iter()
+            .enumerate()
+            .map(|(i, &score)| Recommendation { item: off + i, score })
+            .filter(|r| keep(r.item))
+            .collect();
+        local.sort_by(|a, b| b.score.total_cmp(&a.score));
+        local.truncate(k);
+        local
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
+    ranked.truncate(k);
+    ranked
 }
 
 #[cfg(test)]
@@ -131,6 +151,31 @@ mod tests {
         for r in &recs {
             assert_eq!(r.score, scores[r.item]);
         }
+    }
+
+    #[test]
+    fn top_k_chunked_matches_global_sort_at_every_thread_count() {
+        // Synthetic score row spanning four 32768-score chunks with an
+        // odd tail, and only 97 distinct score values so ties are
+        // everywhere and the ascending-id tie-break is load-bearing.
+        let n = (1usize << 17) + 3;
+        let scores: Vec<f32> =
+            (0..n).map(|i| ((i * 2_654_435_761) % 97) as f32 / 97.0).collect();
+        let keep = |item: usize| item % 13 != 0;
+        let mut naive: Vec<Recommendation> = scores
+            .iter()
+            .enumerate()
+            .map(|(item, &score)| Recommendation { item, score })
+            .filter(|r| keep(r.item))
+            .collect();
+        naive.sort_by(|a, b| b.score.total_cmp(&a.score));
+        naive.truncate(25);
+        for t in [1usize, 2, 4, 7] {
+            pmm_par::set_threads(Some(t));
+            let got = super::top_k_chunked(&scores, 25, keep);
+            assert_eq!(got, naive, "threads={t}");
+        }
+        pmm_par::set_threads(None);
     }
 
     #[test]

@@ -86,6 +86,27 @@ pub fn evaluate_ranks(ranks: &[f32]) -> MetricSet {
     m
 }
 
+/// Minimum score-row entries one ranking worker should process before
+/// it is worth spawning threads for the rank loop.
+const PAR_MIN_SCORES: usize = 1 << 17;
+
+/// Ranks each case of a scored chunk, splitting cases over workers when
+/// the chunk is big enough. Each case's rank depends only on its own
+/// score row, so the parallel result is identical to sequential.
+fn ranks_for_chunk(chunk: &[LeaveOneOut], scores: &[Vec<f32>]) -> Vec<f32> {
+    debug_assert_eq!(scores.len(), chunk.len());
+    let mut ranks = vec![0.0f32; chunk.len()];
+    let n_items = scores.first().map_or(0, Vec::len);
+    let min_cases = (PAR_MIN_SCORES / n_items.max(1)).max(1);
+    pmm_par::for_each_row_chunk(&mut ranks, 1, min_cases, |off, block| {
+        for (bi, rv) in block.iter_mut().enumerate() {
+            let idx = off + bi;
+            *rv = rank_of_target(&scores[idx], chunk[idx].target);
+        }
+    });
+    ranks
+}
+
 /// Scores every case with the model and aggregates metrics.
 pub fn evaluate_cases(model: &dyn SeqRecommender, cases: &[LeaveOneOut]) -> MetricSet {
     let mut ranks = Vec::with_capacity(cases.len());
@@ -94,10 +115,7 @@ pub fn evaluate_cases(model: &dyn SeqRecommender, cases: &[LeaveOneOut]) -> Metr
     for chunk in cases.chunks(CHUNK) {
         let scores = model.score_cases(chunk);
         pmm_obs::counter::EVAL_CASES.add(chunk.len() as u64);
-        debug_assert_eq!(scores.len(), chunk.len());
-        for (case, s) in chunk.iter().zip(&scores) {
-            ranks.push(rank_of_target(s, case.target));
-        }
+        ranks.extend(ranks_for_chunk(chunk, &scores));
     }
     evaluate_ranks(&ranks)
 }
@@ -174,9 +192,7 @@ pub fn ranks_for_cases(model: &dyn SeqRecommender, cases: &[LeaveOneOut]) -> Vec
     const CHUNK: usize = 64;
     for chunk in cases.chunks(CHUNK) {
         let scores = model.score_cases(chunk);
-        for (case, s) in chunk.iter().zip(&scores) {
-            ranks.push(rank_of_target(s, case.target));
-        }
+        ranks.extend(ranks_for_chunk(chunk, &scores));
     }
     ranks
 }

@@ -64,6 +64,9 @@ pub static CKPT_FALLBACKS: Counter = Counter::new("ckpt_fallbacks");
 pub static IO_RETRIES: Counter = Counter::new("io_retries");
 /// Item encodes served with a missing modality (degraded content).
 pub static DEGRADED_ENCODES: Counter = Counter::new("degraded_encodes");
+/// Worker blocks dispatched by the pmm-par runtime (one per spawned
+/// scoped thread; sequential fallbacks don't count).
+pub static PAR_TASKS: Counter = Counter::new("par_tasks");
 
 /// Currently-live tape nodes. Can dip below zero transiently if
 /// collection is toggled while a graph is alive; the peak is what
@@ -82,6 +85,27 @@ pub fn record_matmul(m: usize, k: usize, n: usize) {
 #[inline]
 pub fn record_bmm(batch: usize, m: usize, k: usize, n: usize) {
     MATMUL_FLOPS.add((batch as u64) * 2 * (m as u64) * (k as u64) * (n as u64));
+}
+
+/// Record a matmul whose kernel short-circuits zero entries of the
+/// `[m, k]` left operand: each of the `lhs_zeros` skipped entries
+/// saves `2·n` FLOPs versus the dense `2·m·k·n` estimate. Kernels that
+/// take the skipping path report through this so `matmul_flops` counts
+/// multiply-adds actually executed on sparse/masked inputs.
+#[inline]
+pub fn record_matmul_skipping(m: usize, k: usize, n: usize, lhs_zeros: usize) {
+    let dense = (m as u64) * (k as u64);
+    let live = dense.saturating_sub(lhs_zeros as u64);
+    MATMUL_FLOPS.add(2 * live * (n as u64));
+}
+
+/// Batched form of [`record_matmul_skipping`]; `lhs_zeros` counts
+/// zeros across all `batch` left operands.
+#[inline]
+pub fn record_bmm_skipping(batch: usize, m: usize, k: usize, n: usize, lhs_zeros: usize) {
+    let dense = (batch as u64) * (m as u64) * (k as u64);
+    let live = dense.saturating_sub(lhs_zeros as u64);
+    MATMUL_FLOPS.add(2 * live * (n as u64));
 }
 
 /// Record one dense tensor materialization of `elems` `f32` elements —
@@ -147,6 +171,7 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (CKPT_FALLBACKS.name, CKPT_FALLBACKS.get()),
         (IO_RETRIES.name, IO_RETRIES.get()),
         (DEGRADED_ENCODES.name, DEGRADED_ENCODES.get()),
+        (PAR_TASKS.name, PAR_TASKS.get()),
     ]
 }
 
@@ -164,6 +189,7 @@ pub fn reset_counters() {
         &CKPT_FALLBACKS,
         &IO_RETRIES,
         &DEGRADED_ENCODES,
+        &PAR_TASKS,
     ] {
         c.reset();
     }

@@ -24,6 +24,14 @@ pub struct SpanStat {
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Path prefix inherited from an owning thread. Span stacks are
+    /// thread-local, so without this a span opened on a worker thread
+    /// would land in the profile as a bogus root — e.g. a `matmul`
+    /// dispatched from inside `train/forward` would surface as a
+    /// top-level `matmul`, disappearing from its parent's subtree. The
+    /// parallel runtime stamps each worker with the owner's
+    /// [`current_path`] so worker spans stay hierarchical.
+    static BASE: RefCell<String> = const { RefCell::new(String::new()) };
 }
 
 fn profile() -> &'static Mutex<HashMap<String, SpanStat>> {
@@ -52,17 +60,62 @@ impl Drop for Span {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
         let elapsed = start.elapsed();
-        let path = STACK.with(|s| {
+        let local = STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let path = stack.join("/");
             stack.pop();
             path
         });
+        let path = prefixed(&local);
         let mut map = profile().lock().unwrap();
         let stat = map.entry(path).or_default();
         stat.count += 1;
         stat.total_ns += elapsed.as_nanos() as u64;
     }
+}
+
+/// Join `local` onto this thread's inherited base path.
+fn prefixed(local: &str) -> String {
+    BASE.with(|b| {
+        let base = b.borrow();
+        if base.is_empty() {
+            local.to_string()
+        } else if local.is_empty() {
+            base.clone()
+        } else {
+            format!("{base}/{local}")
+        }
+    })
+}
+
+/// Full span path active on this thread right now: the inherited base
+/// plus any locally open spans. Empty when nothing is open.
+pub fn current_path() -> String {
+    STACK.with(|s| prefixed(&s.borrow().join("/")))
+}
+
+/// Install the path prefix under which every span opened on this
+/// thread will be recorded. Worker threads call this with the owning
+/// thread's [`current_path`] so their spans stay inside the owner's
+/// subtree; pass an empty string to clear.
+pub fn set_base_path(base: String) {
+    BASE.with(|b| *b.borrow_mut() = base);
+}
+
+/// Fold externally-measured time into the profile as `count` closes of
+/// a span named `name` under this thread's current path. Used by the
+/// parallel runtime to charge aggregate worker wall-clock to the
+/// dispatching span without the workers touching the clock ordering.
+pub fn record_ns(name: &str, count: u64, total_ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let parent = current_path();
+    let path = if parent.is_empty() { name.to_string() } else { format!("{parent}/{name}") };
+    let mut map = profile().lock().unwrap();
+    let stat = map.entry(path).or_default();
+    stat.count += count;
+    stat.total_ns += total_ns;
 }
 
 /// Snapshot of the aggregated profile, sorted by path so parents

@@ -74,6 +74,47 @@ fn spans_nest_and_aggregate_across_threads() {
 }
 
 #[test]
+fn worker_spans_inherit_the_owner_base_path() {
+    // Regression: span stacks are thread-local, so before base-path
+    // inheritance a span opened on a worker thread surfaced as a bogus
+    // profile root (e.g. a bare "matmul" next to "train"), vanishing
+    // from its parent's subtree. Workers stamped with the owner's
+    // current path must land inside it.
+    let g = guard();
+    {
+        let _outer = span("train");
+        let base = span::current_path();
+        assert_eq!(base, "train");
+        std::thread::spawn(move || {
+            span::set_base_path(base);
+            let _sp = span("matmul");
+            std::hint::black_box(spin(10_000));
+        })
+        .join()
+        .unwrap();
+        // The owner folds externally measured worker time under itself.
+        span::record_ns("par_workers", 2, 500);
+    }
+    let profile: std::collections::HashMap<String, pmm_obs::SpanStat> =
+        span::profile_snapshot().into_iter().collect();
+    assert!(profile.contains_key("train"), "paths: {:?}", profile.keys());
+    assert!(
+        profile.contains_key("train/matmul"),
+        "worker span must nest under the owner, got: {:?}",
+        profile.keys()
+    );
+    assert!(
+        !profile.contains_key("matmul"),
+        "worker span leaked to the profile root: {:?}",
+        profile.keys()
+    );
+    let folded = profile["train/par_workers"];
+    assert_eq!(folded.count, 2);
+    assert_eq!(folded.total_ns, 500);
+    finish(g);
+}
+
+#[test]
 fn disabled_spans_record_nothing() {
     let g = guard();
     pmm_obs::set_enabled(false);
@@ -101,6 +142,23 @@ fn counters_are_monotonic_and_gated() {
     pmm_obs::set_enabled(false);
     pmm_obs::record_matmul(4, 5, 6);
     assert_eq!(c.get(), prev, "disabled adds must be no-ops");
+    finish(g);
+}
+
+#[test]
+fn matmul_flops_are_net_of_skipped_zero_muladds() {
+    // The nn kernel skips whole inner loops when a lhs element is zero,
+    // so the counter must subtract those muladds instead of reporting
+    // the dense m*k*n estimate (satellite: honest FLOP accounting).
+    let g = guard();
+    let c = &pmm_obs::counter::MATMUL_FLOPS;
+    pmm_obs::counter::record_matmul_skipping(4, 5, 6, 3); // 2 * (20 - 3) * 6
+    assert_eq!(c.get(), 204);
+    pmm_obs::counter::record_bmm_skipping(2, 3, 4, 5, 6); // 2 * (24 - 6) * 5
+    assert_eq!(c.get(), 204 + 180);
+    // With no zeros the skipping form degenerates to the dense count.
+    pmm_obs::counter::record_matmul_skipping(4, 5, 6, 0);
+    assert_eq!(c.get(), 204 + 180 + pmm_obs::counter::matmul_flop_estimate(4, 5, 6));
     finish(g);
 }
 

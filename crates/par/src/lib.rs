@@ -1,0 +1,400 @@
+//! `pmm-par` — a scoped-thread chunked parallel runtime.
+//!
+//! Std-only data parallelism for the raw `&[f32]`/`&mut [f32]` kernels
+//! underneath the autograd layer. The autograd `Var` graph is `Rc`-based
+//! and must stay on one thread; everything this crate runs is strictly
+//! below it, on plain slices, so no `Send`/`Sync` wrapper types are
+//! needed anywhere else in the workspace.
+//!
+//! Two primitives, both built on [`std::thread::scope`] over disjoint
+//! `chunks_mut`/`chunks` partitions:
+//!
+//! - [`for_each_row_chunk`]: partitions a mutable output buffer into
+//!   contiguous row blocks and runs one worker per block.
+//! - [`map_chunks`]: partitions a shared input slice and collects one
+//!   result per block, in block order.
+//!
+//! **Determinism.** Work is partitioned by *output row*: every output
+//! element is written by exactly one worker running the same inner-loop
+//! code in the same order as the sequential fallback. No reductions
+//! cross a chunk boundary, so results are bit-identical to sequential
+//! execution at every thread count.
+//!
+//! **Thread count.** Resolved per dispatch as: programmatic override
+//! ([`set_threads`], used by the bench `--threads` flag) > the
+//! `PMM_THREADS` environment variable > [`hardware_threads`]. A
+//! dispatch falls back to a plain sequential call when the resolved
+//! count is 1, when the problem is below the caller's per-worker
+//! minimum, or when it is already running on a pool worker (nested
+//! dispatch). Threads are spawned per call — there is no pool to keep
+//! warm — so callers gate dispatch on a work threshold that amortises
+//! the ~tens-of-microseconds spawn cost.
+//!
+//! **Observability.** Worker wall-clock is folded into the *owning*
+//! thread's span path as a `par_workers` child (span stacks are
+//! thread-local; a worker's own spans inherit the owner's path as a
+//! base), and every dispatched block bumps the `par_tasks` counter.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Hard ceiling on the resolved thread count; a safety net against
+/// absurd `PMM_THREADS` values, not a tuning knob.
+const MAX_THREADS: usize = 64;
+
+/// Programmatic override; 0 means "unset, fall back to env/hardware".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while a pool worker runs its closure, so nested dispatch
+    /// degrades to sequential instead of spawning threads from threads.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PMM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(0)
+    })
+}
+
+/// Hardware threads visible to this process (1 when unknown).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The thread count dispatches resolve right now:
+/// [`set_threads`] override > `PMM_THREADS` > [`hardware_threads`].
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o.min(MAX_THREADS);
+    }
+    let e = env_threads();
+    if e > 0 {
+        return e.min(MAX_THREADS);
+    }
+    hardware_threads().min(MAX_THREADS)
+}
+
+/// Installs (`Some(n)`) or clears (`None`) the programmatic thread
+/// count override. `Some(0)` is treated as `None`.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Number of worker blocks a dispatch over `units` units of work would
+/// use, giving each worker at least `min_per_worker` units. Returns 1
+/// (sequential) on pool workers and when threading is off. Exposed so
+/// callers with layered parallelism (e.g. batched matmul: batch blocks
+/// outside, row blocks inside) can pick the profitable layer.
+pub fn plan_workers(units: usize, min_per_worker: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let t = threads();
+    if t <= 1 || units <= min_per_worker.max(1) {
+        return 1;
+    }
+    t.min(units / min_per_worker.max(1)).max(1)
+}
+
+/// Fold a finished dispatch into telemetry: one `par_workers` child
+/// span under the owning thread's current path, plus the `par_tasks`
+/// counter. No-op while collection is disabled.
+fn fold_into_obs(tasks: u64, worker_ns: u64) {
+    pmm_obs::counter::PAR_TASKS.add(tasks);
+    pmm_obs::span::record_ns("par_workers", tasks, worker_ns);
+}
+
+/// Runs `f(row_offset, rows)` over disjoint contiguous row blocks of
+/// `out` (`row_len` elements per row), in parallel when profitable.
+///
+/// `f` is called with the index of its first row and the mutable block
+/// holding `rows` complete rows; blocks cover `out` exactly, in order.
+/// With one worker this is a direct `f(0, out)` call on the current
+/// thread; an empty `out` never invokes `f`. `out.len()` must be a
+/// multiple of `row_len`.
+pub fn for_each_row_chunk<F>(out: &mut [f32], row_len: usize, min_rows_per_worker: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let row_len = row_len.max(1);
+    debug_assert_eq!(out.len() % row_len, 0, "for_each_row_chunk: ragged rows");
+    let rows = out.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let workers = plan_workers(rows, min_rows_per_worker);
+    if workers <= 1 {
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers);
+    let base = pmm_obs::span::current_path();
+    let mut worker_ns = 0u64;
+    let mut tasks = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk_rows * row_len)
+            .enumerate()
+            .map(|(ci, block)| {
+                let f = &f;
+                let base = base.clone();
+                s.spawn(move || {
+                    pmm_obs::span::set_base_path(base);
+                    IN_WORKER.with(|w| w.set(true));
+                    let t0 = Instant::now();
+                    f(ci * chunk_rows, block);
+                    t0.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        for h in handles {
+            worker_ns += h.join().expect("pmm-par worker panicked");
+            tasks += 1;
+        }
+    });
+    fold_into_obs(tasks, worker_ns);
+}
+
+/// Two-buffer variant of [`for_each_row_chunk`]: partitions `out_a`
+/// (`row_len_a` per row) and `out_b` (`row_len_b` per row) at the same
+/// row boundaries and hands each worker the paired blocks. Used by
+/// kernels that produce an output row plus per-row auxiliaries (e.g.
+/// layer norm's normalised row and its cached statistics) in one pass.
+/// Both buffers must describe the same number of rows.
+pub fn for_each_row_chunk2<F>(
+    out_a: &mut [f32],
+    row_len_a: usize,
+    out_b: &mut [f32],
+    row_len_b: usize,
+    min_rows_per_worker: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    let (la, lb) = (row_len_a.max(1), row_len_b.max(1));
+    debug_assert_eq!(out_a.len() % la, 0, "for_each_row_chunk2: ragged rows in a");
+    let rows = out_a.len() / la;
+    debug_assert_eq!(out_b.len(), rows * lb, "for_each_row_chunk2: row count mismatch");
+    if rows == 0 {
+        return;
+    }
+    let workers = plan_workers(rows, min_rows_per_worker);
+    if workers <= 1 {
+        f(0, out_a, out_b);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers);
+    let base = pmm_obs::span::current_path();
+    let mut worker_ns = 0u64;
+    let mut tasks = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = out_a
+            .chunks_mut(chunk_rows * la)
+            .zip(out_b.chunks_mut(chunk_rows * lb))
+            .enumerate()
+            .map(|(ci, (block_a, block_b))| {
+                let f = &f;
+                let base = base.clone();
+                s.spawn(move || {
+                    pmm_obs::span::set_base_path(base);
+                    IN_WORKER.with(|w| w.set(true));
+                    let t0 = Instant::now();
+                    f(ci * chunk_rows, block_a, block_b);
+                    t0.elapsed().as_nanos() as u64
+                })
+            })
+            .collect();
+        for h in handles {
+            worker_ns += h.join().expect("pmm-par worker panicked");
+            tasks += 1;
+        }
+    });
+    fold_into_obs(tasks, worker_ns);
+}
+
+/// Maps disjoint contiguous blocks of `items` (at least
+/// `min_per_worker` items each) through `f(offset, block)`, returning
+/// the per-block results in block order. With one worker this is a
+/// direct `vec![f(0, items)]` call on the current thread; callers must
+/// therefore be insensitive to the *number* of blocks (e.g. merge
+/// per-block top-k candidate sets).
+pub fn map_chunks<T, R, F>(items: &[T], min_per_worker: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = plan_workers(items.len(), min_per_worker);
+    if workers <= 1 {
+        return vec![f(0, items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    let base = pmm_obs::span::current_path();
+    let mut worker_ns = 0u64;
+    let mut out = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, block)| {
+                let f = &f;
+                let base = base.clone();
+                s.spawn(move || {
+                    pmm_obs::span::set_base_path(base);
+                    IN_WORKER.with(|w| w.set(true));
+                    let t0 = Instant::now();
+                    let r = f(ci * chunk, block);
+                    (r, t0.elapsed().as_nanos() as u64)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (r, ns) = h.join().expect("pmm-par worker panicked");
+            out.push(r);
+            worker_ns += ns;
+        }
+    });
+    fold_into_obs(out.len() as u64, worker_ns);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// `OVERRIDE` is process-global; tests touching it serialise here.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn override_beats_env_and_hardware() {
+        let _g = lock();
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(Some(0)); // treated as unset
+        assert!(threads() >= 1);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn plan_respects_min_per_worker() {
+        let _g = lock();
+        set_threads(Some(8));
+        assert_eq!(plan_workers(4, 4), 1, "work for one worker stays sequential");
+        assert_eq!(plan_workers(16, 4), 4);
+        assert_eq!(plan_workers(1000, 1), 8);
+        assert_eq!(plan_workers(0, 1), 1);
+        set_threads(None);
+    }
+
+    #[test]
+    fn row_chunks_cover_exactly_and_match_sequential() {
+        let _g = lock();
+        for &t in &[1usize, 2, 4, 7] {
+            set_threads(Some(t));
+            // 13 rows of 3 do not divide evenly by any of these counts.
+            let mut out = vec![0.0f32; 13 * 3];
+            for_each_row_chunk(&mut out, 3, 1, |row0, rows| {
+                for (ri, row) in rows.chunks_mut(3).enumerate() {
+                    let r = row0 + ri;
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (r * 3 + j) as f32;
+                    }
+                }
+            });
+            let want: Vec<f32> = (0..39).map(|i| i as f32).collect();
+            assert_eq!(out, want, "threads={t}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn map_chunks_returns_blocks_in_order() {
+        let _g = lock();
+        let items: Vec<usize> = (0..29).collect();
+        for &t in &[1usize, 2, 5] {
+            set_threads(Some(t));
+            let parts = map_chunks(&items, 1, |off, block| (off, block.to_vec()));
+            // Blocks are in order and reassemble the input exactly.
+            let mut flat = Vec::new();
+            let mut expect_off = 0;
+            for (off, block) in parts {
+                assert_eq!(off, expect_off);
+                expect_off += block.len();
+                flat.extend(block);
+            }
+            assert_eq!(flat, items, "threads={t}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn paired_buffers_split_at_the_same_rows() {
+        let _g = lock();
+        for &t in &[1usize, 3, 7] {
+            set_threads(Some(t));
+            let mut a = vec![0.0f32; 11 * 2];
+            let mut b = vec![0.0f32; 11];
+            for_each_row_chunk2(&mut a, 2, &mut b, 1, 1, |r0, ba, bb| {
+                for (ri, (arow, bv)) in ba.chunks_mut(2).zip(bb.iter_mut()).enumerate() {
+                    let r = r0 + ri;
+                    arow[0] = r as f32;
+                    arow[1] = (r * 2) as f32;
+                    *bv = (r * 3) as f32;
+                }
+            });
+            for r in 0..11 {
+                assert_eq!(a[r * 2], r as f32, "threads={t}");
+                assert_eq!(a[r * 2 + 1], (r * 2) as f32, "threads={t}");
+                assert_eq!(b[r], (r * 3) as f32, "threads={t}");
+            }
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn nested_dispatch_degrades_to_sequential() {
+        let _g = lock();
+        set_threads(Some(4));
+        let mut out = vec![0.0f32; 64];
+        for_each_row_chunk(&mut out, 1, 1, |off, chunk| {
+            // Inside a worker: planning must refuse to spawn again.
+            assert_eq!(plan_workers(1000, 1), 1);
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (off + i) as f32;
+            }
+        });
+        assert_eq!(out[63], 63.0);
+        set_threads(None);
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let _g = lock();
+        let mut out: Vec<f32> = Vec::new();
+        for_each_row_chunk(&mut out, 4, 1, |_, _| panic!("no rows, no calls"));
+        let mut aux: Vec<f32> = Vec::new();
+        for_each_row_chunk2(&mut out, 4, &mut aux, 2, 1, |_, _, _| panic!("no rows, no calls"));
+        let r: Vec<usize> = map_chunks::<f32, usize, _>(&[], 1, |_, _| 0);
+        assert!(r.is_empty());
+    }
+}

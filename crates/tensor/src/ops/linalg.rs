@@ -72,6 +72,7 @@ impl Var {
     /// 2-D transpose as a graph op.
     #[track_caller]
     pub fn transpose2(&self) -> Var {
+        let _sp = pmm_obs::span("transpose2");
         let out = self.value().transpose2();
         let a = self.clone();
         Var::from_op(

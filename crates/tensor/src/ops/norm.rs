@@ -2,7 +2,7 @@
 //! l2-normalisation and dropout.
 
 use crate::shape::rows_last;
-use crate::tensor::softmax_row;
+use crate::tensor::PAR_MIN_ELEMS;
 use crate::{Tensor, Var};
 
 impl Var {
@@ -34,20 +34,16 @@ impl Var {
             self.shape()
         );
         let (rows, last) = rows_last("masked_softmax", self.shape());
-        let mut masked = self.value().zip_map(mask, |x, m| {
+        let masked = self.value().zip_map(mask, |x, m| {
             if m == 0.0 {
                 f32::NEG_INFINITY
             } else {
                 x
             }
         });
-        let buf = masked.data_mut();
-        let mut out = vec![0.0f32; buf.len()];
-        for r in 0..rows {
-            let src = &buf[r * last..(r + 1) * last];
-            softmax_row(src, &mut out[r * last..(r + 1) * last]);
-        }
-        let out = Tensor::from_vec(out, self.shape()).expect("softmax numel");
+        // Tensor::softmax_last already handles the -inf rows and runs
+        // row-parallel for large inputs.
+        let out = masked.softmax_last();
         let a = self.clone();
         let y = out.clone();
         Var::from_op(
@@ -69,20 +65,25 @@ impl Var {
         let gm = gamma.value().data();
         let bt = beta.value().data();
         let mut out = vec![0.0f32; x.len()];
-        let mut xhat = vec![0.0f32; x.len()];
-        let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = &x[r * d..(r + 1) * d];
-            let mean = row.iter().sum::<f32>() / d as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for j in 0..d {
-                let xh = (row[j] - mean) * istd;
-                xhat[r * d + j] = xh;
-                out[r * d + j] = gm[j] * xh + bt[j];
+        // Per-row backward cache, interleaved as [xhat[0..d], 1/std] so
+        // the forward fills the output and the cache in one row pass.
+        let mut aux = vec![0.0f32; rows * (d + 1)];
+        let min_rows = (PAR_MIN_ELEMS / 8 / d.max(1)).max(1);
+        pmm_par::for_each_row_chunk2(&mut out, d, &mut aux, d + 1, min_rows, |r0, ob, ab| {
+            for (ri, (orow, arow)) in ob.chunks_mut(d).zip(ab.chunks_mut(d + 1)).enumerate() {
+                let r = r0 + ri;
+                let row = &x[r * d..(r + 1) * d];
+                let mean = row.iter().sum::<f32>() / d as f32;
+                let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                arow[d] = istd;
+                for j in 0..d {
+                    let xh = (row[j] - mean) * istd;
+                    arow[j] = xh;
+                    orow[j] = gm[j] * xh + bt[j];
+                }
             }
-        }
+        });
         let out = Tensor::from_vec(out, self.shape()).expect("ln numel");
         let (a, gv, bv) = (self.clone(), gamma.clone(), beta.clone());
         let shape = self.shape().to_vec();
@@ -95,9 +96,13 @@ impl Var {
                 let mut dx = vec![0.0f32; gd.len()];
                 let mut dgamma = vec![0.0f32; d];
                 let mut dbeta = vec![0.0f32; d];
+                // dgamma/dbeta accumulate across rows in row order;
+                // splitting rows over workers would change the float
+                // summation order, so the backward stays sequential.
                 for r in 0..rows {
-                    let istd = inv_std[r];
-                    let xh = &xhat[r * d..(r + 1) * d];
+                    let arow = &aux[r * (d + 1)..(r + 1) * (d + 1)];
+                    let istd = arow[d];
+                    let xh = &arow[..d];
                     let go = &gd[r * d..(r + 1) * d];
                     // dxhat = g * gamma; accumulate row statistics.
                     let mut sum_dxhat = 0.0f32;
@@ -131,14 +136,18 @@ impl Var {
         let x = self.value().data();
         let mut out = vec![0.0f32; x.len()];
         let mut norms = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = &x[r * d..(r + 1) * d];
-            let n = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(EPS);
-            norms[r] = n;
-            for j in 0..d {
-                out[r * d + j] = row[j] / n;
+        let min_rows = (PAR_MIN_ELEMS / 4 / d.max(1)).max(1);
+        pmm_par::for_each_row_chunk2(&mut out, d, &mut norms, 1, min_rows, |r0, ob, nb| {
+            for (ri, (orow, nv)) in ob.chunks_mut(d).zip(nb.iter_mut()).enumerate() {
+                let r = r0 + ri;
+                let row = &x[r * d..(r + 1) * d];
+                let n = row.iter().map(|&v| v * v).sum::<f32>().sqrt().max(EPS);
+                *nv = n;
+                for (o, &v) in orow.iter_mut().zip(row) {
+                    *o = v / n;
+                }
             }
-        }
+        });
         let y = Tensor::from_vec(out, self.shape()).expect("l2 numel");
         let a = self.clone();
         let yv = y.clone();
@@ -150,15 +159,19 @@ impl Var {
                 let gd = g.data();
                 let yd = yv.data();
                 let mut dx = vec![0.0f32; gd.len()];
-                for r in 0..rows {
-                    let go = &gd[r * d..(r + 1) * d];
-                    let yo = &yd[r * d..(r + 1) * d];
-                    let dot: f32 = go.iter().zip(yo).map(|(&a, &b)| a * b).sum();
-                    let inv_n = 1.0 / norms[r];
-                    for j in 0..d {
-                        dx[r * d + j] = (go[j] - dot * yo[j]) * inv_n;
+                let min_rows = (PAR_MIN_ELEMS / 4 / d.max(1)).max(1);
+                pmm_par::for_each_row_chunk(&mut dx, d, min_rows, |r0, block| {
+                    for (ri, dxrow) in block.chunks_mut(d).enumerate() {
+                        let r = r0 + ri;
+                        let go = &gd[r * d..(r + 1) * d];
+                        let yo = &yd[r * d..(r + 1) * d];
+                        let dot: f32 = go.iter().zip(yo).map(|(&a, &b)| a * b).sum();
+                        let inv_n = 1.0 / norms[r];
+                        for (j, dv) in dxrow.iter_mut().enumerate() {
+                            *dv = (go[j] - dot * yo[j]) * inv_n;
+                        }
                     }
-                }
+                });
                 a.accum_grad(&Tensor::from_vec(dx, &shape).expect("l2 dx"));
             }),
         )
@@ -194,13 +207,19 @@ fn softmax_backward(y: &Tensor, g: &Tensor, rows: usize, last: usize) -> Tensor 
     let yd = y.data();
     let gd = g.data();
     let mut dx = vec![0.0f32; gd.len()];
-    for r in 0..rows {
-        let yo = &yd[r * last..(r + 1) * last];
-        let go = &gd[r * last..(r + 1) * last];
-        let dot: f32 = yo.iter().zip(go).map(|(&a, &b)| a * b).sum();
-        for j in 0..last {
-            dx[r * last + j] = (go[j] - dot) * yo[j];
-        }
+    if rows > 0 && last > 0 {
+        let min_rows = (PAR_MIN_ELEMS / 4 / last).max(1);
+        pmm_par::for_each_row_chunk(&mut dx, last, min_rows, |r0, block| {
+            for (ri, dxrow) in block.chunks_mut(last).enumerate() {
+                let r = r0 + ri;
+                let yo = &yd[r * last..(r + 1) * last];
+                let go = &gd[r * last..(r + 1) * last];
+                let dot: f32 = yo.iter().zip(go).map(|(&a, &b)| a * b).sum();
+                for (j, dv) in dxrow.iter_mut().enumerate() {
+                    *dv = (go[j] - dot) * yo[j];
+                }
+            }
+        });
     }
     Tensor::from_vec(dx, y.shape()).expect("softmax dx")
 }

@@ -1,7 +1,22 @@
 //! Dense row-major `f32` tensor storage and the non-autograd kernels.
+//!
+//! Kernels dispatch through `pmm-par` when the problem is large enough:
+//! work is partitioned by output row, each row is produced by exactly
+//! one worker running the same inner loop as the sequential path, so
+//! results are bit-identical at every thread count (see
+//! `tests/par_determinism.rs`).
 
 use crate::shape::{check_same_shape, numel, rows_last, ShapeError};
 use rand::Rng;
+
+/// Minimum multiply-adds per worker before a matmul dispatch spawns
+/// threads: ~2M muladds is roughly a millisecond of scalar work, which
+/// amortises the tens-of-microseconds per-call thread spawn.
+const PAR_MIN_MULADDS: usize = 1 << 21;
+
+/// Minimum elements per worker for elementwise / transpose / softmax
+/// dispatch, where per-element work is a few ops at most.
+pub(crate) const PAR_MIN_ELEMS: usize = 1 << 18;
 
 /// A dense, row-major, heap-allocated `f32` tensor.
 ///
@@ -209,40 +224,57 @@ impl Tensor {
     }
 
     /// Applies `f` elementwise.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_parts(self.data.iter().map(|&a| f(a)).collect(), self.shape.clone())
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = vec![0.0f32; self.data.len()];
+        let src = &self.data;
+        pmm_par::for_each_row_chunk(&mut out, 1, PAR_MIN_ELEMS, |off, chunk| {
+            let end = off + chunk.len();
+            for (o, &s) in chunk.iter_mut().zip(&src[off..end]) {
+                *o = f(s);
+            }
+        });
+        Tensor::from_parts(out, self.shape.clone())
     }
 
     /// Applies `f` elementwise against `other`.
     #[track_caller]
-    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
         check_same_shape("zip_map", &self.shape, &other.shape);
-        Tensor::from_parts(
-            self.data
-                .iter()
-                .zip(&other.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
-            self.shape.clone(),
-        )
+        let mut out = vec![0.0f32; self.data.len()];
+        let (sa, sb) = (&self.data, &other.data);
+        pmm_par::for_each_row_chunk(&mut out, 1, PAR_MIN_ELEMS, |off, chunk| {
+            let end = off + chunk.len();
+            for ((o, &a), &b) in chunk.iter_mut().zip(&sa[off..end]).zip(&sb[off..end]) {
+                *o = f(a, b);
+            }
+        });
+        Tensor::from_parts(out, self.shape.clone())
     }
 
     /// `self += other` (same shape), reusing `self`'s allocation.
     #[track_caller]
     pub fn add_assign(&mut self, other: &Tensor) {
         check_same_shape("add_assign", &self.shape, &other.shape);
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        let src = &other.data;
+        pmm_par::for_each_row_chunk(&mut self.data, 1, PAR_MIN_ELEMS, |off, chunk| {
+            let end = off + chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&src[off..end]) {
+                *a += b;
+            }
+        });
     }
 
     /// `self += c * other` (same shape); the AXPY kernel.
     #[track_caller]
     pub fn axpy(&mut self, c: f32, other: &Tensor) {
         check_same_shape("axpy", &self.shape, &other.shape);
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += c * b;
-        }
+        let src = &other.data;
+        pmm_par::for_each_row_chunk(&mut self.data, 1, PAR_MIN_ELEMS, |off, chunk| {
+            let end = off + chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(&src[off..end]) {
+                *a += c * b;
+            }
+        });
     }
 
     /// Overwrites every element with zero, keeping the allocation.
@@ -275,7 +307,17 @@ impl Tensor {
             "matmul: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
             self.shape, other.shape
         );
-        pmm_obs::record_matmul(m, ka, n);
+        // The `trans_b == false` kernel short-circuits zero lhs entries,
+        // so charge only the multiply-adds it actually runs; the dot
+        // (`trans_b == true`) kernel is branch-free and dense. The zero
+        // scan is O(m·k) against an O(m·k·n) product and only runs when
+        // collection is on.
+        if trans_b {
+            pmm_obs::record_matmul(m, ka, n);
+        } else if pmm_obs::enabled() {
+            let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+            pmm_obs::counter::record_matmul_skipping(m, ka, n, zeros);
+        }
         let mut out = vec![0.0f32; m * n];
         matmul_kernel(
             &self.data,
@@ -325,24 +367,43 @@ impl Tensor {
             "bmm: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
             self.shape, other.shape
         );
-        pmm_obs::counter::record_bmm(b, m, ka, n);
+        // Same honest-FLOP convention as matmul_t: the zero-skip kernel
+        // runs when `trans_b == false`.
+        if trans_b {
+            pmm_obs::counter::record_bmm(b, m, ka, n);
+        } else if pmm_obs::enabled() {
+            let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
+            pmm_obs::counter::record_bmm_skipping(b, m, ka, n, zeros);
+        }
         let a_stride = self.shape[1] * self.shape[2];
         let b_stride = other.shape[1] * other.shape[2];
         let o_stride = m * n;
         let mut out = vec![0.0f32; b * o_stride];
-        for i in 0..b {
-            matmul_kernel(
-                &self.data[i * a_stride..(i + 1) * a_stride],
-                self.shape[2],
-                &other.data[i * b_stride..(i + 1) * b_stride],
-                other.shape[2],
-                &mut out[i * o_stride..(i + 1) * o_stride],
-                m,
-                ka,
-                n,
-                trans_a,
-                trans_b,
-            );
+        if o_stride > 0 {
+            // Parallelism layers: batch blocks here when the batch is
+            // big enough; otherwise each per-element kernel may still
+            // split its own rows. Nested dispatch inside a worker
+            // degrades to sequential, so the layers never multiply.
+            let min_batch = (PAR_MIN_MULADDS / (m * ka * n).max(1)).max(1);
+            let (adata, bdata) = (&self.data, &other.data);
+            let (alast, blast) = (self.shape[2], other.shape[2]);
+            pmm_par::for_each_row_chunk(&mut out, o_stride, min_batch, |i0, block| {
+                for (bi, oblock) in block.chunks_mut(o_stride).enumerate() {
+                    let i = i0 + bi;
+                    matmul_kernel(
+                        &adata[i * a_stride..(i + 1) * a_stride],
+                        alast,
+                        &bdata[i * b_stride..(i + 1) * b_stride],
+                        blast,
+                        oblock,
+                        m,
+                        ka,
+                        n,
+                        trans_a,
+                        trans_b,
+                    );
+                }
+            });
         }
         Tensor::from_parts(out, vec![b, m, n])
     }
@@ -353,10 +414,17 @@ impl Tensor {
         assert_eq!(self.shape.len(), 2, "transpose2: rank must be 2");
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
-            }
+        if m > 0 && n > 0 {
+            let src = &self.data;
+            let min_rows = (PAR_MIN_ELEMS / m).max(1);
+            pmm_par::for_each_row_chunk(&mut out, m, min_rows, |j0, rows| {
+                for (jr, orow) in rows.chunks_mut(m).enumerate() {
+                    let j = j0 + jr;
+                    for (i, o) in orow.iter_mut().enumerate() {
+                        *o = src[i * n + j];
+                    }
+                }
+            });
         }
         Tensor::from_parts(out, vec![n, m])
     }
@@ -383,10 +451,15 @@ impl Tensor {
     pub fn softmax_last(&self) -> Tensor {
         let (rows, last) = rows_last("softmax", &self.shape);
         let mut out = vec![0.0f32; self.data.len()];
-        for r in 0..rows {
-            let src = self.row(last, r);
-            let dst = &mut out[r * last..(r + 1) * last];
-            softmax_row(src, dst);
+        if rows > 0 && last > 0 {
+            let src = &self.data;
+            let min_rows = (PAR_MIN_ELEMS / last).max(1);
+            pmm_par::for_each_row_chunk(&mut out, last, min_rows, |r0, block| {
+                for (ri, dst) in block.chunks_mut(last).enumerate() {
+                    let r = r0 + ri;
+                    softmax_row(&src[r * last..(r + 1) * last], dst);
+                }
+            });
         }
         Tensor::from_parts(out, self.shape.clone())
     }
@@ -470,10 +543,23 @@ pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
     }
 }
 
-/// Shared triple-loop matmul kernel with transpose flags.
+/// Shared matmul kernel with transpose flags.
 ///
 /// `a` is `[?, lda]`-strided, `b` is `[?, ldb]`-strided; writes
 /// `out[m, n] = sum_k opA(a)[m, k] * opB(b)[k, n]`.
+///
+/// A transposed lhs is packed into a contiguous `[m, k]` scratch once
+/// per call: the former `trans_a` loops walked `a` column-wise with an
+/// `lda` stride in the inner loop, missing cache on every step, and
+/// packing is an O(m·k) pass against O(m·k·n) of multiply-adds (the
+/// micro-bench shows ~2x on the tt path at 64³). After packing, only
+/// two inner-loop shapes remain — `nn` (zero-skipping, contiguous rhs
+/// rows) and `nt` (branch-free dot product) — and both accumulate each
+/// output element in ascending-`k` order, exactly as all four strided
+/// originals did, so results stay bit-identical.
+///
+/// Rows of `out` are dispatched through `pmm-par`; each worker runs
+/// [`matmul_rows`] over its own contiguous block.
 #[allow(clippy::too_many_arguments)]
 fn matmul_kernel(
     a: &[f32],
@@ -487,63 +573,79 @@ fn matmul_kernel(
     trans_a: bool,
     trans_b: bool,
 ) {
-    // i-k-j ordering keeps the innermost loop contiguous for the common
-    // (no-transpose) case, which the optimizer can vectorise.
-    match (trans_a, trans_b) {
-        (false, false) => {
-            for i in 0..m {
-                let arow = &a[i * lda..i * lda + k];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (kk, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[kk * ldb..kk * ldb + n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    let packed;
+    let (a, lda) = if trans_a {
+        packed = pack_transposed(a, lda, k, m);
+        (&packed[..], k)
+    } else {
+        (a, lda)
+    };
+    let min_rows = (PAR_MIN_MULADDS / (k * n).max(1)).max(1);
+    pmm_par::for_each_row_chunk(out, n, min_rows, |row0, rows| {
+        matmul_rows(a, lda, b, ldb, rows, row0, k, n, trans_b);
+    });
+}
+
+/// Packs a `[k, m]` matrix stored with row stride `lda` into a fresh
+/// contiguous `[m, k]` buffer (plain scratch, not a counted tensor
+/// materialization).
+fn pack_transposed(a: &[f32], lda: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut p = vec![0.0f32; m * k];
+    for kk in 0..k {
+        let arow = &a[kk * lda..kk * lda + m];
+        for (i, &v) in arow.iter().enumerate() {
+            p[i * k + kk] = v;
+        }
+    }
+    p
+}
+
+/// Computes output rows `[row0, row0 + out_rows.len()/n)` of a product
+/// with a contiguous (already non-transposed) lhs. i-k-j ordering keeps
+/// the innermost loop contiguous so the optimizer can vectorise it.
+#[allow(clippy::too_many_arguments)]
+fn matmul_rows(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out_rows: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    trans_b: bool,
+) {
+    if trans_b {
+        // b is [n, k]; dot rows of a with rows of b.
+        for (ri, orow) in out_rows.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let arow = &a[i * lda..i * lda + k];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &b[j * ldb..j * ldb + k];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
                 }
+                *o += acc;
             }
         }
-        (false, true) => {
-            // b is [n, k]; dot rows of a with rows of b.
-            for i in 0..m {
-                let arow = &a[i * lda..i * lda + k];
-                for j in 0..n {
-                    let brow = &b[j * ldb..j * ldb + k];
-                    let mut acc = 0.0f32;
-                    for (av, bv) in arow.iter().zip(brow) {
-                        acc += av * bv;
-                    }
-                    out[i * n + j] += acc;
+    } else {
+        for (ri, orow) in out_rows.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let arow = &a[i * lda..i * lda + k];
+            for (kk, &av) in arow.iter().enumerate() {
+                // Skipping zero lhs entries wins big on sparse/masked
+                // inputs (~3x at 75% zeros) and is a wash on dense;
+                // `matmul_t` reports FLOPs net of these skips.
+                if av == 0.0 {
+                    continue;
                 }
-            }
-        }
-        (true, false) => {
-            // a is [k, m].
-            for kk in 0..k {
-                let arow = &a[kk * lda..kk * lda + m];
                 let brow = &b[kk * ldb..kk * ldb + n];
-                for (i, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut out[i * n..(i + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-        (true, true) => {
-            // a is [k, m], b is [n, k].
-            for i in 0..m {
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for kk in 0..k {
-                        acc += a[kk * lda + i] * b[j * ldb + kk];
-                    }
-                    out[i * n + j] += acc;
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
                 }
             }
         }

@@ -1,0 +1,168 @@
+//! Bit-identity of every parallelised kernel across thread counts.
+//!
+//! The pmm-par runtime partitions work by output rows, and each row is
+//! computed by exactly one worker running the same inner-loop order as
+//! the sequential kernel — so results must be *bit-identical* at any
+//! thread count, not merely close. These tests pin that contract:
+//! every kernel runs at threads ∈ {1, 2, 4, 7} on odd sizes that do
+//! not divide evenly by the chunk count, and every output is compared
+//! bitwise against the threads=1 run (which dispatches as a plain
+//! direct call, i.e. *is* the sequential baseline).
+//!
+//! Sizes are chosen to actually cross the dispatch thresholds in
+//! `tensor.rs` (`PAR_MIN_MULADDS` = 2^21, `PAR_MIN_ELEMS` = 2^18);
+//! smaller inputs would take the sequential fallback and the test
+//! would pass vacuously.
+
+use pmm_tensor::{Tensor, Var};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// 1 is the sequential baseline; 7 is odd so the row counts below
+/// never split into equal chunks.
+const THREADS: [usize; 4] = [1, 2, 4, 7];
+
+/// `pmm_par::set_threads` is process-global, so every test serialises
+/// on this lock for its whole body.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Deterministic LCG fill in [-2, 2) with exact zeros sprinkled in
+/// (~20%) so the matmul zero-skip path is exercised, not just the
+/// dense one.
+fn filled(n: usize, seed: u32) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9).wrapping_add(12345);
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            if s % 5 == 0 {
+                0.0
+            } else {
+                ((s >> 8) as f32 / (1u32 << 24) as f32) * 4.0 - 2.0
+            }
+        })
+        .collect()
+}
+
+fn tensor(shape: &[usize], seed: u32) -> Tensor {
+    Tensor::from_vec(filled(shape.iter().product(), seed), shape).unwrap()
+}
+
+/// Runs `f` once per thread count and asserts every output is
+/// bit-identical to the threads=1 run.
+fn assert_bit_identical(name: &str, f: impl Fn() -> Vec<f32>) {
+    let _g = lock();
+    pmm_par::set_threads(Some(1));
+    let reference = f();
+    for &t in &THREADS[1..] {
+        pmm_par::set_threads(Some(t));
+        let out = f();
+        assert_eq!(reference.len(), out.len(), "{name}: output length changed at threads={t}");
+        for (i, (a, b)) in reference.iter().zip(&out).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "{name}: element {i} differs at threads={t}: {a:?} vs {b:?}"
+            );
+        }
+    }
+    pmm_par::set_threads(None);
+}
+
+#[test]
+fn matmul_all_transpose_modes_match_sequential() {
+    // k*n = 16129 puts min_rows at 130, so m = 911 = 7*130 + 1 yields
+    // up to 7 workers with an uneven tail chunk at every count.
+    const M: usize = 911;
+    const K: usize = 127;
+    const N: usize = 127;
+    let a = tensor(&[M, K], 1);
+    let b = tensor(&[K, N], 2);
+    let at = tensor(&[K, M], 3);
+    let bt = tensor(&[N, K], 4);
+    assert_bit_identical("matmul_nn", || a.matmul_t(&b, false, false).into_vec());
+    assert_bit_identical("matmul_nt", || a.matmul_t(&bt, false, true).into_vec());
+    assert_bit_identical("matmul_tn", || at.matmul_t(&b, true, false).into_vec());
+    assert_bit_identical("matmul_tt", || at.matmul_t(&bt, true, true).into_vec());
+}
+
+#[test]
+fn bmm_batch_parallel_matches_sequential() {
+    // Each batch element is ~1.1M muladds, so min_batch resolves to 1
+    // and the 7 batch elements spread over up to 7 workers; the nested
+    // per-element kernel stays sequential (rows < its own threshold),
+    // exercising the IN_WORKER degradation path.
+    let a = tensor(&[7, 131, 65], 5);
+    let b_nn = tensor(&[7, 65, 127], 6);
+    let b_nt = tensor(&[7, 127, 65], 7);
+    assert_bit_identical("bmm_nn", || a.bmm_t(&b_nn, false, false).into_vec());
+    assert_bit_identical("bmm_nt", || a.bmm_t(&b_nt, false, true).into_vec());
+}
+
+#[test]
+fn elementwise_kernels_match_sequential() {
+    // 4 * 2^18 + 1 elements: up to 4 workers, odd tail element.
+    const LEN: usize = (4 << 18) + 1;
+    let x = tensor(&[LEN], 8);
+    let y = tensor(&[LEN], 9);
+    assert_bit_identical("map", || x.map(|v| v * v + 0.5).into_vec());
+    assert_bit_identical("zip_map", || x.zip_map(&y, |a, b| a * b + a).into_vec());
+    assert_bit_identical("add_assign", || {
+        let mut z = x.clone();
+        z.add_assign(&y);
+        z.into_vec()
+    });
+    assert_bit_identical("axpy", || {
+        let mut z = x.clone();
+        z.axpy(0.5, &y);
+        z.into_vec()
+    });
+}
+
+#[test]
+fn softmax_and_transpose_match_sequential() {
+    // 4099 rows of 257: min_rows = 2^18/257 = 1020 -> up to 4 workers.
+    let x = tensor(&[4099, 257], 10);
+    assert_bit_identical("softmax_last", || x.softmax_last().into_vec());
+    // transpose2 parallelises over *output* rows: 2049 rows of length
+    // 513, min_rows = 2^18/513 = 511 -> up to 4 workers.
+    let t2 = tensor(&[513, 2049], 11);
+    assert_bit_identical("transpose2", || t2.transpose2().into_vec());
+}
+
+#[test]
+fn norm_ops_match_sequential_forward_and_backward() {
+    // layer_norm: min_rows = 2^18/8/65 = 504, rows = 3547 -> 7 workers.
+    let x = tensor(&[3547, 65], 12);
+    let gamma = tensor(&[65], 13);
+    let beta = tensor(&[65], 14);
+    assert_bit_identical("layer_norm", || {
+        Var::constant(x.clone())
+            .layer_norm(&Var::constant(gamma.clone()), &Var::constant(beta.clone()), 1e-5)
+            .value()
+            .clone()
+            .into_vec()
+    });
+
+    // l2_normalize_rows: min_rows = 2^18/4/65 = 1008, rows = 4097 -> 4
+    // workers; the backward dx loop parallelises the same way.
+    let x2 = tensor(&[4097, 65], 15);
+    let w2 = tensor(&[4097, 65], 16);
+    assert_bit_identical("l2_normalize_rows", || {
+        Var::constant(x2.clone()).l2_normalize_rows().value().clone().into_vec()
+    });
+    assert_bit_identical("l2_normalize_rows_backward", || {
+        let vx = Var::leaf(x2.clone());
+        vx.l2_normalize_rows().mul(&Var::constant(w2.clone())).sum_all().backward();
+        vx.grad().expect("leaf grad").into_vec()
+    });
+
+    // softmax backward dx is row-parallel too.
+    let x3 = tensor(&[4099, 257], 17);
+    let w3 = tensor(&[4099, 257], 18);
+    assert_bit_identical("softmax_backward", || {
+        let vx = Var::leaf(x3.clone());
+        vx.softmax_last().mul(&Var::constant(w3.clone())).sum_all().backward();
+        vx.grad().expect("leaf grad").into_vec()
+    });
+}

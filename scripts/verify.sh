@@ -7,11 +7,20 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The suite runs twice: sequential and multi-threaded kernel dispatch.
+# Parallel kernels are bit-identical by construction, so both runs must
+# pass with no test seeing a different result.
+echo "==> cargo test -q (PMM_THREADS=1)"
+PMM_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (PMM_THREADS=4)"
+PMM_THREADS=4 cargo test -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
+
+echo "==> thread-scaling smoke (kernels bit-identical across worker counts)"
+cargo run --release -q -p pmm-bench --bin par_scaling
 
 echo "==> chaos smoke (fault injection: NaN steps, checkpoint corruption, IO failure)"
 cargo run --release -q -p pmm-bench --bin chaos_smoke -- --scale tiny --epochs 3
