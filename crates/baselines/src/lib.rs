@@ -24,6 +24,7 @@ pub mod features;
 pub mod gru_rec;
 pub mod morec;
 pub mod nextitnet;
+pub mod popularity;
 pub mod sasrec;
 pub mod unisrec;
 pub mod vq;
@@ -35,6 +36,7 @@ pub use fdsa::Fdsa;
 pub use gru_rec::GruRec;
 pub use morec::MoRecPP;
 pub use nextitnet::NextItNet;
+pub use popularity::Popularity;
 pub use sasrec::SasRec;
 pub use unisrec::UniSRec;
 pub use vqrec::VqRec;

@@ -1,0 +1,87 @@
+//! Global popularity ranking: the non-personalised floor every
+//! recommender must beat, and the bottom rung of the serving runtime's
+//! degradation ladder — when every model path is unavailable, the
+//! service still answers with the overall best-sellers.
+
+/// Item ranking by global interaction count, built once from training
+/// sequences. Scores are raw counts; ties resolve to the lower item id,
+/// matching the stable ordering of `recommend_top_k`.
+#[derive(Debug, Clone)]
+pub struct Popularity {
+    /// Interaction count per catalogue item.
+    counts: Vec<u64>,
+    /// All item ids sorted by descending count (ascending id on ties).
+    ranked: Vec<usize>,
+}
+
+impl Popularity {
+    /// Counts interactions over `train` for a catalogue of `n_items`.
+    /// Out-of-range ids are ignored rather than panicking (serving
+    /// infrastructure must tolerate stale logs).
+    pub fn from_sequences(n_items: usize, train: &[Vec<usize>]) -> Popularity {
+        let mut counts = vec![0u64; n_items];
+        for seq in train {
+            for &item in seq {
+                if let Some(c) = counts.get_mut(item) {
+                    *c += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<usize> = (0..n_items).collect();
+        ranked.sort_by(|&a, &b| counts[b].cmp(&counts[a]).then(a.cmp(&b)));
+        Popularity { counts, ranked }
+    }
+
+    /// Catalogue size.
+    pub fn n_items(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Interaction count of one item (0 for out-of-range ids).
+    pub fn count(&self, item: usize) -> u64 {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// The `k` most popular items with their counts as scores,
+    /// optionally skipping items in `exclude` (the user's own history).
+    pub fn top_k(&self, k: usize, exclude: &[usize]) -> Vec<(usize, u64)> {
+        self.ranked
+            .iter()
+            .filter(|item| !exclude.contains(item))
+            .take(k)
+            .map(|&item| (item, self.counts[item]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_count_with_id_tiebreak() {
+        let train = vec![vec![2, 2, 2, 0], vec![1, 1, 0], vec![3]];
+        let pop = Popularity::from_sequences(5, &train);
+        assert_eq!(pop.count(2), 3);
+        assert_eq!(pop.count(4), 0);
+        // Item 0 and 1 tie at 2 interactions -> lower id first.
+        let top: Vec<usize> = pop.top_k(5, &[]).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(top, vec![2, 0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn exclusion_and_truncation() {
+        let train = vec![vec![0, 1, 2]];
+        let pop = Popularity::from_sequences(3, &train);
+        let top = pop.top_k(2, &[0]);
+        assert_eq!(top, vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn out_of_range_interactions_are_ignored() {
+        let train = vec![vec![0, 99]];
+        let pop = Popularity::from_sequences(2, &train);
+        assert_eq!(pop.count(0), 1);
+        assert_eq!(pop.top_k(10, &[]).len(), 2);
+    }
+}

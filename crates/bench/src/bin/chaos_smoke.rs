@@ -38,6 +38,9 @@ fn main() -> Result<(), String> {
         cli.fault_plan = Some(format!("nan@1,nan@2,nan@4,ckpt@{},io@0", epochs - 1));
     }
     pmm_bench::obs::setup(&cli);
+    // The end-of-run summary reports per-kind fault counters; they only
+    // record while collection is on, so force it for this binary.
+    pmm_obs::set_enabled(true);
     let spec = cli.fault_plan.clone().unwrap_or_default();
     println!("== chaos smoke — fault plan {spec:?}, {epochs} epochs ==");
 
@@ -86,6 +89,20 @@ fn main() -> Result<(), String> {
         load.loaded.len()
     );
     println!("  faults fired: nan {nan_fired}, ckpt {ckpt_fired}, io {io_fired}");
+    // Injection coverage by kind, as the obs layer saw it — a
+    // cross-check that telemetry observed the same chaos the fault
+    // plan reports firing.
+    {
+        use pmm_obs::counter as ctr;
+        println!(
+            "  obs fault counters: nan {}, ckpt {}, io {}, slow {}, err {}",
+            ctr::FAULTS_NAN.get(),
+            ctr::FAULTS_CKPT.get(),
+            ctr::FAULTS_IO.get(),
+            ctr::FAULTS_SLOW.get(),
+            ctr::FAULTS_ERR.get(),
+        );
+    }
     std::fs::remove_dir_all(&ckpt_dir).ok();
 
     // Resilience invariants. The guard/fallback-specific ones only hold
@@ -104,6 +121,12 @@ fn main() -> Result<(), String> {
         check(report.rollbacks >= 1, "consecutive anomalies triggered a rollback");
         check(report.recoveries >= 1, "an isolated anomaly recovered");
         check(nan_fired == 3 && ckpt_fired == 1 && io_fired == 1, "every planned fault fired");
+        check(
+            pmm_obs::counter::FAULTS_NAN.get() == nan_fired
+                && pmm_obs::counter::FAULTS_CKPT.get() == ckpt_fired
+                && pmm_obs::counter::FAULTS_IO.get() == io_fired,
+            "obs fault counters agree with the plan's fired counts",
+        );
         check(seq == epochs as u64 - 1, "restore fell back past the corrupted generation");
     }
     pmm_fault::clear();

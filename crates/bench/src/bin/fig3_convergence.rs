@@ -41,6 +41,7 @@ fn curve(
         eval_every: 1,
         log_level: cli.log_level,
         start_epoch: 0,
+        guard: pmm_eval::GuardPolicy::default(),
     };
     Ok(train_model(&mut model, split, &cfg, &mut rng).curve)
 }

@@ -1,0 +1,371 @@
+//! Serving chaos test: drives the pmm-serve runtime through its four
+//! resilience guarantees, each staged deterministically:
+//!
+//! * (a) overflowing the bounded queue sheds with `Rejected` (carrying
+//!   the observed depth) instead of blocking or growing without bound;
+//! * (b) a tripped encoder breaker routes requests down the degradation
+//!   ladder — single surviving modality, then the last-good cache, then
+//!   the popularity floor — with every response tier-tagged;
+//! * (c) deadline-expired requests are cancelled between pipeline
+//!   stages (queue and encode boundaries here) and counted;
+//! * (d) with no faults injected, served top-k lists are bit-identical
+//!   to direct `recommend_top_k` calls at every worker count.
+//!
+//! With `--fault-plan SPEC` the scripted scenarios are replaced by a
+//! smoke batch under that plan: a fixed request stream is served and
+//! the binary asserts zero panics, every accepted request answered
+//! exactly once, and every response tier-tagged. `scripts/verify.sh`
+//! runs both modes at tiny scale.
+//!
+//! The process exits non-zero when any invariant is violated.
+
+use pmm_baselines::Popularity;
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_data::dataset::Dataset;
+use pmm_data::registry::DatasetId;
+use pmm_obs::counter as ctr;
+use pmm_serve::{
+    BreakerConfig, BreakerState, Component, PmmEngine, Request, Server, ServeError, ServerConfig,
+    Tier,
+};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Small serving model; every replica is seeded identically so worker
+/// engines (and the direct-call reference) are bit-identical.
+fn model_cfg() -> PmmRecConfig {
+    PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        fusion_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        ..Default::default()
+    }
+}
+
+fn engine_factory(
+    ds: Arc<Dataset>,
+    seed: u64,
+) -> impl Fn() -> PmmEngine + Send + Sync + 'static {
+    move || PmmEngine::new(PmmRec::new(model_cfg(), &ds, &mut StdRng::seed_from_u64(seed)))
+}
+
+struct Ctx {
+    dataset: Arc<Dataset>,
+    train: Vec<Vec<usize>>,
+    prefixes: Vec<Vec<usize>>,
+    seed: u64,
+}
+
+impl Ctx {
+    fn server(&self, cfg: ServerConfig) -> Server {
+        Server::start(
+            cfg,
+            engine_factory(Arc::clone(&self.dataset), self.seed),
+            Popularity::from_sequences(self.dataset.items.len(), &self.train),
+        )
+    }
+}
+
+/// Generous deadline for scenarios where time is not the subject.
+const RELAXED: Duration = Duration::from_secs(60);
+
+fn relaxed_cfg() -> ServerConfig {
+    ServerConfig {
+        workers: Some(1),
+        deadline: RELAXED,
+        breaker: BreakerConfig { window: 8, trip_failures: 1, cooldown_denials: 1_000_000 },
+        ..ServerConfig::default()
+    }
+}
+
+fn request(user: u64, prefix: Vec<usize>, k: usize) -> Request {
+    Request { user, prefix, k, exclude_seen: true, deadline: None }
+}
+
+/// (a) Queue overflow sheds deterministically: consumers are paused, so
+/// capacity + 1 submissions must shed exactly the overflow.
+fn scenario_overflow(ctx: &Ctx, check: &mut dyn FnMut(bool, &str)) {
+    let shed_before = ctr::SERVE_SHED.get();
+    let server = ctx.server(ServerConfig {
+        queue_capacity: 4,
+        start_paused: true,
+        ..relaxed_cfg()
+    });
+    let accepted: Vec<_> = (0..4)
+        .map(|u| server.submit(request(u, ctx.prefixes[0].clone(), 5)).unwrap())
+        .collect();
+    let mut sheds = 0;
+    for u in 4..6 {
+        match server.submit(request(u, ctx.prefixes[0].clone(), 5)) {
+            Err(ServeError::Rejected { queue_depth }) => {
+                sheds += 1;
+                check(queue_depth == 4, "shed rejection reports the full queue depth");
+            }
+            other => check(false, &format!("overflow submission must shed, got {other:?}")),
+        }
+    }
+    check(sheds == 2, "every submission beyond capacity shed");
+    check(ctr::SERVE_SHED.get() - shed_before == 2, "shed counter tracked both rejections");
+    server.set_paused(false);
+    let served = accepted.into_iter().map(|h| h.wait()).collect::<Vec<_>>();
+    check(
+        served.iter().all(|r| matches!(r, Ok(resp) if resp.tier == Tier::Full)),
+        "accepted backlog drained untouched at the full tier",
+    );
+    println!("  (a) overflow: 4 accepted, {sheds} shed at depth 4, backlog served in full");
+}
+
+/// (b) A tripped encoder breaker walks the ladder: single surviving
+/// modality, then the last-good cache, then the popularity floor.
+fn scenario_ladder(ctx: &Ctx, check: &mut dyn FnMut(bool, &str)) {
+    let trips_before = ctr::SERVE_BREAKER_TRIPS.get();
+    let server = ctx.server(relaxed_cfg());
+    // Occurrences (single worker): req0 errs the text gate (occ 0) and
+    // serves vision (occ 1 healthy); req1 reaches the vision rung
+    // directly (breaker denies text rungs without consuming gates) and
+    // errs it at occ 2 -> last-good cache; req2 is an unknown user with
+    // every model rung open -> popularity.
+    pmm_fault::install(pmm_fault::FaultPlan::parse("err@0,err@2").unwrap());
+    let degraded = server.call(request(7, ctx.prefixes[0].clone(), 5)).unwrap();
+    check(degraded.tier == Tier::VisionOnly, "text outage degrades to the vision rung");
+    check(
+        server.breaker_state(Component::TextEncoder) == BreakerState::Open,
+        "text breaker tripped open",
+    );
+    let cached = server.call(request(7, ctx.prefixes[0].clone(), 5)).unwrap();
+    check(cached.tier == Tier::CachedTopK, "known user falls back to the last-good cache");
+    check(cached.items == degraded.items, "cache replays the last good top-k");
+    check(
+        server.breaker_state(Component::VisionEncoder) == BreakerState::Open,
+        "vision breaker tripped open",
+    );
+    let floor = server.call(request(99, ctx.prefixes[1].clone(), 5)).unwrap();
+    pmm_fault::clear();
+    check(floor.tier == Tier::Popularity, "unknown user falls to the popularity floor");
+    check(!floor.items.is_empty(), "popularity floor returns items");
+    check(ctr::SERVE_BREAKER_TRIPS.get() - trips_before >= 2, "both encoder trips counted");
+    println!(
+        "  (b) ladder: tiers {} -> {} -> {} with text+vision breakers open",
+        degraded.tier.label(),
+        cached.tier.label(),
+        floor.tier.label()
+    );
+}
+
+/// (c) Deadline expiry cancels between stages — at the queue boundary
+/// and at the encode boundary — and each miss is counted.
+fn scenario_deadline(ctx: &Ctx, check: &mut dyn FnMut(bool, &str)) {
+    let misses_before = ctr::SERVE_DEADLINE_MISSES.get();
+    let server = ctx.server(ServerConfig {
+        start_paused: true,
+        slow_fault: Duration::from_millis(200),
+        ..relaxed_cfg()
+    });
+    // Queue-boundary miss: the deadline expires while consumers pause.
+    let stale = server
+        .submit(Request {
+            deadline: Some(Duration::from_millis(1)),
+            ..request(1, ctx.prefixes[0].clone(), 5)
+        })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    server.set_paused(false);
+    check(
+        stale.wait() == Err(ServeError::DeadlineExceeded { stage: "queue" }),
+        "expired request cancelled at the queue boundary",
+    );
+    // Encode-boundary miss: an injected stall (200 ms) blows a 25 ms
+    // budget; the stalled component is charged and trips.
+    pmm_fault::install(pmm_fault::FaultPlan::parse("slow@0").unwrap());
+    let slow = server.call(Request {
+        deadline: Some(Duration::from_millis(25)),
+        ..request(2, ctx.prefixes[0].clone(), 5)
+    });
+    check(
+        slow == Err(ServeError::DeadlineExceeded { stage: "encode" }),
+        "stalled encode cancelled at the encode boundary",
+    );
+    check(
+        server.breaker_state(Component::TextEncoder) == BreakerState::Open,
+        "the stalled component was charged with the timeout",
+    );
+    pmm_fault::clear();
+    // Service continues around the tripped path.
+    let after = server.call(request(3, ctx.prefixes[1].clone(), 5)).unwrap();
+    check(after.tier == Tier::VisionOnly, "traffic routes around the tripped component");
+    check(
+        ctr::SERVE_DEADLINE_MISSES.get() - misses_before == 2,
+        "both deadline misses counted",
+    );
+    println!("  (c) deadlines: cancelled at queue and encode boundaries, 2 misses counted");
+}
+
+/// (d) No faults: served results are bit-identical to direct
+/// `recommend_top_k` calls at every worker count.
+fn scenario_parity(ctx: &Ctx, check: &mut dyn FnMut(bool, &str)) {
+    let reference = PmmRec::new(model_cfg(), &ctx.dataset, &mut StdRng::seed_from_u64(ctx.seed));
+    let direct: Vec<_> = ctx
+        .prefixes
+        .iter()
+        .map(|p| reference.recommend_top_k(p, 10, true).unwrap())
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let server = ctx.server(ServerConfig { workers: Some(workers), ..relaxed_cfg() });
+        for (i, (prefix, want)) in ctx.prefixes.iter().zip(&direct).enumerate() {
+            match server.call(request(i as u64, prefix.clone(), 10)) {
+                Ok(resp) => {
+                    check(resp.tier == Tier::Full, "healthy requests serve the full tier");
+                    check(
+                        &resp.items == want,
+                        &format!("served top-k differs from direct call (workers {workers}, prefix {i})"),
+                    );
+                }
+                Err(e) => check(false, &format!("healthy request failed: {e}")),
+            }
+        }
+        server.shutdown();
+    }
+    println!(
+        "  (d) parity: {} prefixes bit-identical to direct recommend_top_k at 1/2/4 workers",
+        ctx.prefixes.len()
+    );
+}
+
+/// `--fault-plan` smoke: serve a fixed stream under the caller's plan;
+/// every accepted request must resolve exactly once, tier-tagged.
+fn smoke(ctx: &Ctx, spec: &str, check: &mut dyn FnMut(bool, &str)) {
+    println!("  smoke under fault plan {spec:?}");
+    let server = ctx.server(ServerConfig {
+        workers: None, // follow --threads / PMM_THREADS
+        deadline: Duration::from_millis(250),
+        slow_fault: Duration::from_millis(400),
+        ..ServerConfig::default()
+    });
+    let (mut served, mut shed, mut missed) = (0u64, 0u64, 0u64);
+    let mut tiers: Vec<&'static str> = Vec::new();
+    for round in 0..3u64 {
+        for (i, prefix) in ctx.prefixes.iter().enumerate() {
+            let user = round * 100 + i as u64;
+            match server.submit(request(user, prefix.clone(), 10)) {
+                Err(ServeError::Rejected { .. }) => shed += 1,
+                Err(e) => check(false, &format!("unexpected submit error: {e}")),
+                Ok(handle) => match handle.wait() {
+                    Ok(resp) => {
+                        served += 1;
+                        tiers.push(resp.tier.label());
+                        check(!resp.items.is_empty(), "every response carries items");
+                    }
+                    Err(ServeError::DeadlineExceeded { .. }) => missed += 1,
+                    Err(e) => check(false, &format!("unexpected serve error: {e}")),
+                },
+            }
+        }
+    }
+    let submitted = 3 * ctx.prefixes.len() as u64;
+    check(
+        served + shed + missed == submitted,
+        "every submission resolved exactly once (served, shed, or missed)",
+    );
+    check(served > 0, "the stream was not fully starved");
+    let (slow_fired, err_fired) = pmm_fault::fired_encode();
+    pmm_fault::clear();
+    println!(
+        "  {submitted} submitted: {served} served, {shed} shed, {missed} deadline-missed; encoder faults fired: slow {slow_fired}, err {err_fired}"
+    );
+    let mut dist: Vec<(&str, usize)> = Vec::new();
+    for t in tiers {
+        match dist.iter_mut().find(|(name, _)| *name == t) {
+            Some((_, n)) => *n += 1,
+            None => dist.push((t, 1)),
+        }
+    }
+    let dist = dist.iter().map(|(t, n)| format!("{t} {n}")).collect::<Vec<_>>().join(", ");
+    println!("  tier distribution: {dist}");
+}
+
+fn main() -> Result<(), String> {
+    let cli = Cli::from_env();
+    let custom_plan = cli.fault_plan.clone();
+    pmm_bench::obs::setup(&cli);
+    // Counters are the evidence this binary checks; force them on even
+    // without a sink.
+    pmm_obs::set_enabled(true);
+
+    let world = runner::world();
+    let split = runner::split(&world, DatasetId::HmClothes, &cli);
+    let prefixes: Vec<Vec<usize>> = split
+        .valid
+        .iter()
+        .take(6)
+        .map(|c| c.prefix.clone())
+        .filter(|p| !p.is_empty())
+        .collect();
+    let ctx = Ctx {
+        dataset: Arc::new(split.dataset),
+        train: split.train,
+        prefixes,
+        seed: cli.seed ^ 0x5E84E,
+    };
+    if ctx.prefixes.is_empty() {
+        return Err("dataset produced no non-empty validation prefixes".into());
+    }
+
+    let mut failures = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+
+    match &custom_plan {
+        Some(spec) => {
+            println!("== serve chaos — smoke mode ==");
+            smoke(&ctx, spec, &mut check);
+        }
+        None => {
+            println!("== serve chaos — scripted scenarios ==");
+            scenario_overflow(&ctx, &mut check);
+            scenario_ladder(&ctx, &mut check);
+            scenario_deadline(&ctx, &mut check);
+            scenario_parity(&ctx, &mut check);
+        }
+    }
+
+    let requests = ctr::SERVE_REQUESTS.get();
+    let shed = ctr::SERVE_SHED.get();
+    let shed_rate = if requests > 0 { 100.0 * shed as f64 / requests as f64 } else { 0.0 };
+    println!("== serve summary ==");
+    println!(
+        "  requests {requests}, shed {shed} ({shed_rate:.1}%), deadline misses {}, breaker trips {}, queue peak {}",
+        ctr::SERVE_DEADLINE_MISSES.get(),
+        ctr::SERVE_BREAKER_TRIPS.get(),
+        ctr::serve_queue_peak(),
+    );
+    println!(
+        "  tiers: full {}, single {}, cached {}, popularity {}",
+        ctr::SERVE_TIER_FULL.get(),
+        ctr::SERVE_TIER_SINGLE.get(),
+        ctr::SERVE_TIER_CACHED.get(),
+        ctr::SERVE_TIER_POP.get(),
+    );
+    pmm_bench::obs::finish("serve_chaos");
+    if failures.is_empty() {
+        match &custom_plan {
+            Some(_) => println!(
+                "serve chaos PASSED: stream served under the fault plan, every response tier-tagged"
+            ),
+            None => println!("serve chaos PASSED: shedding, ladder, deadlines, and parity all held"),
+        }
+        Ok(())
+    } else {
+        Err(format!("serve chaos FAILED: {}", failures.join("; ")))
+    }
+}

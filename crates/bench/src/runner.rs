@@ -33,6 +33,7 @@ pub fn train_cfg(cli: &Cli) -> TrainConfig {
         eval_every: 2,
         log_level: cli.log_level,
         start_epoch: 0,
+        guard: pmm_eval::GuardPolicy::default(),
     }
 }
 
@@ -138,6 +139,7 @@ pub fn pretrain_cached(
         eval_every: 2,
         log_level: cli.log_level,
         start_epoch: 0,
+        guard: pmm_eval::GuardPolicy::default(),
     };
     obs_info!("pretrain", "[{tag}] pre-training on {} users…", split.train.len());
     let result = train_model(&mut model, &split, &cfg, &mut rng);

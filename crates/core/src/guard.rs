@@ -18,7 +18,14 @@
 //! actual train loop.
 
 /// Anomaly-guard policy knobs.
-#[derive(Debug, Clone, Copy)]
+///
+/// The experiment-facing mirror of this struct is
+/// [`pmm_eval::GuardPolicy`]: `TrainConfig.guard` carries the policy
+/// into the harness, which hands it to the model via
+/// `SeqRecommender::set_guard_policy` before the first epoch — so runs
+/// can tune backoff/rollback behaviour without touching model code.
+/// The defaults here and there are identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GuardConfig {
     /// Master switch; disabled means every step is treated as normal.
     pub enabled: bool,

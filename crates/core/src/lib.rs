@@ -47,5 +47,5 @@ pub use config::{Modality, PmmRecConfig};
 pub use guard::{AnomalyGuard, GuardConfig, GuardReport, GuardVerdict};
 pub use model::PmmRec;
 pub use rating::{RatingData, RatingHead};
-pub use recommend::Recommendation;
+pub use recommend::{RecommendError, Recommendation};
 pub use transfer::TransferSetting;

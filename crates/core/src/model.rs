@@ -36,9 +36,10 @@ pub struct PmmRec {
     nid_head: Linear,
     opt: AdamW,
     name: String,
-    /// Cached `[n_items, d]` catalogue representations for scoring;
-    /// invalidated by every training epoch.
-    catalog: RefCell<Option<Tensor>>,
+    /// Cached `[n_items, d]` catalogue representations for scoring,
+    /// one slot per serving modality; invalidated by every training
+    /// epoch and by transfer loads.
+    catalog: RefCell<CatalogCache>,
     /// Telemetry from the most recent `train_epoch`.
     last_stats: Option<EpochStats>,
     /// Non-finite loss/gradient escalation state machine.
@@ -48,6 +49,35 @@ pub struct PmmRec {
     healthy_lr: Option<f32>,
     /// Monotonic count of attempted optimisation steps, for telemetry.
     step_seq: u64,
+}
+
+/// Per-modality catalogue cache: the serving runtime can rank against
+/// the fused representations or against a single encoder's CLS rows
+/// (the degraded tiers), and each path caches independently so breaker
+/// flapping doesn't thrash recomputation.
+#[derive(Default)]
+struct CatalogCache {
+    both: Option<Tensor>,
+    text: Option<Tensor>,
+    vision: Option<Tensor>,
+}
+
+impl CatalogCache {
+    fn slot(&mut self, modality: Modality) -> &mut Option<Tensor> {
+        match modality {
+            Modality::Both => &mut self.both,
+            Modality::TextOnly => &mut self.text,
+            Modality::VisionOnly => &mut self.vision,
+        }
+    }
+
+    fn get(&self, modality: Modality) -> Option<Tensor> {
+        match modality {
+            Modality::Both => self.both.clone(),
+            Modality::TextOnly => self.text.clone(),
+            Modality::VisionOnly => self.vision.clone(),
+        }
+    }
 }
 
 /// Per-step telemetry from [`PmmRec::step`]. Objective components are
@@ -107,7 +137,7 @@ impl PmmRec {
             nid_head,
             opt,
             name,
-            catalog: RefCell::new(None),
+            catalog: RefCell::new(CatalogCache::default()),
             last_stats: None,
             guard: AnomalyGuard::new(GuardConfig::default()),
             healthy_lr: None,
@@ -195,7 +225,7 @@ impl PmmRec {
             setting,
             setting.modality()
         );
-        self.catalog.replace(None);
+        self.catalog.replace(CatalogCache::default());
         checkpoint::load_filtered(&self.store, path, setting.prefixes())
     }
 
@@ -409,10 +439,55 @@ impl PmmRec {
         sq.sqrt() as f32
     }
 
+    /// Whether this model has the encoders required to serve the given
+    /// modality path: `Both` needs the fusion module, the single paths
+    /// need the matching encoder. A dual-modality model therefore
+    /// supports all three (the single paths rank against one encoder's
+    /// CLS rows — the serving runtime's degraded tiers).
+    pub fn supports_modality(&self, modality: Modality) -> bool {
+        match modality {
+            Modality::Both => self.fusion.is_some(),
+            Modality::TextOnly => self.text.is_some(),
+            Modality::VisionOnly => self.vision.is_some(),
+        }
+    }
+
+    /// The modality degradation ladder this model can serve, best path
+    /// first. `Both` models return all three rungs; single-modality
+    /// models return just their own path.
+    pub fn modality_ladder(&self) -> Vec<Modality> {
+        [Modality::Both, Modality::TextOnly, Modality::VisionOnly]
+            .into_iter()
+            .filter(|&m| self.supports_modality(m))
+            .collect()
+    }
+
+    /// Per-item representation for serving via an explicit modality
+    /// path. The caller has already checked [`PmmRec::supports_modality`].
+    fn encode_unique_via(&self, ctx: &mut Ctx<'_>, ids: &[usize], modality: Modality) -> Var {
+        match modality {
+            Modality::Both => self.encode_unique(ctx, ids).0,
+            Modality::TextOnly => {
+                self.text.as_ref().expect("text encoder").forward(ctx, &self.corpus, ids).cls
+            }
+            Modality::VisionOnly => {
+                self.vision.as_ref().expect("vision encoder").forward(ctx, &self.corpus, ids).cls
+            }
+        }
+    }
+
     /// Encodes the full catalogue with the current weights (cached).
     fn catalog_reps(&self) -> Tensor {
-        if let Some(cat) = self.catalog.borrow().as_ref() {
-            return cat.clone();
+        self.catalog_reps_via(self.cfg.modality)
+    }
+
+    /// Encodes the full catalogue through the given modality path,
+    /// caching per modality. For the model's native modality this is
+    /// exactly the scoring catalogue; the other paths back the serving
+    /// runtime's degraded tiers.
+    pub(crate) fn catalog_reps_via(&self, modality: Modality) -> Tensor {
+        if let Some(cat) = self.catalog.borrow().get(modality) {
+            return cat;
         }
         const CHUNK: usize = 64;
         let n = self.corpus.len();
@@ -421,12 +496,12 @@ impl PmmRec {
         while start < n {
             let ids: Vec<usize> = (start..(start + CHUNK).min(n)).collect();
             let mut ctx = Ctx::eval();
-            let (reps, _) = self.encode_unique(&mut ctx, &ids);
+            let reps = self.encode_unique_via(&mut ctx, &ids, modality);
             data.extend_from_slice(reps.value().data());
             start += CHUNK;
         }
         let cat = Tensor::from_vec(data, &[n, self.cfg.d]).expect("catalog numel");
-        *self.catalog.borrow_mut() = Some(cat.clone());
+        *self.catalog.borrow_mut().slot(modality) = Some(cat.clone());
         cat
     }
 
@@ -438,7 +513,13 @@ impl PmmRec {
 
     /// Final user-encoder hidden state per sequence of a padded batch.
     pub(crate) fn user_hidden_last(&self, batch: &Batch) -> Tensor {
-        let cat = self.catalog_reps();
+        self.user_hidden_last_with(&self.catalog_reps(), batch)
+    }
+
+    /// Like [`PmmRec::user_hidden_last`] but against an explicit
+    /// catalogue (the serving runtime passes the tier's catalogue so
+    /// user encoding and ranking see the same representations).
+    pub(crate) fn user_hidden_last_with(&self, cat: &Tensor, batch: &Batch) -> Tensor {
         let (b, l) = (batch.b, batch.l);
         let rows = cat.gather_rows(&batch.items);
         let mut ctx = Ctx::eval();
@@ -479,7 +560,7 @@ impl SeqRecommender for PmmRec {
     }
 
     fn train_epoch(&mut self, train: &[Vec<usize>], rng: &mut StdRng) -> f32 {
-        self.catalog.replace(None);
+        self.catalog.replace(CatalogCache::default());
         // "Last good checkpoint" for rollbacks: the epoch-start weights,
         // held in memory so recovery never touches the filesystem.
         let snapshot = self.guard.config().enabled.then(|| self.snapshot_params());
@@ -600,6 +681,15 @@ impl SeqRecommender for PmmRec {
 
     fn epoch_stats(&self) -> Option<EpochStats> {
         self.last_stats
+    }
+
+    fn set_guard_policy(&mut self, policy: pmm_eval::GuardPolicy) {
+        self.set_guard_config(GuardConfig {
+            enabled: policy.enabled,
+            max_consecutive: policy.max_consecutive,
+            lr_backoff: policy.lr_backoff,
+            min_lr: policy.min_lr,
+        });
     }
 
     fn score_cases(&self, cases: &[LeaveOneOut]) -> Vec<Vec<f32>> {
@@ -727,6 +817,7 @@ mod tests {
             eval_every: 4,
             log_level: pmm_obs::Level::Warn,
             start_epoch: 0,
+            guard: pmm_eval::GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert!(

@@ -3,11 +3,11 @@
 //! These are the APIs a downstream service would call after training or
 //! transferring a model; they reuse the cached catalogue encoding.
 
+use crate::config::Modality;
 use crate::model::PmmRec;
 use pmm_data::batch::Batch;
-use pmm_data::split::LeaveOneOut;
-use pmm_eval::SeqRecommender;
 use pmm_tensor::Tensor;
+use std::fmt;
 
 /// One recommendation: item id and its (unnormalised) score.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,6 +17,33 @@ pub struct Recommendation {
     /// Dot-product score (higher = better).
     pub score: f32,
 }
+
+/// Why a serving call could not produce recommendations. Serving must
+/// never panic on bad user input, so the request-level failure modes
+/// are typed and a runtime can map them to a degraded answer or a
+/// client error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecommendError {
+    /// The interaction prefix was empty: there is no user signal to
+    /// encode, so no personalised ranking exists.
+    EmptyPrefix,
+    /// The requested modality path has no encoder in this model (e.g.
+    /// a text-only model asked to score vision-only).
+    UnsupportedModality(Modality),
+}
+
+impl fmt::Display for RecommendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecommendError::EmptyPrefix => write!(f, "empty interaction prefix"),
+            RecommendError::UnsupportedModality(m) => {
+                write!(f, "model has no encoder for the {m:?} path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecommendError {}
 
 impl PmmRec {
     /// The `[n_items, d]` item representations (`e^cls` per item) under
@@ -47,15 +74,67 @@ impl PmmRec {
     /// Ranks the whole catalogue for a user prefix and returns the top
     /// `k` items. `exclude_seen` removes items already in the prefix
     /// (the usual deployment behaviour).
-    #[track_caller]
-    pub fn recommend_top_k(&self, prefix: &[usize], k: usize, exclude_seen: bool) -> Vec<Recommendation> {
-        assert!(!prefix.is_empty(), "recommend_top_k: empty prefix");
-        let case = LeaveOneOut {
-            prefix: prefix.to_vec(),
-            target: 0, // unused: we keep the full score row
-        };
-        let scores = self.score_cases(std::slice::from_ref(&case)).remove(0);
-        top_k_chunked(&scores, k, |item| !exclude_seen || !prefix.contains(&item))
+    ///
+    /// This is the one-call composition of the staged serving API
+    /// ([`PmmRec::serve_catalog`] → [`PmmRec::serve_user_vector`] →
+    /// [`PmmRec::serve_rank`]) over the model's native modality, so a
+    /// serving runtime that runs the stages itself — to check deadlines
+    /// between them — produces bit-identical results.
+    pub fn recommend_top_k(
+        &self,
+        prefix: &[usize],
+        k: usize,
+        exclude_seen: bool,
+    ) -> Result<Vec<Recommendation>, RecommendError> {
+        let catalog = self.serve_catalog(self.config().modality)?;
+        let user = self.serve_user_vector(&catalog, prefix)?;
+        Ok(self.serve_rank(&catalog, &user, prefix, k, exclude_seen))
+    }
+
+    // ------------------------------------------------------------------
+    // Staged serving API: the three pipeline stages a serving runtime
+    // drives individually (encode -> user-encode -> rank), with
+    // cancellation points between them.
+    // ------------------------------------------------------------------
+
+    /// Stage 1 — the `[n_items, d]` catalogue under the given modality
+    /// path (cached per modality until the next weight change).
+    pub fn serve_catalog(&self, modality: Modality) -> Result<Tensor, RecommendError> {
+        if !self.supports_modality(modality) {
+            return Err(RecommendError::UnsupportedModality(modality));
+        }
+        Ok(self.catalog_reps_via(modality))
+    }
+
+    /// Stage 2 — encodes one interaction prefix into a `[1, d]` user
+    /// vector against the stage-1 catalogue.
+    pub fn serve_user_vector(
+        &self,
+        catalog: &Tensor,
+        prefix: &[usize],
+    ) -> Result<Tensor, RecommendError> {
+        if prefix.is_empty() {
+            return Err(RecommendError::EmptyPrefix);
+        }
+        let max_len = self.config().max_len;
+        let clipped = &prefix[prefix.len().saturating_sub(max_len)..];
+        let batch = Batch::from_sequences(&[clipped], max_len);
+        Ok(self.user_hidden_last_with(catalog, &batch))
+    }
+
+    /// Stage 3 — scores the catalogue against the user vector and
+    /// returns the top `k` (chunk-parallel, bit-identical at every
+    /// worker count).
+    pub fn serve_rank(
+        &self,
+        catalog: &Tensor,
+        user: &Tensor,
+        prefix: &[usize],
+        k: usize,
+        exclude_seen: bool,
+    ) -> Vec<Recommendation> {
+        let scores = user.matmul_t(catalog, false, true);
+        top_k_chunked(scores.data(), k, |item| !exclude_seen || !prefix.contains(&item))
     }
 }
 
@@ -92,7 +171,9 @@ mod tests {
     use super::*;
     use crate::{PmmRec, PmmRecConfig};
     use pmm_data::registry::{build_dataset, DatasetId, Scale};
+    use pmm_data::split::LeaveOneOut;
     use pmm_data::world::{World, WorldConfig};
+    use pmm_eval::SeqRecommender;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -131,7 +212,7 @@ mod tests {
     fn recommend_returns_sorted_unseen_items() {
         let (m, ds) = model();
         let prefix = [0usize, 1, 2];
-        let recs = m.recommend_top_k(&prefix, 5, true);
+        let recs = m.recommend_top_k(&prefix, 5, true).unwrap();
         assert_eq!(recs.len(), 5.min(ds.items.len() - prefix.len()));
         for w in recs.windows(2) {
             assert!(w[0].score >= w[1].score);
@@ -145,7 +226,7 @@ mod tests {
     fn recommend_scores_match_trait_scoring() {
         let (m, _) = model();
         let prefix = [0usize, 1];
-        let recs = m.recommend_top_k(&prefix, 3, false);
+        let recs = m.recommend_top_k(&prefix, 3, false).unwrap();
         let case = LeaveOneOut { prefix: prefix.to_vec(), target: 0 };
         let scores = m.score_cases(&[case]).remove(0);
         for r in &recs {
@@ -161,7 +242,7 @@ mod tests {
         let n = (1usize << 17) + 3;
         let scores: Vec<f32> =
             (0..n).map(|i| ((i * 2_654_435_761) % 97) as f32 / 97.0).collect();
-        let keep = |item: usize| item % 13 != 0;
+        let keep = |item: usize| !item.is_multiple_of(13);
         let mut naive: Vec<Recommendation> = scores
             .iter()
             .enumerate()
@@ -179,10 +260,72 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty prefix")]
-    fn empty_prefix_rejected() {
+    fn empty_prefix_returns_typed_error() {
         let (m, _) = model();
-        let _ = m.recommend_top_k(&[], 5, false);
+        assert_eq!(m.recommend_top_k(&[], 5, false), Err(RecommendError::EmptyPrefix));
+        let cat = m.serve_catalog(crate::Modality::Both).unwrap();
+        assert_eq!(m.serve_user_vector(&cat, &[]), Err(RecommendError::EmptyPrefix));
+    }
+
+    #[test]
+    fn staged_serving_matches_one_call_api() {
+        let (m, _) = model();
+        let prefix = [0usize, 1, 2];
+        let direct = m.recommend_top_k(&prefix, 5, true).unwrap();
+        let cat = m.serve_catalog(crate::Modality::Both).unwrap();
+        let user = m.serve_user_vector(&cat, &prefix).unwrap();
+        let staged = m.serve_rank(&cat, &user, &prefix, 5, true);
+        assert_eq!(direct, staged, "stage composition must be bit-identical");
+    }
+
+    #[test]
+    fn dual_model_serves_every_ladder_rung() {
+        let (m, ds) = model();
+        assert_eq!(
+            m.modality_ladder(),
+            vec![crate::Modality::Both, crate::Modality::TextOnly, crate::Modality::VisionOnly]
+        );
+        let prefix = [0usize, 1];
+        let mut per_tier = Vec::new();
+        for modality in m.modality_ladder() {
+            let cat = m.serve_catalog(modality).unwrap();
+            assert_eq!(cat.shape(), &[ds.items.len(), 16]);
+            let user = m.serve_user_vector(&cat, &prefix).unwrap();
+            let recs = m.serve_rank(&cat, &user, &prefix, 5, false);
+            assert!(recs.iter().all(|r| r.score.is_finite()), "{modality:?}");
+            per_tier.push(recs);
+        }
+        // The degraded paths rank against different representations, so
+        // they must not be byte-copies of the full path.
+        assert_ne!(per_tier[0], per_tier[1]);
+        assert_ne!(per_tier[0], per_tier[2]);
+    }
+
+    #[test]
+    fn unsupported_modality_is_a_typed_error() {
+        let world = World::new(WorldConfig::default());
+        let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+        let mut rng = StdRng::seed_from_u64(0);
+        let cfg = PmmRecConfig {
+            d: 16,
+            heads: 2,
+            text_layers: 1,
+            vision_layers: 1,
+            user_layers: 1,
+            dropout: 0.0,
+            modality: crate::Modality::TextOnly,
+            ..Default::default()
+        };
+        let m = PmmRec::new(cfg, &ds, &mut rng);
+        assert_eq!(m.modality_ladder(), vec![crate::Modality::TextOnly]);
+        assert_eq!(
+            m.serve_catalog(crate::Modality::VisionOnly),
+            Err(RecommendError::UnsupportedModality(crate::Modality::VisionOnly))
+        );
+        assert_eq!(
+            m.serve_catalog(crate::Modality::Both),
+            Err(RecommendError::UnsupportedModality(crate::Modality::Both))
+        );
     }
 
     /// Degrades a few catalogue items to one (or zero) modalities.
@@ -215,7 +358,7 @@ mod tests {
         // items' — must be finite.
         assert!(m.item_representations().all_finite());
         // Serving a prefix that runs *through* degraded items works.
-        let recs = m.recommend_top_k(&[0, 1, 2, 4], 5, false);
+        let recs = m.recommend_top_k(&[0, 1, 2, 4], 5, false).unwrap();
         assert!(!recs.is_empty());
         assert!(recs.iter().all(|r| r.score.is_finite()));
         // And full eval over leave-one-out cases stays finite.
@@ -267,7 +410,7 @@ mod tests {
             };
             let m = PmmRec::new(cfg, &ds, &mut rng);
             assert!(m.item_representations().all_finite(), "{modality:?}");
-            let recs = m.recommend_top_k(&[0, 2], 3, false);
+            let recs = m.recommend_top_k(&[0, 2], 3, false).unwrap();
             assert!(recs.iter().all(|r| r.score.is_finite()), "{modality:?}");
         }
     }

@@ -1,0 +1,73 @@
+//! Observability and determinism of the degraded-encode path: items
+//! whose text tokens or vision patches have the wrong length are
+//! padded/clipped instead of erroring, and every such item bumps
+//! `pmm_obs::counter::DEGRADED_ENCODES` exactly once per modality
+//! encode.
+//!
+//! This lives in its own integration-test binary because the counter
+//! is process-global: parallel unit tests that also encode would make
+//! exact-delta assertions racy. Keep this file to a single `#[test]`.
+
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::world::{World, WorldConfig};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn degraded_encodes_count_exactly_and_stay_bit_identical_across_threads() {
+    let world = World::new(WorldConfig::default());
+    let mut ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 42);
+    assert!(ds.items.len() >= 4);
+    // Damage four items: short text, long text, short patches, and one
+    // item degraded in both modalities.
+    ds.items[0].tokens.truncate(1);
+    ds.items[1].tokens.push(3);
+    let half = ds.items[2].patches.len() / 2;
+    ds.items[2].patches.truncate(half);
+    ds.items[3].tokens.clear();
+    ds.items[3].patches.push(0.5);
+    // A full-catalogue encode sees each item once per modality: text
+    // pads/clips items {0, 1, 3}, vision pads/clips items {2, 3}.
+    let expected = 3 + 2;
+
+    let cfg = PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        fusion_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        ..Default::default()
+    };
+    let model = |ds: &pmm_data::dataset::Dataset| {
+        PmmRec::new(cfg, ds, &mut StdRng::seed_from_u64(11))
+    };
+
+    pmm_obs::set_enabled(true);
+    let base = pmm_obs::counter::DEGRADED_ENCODES.get();
+
+    pmm_par::set_threads(Some(1));
+    let reps_1 = model(&ds).item_representations();
+    let after_1 = pmm_obs::counter::DEGRADED_ENCODES.get();
+    assert_eq!(
+        after_1 - base,
+        expected,
+        "one increment per padded/clipped item per modality encode"
+    );
+    assert!(reps_1.all_finite(), "degraded items still encode to finite representations");
+
+    pmm_par::set_threads(Some(4));
+    let reps_4 = model(&ds).item_representations();
+    pmm_par::set_threads(None);
+    assert_eq!(
+        reps_1, reps_4,
+        "catalogue representations are bit-identical at 1 and 4 threads"
+    );
+    assert_eq!(
+        pmm_obs::counter::DEGRADED_ENCODES.get() - after_1,
+        expected,
+        "the degraded count is thread-count independent"
+    );
+}

@@ -8,6 +8,33 @@ use pmm_obs::{obs_log, EpochRecord, EpochStats, Level};
 use rand::rngs::StdRng;
 use std::time::Instant;
 
+/// Anomaly-guard policy knobs, lifted out of the model so experiment
+/// configs and chaos recipes can tune them per run. The harness hands
+/// these to the model via [`SeqRecommender::set_guard_policy`] before
+/// the first epoch; models without a guard ignore them.
+///
+/// The defaults mirror the guard's historical hard-coded values:
+/// tolerate up to 3 consecutive anomalous steps before rolling back,
+/// halve the learning rate per anomalous step, and never back off
+/// below `1e-6`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardPolicy {
+    /// Master switch; disabled treats every step as normal.
+    pub enabled: bool,
+    /// Consecutive anomalous steps tolerated before a rollback.
+    pub max_consecutive: usize,
+    /// Multiplicative learning-rate backoff applied per anomalous step.
+    pub lr_backoff: f32,
+    /// Floor under the backed-off learning rate.
+    pub min_lr: f32,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy { enabled: true, max_consecutive: 3, lr_backoff: 0.5, min_lr: 1e-6 }
+    }
+}
+
 /// Harness configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
@@ -29,6 +56,9 @@ pub struct TrainConfig {
     /// `pmm_nn::checkpoint::CheckpointRotation::load_latest`, whose
     /// returned sequence number is the natural value here).
     pub start_epoch: usize,
+    /// Anomaly-guard policy applied to the model before the first
+    /// epoch (see [`GuardPolicy`]); models without a guard ignore it.
+    pub guard: GuardPolicy,
 }
 
 impl Default for TrainConfig {
@@ -39,6 +69,7 @@ impl Default for TrainConfig {
             eval_every: 1,
             log_level: Level::Warn,
             start_epoch: 0,
+            guard: GuardPolicy::default(),
         }
     }
 }
@@ -90,6 +121,7 @@ pub fn train_model(
     let mut best_score = f32::NEG_INFINITY;
     let mut rounds_since_best = 0usize;
 
+    model.set_guard_policy(cfg.guard);
     let first = cfg.start_epoch + 1;
     for epoch in first..=cfg.max_epochs.max(first) {
         let flops_before = pmm_obs::counter::MATMUL_FLOPS.get();
@@ -204,6 +236,7 @@ mod tests {
             eval_every: 1,
             log_level: Level::Warn,
             start_epoch: 0,
+            guard: GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert_eq!(result.curve.len(), 8);
@@ -230,6 +263,7 @@ mod tests {
             eval_every: 1,
             log_level: Level::Warn,
             start_epoch: 0,
+            guard: GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert!(result.curve.len() <= 4, "ran {} rounds", result.curve.len());
@@ -251,6 +285,7 @@ mod tests {
             eval_every: 2,
             log_level: Level::Warn,
             start_epoch: 0,
+            guard: GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         assert_eq!(result.curve.len(), 3);
@@ -273,6 +308,7 @@ mod tests {
             eval_every: 1,
             log_level: Level::Warn,
             start_epoch: 5,
+            guard: GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         let epochs: Vec<usize> = result.curve.iter().map(|p| p.epoch).collect();
@@ -331,6 +367,7 @@ mod tests {
             eval_every: 1,
             log_level: Level::Warn,
             start_epoch: 0,
+            guard: GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         // Epochs 1-2 are anomalous: no curve point, no NaN anywhere,
@@ -358,6 +395,7 @@ mod tests {
             eval_every: 1,
             log_level: Level::Warn,
             start_epoch: 0,
+            guard: GuardPolicy::default(),
         };
         let result = train_model(&mut model, &split, &cfg, &mut rng);
         for p in &result.curve {

@@ -11,7 +11,7 @@ pub mod metrics;
 pub mod recommender;
 pub mod significance;
 
-pub use harness::{train_model, ConvergencePoint, TrainConfig, TrainResult};
+pub use harness::{train_model, ConvergencePoint, GuardPolicy, TrainConfig, TrainResult};
 pub use metrics::{evaluate_cases, evaluate_ranks, mrr, rank_of_target, ranks_for_cases, MetricSet, TOP_KS};
 pub use recommender::SeqRecommender;
 pub use significance::{paired_bootstrap, BootstrapReport};

@@ -29,6 +29,11 @@ pub trait SeqRecommender {
     /// Scores the full catalogue for each case's prefix. Returns one
     /// `n_items()`-sized score row per case (higher = better).
     fn score_cases(&self, cases: &[LeaveOneOut]) -> Vec<Vec<f32>>;
+
+    /// Applies the run's anomaly-guard policy (LR backoff, rollback
+    /// thresholds) before training starts. The default is a no-op so
+    /// guard-less models (all baselines) ignore it.
+    fn set_guard_policy(&mut self, _policy: crate::harness::GuardPolicy) {}
 }
 
 #[cfg(test)]

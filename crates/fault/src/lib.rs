@@ -6,7 +6,7 @@
 //! skip, LR backoff, rollback, checkpoint fallback, IO retry) can be
 //! exercised reproducibly in tests and in the `chaos_smoke` binary.
 //!
-//! Three trip points are offered to the rest of the workspace:
+//! Four trip points are offered to the rest of the workspace:
 //!
 //! * [`trip_nan_loss`] — consulted once per optimisation step; when it
 //!   fires, the training loop poisons that step's loss with NaN.
@@ -16,9 +16,17 @@
 //! * [`with_io_retry`] — wraps a fallible IO operation; the plan can
 //!   force the first attempt of the N-th guarded operation to fail,
 //!   exercising the retry-with-backoff path.
+//! * [`trip_encode`] — consulted once per serving-side encoder call;
+//!   the plan can make the N-th call fail (`err@N`) or stall (`slow@N`)
+//!   so the serving runtime's circuit breakers, deadlines, and
+//!   degradation ladder can be exercised deterministically.
 //!
 //! With no plan installed every trip point is a no-op costing one
 //! atomic load, so production code can call them unconditionally.
+//!
+//! Every fault that actually fires also bumps the per-kind
+//! `pmm_obs::counter::FAULTS_*` counter (when collection is enabled),
+//! so chaos binaries can report injection coverage by kind.
 //!
 //! Plans are process-global (faults cross crate boundaries exactly as
 //! real ones do). Tests that install plans must serialise on
@@ -38,17 +46,29 @@ pub struct FaultPlan {
     /// Guarded IO operations whose first attempt fails with an
     /// injected `io::Error` (the retry succeeds).
     pub io_failures: Vec<u64>,
+    /// Serving-side encoder calls that stall (simulated overload; the
+    /// caller sleeps its configured slow duration, typically long
+    /// enough to blow a request deadline).
+    pub slow_encodes: Vec<u64>,
+    /// Serving-side encoder calls that fail outright (the circuit
+    /// breaker's error window sees these).
+    pub err_encodes: Vec<u64>,
 }
 
 impl FaultPlan {
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.nan_steps.is_empty() && self.corrupt_saves.is_empty() && self.io_failures.is_empty()
+        self.nan_steps.is_empty()
+            && self.corrupt_saves.is_empty()
+            && self.io_failures.is_empty()
+            && self.slow_encodes.is_empty()
+            && self.err_encodes.is_empty()
     }
 
     /// Parses a plan spec: comma-separated `kind@N` tokens where kind
-    /// is `nan` (training step), `ckpt` (rotating save) or `io`
-    /// (guarded IO operation), e.g. `"nan@3,nan@4,ckpt@1,io@0"`.
+    /// is `nan` (training step), `ckpt` (rotating save), `io` (guarded
+    /// IO operation), `slow` or `err` (serving encoder call), e.g.
+    /// `"nan@3,nan@4,ckpt@1,io@0,slow@2,err@5"`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -62,12 +82,18 @@ impl FaultPlan {
                 "nan" => plan.nan_steps.push(n),
                 "ckpt" => plan.corrupt_saves.push(n),
                 "io" => plan.io_failures.push(n),
-                other => return Err(format!("unknown fault kind {other:?} (use nan|ckpt|io)")),
+                "slow" => plan.slow_encodes.push(n),
+                "err" => plan.err_encodes.push(n),
+                other => {
+                    return Err(format!("unknown fault kind {other:?} (use nan|ckpt|io|slow|err)"))
+                }
             }
         }
         plan.nan_steps.sort_unstable();
         plan.corrupt_saves.sort_unstable();
         plan.io_failures.sort_unstable();
+        plan.slow_encodes.sort_unstable();
+        plan.err_encodes.sort_unstable();
         Ok(plan)
     }
 }
@@ -79,9 +105,12 @@ struct ActivePlan {
     steps_seen: u64,
     saves_seen: u64,
     ios_seen: u64,
+    encodes_seen: u64,
     fired_nan: u64,
     fired_corrupt: u64,
     fired_io: u64,
+    fired_slow: u64,
+    fired_err: u64,
 }
 
 /// Fast-path switch: true only while a plan is installed.
@@ -113,6 +142,14 @@ pub fn fired() -> (u64, u64, u64) {
     }
 }
 
+/// Counts of serving-encoder faults fired so far: `(slow, err)`.
+pub fn fired_encode() -> (u64, u64) {
+    match active().lock().unwrap().as_ref() {
+        Some(a) => (a.fired_slow, a.fired_err),
+        None => (0, 0),
+    }
+}
+
 #[inline]
 fn armed() -> bool {
     ARMED.load(Ordering::Relaxed)
@@ -131,8 +168,43 @@ pub fn trip_nan_loss() -> bool {
     let hit = a.plan.nan_steps.binary_search(&n).is_ok();
     if hit {
         a.fired_nan += 1;
+        pmm_obs::counter::FAULTS_NAN.add(1);
     }
     hit
+}
+
+/// What an injected serving-encoder fault does to the guarded call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeFault {
+    /// The call stalls (the caller sleeps its configured slow
+    /// duration) and then succeeds — a tail-latency fault.
+    Slow,
+    /// The call fails outright — a component-error fault.
+    Err,
+}
+
+/// Consume one serving-encoder-call occurrence; `Some` when this call
+/// should misbehave. When the same occurrence is listed under both
+/// `slow@N` and `err@N`, the error wins (it is the harsher fault).
+pub fn trip_encode() -> Option<EncodeFault> {
+    if !armed() {
+        return None;
+    }
+    let mut guard = active().lock().unwrap();
+    let a = guard.as_mut()?;
+    let n = a.encodes_seen;
+    a.encodes_seen += 1;
+    if a.plan.err_encodes.binary_search(&n).is_ok() {
+        a.fired_err += 1;
+        pmm_obs::counter::FAULTS_ERR.add(1);
+        Some(EncodeFault::Err)
+    } else if a.plan.slow_encodes.binary_search(&n).is_ok() {
+        a.fired_slow += 1;
+        pmm_obs::counter::FAULTS_SLOW.add(1);
+        Some(EncodeFault::Slow)
+    } else {
+        None
+    }
 }
 
 /// Consume one rotating-save occurrence; true when the written file
@@ -148,6 +220,7 @@ pub fn trip_corrupt_save() -> bool {
     let hit = a.plan.corrupt_saves.binary_search(&n).is_ok();
     if hit {
         a.fired_corrupt += 1;
+        pmm_obs::counter::FAULTS_CKPT.add(1);
     }
     hit
 }
@@ -165,6 +238,7 @@ fn trip_io_failure() -> bool {
     let hit = a.plan.io_failures.binary_search(&n).is_ok();
     if hit {
         a.fired_io += 1;
+        pmm_obs::counter::FAULTS_IO.add(1);
     }
     hit
 }
@@ -239,11 +313,26 @@ mod tests {
 
     #[test]
     fn parse_accepts_all_kinds_and_sorts() {
-        let p = FaultPlan::parse("nan@4, nan@2,ckpt@1,io@0").unwrap();
+        let p = FaultPlan::parse("nan@4, nan@2,ckpt@1,io@0,slow@7,err@3,err@1").unwrap();
         assert_eq!(p.nan_steps, vec![2, 4]);
         assert_eq!(p.corrupt_saves, vec![1]);
         assert_eq!(p.io_failures, vec![0]);
+        assert_eq!(p.slow_encodes, vec![7]);
+        assert_eq!(p.err_encodes, vec![1, 3]);
         assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn encode_trips_fire_on_exact_occurrences_with_err_precedence() {
+        let _g = test_guard();
+        install(FaultPlan::parse("slow@0,slow@2,err@2").unwrap());
+        assert_eq!(trip_encode(), Some(EncodeFault::Slow)); // call 0
+        assert_eq!(trip_encode(), None); // call 1
+        assert_eq!(trip_encode(), Some(EncodeFault::Err)); // call 2: err wins
+        assert_eq!(trip_encode(), None); // call 3
+        assert_eq!(fired_encode(), (1, 1));
+        clear();
+        assert_eq!(trip_encode(), None);
     }
 
     #[test]

@@ -68,11 +68,61 @@ pub static DEGRADED_ENCODES: Counter = Counter::new("degraded_encodes");
 /// scoped thread; sequential fallbacks don't count).
 pub static PAR_TASKS: Counter = Counter::new("par_tasks");
 
+// --- injected-fault counts, by kind (bumped by pmm-fault when a
+// planned fault actually fires; chaos bins print these so regressions
+// in injection coverage are visible) ---
+
+/// NaN-loss faults fired (`nan@N`).
+pub static FAULTS_NAN: Counter = Counter::new("faults_nan");
+/// Checkpoint-corruption faults fired (`ckpt@N`).
+pub static FAULTS_CKPT: Counter = Counter::new("faults_ckpt");
+/// IO-failure faults fired (`io@N`).
+pub static FAULTS_IO: Counter = Counter::new("faults_io");
+/// Slow-encoder faults fired (`slow@N`).
+pub static FAULTS_SLOW: Counter = Counter::new("faults_slow");
+/// Encoder-error faults fired (`err@N`).
+pub static FAULTS_ERR: Counter = Counter::new("faults_err");
+
+// --- serving-runtime counters (pmm-serve) ---
+
+/// Requests accepted into the serving queue.
+pub static SERVE_REQUESTS: Counter = Counter::new("serve_requests");
+/// Requests shed at enqueue because the bounded queue was full.
+pub static SERVE_SHED: Counter = Counter::new("serve_shed");
+/// Requests cancelled between pipeline stages by an expired deadline.
+pub static SERVE_DEADLINE_MISSES: Counter = Counter::new("serve_deadline_misses");
+/// Circuit-breaker transitions into the open state.
+pub static SERVE_BREAKER_TRIPS: Counter = Counter::new("serve_breaker_trips");
+/// Responses served at the full dual-modality tier.
+pub static SERVE_TIER_FULL: Counter = Counter::new("serve_tier_full");
+/// Responses served from a single surviving modality.
+pub static SERVE_TIER_SINGLE: Counter = Counter::new("serve_tier_single");
+/// Responses served from the per-user last-good top-k cache.
+pub static SERVE_TIER_CACHED: Counter = Counter::new("serve_tier_cached");
+/// Responses served from the global popularity baseline.
+pub static SERVE_TIER_POP: Counter = Counter::new("serve_tier_pop");
+
 /// Currently-live tape nodes. Can dip below zero transiently if
 /// collection is toggled while a graph is alive; the peak is what
 /// matters and is monotone within an enabled window.
 static TAPE_LIVE: AtomicI64 = AtomicI64::new(0);
 static TAPE_PEAK: AtomicI64 = AtomicI64::new(0);
+
+/// High-water mark of the serving queue depth.
+static SERVE_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Record an observed serving-queue depth, keeping the high-water mark.
+#[inline]
+pub fn record_queue_depth(depth: u64) {
+    if crate::enabled() {
+        SERVE_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+/// High-water mark of the serving queue depth.
+pub fn serve_queue_peak() -> u64 {
+    SERVE_QUEUE_PEAK.load(Ordering::Relaxed)
+}
 
 /// Record a matmul of `[m, k] x [k, n]` (or the equivalent transposed
 /// layout): 2·m·k·n scalar FLOPs.
@@ -172,6 +222,20 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (IO_RETRIES.name, IO_RETRIES.get()),
         (DEGRADED_ENCODES.name, DEGRADED_ENCODES.get()),
         (PAR_TASKS.name, PAR_TASKS.get()),
+        (FAULTS_NAN.name, FAULTS_NAN.get()),
+        (FAULTS_CKPT.name, FAULTS_CKPT.get()),
+        (FAULTS_IO.name, FAULTS_IO.get()),
+        (FAULTS_SLOW.name, FAULTS_SLOW.get()),
+        (FAULTS_ERR.name, FAULTS_ERR.get()),
+        (SERVE_REQUESTS.name, SERVE_REQUESTS.get()),
+        (SERVE_SHED.name, SERVE_SHED.get()),
+        (SERVE_DEADLINE_MISSES.name, SERVE_DEADLINE_MISSES.get()),
+        (SERVE_BREAKER_TRIPS.name, SERVE_BREAKER_TRIPS.get()),
+        (SERVE_TIER_FULL.name, SERVE_TIER_FULL.get()),
+        (SERVE_TIER_SINGLE.name, SERVE_TIER_SINGLE.get()),
+        (SERVE_TIER_CACHED.name, SERVE_TIER_CACHED.get()),
+        (SERVE_TIER_POP.name, SERVE_TIER_POP.get()),
+        ("serve_queue_peak", serve_queue_peak()),
     ]
 }
 
@@ -190,11 +254,25 @@ pub fn reset_counters() {
         &IO_RETRIES,
         &DEGRADED_ENCODES,
         &PAR_TASKS,
+        &FAULTS_NAN,
+        &FAULTS_CKPT,
+        &FAULTS_IO,
+        &FAULTS_SLOW,
+        &FAULTS_ERR,
+        &SERVE_REQUESTS,
+        &SERVE_SHED,
+        &SERVE_DEADLINE_MISSES,
+        &SERVE_BREAKER_TRIPS,
+        &SERVE_TIER_FULL,
+        &SERVE_TIER_SINGLE,
+        &SERVE_TIER_CACHED,
+        &SERVE_TIER_POP,
     ] {
         c.reset();
     }
     TAPE_LIVE.store(0, Ordering::Relaxed);
     TAPE_PEAK.store(0, Ordering::Relaxed);
+    SERVE_QUEUE_PEAK.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

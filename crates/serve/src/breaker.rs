@@ -1,0 +1,221 @@
+//! Per-component circuit breakers.
+//!
+//! A component that keeps failing (injected errors, timeouts) should
+//! stop being asked: every doomed attempt burns deadline budget the
+//! rest of the pipeline needs. The breaker watches a rolling outcome
+//! window and trips open when failures accumulate; while open it
+//! denies admission so the serving loop routes straight to the next
+//! degradation rung. Recovery is probed, not assumed: after a
+//! cooldown the breaker admits exactly one half-open probe, and only
+//! a successful probe closes it again.
+//!
+//! The state machine is deliberately clock-free — cooldown is counted
+//! in *denied admissions*, not wall time — so chaos tests step it
+//! deterministically.
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Rolling outcome window length.
+    pub window: usize,
+    /// Failures within the window that trip the breaker open.
+    pub trip_failures: usize,
+    /// Denied admissions before an open breaker half-opens for a probe.
+    pub cooldown_denials: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { window: 8, trip_failures: 3, cooldown_denials: 4 }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy; all traffic admitted.
+    Closed,
+    /// Tripped; traffic denied while the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; exactly one probe is in flight.
+    HalfOpen,
+}
+
+/// One breaker; the server keeps one per [`crate::Component`] behind a
+/// mutex shared by all workers.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Rolling outcomes in the closed state (`true` = success).
+    window: std::collections::VecDeque<bool>,
+    /// Denials counted since the breaker opened.
+    denials: u64,
+    /// A half-open probe has been admitted and not yet reported.
+    probe_in_flight: bool,
+    /// Lifetime trip count.
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            cfg,
+            state: BreakerState::Closed,
+            window: std::collections::VecDeque::new(),
+            denials: 0,
+            probe_in_flight: false,
+            trips: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime trips.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Asks to route one request through the component. A denial is
+    /// the caller's cue to skip to the next degradation rung.
+    pub fn admit(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                self.denials += 1;
+                if self.denials >= self.cfg.cooldown_denials.max(1) {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = true;
+                    true // this call becomes the probe
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false // one probe at a time
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Returns an admission without an outcome — the request was
+    /// aborted before the component ran (e.g. a sibling component on
+    /// the same rung denied). A half-open probe slot is handed back so
+    /// the next admission can probe instead.
+    pub fn release(&mut self) {
+        if self.state == BreakerState::HalfOpen {
+            self.probe_in_flight = false;
+        }
+    }
+
+    /// Reports the outcome of an admitted request.
+    pub fn record(&mut self, ok: bool) {
+        match self.state {
+            BreakerState::Closed => {
+                self.window.push_back(ok);
+                while self.window.len() > self.cfg.window.max(1) {
+                    self.window.pop_front();
+                }
+                let failures = self.window.iter().filter(|&&o| !o).count();
+                if failures >= self.cfg.trip_failures.max(1) {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.probe_in_flight = false;
+                if ok {
+                    self.state = BreakerState::Closed;
+                    self.window.clear();
+                } else {
+                    self.trip();
+                }
+            }
+            // A late report after the breaker already tripped (another
+            // worker's failure raced ahead); nothing to update.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.window.clear();
+        self.denials = 0;
+        self.probe_in_flight = false;
+        self.trips += 1;
+        pmm_obs::counter::SERVE_BREAKER_TRIPS.add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { window: 4, trip_failures: 2, cooldown_denials: 3 }
+    }
+
+    #[test]
+    fn failures_in_window_trip_open() {
+        let mut b = CircuitBreaker::new(cfg());
+        assert!(b.admit());
+        b.record(true);
+        assert!(b.admit());
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.admit(), "open breaker denies traffic");
+    }
+
+    #[test]
+    fn old_failures_roll_out_of_the_window() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record(false);
+        // Four successes push the failure out of the 4-wide window.
+        for _ in 0..4 {
+            b.record(true);
+        }
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Closed, "one failure per window never trips");
+    }
+
+    #[test]
+    fn cooldown_then_successful_probe_closes() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record(false);
+        b.record(false); // trip
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit()); // denial 1
+        assert!(!b.admit()); // denial 2
+        assert!(b.admit(), "denial 3 reaches the cooldown and admits the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(), "only one probe in flight");
+        b.record(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_restarts_cooldown() {
+        let mut b = CircuitBreaker::new(cfg());
+        b.record(false);
+        b.record(false);
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit()); // probe
+        b.record(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2);
+        assert!(!b.admit(), "cooldown restarts after a failed probe");
+    }
+}

@@ -1,0 +1,159 @@
+//! Bounded MPMC work queue with explicit backpressure.
+//!
+//! The queue is the server's only buffer: when it is full, enqueue
+//! fails immediately with the observed depth (load shedding) instead
+//! of blocking the caller or growing without bound. A `pause` switch
+//! holds workers off the queue so tests can fill it to capacity
+//! deterministically before releasing the floodgate.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    paused: bool,
+    closed: bool,
+}
+
+/// A mutex+condvar MPMC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), paused: false, closed: false }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The hard capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; exact under `pause`).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Attempts to enqueue without blocking. Returns the depth after
+    /// the push, or `Err(depth)` when the queue is full or closed —
+    /// the caller sheds the request.
+    pub fn try_push(&self, item: T) -> Result<usize, usize> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(inner.items.len());
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        pmm_obs::counter::record_queue_depth(depth as u64);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (and the queue is unpaused),
+    /// or returns `None` once the queue is closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                // Drain whatever is left so no accepted request is lost.
+                return inner.items.pop_front();
+            }
+            if !inner.paused {
+                if let Some(item) = inner.items.pop_front() {
+                    return Some(item);
+                }
+            }
+            inner = self.ready.wait(inner).unwrap();
+        }
+    }
+
+    /// Holds workers off the queue (`true`) or releases them. Producers
+    /// are unaffected, so a paused queue fills to capacity and then
+    /// sheds — the deterministic overflow scenario.
+    pub fn set_paused(&self, paused: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.paused = paused;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Closes the queue: producers are rejected from now on, consumers
+    /// drain the remaining items and then observe `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_depth() {
+        let q = BoundedQueue::new(2);
+        q.set_paused(true);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(2), "overflow reports the observed depth");
+        assert_eq!(q.depth(), 2, "the shed push left no trace");
+    }
+
+    #[test]
+    fn paused_queue_holds_consumers_until_released() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.set_paused(true);
+        q.try_push(7).unwrap();
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || qc.pop());
+        // The consumer cannot make progress while paused; releasing the
+        // pause hands it the item.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.depth(), 1);
+        q.set_paused(false);
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn close_drains_then_terminates() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert!(q.try_push(3).is_err(), "closed queue rejects producers");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "drained + closed terminates consumers");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let qc = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || qc.pop());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+}

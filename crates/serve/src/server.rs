@@ -1,0 +1,705 @@
+//! The request runtime: worker pool, admission, pipeline, ladder.
+//!
+//! One `Server` owns a bounded queue and a pool of worker threads.
+//! Each worker builds its own engine replica (the model is
+//! single-threaded by design); breakers, the last-good cache, and the
+//! popularity floor are shared. A request flows:
+//!
+//! ```text
+//! submit ──bounded queue──> worker: ┌ encode ─ deadline? ─ user-encode ─ deadline? ─ rank ┐
+//!    │ full? Rejected{depth}        │   └breaker per encoder component        └breaker    │
+//!    └──────────────────────────────┴ rung failed? next ladder rung ... cached ... popularity
+//! ```
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::engine::{Component, ServeEngine};
+use crate::queue::BoundedQueue;
+use crate::Tier;
+use pmm_baselines::Popularity;
+use pmm_obs::counter as ctr;
+use pmmrec::{RecommendError, Recommendation};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads; `None` follows [`pmm_par::threads`] so the
+    /// `--threads` / `PMM_THREADS` knob governs serving too.
+    pub workers: Option<usize>,
+    /// Hard queue capacity; beyond it, submissions shed.
+    pub queue_capacity: usize,
+    /// Default per-request deadline (queue wait included).
+    pub deadline: Duration,
+    /// How long an injected `slow` encoder fault stalls. Kept longer
+    /// than `deadline` in chaos runs so slowness deterministically
+    /// becomes a deadline miss.
+    pub slow_fault: Duration,
+    /// Breaker tuning, shared by all components.
+    pub breaker: BreakerConfig,
+    /// Start with consumers paused (deterministic overflow tests);
+    /// release with [`Server::set_paused`].
+    pub start_paused: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: None,
+            queue_capacity: 64,
+            deadline: Duration::from_millis(250),
+            slow_fault: Duration::from_millis(400),
+            breaker: BreakerConfig::default(),
+            start_paused: false,
+        }
+    }
+}
+
+/// One recommendation request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller identity, keyed by the last-good cache.
+    pub user: u64,
+    /// Interaction history, most recent last.
+    pub prefix: Vec<usize>,
+    /// How many items to return.
+    pub k: usize,
+    /// Drop items already in the prefix.
+    pub exclude_seen: bool,
+    /// Per-request deadline override.
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// A request with the server's default deadline and
+    /// `exclude_seen = false`.
+    pub fn new(user: u64, prefix: Vec<usize>, k: usize) -> Request {
+        Request { user, prefix, k, exclude_seen: false, deadline: None }
+    }
+}
+
+/// A served answer, tagged with the rung that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Monotonic request id assigned at submission.
+    pub id: u64,
+    /// Echo of [`Request::user`].
+    pub user: u64,
+    /// The degradation rung that answered.
+    pub tier: Tier,
+    /// The ranked items.
+    pub items: Vec<Recommendation>,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queue was full; the request was shed at admission.
+    Rejected {
+        /// Queue depth observed at rejection.
+        queue_depth: usize,
+    },
+    /// The deadline expired; `stage` names the pipeline boundary where
+    /// the request was cancelled.
+    DeadlineExceeded {
+        /// `"queue"`, `"encode"`, `"user_encode"`, or `"rank"`.
+        stage: &'static str,
+    },
+    /// The request was malformed; nothing was enqueued.
+    BadRequest(RecommendError),
+    /// The server shut down before the request completed.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { queue_depth } => {
+                write!(f, "request shed: queue full at depth {queue_depth}")
+            }
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded at the {stage} stage")
+            }
+            ServeError::BadRequest(e) => write!(f, "bad request: {e}"),
+            ServeError::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Awaits one submitted request's outcome.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    /// The id assigned at submission.
+    pub id: u64,
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request completes (or the server closes).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+struct Job {
+    id: u64,
+    request: Request,
+    deadline: Instant,
+    reply: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    breakers: [Mutex<CircuitBreaker>; 3],
+    cache: Mutex<HashMap<u64, Vec<Recommendation>>>,
+    popularity: Popularity,
+    slow_fault: Duration,
+}
+
+fn breaker_of(shared: &Shared, c: Component) -> &Mutex<CircuitBreaker> {
+    let idx = match c {
+        Component::TextEncoder => 0,
+        Component::VisionEncoder => 1,
+        Component::Ranker => 2,
+    };
+    &shared.breakers[idx]
+}
+
+/// The serving runtime. Dropping it closes the queue and joins the
+/// workers (draining accepted requests first).
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    default_deadline: Duration,
+}
+
+impl Server {
+    /// Starts the worker pool. `factory` builds one engine per worker
+    /// thread — engines are never shared, so the model's
+    /// single-threaded internals are safe; build replicas from the
+    /// same seed for bit-identical results across workers.
+    /// `popularity` is the ladder's always-available floor.
+    pub fn start<E, F>(cfg: ServerConfig, factory: F, popularity: Popularity) -> Server
+    where
+        E: ServeEngine,
+        F: Fn() -> E + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            breakers: [
+                Mutex::new(CircuitBreaker::new(cfg.breaker)),
+                Mutex::new(CircuitBreaker::new(cfg.breaker)),
+                Mutex::new(CircuitBreaker::new(cfg.breaker)),
+            ],
+            cache: Mutex::new(HashMap::new()),
+            popularity,
+            slow_fault: cfg.slow_fault,
+        });
+        if cfg.start_paused {
+            shared.queue.set_paused(true);
+        }
+        let n_workers = cfg.workers.unwrap_or_else(pmm_par::threads).max(1);
+        let factory = Arc::new(factory);
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let factory = Arc::clone(&factory);
+                std::thread::Builder::new()
+                    .name(format!("pmm-serve-{i}"))
+                    .spawn(move || {
+                        let engine = factory();
+                        while let Some(job) = shared.queue.pop() {
+                            handle(&engine, &shared, job);
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers, next_id: AtomicU64::new(0), default_deadline: cfg.deadline }
+    }
+
+    /// Enqueues a request. Never blocks: a full queue sheds with
+    /// [`ServeError::Rejected`], a malformed request fails fast with
+    /// [`ServeError::BadRequest`].
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, ServeError> {
+        ctr::SERVE_REQUESTS.add(1);
+        if request.prefix.is_empty() {
+            return Err(ServeError::BadRequest(RecommendError::EmptyPrefix));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = Instant::now() + request.deadline.unwrap_or(self.default_deadline);
+        let (tx, rx) = mpsc::channel();
+        let job = Job { id, request, deadline, reply: tx };
+        match self.shared.queue.try_push(job) {
+            Ok(_) => Ok(ResponseHandle { id, rx }),
+            Err(queue_depth) => {
+                ctr::SERVE_SHED.add(1);
+                Err(ServeError::Rejected { queue_depth })
+            }
+        }
+    }
+
+    /// Submit and wait: the one-call convenience path.
+    pub fn call(&self, request: Request) -> Result<Response, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Pauses or releases the worker side of the queue (producers are
+    /// unaffected) — the deterministic overflow-test switch.
+    pub fn set_paused(&self, paused: bool) {
+        self.shared.queue.set_paused(paused);
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// A component breaker's current state.
+    pub fn breaker_state(&self, c: Component) -> BreakerState {
+        breaker_of(&self.shared, c).lock().unwrap().state()
+    }
+
+    /// A component breaker's lifetime trip count.
+    pub fn breaker_trips(&self, c: Component) -> u64 {
+        breaker_of(&self.shared, c).lock().unwrap().trips()
+    }
+
+    /// Closes the queue and joins the workers after they drain the
+    /// accepted backlog.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn expired(deadline: Instant) -> bool {
+    Instant::now() >= deadline
+}
+
+fn deadline_miss(job: &Job, stage: &'static str) {
+    ctr::SERVE_DEADLINE_MISSES.add(1);
+    let _ = job.reply.send(Err(ServeError::DeadlineExceeded { stage }));
+}
+
+fn respond(shared: &Shared, job: &Job, tier: Tier, items: Vec<Recommendation>) {
+    match tier {
+        Tier::Full => ctr::SERVE_TIER_FULL.add(1),
+        Tier::TextOnly | Tier::VisionOnly => ctr::SERVE_TIER_SINGLE.add(1),
+        Tier::CachedTopK => ctr::SERVE_TIER_CACHED.add(1),
+        Tier::Popularity => ctr::SERVE_TIER_POP.add(1),
+    }
+    if matches!(tier, Tier::Full | Tier::TextOnly | Tier::VisionOnly) {
+        shared.cache.lock().unwrap().insert(job.request.user, items.clone());
+    }
+    let _ = job.reply.send(Ok(Response {
+        id: job.id,
+        user: job.request.user,
+        tier,
+        items,
+    }));
+}
+
+/// Runs one request through the ladder. Every exit path sends exactly
+/// one reply.
+fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
+    let _sp = pmm_obs::span("serve_request");
+    if expired(job.deadline) {
+        deadline_miss(&job, "queue");
+        return;
+    }
+    let req = &job.request;
+
+    'ladder: for tier in engine.ladder() {
+        let components = engine.components(tier);
+        // Admission: every encoder component on this rung must admit.
+        // Components already admitted when a later one denies get
+        // released (their probe slot is returned unreported).
+        let mut admitted = Vec::new();
+        for &c in &components {
+            if breaker_of(shared, c).lock().unwrap().admit() {
+                admitted.push(c);
+            } else {
+                for &a in &admitted {
+                    breaker_of(shared, a).lock().unwrap().release();
+                }
+                continue 'ladder;
+            }
+        }
+
+        // Stage 1: encode.
+        let encoded = {
+            let _sp = pmm_obs::span("serve_encode");
+            engine.encode(tier, shared.slow_fault)
+        };
+        let encoded = match encoded {
+            Err(failed) => {
+                for &c in &components {
+                    let mut b = breaker_of(shared, c).lock().unwrap();
+                    // Only the component that errored gets an outcome;
+                    // siblings the abort skipped return their slot.
+                    if c == failed {
+                        b.record(false);
+                    } else {
+                        b.release();
+                    }
+                }
+                continue 'ladder;
+            }
+            Ok(e) => e,
+        };
+        if expired(job.deadline) {
+            // Slowness is charged to the components that stalled; the
+            // rest completed honestly.
+            for &c in &components {
+                breaker_of(shared, c).lock().unwrap().record(!encoded.slept.contains(&c));
+            }
+            deadline_miss(&job, "encode");
+            return;
+        }
+        for &c in &components {
+            breaker_of(shared, c).lock().unwrap().record(true);
+        }
+
+        // Stages 2+3 share the ranking-path breaker.
+        if !breaker_of(shared, Component::Ranker).lock().unwrap().admit() {
+            break 'ladder;
+        }
+
+        // Stage 2: user encoding.
+        let user = {
+            let _sp = pmm_obs::span("serve_user");
+            engine.user_encode(&encoded.catalog, &req.prefix)
+        };
+        let user = match user {
+            Err(_) => {
+                breaker_of(shared, Component::Ranker).lock().unwrap().record(false);
+                break 'ladder;
+            }
+            Ok(u) => u,
+        };
+        if expired(job.deadline) {
+            // The ranking path itself was healthy; the budget ran out.
+            breaker_of(shared, Component::Ranker).lock().unwrap().record(true);
+            deadline_miss(&job, "user_encode");
+            return;
+        }
+
+        // Stage 3: rank.
+        let items = {
+            let _sp = pmm_obs::span("serve_rank");
+            engine.rank(&encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen)
+        };
+        breaker_of(shared, Component::Ranker).lock().unwrap().record(true);
+        respond(shared, &job, tier, items);
+        return;
+    }
+
+    // Model-free fallbacks: never compute, so no deadline risk beyond
+    // this final check.
+    if expired(job.deadline) {
+        deadline_miss(&job, "rank");
+        return;
+    }
+    let cached = shared.cache.lock().unwrap().get(&req.user).cloned();
+    if let Some(mut items) = cached {
+        items.truncate(req.k);
+        respond(shared, &job, Tier::CachedTopK, items);
+        return;
+    }
+    let exclude: &[usize] = if req.exclude_seen { &req.prefix } else { &[] };
+    let items = shared
+        .popularity
+        .top_k(req.k, exclude)
+        .into_iter()
+        .map(|(item, count)| Recommendation { item, score: count as f32 })
+        .collect();
+    respond(shared, &job, Tier::Popularity, items);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Encoded;
+    use pmm_tensor::Tensor;
+
+    /// A model-free engine with the same fault-gate behaviour as the
+    /// real one: catalogue scores descend with item id and carry a
+    /// per-rung offset so tests can tell tiers apart by score.
+    struct StubEngine {
+        n: usize,
+        rungs: Vec<Tier>,
+    }
+
+    impl StubEngine {
+        fn full() -> StubEngine {
+            StubEngine { n: 10, rungs: vec![Tier::Full, Tier::TextOnly, Tier::VisionOnly] }
+        }
+    }
+
+    fn tier_offset(tier: Tier) -> f32 {
+        match tier {
+            Tier::Full => 0.0,
+            Tier::TextOnly => 1000.0,
+            Tier::VisionOnly => 2000.0,
+            _ => 0.0,
+        }
+    }
+
+    impl ServeEngine for StubEngine {
+        fn n_items(&self) -> usize {
+            self.n
+        }
+
+        fn ladder(&self) -> Vec<Tier> {
+            self.rungs.clone()
+        }
+
+        fn components(&self, tier: Tier) -> Vec<Component> {
+            match tier {
+                Tier::Full => vec![Component::TextEncoder, Component::VisionEncoder],
+                Tier::TextOnly => vec![Component::TextEncoder],
+                Tier::VisionOnly => vec![Component::VisionEncoder],
+                _ => Vec::new(),
+            }
+        }
+
+        fn encode(&self, tier: Tier, slow_fault: Duration) -> Result<Encoded, Component> {
+            let mut slept = Vec::new();
+            for component in self.components(tier) {
+                match pmm_fault::trip_encode() {
+                    Some(pmm_fault::EncodeFault::Err) => return Err(component),
+                    Some(pmm_fault::EncodeFault::Slow) => {
+                        std::thread::sleep(slow_fault);
+                        slept.push(component);
+                    }
+                    None => {}
+                }
+            }
+            let off = tier_offset(tier);
+            let data: Vec<f32> = (0..self.n).map(|i| off + (self.n - i) as f32).collect();
+            let catalog = Tensor::from_vec(data, &[self.n, 1]).unwrap();
+            Ok(Encoded { catalog, slept })
+        }
+
+        fn user_encode(
+            &self,
+            _catalog: &Tensor,
+            prefix: &[usize],
+        ) -> Result<Tensor, RecommendError> {
+            if prefix.is_empty() {
+                return Err(RecommendError::EmptyPrefix);
+            }
+            Ok(Tensor::from_vec(vec![1.0], &[1, 1]).unwrap())
+        }
+
+        fn rank(
+            &self,
+            catalog: &Tensor,
+            user: &Tensor,
+            prefix: &[usize],
+            k: usize,
+            exclude_seen: bool,
+        ) -> Vec<Recommendation> {
+            let u = user.data()[0];
+            let mut all: Vec<Recommendation> = catalog
+                .data()
+                .iter()
+                .enumerate()
+                .map(|(item, &s)| Recommendation { item, score: s * u })
+                .filter(|r| !exclude_seen || !prefix.contains(&r.item))
+                .collect();
+            all.sort_by(|a, b| b.score.total_cmp(&a.score));
+            all.truncate(k);
+            all
+        }
+    }
+
+    fn pop() -> Popularity {
+        Popularity::from_sequences(10, &[vec![5, 5, 5, 3, 3], vec![5, 1]])
+    }
+
+    fn cfg() -> ServerConfig {
+        ServerConfig {
+            workers: Some(1),
+            deadline: Duration::from_secs(10),
+            breaker: BreakerConfig { window: 4, trip_failures: 1, cooldown_denials: 1000 },
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_requests_serve_the_full_tier() {
+        let _fg = pmm_fault::test_guard();
+        let server = Server::start(cfg(), StubEngine::full, pop());
+        let resp = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
+        assert_eq!(resp.tier, Tier::Full);
+        assert_eq!(resp.items.len(), 3);
+        // Full-tier scores carry no offset and descend with item id.
+        assert_eq!(resp.items[0], Recommendation { item: 0, score: 10.0 });
+        assert_eq!(resp.items[1], Recommendation { item: 1, score: 9.0 });
+    }
+
+    #[test]
+    fn empty_prefix_is_rejected_at_submission() {
+        let _fg = pmm_fault::test_guard();
+        let server = Server::start(cfg(), StubEngine::full, pop());
+        let err = server.submit(Request::new(1, vec![], 3)).unwrap_err();
+        assert_eq!(err, ServeError::BadRequest(RecommendError::EmptyPrefix));
+    }
+
+    #[test]
+    fn full_queue_sheds_with_observed_depth() {
+        let _fg = pmm_fault::test_guard();
+        let server = Server::start(
+            ServerConfig { queue_capacity: 2, start_paused: true, ..cfg() },
+            StubEngine::full,
+            pop(),
+        );
+        let h1 = server.submit(Request::new(1, vec![0], 2)).unwrap();
+        let h2 = server.submit(Request::new(2, vec![0], 2)).unwrap();
+        let shed = server.submit(Request::new(3, vec![0], 2)).unwrap_err();
+        assert_eq!(shed, ServeError::Rejected { queue_depth: 2 });
+        // Releasing the pause drains the accepted backlog untouched.
+        server.set_paused(false);
+        assert!(h1.wait().is_ok());
+        assert!(h2.wait().is_ok());
+    }
+
+    #[test]
+    fn encoder_errors_walk_down_the_ladder() {
+        let _fg = pmm_fault::test_guard();
+        pmm_fault::install(pmm_fault::FaultPlan::parse("err@0").unwrap());
+        let server = Server::start(cfg(), StubEngine::full, pop());
+        // Full: the text gate errs -> text breaker trips open; TextOnly
+        // is denied admission; VisionOnly serves.
+        let resp = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(resp.tier, Tier::VisionOnly);
+        assert!(resp.items[0].score >= 2000.0, "vision-rung scores carry the offset");
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Open);
+        assert_eq!(server.breaker_trips(Component::TextEncoder), 1);
+        assert_eq!(server.breaker_state(Component::VisionEncoder), BreakerState::Closed);
+    }
+
+    #[test]
+    fn slow_fault_cancels_at_the_encode_boundary() {
+        let _fg = pmm_fault::test_guard();
+        pmm_fault::install(pmm_fault::FaultPlan::parse("slow@0").unwrap());
+        let server = Server::start(
+            ServerConfig {
+                deadline: Duration::from_millis(30),
+                slow_fault: Duration::from_millis(120),
+                ..cfg()
+            },
+            StubEngine::full,
+            pop(),
+        );
+        let err = server.call(Request::new(1, vec![0, 1], 3)).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { stage: "encode" });
+        // The stalled component was charged with a timeout failure; the
+        // healthy sibling was not.
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Open);
+        assert_eq!(server.breaker_state(Component::VisionEncoder), BreakerState::Closed);
+        // The next request routes around the tripped text path.
+        let resp = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(resp.tier, Tier::VisionOnly);
+    }
+
+    #[test]
+    fn cache_then_popularity_when_every_model_path_is_down() {
+        let _fg = pmm_fault::test_guard();
+        // Request 0 is healthy (occurrences 0-1); request 1 errs on
+        // both surviving gates (occurrences 2-3), tripping both
+        // encoder breakers.
+        pmm_fault::install(pmm_fault::FaultPlan::parse("err@2,err@3").unwrap());
+        let server = Server::start(cfg(), StubEngine::full, pop());
+        let healthy = server.call(Request::new(7, vec![0, 1], 3)).unwrap();
+        assert_eq!(healthy.tier, Tier::Full);
+
+        // Known user: the last-good cache answers.
+        let cached = server.call(Request::new(7, vec![0, 1], 2)).unwrap();
+        assert_eq!(cached.tier, Tier::CachedTopK);
+        assert_eq!(cached.items, healthy.items[..2].to_vec(), "cache replays the last good top-k");
+
+        // Unknown user with everything down: the popularity floor.
+        let cold = server.call(Request::new(99, vec![4], 3)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(cold.tier, Tier::Popularity);
+        let ids: Vec<usize> = cold.items.iter().map(|r| r.item).collect();
+        assert_eq!(ids, vec![5, 3, 1], "global best-sellers in count order");
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Open);
+        assert_eq!(server.breaker_state(Component::VisionEncoder), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_heals_through_a_half_open_probe() {
+        let _fg = pmm_fault::test_guard();
+        pmm_fault::install(pmm_fault::FaultPlan::parse("err@0").unwrap());
+        let server = Server::start(
+            ServerConfig {
+                breaker: BreakerConfig { window: 4, trip_failures: 1, cooldown_denials: 3 },
+                ..cfg()
+            },
+            StubEngine::full,
+            pop(),
+        );
+        // Trip the text breaker: the Full rung errs, the TextOnly rung
+        // is denied (denial 1), VisionOnly serves.
+        let first = server.call(Request::new(1, vec![0], 2)).unwrap();
+        assert_eq!(first.tier, Tier::VisionOnly);
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Open);
+        // Next request: the Full-rung admission is denial 2, then the
+        // TextOnly-rung admission reaches the cooldown and becomes the
+        // half-open probe — it succeeds and closes the breaker.
+        let probe = server.call(Request::new(1, vec![0], 2)).unwrap();
+        assert_eq!(probe.tier, Tier::TextOnly, "the probe serves the text rung");
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Closed);
+        // Full service is restored.
+        let healed = server.call(Request::new(1, vec![0], 2)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(healed.tier, Tier::Full);
+    }
+
+    #[test]
+    fn responses_are_identical_at_every_worker_count() {
+        let _fg = pmm_fault::test_guard();
+        let mut reference: Option<Vec<Response>> = None;
+        for workers in [1usize, 2, 4] {
+            let server = Server::start(
+                ServerConfig { workers: Some(workers), ..cfg() },
+                StubEngine::full,
+                pop(),
+            );
+            let handles: Vec<ResponseHandle> = (0..8)
+                .map(|u| server.submit(Request::new(u, vec![0, 1, 2], 4)).unwrap())
+                .collect();
+            let mut got: Vec<Response> =
+                handles.into_iter().map(|h| h.wait().unwrap()).collect();
+            got.sort_by_key(|r| r.user);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "workers={workers}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end serving over the real model: served responses must be
+//! bit-identical to direct `recommend_top_k` calls at every worker
+//! count, and injected encoder faults must walk the ladder.
+
+use pmm_baselines::Popularity;
+use pmm_serve::{
+    BreakerConfig, Component, PmmEngine, Request, Server, ServerConfig, Tier,
+};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn dataset() -> pmm_data::dataset::Dataset {
+    let world = pmm_data::world::World::new(pmm_data::world::WorldConfig::default());
+    pmm_data::registry::build_dataset(
+        &world,
+        pmm_data::registry::DatasetId::HmClothes,
+        pmm_data::Scale::Tiny,
+        42,
+    )
+}
+
+fn model(ds: &pmm_data::dataset::Dataset) -> PmmRec {
+    let cfg = PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        fusion_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        ..Default::default()
+    };
+    // Same seed -> bit-identical weights in every replica.
+    PmmRec::new(cfg, ds, &mut StdRng::seed_from_u64(7))
+}
+
+fn server_cfg(workers: usize) -> ServerConfig {
+    ServerConfig {
+        workers: Some(workers),
+        deadline: Duration::from_secs(60),
+        breaker: BreakerConfig { window: 4, trip_failures: 1, cooldown_denials: 1000 },
+        ..ServerConfig::default()
+    }
+}
+
+fn popularity(ds: &pmm_data::dataset::Dataset) -> Popularity {
+    Popularity::from_sequences(ds.items.len(), &ds.sequences)
+}
+
+#[test]
+fn served_topk_is_bit_identical_to_direct_calls_at_every_worker_count() {
+    let _fg = pmm_fault::test_guard();
+    let ds = dataset();
+    let reference = model(&ds);
+    let prefixes: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3], vec![1, 4, 2, 0], vec![5, 5]];
+    let direct: Vec<Vec<pmmrec::Recommendation>> = prefixes
+        .iter()
+        .map(|p| reference.recommend_top_k(p, 5, true).unwrap())
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        let ds_f = ds.clone();
+        let server = Server::start(
+            server_cfg(workers),
+            move || PmmEngine::new(model(&ds_f)),
+            popularity(&ds),
+        );
+        for (p, want) in prefixes.iter().zip(&direct) {
+            let resp = server.call(Request {
+                user: 1,
+                prefix: p.clone(),
+                k: 5,
+                exclude_seen: true,
+                deadline: None,
+            })
+            .unwrap();
+            assert_eq!(resp.tier, Tier::Full, "workers={workers}");
+            assert_eq!(&resp.items, want, "workers={workers} prefix={p:?}");
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn injected_encoder_error_degrades_to_a_single_modality_tier() {
+    let _fg = pmm_fault::test_guard();
+    let ds = dataset();
+    pmm_fault::install(pmm_fault::FaultPlan::parse("err@0").unwrap());
+    let ds_f = ds.clone();
+    let server = Server::start(
+        server_cfg(1),
+        move || PmmEngine::new(model(&ds_f)),
+        popularity(&ds),
+    );
+    // Full rung errs on the text gate -> text breaker opens ->
+    // TextOnly denied -> VisionOnly serves.
+    let resp = server.call(Request::new(1, vec![0, 1, 2], 5)).unwrap();
+    assert_eq!(resp.tier, Tier::VisionOnly);
+    assert!(resp.items.iter().all(|r| r.score.is_finite()));
+    assert_eq!(
+        server.breaker_state(Component::TextEncoder),
+        pmm_serve::BreakerState::Open
+    );
+    // The vision-rung answer matches the model's own vision-only path.
+    let reference = model(&ds);
+    let cat = reference.serve_catalog(pmmrec::Modality::VisionOnly).unwrap();
+    let user = reference.serve_user_vector(&cat, &[0, 1, 2]).unwrap();
+    let want = reference.serve_rank(&cat, &user, &[0, 1, 2], 5, false);
+    pmm_fault::clear();
+    assert_eq!(resp.items, want);
+}

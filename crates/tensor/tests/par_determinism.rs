@@ -36,7 +36,7 @@ fn filled(n: usize, seed: u32) -> Vec<f32> {
     (0..n)
         .map(|_| {
             s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
-            if s % 5 == 0 {
+            if s.is_multiple_of(5) {
                 0.0
             } else {
                 ((s >> 8) as f32 / (1u32 << 24) as f32) * 4.0 - 2.0

@@ -46,8 +46,7 @@ fn main() {
         max_epochs: 10,
         patience: 2,
         eval_every: 1,
-        log_level: pmm_obs::Level::Warn,
-        start_epoch: 0,
+        ..TrainConfig::default()
     };
 
     // Train both models on the normal training split…

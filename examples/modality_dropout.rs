@@ -22,8 +22,7 @@ fn main() {
         max_epochs: 10,
         patience: 2,
         eval_every: 1,
-        log_level: pmm_obs::Level::Warn,
-        start_epoch: 0,
+        ..TrainConfig::default()
     };
 
     // Multi-modal pre-training on Kwai.

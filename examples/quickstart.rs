@@ -44,7 +44,7 @@ fn main() {
         patience: 2,
         eval_every: 1,
         log_level: pmm_obs::Level::Info,
-        start_epoch: 0,
+        ..TrainConfig::default()
     };
     let result = train_model(&mut model, &split, &cfg, &mut rng);
 

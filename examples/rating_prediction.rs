@@ -32,7 +32,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(42);
     let split = SplitDataset::new(ds.clone());
     let mut backbone = PmmRec::new(PmmRecConfig::default(), &split.dataset, &mut rng);
-    let cfg = TrainConfig { max_epochs: 16, patience: 3, eval_every: 2, log_level: pmm_obs::Level::Warn, start_epoch: 0 };
+    let cfg = TrainConfig { max_epochs: 16, patience: 3, eval_every: 2, ..TrainConfig::default() };
     let result = train_model(&mut backbone, &split, &cfg, &mut rng);
     println!("backbone test ranking: {}", result.test);
 

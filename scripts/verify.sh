@@ -25,4 +25,11 @@ cargo run --release -q -p pmm-bench --bin par_scaling
 echo "==> chaos smoke (fault injection: NaN steps, checkpoint corruption, IO failure)"
 cargo run --release -q -p pmm-bench --bin chaos_smoke -- --scale tiny --epochs 3
 
+echo "==> serve chaos (scripted: shedding, ladder, deadlines, thread-count parity)"
+cargo run --release -q -p pmm-bench --bin serve_chaos -- --scale tiny
+
+echo "==> serve chaos smoke (custom fault plan: zero panics, tier-tagged responses)"
+cargo run --release -q -p pmm-bench --bin serve_chaos -- --scale tiny \
+  --fault-plan "err@0,slow@4,err@7,err@8,slow@13"
+
 echo "==> verify OK"

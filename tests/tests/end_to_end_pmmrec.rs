@@ -37,8 +37,7 @@ fn full_pipeline_trains_evaluates_and_roundtrips() {
         max_epochs: 4,
         patience: 0,
         eval_every: 2,
-        log_level: pmm_obs::Level::Warn,
-        start_epoch: 0,
+        ..TrainConfig::default()
     };
     let result = train_model(&mut model, &split, &cfg, &mut rng);
     assert!(result.test.hr10().is_finite());

@@ -67,7 +67,7 @@ fn recommendation_api_respects_catalogue() {
     let n = ds.items.len();
     let mut rng = StdRng::seed_from_u64(1);
     let model = PmmRec::new(tiny_pmm_cfg(), &ds, &mut rng);
-    let recs = model.recommend_top_k(&[0, 1], n + 100, false);
+    let recs = model.recommend_top_k(&[0, 1], n + 100, false).unwrap();
     assert_eq!(recs.len(), n, "cannot recommend more items than exist");
     let reps = model.item_representations();
     assert_eq!(reps.shape()[0], n);
