@@ -1,0 +1,17 @@
+//~ lint-as: crates/serve/src/fixture.rs
+//~ expect: bad-allow
+//~ expect: bad-allow
+//~ expect: hot-unwrap
+
+// Seeded: a reasonless allow (which therefore suppresses nothing —
+// the unwrap still fires) and an allow naming an unknown rule.
+
+fn reasonless(a: Option<u32>) -> u32 {
+    // pmm-audit: allow(hot-unwrap)
+    a.unwrap()
+}
+
+fn unknown_rule() -> u32 {
+    // pmm-audit: allow(no-such-rule) — rule name has a typo
+    7
+}

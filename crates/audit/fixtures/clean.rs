@@ -1,0 +1,29 @@
+//~ lint-as: crates/serve/src/fixture.rs
+
+// A serving-path file that holds every invariant: typed errors on pub
+// entry points, poison-recovering lock access, bounds-checked reads,
+// reasoned escape hatches, and test code exempt under #[cfg(test)].
+// The harness pins false-positive behaviour: zero expectations means
+// the engine must produce zero findings here.
+
+pub fn lookup(scores: &[f32], idx: usize) -> Result<f32, ServeError> {
+    scores.get(idx).copied().ok_or(ServeError::QueueFull)
+}
+
+pub fn head(scores: &[f32]) -> f32 {
+    // pmm-audit: allow(hot-index) — callers uphold the nonempty contract checked at admission
+    scores[0]
+}
+
+fn drain(m: &std::sync::Mutex<Vec<f32>>) -> Vec<f32> {
+    std::mem::take(&mut *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//~ lint-as: crates/serve/src/fixture.rs
+//~ expect: hot-index
+//~ expect: hot-index
+
+// Seeded: two unguarded slice reads fire. Bounds-checked access, the
+// annotated read, slice types, patterns and macros stay silent.
+
+fn seeded(v: &[f32], i: usize) -> f32 {
+    let a = v[i];
+    let b = v[i + 1];
+    a + b
+}
+
+fn safe(v: &[f32], i: usize) -> f32 {
+    v.get(i).copied().unwrap_or(0.0)
+}
+
+fn annotated(v: &[f32]) -> f32 {
+    // pmm-audit: allow(hot-index) — callers uphold the nonempty contract checked at admission
+    v[0]
+}
+
+fn patterns() -> Vec<u32> {
+    let [a, b] = [1, 2];
+    vec![a, b]
+}

@@ -1,0 +1,24 @@
+//~ lint-as: crates/serve/src/fixture.rs
+//~ expect: hot-panic
+//~ expect: hot-panic
+//~ expect: hot-panic
+
+// Seeded: every abort-family macro fires; the annotated one is
+// suppressed by a reasoned allow on the line above.
+
+fn seeded(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),
+        1 => todo!(),
+        _ => unreachable!(),
+    }
+}
+
+fn annotated(x: u32) -> u32 {
+    if x == 0 {
+        // pmm-audit: allow(hot-panic) — x was validated nonzero at the API boundary
+        unreachable!("validated at the boundary")
+    } else {
+        x
+    }
+}

@@ -1,0 +1,19 @@
+//~ lint-as: crates/serve/src/fixture.rs
+//~ expect: hot-unwrap
+//~ expect: hot-unwrap
+
+// Seeded: both panicking extractors fire; the recovering and the
+// annotated forms stay silent.
+
+fn seeded(a: Option<u32>, b: Result<u32, ()>) -> u32 {
+    a.unwrap() + b.expect("boom")
+}
+
+fn recovering(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn annotated(a: Option<u32>) -> u32 {
+    // pmm-audit: allow(hot-unwrap) — the caller checked is_some() at admission
+    a.unwrap()
+}

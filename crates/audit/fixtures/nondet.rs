@@ -1,0 +1,44 @@
+//~ lint-as: crates/nn/src/fixture.rs
+//~ expect: nondet
+//~ expect: nondet
+//~ expect: nondet
+
+// Seeded: a wall clock and two order-dependent HashMap traversals in
+// a bit-identity-pinned crate. Keyed lookups and sorted iteration
+// (annotated) stay silent.
+
+use std::collections::HashMap;
+
+struct Counts {
+    by_item: HashMap<usize, usize>,
+}
+
+fn seeded_clock() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+fn seeded_for(map: HashMap<usize, usize>) -> usize {
+    let mut total = 0;
+    for (_k, v) in &map {
+        total += v;
+    }
+    total
+}
+
+impl Counts {
+    fn seeded_iteration(&self) -> usize {
+        self.by_item.values().sum()
+    }
+
+    fn lookup(&self, item: usize) -> usize {
+        self.by_item.get(&item).copied().unwrap_or(0)
+    }
+
+    fn sorted(&self) -> Vec<(usize, usize)> {
+        // pmm-audit: allow(nondet) — order normalised by the sort below
+        let mut v: Vec<(usize, usize)> = self.by_item.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable();
+        v
+    }
+}

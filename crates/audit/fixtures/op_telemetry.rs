@@ -1,0 +1,28 @@
+//~ lint-as: crates/tensor/src/ops/fixture.rs
+//~ expect: op-span
+//~ expect: op-flops
+
+// Seeded: an op records a graph node with neither a span nor a FLOP
+// count. The instrumented op and the zero-FLOP structural op (with a
+// reasoned allow in its body) stay silent.
+
+impl Var {
+    pub fn seeded(&self) -> Var {
+        let out = self.value.relu();
+        Var::from_op("seeded", out, vec![self.clone()], None)
+    }
+
+    pub fn instrumented(&self) -> Var {
+        let _s = pmm_obs::span("instrumented");
+        pmm_obs::counter::record_op_flops(self.value.len() as u64);
+        let out = self.value.relu();
+        Var::from_op("instrumented", out, vec![self.clone()], None)
+    }
+
+    pub fn structural(&self) -> Var {
+        let _s = pmm_obs::span("structural");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
+        let out = self.value.clone();
+        Var::from_op("structural", out, vec![self.clone()], None)
+    }
+}

@@ -1,0 +1,17 @@
+//~ lint-as: crates/core/src/fixture.rs
+//~ expect: par-scope
+
+// Seeded: hand-rolled scoped threads outside crates/par — this is
+// exactly the dispatch pmm_par helpers exist to own.
+
+fn seeded(rows: &mut [f32]) {
+    std::thread::scope(|s| {
+        for chunk in rows.chunks_mut(8) {
+            s.spawn(move || {
+                for x in chunk.iter_mut() {
+                    *x += 1.0;
+                }
+            });
+        }
+    });
+}

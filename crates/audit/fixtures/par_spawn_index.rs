@@ -1,0 +1,22 @@
+//~ lint-as: crates/par/src/fixture.rs
+//~ expect: par-spawn-index
+
+// Seeded: a worker closure indexes a shared buffer — racing on the
+// partition arithmetic instead of receiving a pre-partitioned block.
+// Indexing outside the spawn argument list is not this rule's business.
+
+fn seeded(s: &Scope, buf: &mut [f32], idx: usize) {
+    s.spawn(move || {
+        buf[idx] = 1.0;
+    });
+}
+
+fn prepartitioned(s: &Scope, block: &mut [f32], offset: usize) {
+    s.spawn(move || {
+        worker(offset, block);
+    });
+}
+
+fn outside_spawn(buf: &mut [f32]) {
+    buf[0] = 0.0;
+}

@@ -1,0 +1,19 @@
+//~ lint-as: crates/serve/src/fixture.rs
+//~ expect: serve-result
+
+// Seeded: a pub entry point constructs a serve error but swallows it
+// in a bare u32. The typed pub fn and the private helper stay silent.
+
+pub fn seeded(kind: u8) -> u32 {
+    let _worst = ServeError::QueueFull;
+    u32::from(kind)
+}
+
+pub fn typed(_kind: u8) -> Result<u32, ServeError> {
+    Err(ServeError::QueueFull)
+}
+
+fn private_helper() -> u32 {
+    let _e = RecommendError::UnknownUser;
+    0
+}

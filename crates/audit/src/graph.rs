@@ -1,0 +1,632 @@
+//! Pre-backward autograd-graph verifier.
+//!
+//! The autograd tape in `pmm_tensor::graph` is built incrementally by
+//! op calls; nothing checks the assembled graph as a whole before
+//! `backward()` walks it. This module captures the live tape into a
+//! plain-value [`GraphSnapshot`] and audits structural invariants:
+//!
+//! * the graph is acyclic and every parent edge resolves;
+//! * node ids respect creation order (`parent.id < child.id`) — the
+//!   property reverse-id backward traversal depends on;
+//! * per-op shape consistency (elementwise ops preserve shape, matmul
+//!   dims agree, reshape preserves numel, losses are scalars, ...);
+//! * no orphaned gradient nodes: a node with parents must carry a
+//!   backward closure and vice versa, and only `requires_grad` nodes
+//!   may have one;
+//! * no stale gradients before backward runs;
+//! * every loss head reaches at least one trainable leaf, and every
+//!   trainable (non-frozen) parameter is reachable from the combined
+//!   loss — a silent optimisation no-op otherwise.
+//!
+//! Capture works on the real `Var` graph; auditing works on the
+//! snapshot value type, so tests can seed defects (cycles, shape
+//! lies, unreachable parameters) that the safe `Var` API makes
+//! unconstructible, and the auditor must still catch them.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use pmm_tensor::Var;
+
+/// One tape node, decoupled from the live `Rc` graph.
+#[derive(Debug, Clone)]
+pub struct NodeInfo {
+    pub id: u64,
+    /// Op name recorded at construction (`"matmul"`, `"leaf"`, ...).
+    pub op: String,
+    pub shape: Vec<usize>,
+    pub requires_grad: bool,
+    pub has_backward: bool,
+    pub has_grad: bool,
+    pub parents: Vec<u64>,
+}
+
+/// A parameter leaf the optimiser will update.
+#[derive(Debug, Clone)]
+pub struct ParamNode {
+    pub name: String,
+    pub id: u64,
+    /// Whether the training configuration expects gradient flow to
+    /// this parameter (false for frozen towers).
+    pub must_reach: bool,
+}
+
+/// A captured autograd graph: nodes, named loss heads, parameters.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSnapshot {
+    /// Sorted by id ascending.
+    pub nodes: Vec<NodeInfo>,
+    /// `(objective name, node id)` — e.g. `("dap", 17)`, `("total", 42)`.
+    pub heads: Vec<(String, u64)>,
+    pub params: Vec<ParamNode>,
+}
+
+/// One structural defect found by the auditor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphViolation {
+    /// A parent edge points at a node not in the snapshot.
+    BrokenEdge { node: u64, parent: u64 },
+    /// A parent has an id >= its child — creation order violated;
+    /// reverse-id backward traversal would visit them out of order.
+    IdOrder { node: u64, parent: u64 },
+    /// The graph contains a cycle through this node.
+    Cycle { node: u64 },
+    /// An op's output/input shapes are inconsistent.
+    ShapeMismatch { node: u64, op: String, detail: String },
+    /// Backward-closure bookkeeping is inconsistent for this node.
+    Orphan { node: u64, detail: String },
+    /// A node already carries a gradient before backward ran.
+    StaleGrad { node: u64 },
+    /// A loss head reaches no trainable leaf — backward would be a no-op.
+    DeadHead { head: String },
+    /// A trainable parameter is not reachable from the combined loss.
+    UnreachableParam { name: String, id: u64 },
+}
+
+impl std::fmt::Display for GraphViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphViolation::BrokenEdge { node, parent } => {
+                write!(f, "node {node} references parent {parent} which is not in the graph")
+            }
+            GraphViolation::IdOrder { node, parent } => {
+                write!(f, "node {node} has parent {parent} with a newer id — creation order violated")
+            }
+            GraphViolation::Cycle { node } => write!(f, "cycle through node {node}"),
+            GraphViolation::ShapeMismatch { node, op, detail } => {
+                write!(f, "node {node} (op {op}): {detail}")
+            }
+            GraphViolation::Orphan { node, detail } => write!(f, "node {node}: {detail}"),
+            GraphViolation::StaleGrad { node } => {
+                write!(f, "node {node} carries a gradient before backward ran")
+            }
+            GraphViolation::DeadHead { head } => {
+                write!(f, "loss head `{head}` reaches no trainable leaf — its gradient is lost")
+            }
+            GraphViolation::UnreachableParam { name, id } => {
+                write!(f, "trainable param `{name}` (node {id}) is unreachable from the loss — it will never train")
+            }
+        }
+    }
+}
+
+/// Summary of a clean audit.
+#[derive(Debug, Clone)]
+pub struct GraphReport {
+    pub nodes: usize,
+    pub edges: usize,
+    pub heads: usize,
+    pub params_reached: usize,
+}
+
+/// Captures the live tape reachable from `heads` (plus the given
+/// parameter leaves) into a snapshot. `params` entries are
+/// `(name, var, must_reach)`.
+pub fn capture(heads: &[(&str, &Var)], params: &[(String, &Var, bool)]) -> GraphSnapshot {
+    let mut nodes: HashMap<u64, NodeInfo> = HashMap::new();
+    let mut stack: Vec<Var> = heads.iter().map(|(_, v)| (*v).clone()).collect();
+    stack.extend(params.iter().map(|(_, v, _)| (*v).clone()));
+    while let Some(v) = stack.pop() {
+        if nodes.contains_key(&v.id()) {
+            continue;
+        }
+        nodes.insert(
+            v.id(),
+            NodeInfo {
+                id: v.id(),
+                op: v.op().to_string(),
+                shape: v.value().shape().to_vec(),
+                requires_grad: v.requires_grad(),
+                has_backward: v.has_backward(),
+                has_grad: v.has_grad(),
+                parents: v.parents().iter().map(|p| p.id()).collect(),
+            },
+        );
+        stack.extend(v.parents().iter().cloned());
+    }
+    let mut nodes: Vec<NodeInfo> = nodes.into_values().collect();
+    nodes.sort_by_key(|n| n.id);
+    GraphSnapshot {
+        nodes,
+        heads: heads.iter().map(|(n, v)| (n.to_string(), v.id())).collect(),
+        params: params
+            .iter()
+            .map(|(n, v, must)| ParamNode { name: n.clone(), id: v.id(), must_reach: *must })
+            .collect(),
+    }
+}
+
+/// Audits a snapshot; empty result means the graph is sound.
+pub fn audit_snapshot(snap: &GraphSnapshot) -> Vec<GraphViolation> {
+    let mut out = Vec::new();
+    let index: HashMap<u64, usize> =
+        snap.nodes.iter().enumerate().map(|(i, n)| (n.id, i)).collect();
+
+    // Edge integrity + id ordering.
+    for n in &snap.nodes {
+        for &p in &n.parents {
+            if !index.contains_key(&p) {
+                out.push(GraphViolation::BrokenEdge { node: n.id, parent: p });
+            } else if p >= n.id {
+                out.push(GraphViolation::IdOrder { node: n.id, parent: p });
+            }
+        }
+    }
+
+    // Acyclicity via iterative three-colour DFS (0 white, 1 grey, 2 black).
+    let mut colour = vec![0u8; snap.nodes.len()];
+    for start in 0..snap.nodes.len() {
+        if colour[start] != 0 {
+            continue;
+        }
+        // Stack of (node index, next-parent cursor).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        colour[start] = 1;
+        while let Some(&mut (i, ref mut cursor)) = stack.last_mut() {
+            if *cursor < snap.nodes[i].parents.len() {
+                let pid = snap.nodes[i].parents[*cursor];
+                *cursor += 1;
+                let Some(&j) = index.get(&pid) else { continue };
+                match colour[j] {
+                    0 => {
+                        colour[j] = 1;
+                        stack.push((j, 0));
+                    }
+                    1 => out.push(GraphViolation::Cycle { node: snap.nodes[j].id }),
+                    _ => {}
+                }
+            } else {
+                colour[i] = 2;
+                stack.pop();
+            }
+        }
+    }
+
+    // Per-node shape + closure bookkeeping.
+    for n in &snap.nodes {
+        check_shapes(n, &index, &snap.nodes, &mut out);
+        if n.has_backward && n.parents.is_empty() {
+            out.push(GraphViolation::Orphan {
+                node: n.id,
+                detail: "has a backward closure but no parents to propagate into".into(),
+            });
+        }
+        if n.has_backward && !n.requires_grad {
+            out.push(GraphViolation::Orphan {
+                node: n.id,
+                detail: "has a backward closure but requires_grad is false".into(),
+            });
+        }
+        if !n.parents.is_empty() && !n.has_backward && n.requires_grad {
+            out.push(GraphViolation::Orphan {
+                node: n.id,
+                detail: "interior grad-requiring node lost its backward closure".into(),
+            });
+        }
+        if n.has_grad {
+            out.push(GraphViolation::StaleGrad { node: n.id });
+        }
+    }
+
+    // Reachability: per-head trainable-leaf reach, and union coverage
+    // of must-reach params.
+    let param_ids: Vec<u64> = snap.params.iter().map(|p| p.id).collect();
+    let mut union_reached: Vec<bool> = vec![false; snap.nodes.len()];
+    for (name, head) in &snap.heads {
+        let Some(&h) = index.get(head) else {
+            out.push(GraphViolation::DeadHead { head: name.clone() });
+            continue;
+        };
+        let mut seen = vec![false; snap.nodes.len()];
+        let mut stack = vec![h];
+        seen[h] = true;
+        let mut reaches_trainable = false;
+        while let Some(i) = stack.pop() {
+            union_reached[i] = true;
+            let n = &snap.nodes[i];
+            if n.requires_grad && (n.parents.is_empty() || param_ids.contains(&n.id)) {
+                reaches_trainable = true;
+            }
+            for &p in &n.parents {
+                if let Some(&j) = index.get(&p) {
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+        }
+        if !reaches_trainable {
+            out.push(GraphViolation::DeadHead { head: name.clone() });
+        }
+    }
+    for p in &snap.params {
+        if !p.must_reach {
+            continue;
+        }
+        let reached = index.get(&p.id).is_some_and(|&i| union_reached[i]);
+        if !reached {
+            out.push(GraphViolation::UnreachableParam { name: p.name.clone(), id: p.id });
+        }
+    }
+
+    out
+}
+
+/// Audits the live graph in one shot. `Err` carries the violations.
+pub fn audit_graph(
+    heads: &[(&str, &Var)],
+    params: &[(String, &Var, bool)],
+) -> Result<GraphReport, Vec<GraphViolation>> {
+    let snap = capture(heads, params);
+    let violations = audit_snapshot(&snap);
+    if violations.is_empty() {
+        let param_ids: Vec<u64> = snap.params.iter().map(|p| p.id).collect();
+        Ok(GraphReport {
+            nodes: snap.nodes.len(),
+            edges: snap.nodes.iter().map(|n| n.parents.len()).sum(),
+            heads: snap.heads.len(),
+            params_reached: param_ids.len(),
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+fn shape_err(n: &NodeInfo, detail: String, out: &mut Vec<GraphViolation>) {
+    out.push(GraphViolation::ShapeMismatch { node: n.id, op: n.op.clone(), detail });
+}
+
+/// Per-op output/input shape consistency. Ops not listed here are
+/// checked for arity only where it is unambiguous; unknown ops pass.
+fn check_shapes(
+    n: &NodeInfo,
+    index: &HashMap<u64, usize>,
+    nodes: &[NodeInfo],
+    out: &mut Vec<GraphViolation>,
+) {
+    let parent = |k: usize| -> Option<&NodeInfo> {
+        n.parents.get(k).and_then(|id| index.get(id)).map(|&i| &nodes[i])
+    };
+    let numel = |s: &[usize]| s.iter().product::<usize>();
+    match n.op.as_str() {
+        // Same-shape elementwise, any arity.
+        "add" | "sub" | "mul" | "scale" | "add_scalar" | "neg" | "relu" | "gelu" | "tanh"
+        | "sigmoid" | "exp" | "ln" | "softmax" | "masked_softmax" | "l2_normalize" | "dropout" => {
+            for k in 0..n.parents.len() {
+                if let Some(p) = parent(k) {
+                    if p.shape != n.shape {
+                        shape_err(
+                            n,
+                            format!("elementwise input {:?} != output {:?}", p.shape, n.shape),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+        "add_bias" | "layer_norm" => {
+            // Input 0 matches the output; later inputs are per-feature
+            // vectors over the last dim.
+            if let Some(p) = parent(0) {
+                if p.shape != n.shape {
+                    shape_err(n, format!("input {:?} != output {:?}", p.shape, n.shape), out);
+                }
+            }
+            let last = n.shape.last().copied().unwrap_or(0);
+            for k in 1..n.parents.len() {
+                if let Some(p) = parent(k) {
+                    if numel(&p.shape) != last {
+                        shape_err(
+                            n,
+                            format!("per-feature input {:?} does not cover last dim {last}", p.shape),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+        "matmul" => {
+            if let (Some(a), Some(b)) = (parent(0), parent(1)) {
+                if a.shape.len() != 2 || b.shape.len() != 2 || n.shape.len() != 2 {
+                    shape_err(n, "matmul operand is not rank-2".into(), out);
+                } else {
+                    // Transpose flags are not recorded on the tape, so
+                    // accept any (ta, tb) combination that works.
+                    let ok = [(0, 1), (1, 0)].iter().any(|&(i, j)| {
+                        [(0usize, 1usize), (1, 0)].iter().any(|&(k, l)| {
+                            a.shape[i] == n.shape[0]
+                                && b.shape[l] == n.shape[1]
+                                && a.shape[j] == b.shape[k]
+                        })
+                    });
+                    if !ok {
+                        shape_err(
+                            n,
+                            format!(
+                                "no transpose assignment makes {:?} x {:?} -> {:?}",
+                                a.shape, b.shape, n.shape
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+        "bmm" => {
+            if let (Some(a), Some(b)) = (parent(0), parent(1)) {
+                if a.shape.len() != 3 || b.shape.len() != 3 || n.shape.len() != 3 {
+                    shape_err(n, "bmm operand is not rank-3".into(), out);
+                } else if a.shape[0] != b.shape[0] || a.shape[0] != n.shape[0] {
+                    shape_err(
+                        n,
+                        format!(
+                            "batch dims disagree: {:?} x {:?} -> {:?}",
+                            a.shape, b.shape, n.shape
+                        ),
+                        out,
+                    );
+                } else {
+                    let ok = [(1, 2), (2, 1)].iter().any(|&(i, j)| {
+                        [(1usize, 2usize), (2, 1)].iter().any(|&(k, l)| {
+                            a.shape[i] == n.shape[1]
+                                && b.shape[l] == n.shape[2]
+                                && a.shape[j] == b.shape[k]
+                        })
+                    });
+                    if !ok {
+                        shape_err(
+                            n,
+                            format!(
+                                "no transpose assignment makes {:?} x {:?} -> {:?}",
+                                a.shape, b.shape, n.shape
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+        }
+        "transpose2" => {
+            if let Some(p) = parent(0) {
+                let mut rev = p.shape.clone();
+                rev.reverse();
+                if rev != n.shape {
+                    shape_err(
+                        n,
+                        format!("transpose of {:?} cannot be {:?}", p.shape, n.shape),
+                        out,
+                    );
+                }
+            }
+        }
+        "reshape" | "split_heads" | "merge_heads" => {
+            if let Some(p) = parent(0) {
+                if numel(&p.shape) != numel(&n.shape) {
+                    shape_err(
+                        n,
+                        format!("numel changes across reshape: {:?} -> {:?}", p.shape, n.shape),
+                        out,
+                    );
+                }
+            }
+        }
+        "concat0" => {
+            let rows: usize = (0..n.parents.len())
+                .filter_map(&parent)
+                .map(|p| p.shape.first().copied().unwrap_or(0))
+                .sum();
+            if n.shape.first().copied().unwrap_or(0) != rows {
+                shape_err(
+                    n,
+                    format!("concat0 output rows {:?} != sum of input rows {rows}", n.shape),
+                    out,
+                );
+            }
+        }
+        "slice_rows" | "gather_rows" => {
+            if let Some(p) = parent(0) {
+                if p.shape.last() != n.shape.last() {
+                    shape_err(
+                        n,
+                        format!("row selection changes width: {:?} -> {:?}", p.shape, n.shape),
+                        out,
+                    );
+                }
+            }
+        }
+        "mean_pool" => {
+            if let Some(p) = parent(0) {
+                let (pw, nw) = (p.shape.last().copied(), n.shape.last().copied());
+                let (pr, nr) = (
+                    p.shape.first().copied().unwrap_or(0),
+                    n.shape.first().copied().unwrap_or(1),
+                );
+                if pw != nw || nr == 0 || pr % nr != 0 {
+                    shape_err(
+                        n,
+                        format!("mean_pool {:?} -> {:?} is not a row grouping", p.shape, n.shape),
+                        out,
+                    );
+                }
+            }
+        }
+        "sum_all" | "cross_entropy" | "group_contrastive" | "mse" if numel(&n.shape) != 1 => {
+            shape_err(n, format!("loss/reduction output {:?} is not scalar", n.shape), out);
+        }
+        "leaf" | "const" if !n.parents.is_empty() => {
+            shape_err(n, "leaf/const node has parents".into(), out);
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime enablement for the training-step hook.
+// ---------------------------------------------------------------------------
+
+/// 0 = unset (consult env once), 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the pre-backward audit hook should run in release builds.
+/// Debug builds (and the test profile) always audit. Controlled by
+/// [`set_enabled`] (e.g. the bench `--audit-graph` flag) or the
+/// `PMM_AUDIT_GRAPH` environment variable (`1`/`true`).
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("PMM_AUDIT_GRAPH")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false);
+            ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        2 => true,
+        _ => false,
+    }
+}
+
+/// Forces graph auditing on or off for this process.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmm_tensor::{Tensor, Var};
+
+    fn leafv(shape: &[usize]) -> Var {
+        Var::leaf(Tensor::zeros(shape))
+    }
+
+    fn small_graph() -> (GraphSnapshot, Var) {
+        // w [2,3] leaf, x [2,3] const, y = w*x, loss = sum(y)
+        let w = leafv(&[2, 3]);
+        let x = Var::constant(Tensor::zeros(&[2, 3]));
+        let y = w.mul(&x);
+        let loss = y.sum_all();
+        let snap = capture(&[("total", &loss)], &[("w".to_string(), &w, true)]);
+        (snap, loss)
+    }
+
+    #[test]
+    fn clean_graph_audits_clean() {
+        let (snap, _keep) = small_graph();
+        assert_eq!(audit_snapshot(&snap), Vec::new());
+    }
+
+    #[test]
+    fn seeded_cycle_is_caught() {
+        let (mut snap, _keep) = small_graph();
+        // Make the earliest node a child of the last: a back edge.
+        let last = snap.nodes.last().unwrap().id;
+        snap.nodes[0].parents.push(last);
+        let v = audit_snapshot(&snap);
+        assert!(v.iter().any(|x| matches!(x, GraphViolation::Cycle { .. })), "{v:?}");
+        // The same tampering also breaks id ordering.
+        assert!(v.iter().any(|x| matches!(x, GraphViolation::IdOrder { .. })));
+    }
+
+    #[test]
+    fn seeded_shape_mismatch_is_caught() {
+        let (mut snap, _keep) = small_graph();
+        // Lie about the mul output's shape.
+        let i = snap.nodes.iter().position(|n| n.op == "mul").unwrap();
+        snap.nodes[i].shape = vec![4, 5];
+        let v = audit_snapshot(&snap);
+        assert!(
+            v.iter().any(|x| matches!(x, GraphViolation::ShapeMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn unreachable_param_is_caught() {
+        let w = leafv(&[2, 2]);
+        let orphan = leafv(&[3, 3]);
+        let loss = w.sum_all();
+        let snap = capture(
+            &[("total", &loss)],
+            &[("w".to_string(), &w, true), ("orphan".to_string(), &orphan, true)],
+        );
+        let v = audit_snapshot(&snap);
+        assert!(
+            v.iter().any(
+                |x| matches!(x, GraphViolation::UnreachableParam { name, .. } if name == "orphan")
+            ),
+            "{v:?}"
+        );
+        // A frozen parameter is allowed to be unreachable.
+        let snap2 = capture(
+            &[("total", &loss)],
+            &[("w".to_string(), &w, true), ("orphan".to_string(), &orphan, false)],
+        );
+        assert_eq!(audit_snapshot(&snap2), Vec::new());
+    }
+
+    #[test]
+    fn dead_head_is_caught() {
+        // A head built purely from constants trains nothing.
+        let c = Var::constant(Tensor::zeros(&[2, 2]));
+        let dead = c.sum_all();
+        let snap = capture(&[("nicl", &dead)], &[]);
+        let v = audit_snapshot(&snap);
+        assert!(v.iter().any(|x| matches!(x, GraphViolation::DeadHead { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn stale_grad_is_caught() {
+        let (mut snap, _keep) = small_graph();
+        snap.nodes[0].has_grad = true;
+        let v = audit_snapshot(&snap);
+        assert!(v.iter().any(|x| matches!(x, GraphViolation::StaleGrad { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn broken_edge_is_caught() {
+        let (mut snap, _keep) = small_graph();
+        snap.nodes.last_mut().unwrap().parents.push(999_999_999);
+        let v = audit_snapshot(&snap);
+        assert!(v.iter().any(|x| matches!(x, GraphViolation::BrokenEdge { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn orphan_backward_bookkeeping_is_caught() {
+        let (mut snap, _keep) = small_graph();
+        let i = snap.nodes.iter().position(|n| n.op == "mul").unwrap();
+        snap.nodes[i].has_backward = false;
+        let v = audit_snapshot(&snap);
+        assert!(v.iter().any(|x| matches!(x, GraphViolation::Orphan { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn audit_graph_end_to_end() {
+        let w = leafv(&[2, 3]);
+        let x = Var::constant(Tensor::zeros(&[2, 3]));
+        let loss = w.mul(&x).sum_all();
+        let report = audit_graph(&[("total", &loss)], &[("w".to_string(), &w, true)]).unwrap();
+        assert_eq!(report.nodes, 4);
+        assert_eq!(report.heads, 1);
+    }
+}

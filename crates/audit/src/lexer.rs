@@ -1,0 +1,372 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The linter's rules are token-level patterns ("`.unwrap(` outside a
+//! test module", "`SystemTime` anywhere"), so a full parse is
+//! unnecessary — but a naive substring grep is wrong the moment a
+//! pattern appears inside a string literal, a comment or a `#[doc]`
+//! attribute. This lexer classifies exactly enough of the language to
+//! make those distinctions sound:
+//!
+//! * line (`//`) and block (`/* .. */`, nested) comments, kept as
+//!   tokens so the rule engine can read `pmm-audit: allow(..)`
+//!   annotations out of them;
+//! * string literals: plain (`"..."` with escapes), raw (`r"..."`,
+//!   `r#"..."#`, any `#` depth), byte and byte-raw forms;
+//! * char literals, disambiguated from lifetimes (`'a` is a lifetime,
+//!   `'a'` is a char);
+//! * identifiers/keywords, numbers, and single-char punctuation.
+//!
+//! Every token carries its 1-based source line for reporting.
+
+/// What a token is. The rule engine mostly matches on identifiers and
+/// punctuation; literals and comments are opaque payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, ...).
+    Ident,
+    /// One punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct(char),
+    /// String/char/byte literal (content not preserved).
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// `//` or `/* */` comment; `text` holds the comment body.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Source text for `Ident` and `Comment` tokens (empty otherwise —
+    /// the rules never need literal payloads).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (running
+/// off the end inside a string or block comment) terminate at EOF
+/// rather than erroring: the linter runs on code that already compiles,
+/// so graceful recovery beats diagnostics here.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), String::new(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text, line);
+    }
+
+    /// Plain string literal with `\` escapes.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char, whatever it is
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    /// Handles `r"..."` / `r#"..."#` / `b"..."` / `br#"..."#` when the
+    /// current position starts one; returns false to fall through to
+    /// ordinary identifier lexing (`r` / `b` starting a name).
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let mut ahead = 1; // past the leading r/b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        // Count '#'s, then require an opening quote.
+        let mut hashes = 0usize;
+        while self.peek(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(ahead + hashes) != Some('"') {
+            // `b"..."` (no r, no hashes) is a plain-escaped byte string.
+            if ahead == 1 && hashes == 0 && self.peek(1) == Some('"') && self.peek(0) == Some('b') {
+                self.bump(); // b
+                self.string(line);
+                return true;
+            }
+            return false;
+        }
+        let raw = self.peek(ahead - 1) == Some('r');
+        for _ in 0..ahead + hashes + 1 {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` '#'s; no escapes.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    for h in 0..hashes {
+                        if self.peek(h) != Some('#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        } else {
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+        true
+    }
+
+    /// `'a` (lifetime — lexed as punct+ident) vs `'x'` / `'\n'` (char).
+    fn char_or_lifetime(&mut self, line: u32) {
+        // A lifetime is `'` + ident-start NOT followed by a closing `'`.
+        if let Some(c1) = self.peek(1) {
+            if (c1.is_alphabetic() || c1 == '_') && self.peek(2) != Some('\'') {
+                self.bump(); // '
+                self.push(TokenKind::Punct('\''), String::new(), line);
+                self.ident(self.line);
+                return;
+            }
+        }
+        self.bump(); // opening '
+        match self.bump() {
+            Some('\\') => {
+                self.bump(); // escaped char
+                // Consume to the closing quote (covers \u{..} forms).
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {
+                self.bump(); // closing '
+            }
+            None => {}
+        }
+        self.push(TokenKind::Literal, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Numbers never matter to the rules; consume the simple form
+        // (digits, '.', '_', exponent letters, type suffixes).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                // `1..n` range: stop before the second dot.
+                if c == '.' && self.peek(1) == Some('.') {
+                    break;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, String::new(), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"
+            let x = "call .unwrap() here"; // unwrap() in a comment
+            /* unwrap() in a block comment */
+            let y = s.unwrap();
+        "#;
+        let toks = lex(src);
+        // Exactly one unwrap identifier survives: the real call.
+        let n = toks.iter().filter(|t| t.is_ident("unwrap")).count();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let src = r##"let s = r#"panic!("inside")"#; let t = s;"##;
+        // The `r` prefix is consumed with the literal — no stray ident.
+        assert_eq!(idents(src), vec!["let", "s", "let", "t", "s"]);
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code_as_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.trim() }";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("trim")));
+        assert_eq!(toks.iter().filter(|t| t.is_ident("a")).count(), 3);
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let src = r"let c = 'x'; let n = '\n'; let q = '\''; let u = '\u{1F600}'; done()";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Literal).count(), 4);
+    }
+
+    #[test]
+    fn comment_text_is_preserved_for_annotations() {
+        let src = "x(); // pmm-audit: allow(hot-unwrap) — startup only";
+        let toks = lex(src);
+        let c = toks.iter().find(|t| t.kind == TokenKind::Comment).unwrap();
+        assert!(c.text.contains("allow(hot-unwrap)"));
+        assert_eq!(c.line, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nc */ d";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("d"), 5);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ real()";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        assert!(!toks.iter().any(|t| t.is_ident("inner")));
+    }
+
+    #[test]
+    fn byte_strings_are_literals() {
+        let src = r#"let a = b"unwrap()"; let b2 = br#y; f()"#;
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+    }
+}

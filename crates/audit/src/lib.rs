@@ -1,0 +1,29 @@
+//! pmm-audit — static analysis for the PMMRec workspace.
+//!
+//! Two independent passes, sharing nothing but a pessimistic outlook:
+//!
+//! 1. **Source linter** ([`rules`], over the [`lexer`] token stream):
+//!    project invariants enforced as token patterns across every
+//!    workspace `.rs` file — no panics in hot serving paths, no
+//!    nondeterminism sources in bit-identity-pinned crates, telemetry
+//!    on every tensor op, `Result` on fallible serve entry points,
+//!    scoped threads confined to pmm-par. Violations are suppressed
+//!    in place with `// pmm-audit: allow(<rule>) — <reason>`; the
+//!    reason is mandatory.
+//! 2. **Graph auditor** ([`graph`]): structural verification of the
+//!    live autograd tape before `backward()` — acyclicity, shape
+//!    consistency per op, backward-closure bookkeeping, and
+//!    reachability of every trainable parameter from the loss.
+//!
+//! The `pmm-audit` binary wires the linter into `scripts/verify.sh`;
+//! the trainer calls [`graph::audit_graph`] from its pre-backward
+//! debug hook (always in debug/test builds, opt-in via
+//! `--audit-graph` / `PMM_AUDIT_GRAPH=1` in release).
+
+pub mod graph;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use graph::{audit_graph, audit_snapshot, GraphReport, GraphSnapshot, GraphViolation};
+pub use rules::{check_source, Violation, RULES};

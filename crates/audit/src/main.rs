@@ -1,0 +1,104 @@
+//! The `pmm-audit` binary: lints the workspace sources (default),
+//! runs the rule-engine fixtures (`--fixtures`), or lists the rules
+//! (`--list-rules`). Exits nonzero on any violation or fixture
+//! mismatch so `scripts/verify.sh` can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pmm_audit::source::{find_workspace_root, lint_workspace, run_fixtures};
+use pmm_audit::RULES;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode_fixtures = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fixtures" => mode_fixtures = true,
+            "--list-rules" => {
+                for (id, desc) in RULES {
+                    println!("{id:16} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root_override = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("pmm-audit: --root needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "pmm-audit: unknown flag `{other}` (expected --fixtures, --list-rules, --root <path>)"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let root = match root_override.or_else(|| {
+        std::env::current_dir().ok().and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("pmm-audit: no workspace root found (no ancestor Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    if mode_fixtures {
+        let dir = root.join("crates/audit/fixtures");
+        match run_fixtures(&dir) {
+            Ok(results) => {
+                let mut failed = 0usize;
+                for r in &results {
+                    if r.pass {
+                        println!("fixture {:40} ok ({} expected)", r.file, r.expected.len());
+                    } else {
+                        failed += 1;
+                        println!(
+                            "fixture {:40} MISMATCH\n  expected: {:?}\n  produced: {:?}",
+                            r.file, r.expected, r.produced
+                        );
+                    }
+                }
+                println!("pmm-audit fixtures: {}/{} ok", results.len() - failed, results.len());
+                if failed == 0 && !results.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("pmm-audit: cannot run fixtures under {}: {e}", dir.display());
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        match lint_workspace(&root) {
+            Ok(violations) => {
+                for v in &violations {
+                    println!("{v}");
+                }
+                if violations.is_empty() {
+                    println!("pmm-audit: workspace clean ({} rules)", RULES.len());
+                    ExitCode::SUCCESS
+                } else {
+                    println!("pmm-audit: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("pmm-audit: lint failed: {e}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

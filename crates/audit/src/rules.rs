@@ -1,0 +1,719 @@
+//! The lint-rule engine: project invariants checked as token patterns.
+//!
+//! Every rule reports against a workspace-relative path; which rules
+//! apply to a file is decided from that path (hot serving paths, the
+//! tensor kernel file, bit-identity-pinned crates, the op modules).
+//! Each violation can be silenced in place with
+//!
+//! ```text
+//! // pmm-audit: allow(<rule>) — <non-empty reason>
+//! ```
+//!
+//! on the offending line or the line directly above it (for the
+//! per-function telemetry rules, anywhere inside the function body).
+//! An annotation without a reason, or naming an unknown rule, is
+//! itself a violation (`bad-allow`) — the escape hatch must document
+//! *why*, not just switch the rule off.
+//!
+//! Code under `#[cfg(test)]` items and files under `tests/`
+//! directories are exempt from all rules: test code may unwrap freely.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// `(id, description)` for every rule, the single source of truth the
+/// README table, `--list-rules` and annotation validation share.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "hot-unwrap",
+        "no .unwrap()/.expect() in hot paths (crates/serve, the tensor kernel file, recommend.rs)",
+    ),
+    (
+        "hot-panic",
+        "no panic!/unreachable!/todo!/unimplemented! in hot paths",
+    ),
+    (
+        "hot-index",
+        "no slice indexing/slicing `x[..]` in serving paths (crates/serve, recommend.rs)",
+    ),
+    (
+        "nondet",
+        "no nondeterminism sources (SystemTime, RandomState, HashMap iteration) in bit-identity-pinned crates",
+    ),
+    (
+        "op-span",
+        "every tensor op recording a Var::from_op node must open a pmm_obs::span",
+    ),
+    (
+        "op-flops",
+        "every tensor op recording a Var::from_op node must record FLOPs (record_op_flops or a matmul recorder)",
+    ),
+    (
+        "serve-result",
+        "pub fns in crates/serve that construct ServeError/RecommendError must return Result",
+    ),
+    (
+        "par-scope",
+        "scoped thread dispatch (thread::scope) is confined to crates/par",
+    ),
+    (
+        "par-spawn-index",
+        "inside crates/par, spawned worker closures must not index buffers (blocks come pre-partitioned)",
+    ),
+    (
+        "bad-allow",
+        "pmm-audit allow annotations must name a known rule and give a reason",
+    ),
+];
+
+/// Looks up the canonical `&'static str` id for a rule name.
+pub fn rule_id(name: &str) -> Option<&'static str> {
+    RULES.iter().map(|(id, _)| *id).find(|id| *id == name)
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Which rule families apply to a workspace-relative path.
+struct Applicability {
+    hot_panics: bool,
+    hot_index: bool,
+    nondet: bool,
+    op_telemetry: bool,
+    serve_result: bool,
+    par_scope: bool,
+    par_spawn_index: bool,
+}
+
+fn applicability(path: &str) -> Option<Applicability> {
+    // Generated/vendored/test code is out of scope entirely.
+    if path.starts_with("target/")
+        || path.starts_with("third_party/")
+        || path.split('/').any(|seg| seg == "tests")
+        || path.ends_with("/tests.rs")
+    {
+        return None;
+    }
+    let serve = path.starts_with("crates/serve/src");
+    let kernel = path == "crates/tensor/src/tensor.rs";
+    let recommend = path == "crates/core/src/recommend.rs";
+    let pinned = ["crates/tensor/src", "crates/par/src", "crates/nn/src", "crates/core/src", "crates/data/src"]
+        .iter()
+        .any(|p| path.starts_with(p));
+    let in_par = path.starts_with("crates/par/src");
+    Some(Applicability {
+        hot_panics: serve || kernel || recommend,
+        hot_index: serve || recommend,
+        nondet: pinned,
+        op_telemetry: path.starts_with("crates/tensor/src/ops/"),
+        serve_result: serve,
+        par_scope: !in_par,
+        par_spawn_index: in_par,
+    })
+}
+
+/// A parsed `pmm-audit: allow(..)` annotation.
+struct Allow {
+    line: u32,
+    rule: &'static str,
+}
+
+/// Lints one source file. `path` must be workspace-relative with `/`
+/// separators — rule applicability is decided from it.
+pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
+    let Some(apply) = applicability(path) else {
+        return Vec::new();
+    };
+    let tokens = lex(src);
+    let mut out = Vec::new();
+
+    // Pass 1: collect allow annotations (and bad ones) from comments.
+    let mut allows: Vec<Allow> = Vec::new();
+    for t in tokens.iter().filter(|t| t.kind == TokenKind::Comment) {
+        // Doc comments are prose — only plain comments carry
+        // annotations, so docs may quote the syntax freely.
+        if t.text.starts_with("///") || t.text.starts_with("//!")
+            || t.text.starts_with("/**") || t.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = t.text.find("pmm-audit:") else {
+            continue;
+        };
+        let rest = &t.text[at + "pmm-audit:".len()..];
+        let Some(op) = rest.trim_start().strip_prefix("allow(") else {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "bad-allow",
+                msg: "pmm-audit annotation is not of the form allow(<rule>)".into(),
+            });
+            continue;
+        };
+        let Some(close) = op.find(')') else {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "bad-allow",
+                msg: "unterminated allow(<rule>) annotation".into(),
+            });
+            continue;
+        };
+        let name = op[..close].trim();
+        let reason = op[close + 1..].trim_start_matches([' ', '—', '-', '–']).trim();
+        match rule_id(name) {
+            Some(rule) if !reason.is_empty() => allows.push(Allow { line: t.line, rule }),
+            Some(_) => out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "bad-allow",
+                msg: format!("allow({name}) has no reason — say why the rule is safe to break here"),
+            }),
+            None => out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "bad-allow",
+                msg: format!("allow({name}) names an unknown rule"),
+            }),
+        }
+    }
+
+    // Pass 2: code tokens with `#[cfg(test)]` items removed.
+    let code = strip_test_items(
+        tokens
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .collect(),
+    );
+
+    let mut raw: Vec<Violation> = Vec::new();
+    if apply.hot_panics {
+        scan_hot_panics(path, &code, &mut raw);
+    }
+    if apply.hot_index {
+        scan_indexing(path, &code, 0, code.len(), "hot-index", &mut raw);
+    }
+    if apply.nondet {
+        scan_nondet(path, &code, &mut raw);
+    }
+    if apply.par_scope {
+        scan_par_scope(path, &code, &mut raw);
+    }
+    if apply.par_spawn_index {
+        scan_par_spawn_index(path, &code, &mut raw);
+    }
+    // Function-granular rules get body-scoped allow handling.
+    let body_allow = |allows: &[Allow], rule: &str, from: u32, to: u32| {
+        allows.iter().any(|a| a.rule == rule && a.line + 1 >= from && a.line <= to)
+    };
+    if apply.op_telemetry || apply.serve_result {
+        for f in functions(&code) {
+            if apply.op_telemetry && f.contains_ident(&code, "from_op") {
+                if !f.calls(&code, "span") && !body_allow(&allows, "op-span", f.line, f.end_line) {
+                    raw.push(Violation {
+                        path: path.into(),
+                        line: f.line,
+                        rule: "op-span",
+                        msg: format!("op fn `{}` records a graph node but opens no pmm_obs::span", f.name),
+                    });
+                }
+                let flops = ["record_op_flops", "record_matmul", "record_bmm", "record_matmul_skipping", "record_bmm_skipping"]
+                    .iter()
+                    .any(|r| f.calls(&code, r));
+                if !flops && !body_allow(&allows, "op-flops", f.line, f.end_line) {
+                    raw.push(Violation {
+                        path: path.into(),
+                        line: f.line,
+                        rule: "op-flops",
+                        msg: format!("op fn `{}` records a graph node but accounts no FLOPs", f.name),
+                    });
+                }
+            }
+            if apply.serve_result
+                && f.is_pub
+                && !f.returns_result
+                && (f.contains_ident(&code, "ServeError") || f.contains_ident(&code, "RecommendError"))
+                && !body_allow(&allows, "serve-result", f.line, f.end_line)
+            {
+                raw.push(Violation {
+                    path: path.into(),
+                    line: f.line,
+                    rule: "serve-result",
+                    msg: format!("pub fn `{}` handles serve errors but does not return Result", f.name),
+                });
+            }
+        }
+    }
+
+    // Line-attached suppression: an allow on the violation's line or
+    // the line directly above it.
+    for v in raw {
+        let suppressed = allows
+            .iter()
+            .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line));
+        if !suppressed {
+            out.push(v);
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+const KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+];
+
+fn is_keyword(t: &Token) -> bool {
+    t.kind == TokenKind::Ident && KEYWORDS.contains(&t.text.as_str())
+}
+
+/// Removes every `#[cfg(test)]` item (mod, fn, use, …) from the token
+/// stream: attribute through the end of the item (`;` or the matching
+/// close of its first brace block).
+fn strip_test_items(code: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(code.len());
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct('#')
+            && matches(&code, i + 1, &["[", "cfg", "(", "test", ")", "]"])
+        {
+            i += 7;
+            // Skip any further attributes on the same item.
+            while i < code.len() && code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                let mut depth = 0usize;
+                while i < code.len() {
+                    if code[i].is_punct('[') {
+                        depth += 1;
+                    } else if code[i].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            // Skip the item itself: to a top-level `;` or through the
+            // first complete `{ .. }` block.
+            let mut brace = 0usize;
+            while i < code.len() {
+                if code[i].is_punct('{') {
+                    brace += 1;
+                } else if code[i].is_punct('}') {
+                    brace -= 1;
+                    if brace == 0 {
+                        i += 1;
+                        break;
+                    }
+                } else if code[i].is_punct(';') && brace == 0 {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+        } else {
+            out.push(code[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Token-pattern match helper: idents by name, punctuation by char.
+fn matches(code: &[Token], at: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(j, p)| {
+        code.get(at + j).is_some_and(|t| {
+            let mut chars = p.chars();
+            match (chars.next(), chars.next()) {
+                (Some(c), None) if !c.is_alphanumeric() && c != '_' => t.is_punct(c),
+                _ => t.is_ident(p),
+            }
+        })
+    })
+}
+
+fn scan_hot_panics(path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].is_punct('.');
+        let next_open = code.get(i + 1).is_some_and(|n| n.is_punct('('));
+        let next_bang = code.get(i + 1).is_some_and(|n| n.is_punct('!'));
+        if prev_dot && next_open && (t.text == "unwrap" || t.text == "expect") {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "hot-unwrap",
+                msg: format!(".{}() can panic in a hot path — return a typed error or annotate why it cannot fire", t.text),
+            });
+        }
+        if next_bang && ["panic", "unreachable", "todo", "unimplemented"].contains(&t.text.as_str()) {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "hot-panic",
+                msg: format!("{}! aborts a hot path — degrade or return a typed error instead", t.text),
+            });
+        }
+    }
+}
+
+/// Flags `expr[..]` indexing/slicing in `code[from..to]`: a `[` whose
+/// previous significant token ends an expression (identifier that is
+/// not a keyword, `)`, or `]`).
+fn scan_indexing(
+    path: &str,
+    code: &[Token],
+    from: usize,
+    to: usize,
+    rule: &'static str,
+    out: &mut Vec<Violation>,
+) {
+    for i in from..to {
+        if !code[i].is_punct('[') || i == 0 {
+            continue;
+        }
+        let p = &code[i - 1];
+        let indexes = match p.kind {
+            TokenKind::Ident => !is_keyword(p),
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        };
+        if indexes {
+            out.push(Violation {
+                path: path.into(),
+                line: code[i].line,
+                rule,
+                msg: "slice indexing can panic out of bounds — use .get()/.get_mut() or annotate the bounds proof".into(),
+            });
+        }
+    }
+}
+
+fn scan_nondet(path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    // Direct nondeterminism sources by name.
+    for t in code {
+        if t.is_ident("SystemTime") || t.is_ident("RandomState") {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "nondet",
+                msg: format!("{} is a nondeterminism source in a bit-identity-pinned crate", t.text),
+            });
+        }
+    }
+    // HashMap iteration: find names bound to HashMaps in this file,
+    // then flag order-dependent traversals of them.
+    let mut maps: Vec<String> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !t.is_ident("HashMap") || i < 2 {
+            continue;
+        }
+        // `name: HashMap<..>` (field / typed let) or `name = HashMap::..`.
+        let sep = &code[i - 1];
+        if sep.is_punct(':') || sep.is_punct('=') {
+            let cand = &code[i - 2];
+            if cand.kind == TokenKind::Ident && !is_keyword(cand) && !maps.contains(&cand.text) {
+                maps.push(cand.text.clone());
+            }
+        }
+    }
+    const ITERS: &[&str] =
+        &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_iter", "retain"];
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !maps.contains(&t.text) {
+            continue;
+        }
+        // `map.iter()` and friends.
+        if code.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && code.get(i + 2).is_some_and(|n| ITERS.iter().any(|m| n.is_ident(m)))
+            && code.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "nondet",
+                msg: format!(
+                    "iteration over HashMap `{}` is order-nondeterministic — sort the entries or use a BTreeMap",
+                    t.text
+                ),
+            });
+        }
+        // `for x in &map` / `for x in map`.
+        let mut j = i;
+        while j > 0 && (code[j - 1].is_punct('&') || code[j - 1].is_ident("mut")) {
+            j -= 1;
+        }
+        if j > 0 && code[j - 1].is_ident("in") && !code.get(i + 1).is_some_and(|n| n.is_punct('.')) {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "nondet",
+                msg: format!("for-loop over HashMap `{}` is order-nondeterministic", t.text),
+            });
+        }
+    }
+}
+
+fn scan_par_scope(path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    for i in 0..code.len() {
+        if matches(code, i, &["thread", ":", ":", "scope"]) {
+            out.push(Violation {
+                path: path.into(),
+                line: code[i].line,
+                rule: "par-scope",
+                msg: "scoped thread dispatch outside crates/par — route data-parallel work through pmm_par helpers".into(),
+            });
+        }
+    }
+}
+
+fn scan_par_spawn_index(path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_ident("spawn") && code.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            // Check the argument list (the worker closure) for indexing.
+            let start = i + 1;
+            let mut depth = 0usize;
+            let mut end = start;
+            while end < code.len() {
+                if code[end].is_punct('(') {
+                    depth += 1;
+                } else if code[end].is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                end += 1;
+            }
+            scan_indexing(path, code, start, end, "par-spawn-index", out);
+            i = end;
+        }
+        i += 1;
+    }
+}
+
+/// A function found in the token stream, with its body extent.
+struct Fn_ {
+    name: String,
+    /// Line of the `fn` keyword.
+    line: u32,
+    end_line: u32,
+    is_pub: bool,
+    returns_result: bool,
+    /// Token range of the body (inside the braces).
+    body: (usize, usize),
+}
+
+impl Fn_ {
+    fn contains_ident(&self, code: &[Token], name: &str) -> bool {
+        code[self.body.0..self.body.1].iter().any(|t| t.is_ident(name))
+    }
+
+    /// Whether the body calls `name(..)`.
+    fn calls(&self, code: &[Token], name: &str) -> bool {
+        let b = &code[self.body.0..self.body.1];
+        b.iter().enumerate().any(|(i, t)| {
+            t.is_ident(name) && b.get(i + 1).is_some_and(|n| n.is_punct('('))
+        })
+    }
+}
+
+/// Finds every `fn` with a brace body (signature-only trait items are
+/// skipped), including nested ones — each gets its own entry.
+fn functions(code: &[Token]) -> Vec<Fn_> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !code[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        // `pub fn`, `pub(crate) fn`, possibly with `unsafe`/`const` in
+        // between: scan a few tokens back for `pub`.
+        let is_pub = (1..=5).any(|back| i >= back && code[i - back].is_ident("pub"));
+        // Walk the signature to the body `{` (or `;`): parens and angle
+        // brackets nest; the first top-level `{` starts the body.
+        let mut j = i + 2;
+        let (mut paren, mut angle) = (0i32, 0i32);
+        let mut sig_end = None;
+        while j < code.len() {
+            match code[j].kind {
+                TokenKind::Punct('(') => paren += 1,
+                TokenKind::Punct(')') => paren -= 1,
+                TokenKind::Punct('<') => angle += 1,
+                TokenKind::Punct('>') => angle = (angle - 1).max(0),
+                TokenKind::Punct('{') if paren == 0 => {
+                    sig_end = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') if paren == 0 && angle <= 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = sig_end else {
+            continue;
+        };
+        let returns_result = code[i + 2..open].iter().any(|t| t.is_ident("Result"));
+        // Match the body braces.
+        let mut depth = 0usize;
+        let mut k = open;
+        let mut close = open;
+        while k < code.len() {
+            if code[k].is_punct('{') {
+                depth += 1;
+            } else if code[k].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        out.push(Fn_ {
+            name: name_tok.text.clone(),
+            line: code[i].line,
+            end_line: code[close].line,
+            is_pub,
+            returns_result,
+            body: (open + 1, close),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        check_source(path, src).into_iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_flagged_elsewhere_ignored() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", src), vec!["hot-unwrap"]);
+        assert!(rules_hit("crates/eval/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let src = "fn f(m: M) { m.lock().unwrap_or_else(std::sync::PoisonError::into_inner); }";
+        assert!(rules_hit("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_without_reason_is_flagged() {
+        let good = "fn f(x: Option<u32>) -> u32 {\n  // pmm-audit: allow(hot-unwrap) — checked above\n  x.unwrap()\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", good).is_empty());
+        let trailing = "fn f(x: Option<u32>) -> u32 { x.unwrap() // pmm-audit: allow(hot-unwrap) — checked\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", trailing).is_empty());
+        let bad = "fn f(x: Option<u32>) -> u32 {\n  // pmm-audit: allow(hot-unwrap)\n  x.unwrap()\n}";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", bad), vec!["bad-allow", "hot-unwrap"]);
+    }
+
+    #[test]
+    fn allow_naming_unknown_rule_is_bad() {
+        let src = "// pmm-audit: allow(no-such-rule) — whatever\nfn f() {}";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", src), vec!["bad-allow"]);
+    }
+
+    #[test]
+    fn panics_in_test_modules_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); panic!(\"x\"); }\n}";
+        assert!(rules_hit("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_only_in_serving_paths() {
+        let src = "fn f(v: &[f32], i: usize) -> f32 { v[i] }";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", src), vec!["hot-index"]);
+        assert_eq!(rules_hit("crates/core/src/recommend.rs", src), vec!["hot-index"]);
+        // The kernel file indexes pervasively by design.
+        assert!(rules_hit("crates/tensor/src/tensor.rs", src).is_empty());
+    }
+
+    #[test]
+    fn index_rule_skips_types_attrs_macros_patterns() {
+        let src = "#[derive(Debug)]\nstruct S { a: [f32; 4] }\nfn f(x: &[usize]) -> Vec<u32> { let [a, b] = [1, 2]; vec![a, b] }";
+        assert!(rules_hit("crates/serve/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn nondet_sources_flagged_in_pinned_crates() {
+        let src = "fn now() { let t = SystemTime::now(); }";
+        assert_eq!(rules_hit("crates/tensor/src/lib.rs", src), vec!["nondet"]);
+        assert!(rules_hit("crates/obs/src/sink.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_flagged_get_is_fine() {
+        let src = "struct S { m: HashMap<u64, f32> }\nimpl S {\n  fn bad(&self) { for v in self.m.values() { let _ = v; } }\n  fn good(&self) -> Option<&f32> { self.m.get(&1) }\n}";
+        assert_eq!(rules_hit("crates/nn/src/x.rs", src), vec!["nondet"]);
+    }
+
+    #[test]
+    fn op_without_span_or_flops_flagged() {
+        let src = "impl Var { pub fn myop(&self) -> Var { Var::from_op(\"myop\", out, vec![], cb) } }";
+        let hits = rules_hit("crates/tensor/src/ops/custom.rs", src);
+        assert_eq!(hits, vec!["op-flops", "op-span"]);
+        let fixed = "impl Var { pub fn myop(&self) -> Var { let _s = pmm_obs::span(\"myop\"); pmm_obs::counter::record_op_flops(1); Var::from_op(\"myop\", out, vec![], cb) } }";
+        assert!(rules_hit("crates/tensor/src/ops/custom.rs", fixed).is_empty());
+        let allowed = "impl Var { pub fn myop(&self) -> Var { let _s = pmm_obs::span(\"myop\");\n// pmm-audit: allow(op-flops) — pure data movement, zero FLOPs\nVar::from_op(\"myop\", out, vec![], cb) } }";
+        assert!(rules_hit("crates/tensor/src/ops/custom.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn serve_pub_fn_touching_errors_must_return_result() {
+        let bad = "pub fn handle(&self) -> u32 { let _e = ServeError::Timeout; 0 }";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", bad), vec!["serve-result"]);
+        let ok = "pub fn handle(&self) -> Result<u32, ServeError> { Err(ServeError::Timeout) }";
+        assert!(rules_hit("crates/serve/src/server.rs", ok).is_empty());
+        let private = "fn handle(&self) -> u32 { let _e = ServeError::Timeout; 0 }";
+        assert!(rules_hit("crates/serve/src/server.rs", private).is_empty());
+    }
+
+    #[test]
+    fn thread_scope_confined_to_par() {
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }";
+        assert_eq!(rules_hit("crates/tensor/src/lib.rs", src), vec!["par-scope"]);
+        assert!(rules_hit("crates/par/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spawned_par_closures_must_not_index() {
+        let src = "fn f() { s.spawn(move || { buf[i] = 0.0; }); }";
+        assert_eq!(rules_hit("crates/par/src/lib.rs", src), vec!["par-spawn-index"]);
+        let ok = "fn f() { s.spawn(move || { f(offset, block); }); }";
+        assert!(rules_hit("crates/par/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn tests_directories_are_out_of_scope() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(rules_hit("crates/serve/tests/chaos.rs", src).is_empty());
+        assert!(rules_hit("tests/src/integration.rs", src).is_empty());
+    }
+}

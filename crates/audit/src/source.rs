@@ -1,0 +1,138 @@
+//! Workspace traversal and the fixture harness.
+//!
+//! The walker finds the workspace root (the nearest ancestor Cargo.toml
+//! declaring `[workspace]`), visits every `.rs` file under it minus
+//! build output, vendored stand-ins and the linter's own deliberately
+//! broken fixtures, and feeds each through the rule engine with its
+//! workspace-relative path.
+//!
+//! Fixtures are single `.rs` files under `crates/audit/fixtures/` with
+//! header directives:
+//!
+//! ```text
+//! //~ lint-as: crates/serve/src/whatever.rs
+//! //~ expect: hot-unwrap
+//! //~ expect: hot-unwrap
+//! ```
+//!
+//! `lint-as` sets the virtual path (rule applicability is path-keyed);
+//! each `expect` names one violation the engine must produce. The
+//! multiset of produced rules must equal the multiset of expectations —
+//! extra findings fail the fixture just like missing ones, so the
+//! harness pins false-positive behaviour too.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::{check_source, Violation};
+
+/// Ascends from `start` to the directory whose Cargo.toml declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "third_party", ".git", "fixtures"];
+
+/// Collects every `.rs` file under `root`, workspace-relative with `/`
+/// separators, sorted for deterministic reports.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every workspace source file; returns all violations.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for path in workspace_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(&path)?;
+        all.extend(check_source(&rel, &src));
+    }
+    Ok(all)
+}
+
+/// Outcome of running one fixture.
+#[derive(Debug)]
+pub struct FixtureResult {
+    pub file: String,
+    pub expected: Vec<String>,
+    pub produced: Vec<String>,
+    pub pass: bool,
+}
+
+/// Runs every fixture under `dir` against the rule engine.
+pub fn run_fixtures(dir: &Path) -> std::io::Result<Vec<FixtureResult>> {
+    let mut results = Vec::new();
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let mut lint_as = String::new();
+        let mut expected: Vec<String> = Vec::new();
+        for line in src.lines() {
+            let Some(directive) = line.trim().strip_prefix("//~") else {
+                continue;
+            };
+            let directive = directive.trim();
+            if let Some(v) = directive.strip_prefix("lint-as:") {
+                lint_as = v.trim().to_string();
+            } else if let Some(v) = directive.strip_prefix("expect:") {
+                expected.push(v.trim().to_string());
+            }
+        }
+        let file = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if lint_as.is_empty() {
+            results.push(FixtureResult {
+                file,
+                expected,
+                produced: vec!["<missing //~ lint-as: directive>".into()],
+                pass: false,
+            });
+            continue;
+        }
+        let mut produced: Vec<String> =
+            check_source(&lint_as, &src).into_iter().map(|v| v.rule.to_string()).collect();
+        produced.sort();
+        expected.sort();
+        let pass = produced == expected;
+        results.push(FixtureResult { file, expected, produced, pass });
+    }
+    Ok(results)
+}

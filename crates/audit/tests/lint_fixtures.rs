@@ -1,0 +1,34 @@
+//! End-to-end linter checks: every fixture under `fixtures/` passes
+//! (seeded violations are caught, clean counterparts produce nothing),
+//! and the workspace itself lints clean — the same gates
+//! `scripts/verify.sh` runs through the `pmm-audit` binary.
+
+use std::path::Path;
+
+use pmm_audit::source::{find_workspace_root, lint_workspace, run_fixtures};
+
+#[test]
+fn every_fixture_passes() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let results = run_fixtures(&dir).expect("fixtures directory readable");
+    assert!(results.len() >= 10, "expected at least one fixture per rule, found {}", results.len());
+    // At least one fixture must pin false-positive behaviour (zero
+    // expectations) and the rest must seed real violations.
+    assert!(results.iter().any(|r| r.expected.is_empty()));
+    assert!(results.iter().any(|r| !r.expected.is_empty()));
+    for r in &results {
+        assert!(r.pass, "{}: expected {:?}, produced {:?}", r.file, r.expected, r.produced);
+    }
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("audit crate lives inside the workspace");
+    let violations = lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        violations.is_empty(),
+        "workspace must lint clean:\n{}",
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -27,6 +27,10 @@ pub struct Cli {
     /// Absent defers to `PMM_THREADS` or the hardware count; results
     /// are bit-identical at every setting.
     pub threads: Option<usize>,
+    /// Run the pre-backward autograd-graph audit on every training
+    /// step even in release builds (`--audit-graph`). Debug builds
+    /// always audit; `PMM_AUDIT_GRAPH=1` is the env equivalent.
+    pub audit_graph: bool,
 }
 
 impl Default for Cli {
@@ -39,6 +43,7 @@ impl Default for Cli {
             obs: None,
             fault_plan: None,
             threads: None,
+            audit_graph: false,
         }
     }
 }
@@ -102,8 +107,9 @@ impl Cli {
                     assert!(n >= 1, "--threads must be at least 1");
                     cli.threads = Some(n);
                 }
+                "--audit-graph" => cli.audit_graph = true,
                 other => panic!(
-                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads)"
+                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads --audit-graph)"
                 ),
             }
         }
@@ -165,6 +171,12 @@ mod tests {
     #[should_panic(expected = "--threads must be at least 1")]
     fn rejects_zero_threads() {
         parse(&["--threads", "0"]);
+    }
+
+    #[test]
+    fn parses_audit_graph() {
+        assert!(parse(&["--audit-graph"]).audit_graph);
+        assert!(!parse(&[]).audit_graph);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub fn setup(cli: &Cli) {
     if let Some(n) = cli.threads {
         obs_info!("par", "kernel threads pinned to {n}");
     }
+    // Opt the trainer's pre-backward graph audit in for this release
+    // run (debug builds always audit).
+    if cli.audit_graph {
+        pmm_audit::graph::set_enabled(true);
+        obs_info!("audit", "autograd-graph audit enabled for every training step");
+    }
     // Arm deterministic fault injection for chaos runs. The spec was
     // validated at CLI parse time.
     if let Some(spec) = &cli.fault_plan {

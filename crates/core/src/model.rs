@@ -49,6 +49,10 @@ pub struct PmmRec {
     healthy_lr: Option<f32>,
     /// Monotonic count of attempted optimisation steps, for telemetry.
     step_seq: u64,
+    /// The tape snapshot from the most recent audited step, kept so
+    /// tests can seed defects into a real training graph and assert
+    /// the auditor rejects them.
+    last_snapshot: Option<pmm_audit::GraphSnapshot>,
 }
 
 /// Per-modality catalogue cache: the serving runtime can rank against
@@ -142,6 +146,7 @@ impl PmmRec {
             guard: AnomalyGuard::new(GuardConfig::default()),
             healthy_lr: None,
             step_seq: 0,
+            last_snapshot: None,
         }
     }
 
@@ -345,6 +350,7 @@ impl PmmRec {
         let (pos_m, den_m, w) = dap_masks(batch, &idx);
         let mut loss = sims.group_contrastive_loss(&pos_m, &den_m, Some(&w));
         let mut out = StepOutcome { dap: loss.value().scalar_value(), ..Default::default() };
+        let mut heads: Vec<(&'static str, Var)> = vec![("dap", loss.clone())];
 
         if self.pretraining {
             let aux = self.obj.aux_weight;
@@ -369,6 +375,7 @@ impl PmmRec {
                         .group_contrastive_loss(&np, &nd, Some(&nw));
                     let term = l_t.add(&l_v).scale(0.5 * aux);
                     out.nicl = term.value().scalar_value();
+                    heads.push(("nicl", term.clone()));
                     loss = loss.add(&term);
                 }
             }
@@ -393,6 +400,7 @@ impl PmmRec {
                     let nid = logits.cross_entropy_logits(labels, Some(&valid_w));
                     let term = nid.scale(aux);
                     out.nid = term.value().scalar_value();
+                    heads.push(("nid", term.clone()));
                     loss = loss.add(&term);
                 }
 
@@ -405,6 +413,7 @@ impl PmmRec {
                     let rcl = rcl_sims.group_contrastive_loss(&rp, &rd, None);
                     let term = rcl.scale(aux);
                     out.rcl = term.value().scalar_value();
+                    heads.push(("rcl", term.clone()));
                     loss = loss.add(&term);
                 }
             }
@@ -422,10 +431,58 @@ impl PmmRec {
             // the anomaly guard in `train_epoch` decide what to do.
             return out;
         }
+        if cfg!(debug_assertions) || pmm_audit::graph::enabled() {
+            heads.push(("total", loss.clone()));
+            self.audit_tape(&heads, &ctx);
+        }
         loss.backward();
         let _sp = pmm_obs::span("optimizer");
         out.grad_norm = self.opt.step(&self.store, &ctx);
         out
+    }
+
+    /// Pre-backward structural audit of this step's autograd tape:
+    /// acyclicity, per-op shape consistency, backward bookkeeping, and
+    /// reachability of every trainable parameter from the loss. Always
+    /// on in debug/test builds; opt-in in release via the bench
+    /// `--audit-graph` flag or `PMM_AUDIT_GRAPH=1`.
+    ///
+    /// Panics on violations — a malformed tape means the gradients are
+    /// wrong, which is not a recoverable per-batch condition.
+    fn audit_tape(&mut self, heads: &[(&'static str, Var)], ctx: &Ctx) {
+        let _sp = pmm_obs::span("graph_audit");
+        let named: Vec<(&str, &Var)> = heads.iter().map(|(n, v)| (*n, v)).collect();
+        let interned = ctx.interned();
+        let params: Vec<(String, &Var, bool)> = interned
+            .iter()
+            .map(|(id, v)| {
+                let (name, trainable) = self
+                    .store
+                    .params()
+                    .iter()
+                    .find(|p| p.id() == *id)
+                    .map(|p| (p.name().to_string(), p.trainable()))
+                    .unwrap_or_else(|| (format!("param#{id}"), false));
+                (name, v, trainable)
+            })
+            .collect();
+        let snap = pmm_audit::graph::capture(&named, &params);
+        let violations = pmm_audit::audit_snapshot(&snap);
+        self.last_snapshot = Some(snap);
+        if violations.is_empty() {
+            pmm_obs::counter::GRAPH_AUDITS.add(1);
+        } else {
+            let list: Vec<String> =
+                violations.iter().map(|v| format!("  - {v}")).collect();
+            panic!("autograd graph audit failed before backward:\n{}", list.join("\n"));
+        }
+    }
+
+    /// The tape snapshot captured by the most recent audited step, if
+    /// auditing was active. Tests tamper with this to prove the
+    /// auditor rejects seeded defects on a real training graph.
+    pub fn last_graph_snapshot(&self) -> Option<&pmm_audit::GraphSnapshot> {
+        self.last_snapshot.as_ref()
     }
 
     /// Global L2 norm over all parameters (frozen ones included).

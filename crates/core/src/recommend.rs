@@ -65,6 +65,7 @@ impl PmmRec {
         let max_len = self.config().max_len;
         let clipped: Vec<&[usize]> = prefixes
             .iter()
+            // pmm-audit: allow(hot-index) — start index is len.saturating_sub(..), which is ≤ len by construction
             .map(|p| &p[p.len().saturating_sub(max_len)..])
             .collect();
         let batch = Batch::from_sequences(&clipped, max_len);
@@ -117,6 +118,7 @@ impl PmmRec {
             return Err(RecommendError::EmptyPrefix);
         }
         let max_len = self.config().max_len;
+        // pmm-audit: allow(hot-index) — start index is len.saturating_sub(..), which is ≤ len by construction
         let clipped = &prefix[prefix.len().saturating_sub(max_len)..];
         let batch = Batch::from_sequences(&[clipped], max_len);
         Ok(self.user_hidden_last_with(catalog, &batch))

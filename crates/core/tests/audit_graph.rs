@@ -1,0 +1,108 @@
+//! The graph auditor against real PMMRec training tapes.
+//!
+//! The test profile builds with `debug_assertions`, so every training
+//! step runs the pre-backward audit. These tests prove two things:
+//! the full four-objective pre-training graph audits clean (and the
+//! audit actually ran), and the auditor rejects defects seeded into a
+//! snapshot of that same real tape — a cycle, a shape lie, and a
+//! parameter cut off from the loss. The defects are seeded into the
+//! captured snapshot because the safe `Var` API cannot build a broken
+//! graph, which is exactly why the auditor works on the value type.
+
+use pmm_audit::{audit_snapshot, GraphSnapshot, GraphViolation};
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::SeqRecommender;
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pre-trains one epoch with all four objectives (DAP + NICL + NID +
+/// RCL) and returns the model with its last audited tape snapshot.
+fn pretrained_model() -> PmmRec {
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, 7);
+    let cfg = PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        fusion_layers: 1,
+        user_layers: 1,
+        dropout: 0.1,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = PmmRec::new(cfg, &ds, &mut rng);
+    model.set_pretraining(true);
+    let loss = model.train_epoch(&ds.sequences, &mut rng);
+    assert!(loss.is_finite());
+    model
+}
+
+#[test]
+fn four_objective_training_graph_audits_clean() {
+    pmm_obs::set_enabled(true);
+    let base = pmm_obs::counter::GRAPH_AUDITS.get();
+    let model = pretrained_model();
+    assert!(
+        pmm_obs::counter::GRAPH_AUDITS.get() > base,
+        "the pre-backward audit must actually run under debug_assertions"
+    );
+    let snap = model.last_graph_snapshot().expect("audited step keeps its snapshot");
+    // All four objective heads plus the combined loss were audited.
+    let mut heads: Vec<&str> = snap.heads.iter().map(|(n, _)| n.as_str()).collect();
+    heads.sort_unstable();
+    assert_eq!(heads, vec!["dap", "nicl", "nid", "rcl", "total"]);
+    assert!(snap.nodes.len() > 100, "a real tape is not a toy graph: {}", snap.nodes.len());
+    assert!(!snap.params.is_empty());
+    assert_eq!(audit_snapshot(snap), Vec::new(), "the real tape audits clean");
+}
+
+fn tampered(model: &PmmRec) -> GraphSnapshot {
+    model.last_graph_snapshot().expect("audited step keeps its snapshot").clone()
+}
+
+#[test]
+fn auditor_rejects_seeded_defects_on_a_real_tape() {
+    let model = pretrained_model();
+
+    // Defect 1: a cycle — make an early node a child of the newest.
+    let mut snap = tampered(&model);
+    let newest = snap.nodes.last().expect("nonempty tape").id;
+    snap.nodes[0].parents.push(newest);
+    let v = audit_snapshot(&snap);
+    assert!(
+        v.iter().any(|x| matches!(x, GraphViolation::Cycle { .. })),
+        "seeded cycle must be caught, got {v:?}"
+    );
+
+    // Defect 2: a shape lie on a matmul output.
+    let mut snap = tampered(&model);
+    let i = snap
+        .nodes
+        .iter()
+        .position(|n| n.op == "matmul")
+        .expect("a PMMRec tape contains matmuls");
+    snap.nodes[i].shape = vec![1, 1];
+    let v = audit_snapshot(&snap);
+    assert!(
+        v.iter().any(|x| matches!(x, GraphViolation::ShapeMismatch { .. })),
+        "seeded shape lie must be caught, got {v:?}"
+    );
+
+    // Defect 3: a trainable parameter cut off from every loss head —
+    // silently frozen training, the worst kind of quiet bug.
+    let mut snap = tampered(&model);
+    let cut = snap.params.first().expect("params present").id;
+    for n in &mut snap.nodes {
+        n.parents.retain(|&p| p != cut);
+    }
+    // Severing edges can orphan interior nodes too; the param check is
+    // what this defect is about.
+    let v = audit_snapshot(&snap);
+    assert!(
+        v.iter().any(|x| matches!(x, GraphViolation::UnreachableParam { .. })),
+        "severed parameter must be caught, got {v:?}"
+    );
+}

@@ -71,15 +71,24 @@ pub fn transition_entropy(dataset: &Dataset, min_support: usize) -> f32 {
             *next.entry(w[0]).or_default().entry(w[1]).or_default() += 1;
         }
     }
+    // Float accumulation order must not depend on hash order, or the
+    // reported entropy drifts in the last bits between runs.
+    // pmm-audit: allow(nondet) — order normalised by the sort below
+    let mut prev_items: Vec<usize> = next.keys().copied().collect();
+    prev_items.sort_unstable();
     let mut total_entropy = 0.0f32;
     let mut contributing = 0usize;
-    for dist in next.values() {
+    for prev in prev_items {
+        let dist = &next[&prev];
         let support: usize = dist.values().sum();
         if support < min_support {
             continue;
         }
+        let mut counts: Vec<(usize, usize)> =
+            dist.iter().map(|(&item, &c)| (item, c)).collect();
+        counts.sort_unstable();
         let mut h = 0.0f32;
-        for &c in dist.values() {
+        for &(_, c) in &counts {
             let p = c as f32 / support as f32;
             h -= p * p.log2();
         }

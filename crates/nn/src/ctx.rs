@@ -63,6 +63,16 @@ impl<'r> Ctx<'r> {
         self.interned.get(&p.id()).and_then(Var::grad)
     }
 
+    /// Every parameter leaf interned this step, as `(param id, leaf)`
+    /// sorted by id — the graph auditor's view of what the optimiser
+    /// will try to update.
+    pub fn interned(&self) -> Vec<(u64, Var)> {
+        // pmm-audit: allow(nondet) — order normalised by the sort below
+        let mut out: Vec<(u64, Var)> = self.interned.iter().map(|(&id, v)| (id, v.clone())).collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Samples an inverted-scaling dropout keep-mask of the given shape.
     ///
     /// Returns `None` when not training or `p == 0`, meaning "skip the

@@ -41,6 +41,14 @@ impl Counter {
 /// Estimated floating-point operations in matmul kernels (2·m·k·n per
 /// product, accumulated from actual shapes).
 pub static MATMUL_FLOPS: Counter = Counter::new("matmul_flops");
+/// Estimated scalar FLOPs in non-matmul tensor ops (elementwise,
+/// activations, normalisation, reductions, losses) — per-op estimates
+/// recorded at op-construction time so the matmul counter no longer
+/// under-reports total arithmetic.
+pub static OP_FLOPS: Counter = Counter::new("op_flops");
+/// Pre-backward autograd graph audits that ran and passed
+/// (`pmm_audit::graph` via the training-step hook).
+pub static GRAPH_AUDITS: Counter = Counter::new("graph_audits");
 /// Dense tensors materialized.
 pub static TENSOR_ALLOCS: Counter = Counter::new("tensor_allocs");
 /// Bytes of tensor element storage allocated.
@@ -170,6 +178,12 @@ pub fn record_tensor_alloc(elems: usize) {
     }
 }
 
+/// Record `n` estimated scalar FLOPs from a non-matmul tensor op.
+#[inline]
+pub fn record_op_flops(n: u64) {
+    OP_FLOPS.add(n);
+}
+
 /// Exact FLOP estimate [`record_matmul`] uses, exposed so tests and
 /// roofline math share one definition.
 pub fn matmul_flop_estimate(m: usize, k: usize, n: usize) -> u64 {
@@ -210,6 +224,8 @@ pub fn tape_live() -> u64 {
 pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
     vec![
         (MATMUL_FLOPS.name, MATMUL_FLOPS.get()),
+        (OP_FLOPS.name, OP_FLOPS.get()),
+        (GRAPH_AUDITS.name, GRAPH_AUDITS.get()),
         (TENSOR_ALLOCS.name, TENSOR_ALLOCS.get()),
         (TENSOR_ALLOC_BYTES.name, TENSOR_ALLOC_BYTES.get()),
         (TAPE_NODES.name, TAPE_NODES.get()),
@@ -243,6 +259,8 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
 pub fn reset_counters() {
     for c in [
         &MATMUL_FLOPS,
+        &OP_FLOPS,
+        &GRAPH_AUDITS,
         &TENSOR_ALLOCS,
         &TENSOR_ALLOC_BYTES,
         &TAPE_NODES,

@@ -136,6 +136,11 @@ where
         f(0, out);
         return;
     }
+    // Offset arithmetic invariant (pinned by `offsets_are_prefix_sums_
+    // of_block_lengths`): `chunks_mut(k)` yields equal-size chunks
+    // except possibly the last, so block `ci` starts exactly at row
+    // `ci * chunk_rows`. A balanced partition (sizes differing by one)
+    // would silently break every `ci * chunk_rows` below.
     let chunk_rows = rows.div_ceil(workers);
     let base = pmm_obs::span::current_path();
     let mut worker_ns = 0u64;
@@ -384,6 +389,56 @@ mod tests {
             }
         });
         assert_eq!(out[63], 63.0);
+        set_threads(None);
+    }
+
+    #[test]
+    fn offsets_are_prefix_sums_of_block_lengths() {
+        let _g = lock();
+        // The `ci * chunk_rows` offset passed to each worker is only
+        // correct while `chunks_mut` hands out equal-size blocks with
+        // the remainder in the last one. Record what the workers were
+        // actually told and check it against the block lengths, across
+        // divisible (12 rows / 4) and ragged (13 rows / 4) partitions
+        // and all three primitives.
+        for &(rows, t) in &[(12usize, 4usize), (13, 4), (13, 2), (5, 8)] {
+            set_threads(Some(t));
+            let row_len = 3;
+
+            let seen = Mutex::new(Vec::new());
+            let mut out = vec![0.0f32; rows * row_len];
+            for_each_row_chunk(&mut out, row_len, 1, |row0, block| {
+                seen.lock().unwrap().push((row0, block.len() / row_len));
+            });
+            let mut blocks = seen.into_inner().unwrap();
+            blocks.sort_unstable();
+            let mut next = 0;
+            for &(row0, nrows) in &blocks {
+                assert_eq!(row0, next, "rows={rows} threads={t}: offset must be the prefix sum");
+                next += nrows;
+            }
+            assert_eq!(next, rows, "rows={rows} threads={t}: blocks must cover exactly");
+
+            let seen2 = Mutex::new(Vec::new());
+            let mut a = vec![0.0f32; rows * row_len];
+            let mut b = vec![0.0f32; rows];
+            for_each_row_chunk2(&mut a, row_len, &mut b, 1, 1, |row0, ba, bb| {
+                assert_eq!(ba.len() / row_len, bb.len(), "paired blocks split at the same rows");
+                seen2.lock().unwrap().push((row0, bb.len()));
+            });
+            let mut blocks2 = seen2.into_inner().unwrap();
+            blocks2.sort_unstable();
+            assert_eq!(blocks, blocks2, "both row primitives partition identically");
+
+            let items: Vec<usize> = (0..rows).collect();
+            let parts = map_chunks(&items, 1, |off, block| (off, block.len()));
+            let mut next = 0;
+            for (off, len) in parts {
+                assert_eq!(off, next, "rows={rows} threads={t}: map_chunks offset drifted");
+                next += len;
+            }
+            assert_eq!(next, rows);
+        }
         set_threads(None);
     }
 

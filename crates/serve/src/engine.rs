@@ -132,6 +132,7 @@ impl ServeEngine for PmmEngine {
     }
 
     fn encode(&self, tier: Tier, slow_fault: Duration) -> Result<Encoded, Component> {
+        // pmm-audit: allow(hot-unwrap) — ladder() only yields model-backed tiers, so tier_modality is total here
         let modality = tier_modality(tier).expect("encode called on a model-backed tier");
         let mut slept = Vec::new();
         for component in self.components(tier) {
@@ -147,6 +148,7 @@ impl ServeEngine for PmmEngine {
         let catalog = self
             .model
             .serve_catalog(modality)
+            // pmm-audit: allow(hot-unwrap) — the modality came from the model's own ladder, so it is supported by construction
             .expect("ladder() only reports supported modalities");
         Ok(Encoded { catalog, slept })
     }

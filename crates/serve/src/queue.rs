@@ -7,7 +7,7 @@
 //! deterministically before releasing the floodgate.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -23,6 +23,14 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// Locks the queue state, recovering from poison: a worker
+    /// panicking mid-request must not wedge the whole server, and the
+    /// queue's state (a deque plus two flags) is valid at every
+    /// instruction boundary, so the poisoned guard is safe to adopt.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// An empty queue holding at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
@@ -39,14 +47,14 @@ impl<T> BoundedQueue<T> {
 
     /// Current depth (racy by nature; exact under `pause`).
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().items.len()
+        self.lock_inner().items.len()
     }
 
     /// Attempts to enqueue without blocking. Returns the depth after
     /// the push, or `Err(depth)` when the queue is full or closed —
     /// the caller sheds the request.
     pub fn try_push(&self, item: T) -> Result<usize, usize> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if inner.closed || inner.items.len() >= self.capacity {
             return Err(inner.items.len());
         }
@@ -61,7 +69,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available (and the queue is unpaused),
     /// or returns `None` once the queue is closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         loop {
             if inner.closed {
                 // Drain whatever is left so no accepted request is lost.
@@ -72,7 +80,7 @@ impl<T> BoundedQueue<T> {
                     return Some(item);
                 }
             }
-            inner = self.ready.wait(inner).unwrap();
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -80,7 +88,7 @@ impl<T> BoundedQueue<T> {
     /// are unaffected, so a paused queue fills to capacity and then
     /// sheds — the deterministic overflow scenario.
     pub fn set_paused(&self, paused: bool) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.paused = paused;
         drop(inner);
         self.ready.notify_all();
@@ -89,7 +97,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: producers are rejected from now on, consumers
     /// drain the remaining items and then observe `None`.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.closed = true;
         drop(inner);
         self.ready.notify_all();

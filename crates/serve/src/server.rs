@@ -20,7 +20,7 @@ use pmm_obs::counter as ctr;
 use pmmrec::{RecommendError, Recommendation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -161,12 +161,20 @@ struct Shared {
     slow_fault: Duration,
 }
 
+/// Locks shared serving state, recovering from poison: breaker and
+/// cache values are valid at every instruction boundary, and a worker
+/// panicking mid-request must not take every other worker down.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 fn breaker_of(shared: &Shared, c: Component) -> &Mutex<CircuitBreaker> {
     let idx = match c {
         Component::TextEncoder => 0,
         Component::VisionEncoder => 1,
         Component::Ranker => 2,
     };
+    // pmm-audit: allow(hot-index) — idx is 0..=2 by the match above, and the array has 3 slots
     &shared.breakers[idx]
 }
 
@@ -218,6 +226,7 @@ impl Server {
                             handle(&engine, &shared, job);
                         }
                     })
+                    // pmm-audit: allow(hot-unwrap) — pool startup, not the request path; a failed spawn means the server never comes up
                     .expect("spawn serve worker")
             })
             .collect();
@@ -263,12 +272,12 @@ impl Server {
 
     /// A component breaker's current state.
     pub fn breaker_state(&self, c: Component) -> BreakerState {
-        breaker_of(&self.shared, c).lock().unwrap().state()
+        lock_clean(breaker_of(&self.shared, c)).state()
     }
 
     /// A component breaker's lifetime trip count.
     pub fn breaker_trips(&self, c: Component) -> u64 {
-        breaker_of(&self.shared, c).lock().unwrap().trips()
+        lock_clean(breaker_of(&self.shared, c)).trips()
     }
 
     /// Closes the queue and joins the workers after they drain the
@@ -308,7 +317,7 @@ fn respond(shared: &Shared, job: &Job, tier: Tier, items: Vec<Recommendation>) {
         Tier::Popularity => ctr::SERVE_TIER_POP.add(1),
     }
     if matches!(tier, Tier::Full | Tier::TextOnly | Tier::VisionOnly) {
-        shared.cache.lock().unwrap().insert(job.request.user, items.clone());
+        lock_clean(&shared.cache).insert(job.request.user, items.clone());
     }
     let _ = job.reply.send(Ok(Response {
         id: job.id,
@@ -335,11 +344,11 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         // released (their probe slot is returned unreported).
         let mut admitted = Vec::new();
         for &c in &components {
-            if breaker_of(shared, c).lock().unwrap().admit() {
+            if lock_clean(breaker_of(shared, c)).admit() {
                 admitted.push(c);
             } else {
                 for &a in &admitted {
-                    breaker_of(shared, a).lock().unwrap().release();
+                    lock_clean(breaker_of(shared, a)).release();
                 }
                 continue 'ladder;
             }
@@ -353,7 +362,7 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         let encoded = match encoded {
             Err(failed) => {
                 for &c in &components {
-                    let mut b = breaker_of(shared, c).lock().unwrap();
+                    let mut b = lock_clean(breaker_of(shared, c));
                     // Only the component that errored gets an outcome;
                     // siblings the abort skipped return their slot.
                     if c == failed {
@@ -370,17 +379,17 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
             // Slowness is charged to the components that stalled; the
             // rest completed honestly.
             for &c in &components {
-                breaker_of(shared, c).lock().unwrap().record(!encoded.slept.contains(&c));
+                lock_clean(breaker_of(shared, c)).record(!encoded.slept.contains(&c));
             }
             deadline_miss(&job, "encode");
             return;
         }
         for &c in &components {
-            breaker_of(shared, c).lock().unwrap().record(true);
+            lock_clean(breaker_of(shared, c)).record(true);
         }
 
         // Stages 2+3 share the ranking-path breaker.
-        if !breaker_of(shared, Component::Ranker).lock().unwrap().admit() {
+        if !lock_clean(breaker_of(shared, Component::Ranker)).admit() {
             break 'ladder;
         }
 
@@ -391,14 +400,14 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         };
         let user = match user {
             Err(_) => {
-                breaker_of(shared, Component::Ranker).lock().unwrap().record(false);
+                lock_clean(breaker_of(shared, Component::Ranker)).record(false);
                 break 'ladder;
             }
             Ok(u) => u,
         };
         if expired(job.deadline) {
             // The ranking path itself was healthy; the budget ran out.
-            breaker_of(shared, Component::Ranker).lock().unwrap().record(true);
+            lock_clean(breaker_of(shared, Component::Ranker)).record(true);
             deadline_miss(&job, "user_encode");
             return;
         }
@@ -408,7 +417,7 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
             let _sp = pmm_obs::span("serve_rank");
             engine.rank(&encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen)
         };
-        breaker_of(shared, Component::Ranker).lock().unwrap().record(true);
+        lock_clean(breaker_of(shared, Component::Ranker)).record(true);
         respond(shared, &job, tier, items);
         return;
     }
@@ -419,7 +428,7 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         deadline_miss(&job, "rank");
         return;
     }
-    let cached = shared.cache.lock().unwrap().get(&req.user).cloned();
+    let cached = lock_clean(&shared.cache).get(&req.user).cloned();
     if let Some(mut items) = cached {
         items.truncate(req.k);
         respond(shared, &job, Tier::CachedTopK, items);

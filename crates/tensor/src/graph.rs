@@ -19,6 +19,9 @@ type BackwardFn = Box<dyn Fn(&Tensor)>;
 
 pub(crate) struct VarInner {
     id: u64,
+    /// The op that produced this node (`"leaf"` / `"const"` for inputs);
+    /// recorded so external auditors can check per-op graph invariants.
+    op: &'static str,
     value: Tensor,
     grad: RefCell<Option<Tensor>>,
     requires_grad: bool,
@@ -36,6 +39,7 @@ impl std::fmt::Debug for Var {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Var")
             .field("id", &self.inner.id)
+            .field("op", &self.inner.op)
             .field("shape", &self.inner.value.shape())
             .field("requires_grad", &self.inner.requires_grad)
             .finish()
@@ -50,6 +54,7 @@ impl Drop for VarInner {
 
 impl Var {
     fn new(
+        op: &'static str,
         value: Tensor,
         requires_grad: bool,
         parents: Vec<Var>,
@@ -59,6 +64,7 @@ impl Var {
         Var {
             inner: Rc::new(VarInner {
                 id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+                op,
                 value,
                 grad: RefCell::new(None),
                 requires_grad,
@@ -70,26 +76,65 @@ impl Var {
 
     /// A differentiable leaf (e.g. a model parameter for this step).
     pub fn leaf(value: Tensor) -> Self {
-        Var::new(value, true, Vec::new(), None)
+        Var::new("leaf", value, true, Vec::new(), None)
     }
 
     /// A non-differentiable input (data, masks, …). Ops whose inputs are
     /// all constants skip recording backward closures entirely.
     pub fn constant(value: Tensor) -> Self {
-        Var::new(value, false, Vec::new(), None)
+        Var::new("const", value, false, Vec::new(), None)
     }
 
-    /// Records a new op node. `backward` receives the gradient w.r.t.
-    /// this node's value and must accumulate into the parents it
-    /// captured. When no parent requires gradients the closure and the
-    /// parent list are dropped, pruning the graph.
-    pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+    /// Records a new op node named `op`. `backward` receives the
+    /// gradient w.r.t. this node's value and must accumulate into the
+    /// parents it captured. When no parent requires gradients the
+    /// closure and the parent list are dropped, pruning the graph.
+    pub(crate) fn from_op(
+        op: &'static str,
+        value: Tensor,
+        parents: Vec<Var>,
+        backward: BackwardFn,
+    ) -> Self {
         let requires = parents.iter().any(|p| p.inner.requires_grad);
         if requires {
-            Var::new(value, true, parents, Some(backward))
+            Var::new(op, value, true, parents, Some(backward))
         } else {
-            Var::new(value, false, Vec::new(), None)
+            Var::new(op, value, false, Vec::new(), None)
         }
+    }
+
+    /// Creation-ordered unique node id. Ids increase strictly with
+    /// creation order, so a parent's id is always smaller than its
+    /// child's — the property both `backward` and external graph
+    /// auditors rely on.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The op that produced this node (`"leaf"` / `"const"` for inputs).
+    #[inline]
+    pub fn op(&self) -> &'static str {
+        self.inner.op
+    }
+
+    /// The parent handles this node was recorded with (empty for leaves
+    /// and for op nodes pruned because no parent required gradients).
+    #[inline]
+    pub fn parents(&self) -> &[Var] {
+        &self.inner.parents
+    }
+
+    /// Whether a backward closure is recorded for this node.
+    #[inline]
+    pub fn has_backward(&self) -> bool {
+        self.inner.backward.is_some()
+    }
+
+    /// Whether a gradient has already been accumulated into this node.
+    #[inline]
+    pub fn has_grad(&self) -> bool {
+        self.inner.grad.borrow().is_some()
     }
 
     /// The node's value.

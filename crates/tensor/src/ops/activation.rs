@@ -7,13 +7,22 @@ use crate::Tensor;
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
 const GELU_A: f32 = 0.044_715;
 
+// Rough per-element scalar-FLOP costs for the transcendental
+// activations (an `exp`/`tanh` evaluation is counted as a handful of
+// FLOPs, matching the usual roofline accounting convention).
+const TANH_COST: u64 = 8;
+const SIGMOID_COST: u64 = 4;
+const GELU_COST: u64 = 14;
+
 impl Var {
     /// Rectified linear unit.
     pub fn relu(&self) -> Var {
         let _sp = pmm_obs::span("relu");
         let out = self.value().map(|v| v.max(0.0));
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let a = self.clone();
         Var::from_op(
+            "relu",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -27,8 +36,10 @@ impl Var {
     pub fn gelu(&self) -> Var {
         let _sp = pmm_obs::span("gelu");
         let out = self.value().map(gelu_scalar);
+        pmm_obs::counter::record_op_flops(GELU_COST * out.len() as u64);
         let a = self.clone();
         Var::from_op(
+            "gelu",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -40,10 +51,13 @@ impl Var {
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Var {
+        let _sp = pmm_obs::span("tanh");
         let out = self.value().map(f32::tanh);
+        pmm_obs::counter::record_op_flops(TANH_COST * out.len() as u64);
         let a = self.clone();
         let y = out.clone();
         Var::from_op(
+            "tanh",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -55,10 +69,13 @@ impl Var {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
+        let _sp = pmm_obs::span("sigmoid");
         let out = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
+        pmm_obs::counter::record_op_flops(SIGMOID_COST * out.len() as u64);
         let a = self.clone();
         let y = out.clone();
         Var::from_op(
+            "sigmoid",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -70,10 +87,13 @@ impl Var {
 
     /// Elementwise exponential.
     pub fn exp(&self) -> Var {
+        let _sp = pmm_obs::span("exp");
         let out = self.value().map(f32::exp);
+        pmm_obs::counter::record_op_flops(SIGMOID_COST * out.len() as u64);
         let a = self.clone();
         let y = out.clone();
         Var::from_op(
+            "exp",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&g.mul(&y))),
@@ -82,9 +102,12 @@ impl Var {
 
     /// Elementwise natural logarithm of inputs clamped to `>= 1e-12`.
     pub fn ln(&self) -> Var {
+        let _sp = pmm_obs::span("ln");
         let out = self.value().map(|v| v.max(1e-12).ln());
+        pmm_obs::counter::record_op_flops(SIGMOID_COST * out.len() as u64);
         let a = self.clone();
         Var::from_op(
+            "ln",
             out,
             vec![self.clone()],
             Box::new(move |g| {

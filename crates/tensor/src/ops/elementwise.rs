@@ -7,10 +7,13 @@ impl Var {
     /// Elementwise sum (same shape).
     #[track_caller]
     pub fn add(&self, other: &Var) -> Var {
+        let _sp = pmm_obs::span("add");
         check_same_shape("Var::add", self.shape(), other.shape());
         let out = self.value().add(other.value());
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(
+            "add",
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
@@ -23,10 +26,13 @@ impl Var {
     /// Elementwise difference (same shape).
     #[track_caller]
     pub fn sub(&self, other: &Var) -> Var {
+        let _sp = pmm_obs::span("sub");
         check_same_shape("Var::sub", self.shape(), other.shape());
         let out = self.value().sub(other.value());
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(
+            "sub",
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
@@ -39,10 +45,13 @@ impl Var {
     /// Hadamard product (same shape).
     #[track_caller]
     pub fn mul(&self, other: &Var) -> Var {
+        let _sp = pmm_obs::span("mul");
         check_same_shape("Var::mul", self.shape(), other.shape());
         let out = self.value().mul(other.value());
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(
+            "mul",
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
@@ -54,9 +63,12 @@ impl Var {
 
     /// Multiplication by a constant scalar.
     pub fn scale(&self, c: f32) -> Var {
+        let _sp = pmm_obs::span("scale");
         let out = self.value().scale(c);
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let a = self.clone();
         Var::from_op(
+            "scale",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&g.scale(c))),
@@ -65,9 +77,11 @@ impl Var {
 
     /// Addition of a constant scalar to every element.
     pub fn add_scalar(&self, c: f32) -> Var {
+        let _sp = pmm_obs::span("add_scalar");
         let out = self.value().map(|v| v + c);
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let a = self.clone();
-        Var::from_op(out, vec![self.clone()], Box::new(move |g| a.accum_grad(g)))
+        Var::from_op("add_scalar", out, vec![self.clone()], Box::new(move |g| a.accum_grad(g)))
     }
 
     /// Negation.
@@ -78,6 +92,7 @@ impl Var {
     /// Broadcast-adds a rank-1 bias over the last axis: `[.., d] + [d]`.
     #[track_caller]
     pub fn add_bias(&self, bias: &Var) -> Var {
+        let _sp = pmm_obs::span("add_bias");
         let d = *self
             .shape()
             .last()
@@ -98,8 +113,10 @@ impl Var {
             }
         }
         let out = Tensor::from_vec(data, self.shape()).expect("same numel");
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let (a, b) = (self.clone(), bias.clone());
         Var::from_op(
+            "add_bias",
             out,
             vec![self.clone(), bias.clone()],
             Box::new(move |g| {

@@ -27,9 +27,11 @@ impl Var {
     #[track_caller]
     pub fn matmul_tt(&self, other: &Var, trans_a: bool, trans_b: bool) -> Var {
         let _sp = pmm_obs::span("matmul");
+        // pmm-audit: allow(op-flops) — FLOPs recorded by the matmul kernel
         let out = self.value().matmul_t(other.value(), trans_a, trans_b);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(
+            "matmul",
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
@@ -56,9 +58,11 @@ impl Var {
     #[track_caller]
     pub fn bmm_tt(&self, other: &Var, trans_a: bool, trans_b: bool) -> Var {
         let _sp = pmm_obs::span("bmm");
+        // pmm-audit: allow(op-flops) — FLOPs recorded by the bmm kernel
         let out = self.value().bmm_t(other.value(), trans_a, trans_b);
         let (a, b) = (self.clone(), other.clone());
         Var::from_op(
+            "bmm",
             out,
             vec![self.clone(), other.clone()],
             Box::new(move |g| {
@@ -73,9 +77,11 @@ impl Var {
     #[track_caller]
     pub fn transpose2(&self) -> Var {
         let _sp = pmm_obs::span("transpose2");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         let out = self.value().transpose2();
         let a = self.clone();
         Var::from_op(
+            "transpose2",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&g.transpose2())),

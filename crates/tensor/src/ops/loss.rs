@@ -16,6 +16,7 @@ impl Var {
     /// is normalised by the weight sum. Returns a `[1]` scalar.
     #[track_caller]
     pub fn cross_entropy_logits(&self, targets: &[usize], row_weights: Option<&[f32]>) -> Var {
+        let _sp = pmm_obs::span("cross_entropy");
         assert_eq!(self.shape().len(), 2, "cross_entropy: logits must be rank 2");
         let (n, c) = (self.shape()[0], self.shape()[1]);
         assert_eq!(targets.len(), n, "cross_entropy: {n} rows, {} targets", targets.len());
@@ -44,9 +45,11 @@ impl Var {
         }
         let norm = if wsum > 0.0 { wsum } else { 1.0 };
         let out = Tensor::scalar(loss / norm);
+        pmm_obs::counter::record_op_flops(5 * (n * c) as u64);
         let a = self.clone();
         let targets: Rc<[usize]> = targets.into();
         Var::from_op(
+            "cross_entropy",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -91,6 +94,7 @@ impl Var {
         den_mask: &Tensor,
         row_weights: Option<&[f32]>,
     ) -> Var {
+        let _sp = pmm_obs::span("group_contrastive");
         assert_eq!(self.shape().len(), 2, "group_contrastive: sims must be rank 2");
         let (n, m) = (self.shape()[0], self.shape()[1]);
         assert_eq!(pos_mask.shape(), &[n, m], "group_contrastive: pos mask shape");
@@ -157,9 +161,11 @@ impl Var {
         }
         let norm = if wsum > 0.0 { wsum } else { 1.0 };
         let out = Tensor::scalar(loss / norm);
+        pmm_obs::counter::record_op_flops(6 * (n * m) as u64);
         let a = self.clone();
         let shape = self.shape().to_vec();
         Var::from_op(
+            "group_contrastive",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -295,6 +301,7 @@ impl Var {
     /// `sum_i w_i (x_i - t_i)^2 / sum_i w_i`.
     #[track_caller]
     pub fn mse_loss(&self, targets: &[f32], row_weights: Option<&[f32]>) -> Var {
+        let _sp = pmm_obs::span("mse");
         let n = self.value().len();
         assert_eq!(targets.len(), n, "mse_loss: {n} predictions, {} targets", targets.len());
         if let Some(w) = row_weights {
@@ -315,9 +322,11 @@ impl Var {
             loss += weights[i] * r * r;
         }
         let out = Tensor::scalar(loss / norm);
+        pmm_obs::counter::record_op_flops(3 * n as u64);
         let a = self.clone();
         let shape = self.shape().to_vec();
         Var::from_op(
+            "mse",
             out,
             vec![self.clone()],
             Box::new(move |g| {

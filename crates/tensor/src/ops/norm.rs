@@ -8,11 +8,14 @@ use crate::{Tensor, Var};
 impl Var {
     /// Softmax over the last axis.
     pub fn softmax_last(&self) -> Var {
+        let _sp = pmm_obs::span("softmax");
         let out = self.value().softmax_last();
+        pmm_obs::counter::record_op_flops(5 * out.len() as u64);
         let a = self.clone();
         let y = out.clone();
         let (rows, last) = rows_last("softmax", self.shape());
         Var::from_op(
+            "softmax",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&softmax_backward(&y, g, rows, last))),
@@ -26,6 +29,7 @@ impl Var {
     /// are exactly zero). Fully masked rows produce all-zero rows.
     #[track_caller]
     pub fn masked_softmax_last(&self, mask: &Tensor) -> Var {
+        let _sp = pmm_obs::span("masked_softmax");
         assert_eq!(
             mask.shape(),
             self.shape(),
@@ -44,9 +48,11 @@ impl Var {
         // Tensor::softmax_last already handles the -inf rows and runs
         // row-parallel for large inputs.
         let out = masked.softmax_last();
+        pmm_obs::counter::record_op_flops(6 * out.len() as u64);
         let a = self.clone();
         let y = out.clone();
         Var::from_op(
+            "masked_softmax",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&softmax_backward(&y, g, rows, last))),
@@ -58,6 +64,7 @@ impl Var {
     /// `y = gamma * (x - mean) / sqrt(var + eps) + beta`, row-wise.
     #[track_caller]
     pub fn layer_norm(&self, gamma: &Var, beta: &Var, eps: f32) -> Var {
+        let _sp = pmm_obs::span("layer_norm");
         let (rows, d) = rows_last("layer_norm", self.shape());
         assert_eq!(gamma.shape(), &[d], "layer_norm: gamma must be [{d}]");
         assert_eq!(beta.shape(), &[d], "layer_norm: beta must be [{d}]");
@@ -85,9 +92,11 @@ impl Var {
             }
         });
         let out = Tensor::from_vec(out, self.shape()).expect("ln numel");
+        pmm_obs::counter::record_op_flops(8 * out.len() as u64);
         let (a, gv, bv) = (self.clone(), gamma.clone(), beta.clone());
         let shape = self.shape().to_vec();
         Var::from_op(
+            "layer_norm",
             out,
             vec![self.clone(), gamma.clone(), beta.clone()],
             Box::new(move |g| {
@@ -131,6 +140,7 @@ impl Var {
     /// Row-wise l2 normalisation over the last axis:
     /// `y = x / max(||x||, eps)`.
     pub fn l2_normalize_rows(&self) -> Var {
+        let _sp = pmm_obs::span("l2_normalize");
         const EPS: f32 = 1e-8;
         let (rows, d) = rows_last("l2_normalize", self.shape());
         let x = self.value().data();
@@ -149,10 +159,12 @@ impl Var {
             }
         });
         let y = Tensor::from_vec(out, self.shape()).expect("l2 numel");
+        pmm_obs::counter::record_op_flops(3 * y.len() as u64);
         let a = self.clone();
         let yv = y.clone();
         let shape = self.shape().to_vec();
         Var::from_op(
+            "l2_normalize",
             y,
             vec![self.clone()],
             Box::new(move |g| {
@@ -184,6 +196,7 @@ impl Var {
     /// an all-one mask is the identity (inference mode).
     #[track_caller]
     pub fn dropout(&self, mask: &Tensor) -> Var {
+        let _sp = pmm_obs::span("dropout");
         assert_eq!(
             mask.shape(),
             self.shape(),
@@ -192,9 +205,11 @@ impl Var {
             self.shape()
         );
         let out = self.value().mul(mask);
+        pmm_obs::counter::record_op_flops(out.len() as u64);
         let a = self.clone();
         let mask = mask.clone();
         Var::from_op(
+            "dropout",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&g.mul(&mask))),

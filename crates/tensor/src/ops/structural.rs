@@ -9,10 +9,13 @@ impl Var {
     /// Views the value under a new shape with identical element count.
     #[track_caller]
     pub fn reshape(&self, shape: &[usize]) -> Var {
+        let _sp = pmm_obs::span("reshape");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         let old_shape = self.shape().to_vec();
         let out = self.value().reshape_ref(shape);
         let a = self.clone();
         Var::from_op(
+            "reshape",
             out,
             vec![self.clone()],
             Box::new(move |g| a.accum_grad(&g.reshape_ref(&old_shape))),
@@ -22,6 +25,8 @@ impl Var {
     /// Concatenates along axis 0. All inputs must share trailing axes.
     #[track_caller]
     pub fn concat0(parts: &[Var]) -> Var {
+        let _sp = pmm_obs::span("concat0");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         assert!(!parts.is_empty(), "concat0: no inputs");
         let trailing: Vec<usize> = parts[0].shape()[1..].to_vec();
         let row = numel(&trailing).max(1);
@@ -48,6 +53,7 @@ impl Var {
         let shapes: Vec<Vec<usize>> = parts.iter().map(|p| p.shape().to_vec()).collect();
         let captured = owned.clone();
         Var::from_op(
+            "concat0",
             out,
             owned,
             Box::new(move |g| {
@@ -71,12 +77,15 @@ impl Var {
     /// back into the source rows (repeated ids accumulate).
     #[track_caller]
     pub fn gather_rows(&self, ids: &[usize]) -> Var {
+        let _sp = pmm_obs::span("gather_rows");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         assert_eq!(self.shape().len(), 2, "gather_rows: input must be rank 2");
         let out = self.value().gather_rows(ids);
         let a = self.clone();
         let src_shape = self.shape().to_vec();
         let ids: Rc<[usize]> = ids.into();
         Var::from_op(
+            "gather_rows",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -96,6 +105,8 @@ impl Var {
     /// Slice of rows `[start, start+len)` of a 2-D tensor.
     #[track_caller]
     pub fn slice_rows(&self, start: usize, len: usize) -> Var {
+        let _sp = pmm_obs::span("slice_rows");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         assert_eq!(self.shape().len(), 2, "slice_rows: input must be rank 2");
         let (n, d) = (self.shape()[0], self.shape()[1]);
         assert!(start + len <= n, "slice_rows: {start}+{len} > {n} rows");
@@ -107,6 +118,7 @@ impl Var {
         let a = self.clone();
         let src_shape = self.shape().to_vec();
         Var::from_op(
+            "slice_rows",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -121,6 +133,8 @@ impl Var {
     /// sequences `[b*h, l, dh]` for batched attention.
     #[track_caller]
     pub fn split_heads(&self, b: usize, l: usize, h: usize) -> Var {
+        let _sp = pmm_obs::span("split_heads");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         assert_eq!(self.shape().len(), 2, "split_heads: input must be rank 2");
         let (n, d) = (self.shape()[0], self.shape()[1]);
         assert_eq!(n, b * l, "split_heads: rows {n} != b*l = {}", b * l);
@@ -141,6 +155,7 @@ impl Var {
         let a = self.clone();
         let src_shape = self.shape().to_vec();
         Var::from_op(
+            "split_heads",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -167,6 +182,8 @@ impl Var {
     /// Inverse of [`Var::split_heads`]: `[b*h, l, dh] -> [b*l, h*dh]`.
     #[track_caller]
     pub fn merge_heads(&self, b: usize, h: usize) -> Var {
+        let _sp = pmm_obs::span("merge_heads");
+        // pmm-audit: allow(op-flops) — pure data movement, zero FLOPs
         assert_eq!(self.shape().len(), 3, "merge_heads: input must be rank 3");
         assert_eq!(
             self.shape()[0],
@@ -191,6 +208,7 @@ impl Var {
         let out = Tensor::from_vec(data, &[b * l, d]).expect("merge_heads numel");
         let a = self.clone();
         Var::from_op(
+            "merge_heads",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -219,6 +237,7 @@ impl Var {
     /// pool to zero.
     #[track_caller]
     pub fn mean_pool(&self, b: usize, l: usize, weights: &[f32]) -> Var {
+        let _sp = pmm_obs::span("mean_pool");
         assert_eq!(self.shape().len(), 2, "mean_pool: input must be rank 2");
         let (n, d) = (self.shape()[0], self.shape()[1]);
         assert_eq!(n, b * l, "mean_pool: rows {n} != b*l = {}", b * l);
@@ -243,10 +262,12 @@ impl Var {
             }
         }
         let out = Tensor::from_vec(data, &[b, d]).expect("mean_pool numel");
+        pmm_obs::counter::record_op_flops(2 * self.value().len() as u64);
         let a = self.clone();
         let weights: Rc<[f32]> = weights.into();
         let denom: Rc<[f32]> = denom.into();
         Var::from_op(
+            "mean_pool",
             out,
             vec![self.clone()],
             Box::new(move |g| {
@@ -276,10 +297,13 @@ impl Var {
 
     /// Sum of all elements as a `[1]` tensor.
     pub fn sum_all(&self) -> Var {
+        let _sp = pmm_obs::span("sum_all");
         let out = Tensor::scalar(self.value().sum());
+        pmm_obs::counter::record_op_flops(self.value().len() as u64);
         let a = self.clone();
         let shape = self.shape().to_vec();
         Var::from_op(
+            "sum_all",
             out,
             vec![self.clone()],
             Box::new(move |g| {

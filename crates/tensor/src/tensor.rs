@@ -474,6 +474,7 @@ impl Tensor {
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
+                    // pmm-audit: allow(hot-unwrap) — rows_last rejects a zero last axis, so every row has at least one element
                     .expect("non-empty row")
             })
             .collect()

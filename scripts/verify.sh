@@ -19,11 +19,17 @@ PMM_THREADS=4 cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> pmm-audit (workspace invariant lint)"
+cargo run --release -q -p pmm-audit
+
+echo "==> pmm-audit --fixtures (rule engine pinned against seeded violations)"
+cargo run --release -q -p pmm-audit -- --fixtures
+
 echo "==> thread-scaling smoke (kernels bit-identical across worker counts)"
 cargo run --release -q -p pmm-bench --bin par_scaling
 
-echo "==> chaos smoke (fault injection: NaN steps, checkpoint corruption, IO failure)"
-cargo run --release -q -p pmm-bench --bin chaos_smoke -- --scale tiny --epochs 3
+echo "==> chaos smoke (fault injection + pre-backward autograd-graph audit on every step)"
+cargo run --release -q -p pmm-bench --bin chaos_smoke -- --scale tiny --epochs 3 --audit-graph
 
 echo "==> serve chaos (scripted: shedding, ladder, deadlines, thread-count parity)"
 cargo run --release -q -p pmm-bench --bin serve_chaos -- --scale tiny
