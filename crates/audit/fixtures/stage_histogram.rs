@@ -1,0 +1,23 @@
+//~ lint-as: crates/serve/src/stages.rs
+//~ expect: stage-histogram
+
+// Seeded: one serving stage timed with a bare obs span, which records
+// no latency histogram and no trace event. The fixed form goes through
+// pmm_trace::Tracer, and an annotated bare span is accepted.
+
+fn bare_span_stage(engine: &E) -> Encoded {
+    let _sp = pmm_obs::span("serve_encode");
+    engine.encode()
+}
+
+fn traced_stage(tracer: &mut Tracer, engine: &E) -> Encoded {
+    let clock = tracer.begin(Stage::Encode);
+    let out = engine.encode();
+    tracer.finish(clock, "ok", "full");
+    out
+}
+
+fn boot_span() {
+    // pmm-audit: allow(stage-histogram) — pool startup, not a request stage
+    let _sp = pmm_obs::span("serve_boot");
+}

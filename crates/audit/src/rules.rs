@@ -60,6 +60,10 @@ pub const RULES: &[(&str, &str)] = &[
         "inside crates/par, spawned worker closures must not index buffers (blocks come pre-partitioned)",
     ),
     (
+        "stage-histogram",
+        "serving stages must time themselves through pmm_trace::Tracer (raw pmm_obs::span calls in crates/serve bypass the stage histograms)",
+    ),
+    (
         "bad-allow",
         "pmm-audit allow annotations must name a known rule and give a reason",
     ),
@@ -96,6 +100,7 @@ struct Applicability {
     serve_result: bool,
     par_scope: bool,
     par_spawn_index: bool,
+    stage_histogram: bool,
 }
 
 fn applicability(path: &str) -> Option<Applicability> {
@@ -122,6 +127,7 @@ fn applicability(path: &str) -> Option<Applicability> {
         serve_result: serve,
         par_scope: !in_par,
         par_spawn_index: in_par,
+        stage_histogram: serve,
     })
 }
 
@@ -214,6 +220,9 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     }
     if apply.par_spawn_index {
         scan_par_spawn_index(path, &code, &mut raw);
+    }
+    if apply.stage_histogram {
+        scan_stage_histogram(path, &code, &mut raw);
     }
     // Function-granular rules get body-scoped allow handling.
     let body_allow = |allows: &[Allow], rule: &str, from: u32, to: u32| {
@@ -511,6 +520,24 @@ fn scan_par_spawn_index(path: &str, code: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+/// Flags direct `span(..)` calls in crates/serve: a stage timed by a
+/// bare obs span records no latency histogram and no trace event, so
+/// the request's causal chain silently loses the stage. Serving code
+/// must go through `pmm_trace::Tracer::begin`/`finish` (which opens
+/// the span itself) — or annotate why a bare span is enough.
+fn scan_stage_histogram(path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("span") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "stage-histogram",
+                msg: "raw span() call in a serving stage — time it through pmm_trace::Tracer so the stage histogram and trace event record too".into(),
+            });
+        }
+    }
+}
+
 /// A function found in the token stream, with its body extent.
 struct Fn_ {
     name: String,
@@ -708,6 +735,18 @@ mod tests {
         assert_eq!(rules_hit("crates/par/src/lib.rs", src), vec!["par-spawn-index"]);
         let ok = "fn f() { s.spawn(move || { f(offset, block); }); }";
         assert!(rules_hit("crates/par/src/lib.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn raw_spans_in_serve_are_flagged_tracer_stages_pass() {
+        let raw = "fn handle() { let _sp = pmm_obs::span(\"serve_request\"); }";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", raw), vec!["stage-histogram"]);
+        // Outside crates/serve the rule does not apply.
+        assert!(rules_hit("crates/core/src/recommend.rs", raw).is_empty());
+        let traced = "fn handle(t: &mut Tracer) { let c = t.begin(Stage::Rank); t.finish(c, \"ok\", \"\"); }";
+        assert!(rules_hit("crates/serve/src/server.rs", traced).is_empty());
+        let allowed = "fn handle() {\n// pmm-audit: allow(stage-histogram) — startup path, not a request stage\nlet _sp = pmm_obs::span(\"serve_boot\"); }";
+        assert!(rules_hit("crates/serve/src/server.rs", allowed).is_empty());
     }
 
     #[test]

@@ -60,6 +60,11 @@ fn main() {
     pmm_bench::obs::setup(&cli);
     let hw = pmm_par::hardware_threads();
     println!("par_scaling: hardware_threads={hw} (threads=1 is the sequential baseline)");
+    for &t in THREAD_COUNTS.iter().filter(|&&t| t > hw) {
+        println!(
+            "par_scaling: WARNING threads={t} oversubscribes the {hw} hardware thread(s) — those rows measure contention, not scaling"
+        );
+    }
 
     let mut rng = StdRng::seed_from_u64(cli.seed);
     let a = Tensor::randn(&[256, 256], 1.0, &mut rng);
@@ -133,6 +138,11 @@ fn main() {
                 JsonObj::new()
                     .str("bench", r.name)
                     .u64("threads", r.threads as u64)
+                    // What the sweep could actually get: requested
+                    // workers clamped to the hardware. Readers judging
+                    // speedups should use this, not the request.
+                    .u64("threads_effective", r.threads.min(hw) as u64)
+                    .bool("oversubscribed", r.threads > hw)
                     .f64("wall_s", r.wall_s)
                     .finish()
             )

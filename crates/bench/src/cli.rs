@@ -31,6 +31,13 @@ pub struct Cli {
     /// step even in release builds (`--audit-graph`). Debug builds
     /// always audit; `PMM_AUDIT_GRAPH=1` is the env equivalent.
     pub audit_graph: bool,
+    /// Prometheus-style metrics exposition output path
+    /// (`--metrics PATH`; the `PMM_METRICS` environment variable is
+    /// honoured when the flag is absent). Written at run end.
+    pub metrics: Option<String>,
+    /// Exit non-zero when the run's metrics window breaches the SLO
+    /// policy (`--slo-gate`) — the CI switch for serving binaries.
+    pub slo_gate: bool,
 }
 
 impl Default for Cli {
@@ -44,6 +51,8 @@ impl Default for Cli {
             fault_plan: None,
             threads: None,
             audit_graph: false,
+            metrics: None,
+            slo_gate: false,
         }
     }
 }
@@ -108,8 +117,10 @@ impl Cli {
                     cli.threads = Some(n);
                 }
                 "--audit-graph" => cli.audit_graph = true,
+                "--metrics" => cli.metrics = Some(it.next().expect("--metrics needs a path")),
+                "--slo-gate" => cli.slo_gate = true,
                 other => panic!(
-                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads --audit-graph)"
+                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads --audit-graph --metrics --slo-gate)"
                 ),
             }
         }
@@ -177,6 +188,16 @@ mod tests {
     fn parses_audit_graph() {
         assert!(parse(&["--audit-graph"]).audit_graph);
         assert!(!parse(&[]).audit_graph);
+    }
+
+    #[test]
+    fn parses_metrics_and_slo_gate() {
+        let cli = parse(&["--metrics", "BENCH_metrics.prom", "--slo-gate"]);
+        assert_eq!(cli.metrics.as_deref(), Some("BENCH_metrics.prom"));
+        assert!(cli.slo_gate);
+        let off = parse(&[]);
+        assert!(off.metrics.is_none());
+        assert!(!off.slo_gate);
     }
 
     #[test]

@@ -5,6 +5,11 @@
 use crate::cli::Cli;
 use pmm_obs::{obs_info, obs_warn, EpochRecord, Level, SpanStat};
 use std::path::Path;
+use std::sync::OnceLock;
+
+/// Where [`finish`] writes the Prometheus-style metrics exposition;
+/// set once in [`setup`] from `--metrics` or `PMM_METRICS`.
+static METRICS_PATH: OnceLock<String> = OnceLock::new();
 
 /// Configure telemetry for a table binary: honour `PMM_OBS` /
 /// `PMM_OBS_LOG`, then let `--obs` and `--log-level` override. Call
@@ -19,6 +24,10 @@ pub fn setup(cli: &Cli) {
             }
             Err(e) => obs_warn!("obs", "cannot open --obs {path}: {e}; telemetry stays off"),
         }
+    }
+    // Metrics exposition target: the flag wins over PMM_METRICS.
+    if let Some(path) = cli.metrics.clone().or_else(|| std::env::var("PMM_METRICS").ok()) {
+        let _ = METRICS_PATH.set(path);
     }
     // The CLI can raise verbosity but never silences what the
     // environment asked for.
@@ -70,6 +79,16 @@ pub fn finish(bin: &str) {
         Ok(()) => obs_info!("obs", "wrote BENCH_obs.json ({} epochs)", epochs.len()),
         Err(e) => obs_warn!("obs", "cannot write BENCH_obs.json: {e}"),
     }
+    if let Some(path) = METRICS_PATH.get() {
+        let text = pmm_trace::MetricsSnapshot::capture().to_prometheus();
+        match std::fs::write(path, text) {
+            Ok(()) => obs_info!("obs", "wrote metrics exposition -> {path}"),
+            Err(e) => obs_warn!("obs", "cannot write metrics exposition {path}: {e}"),
+        }
+    }
+    // Buffered trace events become "ev":"trace" JSONL lines (a no-op
+    // when no sink is open).
+    pmm_trace::ring::flush_to_sink();
     pmm_obs::sink::flush_profile();
     pmm_obs::sink::close();
 }

@@ -101,6 +101,7 @@ impl PmmRec {
     /// Stage 1 — the `[n_items, d]` catalogue under the given modality
     /// path (cached per modality until the next weight change).
     pub fn serve_catalog(&self, modality: Modality) -> Result<Tensor, RecommendError> {
+        let _sp = pmm_obs::span("catalog_encode");
         if !self.supports_modality(modality) {
             return Err(RecommendError::UnsupportedModality(modality));
         }
@@ -114,6 +115,7 @@ impl PmmRec {
         catalog: &Tensor,
         prefix: &[usize],
     ) -> Result<Tensor, RecommendError> {
+        let _sp = pmm_obs::span("user_vector");
         if prefix.is_empty() {
             return Err(RecommendError::EmptyPrefix);
         }
@@ -135,6 +137,7 @@ impl PmmRec {
         k: usize,
         exclude_seen: bool,
     ) -> Vec<Recommendation> {
+        let _sp = pmm_obs::span("rank_topk");
         let scores = user.matmul_t(catalog, false, true);
         top_k_chunked(scores.data(), k, |item| !exclude_seen || !prefix.contains(&item))
     }

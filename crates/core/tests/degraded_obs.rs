@@ -52,7 +52,7 @@ fn degraded_encodes_count_exactly_and_stay_bit_identical_across_threads() {
     let reps_1 = model(&ds).item_representations();
     let after_1 = pmm_obs::counter::DEGRADED_ENCODES.get();
     assert_eq!(
-        after_1 - base,
+        pmm_obs::counter::DEGRADED_ENCODES.delta_since(base),
         expected,
         "one increment per padded/clipped item per modality encode"
     );
@@ -66,7 +66,7 @@ fn degraded_encodes_count_exactly_and_stay_bit_identical_across_threads() {
         "catalogue representations are bit-identical at 1 and 4 threads"
     );
     assert_eq!(
-        pmm_obs::counter::DEGRADED_ENCODES.get() - after_1,
+        pmm_obs::counter::DEGRADED_ENCODES.delta_since(after_1),
         expected,
         "the degraded count is thread-count independent"
     );

@@ -33,6 +33,13 @@ impl Counter {
         self.value.load(Ordering::Relaxed)
     }
 
+    /// Growth since a previously captured `get()` value, saturating so
+    /// a reset between the two reads degrades to the current value
+    /// instead of wrapping.
+    pub fn delta_since(&self, snapshot: u64) -> u64 {
+        self.get().saturating_sub(snapshot)
+    }
+
     fn reset(&self) {
         self.value.store(0, Ordering::Relaxed);
     }
@@ -101,6 +108,10 @@ pub static SERVE_SHED: Counter = Counter::new("serve_shed");
 pub static SERVE_DEADLINE_MISSES: Counter = Counter::new("serve_deadline_misses");
 /// Circuit-breaker transitions into the open state.
 pub static SERVE_BREAKER_TRIPS: Counter = Counter::new("serve_breaker_trips");
+/// Total nanoseconds breakers spent open, accounted when each breaker
+/// closes again (a breaker still open at snapshot time is not yet
+/// included).
+pub static SERVE_BREAKER_OPEN_NS: Counter = Counter::new("serve_breaker_open_ns");
 /// Responses served at the full dual-modality tier.
 pub static SERVE_TIER_FULL: Counter = Counter::new("serve_tier_full");
 /// Responses served from a single surviving modality.
@@ -109,6 +120,13 @@ pub static SERVE_TIER_SINGLE: Counter = Counter::new("serve_tier_single");
 pub static SERVE_TIER_CACHED: Counter = Counter::new("serve_tier_cached");
 /// Responses served from the global popularity baseline.
 pub static SERVE_TIER_POP: Counter = Counter::new("serve_tier_pop");
+
+// --- request-tracing counters (pmm-trace) ---
+
+/// Trace events pushed into the bounded trace ring.
+pub static TRACE_EVENTS: Counter = Counter::new("trace_events");
+/// Trace events evicted (oldest-first) because the ring was full.
+pub static TRACE_DROPPED: Counter = Counter::new("trace_dropped");
 
 /// Currently-live tape nodes. Can dip below zero transiently if
 /// collection is toggled while a graph is alive; the peak is what
@@ -247,10 +265,13 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (SERVE_SHED.name, SERVE_SHED.get()),
         (SERVE_DEADLINE_MISSES.name, SERVE_DEADLINE_MISSES.get()),
         (SERVE_BREAKER_TRIPS.name, SERVE_BREAKER_TRIPS.get()),
+        (SERVE_BREAKER_OPEN_NS.name, SERVE_BREAKER_OPEN_NS.get()),
         (SERVE_TIER_FULL.name, SERVE_TIER_FULL.get()),
         (SERVE_TIER_SINGLE.name, SERVE_TIER_SINGLE.get()),
         (SERVE_TIER_CACHED.name, SERVE_TIER_CACHED.get()),
         (SERVE_TIER_POP.name, SERVE_TIER_POP.get()),
+        (TRACE_EVENTS.name, TRACE_EVENTS.get()),
+        (TRACE_DROPPED.name, TRACE_DROPPED.get()),
         ("serve_queue_peak", serve_queue_peak()),
     ]
 }
@@ -281,10 +302,13 @@ pub fn reset_counters() {
         &SERVE_SHED,
         &SERVE_DEADLINE_MISSES,
         &SERVE_BREAKER_TRIPS,
+        &SERVE_BREAKER_OPEN_NS,
         &SERVE_TIER_FULL,
         &SERVE_TIER_SINGLE,
         &SERVE_TIER_CACHED,
         &SERVE_TIER_POP,
+        &TRACE_EVENTS,
+        &TRACE_DROPPED,
     ] {
         c.reset();
     }

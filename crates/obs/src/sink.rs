@@ -53,6 +53,16 @@ fn write_line(line: String) {
     }
 }
 
+/// Emit a caller-built object as one line. This is the extension point
+/// for downstream crates (e.g. request tracing) that define their own
+/// event kinds; callers set their own `"ev"` field.
+pub fn emit_obj(obj: JsonObj) {
+    if !is_open() {
+        return;
+    }
+    write_line(obj.finish());
+}
+
 pub fn emit_log(level: Level, target: &str, msg: &str) {
     if !is_open() {
         return;

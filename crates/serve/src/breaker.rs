@@ -55,6 +55,12 @@ pub struct CircuitBreaker {
     probe_in_flight: bool,
     /// Lifetime trip count.
     trips: u64,
+    /// When the current outage began, for telemetry only: set on the
+    /// first trip of an outage, kept across failed probes, and
+    /// accounted into `serve_breaker_open_ns` when the breaker closes.
+    /// Decisions stay clock-free; an outage still open at shutdown is
+    /// never accounted (documented SLO-counter limitation).
+    opened_at: Option<std::time::Instant>,
 }
 
 impl CircuitBreaker {
@@ -67,6 +73,7 @@ impl CircuitBreaker {
             denials: 0,
             probe_in_flight: false,
             trips: 0,
+            opened_at: None,
         }
     }
 
@@ -134,6 +141,10 @@ impl CircuitBreaker {
                 if ok {
                     self.state = BreakerState::Closed;
                     self.window.clear();
+                    if let Some(t0) = self.opened_at.take() {
+                        pmm_obs::counter::SERVE_BREAKER_OPEN_NS
+                            .add(t0.elapsed().as_nanos() as u64);
+                    }
                 } else {
                     self.trip();
                 }
@@ -150,6 +161,9 @@ impl CircuitBreaker {
         self.denials = 0;
         self.probe_in_flight = false;
         self.trips += 1;
+        if self.opened_at.is_none() {
+            self.opened_at = Some(std::time::Instant::now());
+        }
         pmm_obs::counter::SERVE_BREAKER_TRIPS.add(1);
     }
 }
@@ -203,6 +217,24 @@ mod tests {
         b.record(true);
         assert_eq!(b.state(), BreakerState::Closed);
         assert!(b.admit());
+    }
+
+    #[test]
+    fn closing_accounts_open_time_into_the_counter() {
+        pmm_obs::set_enabled(true);
+        let before = pmm_obs::counter::SERVE_BREAKER_OPEN_NS.get();
+        let mut b = CircuitBreaker::new(cfg());
+        b.record(false);
+        b.record(false); // trip: the outage clock starts
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit()); // probe
+        b.record(true); // close: the outage is accounted
+        assert!(
+            pmm_obs::counter::SERVE_BREAKER_OPEN_NS.delta_since(before) >= 2_000_000,
+            "open time should cover the 2 ms outage"
+        );
     }
 
     #[test]

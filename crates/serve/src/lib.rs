@@ -27,6 +27,13 @@
 //! serving concurrency. All scheduling is deterministic given a
 //! `pmm_fault::FaultPlan` and one worker, which is how `serve_chaos`
 //! proves the ladder.
+//!
+//! Every request is traced: submission mints a [`TraceId`] (re-exported
+//! from `pmm-trace`) that rides the job through every stage, each stage
+//! records into its latency histogram, and breaker denials and tier
+//! transitions land as structured trace events. See `pmm_trace` for
+//! histograms, metrics exposition, and SLO evaluation over the
+//! counters this crate maintains.
 
 pub mod breaker;
 pub mod engine;
@@ -35,6 +42,7 @@ pub mod server;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use engine::{Component, PmmEngine, ServeEngine};
+pub use pmm_trace::TraceId;
 pub use queue::BoundedQueue;
 pub use server::{Request, Response, ServeError, Server, ServerConfig};
 

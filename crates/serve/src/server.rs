@@ -17,6 +17,7 @@ use crate::queue::BoundedQueue;
 use crate::Tier;
 use pmm_baselines::Popularity;
 use pmm_obs::counter as ctr;
+use pmm_trace::{hist, Stage, StageClock, TraceId, Tracer};
 use pmmrec::{RecommendError, Recommendation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,6 +87,9 @@ impl Request {
 pub struct Response {
     /// Monotonic request id assigned at submission.
     pub id: u64,
+    /// The request's trace id: every `"ev":"trace"` event carrying it
+    /// belongs to this request's causal chain.
+    pub trace: TraceId,
     /// Echo of [`Request::user`].
     pub user: u64,
     /// The degradation rung that answered.
@@ -136,6 +140,8 @@ impl std::error::Error for ServeError {}
 pub struct ResponseHandle {
     /// The id assigned at submission.
     pub id: u64,
+    /// The trace id minted at enqueue.
+    pub trace: TraceId,
     rx: mpsc::Receiver<Result<Response, ServeError>>,
 }
 
@@ -148,7 +154,9 @@ impl ResponseHandle {
 
 struct Job {
     id: u64,
+    trace: TraceId,
     request: Request,
+    enqueued: Instant,
     deadline: Instant,
     reply: mpsc::Sender<Result<Response, ServeError>>,
 }
@@ -241,14 +249,24 @@ impl Server {
         if request.prefix.is_empty() {
             return Err(ServeError::BadRequest(RecommendError::EmptyPrefix));
         }
+        let mut tracer = Tracer::start();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let deadline = Instant::now() + request.deadline.unwrap_or(self.default_deadline);
+        let enqueued = Instant::now();
+        let deadline = enqueued + request.deadline.unwrap_or(self.default_deadline);
         let (tx, rx) = mpsc::channel();
-        let job = Job { id, request, deadline, reply: tx };
+        let job = Job { id, trace: tracer.id(), request, enqueued, deadline, reply: tx };
         match self.shared.queue.try_push(job) {
-            Ok(_) => Ok(ResponseHandle { id, rx }),
+            Ok(depth) => {
+                if pmm_obs::enabled() {
+                    tracer.instant(Stage::Enqueue, "accepted", &format!("depth={depth}"));
+                }
+                Ok(ResponseHandle { id, trace: tracer.id(), rx })
+            }
             Err(queue_depth) => {
                 ctr::SERVE_SHED.add(1);
+                if pmm_obs::enabled() {
+                    tracer.instant(Stage::Enqueue, "shed", &format!("depth={queue_depth}"));
+                }
                 Err(ServeError::Rejected { queue_depth })
             }
         }
@@ -304,12 +322,22 @@ fn expired(deadline: Instant) -> bool {
     Instant::now() >= deadline
 }
 
-fn deadline_miss(job: &Job, stage: &'static str) {
+fn deadline_miss(tracer: &mut Tracer, request_clock: StageClock, job: &Job, stage: &'static str) {
     ctr::SERVE_DEADLINE_MISSES.add(1);
+    hist::H_TOTAL.observe(job.enqueued.elapsed());
+    tracer.instant(Stage::Respond, "deadline_miss", stage);
+    tracer.finish(request_clock, "deadline_miss", stage);
     let _ = job.reply.send(Err(ServeError::DeadlineExceeded { stage }));
 }
 
-fn respond(shared: &Shared, job: &Job, tier: Tier, items: Vec<Recommendation>) {
+fn respond(
+    shared: &Shared,
+    tracer: &mut Tracer,
+    request_clock: StageClock,
+    job: &Job,
+    tier: Tier,
+    items: Vec<Recommendation>,
+) {
     match tier {
         Tier::Full => ctr::SERVE_TIER_FULL.add(1),
         Tier::TextOnly | Tier::VisionOnly => ctr::SERVE_TIER_SINGLE.add(1),
@@ -319,8 +347,12 @@ fn respond(shared: &Shared, job: &Job, tier: Tier, items: Vec<Recommendation>) {
     if matches!(tier, Tier::Full | Tier::TextOnly | Tier::VisionOnly) {
         lock_clean(&shared.cache).insert(job.request.user, items.clone());
     }
+    hist::H_TOTAL.observe(job.enqueued.elapsed());
+    tracer.instant(Stage::Respond, "ok", tier.label());
+    tracer.finish(request_clock, "ok", tier.label());
     let _ = job.reply.send(Ok(Response {
         id: job.id,
+        trace: job.trace,
         user: job.request.user,
         tier,
         items,
@@ -328,16 +360,23 @@ fn respond(shared: &Shared, job: &Job, tier: Tier, items: Vec<Recommendation>) {
 }
 
 /// Runs one request through the ladder. Every exit path sends exactly
-/// one reply.
+/// one reply. The worker resumes the request's trace chain at seq 1
+/// (the submitting side emitted the seq-0 enqueue event): every timed
+/// stage runs inside a [`Tracer::begin`]/[`Tracer::finish`] pair so the
+/// stage histogram, trace event, and obs span stay in lockstep, and
+/// breaker denials and tier transitions land as instant events.
 fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
-    let _sp = pmm_obs::span("serve_request");
+    let mut tracer = Tracer::resume(job.trace, 1);
+    let request_clock = tracer.begin(Stage::Request);
+    tracer.observe(Stage::Queue, job.enqueued.elapsed(), "ok", "");
     if expired(job.deadline) {
-        deadline_miss(&job, "queue");
+        deadline_miss(&mut tracer, request_clock, &job, "queue");
         return;
     }
     let req = &job.request;
 
     'ladder: for tier in engine.ladder() {
+        tracer.instant(Stage::Tier, "attempt", tier.label());
         let components = engine.components(tier);
         // Admission: every encoder component on this rung must admit.
         // Components already admitted when a later one denies get
@@ -347,6 +386,7 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
             if lock_clean(breaker_of(shared, c)).admit() {
                 admitted.push(c);
             } else {
+                tracer.instant(Stage::Breaker, "deny", c.label());
                 for &a in &admitted {
                     lock_clean(breaker_of(shared, a)).release();
                 }
@@ -355,12 +395,10 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         }
 
         // Stage 1: encode.
-        let encoded = {
-            let _sp = pmm_obs::span("serve_encode");
-            engine.encode(tier, shared.slow_fault)
-        };
-        let encoded = match encoded {
+        let clock = tracer.begin(Stage::Encode);
+        let encoded = match engine.encode(tier, shared.slow_fault) {
             Err(failed) => {
+                tracer.finish(clock, "err", failed.label());
                 for &c in &components {
                     let mut b = lock_clean(breaker_of(shared, c));
                     // Only the component that errored gets an outcome;
@@ -373,7 +411,10 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
                 }
                 continue 'ladder;
             }
-            Ok(e) => e,
+            Ok(e) => {
+                tracer.finish(clock, "ok", tier.label());
+                e
+            }
         };
         if expired(job.deadline) {
             // Slowness is charged to the components that stalled; the
@@ -381,7 +422,7 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
             for &c in &components {
                 lock_clean(breaker_of(shared, c)).record(!encoded.slept.contains(&c));
             }
-            deadline_miss(&job, "encode");
+            deadline_miss(&mut tracer, request_clock, &job, "encode");
             return;
         }
         for &c in &components {
@@ -390,50 +431,53 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
 
         // Stages 2+3 share the ranking-path breaker.
         if !lock_clean(breaker_of(shared, Component::Ranker)).admit() {
+            tracer.instant(Stage::Breaker, "deny", Component::Ranker.label());
             break 'ladder;
         }
 
         // Stage 2: user encoding.
-        let user = {
-            let _sp = pmm_obs::span("serve_user");
-            engine.user_encode(&encoded.catalog, &req.prefix)
-        };
-        let user = match user {
+        let clock = tracer.begin(Stage::UserEncode);
+        let user = match engine.user_encode(&encoded.catalog, &req.prefix) {
             Err(_) => {
+                tracer.finish(clock, "err", tier.label());
                 lock_clean(breaker_of(shared, Component::Ranker)).record(false);
                 break 'ladder;
             }
-            Ok(u) => u,
+            Ok(u) => {
+                tracer.finish(clock, "ok", tier.label());
+                u
+            }
         };
         if expired(job.deadline) {
             // The ranking path itself was healthy; the budget ran out.
             lock_clean(breaker_of(shared, Component::Ranker)).record(true);
-            deadline_miss(&job, "user_encode");
+            deadline_miss(&mut tracer, request_clock, &job, "user_encode");
             return;
         }
 
         // Stage 3: rank.
-        let items = {
-            let _sp = pmm_obs::span("serve_rank");
-            engine.rank(&encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen)
-        };
+        let clock = tracer.begin(Stage::Rank);
+        let items = engine.rank(&encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen);
+        tracer.finish(clock, "ok", tier.label());
         lock_clean(breaker_of(shared, Component::Ranker)).record(true);
-        respond(shared, &job, tier, items);
+        respond(shared, &mut tracer, request_clock, &job, tier, items);
         return;
     }
 
     // Model-free fallbacks: never compute, so no deadline risk beyond
     // this final check.
     if expired(job.deadline) {
-        deadline_miss(&job, "rank");
+        deadline_miss(&mut tracer, request_clock, &job, "rank");
         return;
     }
+    tracer.instant(Stage::Tier, "attempt", Tier::CachedTopK.label());
     let cached = lock_clean(&shared.cache).get(&req.user).cloned();
     if let Some(mut items) = cached {
         items.truncate(req.k);
-        respond(shared, &job, Tier::CachedTopK, items);
+        respond(shared, &mut tracer, request_clock, &job, Tier::CachedTopK, items);
         return;
     }
+    tracer.instant(Stage::Tier, "attempt", Tier::Popularity.label());
     let exclude: &[usize] = if req.exclude_seen { &req.prefix } else { &[] };
     let items = shared
         .popularity
@@ -441,7 +485,7 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         .into_iter()
         .map(|(item, count)| Recommendation { item, score: count as f32 })
         .collect();
-    respond(shared, &job, Tier::Popularity, items);
+    respond(shared, &mut tracer, request_clock, &job, Tier::Popularity, items);
 }
 
 #[cfg(test)]
@@ -692,7 +736,9 @@ mod tests {
     #[test]
     fn responses_are_identical_at_every_worker_count() {
         let _fg = pmm_fault::test_guard();
-        let mut reference: Option<Vec<Response>> = None;
+        // Trace ids are process-global, so compare everything but them.
+        type Answer = (u64, u64, Tier, Vec<Recommendation>);
+        let mut reference: Option<Vec<Answer>> = None;
         for workers in [1usize, 2, 4] {
             let server = Server::start(
                 ServerConfig { workers: Some(workers), ..cfg() },
@@ -702,9 +748,14 @@ mod tests {
             let handles: Vec<ResponseHandle> = (0..8)
                 .map(|u| server.submit(Request::new(u, vec![0, 1, 2], 4)).unwrap())
                 .collect();
-            let mut got: Vec<Response> =
-                handles.into_iter().map(|h| h.wait().unwrap()).collect();
-            got.sort_by_key(|r| r.user);
+            let mut got: Vec<Answer> = handles
+                .into_iter()
+                .map(|h| {
+                    let r = h.wait().unwrap();
+                    (r.id, r.user, r.tier, r.items)
+                })
+                .collect();
+            got.sort_by_key(|r| r.1);
             match &reference {
                 None => reference = Some(got),
                 Some(want) => assert_eq!(&got, want, "workers={workers}"),

@@ -1,0 +1,56 @@
+//! # pmm-trace
+//!
+//! Request-level observability for the serving stack, layered on top
+//! of `pmm-obs` (which supplies counters, spans, and the JSONL sink).
+//! Std-only like every other crate. Four pieces:
+//!
+//! - [`hist`]: lock-free fixed-bucket log-scale latency histograms —
+//!   64 power-of-√2 buckets of relaxed atomics, so p50/p90/p95/p99 are
+//!   exact to within one bucket's width (≤ √2 relative error) with no
+//!   allocation or locking on the record path. Stage histograms live
+//!   in a global registry next to the obs counters.
+//! - [`event`]: a per-request [`TraceId`] minted at enqueue and a
+//!   [`Tracer`] that threads it through every serving stage — queue
+//!   wait, encode, user-encode, rank, breaker decisions, tier
+//!   transitions — emitting structured [`TraceEvent`]s into a bounded
+//!   [`ring`] buffer that flushes to the obs JSONL sink.
+//! - [`metrics`]: [`MetricsSnapshot::capture`] freezes every counter
+//!   and histogram; `delta_since` turns two snapshots into a window;
+//!   `to_prometheus` renders a window (or a snapshot) as
+//!   Prometheus-style text exposition.
+//! - [`slo`]: evaluates a metrics window against an [`SloPolicy`]
+//!   (deadline-miss rate, shed rate, breaker-open time, degradation
+//!   floor fraction), logging burn-rate breach events; callers can
+//!   exit non-zero on breach for CI gating.
+//!
+//! Collection is gated on the same `pmm_obs::enabled()` switch as the
+//! rest of the telemetry, so a disabled stack pays one relaxed atomic
+//! load per stage.
+
+pub mod event;
+pub mod hist;
+pub mod metrics;
+pub mod slo;
+
+pub use event::{ring, Stage, StageClock, TraceEvent, TraceId, Tracer};
+pub use hist::{HistSnapshot, Histogram};
+pub use metrics::MetricsSnapshot;
+pub use slo::{SloCheck, SloPolicy, SloReport};
+
+/// Reset every trace-global (stage histograms and the event ring).
+/// Counters are reset separately via `pmm_obs::reset`. Intended for
+/// tests and for drivers that scope collection to one run.
+pub fn reset() {
+    hist::reset_all();
+    ring::clear();
+}
+
+/// The obs enable switch and the event ring are process-global; unit
+/// tests that toggle or inspect them serialize on this one lock so
+/// parallel test threads cannot interleave a disabled window into
+/// another test's observations.
+#[cfg(test)]
+pub(crate) fn test_global_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

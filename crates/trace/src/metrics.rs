@@ -1,0 +1,178 @@
+//! Metrics snapshots, windows, and Prometheus-style text exposition.
+//!
+//! [`MetricsSnapshot::capture`] freezes every obs counter and every
+//! registered histogram; [`MetricsSnapshot::delta_since`] subtracts a
+//! baseline to isolate one run's window (counters and histograms are
+//! monotonic, so a window is just a saturating difference by name).
+//! [`MetricsSnapshot::to_prometheus`] renders the snapshot in the
+//! text exposition format scrapers expect: counters as `pmm_*`
+//! counters, the peak gauges as gauges, and `*_ns` histograms as
+//! cumulative-bucket `*_seconds` histograms with `le` edges from the
+//! shared bound table.
+
+use crate::hist::{self, HistSnapshot, BOUNDS, BUCKETS};
+
+/// Counter names that are high-water marks, not monotonic totals:
+/// exposed as Prometheus gauges and carried through deltas unchanged
+/// (the window peak is the end-of-window peak).
+const GAUGES: &[&str] = &["tape_peak", "serve_queue_peak"];
+
+/// A frozen view of every counter and registered histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in the stable obs order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// One snapshot per registered histogram, registration order.
+    pub hists: Vec<HistSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Freeze the current counter and histogram state.
+    pub fn capture() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: pmm_obs::counter::counters_snapshot(),
+            hists: hist::snapshot_all(),
+        }
+    }
+
+    /// The window `self - base`, matched by name and saturating, so a
+    /// counter reset mid-run degrades to the end value instead of
+    /// wrapping. Gauges (peaks) keep their end-of-window value.
+    pub fn delta_since(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|&(name, value)| {
+                if GAUGES.contains(&name) {
+                    (name, value)
+                } else {
+                    let before = base
+                        .counters
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map_or(0, |&(_, v)| v);
+                    (name, value.saturating_sub(before))
+                }
+            })
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .map(|h| match base.hists.iter().find(|b| b.name == h.name) {
+                Some(b) => h.delta_since(b),
+                None => h.clone(),
+            })
+            .collect();
+        MetricsSnapshot { counters, hists }
+    }
+
+    /// A counter's value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// A histogram snapshot by name.
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// Render as Prometheus text exposition. Nanosecond histograms are
+    /// exported in seconds (the Prometheus convention) with cumulative
+    /// `_bucket{le=...}` counts, `_sum`, and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for &(name, value) in &self.counters {
+            let kind = if GAUGES.contains(&name) { "gauge" } else { "counter" };
+            out.push_str(&format!("# TYPE pmm_{name} {kind}\npmm_{name} {value}\n"));
+        }
+        for h in &self.hists {
+            let base = h.name.strip_suffix("_ns").unwrap_or(h.name);
+            out.push_str(&format!("# TYPE pmm_{base}_seconds histogram\n"));
+            let mut cum = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                cum += n;
+                // Upper bucket edges; the last bucket is unbounded.
+                let le = if i + 1 < BUCKETS {
+                    format!("{:e}", BOUNDS[i + 1] as f64 / 1e9)
+                } else {
+                    "+Inf".to_string()
+                };
+                // Elide interior empty buckets to keep files readable;
+                // cumulative counts stay correct because `le` edges are
+                // explicit and +Inf is always present.
+                if n > 0 || i + 1 == BUCKETS {
+                    out.push_str(&format!(
+                        "pmm_{base}_seconds_bucket{{le=\"{le}\"}} {cum}\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "pmm_{base}_seconds_sum {:e}\npmm_{base}_seconds_count {}\n",
+                h.sum_ns as f64 / 1e9,
+                h.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::bucket_of;
+
+    fn synthetic() -> MetricsSnapshot {
+        let mut h = HistSnapshot::empty("stage_test_ns");
+        // 3 observations at ~1 µs, 1 at ~1 ms.
+        h.buckets[bucket_of(1_000)] = 3;
+        h.buckets[bucket_of(1_000_000)] = 1;
+        h.count = 4;
+        h.sum_ns = 3 * 1_000 + 1_000_000;
+        MetricsSnapshot {
+            counters: vec![("serve_requests", 10), ("serve_shed", 2), ("serve_queue_peak", 7)],
+            hists: vec![h],
+        }
+    }
+
+    #[test]
+    fn counter_and_hist_lookup() {
+        let s = synthetic();
+        assert_eq!(s.counter("serve_requests"), 10);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.hist("stage_test_ns").map(|h| h.count), Some(4));
+        assert!(s.hist("missing").is_none());
+    }
+
+    #[test]
+    fn delta_subtracts_counters_but_keeps_gauges() {
+        let base = MetricsSnapshot {
+            counters: vec![("serve_requests", 4), ("serve_shed", 0), ("serve_queue_peak", 7)],
+            hists: vec![HistSnapshot::empty("stage_test_ns")],
+        };
+        let win = synthetic().delta_since(&base);
+        assert_eq!(win.counter("serve_requests"), 6);
+        assert_eq!(win.counter("serve_shed"), 2);
+        assert_eq!(win.counter("serve_queue_peak"), 7, "peaks pass through");
+        assert_eq!(win.hist("stage_test_ns").map(|h| h.count), Some(4));
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let text = synthetic().to_prometheus();
+        assert!(text.contains("# TYPE pmm_serve_requests counter\npmm_serve_requests 10\n"));
+        assert!(text.contains("# TYPE pmm_serve_queue_peak gauge\n"));
+        assert!(text.contains("# TYPE pmm_stage_test_seconds histogram\n"));
+        assert!(text.contains("pmm_stage_test_seconds_count 4\n"));
+        assert!(text.contains("le=\"+Inf\"} 4\n"), "+Inf bucket carries the total:\n{text}");
+        // The two populated buckets appear with cumulative counts 3
+        // then 4.
+        let bucket_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("pmm_stage_test_seconds_bucket"))
+            .collect();
+        assert!(bucket_lines.iter().any(|l| l.ends_with(" 3")));
+        assert!(bucket_lines.last().is_some_and(|l| l.ends_with(" 4")));
+        // Buckets are in seconds: 1 µs lands at a le edge ~1.4e-6.
+        assert!(text.contains("e-6\"}") || text.contains("e-06\"}"), "{text}");
+    }
+}

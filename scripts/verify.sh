@@ -38,4 +38,15 @@ echo "==> serve chaos smoke (custom fault plan: zero panics, tier-tagged respons
 cargo run --release -q -p pmm-bench --bin serve_chaos -- --scale tiny \
   --fault-plan "err@0,slow@4,err@7,err@8,slow@13"
 
+echo "==> trace smoke (causal chains, stage histograms, clean SLO gate, metrics exposition)"
+cargo run --release -q -p pmm-bench --bin trace_smoke -- --scale tiny \
+  --slo-gate --metrics BENCH_metrics.prom
+
+echo "==> trace smoke chaos (injected stalls must blow the miss-rate budget and fail the gate)"
+if cargo run --release -q -p pmm-bench --bin trace_smoke -- --scale tiny \
+  --slo-gate --fault-plan "slow@0,slow@4,slow@8,slow@12,slow@16"; then
+  echo "ERROR: SLO gate passed under a fault plan that must breach it"
+  exit 1
+fi
+
 echo "==> verify OK"
