@@ -1,0 +1,22 @@
+//~ lint-as: crates/serve/src/fixture.rs
+//~ expect: serve-spawn
+//~ expect: serve-spawn
+
+// Seeded: threads created behind the supervisor's back. A bare
+// std::thread::spawn (or Builder::spawn) in the serve crate has no
+// worker slot, so no heartbeat is stamped, no panic is caught, and no
+// restart budget applies — the supervision guarantees silently stop
+// covering it. Thread creation must route through supervisor.rs.
+
+fn seeded_bare(work: fn()) {
+    std::thread::spawn(move || work());
+}
+
+fn seeded_builder(work: fn()) {
+    let _ = std::thread::Builder::new().name("rogue".into()).spawn(move || work());
+}
+
+fn reasoned_escape(work: fn()) {
+    // pmm-audit: allow(serve-spawn) — one-shot shutdown flusher, never serves a request
+    std::thread::spawn(move || work());
+}

@@ -64,6 +64,10 @@ pub const RULES: &[(&str, &str)] = &[
         "serving stages must time themselves through pmm_trace::Tracer (raw pmm_obs::span calls in crates/serve bypass the stage histograms)",
     ),
     (
+        "serve-spawn",
+        "threads in crates/serve are spawned only by the supervisor (supervisor.rs) — a bare spawn() bypasses panic isolation, heartbeats, and restart budgets",
+    ),
+    (
         "bad-allow",
         "pmm-audit allow annotations must name a known rule and give a reason",
     ),
@@ -101,6 +105,7 @@ struct Applicability {
     par_scope: bool,
     par_spawn_index: bool,
     stage_histogram: bool,
+    serve_spawn: bool,
 }
 
 fn applicability(path: &str) -> Option<Applicability> {
@@ -128,6 +133,10 @@ fn applicability(path: &str) -> Option<Applicability> {
         par_scope: !in_par,
         par_spawn_index: in_par,
         stage_histogram: serve,
+        // supervisor.rs is the sanctioned spawn site: its threads get a
+        // slot, a heartbeat, and a restart budget. Everyone else in the
+        // serve crate must route thread creation through it.
+        serve_spawn: serve && !path.ends_with("/supervisor.rs"),
     })
 }
 
@@ -223,6 +232,9 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     }
     if apply.stage_histogram {
         scan_stage_histogram(path, &code, &mut raw);
+    }
+    if apply.serve_spawn {
+        scan_serve_spawn(path, &code, &mut raw);
     }
     // Function-granular rules get body-scoped allow handling.
     let body_allow = |allows: &[Allow], rule: &str, from: u32, to: u32| {
@@ -538,6 +550,23 @@ fn scan_stage_histogram(path: &str, code: &[Token], out: &mut Vec<Violation>) {
     }
 }
 
+/// Flags any `spawn(..)` call in crates/serve outside supervisor.rs:
+/// a thread created behind the supervisor's back has no worker slot,
+/// so nothing stamps its heartbeat, catches its panics, or respawns
+/// it — the supervision guarantees silently stop covering it.
+fn scan_serve_spawn(path: &str, code: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in code.iter().enumerate() {
+        if t.is_ident("spawn") && code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            out.push(Violation {
+                path: path.into(),
+                line: t.line,
+                rule: "serve-spawn",
+                msg: "bare spawn() in crates/serve — route thread creation through the supervisor so the worker gets a slot, heartbeat, and restart budget".into(),
+            });
+        }
+    }
+}
+
 /// A function found in the token stream, with its body extent.
 struct Fn_ {
     name: String,
@@ -746,6 +775,22 @@ mod tests {
         let traced = "fn handle(t: &mut Tracer) { let c = t.begin(Stage::Rank); t.finish(c, \"ok\", \"\"); }";
         assert!(rules_hit("crates/serve/src/server.rs", traced).is_empty());
         let allowed = "fn handle() {\n// pmm-audit: allow(stage-histogram) — startup path, not a request stage\nlet _sp = pmm_obs::span(\"serve_boot\"); }";
+        assert!(rules_hit("crates/serve/src/server.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn serve_spawns_flagged_outside_the_supervisor() {
+        let src = "fn boot() { std::thread::Builder::new().spawn(|| {}); }";
+        assert_eq!(rules_hit("crates/serve/src/server.rs", src), vec!["serve-spawn"]);
+        let bare = "fn boot() { std::thread::spawn(|| {}); }";
+        assert_eq!(rules_hit("crates/serve/src/queue.rs", bare), vec!["serve-spawn"]);
+        // supervisor.rs is the sanctioned spawn site; other crates are
+        // out of scope; serve test code is exempt like everywhere else.
+        assert!(rules_hit("crates/serve/src/supervisor.rs", bare).is_empty());
+        assert!(rules_hit("crates/bench/src/bin/serve_load.rs", bare).is_empty());
+        let in_tests = "fn ok() {}\n#[cfg(test)]\nmod tests {\n  fn t() { std::thread::spawn(|| {}); }\n}";
+        assert!(rules_hit("crates/serve/src/queue.rs", in_tests).is_empty());
+        let allowed = "fn boot() {\n// pmm-audit: allow(serve-spawn) — metrics flusher, not a request worker\nstd::thread::spawn(|| {}); }";
         assert!(rules_hit("crates/serve/src/server.rs", allowed).is_empty());
     }
 

@@ -65,7 +65,7 @@ struct Ctx {
 }
 
 impl Ctx {
-    fn server(&self, cfg: ServerConfig) -> Server {
+    fn server(&self, cfg: ServerConfig) -> Server<PmmEngine> {
         Server::start(
             cfg,
             engine_factory(Arc::clone(&self.dataset), self.seed),

@@ -1,0 +1,427 @@
+//! Open-loop load generator for the supervised serving stack.
+//!
+//! Unlike `serve_chaos` (closed-loop, one request at a time, proving
+//! ladder *correctness*), this binary drives the server the way real
+//! traffic does: arrivals follow a seeded Poisson process with
+//! occasional bursts, submitted on schedule whether or not earlier
+//! requests have finished. Three scenarios run by default:
+//!
+//! * `clean` — no faults; every SLO must hold;
+//! * `panic_storm` — injected worker panics (`panic@N`) mid-stream;
+//!   retries and respawns must keep every request resolving inside the
+//!   restart- and retry-rate budgets;
+//! * `mid_swap` — a snapshot hot-swap fires halfway through the
+//!   stream; nothing may shed on account of the reload and every
+//!   response must be attributable to exactly one epoch.
+//!
+//! `--fault-plan SPEC` and/or `--swap-at N` replace the default
+//! scenarios with a single custom one (how `scripts/verify.sh` runs
+//! the faulted gate). Per scenario the run reports p50/p95/p99 request
+//! latency, throughput, and the shed/retry/restart/swap counters, all
+//! into `BENCH_serve.json`; with `--slo-gate` any SLO breach in any
+//! scenario exits non-zero.
+
+use pmm_baselines::Popularity;
+use pmm_bench::cli::Cli;
+use pmm_bench::runner;
+use pmm_data::dataset::Dataset;
+use pmm_data::registry::DatasetId;
+use pmm_obs::json::JsonObj;
+use pmm_serve::{
+    BreakerConfig, PmmEngine, Request, Server, ServeError, ServerConfig, SupervisorConfig,
+};
+use pmm_trace::{MetricsSnapshot, SloPolicy};
+use pmmrec::{PmmRec, PmmRecConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Small serving model, seeded identically per replica.
+fn model_cfg() -> PmmRecConfig {
+    PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        fusion_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        ..Default::default()
+    }
+}
+
+fn engine_factory(
+    ds: Arc<Dataset>,
+    seed: u64,
+) -> impl Fn() -> PmmEngine + Send + Sync + 'static {
+    move || PmmEngine::new(PmmRec::new(model_cfg(), &ds, &mut StdRng::seed_from_u64(seed)))
+}
+
+/// One load scenario: a fault plan, an optional mid-run swap point,
+/// and the request count.
+struct Scenario {
+    name: &'static str,
+    fault_plan: Option<String>,
+    swap_at: Option<u64>,
+    requests: u64,
+}
+
+/// Requests per scenario; small enough to keep the three-scenario run
+/// inside a few seconds at tiny scale, large enough that rates (shed,
+/// restart, retry) are meaningful against their SLO budgets.
+const REQUESTS: u64 = 48;
+
+fn scenarios(cli: &Cli) -> Vec<Scenario> {
+    if cli.fault_plan.is_some() || cli.swap_at.is_some() {
+        return vec![Scenario {
+            name: "custom",
+            fault_plan: cli.fault_plan.clone(),
+            swap_at: cli.swap_at,
+            requests: REQUESTS,
+        }];
+    }
+    vec![
+        Scenario { name: "clean", fault_plan: None, swap_at: None, requests: REQUESTS },
+        Scenario {
+            name: "panic_storm",
+            fault_plan: Some("panic@3,panic@17,panic@31".into()),
+            swap_at: None,
+            requests: REQUESTS,
+        },
+        Scenario {
+            name: "mid_swap",
+            fault_plan: None,
+            swap_at: Some(REQUESTS / 2),
+            requests: REQUESTS,
+        },
+    ]
+}
+
+/// Open-loop arrival schedule: the delay before each submission.
+/// Inter-arrival gaps are exponential (Poisson process, ~`mean_gap`
+/// apart) and every arrival has a 10% chance of trailing a 3-deep
+/// burst of back-to-back submissions — the bunching that makes
+/// open-loop load different from a polite closed loop.
+fn arrival_schedule(seed: u64, n: u64, mean_gap: Duration) -> Vec<Duration> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4C0AD);
+    let mut gaps = Vec::with_capacity(n as usize);
+    while (gaps.len() as u64) < n {
+        let u: f64 = rng.random();
+        // Inverse-CDF exponential sample; clamp away u == 0.
+        let gap = mean_gap.as_secs_f64() * -(1.0 - u).max(1e-12).ln();
+        gaps.push(Duration::from_secs_f64(gap));
+        if rng.random_bool(0.10) {
+            for _ in 0..3 {
+                if (gaps.len() as u64) < n {
+                    gaps.push(Duration::ZERO);
+                }
+            }
+        }
+    }
+    gaps
+}
+
+/// What one scenario produced, ready for the JSON report.
+struct Outcome {
+    name: &'static str,
+    submitted: u64,
+    served: u64,
+    shed: u64,
+    missed: u64,
+    wall: Duration,
+    window: MetricsSnapshot,
+    report: pmm_trace::SloReport,
+    tiers: Vec<(&'static str, u64)>,
+    epoch_mismatch: u64,
+}
+
+fn run_scenario(
+    sc: &Scenario,
+    dataset: &Arc<Dataset>,
+    train: &[Vec<usize>],
+    prefixes: &[Vec<usize>],
+    seed: u64,
+) -> Outcome {
+    if let Some(spec) = &sc.fault_plan {
+        match pmm_fault::FaultPlan::parse(spec) {
+            Ok(plan) => pmm_fault::install(plan),
+            Err(e) => {
+                // Validated at CLI parse time for custom plans; the
+                // built-in plans are constants.
+                println!("serve_load: ignoring bad fault plan {spec:?}: {e}");
+            }
+        }
+    } else {
+        pmm_fault::clear();
+    }
+    let base = MetricsSnapshot::capture();
+    let popularity = Popularity::from_sequences(dataset.items.len(), train);
+    // One worker keeps fault-plan occurrences aligned with submission
+    // order; the breaker never trips so injected panics exercise the
+    // supervisor, not the tier ladder.
+    let server = Arc::new(Server::start(
+        ServerConfig {
+            workers: Some(1),
+            deadline: Duration::from_secs(5),
+            breaker: BreakerConfig {
+                window: 8,
+                trip_failures: 1_000_000,
+                cooldown_denials: 1_000_000,
+            },
+            supervisor: SupervisorConfig {
+                restart_backoff: Duration::from_millis(2),
+                watchdog_interval: Duration::from_millis(5),
+                ..SupervisorConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+        engine_factory(Arc::clone(dataset), seed),
+        popularity,
+    ));
+
+    let gaps = arrival_schedule(seed, sc.requests, Duration::from_millis(2));
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(gaps.len());
+    let mut shed = 0u64;
+    let mut swapper = None;
+    for (i, gap) in gaps.iter().enumerate() {
+        if !gap.is_zero() {
+            std::thread::sleep(*gap);
+        }
+        let prefix = prefixes[i % prefixes.len()].clone();
+        let req = Request { user: i as u64, prefix, k: 10, exclude_seen: true, deadline: None };
+        match server.submit(req) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Rejected { .. }) => shed += 1,
+            Err(e) => println!("serve_load: unexpected submit error: {e}"),
+        }
+        if sc.swap_at == Some(i as u64 + 1) {
+            // Swap mid-stream from its own thread so the drain overlaps
+            // live arrivals — the zero-downtime claim under test.
+            let server = Arc::clone(&server);
+            let ds = Arc::clone(dataset);
+            swapper = Some(std::thread::spawn(move || {
+                server.swap_snapshot(engine_factory(ds, seed ^ 0xBEEF))
+            }));
+        }
+    }
+    // The swap (if any) finishes while the backlog drains; join it
+    // first so `snapshot_epoch` below is the final published epoch.
+    if let Some(t) = swapper.take() {
+        let report = t.join().expect("swap thread");
+        println!(
+            "  swap: epoch {} drained in {:.1}ms across {} worker(s), {} given up",
+            report.epoch,
+            report.drain.as_secs_f64() * 1e3,
+            report.workers,
+            report.given_up,
+        );
+    }
+    // Open loop: nothing waited until every arrival is in flight.
+    let (mut served, mut missed) = (0u64, 0u64);
+    let mut tiers: Vec<(&'static str, u64)> = Vec::new();
+    let mut epoch_mismatch = 0u64;
+    let swap_epoch = server.snapshot_epoch();
+    for h in handles {
+        match h.wait() {
+            Ok(resp) => {
+                served += 1;
+                if resp.epoch > swap_epoch {
+                    epoch_mismatch += 1;
+                }
+                match tiers.iter_mut().find(|(t, _)| *t == resp.tier.label()) {
+                    Some((_, n)) => *n += 1,
+                    None => tiers.push((resp.tier.label(), 1)),
+                }
+            }
+            Err(ServeError::DeadlineExceeded { .. }) => missed += 1,
+            Err(e) => println!("serve_load: unexpected serve error: {e}"),
+        }
+    }
+    let wall = started.elapsed();
+    drop(server);
+    pmm_fault::clear();
+    let window = MetricsSnapshot::capture().delta_since(&base);
+    let report = pmm_trace::slo::evaluate(&window, &SloPolicy::default());
+    Outcome {
+        name: sc.name,
+        submitted: sc.requests,
+        served,
+        shed,
+        missed,
+        wall,
+        window,
+        report,
+        tiers,
+        epoch_mismatch,
+    }
+}
+
+/// Latency quantiles of the request-total histogram in this window.
+fn latency(window: &MetricsSnapshot) -> (u64, u64, u64) {
+    window.hist("request_total_ns").map_or((0, 0, 0), |h| {
+        (h.quantile_ns(0.50), h.quantile_ns(0.95), h.quantile_ns(0.99))
+    })
+}
+
+fn outcome_json(o: &Outcome) -> String {
+    let (p50, p95, p99) = latency(&o.window);
+    let tier_obj =
+        o.tiers.iter().fold(JsonObj::new(), |obj, (t, n)| obj.u64(t, *n)).finish();
+    let slo_rows: Vec<String> = o
+        .report
+        .checks
+        .iter()
+        .map(|c| {
+            format!(
+                "        {}",
+                JsonObj::new()
+                    .str("check", c.name)
+                    .f64("value", c.value)
+                    .f64("threshold", c.threshold)
+                    .bool("breached", c.breached())
+                    .finish()
+            )
+        })
+        .collect();
+    format!(
+        "    {{\n      \"scenario\": \"{}\",\n      \"submitted\": {},\n      \"served\": {},\n      \"shed\": {},\n      \"missed\": {},\n      \"retries\": {},\n      \"retries_denied\": {},\n      \"restarts\": {},\n      \"panics\": {},\n      \"wedges\": {},\n      \"swaps\": {},\n      \"swap_drain_ns\": {},\n      \"wall_s\": {:.6},\n      \"throughput_rps\": {:.2},\n      \"p50_ns\": {p50},\n      \"p95_ns\": {p95},\n      \"p99_ns\": {p99},\n      \"tiers\": {tier_obj},\n      \"slo_ok\": {},\n      \"slo\": [\n{}\n      ]\n    }}",
+        o.name,
+        o.submitted,
+        o.served,
+        o.shed,
+        o.missed,
+        o.window.counter("serve_retries"),
+        o.window.counter("serve_retries_denied"),
+        o.window.counter("serve_worker_restarts"),
+        o.window.counter("serve_worker_panics"),
+        o.window.counter("serve_worker_wedges"),
+        o.window.counter("serve_swaps"),
+        o.window.counter("serve_swap_drain_ns"),
+        o.wall.as_secs_f64(),
+        o.served as f64 / o.wall.as_secs_f64().max(1e-9),
+        o.report.ok(),
+        slo_rows.join(",\n"),
+    )
+}
+
+fn main() -> Result<(), String> {
+    let cli = Cli::from_env();
+    pmm_bench::obs::setup(&cli);
+    pmm_obs::set_enabled(true);
+
+    // Injected panics are the scenario, not a crash: silence their
+    // backtraces so the run's output stays readable, and let every
+    // other panic report through the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected worker panic"))
+            .or_else(|| {
+                info.payload()
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected worker panic"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let world = runner::world();
+    let split = runner::split(&world, DatasetId::HmClothes, &cli);
+    let prefixes: Vec<Vec<usize>> = split
+        .valid
+        .iter()
+        .take(6)
+        .map(|c| c.prefix.clone())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if prefixes.is_empty() {
+        return Err("dataset produced no non-empty validation prefixes".into());
+    }
+    let train = split.train.clone();
+    let dataset = Arc::new(split.dataset);
+    let seed = cli.seed ^ 0x10AD;
+
+    let mut outcomes = Vec::new();
+    for sc in scenarios(&cli) {
+        println!(
+            "== serve_load: {} ({} requests{}{}) ==",
+            sc.name,
+            sc.requests,
+            sc.fault_plan.as_deref().map(|p| format!(", faults {p}")).unwrap_or_default(),
+            sc.swap_at.map(|n| format!(", swap@{n}")).unwrap_or_default(),
+        );
+        let o = run_scenario(&sc, &dataset, &train, &prefixes, seed);
+        let (p50, p95, p99) = latency(&o.window);
+        println!(
+            "  {} submitted: {} served, {} shed, {} missed in {:.2}s ({:.0} req/s)",
+            o.submitted,
+            o.served,
+            o.shed,
+            o.missed,
+            o.wall.as_secs_f64(),
+            o.served as f64 / o.wall.as_secs_f64().max(1e-9),
+        );
+        println!(
+            "  latency p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms; retries {} restarts {} swaps {}",
+            p50 as f64 / 1e6,
+            p95 as f64 / 1e6,
+            p99 as f64 / 1e6,
+            o.window.counter("serve_retries"),
+            o.window.counter("serve_worker_restarts"),
+            o.window.counter("serve_swaps"),
+        );
+        for c in o.report.breaches() {
+            println!("  slo {} BREACHED: {:.4} over {:.4}", c.name, c.value, c.threshold);
+        }
+        outcomes.push(o);
+    }
+
+    let json = format!(
+        "{{\n  \"bin\": \"serve_load\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        outcomes.iter().map(outcome_json).collect::<Vec<_>>().join(",\n"),
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("serve_load: wrote BENCH_serve.json"),
+        Err(e) => println!("serve_load: cannot write BENCH_serve.json: {e}"),
+    }
+    pmm_bench::obs::finish("serve_load");
+
+    // Hard invariants, gate or no gate: every accepted request
+    // resolved, and no response claimed an epoch newer than the final
+    // published snapshot.
+    let mut failures: Vec<String> = Vec::new();
+    for o in &outcomes {
+        if o.served + o.missed + o.shed != o.submitted {
+            failures.push(format!(
+                "{}: {} served + {} missed + {} shed != {} submitted",
+                o.name, o.served, o.missed, o.shed, o.submitted
+            ));
+        }
+        if o.epoch_mismatch > 0 {
+            failures.push(format!("{}: {} responses with impossible epochs", o.name, o.epoch_mismatch));
+        }
+        if o.served == 0 {
+            failures.push(format!("{}: stream fully starved", o.name));
+        }
+    }
+    if cli.slo_gate {
+        for o in &outcomes {
+            if !o.report.ok() {
+                let names: Vec<&str> = o.report.breaches().iter().map(|c| c.name).collect();
+                failures.push(format!("{}: SLO gate failed ({})", o.name, names.join(", ")));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("serve_load PASSED: {} scenario(s) within budget", outcomes.len());
+        Ok(())
+    } else {
+        Err(format!("serve_load FAILED: {}", failures.join("; ")))
+    }
+}

@@ -38,6 +38,10 @@ pub struct Cli {
     /// Exit non-zero when the run's metrics window breaches the SLO
     /// policy (`--slo-gate`) — the CI switch for serving binaries.
     pub slo_gate: bool,
+    /// Trigger a snapshot hot-swap after the N-th submission
+    /// (`--swap-at N`; `serve_load` only). Absent means no mid-run
+    /// swap unless the scenario defaults one in.
+    pub swap_at: Option<u64>,
 }
 
 impl Default for Cli {
@@ -53,6 +57,7 @@ impl Default for Cli {
             audit_graph: false,
             metrics: None,
             slo_gate: false,
+            swap_at: None,
         }
     }
 }
@@ -119,8 +124,16 @@ impl Cli {
                 "--audit-graph" => cli.audit_graph = true,
                 "--metrics" => cli.metrics = Some(it.next().expect("--metrics needs a path")),
                 "--slo-gate" => cli.slo_gate = true,
+                "--swap-at" => {
+                    cli.swap_at = Some(
+                        it.next()
+                            .expect("--swap-at needs a value")
+                            .parse()
+                            .expect("--swap-at must be an integer"),
+                    );
+                }
                 other => panic!(
-                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads --audit-graph --metrics --slo-gate)"
+                    "unknown flag {other:?} (flags: --scale --seed --epochs --log-level --verbose --obs --fault-plan --threads --audit-graph --metrics --slo-gate --swap-at)"
                 ),
             }
         }
@@ -198,6 +211,12 @@ mod tests {
         let off = parse(&[]);
         assert!(off.metrics.is_none());
         assert!(!off.slo_gate);
+    }
+
+    #[test]
+    fn parses_swap_at() {
+        assert_eq!(parse(&["--swap-at", "12"]).swap_at, Some(12));
+        assert!(parse(&[]).swap_at.is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! skip, LR backoff, rollback, checkpoint fallback, IO retry) can be
 //! exercised reproducibly in tests and in the `chaos_smoke` binary.
 //!
-//! Four trip points are offered to the rest of the workspace:
+//! Five trip points are offered to the rest of the workspace:
 //!
 //! * [`trip_nan_loss`] — consulted once per optimisation step; when it
 //!   fires, the training loop poisons that step's loss with NaN.
@@ -20,6 +20,11 @@
 //!   the plan can make the N-th call fail (`err@N`) or stall (`slow@N`)
 //!   so the serving runtime's circuit breakers, deadlines, and
 //!   degradation ladder can be exercised deterministically.
+//! * [`trip_worker`] — consulted once per serving-worker request
+//!   execution; the plan can make the N-th execution panic
+//!   (`panic@N`) or wedge (`stall@N`) so the supervisor's panic
+//!   isolation, restart budget, and heartbeat watchdog can be
+//!   exercised deterministically.
 //!
 //! With no plan installed every trip point is a no-op costing one
 //! atomic load, so production code can call them unconditionally.
@@ -53,6 +58,13 @@ pub struct FaultPlan {
     /// Serving-side encoder calls that fail outright (the circuit
     /// breaker's error window sees these).
     pub err_encodes: Vec<u64>,
+    /// Serving-worker request executions that panic mid-request (the
+    /// supervisor's `catch_unwind` + respawn path sees these).
+    pub panic_workers: Vec<u64>,
+    /// Serving-worker request executions that wedge — stall well past
+    /// the heartbeat deadline so the watchdog declares the worker
+    /// stuck and replaces it.
+    pub stall_workers: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -63,12 +75,15 @@ impl FaultPlan {
             && self.io_failures.is_empty()
             && self.slow_encodes.is_empty()
             && self.err_encodes.is_empty()
+            && self.panic_workers.is_empty()
+            && self.stall_workers.is_empty()
     }
 
     /// Parses a plan spec: comma-separated `kind@N` tokens where kind
     /// is `nan` (training step), `ckpt` (rotating save), `io` (guarded
-    /// IO operation), `slow` or `err` (serving encoder call), e.g.
-    /// `"nan@3,nan@4,ckpt@1,io@0,slow@2,err@5"`.
+    /// IO operation), `slow` or `err` (serving encoder call), `panic`
+    /// or `stall` (serving-worker request execution), e.g.
+    /// `"nan@3,nan@4,ckpt@1,io@0,slow@2,err@5,panic@3,stall@7"`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -84,8 +99,12 @@ impl FaultPlan {
                 "io" => plan.io_failures.push(n),
                 "slow" => plan.slow_encodes.push(n),
                 "err" => plan.err_encodes.push(n),
+                "panic" => plan.panic_workers.push(n),
+                "stall" => plan.stall_workers.push(n),
                 other => {
-                    return Err(format!("unknown fault kind {other:?} (use nan|ckpt|io|slow|err)"))
+                    return Err(format!(
+                        "unknown fault kind {other:?} (use nan|ckpt|io|slow|err|panic|stall)"
+                    ))
                 }
             }
         }
@@ -94,6 +113,8 @@ impl FaultPlan {
         plan.io_failures.sort_unstable();
         plan.slow_encodes.sort_unstable();
         plan.err_encodes.sort_unstable();
+        plan.panic_workers.sort_unstable();
+        plan.stall_workers.sort_unstable();
         Ok(plan)
     }
 }
@@ -106,11 +127,14 @@ struct ActivePlan {
     saves_seen: u64,
     ios_seen: u64,
     encodes_seen: u64,
+    workers_seen: u64,
     fired_nan: u64,
     fired_corrupt: u64,
     fired_io: u64,
     fired_slow: u64,
     fired_err: u64,
+    fired_panic: u64,
+    fired_stall: u64,
 }
 
 /// Fast-path switch: true only while a plan is installed.
@@ -146,6 +170,14 @@ pub fn fired() -> (u64, u64, u64) {
 pub fn fired_encode() -> (u64, u64) {
     match active().lock().unwrap().as_ref() {
         Some(a) => (a.fired_slow, a.fired_err),
+        None => (0, 0),
+    }
+}
+
+/// Counts of serving-worker faults fired so far: `(panic, stall)`.
+pub fn fired_worker() -> (u64, u64) {
+    match active().lock().unwrap().as_ref() {
+        Some(a) => (a.fired_panic, a.fired_stall),
         None => (0, 0),
     }
 }
@@ -202,6 +234,43 @@ pub fn trip_encode() -> Option<EncodeFault> {
         a.fired_slow += 1;
         pmm_obs::counter::FAULTS_SLOW.add(1);
         Some(EncodeFault::Slow)
+    } else {
+        None
+    }
+}
+
+/// What an injected serving-worker fault does to the guarded request
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The execution panics mid-request — the supervisor's
+    /// `catch_unwind` isolation and respawn path see this.
+    Panic,
+    /// The execution wedges: the worker stalls without stamping its
+    /// heartbeat until the watchdog declares it stuck.
+    Stall,
+}
+
+/// Consume one serving-worker request-execution occurrence; `Some`
+/// when this execution should misbehave. When the same occurrence is
+/// listed under both `panic@N` and `stall@N`, the panic wins (it is
+/// the harsher fault).
+pub fn trip_worker() -> Option<WorkerFault> {
+    if !armed() {
+        return None;
+    }
+    let mut guard = active().lock().unwrap();
+    let a = guard.as_mut()?;
+    let n = a.workers_seen;
+    a.workers_seen += 1;
+    if a.plan.panic_workers.binary_search(&n).is_ok() {
+        a.fired_panic += 1;
+        pmm_obs::counter::FAULTS_PANIC.add(1);
+        Some(WorkerFault::Panic)
+    } else if a.plan.stall_workers.binary_search(&n).is_ok() {
+        a.fired_stall += 1;
+        pmm_obs::counter::FAULTS_STALL.add(1);
+        Some(WorkerFault::Stall)
     } else {
         None
     }
@@ -333,6 +402,28 @@ mod tests {
         assert_eq!(fired_encode(), (1, 1));
         clear();
         assert_eq!(trip_encode(), None);
+    }
+
+    #[test]
+    fn worker_trips_fire_on_exact_occurrences_with_panic_precedence() {
+        let _g = test_guard();
+        install(FaultPlan::parse("panic@0,stall@2,panic@2,stall@3").unwrap());
+        assert_eq!(trip_worker(), Some(WorkerFault::Panic)); // execution 0
+        assert_eq!(trip_worker(), None); // execution 1
+        assert_eq!(trip_worker(), Some(WorkerFault::Panic)); // execution 2: panic wins
+        assert_eq!(trip_worker(), Some(WorkerFault::Stall)); // execution 3
+        assert_eq!(trip_worker(), None); // execution 4
+        assert_eq!(fired_worker(), (2, 1));
+        clear();
+        assert_eq!(trip_worker(), None);
+    }
+
+    #[test]
+    fn parse_accepts_worker_kinds() {
+        let p = FaultPlan::parse("panic@3, panic@1,stall@5").unwrap();
+        assert_eq!(p.panic_workers, vec![1, 3]);
+        assert_eq!(p.stall_workers, vec![5]);
+        assert!(!p.is_empty());
     }
 
     #[test]

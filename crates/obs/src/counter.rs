@@ -97,6 +97,10 @@ pub static FAULTS_IO: Counter = Counter::new("faults_io");
 pub static FAULTS_SLOW: Counter = Counter::new("faults_slow");
 /// Encoder-error faults fired (`err@N`).
 pub static FAULTS_ERR: Counter = Counter::new("faults_err");
+/// Worker-panic faults fired (`panic@N`).
+pub static FAULTS_PANIC: Counter = Counter::new("faults_panic");
+/// Worker-wedge faults fired (`stall@N`).
+pub static FAULTS_STALL: Counter = Counter::new("faults_stall");
 
 // --- serving-runtime counters (pmm-serve) ---
 
@@ -109,8 +113,8 @@ pub static SERVE_DEADLINE_MISSES: Counter = Counter::new("serve_deadline_misses"
 /// Circuit-breaker transitions into the open state.
 pub static SERVE_BREAKER_TRIPS: Counter = Counter::new("serve_breaker_trips");
 /// Total nanoseconds breakers spent open, accounted when each breaker
-/// closes again (a breaker still open at snapshot time is not yet
-/// included).
+/// closes and flushed for still-open breakers at server shutdown (so
+/// an outage open at shutdown still reaches SLO math).
 pub static SERVE_BREAKER_OPEN_NS: Counter = Counter::new("serve_breaker_open_ns");
 /// Responses served at the full dual-modality tier.
 pub static SERVE_TIER_FULL: Counter = Counter::new("serve_tier_full");
@@ -120,6 +124,30 @@ pub static SERVE_TIER_SINGLE: Counter = Counter::new("serve_tier_single");
 pub static SERVE_TIER_CACHED: Counter = Counter::new("serve_tier_cached");
 /// Responses served from the global popularity baseline.
 pub static SERVE_TIER_POP: Counter = Counter::new("serve_tier_pop");
+
+// --- worker-supervision counters (pmm-serve supervisor) ---
+
+/// Worker request executions that panicked and were caught by the
+/// supervisor's `catch_unwind` isolation.
+pub static SERVE_PANICS: Counter = Counter::new("serve_worker_panics");
+/// Workers declared wedged by the heartbeat watchdog (their in-flight
+/// request is charged as a deadline miss).
+pub static SERVE_WEDGES: Counter = Counter::new("serve_worker_wedges");
+/// Replacement workers spawned by the supervisor (panic or wedge).
+pub static SERVE_WORKER_RESTARTS: Counter = Counter::new("serve_worker_restarts");
+/// Worker slots abandoned after exhausting their restart budget.
+pub static SERVE_GIVEUPS: Counter = Counter::new("serve_worker_giveups");
+/// Requests re-enqueued onto a healthy worker after a transient
+/// failure, within the global retry budget.
+pub static SERVE_RETRIES: Counter = Counter::new("serve_retries");
+/// Retry candidates denied by the exhausted global retry budget and
+/// served from the model-free floor instead.
+pub static SERVE_RETRIES_DENIED: Counter = Counter::new("serve_retries_denied");
+/// Snapshot hot-swaps performed via `Server::swap_snapshot`.
+pub static SERVE_SWAPS: Counter = Counter::new("serve_swaps");
+/// Total nanoseconds hot-swaps spent draining: from the epoch flip
+/// until every live worker had adopted the new snapshot.
+pub static SERVE_SWAP_DRAIN_NS: Counter = Counter::new("serve_swap_drain_ns");
 
 // --- request-tracing counters (pmm-trace) ---
 
@@ -261,6 +289,8 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (FAULTS_IO.name, FAULTS_IO.get()),
         (FAULTS_SLOW.name, FAULTS_SLOW.get()),
         (FAULTS_ERR.name, FAULTS_ERR.get()),
+        (FAULTS_PANIC.name, FAULTS_PANIC.get()),
+        (FAULTS_STALL.name, FAULTS_STALL.get()),
         (SERVE_REQUESTS.name, SERVE_REQUESTS.get()),
         (SERVE_SHED.name, SERVE_SHED.get()),
         (SERVE_DEADLINE_MISSES.name, SERVE_DEADLINE_MISSES.get()),
@@ -270,6 +300,14 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (SERVE_TIER_SINGLE.name, SERVE_TIER_SINGLE.get()),
         (SERVE_TIER_CACHED.name, SERVE_TIER_CACHED.get()),
         (SERVE_TIER_POP.name, SERVE_TIER_POP.get()),
+        (SERVE_PANICS.name, SERVE_PANICS.get()),
+        (SERVE_WEDGES.name, SERVE_WEDGES.get()),
+        (SERVE_WORKER_RESTARTS.name, SERVE_WORKER_RESTARTS.get()),
+        (SERVE_GIVEUPS.name, SERVE_GIVEUPS.get()),
+        (SERVE_RETRIES.name, SERVE_RETRIES.get()),
+        (SERVE_RETRIES_DENIED.name, SERVE_RETRIES_DENIED.get()),
+        (SERVE_SWAPS.name, SERVE_SWAPS.get()),
+        (SERVE_SWAP_DRAIN_NS.name, SERVE_SWAP_DRAIN_NS.get()),
         (TRACE_EVENTS.name, TRACE_EVENTS.get()),
         (TRACE_DROPPED.name, TRACE_DROPPED.get()),
         ("serve_queue_peak", serve_queue_peak()),
@@ -298,6 +336,8 @@ pub fn reset_counters() {
         &FAULTS_IO,
         &FAULTS_SLOW,
         &FAULTS_ERR,
+        &FAULTS_PANIC,
+        &FAULTS_STALL,
         &SERVE_REQUESTS,
         &SERVE_SHED,
         &SERVE_DEADLINE_MISSES,
@@ -307,6 +347,14 @@ pub fn reset_counters() {
         &SERVE_TIER_SINGLE,
         &SERVE_TIER_CACHED,
         &SERVE_TIER_POP,
+        &SERVE_PANICS,
+        &SERVE_WEDGES,
+        &SERVE_WORKER_RESTARTS,
+        &SERVE_GIVEUPS,
+        &SERVE_RETRIES,
+        &SERVE_RETRIES_DENIED,
+        &SERVE_SWAPS,
+        &SERVE_SWAP_DRAIN_NS,
         &TRACE_EVENTS,
         &TRACE_DROPPED,
     ] {

@@ -59,7 +59,7 @@ pub struct CircuitBreaker {
     /// first trip of an outage, kept across failed probes, and
     /// accounted into `serve_breaker_open_ns` when the breaker closes.
     /// Decisions stay clock-free; an outage still open at shutdown is
-    /// never accounted (documented SLO-counter limitation).
+    /// accounted by [`CircuitBreaker::flush_open_time`].
     opened_at: Option<std::time::Instant>,
 }
 
@@ -155,6 +155,19 @@ impl CircuitBreaker {
         }
     }
 
+    /// Accounts the open time of a still-open outage into
+    /// `serve_breaker_open_ns` without closing the breaker. The outage
+    /// clock is re-stamped so a later close (or another flush) only
+    /// charges the remainder — never the same interval twice. The
+    /// server calls this at shutdown so an outage that never healed
+    /// still reaches the SLO counter.
+    pub fn flush_open_time(&mut self) {
+        if let Some(t0) = self.opened_at {
+            pmm_obs::counter::SERVE_BREAKER_OPEN_NS.add(t0.elapsed().as_nanos() as u64);
+            self.opened_at = Some(std::time::Instant::now());
+        }
+    }
+
     fn trip(&mut self) {
         self.state = BreakerState::Open;
         self.window.clear();
@@ -235,6 +248,33 @@ mod tests {
             pmm_obs::counter::SERVE_BREAKER_OPEN_NS.delta_since(before) >= 2_000_000,
             "open time should cover the 2 ms outage"
         );
+    }
+
+    #[test]
+    fn flush_accounts_still_open_outage_without_double_charge() {
+        pmm_obs::set_enabled(true);
+        let before = pmm_obs::counter::SERVE_BREAKER_OPEN_NS.get();
+        let mut b = CircuitBreaker::new(cfg());
+        b.record(false);
+        b.record(false); // trip: the outage clock starts
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        b.flush_open_time(); // shutdown-style flush while still open
+        let flushed = pmm_obs::counter::SERVE_BREAKER_OPEN_NS.delta_since(before);
+        assert!(flushed >= 2_000_000, "the flush accounts the open outage: {flushed}ns");
+        // Healing after the flush only charges the post-flush
+        // remainder, not the whole outage again.
+        assert!(!b.admit());
+        assert!(!b.admit());
+        assert!(b.admit()); // probe
+        b.record(true); // close
+        let total = pmm_obs::counter::SERVE_BREAKER_OPEN_NS.delta_since(before);
+        assert!(
+            total - flushed < 2_000_000,
+            "the close must not re-charge the flushed interval: flushed={flushed}ns total={total}ns"
+        );
+        // A closed breaker has nothing to flush.
+        b.flush_open_time();
+        assert_eq!(pmm_obs::counter::SERVE_BREAKER_OPEN_NS.delta_since(before), total);
     }
 
     #[test]

@@ -21,6 +21,19 @@
 //!   last-good top-k, then the global popularity baseline. Every
 //!   response is tagged with the [`Tier`] that produced it; the
 //!   service answers something at every rung.
+//! * **Worker supervision with panic isolation** — each request runs
+//!   under `catch_unwind`; a panic fails *that request* into the
+//!   ladder (one retry under a global retry budget, else the floor)
+//!   while the supervisor respawns the worker under an
+//!   exponential-backoff restart budget. A heartbeat watchdog retires
+//!   wedged workers in place; a pool that exhausts every restart
+//!   budget degrades to supervisor-served floor answers instead of
+//!   going dark.
+//! * **Zero-downtime snapshot hot-swap** — [`Server::swap_snapshot`]
+//!   atomically publishes a new engine snapshot; workers rebuild
+//!   their replicas between requests, in-flight requests keep the
+//!   epoch they started with, and no request is shed on account of
+//!   the reload. Responses carry their snapshot epoch.
 //!
 //! Worker counts default to [`pmm_par::threads`], so the same
 //! `--threads` / `PMM_THREADS` knob governs kernel parallelism and
@@ -39,12 +52,16 @@ pub mod breaker;
 pub mod engine;
 pub mod queue;
 pub mod server;
+pub mod supervisor;
+pub mod swap;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use engine::{Component, PmmEngine, ServeEngine};
 pub use pmm_trace::TraceId;
 pub use queue::BoundedQueue;
 pub use server::{Request, Response, ServeError, Server, ServerConfig};
+pub use supervisor::SupervisorConfig;
+pub use swap::SwapReport;
 
 /// The degradation rung that produced a response, best first. The
 /// serving loop walks these in order and stops at the first rung that

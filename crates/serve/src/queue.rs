@@ -13,6 +13,22 @@ struct Inner<T> {
     items: VecDeque<T>,
     paused: bool,
     closed: bool,
+    /// Monotonic wake-up counter: bumped by [`BoundedQueue::poke`] so
+    /// consumers blocked in [`BoundedQueue::pop_or_poke`] wake even
+    /// with no item to hand out (e.g. to adopt a new snapshot epoch).
+    pokes: u64,
+}
+
+/// What [`BoundedQueue::pop_or_poke`] handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// An item to process.
+    Item(T),
+    /// No item, but the poke counter advanced: re-check loop-level
+    /// state (snapshot epoch, retirement) and come back.
+    Poke,
+    /// Closed and drained; the consumer should exit.
+    Closed,
 }
 
 /// A mutex+condvar MPMC queue with a hard capacity.
@@ -34,7 +50,12 @@ impl<T> BoundedQueue<T> {
     /// An empty queue holding at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> BoundedQueue<T> {
         BoundedQueue {
-            inner: Mutex::new(Inner { items: VecDeque::new(), paused: false, closed: false }),
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                paused: false,
+                closed: false,
+                pokes: 0,
+            }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
         }
@@ -66,6 +87,23 @@ impl<T> BoundedQueue<T> {
         Ok(depth)
     }
 
+    /// Like [`BoundedQueue::try_push`], but hands the item back on
+    /// failure instead of dropping it — the retry path re-enqueues a
+    /// recovered job and must be able to floor-serve it when the queue
+    /// is full or closed.
+    pub fn try_requeue(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.lock_inner();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        pmm_obs::counter::record_queue_depth(depth as u64);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
     /// Blocks until an item is available (and the queue is unpaused),
     /// or returns `None` once the queue is closed and drained.
     pub fn pop(&self) -> Option<T> {
@@ -82,6 +120,55 @@ impl<T> BoundedQueue<T> {
             }
             inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// [`BoundedQueue::pop`] that also wakes for pokes: when the poke
+    /// counter has advanced past `seen_pokes` the call returns
+    /// [`Popped::Poke`] (updating `seen_pokes`) *before* handing out an
+    /// item, so the consumer re-checks its loop-level state — snapshot
+    /// epoch, retirement — with priority over new work.
+    pub fn pop_or_poke(&self, seen_pokes: &mut u64) -> Popped<T> {
+        let mut inner = self.lock_inner();
+        loop {
+            if inner.closed {
+                return match inner.items.pop_front() {
+                    Some(item) => Popped::Item(item),
+                    None => Popped::Closed,
+                };
+            }
+            if inner.pokes != *seen_pokes {
+                *seen_pokes = inner.pokes;
+                return Popped::Poke;
+            }
+            if !inner.paused {
+                if let Some(item) = inner.items.pop_front() {
+                    return Popped::Item(item);
+                }
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking pop that ignores the pause switch — the degraded
+    /// server's floor drain, where no workers remain to respect the
+    /// pause semantics anyway.
+    pub fn try_pop(&self) -> Option<T> {
+        self.lock_inner().items.pop_front()
+    }
+
+    /// Wakes every consumer blocked in [`BoundedQueue::pop_or_poke`]
+    /// without enqueuing anything.
+    pub fn poke(&self) {
+        let mut inner = self.lock_inner();
+        inner.pokes += 1;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// The current poke counter; consumers snapshot it before their
+    /// first [`BoundedQueue::pop_or_poke`].
+    pub fn pokes(&self) -> u64 {
+        self.lock_inner().pokes
     }
 
     /// Holds workers off the queue (`true`) or releases them. Producers
@@ -163,5 +250,71 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn close_races_concurrent_producers_without_losing_accepted_items() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Producers hammer the queue while it closes mid-stream: every
+        // push that reported Ok must still be drainable afterwards
+        // (the accepted-implies-served contract), and every post-close
+        // push must have reported Err.
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(4096));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                let accepted = Arc::clone(&accepted);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        if q.try_push(t * 1000 + i).is_ok() {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        q.close();
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let mut drained = 0u64;
+        while q.pop().is_some() {
+            drained += 1;
+        }
+        assert_eq!(
+            drained,
+            accepted.load(Ordering::Relaxed),
+            "every accepted item drains; every rejected item stayed out"
+        );
+        assert!(q.try_push(9).is_err(), "the queue stays closed");
+    }
+
+    #[test]
+    fn poke_interrupts_pop_or_poke_ahead_of_items() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let mut seen = q.pokes();
+        q.try_push(1).unwrap();
+        q.poke();
+        // The poke outranks the waiting item so consumers re-check
+        // loop-level state first, then the item is handed out.
+        assert_eq!(q.pop_or_poke(&mut seen), Popped::Poke);
+        assert_eq!(q.pop_or_poke(&mut seen), Popped::Item(1));
+        q.close();
+        assert_eq!(q.pop_or_poke(&mut seen), Popped::Closed);
+    }
+
+    #[test]
+    fn try_requeue_hands_the_item_back_on_full_or_closed() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.try_requeue(1), Ok(1));
+        assert_eq!(q.try_requeue(2), Err(2), "a full queue returns the item");
+        let q2: BoundedQueue<u32> = BoundedQueue::new(4);
+        q2.close();
+        assert_eq!(q2.try_requeue(3), Err(3), "a closed queue returns the item");
+        // try_pop ignores the pause switch (degraded drain).
+        q.set_paused(true);
+        assert_eq!(q.try_pop(), Some(1));
     }
 }

@@ -1,7 +1,9 @@
-//! The request runtime: worker pool, admission, pipeline, ladder.
+//! The request runtime: supervised worker pool, admission, pipeline,
+//! ladder.
 //!
-//! One `Server` owns a bounded queue and a pool of worker threads.
-//! Each worker builds its own engine replica (the model is
+//! One `Server` owns a bounded queue, a versioned snapshot store, and
+//! a pool of supervised worker threads. Each worker builds its own
+//! engine replica from the current snapshot (the model is
 //! single-threaded by design); breakers, the last-good cache, and the
 //! popularity floor are shared. A request flows:
 //!
@@ -10,10 +12,18 @@
 //!    │ full? Rejected{depth}        │   └breaker per encoder component        └breaker    │
 //!    └──────────────────────────────┴ rung failed? next ladder rung ... cached ... popularity
 //! ```
+//!
+//! The pool is supervised (see [`crate::supervisor`]): a panicking
+//! request fails into the ladder while the worker is respawned, a
+//! wedged worker is retired by the heartbeat watchdog, and
+//! [`Server::swap_snapshot`] flips the whole pool to a new engine
+//! snapshot without shedding a request.
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::engine::{Component, ServeEngine};
 use crate::queue::BoundedQueue;
+use crate::supervisor::{self, SuperCtl, SupervisorConfig, WorkerSlot};
+use crate::swap::{Snapshots, SwapReport};
 use crate::Tier;
 use pmm_baselines::Popularity;
 use pmm_obs::counter as ctr;
@@ -39,8 +49,15 @@ pub struct ServerConfig {
     /// than `deadline` in chaos runs so slowness deterministically
     /// becomes a deadline miss.
     pub slow_fault: Duration,
+    /// How long an injected `stall` worker fault freezes the worker
+    /// without heartbeats. Kept longer than the wedge threshold in
+    /// chaos runs so the watchdog deterministically fires.
+    pub stall_fault: Duration,
     /// Breaker tuning, shared by all components.
     pub breaker: BreakerConfig,
+    /// Supervision tuning: restart budgets, wedge threshold, retry
+    /// budget.
+    pub supervisor: SupervisorConfig,
     /// Start with consumers paused (deterministic overflow tests);
     /// release with [`Server::set_paused`].
     pub start_paused: bool,
@@ -53,7 +70,9 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             deadline: Duration::from_millis(250),
             slow_fault: Duration::from_millis(400),
+            stall_fault: Duration::from_secs(2),
             breaker: BreakerConfig::default(),
+            supervisor: SupervisorConfig::default(),
             start_paused: false,
         }
     }
@@ -94,6 +113,10 @@ pub struct Response {
     pub user: u64,
     /// The degradation rung that answered.
     pub tier: Tier,
+    /// The snapshot epoch of the engine that answered (floor-tier
+    /// answers carry the epoch current when they were served), so
+    /// hot-swap tests can prove which snapshot a response came from.
+    pub epoch: u64,
     /// The ranked items.
     pub items: Vec<Recommendation>,
 }
@@ -107,9 +130,11 @@ pub enum ServeError {
         queue_depth: usize,
     },
     /// The deadline expired; `stage` names the pipeline boundary where
-    /// the request was cancelled.
+    /// the request was cancelled (`"wedged"` means the worker running
+    /// it stalled and the watchdog answered).
     DeadlineExceeded {
-        /// `"queue"`, `"encode"`, `"user_encode"`, or `"rank"`.
+        /// `"queue"`, `"encode"`, `"user_encode"`, `"rank"`, or
+        /// `"wedged"`.
         stage: &'static str,
     },
     /// The request was malformed; nothing was enqueued.
@@ -152,27 +177,33 @@ impl ResponseHandle {
     }
 }
 
-struct Job {
-    id: u64,
-    trace: TraceId,
-    request: Request,
-    enqueued: Instant,
-    deadline: Instant,
-    reply: mpsc::Sender<Result<Response, ServeError>>,
+pub(crate) struct Job {
+    pub(crate) id: u64,
+    pub(crate) trace: TraceId,
+    pub(crate) request: Request,
+    pub(crate) enqueued: Instant,
+    pub(crate) deadline: Instant,
+    pub(crate) reply: mpsc::Sender<Result<Response, ServeError>>,
+    /// Times this job has been requeued after a worker panic.
+    pub(crate) retries: u32,
+    /// Trace sequence number the next handler resumes the chain at
+    /// (advanced by the retry path so the chain stays ordered).
+    pub(crate) resume_seq: u32,
 }
 
-struct Shared {
-    queue: BoundedQueue<Job>,
-    breakers: [Mutex<CircuitBreaker>; 3],
-    cache: Mutex<HashMap<u64, Vec<Recommendation>>>,
-    popularity: Popularity,
-    slow_fault: Duration,
+pub(crate) struct Shared {
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) breakers: [Mutex<CircuitBreaker>; 3],
+    pub(crate) cache: Mutex<HashMap<u64, Vec<Recommendation>>>,
+    pub(crate) popularity: Popularity,
+    pub(crate) slow_fault: Duration,
+    pub(crate) stall_fault: Duration,
 }
 
 /// Locks shared serving state, recovering from poison: breaker and
 /// cache values are valid at every instruction boundary, and a worker
 /// panicking mid-request must not take every other worker down.
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -186,24 +217,47 @@ fn breaker_of(shared: &Shared, c: Component) -> &Mutex<CircuitBreaker> {
     &shared.breakers[idx]
 }
 
+/// Who is allowed to send a request's reply, plus the snapshot epoch
+/// the answer is tagged with. `owner: Some((slot, gen))` means the
+/// reply must be claimed from the slot's in-flight cell (so a wedge
+/// takeover and the worker cannot both answer); `None` means the
+/// caller already owns the reply (supervisor drain, panic recovery).
+pub(crate) struct ReplyCtx<'a> {
+    pub(crate) owner: Option<(&'a WorkerSlot, u64)>,
+    pub(crate) epoch: u64,
+}
+
+impl ReplyCtx<'_> {
+    /// Claim the exclusive right to reply; `false` means someone else
+    /// (the watchdog) already answered and every counter was already
+    /// charged.
+    fn claim(&self) -> bool {
+        match self.owner {
+            None => true,
+            Some((slot, gen)) => slot.claim_if(gen),
+        }
+    }
+}
+
 /// The serving runtime. Dropping it closes the queue and joins the
-/// workers (draining accepted requests first).
-pub struct Server {
+/// supervisor and workers (draining accepted requests first).
+pub struct Server<E: ServeEngine + 'static> {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    snaps: Arc<Snapshots<E>>,
+    ctl: Arc<SuperCtl>,
+    supervisor: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     default_deadline: Duration,
 }
 
-impl Server {
-    /// Starts the worker pool. `factory` builds one engine per worker
-    /// thread — engines are never shared, so the model's
+impl<E: ServeEngine + 'static> Server<E> {
+    /// Starts the supervised worker pool. `factory` builds one engine
+    /// per worker thread — engines are never shared, so the model's
     /// single-threaded internals are safe; build replicas from the
     /// same seed for bit-identical results across workers.
     /// `popularity` is the ladder's always-available floor.
-    pub fn start<E, F>(cfg: ServerConfig, factory: F, popularity: Popularity) -> Server
+    pub fn start<F>(cfg: ServerConfig, factory: F, popularity: Popularity) -> Server<E>
     where
-        E: ServeEngine,
         F: Fn() -> E + Send + Sync + 'static,
     {
         let shared = Arc::new(Shared {
@@ -216,29 +270,23 @@ impl Server {
             cache: Mutex::new(HashMap::new()),
             popularity,
             slow_fault: cfg.slow_fault,
+            stall_fault: cfg.stall_fault,
         });
         if cfg.start_paused {
             shared.queue.set_paused(true);
         }
         let n_workers = cfg.workers.unwrap_or_else(pmm_par::threads).max(1);
-        let factory = Arc::new(factory);
-        let workers = (0..n_workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let factory = Arc::clone(&factory);
-                std::thread::Builder::new()
-                    .name(format!("pmm-serve-{i}"))
-                    .spawn(move || {
-                        let engine = factory();
-                        while let Some(job) = shared.queue.pop() {
-                            handle(&engine, &shared, job);
-                        }
-                    })
-                    // pmm-audit: allow(hot-unwrap) — pool startup, not the request path; a failed spawn means the server never comes up
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        Server { shared, workers, next_id: AtomicU64::new(0), default_deadline: cfg.deadline }
+        let snaps = Arc::new(Snapshots::new(Arc::new(factory)));
+        let (ctl, supervisor) =
+            supervisor::boot(cfg.supervisor, cfg.deadline, &shared, &snaps, n_workers);
+        Server {
+            shared,
+            snaps,
+            ctl,
+            supervisor: Some(supervisor),
+            next_id: AtomicU64::new(0),
+            default_deadline: cfg.deadline,
+        }
     }
 
     /// Enqueues a request. Never blocks: a full queue sheds with
@@ -254,9 +302,19 @@ impl Server {
         let enqueued = Instant::now();
         let deadline = enqueued + request.deadline.unwrap_or(self.default_deadline);
         let (tx, rx) = mpsc::channel();
-        let job = Job { id, trace: tracer.id(), request, enqueued, deadline, reply: tx };
+        let job = Job {
+            id,
+            trace: tracer.id(),
+            request,
+            enqueued,
+            deadline,
+            reply: tx,
+            retries: 0,
+            resume_seq: 1,
+        };
         match self.shared.queue.try_push(job) {
             Ok(depth) => {
+                self.ctl.note_accepted();
                 if pmm_obs::enabled() {
                     tracer.instant(Stage::Enqueue, "accepted", &format!("depth={depth}"));
                 }
@@ -275,6 +333,70 @@ impl Server {
     /// Submit and wait: the one-call convenience path.
     pub fn call(&self, request: Request) -> Result<Response, ServeError> {
         self.submit(request)?.wait()
+    }
+
+    /// Publish a new engine snapshot and wait for the pool to adopt
+    /// it: the factory is flipped atomically, every worker rebuilds
+    /// its replica from the new snapshot between requests (in-flight
+    /// requests finish on the engine — and epoch tag — they started
+    /// with), and abandoned slots are revived with a fresh restart
+    /// budget. No request is shed on account of the swap: the queue
+    /// keeps accepting throughout. Blocks only the calling thread,
+    /// never serving.
+    pub fn swap_snapshot<F>(&self, factory: F) -> SwapReport
+    where
+        F: Fn() -> E + Send + Sync + 'static,
+    {
+        let start = Instant::now();
+        let epoch = self.snaps.publish(Arc::new(factory));
+        ctr::SERVE_SWAPS.add(1);
+        // A new snapshot is new code as far as crash loops are
+        // concerned: abandoned slots get a fresh budget.
+        self.ctl.revive();
+        // Wake idle workers so they notice the epoch without waiting
+        // for traffic.
+        self.shared.queue.poke();
+        loop {
+            if self.ctl.shutting_down() {
+                break;
+            }
+            let pending = self
+                .ctl
+                .slots
+                .iter()
+                .any(|s| !s.given_up() && s.engine_epoch() != epoch);
+            if !pending {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let drain = start.elapsed();
+        ctr::SERVE_SWAP_DRAIN_NS.add(drain.as_nanos() as u64);
+        let mut tracer = Tracer::start();
+        tracer.observe(Stage::Swap, drain, "ok", &format!("epoch={epoch}"));
+        SwapReport {
+            epoch,
+            drain,
+            workers: self.ctl.slots.iter().filter(|s| s.engine_epoch() == epoch).count(),
+            given_up: self.ctl.slots.iter().filter(|s| s.given_up()).count(),
+        }
+    }
+
+    /// The currently published snapshot epoch.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snaps.epoch()
+    }
+
+    /// Whether every worker slot has exhausted its restart budget and
+    /// the supervisor is serving the model-free floor directly. A
+    /// [`Server::swap_snapshot`] revives a degraded pool.
+    pub fn degraded(&self) -> bool {
+        self.ctl.degraded()
+    }
+
+    /// Lifetime restart count per worker slot.
+    pub fn worker_restarts(&self) -> Vec<u64> {
+        self.ctl.slots.iter().map(WorkerSlot::restarts).collect()
     }
 
     /// Pauses or releases the worker side of the queue (producers are
@@ -298,21 +420,31 @@ impl Server {
         lock_clean(breaker_of(&self.shared, c)).trips()
     }
 
-    /// Closes the queue and joins the workers after they drain the
-    /// accepted backlog.
+    /// Closes the queue and joins the supervisor and workers after
+    /// they drain the accepted backlog.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
     fn shutdown_in_place(&mut self) {
+        // Stop the supervisor first so nothing respawns into the
+        // closing pool, then close the queue so workers drain and
+        // exit.
+        self.ctl.begin_shutdown();
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
         self.shared.queue.close();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        self.ctl.join_workers();
+        // An outage still open now would otherwise never be charged:
+        // flush open time into the SLO counter at the very end.
+        for b in &self.shared.breakers {
+            lock_clean(b).flush_open_time();
         }
     }
 }
 
-impl Drop for Server {
+impl<E: ServeEngine + 'static> Drop for Server<E> {
     fn drop(&mut self) {
         self.shutdown_in_place();
     }
@@ -322,7 +454,16 @@ fn expired(deadline: Instant) -> bool {
     Instant::now() >= deadline
 }
 
-fn deadline_miss(tracer: &mut Tracer, request_clock: StageClock, job: &Job, stage: &'static str) {
+fn deadline_miss(
+    ctx: &ReplyCtx<'_>,
+    tracer: &mut Tracer,
+    request_clock: StageClock,
+    job: &Job,
+    stage: &'static str,
+) {
+    if !ctx.claim() {
+        return;
+    }
     ctr::SERVE_DEADLINE_MISSES.add(1);
     hist::H_TOTAL.observe(job.enqueued.elapsed());
     tracer.instant(Stage::Respond, "deadline_miss", stage);
@@ -332,12 +473,16 @@ fn deadline_miss(tracer: &mut Tracer, request_clock: StageClock, job: &Job, stag
 
 fn respond(
     shared: &Shared,
+    ctx: &ReplyCtx<'_>,
     tracer: &mut Tracer,
     request_clock: StageClock,
     job: &Job,
     tier: Tier,
     items: Vec<Recommendation>,
 ) {
+    if !ctx.claim() {
+        return;
+    }
     match tier {
         Tier::Full => ctr::SERVE_TIER_FULL.add(1),
         Tier::TextOnly | Tier::VisionOnly => ctr::SERVE_TIER_SINGLE.add(1),
@@ -355,26 +500,99 @@ fn respond(
         trace: job.trace,
         user: job.request.user,
         tier,
+        epoch: ctx.epoch,
         items,
     }));
 }
 
-/// Runs one request through the ladder. Every exit path sends exactly
-/// one reply. The worker resumes the request's trace chain at seq 1
-/// (the submitting side emitted the seq-0 enqueue event): every timed
-/// stage runs inside a [`Tracer::begin`]/[`Tracer::finish`] pair so the
-/// stage histogram, trace event, and obs span stay in lockstep, and
-/// breaker denials and tier transitions land as instant events.
-fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
-    let mut tracer = Tracer::resume(job.trace, 1);
-    let request_clock = tracer.begin(Stage::Request);
-    tracer.observe(Stage::Queue, job.enqueued.elapsed(), "ok", "");
+/// The model-free tail of the ladder: last deadline check, then the
+/// cached top-k, then the popularity floor. Shared by the worker's
+/// ladder exhaustion, the panic-recovery path, and the degraded
+/// supervisor drain — it never touches a model, so it is safe from
+/// any reply owner.
+pub(crate) fn respond_floor(
+    shared: &Shared,
+    ctx: &ReplyCtx<'_>,
+    tracer: &mut Tracer,
+    request_clock: StageClock,
+    job: &Job,
+) {
+    // Model-free fallbacks: never compute, so no deadline risk beyond
+    // this final check.
     if expired(job.deadline) {
-        deadline_miss(&mut tracer, request_clock, &job, "queue");
+        deadline_miss(ctx, tracer, request_clock, job, "rank");
         return;
     }
     let req = &job.request;
+    tracer.instant(Stage::Tier, "attempt", Tier::CachedTopK.label());
+    let cached = lock_clean(&shared.cache).get(&req.user).cloned();
+    if let Some(mut items) = cached {
+        items.truncate(req.k);
+        respond(shared, ctx, tracer, request_clock, job, Tier::CachedTopK, items);
+        return;
+    }
+    tracer.instant(Stage::Tier, "attempt", Tier::Popularity.label());
+    let exclude: &[usize] = if req.exclude_seen { &req.prefix } else { &[] };
+    let items = shared
+        .popularity
+        .top_k(req.k, exclude)
+        .into_iter()
+        .map(|(item, count)| Recommendation { item, score: count as f32 })
+        .collect();
+    respond(shared, ctx, tracer, request_clock, job, Tier::Popularity, items);
+}
 
+/// Runs one request through the ladder. Every exit path sends exactly
+/// one reply (or relinquishes it to the watchdog via the claim
+/// protocol). The worker resumes the request's trace chain at the
+/// job's `resume_seq` (the submitting side emitted the seq-0 enqueue
+/// event; a retry advances it): every timed stage runs inside a
+/// [`Tracer::begin`]/[`Tracer::finish`] pair so the stage histogram,
+/// trace event, and obs span stay in lockstep, and breaker denials
+/// and tier transitions land as instant events. The worker stamps its
+/// heartbeat at every stage boundary; the injected `panic`/`stall`
+/// worker faults fire between admission and the ladder, inside the
+/// supervisor's `catch_unwind` region.
+pub(crate) fn attempt_request<E: ServeEngine>(
+    engine: &E,
+    epoch: u64,
+    shared: &Shared,
+    slot: &WorkerSlot,
+    gen: u64,
+    job: &Job,
+    tracer: &mut Tracer,
+) {
+    let ctx = ReplyCtx { owner: Some((slot, gen)), epoch };
+    let request_clock = tracer.begin(Stage::Request);
+    if job.retries == 0 {
+        tracer.observe(Stage::Queue, job.enqueued.elapsed(), "ok", "");
+    } else {
+        tracer.instant(Stage::Queue, "requeued", "retry");
+    }
+    if expired(job.deadline) {
+        deadline_miss(&ctx, tracer, request_clock, job, "queue");
+        return;
+    }
+
+    match pmm_fault::trip_worker() {
+        Some(pmm_fault::WorkerFault::Panic) => {
+            // pmm-audit: allow(hot-panic) — deterministic fault-injection point; the supervisor's catch_unwind is the feature under test
+            panic!("injected worker panic (panic@N)");
+        }
+        Some(pmm_fault::WorkerFault::Stall) => {
+            // Freeze without heartbeats: the wedge the watchdog hunts.
+            std::thread::sleep(shared.stall_fault);
+            if slot.retired(gen) {
+                // The watchdog declared us wedged and already answered
+                // (deadline miss) — exit without touching anything.
+                return;
+            }
+            slot.stamp();
+        }
+        None => {}
+    }
+
+    let req = &job.request;
     'ladder: for tier in engine.ladder() {
         tracer.instant(Stage::Tier, "attempt", tier.label());
         let components = engine.components(tier);
@@ -416,13 +634,14 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
                 e
             }
         };
+        slot.stamp();
         if expired(job.deadline) {
             // Slowness is charged to the components that stalled; the
             // rest completed honestly.
             for &c in &components {
                 lock_clean(breaker_of(shared, c)).record(!encoded.slept.contains(&c));
             }
-            deadline_miss(&mut tracer, request_clock, &job, "encode");
+            deadline_miss(&ctx, tracer, request_clock, job, "encode");
             return;
         }
         for &c in &components {
@@ -448,10 +667,11 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
                 u
             }
         };
+        slot.stamp();
         if expired(job.deadline) {
             // The ranking path itself was healthy; the budget ran out.
             lock_clean(breaker_of(shared, Component::Ranker)).record(true);
-            deadline_miss(&mut tracer, request_clock, &job, "user_encode");
+            deadline_miss(&ctx, tracer, request_clock, job, "user_encode");
             return;
         }
 
@@ -459,33 +679,13 @@ fn handle<E: ServeEngine>(engine: &E, shared: &Shared, job: Job) {
         let clock = tracer.begin(Stage::Rank);
         let items = engine.rank(&encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen);
         tracer.finish(clock, "ok", tier.label());
+        slot.stamp();
         lock_clean(breaker_of(shared, Component::Ranker)).record(true);
-        respond(shared, &mut tracer, request_clock, &job, tier, items);
+        respond(shared, &ctx, tracer, request_clock, job, tier, items);
         return;
     }
 
-    // Model-free fallbacks: never compute, so no deadline risk beyond
-    // this final check.
-    if expired(job.deadline) {
-        deadline_miss(&mut tracer, request_clock, &job, "rank");
-        return;
-    }
-    tracer.instant(Stage::Tier, "attempt", Tier::CachedTopK.label());
-    let cached = lock_clean(&shared.cache).get(&req.user).cloned();
-    if let Some(mut items) = cached {
-        items.truncate(req.k);
-        respond(shared, &mut tracer, request_clock, &job, Tier::CachedTopK, items);
-        return;
-    }
-    tracer.instant(Stage::Tier, "attempt", Tier::Popularity.label());
-    let exclude: &[usize] = if req.exclude_seen { &req.prefix } else { &[] };
-    let items = shared
-        .popularity
-        .top_k(req.k, exclude)
-        .into_iter()
-        .map(|(item, count)| Recommendation { item, score: count as f32 })
-        .collect();
-    respond(shared, &mut tracer, request_clock, &job, Tier::Popularity, items);
+    respond_floor(shared, &ctx, tracer, request_clock, job);
 }
 
 #[cfg(test)]
@@ -599,12 +799,34 @@ mod tests {
         }
     }
 
+    /// Supervision tuned for tests: fast watchdog, fast respawns.
+    fn fast_super() -> SupervisorConfig {
+        SupervisorConfig {
+            restart_backoff: Duration::from_millis(1),
+            watchdog_interval: Duration::from_millis(2),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    /// Polls until `f` holds or ~2s elapse; the supervisor's respawn
+    /// and watchdog paths are asynchronous by design.
+    fn eventually(mut f: impl FnMut() -> bool) -> bool {
+        for _ in 0..2000 {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
     #[test]
     fn healthy_requests_serve_the_full_tier() {
         let _fg = pmm_fault::test_guard();
         let server = Server::start(cfg(), StubEngine::full, pop());
         let resp = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
         assert_eq!(resp.tier, Tier::Full);
+        assert_eq!(resp.epoch, 0, "boot snapshot is epoch 0");
         assert_eq!(resp.items.len(), 3);
         // Full-tier scores carry no offset and descend with item id.
         assert_eq!(resp.items[0], Recommendation { item: 0, score: 10.0 });
@@ -761,5 +983,150 @@ mod tests {
                 Some(want) => assert_eq!(&got, want, "workers={workers}"),
             }
         }
+    }
+
+    #[test]
+    fn panicking_request_retries_onto_the_respawned_worker() {
+        let _fg = pmm_fault::test_guard();
+        // Occurrence 0 (first request) panics the worker mid-request.
+        pmm_fault::install(pmm_fault::FaultPlan::parse("panic@0").unwrap());
+        let server = Server::start(
+            ServerConfig { supervisor: fast_super(), ..cfg() },
+            StubEngine::full,
+            pop(),
+        );
+        // The panicking request still resolves: the retry lands on the
+        // respawned worker and serves the full tier.
+        let resp = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(resp.tier, Tier::Full, "the retry reaches a healthy model path");
+        assert!(
+            eventually(|| server.worker_restarts() == vec![1]),
+            "the panicked worker is respawned within the budget: {:?}",
+            server.worker_restarts()
+        );
+        assert!(!server.degraded());
+        // Subsequent requests are served by the replacement,
+        // bit-identical to a healthy server's answers.
+        let after = server.call(Request::new(2, vec![0, 1], 3)).unwrap();
+        assert_eq!(after.tier, Tier::Full);
+        assert_eq!(after.items[0], Recommendation { item: 0, score: 10.0 });
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_to_the_floor() {
+        let _fg = pmm_fault::test_guard();
+        // Both the first attempt and its retry panic: with burst=1 and
+        // ratio=0 the second panic is denied a retry and falls to the
+        // model-free floor (popularity — user 9 has no cache entry).
+        pmm_fault::install(pmm_fault::FaultPlan::parse("panic@0,panic@1").unwrap());
+        let server = Server::start(
+            ServerConfig {
+                supervisor: SupervisorConfig {
+                    retry_burst: 1,
+                    retry_ratio: 0.0,
+                    ..fast_super()
+                },
+                ..cfg()
+            },
+            StubEngine::full,
+            pop(),
+        );
+        let resp = server.call(Request::new(9, vec![0, 1], 3)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(resp.tier, Tier::Popularity, "denied retry degrades, never errors");
+        assert!(eventually(|| server.worker_restarts() == vec![2]));
+    }
+
+    #[test]
+    fn wedged_worker_is_retired_and_replaced() {
+        let _fg = pmm_fault::test_guard();
+        pmm_fault::install(pmm_fault::FaultPlan::parse("stall@0").unwrap());
+        let server = Server::start(
+            ServerConfig {
+                stall_fault: Duration::from_millis(200),
+                supervisor: SupervisorConfig {
+                    wedge_after: Some(Duration::from_millis(40)),
+                    watchdog_interval: Duration::from_millis(5),
+                    restart_backoff: Duration::from_millis(1),
+                    ..SupervisorConfig::default()
+                },
+                ..cfg()
+            },
+            StubEngine::full,
+            pop(),
+        );
+        // The stalled request is charged as a deadline miss by the
+        // watchdog, well before the stall itself ends.
+        let start = Instant::now();
+        let err = server.call(Request::new(1, vec![0, 1], 3)).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { stage: "wedged" });
+        assert!(
+            start.elapsed() < Duration::from_millis(180),
+            "the watchdog answers before the stall clears: {:?}",
+            start.elapsed()
+        );
+        // A replacement takes over the slot and serves normally.
+        assert!(eventually(|| server.worker_restarts() == vec![1]));
+        let resp = server.call(Request::new(2, vec![0, 1], 3)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(resp.tier, Tier::Full);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_degrades_to_the_floor_and_swap_revives() {
+        let _fg = pmm_fault::test_guard();
+        // Every request panics; with a 1-restart budget the single
+        // worker gives up after its second death.
+        let many: Vec<String> = (0..20).map(|i| format!("panic@{i}")).collect();
+        pmm_fault::install(pmm_fault::FaultPlan::parse(&many.join(",")).unwrap());
+        let server = Server::start(
+            ServerConfig {
+                supervisor: SupervisorConfig {
+                    max_restarts: 1,
+                    retry_burst: 0,
+                    retry_ratio: 0.0,
+                    ..fast_super()
+                },
+                ..cfg()
+            },
+            StubEngine::full,
+            pop(),
+        );
+        // First two requests panic (no retries allowed) and fall to
+        // the floor; the worker dies twice and the slot is abandoned.
+        for u in [1, 2] {
+            let resp = server.call(Request::new(u, vec![0, 1], 3)).unwrap();
+            assert_eq!(resp.tier, Tier::Popularity);
+        }
+        assert!(eventually(|| server.degraded()), "the pool abandons its only slot");
+        // Degraded: the supervisor itself serves the floor.
+        let resp = server.call(Request::new(3, vec![4], 3)).unwrap();
+        assert_eq!(resp.tier, Tier::Popularity);
+        pmm_fault::clear();
+        // A snapshot swap revives the pool with a fresh budget.
+        let report = server.swap_snapshot(StubEngine::full);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.given_up, 0, "the swap revived the abandoned slot");
+        assert!(!server.degraded());
+        let resp = server.call(Request::new(4, vec![0, 1], 3)).unwrap();
+        assert_eq!(resp.tier, Tier::Full, "model serving is restored");
+        assert_eq!(resp.epoch, 1, "served by the new snapshot");
+    }
+
+    #[test]
+    fn snapshot_swap_is_atomic_and_tags_epochs() {
+        let _fg = pmm_fault::test_guard();
+        let server: Server<StubEngine> = Server::start(cfg(), StubEngine::full, pop());
+        let before = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
+        assert_eq!((before.epoch, before.tier), (0, Tier::Full));
+        // Swap to a single-rung snapshot: tier and epoch both flip.
+        let report = server.swap_snapshot(|| StubEngine { n: 10, rungs: vec![Tier::TextOnly] });
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.workers, 1, "every live worker adopted the new snapshot");
+        assert_eq!(server.snapshot_epoch(), 1);
+        let after = server.call(Request::new(2, vec![0, 1], 3)).unwrap();
+        assert_eq!((after.epoch, after.tier), (1, Tier::TextOnly));
+        assert!(after.items[0].score >= 1000.0, "text-rung scores carry the offset");
     }
 }

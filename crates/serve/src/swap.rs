@@ -1,0 +1,97 @@
+//! Versioned snapshot store for zero-downtime hot-swap.
+//!
+//! PMMRec is ID-free, so a model+catalog snapshot is plug-and-play:
+//! swapping one in must not shed a single request. The store keeps the
+//! current engine *factory* behind a mutex-guarded `Arc` plus an epoch
+//! counter: [`Snapshots::publish`] flips both atomically (with respect
+//! to [`Snapshots::current`]), and each worker rebuilds its own replica
+//! from the new factory between requests — engines are `!Send` by
+//! design, so "build off-thread" means *off the caller's thread*: the
+//! swap caller never builds an engine and never blocks serving.
+//!
+//! In-flight requests keep the engine (and epoch tag) they started
+//! with; `Server::swap_snapshot` waits until every live worker has
+//! adopted the new epoch before returning, which is the drain the
+//! `serve_swap_drain_ns` SLO budget meters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// The engine factory a worker rebuilds its replica from.
+pub(crate) type Factory<E> = Arc<dyn Fn() -> E + Send + Sync>;
+
+/// The versioned factory store shared by the server handle and every
+/// worker.
+pub(crate) struct Snapshots<E> {
+    factory: Mutex<Factory<E>>,
+    epoch: AtomicU64,
+}
+
+impl<E> Snapshots<E> {
+    /// Epoch 0 with the boot factory.
+    pub(crate) fn new(factory: Factory<E>) -> Snapshots<E> {
+        Snapshots { factory: Mutex::new(factory), epoch: AtomicU64::new(0) }
+    }
+
+    fn lock_factory(&self) -> MutexGuard<'_, Factory<E>> {
+        // The stored value is an Arc pointer — valid at every
+        // instruction boundary — so a poisoned guard is safe to adopt.
+        self.factory.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The currently published epoch.
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A consistent `(factory, epoch)` pair: the epoch is read under
+    /// the factory lock, so a worker never builds epoch N's engine
+    /// from epoch N+1's factory or vice versa.
+    pub(crate) fn current(&self) -> (Factory<E>, u64) {
+        let guard = self.lock_factory();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        (Arc::clone(&guard), epoch)
+    }
+
+    /// Publish a new factory, bumping the epoch. Returns the new epoch.
+    pub(crate) fn publish(&self, factory: Factory<E>) -> u64 {
+        let mut guard = self.lock_factory();
+        *guard = factory;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// What a completed [`crate::Server::swap_snapshot`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapReport {
+    /// The epoch the swap published; responses served from the new
+    /// snapshot carry it.
+    pub epoch: u64,
+    /// Flip-to-drain time: from publishing the new factory until every
+    /// live worker had adopted it.
+    pub drain: Duration,
+    /// Worker slots serving the new epoch when the drain completed.
+    pub workers: usize,
+    /// Worker slots that had exhausted their restart budget and stayed
+    /// abandoned through the swap (0 in a healthy pool — a swap
+    /// revives given-up slots with a fresh budget).
+    pub given_up: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_epoch_and_swaps_factory() {
+        let snaps: Snapshots<u32> = Snapshots::new(Arc::new(|| 1));
+        assert_eq!(snaps.epoch(), 0);
+        let (f, e) = snaps.current();
+        assert_eq!((f(), e), (1, 0));
+        let new_epoch = snaps.publish(Arc::new(|| 2));
+        assert_eq!(new_epoch, 1);
+        let (f, e) = snaps.current();
+        assert_eq!((f(), e), (2, 1));
+    }
+}

@@ -1,10 +1,12 @@
 //! End-to-end serving over the real model: served responses must be
 //! bit-identical to direct `recommend_top_k` calls at every worker
-//! count, and injected encoder faults must walk the ladder.
+//! count, injected encoder faults must walk the ladder, a worker
+//! panic mid-request must resolve through supervision, and a snapshot
+//! hot-swap under load must not shed a request.
 
 use pmm_baselines::Popularity;
 use pmm_serve::{
-    BreakerConfig, Component, PmmEngine, Request, Server, ServerConfig, Tier,
+    BreakerConfig, Component, PmmEngine, Request, Server, ServerConfig, SupervisorConfig, Tier,
 };
 use pmmrec::{PmmRec, PmmRecConfig};
 use rand::rngs::StdRng;
@@ -21,7 +23,7 @@ fn dataset() -> pmm_data::dataset::Dataset {
     )
 }
 
-fn model(ds: &pmm_data::dataset::Dataset) -> PmmRec {
+fn model_seeded(ds: &pmm_data::dataset::Dataset, seed: u64) -> PmmRec {
     let cfg = PmmRecConfig {
         d: 16,
         heads: 2,
@@ -33,7 +35,11 @@ fn model(ds: &pmm_data::dataset::Dataset) -> PmmRec {
         ..Default::default()
     };
     // Same seed -> bit-identical weights in every replica.
-    PmmRec::new(cfg, ds, &mut StdRng::seed_from_u64(7))
+    PmmRec::new(cfg, ds, &mut StdRng::seed_from_u64(seed))
+}
+
+fn model(ds: &pmm_data::dataset::Dataset) -> PmmRec {
+    model_seeded(ds, 7)
 }
 
 fn server_cfg(workers: usize) -> ServerConfig {
@@ -110,4 +116,119 @@ fn injected_encoder_error_degrades_to_a_single_modality_tier() {
     let want = reference.serve_rank(&cat, &user, &[0, 1, 2], 5, false);
     pmm_fault::clear();
     assert_eq!(resp.items, want);
+}
+
+#[test]
+fn panic_mid_request_resolves_and_the_respawned_worker_is_bit_identical() {
+    let _fg = pmm_fault::test_guard();
+    let ds = dataset();
+    let reference = model(&ds);
+    let prefix = vec![0, 1, 2];
+    let want = reference.recommend_top_k(&prefix, 5, true).unwrap();
+    // The first request panics its worker mid-request.
+    pmm_fault::install(pmm_fault::FaultPlan::parse("panic@0").unwrap());
+    let ds_f = ds.clone();
+    let server = Server::start(
+        ServerConfig {
+            supervisor: SupervisorConfig {
+                restart_backoff: Duration::from_millis(1),
+                watchdog_interval: Duration::from_millis(2),
+                ..SupervisorConfig::default()
+            },
+            ..server_cfg(1)
+        },
+        move || PmmEngine::new(model(&ds_f)),
+        popularity(&ds),
+    );
+    // The panicking request still resolves through the ladder: the
+    // retry lands on the respawned worker and serves the full tier,
+    // bit-identical to the direct call.
+    let resp = server.call(Request {
+        user: 1,
+        prefix: prefix.clone(),
+        k: 5,
+        exclude_seen: true,
+        deadline: None,
+    })
+    .unwrap();
+    assert_eq!(resp.tier, Tier::Full, "the retry reaches the model path");
+    assert_eq!(resp.items, want, "the retried answer is bit-identical to a direct call");
+    // The worker was respawned within the restart budget...
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while server.worker_restarts() != vec![1] && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(server.worker_restarts(), vec![1], "one respawn, within budget");
+    assert!(!server.degraded());
+    // ...and subsequent requests are bit-identical to direct calls.
+    let after = server.call(Request {
+        user: 2,
+        prefix: prefix.clone(),
+        k: 5,
+        exclude_seen: true,
+        deadline: None,
+    })
+    .unwrap();
+    pmm_fault::clear();
+    assert_eq!(after.tier, Tier::Full);
+    assert_eq!(after.items, want);
+}
+
+#[test]
+fn snapshot_swap_under_load_sheds_nothing_and_tags_epochs() {
+    let _fg = pmm_fault::test_guard();
+    let ds = dataset();
+    let prefix = vec![0, 1, 2];
+    let old_want = model_seeded(&ds, 7).recommend_top_k(&prefix, 5, true).unwrap();
+    let new_want = model_seeded(&ds, 11).recommend_top_k(&prefix, 5, true).unwrap();
+    assert_ne!(old_want, new_want, "the two snapshots must be distinguishable");
+
+    let ds_old = ds.clone();
+    let server = std::sync::Arc::new(Server::start(
+        server_cfg(2),
+        move || PmmEngine::new(model_seeded(&ds_old, 7)),
+        popularity(&ds),
+    ));
+    let request = || Request {
+        user: 1,
+        prefix: prefix.clone(),
+        k: 5,
+        exclude_seen: true,
+        deadline: None,
+    };
+    // Pre-swap: epoch 0, old snapshot's answer.
+    let before = server.call(request()).unwrap();
+    assert_eq!((before.epoch, &before.items), (0, &old_want));
+
+    // Load the queue, then swap mid-backlog from another thread while
+    // requests keep flowing.
+    let handles: Vec<_> = (0..12).map(|_| server.submit(request()).unwrap()).collect();
+    let swapper = {
+        let server = std::sync::Arc::clone(&server);
+        let ds_new = ds.clone();
+        std::thread::spawn(move || {
+            server.swap_snapshot(move || PmmEngine::new(model_seeded(&ds_new, 11)))
+        })
+    };
+    let late: Vec<_> = (0..4).map(|_| server.submit(request()).unwrap()).collect();
+
+    // Zero swap-attributable sheds: every accepted request resolves,
+    // and every response is attributable to exactly one snapshot.
+    for h in handles.into_iter().chain(late) {
+        let resp = h.wait().expect("no request is shed or dropped across the swap");
+        assert_eq!(resp.tier, Tier::Full);
+        match resp.epoch {
+            0 => assert_eq!(resp.items, old_want, "epoch-0 answers come from the old engine"),
+            1 => assert_eq!(resp.items, new_want, "epoch-1 answers come from the new engine"),
+            e => panic!("impossible epoch {e}"),
+        }
+    }
+    let report = swapper.join().expect("swap thread");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.workers, 2, "every worker adopted the new snapshot");
+    assert_eq!(report.given_up, 0);
+
+    // Post-flip: every answer carries the new epoch and snapshot.
+    let after = server.call(request()).unwrap();
+    assert_eq!((after.epoch, &after.items), (1, &new_want));
 }

@@ -66,6 +66,14 @@ pub enum Stage {
     Tier,
     /// The reply left the worker (served or deadline-missed).
     Respond,
+    /// A retry decision after a transient worker failure (re-enqueued
+    /// onto a healthy worker, or budget-denied to the floor).
+    Retry,
+    /// A supervisor action on a worker slot: respawn, wedge
+    /// declaration, or restart-budget give-up.
+    Restart,
+    /// A snapshot hot-swap: epoch flip through old-epoch drain.
+    Swap,
 }
 
 impl Stage {
@@ -81,6 +89,9 @@ impl Stage {
             Stage::Breaker => "breaker",
             Stage::Tier => "tier",
             Stage::Respond => "respond",
+            Stage::Retry => "retry",
+            Stage::Restart => "restart",
+            Stage::Swap => "swap",
         }
     }
 
@@ -106,6 +117,7 @@ impl Stage {
             Stage::Encode => Some(&hist::H_ENCODE),
             Stage::UserEncode => Some(&hist::H_USER_ENCODE),
             Stage::Rank => Some(&hist::H_RANK),
+            Stage::Swap => Some(&hist::H_SWAP_DRAIN),
             _ => None,
         }
     }

@@ -189,11 +189,14 @@ pub static H_RANK: Histogram = Histogram::new("stage_rank_ns");
 /// End-to-end request latency, queue wait included, regardless of
 /// outcome (served or deadline-missed; shed requests never start).
 pub static H_TOTAL: Histogram = Histogram::new("request_total_ns");
+/// Snapshot hot-swap drain: epoch flip until every live worker
+/// adopted the new snapshot.
+pub static H_SWAP_DRAIN: Histogram = Histogram::new("swap_drain_ns");
 
 fn registry() -> &'static Mutex<Vec<&'static Histogram>> {
     static REGISTRY: OnceLock<Mutex<Vec<&'static Histogram>>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        Mutex::new(vec![&H_QUEUE_WAIT, &H_ENCODE, &H_USER_ENCODE, &H_RANK, &H_TOTAL])
+        Mutex::new(vec![&H_QUEUE_WAIT, &H_ENCODE, &H_USER_ENCODE, &H_RANK, &H_TOTAL, &H_SWAP_DRAIN])
     })
 }
 
@@ -248,9 +251,9 @@ mod tests {
     fn bucket_of_respects_bucket_edges() {
         assert_eq!(bucket_of(0), 0);
         assert_eq!(bucket_of(1), 1);
-        for i in 1..BUCKETS {
-            assert_eq!(bucket_of(BOUNDS[i]), i, "lower edge of bucket {i}");
-            assert_eq!(bucket_of(BOUNDS[i] - 1), i - 1, "just below bucket {i}");
+        for (i, &bound) in BOUNDS.iter().enumerate().skip(1) {
+            assert_eq!(bucket_of(bound), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_of(bound - 1), i - 1, "just below bucket {i}");
         }
         assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
     }
@@ -272,8 +275,8 @@ mod tests {
         let p50 = s.quantile_ns(0.50);
         let p95 = s.quantile_ns(0.95);
         // p50 lands in the 1 µs bucket: its upper edge is within √2.
-        assert!(p50 >= 1_000 && p50 <= 1_500, "p50 {p50}");
-        assert!(p95 >= 100_000_000 && p95 <= 150_000_000, "p95 {p95}");
+        assert!((1_000..=1_500).contains(&p50), "p50 {p50}");
+        assert!((100_000_000..=150_000_000).contains(&p95), "p95 {p95}");
         assert!(s.quantile_ns(1.0) >= 100_000_000);
         assert!((s.mean_ns() - (90.0 * 1_000.0 + 10.0 * 100_000_000.0) / 100.0).abs() < 1.0);
     }
@@ -313,9 +316,14 @@ mod tests {
     #[test]
     fn registry_enumerates_stage_histograms_once() {
         let names: Vec<&str> = snapshot_all().iter().map(|s| s.name).collect();
-        for want in
-            ["stage_queue_wait_ns", "stage_encode_ns", "stage_user_encode_ns", "stage_rank_ns", "request_total_ns"]
-        {
+        for want in [
+            "stage_queue_wait_ns",
+            "stage_encode_ns",
+            "stage_user_encode_ns",
+            "stage_rank_ns",
+            "request_total_ns",
+            "swap_drain_ns",
+        ] {
             assert_eq!(names.iter().filter(|n| **n == want).count(), 1, "{want}");
         }
         // Re-registering a built-in is a no-op.

@@ -12,6 +12,47 @@
 
 use crate::hist::{self, HistSnapshot, BOUNDS, BUCKETS};
 
+/// Per-worker restart counts, recorded by the serving supervisor so
+/// crash-looping is attributable to a slot instead of hiding inside
+/// the aggregate `serve_worker_restarts` total. Exposed as labeled
+/// `pmm_serve_worker_restarts_by_worker{worker="N"}` counter lines.
+pub mod workers {
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    fn store() -> MutexGuard<'static, Vec<u64>> {
+        static STORE: OnceLock<Mutex<Vec<u64>>> = OnceLock::new();
+        STORE
+            .get_or_init(|| Mutex::new(Vec::new()))
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Count one restart of worker slot `worker` (no-op while
+    /// collection is disabled, like every other obs counter).
+    pub fn record_restart(worker: usize) {
+        if !pmm_obs::enabled() {
+            return;
+        }
+        let mut s = store();
+        if s.len() <= worker {
+            s.resize(worker + 1, 0);
+        }
+        if let Some(slot) = s.get_mut(worker) {
+            *slot += 1;
+        }
+    }
+
+    /// Restart counts indexed by worker slot.
+    pub fn restarts() -> Vec<u64> {
+        store().clone()
+    }
+
+    /// Zero the per-worker counts (test/windowing hook).
+    pub fn reset() {
+        store().clear();
+    }
+}
+
 /// Counter names that are high-water marks, not monotonic totals:
 /// exposed as Prometheus gauges and carried through deltas unchanged
 /// (the window peak is the end-of-window peak).
@@ -24,6 +65,8 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(&'static str, u64)>,
     /// One snapshot per registered histogram, registration order.
     pub hists: Vec<HistSnapshot>,
+    /// Restart counts per worker slot (see [`workers`]).
+    pub worker_restarts: Vec<u64>,
 }
 
 impl MetricsSnapshot {
@@ -32,6 +75,7 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             counters: pmm_obs::counter::counters_snapshot(),
             hists: hist::snapshot_all(),
+            worker_restarts: workers::restarts(),
         }
     }
 
@@ -63,7 +107,13 @@ impl MetricsSnapshot {
                 None => h.clone(),
             })
             .collect();
-        MetricsSnapshot { counters, hists }
+        let worker_restarts = self
+            .worker_restarts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v.saturating_sub(base.worker_restarts.get(i).copied().unwrap_or(0)))
+            .collect();
+        MetricsSnapshot { counters, hists, worker_restarts }
     }
 
     /// A counter's value by name (0 when absent).
@@ -84,6 +134,14 @@ impl MetricsSnapshot {
         for &(name, value) in &self.counters {
             let kind = if GAUGES.contains(&name) { "gauge" } else { "counter" };
             out.push_str(&format!("# TYPE pmm_{name} {kind}\npmm_{name} {value}\n"));
+        }
+        if !self.worker_restarts.is_empty() {
+            out.push_str("# TYPE pmm_serve_worker_restarts_by_worker counter\n");
+            for (worker, &n) in self.worker_restarts.iter().enumerate() {
+                out.push_str(&format!(
+                    "pmm_serve_worker_restarts_by_worker{{worker=\"{worker}\"}} {n}\n"
+                ));
+            }
         }
         for h in &self.hists {
             let base = h.name.strip_suffix("_ns").unwrap_or(h.name);
@@ -131,6 +189,7 @@ mod tests {
         MetricsSnapshot {
             counters: vec![("serve_requests", 10), ("serve_shed", 2), ("serve_queue_peak", 7)],
             hists: vec![h],
+            worker_restarts: vec![1, 0, 3],
         }
     }
 
@@ -148,12 +207,14 @@ mod tests {
         let base = MetricsSnapshot {
             counters: vec![("serve_requests", 4), ("serve_shed", 0), ("serve_queue_peak", 7)],
             hists: vec![HistSnapshot::empty("stage_test_ns")],
+            worker_restarts: vec![1],
         };
         let win = synthetic().delta_since(&base);
         assert_eq!(win.counter("serve_requests"), 6);
         assert_eq!(win.counter("serve_shed"), 2);
         assert_eq!(win.counter("serve_queue_peak"), 7, "peaks pass through");
         assert_eq!(win.hist("stage_test_ns").map(|h| h.count), Some(4));
+        assert_eq!(win.worker_restarts, vec![0, 0, 3], "per-slot saturating window");
     }
 
     #[test]
@@ -174,5 +235,33 @@ mod tests {
         assert!(bucket_lines.last().is_some_and(|l| l.ends_with(" 4")));
         // Buckets are in seconds: 1 µs lands at a le edge ~1.4e-6.
         assert!(text.contains("e-6\"}") || text.contains("e-06\"}"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_exposition_labels_worker_restarts() {
+        let text = synthetic().to_prometheus();
+        assert!(text.contains("# TYPE pmm_serve_worker_restarts_by_worker counter\n"));
+        assert!(text.contains("pmm_serve_worker_restarts_by_worker{worker=\"0\"} 1\n"));
+        assert!(text.contains("pmm_serve_worker_restarts_by_worker{worker=\"2\"} 3\n"));
+        // No slots recorded: the labeled family is omitted entirely.
+        let empty = MetricsSnapshot {
+            counters: Vec::new(),
+            hists: Vec::new(),
+            worker_restarts: Vec::new(),
+        };
+        assert!(!empty.to_prometheus().contains("by_worker"));
+    }
+
+    #[test]
+    fn worker_restart_registry_records_and_resets() {
+        let _g = crate::test_global_lock();
+        pmm_obs::set_enabled(true);
+        workers::reset();
+        workers::record_restart(2);
+        workers::record_restart(0);
+        workers::record_restart(2);
+        assert_eq!(workers::restarts(), vec![1, 0, 2]);
+        workers::reset();
+        assert!(workers::restarts().is_empty());
     }
 }

@@ -1,9 +1,11 @@
 //! SLO evaluation over a metrics window.
 //!
-//! An [`SloPolicy`] sets thresholds on the serving stack's four
+//! An [`SloPolicy`] sets thresholds on the serving stack's six
 //! user-visible degradation signals: deadline-miss rate, shed rate,
-//! accumulated breaker-open time, and the fraction of responses served
-//! from the model-free floor tiers (cache/popularity). [`evaluate`]
+//! accumulated breaker-open time, the fraction of responses served
+//! from the model-free floor tiers (cache/popularity), the worker
+//! restart rate (crash-looping), and accumulated snapshot hot-swap
+//! drain time. [`evaluate`]
 //! turns one metrics window into an [`SloReport`] of per-check burn
 //! rates (observed / threshold; > 1 is a breach), logging each breach
 //! as a warning and an `"ev":"slo"` sink event so CI and dashboards
@@ -26,6 +28,13 @@ pub struct SloPolicy {
     /// Fraction of served responses from the model-free floor tiers
     /// (cached top-k + popularity).
     pub max_floor_frac: f64,
+    /// Worker restarts per accepted request — crash-looping burns this
+    /// budget even when every individual request still resolves.
+    pub max_restart_rate: f64,
+    /// Total nanoseconds snapshot hot-swaps spent draining over the
+    /// window (epoch flip until every live worker adopted the new
+    /// snapshot).
+    pub max_swap_drain_ns: u64,
 }
 
 impl Default for SloPolicy {
@@ -35,6 +44,8 @@ impl Default for SloPolicy {
             max_shed_rate: 0.25,
             max_breaker_open_ns: 5_000_000_000,
             max_floor_frac: 0.50,
+            max_restart_rate: 0.20,
+            max_swap_drain_ns: 5_000_000_000,
         }
     }
 }
@@ -128,6 +139,16 @@ pub fn evaluate(window: &MetricsSnapshot, policy: &SloPolicy) -> SloReport {
             value: rate(floor, served),
             threshold: policy.max_floor_frac,
         },
+        SloCheck {
+            name: "restart_rate",
+            value: rate(window.counter("serve_worker_restarts"), accepted),
+            threshold: policy.max_restart_rate,
+        },
+        SloCheck {
+            name: "swap_drain_ns",
+            value: window.counter("serve_swap_drain_ns") as f64,
+            threshold: policy.max_swap_drain_ns as f64,
+        },
     ];
     let report = SloReport { checks };
     for c in report.breaches() {
@@ -158,7 +179,7 @@ mod tests {
     use crate::metrics::MetricsSnapshot;
 
     fn window(counters: Vec<(&'static str, u64)>) -> MetricsSnapshot {
-        MetricsSnapshot { counters, hists: Vec::new() }
+        MetricsSnapshot { counters, hists: Vec::new(), worker_restarts: Vec::new() }
     }
 
     #[test]
@@ -213,6 +234,34 @@ mod tests {
         let report = evaluate(&w, &SloPolicy::default());
         let names: Vec<&str> = report.breaches().iter().map(|c| c.name).collect();
         assert_eq!(names, vec!["shed_rate", "floor_frac"]);
+    }
+
+    #[test]
+    fn crash_looping_breaches_restart_rate() {
+        // 20 accepted, 6 restarts: 30% against a 20% budget — every
+        // request resolved, but the fleet is visibly churning.
+        let w = window(vec![
+            ("serve_requests", 20),
+            ("serve_shed", 0),
+            ("serve_tier_full", 20),
+            ("serve_worker_restarts", 6),
+        ]);
+        let report = evaluate(&w, &SloPolicy::default());
+        let names: Vec<&str> = report.breaches().iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["restart_rate"]);
+    }
+
+    #[test]
+    fn slow_swap_drain_breaches_nanosecond_budget() {
+        let w = window(vec![
+            ("serve_requests", 4),
+            ("serve_tier_full", 4),
+            ("serve_swaps", 1),
+            ("serve_swap_drain_ns", 6_000_000_000),
+        ]);
+        let report = evaluate(&w, &SloPolicy::default());
+        let names: Vec<&str> = report.breaches().iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["swap_drain_ns"]);
     }
 
     #[test]

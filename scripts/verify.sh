@@ -49,4 +49,11 @@ if cargo run --release -q -p pmm-bench --bin trace_smoke -- --scale tiny \
   exit 1
 fi
 
+echo "==> serve load (open-loop arrivals; clean SLO gate must hold)"
+cargo run --release -q -p pmm-bench --bin serve_load -- --scale tiny --slo-gate
+
+echo "==> serve load chaos (worker panics + mid-run snapshot swap; supervision must keep the gate green)"
+cargo run --release -q -p pmm-bench --bin serve_load -- --scale tiny \
+  --slo-gate --fault-plan "panic@3,panic@9" --swap-at 12
+
 echo "==> verify OK"
