@@ -1,0 +1,69 @@
+//~ lint-as: crates/tensor/src/qtensor.rs
+//~ expect: kernel-telemetry
+//~ expect: kernel-telemetry
+//~ expect: kernel-telemetry
+
+// Seeded: one looping pub kernel with neither span nor recorder (fires
+// both arms) and one with a span but no recorder. Fully-instrumented
+// kernels, loop-free accessors, private helpers, annotated O(1) loops
+// and test code stay silent.
+
+pub fn dark_kernel(data: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for &q in data {
+        acc += q as i32;
+    }
+    acc
+}
+
+pub fn half_instrumented(data: &[i8]) -> i32 {
+    let _s = pmm_obs::span("half");
+    let mut acc = 0i32;
+    for &q in data {
+        acc += q as i32;
+    }
+    acc
+}
+
+pub fn instrumented(data: &[i8], k: usize) -> i32 {
+    let _s = pmm_obs::span("qdot");
+    pmm_obs::counter::record_qmatmul(1, k, 1);
+    let mut acc = 0i32;
+    for &q in data {
+        acc += q as i32;
+    }
+    acc
+}
+
+pub fn accessor(rows: usize) -> usize {
+    rows
+}
+
+fn private_helper(n: usize) -> usize {
+    let mut s = 0;
+    for i in 0..n {
+        s += i;
+    }
+    s
+}
+
+pub fn annotated_shape_walk(shape: &[usize; 2]) -> usize {
+    // pmm-audit: allow(kernel-telemetry) — O(1) walk over the 2-element shape array, not a kernel loop
+    let mut s = 0;
+    for &d in shape {
+        s += d;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_loop_uninstrumented() {
+        let mut s = 0;
+        for i in 0..4 {
+            s += i;
+        }
+        assert_eq!(s, 6);
+    }
+}

@@ -1,0 +1,19 @@
+//~ lint-as: crates/tensor/src/tensor.rs
+//~ expect: kernel-telemetry
+
+// Seeded: one pack pass that builds micro-panel scratch without
+// reporting it. The counted pack and non-pack helpers stay silent.
+
+fn pack_dark(m: usize, k: usize) -> Vec<f32> {
+    vec![0.0f32; m * k]
+}
+
+fn pack_counted(m: usize, k: usize) -> Vec<f32> {
+    let p = vec![0.0f32; m * k];
+    pmm_obs::counter::record_pack_alloc(p.len());
+    p
+}
+
+fn micro_helper(n: usize) -> Vec<f32> {
+    vec![0.0f32; n]
+}

@@ -48,6 +48,10 @@ pub const RULES: &[(&str, &str)] = &[
         "every tensor op recording a Var::from_op node must record FLOPs (record_op_flops or a matmul recorder)",
     ),
     (
+        "kernel-telemetry",
+        "kernel loops in the quantized module (qtensor.rs) must run under a pmm_obs::span and report a storage/int-op recorder; pack fns in the tensor kernel file must record their scratch via record_pack_alloc",
+    ),
+    (
         "serve-result",
         "pub fns in crates/serve that construct ServeError/RecommendError must return Result",
     ),
@@ -101,6 +105,8 @@ struct Applicability {
     hot_index: bool,
     nondet: bool,
     op_telemetry: bool,
+    qtensor_telemetry: bool,
+    pack_telemetry: bool,
     serve_result: bool,
     par_scope: bool,
     par_spawn_index: bool,
@@ -129,6 +135,10 @@ fn applicability(path: &str) -> Option<Applicability> {
         hot_index: serve || recommend,
         nondet: pinned,
         op_telemetry: path.starts_with("crates/tensor/src/ops/"),
+        // The quantized kernel module and the pack passes are the two
+        // places kernel work could silently bypass the obs counters.
+        qtensor_telemetry: path == "crates/tensor/src/qtensor.rs",
+        pack_telemetry: kernel,
         serve_result: serve,
         par_scope: !in_par,
         par_spawn_index: in_par,
@@ -240,8 +250,56 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     let body_allow = |allows: &[Allow], rule: &str, from: u32, to: u32| {
         allows.iter().any(|a| a.rule == rule && a.line + 1 >= from && a.line <= to)
     };
-    if apply.op_telemetry || apply.serve_result {
+    if apply.op_telemetry || apply.serve_result || apply.qtensor_telemetry || apply.pack_telemetry {
         for f in functions(&code) {
+            // Quantized-kernel telemetry: any pub fn that loops is a
+            // kernel and must be visible to the observability stack —
+            // a span for attribution plus a recorder (quantized
+            // storage, integer multiply-adds, or plain op FLOPs).
+            if apply.qtensor_telemetry
+                && f.is_pub
+                && (f.contains_ident(&code, "for")
+                    || f.contains_ident(&code, "while")
+                    || f.contains_ident(&code, "loop"))
+                && !body_allow(&allows, "kernel-telemetry", f.line, f.end_line)
+            {
+                if !f.calls(&code, "span") {
+                    raw.push(Violation {
+                        path: path.into(),
+                        line: f.line,
+                        rule: "kernel-telemetry",
+                        msg: format!("quantized kernel fn `{}` loops but opens no pmm_obs::span", f.name),
+                    });
+                }
+                let recorder = ["record_qmatmul", "record_qtensor_alloc", "record_op_flops"]
+                    .iter()
+                    .any(|r| f.calls(&code, r));
+                if !recorder {
+                    raw.push(Violation {
+                        path: path.into(),
+                        line: f.line,
+                        rule: "kernel-telemetry",
+                        msg: format!(
+                            "quantized kernel fn `{}` loops but records nothing (record_qmatmul / record_qtensor_alloc / record_op_flops)",
+                            f.name
+                        ),
+                    });
+                }
+            }
+            // Pack-pass telemetry: micro-panel scratch buffers must hit
+            // the pack counters, or kernel memory traffic goes dark.
+            if apply.pack_telemetry
+                && f.name.starts_with("pack_")
+                && !f.calls(&code, "record_pack_alloc")
+                && !body_allow(&allows, "kernel-telemetry", f.line, f.end_line)
+            {
+                raw.push(Violation {
+                    path: path.into(),
+                    line: f.line,
+                    rule: "kernel-telemetry",
+                    msg: format!("pack fn `{}` builds kernel scratch without record_pack_alloc", f.name),
+                });
+            }
             if apply.op_telemetry && f.contains_ident(&code, "from_op") {
                 if !f.calls(&code, "span") && !body_allow(&allows, "op-span", f.line, f.end_line) {
                     raw.push(Violation {
@@ -739,6 +797,40 @@ mod tests {
         assert!(rules_hit("crates/tensor/src/ops/custom.rs", fixed).is_empty());
         let allowed = "impl Var { pub fn myop(&self) -> Var { let _s = pmm_obs::span(\"myop\");\n// pmm-audit: allow(op-flops) — pure data movement, zero FLOPs\nVar::from_op(\"myop\", out, vec![], cb) } }";
         assert!(rules_hit("crates/tensor/src/ops/custom.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn quantized_kernel_loops_need_span_and_recorder() {
+        let bare = "pub fn qdot(&self) -> f32 { let mut s = 0.0; for v in &self.data { s += v; } s }";
+        assert_eq!(
+            rules_hit("crates/tensor/src/qtensor.rs", bare),
+            vec!["kernel-telemetry", "kernel-telemetry"],
+            "a looping pub kernel with no span and no recorder fires both arms"
+        );
+        let spanned = "pub fn qdot(&self) -> f32 { let _s = pmm_obs::span(\"qdot\"); let mut s = 0.0; for v in &self.data { s += v; } s }";
+        assert_eq!(rules_hit("crates/tensor/src/qtensor.rs", spanned), vec!["kernel-telemetry"]);
+        let full = "pub fn qdot(&self) -> f32 { let _s = pmm_obs::span(\"qdot\"); pmm_obs::counter::record_qmatmul(1, 1, 1); let mut s = 0.0; for v in &self.data { s += v; } s }";
+        assert!(rules_hit("crates/tensor/src/qtensor.rs", full).is_empty());
+        // Loop-free accessors and private helpers are not kernels.
+        let accessor = "pub fn rows(&self) -> usize { self.rows }";
+        assert!(rules_hit("crates/tensor/src/qtensor.rs", accessor).is_empty());
+        let private = "fn helper(&self) { for _ in 0..3 {} }";
+        assert!(rules_hit("crates/tensor/src/qtensor.rs", private).is_empty());
+        // The rule is scoped to the quantized module, not all of tensor.
+        assert!(rules_hit("crates/tensor/src/lib.rs", bare).is_empty());
+        let allowed = "pub fn qdot(&self) -> f32 {\n// pmm-audit: allow(kernel-telemetry) — O(1) loop over the 2-element shape array\nlet mut s = 0.0; for v in &self.shape { s += v; } s }";
+        assert!(rules_hit("crates/tensor/src/qtensor.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn pack_fns_in_the_kernel_file_must_record_scratch() {
+        let bad = "fn pack_c_panels(m: usize) -> Vec<f32> { vec![0.0; m] }";
+        assert_eq!(rules_hit("crates/tensor/src/tensor.rs", bad), vec!["kernel-telemetry"]);
+        let good = "fn pack_c_panels(m: usize) -> Vec<f32> { let p = vec![0.0; m]; pmm_obs::counter::record_pack_alloc(p.len()); p }";
+        assert!(rules_hit("crates/tensor/src/tensor.rs", good).is_empty());
+        // Non-pack helpers in the kernel file are untouched.
+        let other = "fn micro(m: usize) -> Vec<f32> { vec![0.0; m] }";
+        assert!(rules_hit("crates/tensor/src/tensor.rs", other).is_empty());
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Matmul-kernel and quantization benchmark with regression gates.
+//!
+//! Measures, at one worker (kernel quality, not parallel scaling):
+//!
+//! - the packed register-tiled f32 path against the forced strided
+//!   scalar path at 256³ — gated at ≥2x, and bit-identity of the
+//!   dispatched kernel is asserted at threads {1, 2, 4, 7};
+//! - the dispatch threshold: below `TILE_MIN_MULADDS` the scalar path
+//!   must actually be the faster one (the threshold exists so tiny
+//!   products never pay the O(m·k) packing pass) — gated at ≤10%
+//!   overhead versus the forced tiled path;
+//! - the dequant-free int8 kernel against the f32 product on a
+//!   ranking-shaped workload (informational);
+//! - a quantized-rank smoke: a briefly-trained model evaluated over
+//!   the validation cases at f32 and int8 — HR@10 must agree within
+//!   1% relative, and `recommend_top_k` must serve end-to-end at Int8.
+//!
+//! Writes `BENCH_kernel.json`. With `--gate`, the previously recorded
+//! file is read *before* being overwritten and the run fails if the
+//! tiled speedup regressed more than 10% against it.
+
+use pmm_bench::cli::Cli;
+use pmm_data::registry::{build_dataset, DatasetId, Scale};
+use pmm_data::split::SplitDataset;
+use pmm_data::world::{World, WorldConfig};
+use pmm_eval::{evaluate_ranks, rank_of_target, train_model, MetricSet, TrainConfig};
+use pmm_obs::json::JsonObj;
+use pmm_tensor::kernel_testing as kt;
+use pmm_tensor::{QTensor, Tensor};
+use pmmrec::{Modality, PmmRec, PmmRecConfig, Precision};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Pulls `"key": <number>` out of a previously written
+/// `BENCH_kernel.json` (no JSON dependency in the workspace).
+fn read_baseline(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = src.find(&pat)? + pat.len();
+    let rest = src[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let gate = raw.iter().any(|a| a.as_str() == "--gate");
+    let cli = Cli::parse(raw.into_iter().filter(|a| a.as_str() != "--gate"));
+    pmm_bench::obs::setup(&cli);
+
+    let baseline = std::fs::read_to_string("BENCH_kernel.json")
+        .ok()
+        .and_then(|s| read_baseline(&s, "tiled_speedup_256"));
+
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    let a = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 256], 1.0, &mut rng);
+
+    // --- Tiled vs scalar at 256³, one worker. The public matmul must
+    // dispatch this shape to the tiled path; the scalar time comes from
+    // forcing the pre-tiling kernel on the same inputs.
+    assert!(kt::takes_tiled_path(256, 256, 256));
+    pmm_par::set_threads(Some(1));
+    let tiled_s = time_best(7, || {
+        let _ = a.matmul(&b);
+    });
+    let scalar_s = time_best(7, || {
+        let _ = kt::matmul_small(&a, &b, false, false);
+    });
+    pmm_par::set_threads(None);
+    let speedup = scalar_s / tiled_s;
+    println!(
+        "kernel_bench: matmul 256^3  scalar {:.3} ms  tiled {:.3} ms  speedup {speedup:.2}x",
+        scalar_s * 1e3,
+        tiled_s * 1e3
+    );
+
+    // --- Bit-identity of the dispatched kernel across worker counts,
+    // all four transpose modes.
+    let mut identical = true;
+    for (trans_a, trans_b) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut reference: Option<Tensor> = None;
+        for threads in [1usize, 2, 4, 7] {
+            pmm_par::set_threads(Some(threads));
+            let got = a.matmul_t(&b, trans_a, trans_b);
+            pmm_par::set_threads(None);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) if *want != got => {
+                    identical = false;
+                    println!("kernel_bench: DIVERGED ta={trans_a} tb={trans_b} threads={threads}");
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // --- Dispatch-threshold guard: a tiny product (512 multiply-adds,
+    // far below TILE_MIN_MULADDS) stays on the scalar path, and that
+    // path must be no slower than paying the packing pass would be.
+    let ta = Tensor::randn(&[4, 8], 1.0, &mut rng);
+    let tb = Tensor::randn(&[8, 16], 1.0, &mut rng);
+    assert!(!kt::takes_tiled_path(4, 8, 16), "tiny shape must dispatch to the scalar path");
+    pmm_par::set_threads(Some(1));
+    let tiny_dispatch_s = time_best(9, || {
+        for _ in 0..20_000 {
+            let _ = ta.matmul(&tb);
+        }
+    });
+    let tiny_tiled_s = time_best(9, || {
+        for _ in 0..20_000 {
+            let _ = kt::matmul_tiled(&ta, &tb, false, false);
+        }
+    });
+    pmm_par::set_threads(None);
+    let small_overhead = tiny_dispatch_s / tiny_tiled_s;
+    println!(
+        "kernel_bench: tiny 4x8x16 x20k  dispatched {:.3} ms  forced-tiled {:.3} ms  ratio {small_overhead:.2}",
+        tiny_dispatch_s * 1e3,
+        tiny_tiled_s * 1e3
+    );
+
+    // --- int8 kernel vs f32 on a ranking-shaped product: a [2048, 64]
+    // catalogue scored for 8 users (quantization outside the timer —
+    // the serving path amortizes it through the catalogue cache).
+    let cat = Tensor::randn(&[2048, 64], 1.0, &mut rng);
+    let users = Tensor::randn(&[8, 64], 1.0, &mut rng);
+    let qcat = QTensor::quantize_rows(&cat);
+    let qusers = QTensor::quantize_rows(&users);
+    pmm_par::set_threads(Some(1));
+    let f32_rank_s = time_best(9, || {
+        for _ in 0..50 {
+            let _ = users.matmul_t(&cat, false, true);
+        }
+    });
+    let q_rank_s = time_best(9, || {
+        for _ in 0..50 {
+            let _ = qusers.matmul_nt(&qcat);
+        }
+    });
+    pmm_par::set_threads(None);
+    let q_speedup = f32_rank_s / q_rank_s;
+    println!(
+        "kernel_bench: rank 8x64x2048 x50  f32 {:.3} ms  int8 {:.3} ms  ratio {q_speedup:.2}x",
+        f32_rank_s * 1e3,
+        q_rank_s * 1e3
+    );
+
+    // --- Quantized-rank smoke: brief training, then the validation
+    // cases scored through the same staged path at both precisions.
+    let world = World::new(WorldConfig::default());
+    let ds = build_dataset(&world, DatasetId::HmClothes, Scale::Tiny, cli.seed);
+    let split = SplitDataset::new(ds);
+    let cfg = PmmRecConfig {
+        d: 16,
+        heads: 2,
+        text_layers: 1,
+        vision_layers: 1,
+        fusion_layers: 1,
+        user_layers: 1,
+        dropout: 0.0,
+        ..Default::default()
+    };
+    let mut model = PmmRec::new(cfg, &split.dataset, &mut StdRng::seed_from_u64(7));
+    let _ = train_model(
+        &mut model,
+        &split,
+        &TrainConfig {
+            max_epochs: cli.epochs.unwrap_or(2),
+            patience: 0,
+            ..TrainConfig::default()
+        },
+        &mut StdRng::seed_from_u64(cli.seed),
+    );
+
+    let catalog = model.serve_catalog(Modality::Both).expect("both modalities present");
+    let qcatalog = model.serve_catalog_q(Modality::Both).expect("both modalities present");
+    let (mut ranks_f32, mut ranks_q) = (Vec::new(), Vec::new());
+    for case in &split.valid {
+        let user = model
+            .serve_user_vector(&catalog, &case.prefix)
+            .expect("validation prefixes are non-empty and in range");
+        let s32 = user.matmul_t(&catalog, false, true);
+        let sq = QTensor::quantize_rows(&user).matmul_nt(&qcatalog);
+        ranks_f32.push(rank_of_target(s32.data(), case.target));
+        ranks_q.push(rank_of_target(sq.data(), case.target));
+    }
+    let m32: MetricSet = evaluate_ranks(&ranks_f32);
+    let mq: MetricSet = evaluate_ranks(&ranks_q);
+    let hr_rel_delta = if m32.hr10() > 0.0 {
+        ((mq.hr10() - m32.hr10()) / m32.hr10()).abs() as f64
+    } else {
+        0.0
+    };
+    println!("kernel_bench: f32  valid {m32}");
+    println!("kernel_bench: int8 valid {mq}  (HR@10 rel delta {:.3}%)", hr_rel_delta * 100.0);
+
+    // End-to-end: the Int8 knob serves a full top-k.
+    let n_items = pmm_eval::SeqRecommender::n_items(&model);
+    let prefix = &split.valid[0].prefix;
+    let topk = model
+        .recommend_top_k_with(Precision::Int8, prefix, 10, true)
+        .expect("int8 recommend_top_k serves end-to-end");
+    let distinct_seen = {
+        let mut p = prefix.clone();
+        p.sort_unstable();
+        p.dedup();
+        p.len()
+    };
+    assert_eq!(
+        topk.len(),
+        10.min(n_items.saturating_sub(distinct_seen)),
+        "int8 path must fill the requested k"
+    );
+
+    let json = format!(
+        "{{\n  \"bin\": \"kernel_bench\",\n  \"tiled_speedup_256\": {speedup:.3},\n  \"bit_identical\": {identical},\n  \"small_shape_dispatch_ratio\": {small_overhead:.3},\n  \"qmatmul_vs_f32_rank\": {q_speedup:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        [
+            JsonObj::new().str("bench", "matmul_tiled_256").f64("wall_s", tiled_s).finish(),
+            JsonObj::new().str("bench", "matmul_scalar_256").f64("wall_s", scalar_s).finish(),
+            JsonObj::new().str("bench", "tiny_dispatch_20k").f64("wall_s", tiny_dispatch_s).finish(),
+            JsonObj::new().str("bench", "tiny_forced_tiled_20k").f64("wall_s", tiny_tiled_s).finish(),
+            JsonObj::new().str("bench", "rank_f32_8x64x2048_x50").f64("wall_s", f32_rank_s).finish(),
+            JsonObj::new().str("bench", "rank_int8_8x64x2048_x50").f64("wall_s", q_rank_s).finish(),
+            JsonObj::new()
+                .str("bench", "quantized_rank_valid")
+                .f64("hr10_f32", m32.hr10() as f64)
+                .f64("hr10_int8", mq.hr10() as f64)
+                .f64("ndcg10_f32", m32.ndcg10() as f64)
+                .f64("ndcg10_int8", mq.ndcg10() as f64)
+                .f64("hr10_rel_delta", hr_rel_delta)
+                .u64("cases", m32.cases as u64)
+                .finish(),
+        ]
+        .map(|r| format!("    {r}"))
+        .join(",\n"),
+    );
+    match std::fs::write("BENCH_kernel.json", &json) {
+        Ok(()) => println!("kernel_bench: wrote BENCH_kernel.json"),
+        Err(e) => println!("kernel_bench: cannot write BENCH_kernel.json: {e}"),
+    }
+    pmm_bench::obs::finish("kernel_bench");
+
+    // --- Gates. Machine-relative, so they hold on any host: the tiled
+    // kernel must beat the scalar one 2x at 256³, the dispatch
+    // threshold must pick the faster path for tiny shapes, and int8
+    // ranking quality must track f32 within 1% relative HR@10.
+    assert!(identical, "kernel diverged across worker counts");
+    assert!(
+        speedup >= 2.0,
+        "tiled matmul speedup {speedup:.2}x at 256^3 is below the 2x floor"
+    );
+    assert!(
+        small_overhead <= 1.10,
+        "tiny-shape dispatch is {small_overhead:.2}x the forced-tiled path — the threshold no longer picks the fast path"
+    );
+    assert!(
+        hr_rel_delta <= 0.01,
+        "int8 HR@10 deviates {:.2}% (>1%) from f32",
+        hr_rel_delta * 100.0
+    );
+    if gate {
+        match baseline {
+            Some(base) => {
+                println!(
+                    "kernel_bench: gate — speedup {speedup:.2}x vs recorded baseline {base:.2}x"
+                );
+                assert!(
+                    speedup >= base * 0.9,
+                    "tiled speedup {speedup:.2}x regressed >10% against the recorded {base:.2}x"
+                );
+            }
+            None => println!("kernel_bench: gate — no recorded baseline, this run seeds it"),
+        }
+    }
+    println!("kernel_bench: OK");
+}

@@ -25,6 +25,33 @@ impl Modality {
     }
 }
 
+/// Numeric precision of the serving-side ranking path.
+///
+/// Training always runs f32; this knob only selects how the staged
+/// serve API scores the catalogue. `Int8` quantizes the item CLS rows
+/// and the user vector per row (scale + zero point) and ranks with
+/// dequant-free i32-accumulator dot products — the transfer-serving
+/// cost model of TransRec-style deployments, where the frozen modality
+/// encoders dominate and the ranking matmul is the per-request tax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full-precision f32 scoring (bit-identical to training-side eval).
+    #[default]
+    F32,
+    /// Per-row affine int8 scoring via [`pmm_tensor::QTensor`].
+    Int8,
+}
+
+impl Precision {
+    /// Short stable label for logs, JSON rows, and response tags.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
 /// Full model configuration.
 ///
 /// The paper uses d=768 (RoBERTa/CLIP-ViT scale); this reproduction

@@ -43,7 +43,7 @@ pub mod transfer;
 pub mod user_encoder;
 
 pub use ablation::{NiclVariant, ObjectiveConfig};
-pub use config::{Modality, PmmRecConfig};
+pub use config::{Modality, PmmRecConfig, Precision};
 pub use guard::{AnomalyGuard, GuardConfig, GuardReport, GuardVerdict};
 pub use model::PmmRec;
 pub use rating::{RatingData, RatingHead};

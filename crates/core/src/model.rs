@@ -17,7 +17,7 @@ use pmm_eval::SeqRecommender;
 use pmm_nn::checkpoint::{self, CheckpointError, LoadReport};
 use pmm_nn::{mask, AdamW, AdamWConfig, Ctx, Linear, ParamStore};
 use pmm_obs::{EpochStats, LossBreakdown};
-use pmm_tensor::{Tensor, Var};
+use pmm_tensor::{QTensor, Tensor, Var};
 use rand::rngs::StdRng;
 use std::cell::RefCell;
 use std::path::Path;
@@ -64,6 +64,14 @@ struct CatalogCache {
     both: Option<Tensor>,
     text: Option<Tensor>,
     vision: Option<Tensor>,
+    /// Int8 views of the same catalogues for the quantized serving
+    /// path, cached separately so an f32-only deployment never pays
+    /// quantization. Invalidated together with the f32 slots (the
+    /// whole cache is replaced on weight changes), so a quantized
+    /// catalogue can never outlive the f32 rows it was derived from.
+    q_both: Option<QTensor>,
+    q_text: Option<QTensor>,
+    q_vision: Option<QTensor>,
 }
 
 impl CatalogCache {
@@ -80,6 +88,22 @@ impl CatalogCache {
             Modality::Both => self.both.clone(),
             Modality::TextOnly => self.text.clone(),
             Modality::VisionOnly => self.vision.clone(),
+        }
+    }
+
+    fn q_slot(&mut self, modality: Modality) -> &mut Option<QTensor> {
+        match modality {
+            Modality::Both => &mut self.q_both,
+            Modality::TextOnly => &mut self.q_text,
+            Modality::VisionOnly => &mut self.q_vision,
+        }
+    }
+
+    fn q_get(&self, modality: Modality) -> Option<QTensor> {
+        match modality {
+            Modality::Both => self.q_both.clone(),
+            Modality::TextOnly => self.q_text.clone(),
+            Modality::VisionOnly => self.q_vision.clone(),
         }
     }
 }
@@ -560,6 +584,19 @@ impl PmmRec {
         let cat = Tensor::from_vec(data, &[n, self.cfg.d]).expect("catalog numel");
         *self.catalog.borrow_mut().slot(modality) = Some(cat.clone());
         cat
+    }
+
+    /// Int8 view of the catalogue for the quantized ranking path,
+    /// derived from [`PmmRec::catalog_reps_via`] and cached per
+    /// modality alongside the f32 rows (same invalidation).
+    pub(crate) fn quantized_catalog_via(&self, modality: Modality) -> QTensor {
+        if let Some(q) = self.catalog.borrow().q_get(modality) {
+            return q;
+        }
+        let cat = self.catalog_reps_via(modality);
+        let q = QTensor::quantize_rows(&cat);
+        *self.catalog.borrow_mut().q_slot(modality) = Some(q.clone());
+        q
     }
 
     /// Crate-internal access to the cached catalogue (see

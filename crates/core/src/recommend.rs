@@ -3,10 +3,10 @@
 //! These are the APIs a downstream service would call after training or
 //! transferring a model; they reuse the cached catalogue encoding.
 
-use crate::config::Modality;
+use crate::config::{Modality, Precision};
 use crate::model::PmmRec;
 use pmm_data::batch::Batch;
-use pmm_tensor::Tensor;
+use pmm_tensor::{QTensor, Tensor};
 use std::fmt;
 
 /// One recommendation: item id and its (unnormalised) score.
@@ -87,9 +87,31 @@ impl PmmRec {
         k: usize,
         exclude_seen: bool,
     ) -> Result<Vec<Recommendation>, RecommendError> {
-        let catalog = self.serve_catalog(self.config().modality)?;
+        self.recommend_top_k_with(Precision::F32, prefix, k, exclude_seen)
+    }
+
+    /// [`PmmRec::recommend_top_k`] with an explicit ranking precision:
+    /// `F32` is the exact path, `Int8` quantizes the catalogue (cached)
+    /// and the user vector per row and scores with integer dot
+    /// products. User encoding always runs f32 — only the final
+    /// catalogue-sized matmul changes precision.
+    pub fn recommend_top_k_with(
+        &self,
+        precision: Precision,
+        prefix: &[usize],
+        k: usize,
+        exclude_seen: bool,
+    ) -> Result<Vec<Recommendation>, RecommendError> {
+        let modality = self.config().modality;
+        let catalog = self.serve_catalog(modality)?;
         let user = self.serve_user_vector(&catalog, prefix)?;
-        Ok(self.serve_rank(&catalog, &user, prefix, k, exclude_seen))
+        match precision {
+            Precision::F32 => Ok(self.serve_rank(&catalog, &user, prefix, k, exclude_seen)),
+            Precision::Int8 => {
+                let qcat = self.serve_catalog_q(modality)?;
+                Ok(self.serve_rank_q(&qcat, &user, prefix, k, exclude_seen))
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -124,6 +146,37 @@ impl PmmRec {
         let clipped = &prefix[prefix.len().saturating_sub(max_len)..];
         let batch = Batch::from_sequences(&[clipped], max_len);
         Ok(self.user_hidden_last_with(catalog, &batch))
+    }
+
+    /// Stage 1 (int8 variant) — the catalogue of stage 1 quantized to
+    /// per-row affine int8, cached per modality next to the f32 rows
+    /// and invalidated with them on every weight change.
+    pub fn serve_catalog_q(&self, modality: Modality) -> Result<QTensor, RecommendError> {
+        let _sp = pmm_obs::span("catalog_quantize");
+        if !self.supports_modality(modality) {
+            return Err(RecommendError::UnsupportedModality(modality));
+        }
+        Ok(self.quantized_catalog_via(modality))
+    }
+
+    /// Stage 3 (int8 variant) — quantizes the f32 user vector per row
+    /// and scores the quantized catalogue with dequant-free integer
+    /// dot products, then runs the same chunked top-k as
+    /// [`PmmRec::serve_rank`]. Scores approximate the f32 path within
+    /// the quantization step (pinned by `quantized_rank` tests);
+    /// results are bit-identical at every worker count.
+    pub fn serve_rank_q(
+        &self,
+        qcatalog: &QTensor,
+        user: &Tensor,
+        prefix: &[usize],
+        k: usize,
+        exclude_seen: bool,
+    ) -> Vec<Recommendation> {
+        let _sp = pmm_obs::span("rank_topk_q");
+        let quser = QTensor::quantize_rows(user);
+        let scores = quser.matmul_nt(qcatalog);
+        top_k_chunked(scores.data(), k, |item| !exclude_seen || !prefix.contains(&item))
     }
 
     /// Stage 3 — scores the catalogue against the user vector and
@@ -262,6 +315,87 @@ mod tests {
             assert_eq!(got, naive, "threads={t}");
         }
         pmm_par::set_threads(None);
+    }
+
+    #[test]
+    fn quantized_rank_scores_track_f32_within_quant_step() {
+        let (m, ds) = model();
+        let prefix = [0usize, 1, 2];
+        let cat = m.serve_catalog(crate::Modality::Both).unwrap();
+        let qcat = m.serve_catalog_q(crate::Modality::Both).unwrap();
+        assert_eq!(qcat.shape(), [ds.items.len(), 16]);
+        let user = m.serve_user_vector(&cat, &prefix).unwrap();
+        let exact = m.serve_rank(&cat, &user, &prefix, ds.items.len(), false);
+        let quant = m.serve_rank_q(&qcat, &user, &prefix, ds.items.len(), false);
+        assert_eq!(exact.len(), quant.len());
+        // Bound: k · (εu·max|cat| + εc·max|u| + εu·εc) with per-row εs.
+        let umax = user.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let cmax = cat.data().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let quser = pmm_tensor::QTensor::quantize_rows(&user);
+        let eu = quser.row_scale(0) * 0.5;
+        let mut by_item_exact: Vec<f32> = vec![0.0; exact.len()];
+        let mut by_item_quant: Vec<f32> = vec![0.0; quant.len()];
+        for r in &exact {
+            by_item_exact[r.item] = r.score;
+        }
+        for r in &quant {
+            by_item_quant[r.item] = r.score;
+        }
+        for item in 0..exact.len() {
+            let ec = qcat.row_scale(item) * 0.5;
+            let bound = 16.0 * (eu * cmax + ec * umax + eu * ec) + 1e-4;
+            let diff = (by_item_exact[item] - by_item_quant[item]).abs();
+            assert!(diff <= bound, "item {item}: diff {diff} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn recommend_top_k_with_int8_matches_staged_composition() {
+        let (m, _) = model();
+        let prefix = [0usize, 1, 2];
+        let direct = m.recommend_top_k_with(crate::Precision::Int8, &prefix, 5, true).unwrap();
+        let cat = m.serve_catalog(crate::Modality::Both).unwrap();
+        let qcat = m.serve_catalog_q(crate::Modality::Both).unwrap();
+        let user = m.serve_user_vector(&cat, &prefix).unwrap();
+        let staged = m.serve_rank_q(&qcat, &user, &prefix, 5, true);
+        assert_eq!(direct, staged, "int8 stage composition must be bit-identical");
+        // F32 precision through the same knob is the exact path.
+        assert_eq!(
+            m.recommend_top_k_with(crate::Precision::F32, &prefix, 5, true).unwrap(),
+            m.recommend_top_k(&prefix, 5, true).unwrap(),
+        );
+    }
+
+    #[test]
+    fn quantized_catalog_cache_is_invalidated_with_f32_cache() {
+        use pmm_data::split::SplitDataset;
+        use pmm_eval::{train_model, TrainConfig};
+        let (mut m, ds) = model();
+        let q_before = m.serve_catalog_q(crate::Modality::Both).unwrap();
+        // Cache hit: same object contents.
+        assert_eq!(q_before, m.serve_catalog_q(crate::Modality::Both).unwrap());
+        let split = SplitDataset::new(ds);
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = TrainConfig { max_epochs: 1, ..Default::default() };
+        let _ = train_model(&mut m, &split, &cfg, &mut rng);
+        let q_after = m.serve_catalog_q(crate::Modality::Both).unwrap();
+        assert_ne!(q_before, q_after, "training must invalidate the quantized catalogue");
+    }
+
+    #[test]
+    fn quantized_rank_is_bit_identical_across_thread_counts() {
+        let (m, ds) = model();
+        let prefix = [0usize, 1];
+        let qcat = m.serve_catalog_q(crate::Modality::Both).unwrap();
+        let cat = m.serve_catalog(crate::Modality::Both).unwrap();
+        let user = m.serve_user_vector(&cat, &prefix).unwrap();
+        let reference = m.serve_rank_q(&qcat, &user, &prefix, ds.items.len(), false);
+        for t in [1usize, 2, 4, 7] {
+            pmm_par::set_threads(Some(t));
+            let got = m.serve_rank_q(&qcat, &user, &prefix, ds.items.len(), false);
+            pmm_par::set_threads(None);
+            assert_eq!(got, reference, "threads={t}");
+        }
     }
 
     #[test]

@@ -60,6 +60,19 @@ pub static GRAPH_AUDITS: Counter = Counter::new("graph_audits");
 pub static TENSOR_ALLOCS: Counter = Counter::new("tensor_allocs");
 /// Bytes of tensor element storage allocated.
 pub static TENSOR_ALLOC_BYTES: Counter = Counter::new("tensor_alloc_bytes");
+/// Packed micro-panel scratch buffers built by the tiled matmul path
+/// (plain scratch, deliberately outside `tensor_allocs` so tensor
+/// materializations stay comparable across kernel generations).
+pub static PACK_ALLOCS: Counter = Counter::new("pack_allocs");
+/// Bytes of packed micro-panel scratch allocated.
+pub static PACK_ALLOC_BYTES: Counter = Counter::new("pack_alloc_bytes");
+/// Quantized tensors materialized (int8 payload + per-row parameters).
+pub static QTENSOR_ALLOCS: Counter = Counter::new("qtensor_allocs");
+/// Bytes of quantized tensor storage allocated.
+pub static QTENSOR_ALLOC_BYTES: Counter = Counter::new("qtensor_alloc_bytes");
+/// Integer multiply-add ops (×2, mirroring the FLOP convention) in the
+/// dequant-free int8 matmul kernels.
+pub static QMATMUL_INT_OPS: Counter = Counter::new("qmatmul_int_ops");
 /// Autograd tape nodes ever created.
 pub static TAPE_NODES: Counter = Counter::new("tape_nodes");
 /// Evaluation cases scored by the ranking metrics.
@@ -230,6 +243,37 @@ pub fn record_op_flops(n: u64) {
     OP_FLOPS.add(n);
 }
 
+/// Record one packed micro-panel scratch buffer of `elems` `f32`
+/// elements — the tiled matmul's pack passes report through this so
+/// kernel scratch is visible next to `tensor_alloc_bytes`.
+#[inline]
+pub fn record_pack_alloc(elems: usize) {
+    if crate::enabled() {
+        PACK_ALLOCS.value.fetch_add(1, Ordering::Relaxed);
+        PACK_ALLOC_BYTES
+            .value
+            .fetch_add((elems * std::mem::size_of::<f32>()) as u64, Ordering::Relaxed);
+    }
+}
+
+/// Record one quantized-tensor materialization of `bytes` total storage
+/// (int8 payload plus per-row scale/zero-point/sum parameters).
+#[inline]
+pub fn record_qtensor_alloc(bytes: usize) {
+    if crate::enabled() {
+        QTENSOR_ALLOCS.value.fetch_add(1, Ordering::Relaxed);
+        QTENSOR_ALLOC_BYTES.value.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+}
+
+/// Record an int8 matmul of `[m, k] x [k, n]`: 2·m·k·n integer
+/// multiply-adds, kept in a separate counter from `matmul_flops` so
+/// quantized and float work stay individually attributable.
+#[inline]
+pub fn record_qmatmul(m: usize, k: usize, n: usize) {
+    QMATMUL_INT_OPS.add(2 * (m as u64) * (k as u64) * (n as u64));
+}
+
 /// Exact FLOP estimate [`record_matmul`] uses, exposed so tests and
 /// roofline math share one definition.
 pub fn matmul_flop_estimate(m: usize, k: usize, n: usize) -> u64 {
@@ -274,6 +318,11 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (GRAPH_AUDITS.name, GRAPH_AUDITS.get()),
         (TENSOR_ALLOCS.name, TENSOR_ALLOCS.get()),
         (TENSOR_ALLOC_BYTES.name, TENSOR_ALLOC_BYTES.get()),
+        (PACK_ALLOCS.name, PACK_ALLOCS.get()),
+        (PACK_ALLOC_BYTES.name, PACK_ALLOC_BYTES.get()),
+        (QTENSOR_ALLOCS.name, QTENSOR_ALLOCS.get()),
+        (QTENSOR_ALLOC_BYTES.name, QTENSOR_ALLOC_BYTES.get()),
+        (QMATMUL_INT_OPS.name, QMATMUL_INT_OPS.get()),
         (TAPE_NODES.name, TAPE_NODES.get()),
         ("tape_peak", tape_peak()),
         (EVAL_CASES.name, EVAL_CASES.get()),
@@ -322,6 +371,11 @@ pub fn reset_counters() {
         &GRAPH_AUDITS,
         &TENSOR_ALLOCS,
         &TENSOR_ALLOC_BYTES,
+        &PACK_ALLOCS,
+        &PACK_ALLOC_BYTES,
+        &QTENSOR_ALLOCS,
+        &QTENSOR_ALLOC_BYTES,
+        &QMATMUL_INT_OPS,
         &TAPE_NODES,
         &EVAL_CASES,
         &ANOMALY_STEPS,

@@ -11,7 +11,7 @@
 use crate::Tier;
 use pmm_eval::SeqRecommender;
 use pmm_tensor::Tensor;
-use pmmrec::{Modality, PmmRec, RecommendError, Recommendation};
+use pmmrec::{Modality, PmmRec, Precision, RecommendError, Recommendation};
 use std::time::Duration;
 
 /// A serving component a circuit breaker guards.
@@ -67,9 +67,12 @@ pub trait ServeEngine {
     /// Stage 2: the `[1, d]` user vector for a prefix.
     fn user_encode(&self, catalog: &Tensor, prefix: &[usize]) -> Result<Tensor, RecommendError>;
 
-    /// Stage 3: rank the catalogue for the user.
+    /// Stage 3: rank the catalogue for the user. `tier` names the rung
+    /// whose catalogue was encoded, so precision-aware engines can
+    /// route model-backed rungs through their quantized caches.
     fn rank(
         &self,
+        tier: Tier,
         catalog: &Tensor,
         user: &Tensor,
         prefix: &[usize],
@@ -91,17 +94,32 @@ pub(crate) fn tier_modality(tier: Tier) -> Option<Modality> {
 /// The production engine: a `PmmRec` replica owned by one worker.
 pub struct PmmEngine {
     model: PmmRec,
+    /// Ranking precision for model-backed tiers. `Int8` scores through
+    /// the model's quantized catalogue cache (per-row affine int8,
+    /// dequant-free integer dot products); floor tiers are unaffected.
+    precision: Precision,
 }
 
 impl PmmEngine {
-    /// Wraps a model replica.
+    /// Wraps a model replica with full-precision (f32) ranking.
     pub fn new(model: PmmRec) -> PmmEngine {
-        PmmEngine { model }
+        PmmEngine::with_precision(model, Precision::F32)
+    }
+
+    /// Wraps a model replica with an explicit ranking precision — the
+    /// serving tier's opt-in to the int8 quantized path.
+    pub fn with_precision(model: PmmRec, precision: Precision) -> PmmEngine {
+        PmmEngine { model, precision }
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &PmmRec {
         &self.model
+    }
+
+    /// The ranking precision this engine serves with.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 }
 
@@ -159,12 +177,25 @@ impl ServeEngine for PmmEngine {
 
     fn rank(
         &self,
+        tier: Tier,
         catalog: &Tensor,
         user: &Tensor,
         prefix: &[usize],
         k: usize,
         exclude_seen: bool,
     ) -> Vec<Recommendation> {
+        // The quantized path needs the rung's modality to reach the
+        // per-modality quantized catalogue cache; anything that falls
+        // outside it (floor tiers never rank, quantization refused)
+        // degrades to the exact f32 product rather than failing the
+        // request.
+        if self.precision == Precision::Int8 {
+            if let Some(modality) = tier_modality(tier) {
+                if let Ok(qcat) = self.model.serve_catalog_q(modality) {
+                    return self.model.serve_rank_q(&qcat, user, prefix, k, exclude_seen);
+                }
+            }
+        }
         self.model.serve_rank(catalog, user, prefix, k, exclude_seen)
     }
 }

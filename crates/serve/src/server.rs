@@ -677,7 +677,7 @@ pub(crate) fn attempt_request<E: ServeEngine>(
 
         // Stage 3: rank.
         let clock = tracer.begin(Stage::Rank);
-        let items = engine.rank(&encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen);
+        let items = engine.rank(tier, &encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen);
         tracer.finish(clock, "ok", tier.label());
         slot.stamp();
         lock_clean(breaker_of(shared, Component::Ranker)).record(true);
@@ -766,6 +766,7 @@ mod tests {
 
         fn rank(
             &self,
+            _tier: Tier,
             catalog: &Tensor,
             user: &Tensor,
             prefix: &[usize],

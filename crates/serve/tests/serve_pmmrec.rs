@@ -90,6 +90,66 @@ fn served_topk_is_bit_identical_to_direct_calls_at_every_worker_count() {
 }
 
 #[test]
+fn int8_engines_serve_the_quantized_rank_bit_identically_at_every_worker_count() {
+    let _fg = pmm_fault::test_guard();
+    let ds = dataset();
+    let reference = model(&ds);
+    let prefixes: Vec<Vec<usize>> = vec![vec![0, 1, 2], vec![3], vec![1, 4, 2, 0]];
+    let direct: Vec<Vec<pmmrec::Recommendation>> = prefixes
+        .iter()
+        .map(|p| reference.recommend_top_k_with(pmmrec::Precision::Int8, p, 5, true).unwrap())
+        .collect();
+    // The quantized path must actually differ in score somewhere from
+    // f32, otherwise this test would pass with the knob unwired.
+    let f32_scores: Vec<Vec<pmmrec::Recommendation>> = prefixes
+        .iter()
+        .map(|p| reference.recommend_top_k(p, 5, true).unwrap())
+        .collect();
+    assert_ne!(direct, f32_scores, "int8 scores should not be byte-copies of f32");
+
+    for workers in [1usize, 2, 4] {
+        let ds_f = ds.clone();
+        let server = Server::start(
+            server_cfg(workers),
+            move || PmmEngine::with_precision(model(&ds_f), pmmrec::Precision::Int8),
+            popularity(&ds),
+        );
+        for (p, want) in prefixes.iter().zip(&direct) {
+            let resp = server
+                .call(Request { user: 1, prefix: p.clone(), k: 5, exclude_seen: true, deadline: None })
+                .unwrap();
+            assert_eq!(resp.tier, Tier::Full, "workers={workers}");
+            assert_eq!(&resp.items, want, "workers={workers} prefix={p:?}");
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
+fn int8_engine_degraded_tiers_rank_through_the_quantized_path() {
+    let _fg = pmm_fault::test_guard();
+    let ds = dataset();
+    // Full rung errs on the text gate -> text breaker opens -> the
+    // vision-only rung serves, still through the int8 catalogue.
+    pmm_fault::install(pmm_fault::FaultPlan::parse("err@0").unwrap());
+    let reference = model(&ds);
+    let ds_f = ds.clone();
+    let server = Server::start(
+        server_cfg(1),
+        move || PmmEngine::with_precision(model(&ds_f), pmmrec::Precision::Int8),
+        popularity(&ds),
+    );
+    let resp = server.call(Request::new(1, vec![0, 1, 2], 5)).unwrap();
+    assert_eq!(resp.tier, Tier::VisionOnly);
+    let qcat = reference.serve_catalog_q(pmmrec::Modality::VisionOnly).unwrap();
+    let cat = reference.serve_catalog(pmmrec::Modality::VisionOnly).unwrap();
+    let user = reference.serve_user_vector(&cat, &[0, 1, 2]).unwrap();
+    let want = reference.serve_rank_q(&qcat, &user, &[0, 1, 2], 5, false);
+    assert_eq!(resp.items, want, "degraded rung must use the quantized catalogue");
+    server.shutdown();
+}
+
+#[test]
 fn injected_encoder_error_degrades_to_a_single_modality_tier() {
     let _fg = pmm_fault::test_guard();
     let ds = dataset();

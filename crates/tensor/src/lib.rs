@@ -45,6 +45,12 @@ mod ops;
 mod shape;
 mod tensor;
 
+pub mod qtensor;
+
 pub use graph::Var;
+pub use qtensor::QTensor;
 pub use shape::{check_same_shape, numel, ShapeError};
 pub use tensor::Tensor;
+
+#[doc(hidden)]
+pub use tensor::testing as kernel_testing;

@@ -1,0 +1,270 @@
+//! Per-row affine int8 quantization and dequant-free integer ranking
+//! kernels.
+//!
+//! PMMRec serves items from raw text/image encodings, so the serving
+//! hot loop is `user · catalog^T` over the item CLS rows. [`QTensor`]
+//! stores such a matrix as one `i8` per element plus a per-row
+//! `(scale, zero_point, row_sum)` triple; with
+//!
+//! ```text
+//! a = s_a (q_a − z_a)        b = s_b (q_b − z_b)
+//! a · b = s_a s_b ( Σ q_a q_b − z_a Σ q_b − z_b Σ q_a + k z_a z_b )
+//! ```
+//!
+//! the whole dot product runs in `i32` accumulators — no per-element
+//! dequantization — and the precomputed row sums turn the affine
+//! correction into four scalar terms per output element. Quantization
+//! is value-preserving at zero (the zero point is an exact `i8`), so
+//! padded or masked entries stay exactly zero through a round trip.
+//!
+//! Every output element is computed independently in ascending-`k`
+//! order, so results are bit-identical at every thread count, exactly
+//! like the f32 kernels (`tests/par_determinism.rs` convention).
+
+use crate::tensor::Tensor;
+
+/// A rank-2 matrix quantized to int8 with per-row affine parameters.
+///
+/// Rows keep independent scales because catalogue CLS rows differ in
+/// magnitude after layer-norm + projection: a single tensor-wide scale
+/// would burn most of the 8-bit budget on the widest row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    /// Row-major `[rows, cols]` int8 payload.
+    data: Vec<i8>,
+    rows: usize,
+    cols: usize,
+    /// Per-row dequantization scale (`v ≈ scale * (q - zero)`).
+    scale: Vec<f32>,
+    /// Per-row zero point, in the quantized domain.
+    zero: Vec<i32>,
+    /// Per-row sum of quantized entries, precomputed for the affine
+    /// correction terms of the integer dot product.
+    row_sum: Vec<i32>,
+}
+
+impl QTensor {
+    /// Quantizes a rank-2 tensor row by row: each row's `[lo, hi]`
+    /// range (widened to include 0.0 so the zero point is exact) maps
+    /// onto the full `[-128, 127]` int8 range.
+    #[track_caller]
+    pub fn quantize_rows(t: &Tensor) -> QTensor {
+        let _sp = pmm_obs::span("quantize_rows");
+        assert_eq!(t.shape().len(), 2, "quantize_rows: rank must be 2");
+        let (rows, cols) = (t.shape()[0], t.shape()[1]);
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut scale = Vec::with_capacity(rows);
+        let mut zero = Vec::with_capacity(rows);
+        let mut row_sum = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &t.data()[r * cols..(r + 1) * cols];
+            let lo = row.iter().copied().fold(0.0f32, f32::min);
+            let hi = row.iter().copied().fold(0.0f32, f32::max);
+            let s = if hi > lo { (hi - lo) / 255.0 } else { 1.0 };
+            // v = s (q − z) with lo ↦ −128: z = −128 − lo/s, rounded so
+            // v = 0 quantizes to exactly z (zeros survive round trips).
+            let z = (-128.0 - lo / s).round().clamp(-128.0, 127.0) as i32;
+            let mut sum = 0i32;
+            for &v in row {
+                let q = ((v / s).round() as i32 + z).clamp(-128, 127);
+                sum += q;
+                data.push(q as i8);
+            }
+            scale.push(s);
+            zero.push(z);
+            row_sum.push(sum);
+        }
+        pmm_obs::counter::record_qtensor_alloc(
+            data.len() + (scale.len() + zero.len() + row_sum.len()) * 4,
+        );
+        QTensor { data, rows, cols, scale, zero, row_sum }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the contraction axis of [`QTensor::matmul_nt`]).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `[rows, cols]`, mirroring [`Tensor::shape`].
+    pub fn shape(&self) -> [usize; 2] {
+        [self.rows, self.cols]
+    }
+
+    /// Total payload bytes (int8 elements plus per-row parameters) —
+    /// the number [`pmm_obs::counter::record_qtensor_alloc`] charged.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + (self.scale.len() + self.zero.len() + self.row_sum.len()) * 4
+    }
+
+    /// The dequantization step of row `r` — the worst-case per-element
+    /// reconstruction error is `scale(r) / 2`, which tests use to pin
+    /// round-trip error bounds.
+    pub fn row_scale(&self, r: usize) -> f32 {
+        self.scale[r]
+    }
+
+    /// Reconstructs the f32 matrix (`scale * (q - zero)` per element).
+    /// Test/diagnostic path: serving never dequantizes.
+    pub fn dequantize(&self) -> Tensor {
+        let _sp = pmm_obs::span("dequantize");
+        pmm_obs::counter::record_op_flops(self.data.len() as u64);
+        let mut out = Vec::with_capacity(self.data.len());
+        for r in 0..self.rows {
+            let s = self.scale[r];
+            let z = self.zero[r];
+            for &q in &self.data[r * self.cols..(r + 1) * self.cols] {
+                out.push(s * (q as i32 - z) as f32);
+            }
+        }
+        Tensor::from_vec(out, &[self.rows, self.cols]).expect("dequantize numel")
+    }
+
+    /// `self @ other^T` entirely in integer arithmetic: returns the
+    /// `[self.rows, other.rows]` score matrix. This is the ranking
+    /// product (`user · catalog^T`) — both operands are `[_, k]` with
+    /// contraction over `k`, i32 accumulation, and one affine
+    /// correction per output element.
+    ///
+    /// Dispatched through `pmm-par` by output row; every element is an
+    /// independent ascending-`k` integer sum, so the result is
+    /// bit-identical at every thread count.
+    #[track_caller]
+    pub fn matmul_nt(&self, other: &QTensor) -> Tensor {
+        let _sp = pmm_obs::span("qmatmul_nt");
+        assert_eq!(
+            self.cols, other.cols,
+            "qmatmul: inner dimensions differ: [{}, {}] x [{}, {}]^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        pmm_obs::counter::record_qmatmul(m, k, n);
+        let mut out = vec![0.0f32; m * n];
+        if m == 0 || n == 0 {
+            return Tensor::from_vec(out, &[m, n]).expect("qmatmul numel");
+        }
+        // ~4 integer muladds per f32 muladd of the float kernels'
+        // threshold keeps spawn overhead amortized identically.
+        let min_rows = ((1usize << 23) / (k * n).max(1)).max(1);
+        pmm_par::for_each_row_chunk(&mut out, n, min_rows, |row0, rows| {
+            for (ri, orow) in rows.chunks_mut(n).enumerate() {
+                let i = row0 + ri;
+                let arow = &self.data[i * k..(i + 1) * k];
+                let (za, sum_a, sa) = (self.zero[i], self.row_sum[i], self.scale[i]);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0i32;
+                    for (&qa, &qb) in arow.iter().zip(brow) {
+                        acc += qa as i32 * qb as i32;
+                    }
+                    let (zb, sum_b, sb) = (other.zero[j], other.row_sum[j], other.scale[j]);
+                    let corrected = acc - za * sum_b - zb * sum_a + (k as i32) * za * zb;
+                    *o = (sa * sb) * corrected as f32;
+                }
+            }
+        });
+        Tensor::from_vec(out, &[m, n]).expect("qmatmul numel")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = Tensor::randn(&[7, 33], 1.5, &mut rng);
+        let q = QTensor::quantize_rows(&t);
+        let back = q.dequantize();
+        for r in 0..7 {
+            let bound = q.row_scale(r) * 0.5 + 1e-6;
+            for (a, b) in t.data()[r * 33..(r + 1) * 33]
+                .iter()
+                .zip(&back.data()[r * 33..(r + 1) * 33])
+            {
+                assert!((a - b).abs() <= bound, "row {r}: {a} vs {b} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_survive_round_trip_exactly() {
+        let t = Tensor::from_vec(vec![0.0, 1.0, -3.0, 0.0, 0.5, 0.0], &[2, 3]).unwrap();
+        let back = QTensor::quantize_rows(&t).dequantize();
+        for (i, (&a, &b)) in t.data().iter().zip(back.data()).enumerate() {
+            if a == 0.0 {
+                assert_eq!(b, 0.0, "element {i} was exactly zero before quantization");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_empty_rows_are_degenerate_but_finite() {
+        let t = Tensor::from_vec(vec![2.5, 2.5, 2.5, 0.0, 0.0, 0.0], &[2, 3]).unwrap();
+        let q = QTensor::quantize_rows(&t);
+        let back = q.dequantize();
+        assert!(back.all_finite());
+        // The constant row reconstructs within its step.
+        for &v in &back.data()[..3] {
+            assert!((v - 2.5).abs() <= q.row_scale(0) * 0.5 + 1e-6);
+        }
+        // The all-zero row is exact.
+        assert_eq!(&back.data()[3..], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn qmatmul_matches_f32_within_analytic_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&[4, 48], 1.0, &mut rng);
+        let b = Tensor::randn(&[9, 48], 2.0, &mut rng);
+        let (qa, qb) = (QTensor::quantize_rows(&a), QTensor::quantize_rows(&b));
+        let exact = a.matmul_t(&b, false, true);
+        let quant = qa.matmul_nt(&qb);
+        assert_eq!(quant.shape(), &[4, 9]);
+        let k = 48.0f32;
+        for i in 0..4 {
+            let amax = a.data()[i * 48..(i + 1) * 48].iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            for j in 0..9 {
+                let bmax =
+                    b.data()[j * 48..(j + 1) * 48].iter().fold(0.0f32, |m, v| m.max(v.abs()));
+                let (ea, eb) = (qa.row_scale(i) * 0.5, qb.row_scale(j) * 0.5);
+                // |Σ (a+εa)(b+εb) − Σ ab| ≤ k (εa·|b|max + εb·|a|max + εa·εb)
+                let bound = k * (ea * bmax + eb * amax + ea * eb) + 1e-4;
+                let diff = (exact.at2(i, j) - quant.at2(i, j)).abs();
+                assert!(diff <= bound, "({i},{j}): diff {diff} exceeds bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn qmatmul_is_bit_identical_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[33, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[257, 64], 1.0, &mut rng);
+        let (qa, qb) = (QTensor::quantize_rows(&a), QTensor::quantize_rows(&b));
+        let reference = qa.matmul_nt(&qb);
+        for t in [1usize, 2, 4, 7] {
+            pmm_par::set_threads(Some(t));
+            let got = qa.matmul_nt(&qb);
+            pmm_par::set_threads(None);
+            assert_eq!(got, reference, "threads={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 4]);
+        let _ = QTensor::quantize_rows(&a).matmul_nt(&QTensor::quantize_rows(&b));
+    }
+}

@@ -307,14 +307,11 @@ impl Tensor {
             "matmul: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
             self.shape, other.shape
         );
-        // The `trans_b == false` kernel short-circuits zero lhs entries,
-        // so charge only the multiply-adds it actually runs; the dot
-        // (`trans_b == true`) kernel is branch-free and dense. The zero
-        // scan is O(m·k) against an O(m·k·n) product and only runs when
-        // collection is on.
-        if trans_b {
-            pmm_obs::record_matmul(m, ka, n);
-        } else if pmm_obs::enabled() {
+        // Every kernel path — scalar and tiled, all four transpose
+        // modes — short-circuits zero lhs entries, so charge only the
+        // multiply-adds actually run. The zero scan is O(m·k) against
+        // an O(m·k·n) product and only runs when collection is on.
+        if pmm_obs::enabled() {
             let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
             pmm_obs::counter::record_matmul_skipping(m, ka, n, zeros);
         }
@@ -367,11 +364,9 @@ impl Tensor {
             "bmm: inner dimensions differ: lhs {:?} (trans={trans_a}) rhs {:?} (trans={trans_b})",
             self.shape, other.shape
         );
-        // Same honest-FLOP convention as matmul_t: the zero-skip kernel
-        // runs when `trans_b == false`.
-        if trans_b {
-            pmm_obs::counter::record_bmm(b, m, ka, n);
-        } else if pmm_obs::enabled() {
+        // Same honest-FLOP convention as matmul_t: every mode skips
+        // zero lhs entries, so every mode reports net of skips.
+        if pmm_obs::enabled() {
             let zeros = self.data.iter().filter(|&&v| v == 0.0).count();
             pmm_obs::counter::record_bmm_skipping(b, m, ka, n, zeros);
         }
@@ -544,23 +539,54 @@ pub(crate) fn softmax_row(src: &[f32], dst: &mut [f32]) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Matmul kernel internals
+// ---------------------------------------------------------------------
+//
+// Large products run a cache-blocked, register-tiled microkernel: both
+// operands are packed into contiguous zero-padded micro-panels (A into
+// MR-row panels laid out `[k][MR]`, B into NR-column panels laid out
+// `[k][NR]`), and an MR×NR accumulator tile stays in registers while
+// the packed panels stream through cache in KC-deep k-blocks. The
+// inner loop runs over fixed-size arrays so LLVM autovectorizes it.
+// Small or skinny shapes take a strided scalar path instead: the
+// packing pass costs O(m·k) + O(k·n) against O(m·k·n) multiply-adds
+// (roughly a 1/n + 1/m overhead fraction) and cannot amortize when the
+// output is tiny or only a few columns wide — see `kernel_bench` for
+// the threshold guard.
+//
+// Every path accumulates each output element in strictly ascending-k
+// order and skips zero lhs entries, so scalar, tiled, and every thread
+// count produce bit-identical results (`tests/kernel_tiled.rs` sweeps
+// the edge shapes; `tests/par_determinism.rs` pins the thread axis).
+
+/// Register-tile height: rows of A per microkernel invocation.
+const MR: usize = 4;
+/// Register-tile width: columns of B per microkernel invocation
+/// (16 f32 = two 8-lane vector registers per accumulator row).
+const NR: usize = 16;
+/// k-block depth: one packed `[KC, NR]` B slice (32 KiB) stays
+/// cache-resident while every row tile of a worker streams past it.
+const KC: usize = 512;
+/// Minimum multiply-adds before packing + tiling pays for itself;
+/// below this the strided scalar path is at least as fast and avoids
+/// the two scratch allocations.
+const TILE_MIN_MULADDS: usize = 1 << 13;
+
+/// True when a `[m, k] x [k, n]` product should take the tiled path:
+/// big enough to amortize packing, and wide/tall enough that the MR×NR
+/// tile isn't mostly padding.
+#[inline]
+pub(crate) fn use_tiled(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= TILE_MIN_MULADDS && m >= MR && n >= NR / 2
+}
+
 /// Shared matmul kernel with transpose flags.
 ///
 /// `a` is `[?, lda]`-strided, `b` is `[?, ldb]`-strided; writes
-/// `out[m, n] = sum_k opA(a)[m, k] * opB(b)[k, n]`.
-///
-/// A transposed lhs is packed into a contiguous `[m, k]` scratch once
-/// per call: the former `trans_a` loops walked `a` column-wise with an
-/// `lda` stride in the inner loop, missing cache on every step, and
-/// packing is an O(m·k) pass against O(m·k·n) of multiply-adds (the
-/// micro-bench shows ~2x on the tt path at 64³). After packing, only
-/// two inner-loop shapes remain — `nn` (zero-skipping, contiguous rhs
-/// rows) and `nt` (branch-free dot product) — and both accumulate each
-/// output element in ascending-`k` order, exactly as all four strided
-/// originals did, so results stay bit-identical.
-///
-/// Rows of `out` are dispatched through `pmm-par`; each worker runs
-/// [`matmul_rows`] over its own contiguous block.
+/// `out[m, n] = sum_k opA(a)[m, k] * opB(b)[k, n]`. Dispatches to the
+/// packed tiled path or the strided small path per [`use_tiled`]; both
+/// partition `out` by row through `pmm-par`.
 #[allow(clippy::too_many_arguments)]
 fn matmul_kernel(
     a: &[f32],
@@ -577,80 +603,401 @@ fn matmul_kernel(
     if m == 0 || n == 0 {
         return;
     }
-    let packed;
-    let (a, lda) = if trans_a {
-        packed = pack_transposed(a, lda, k, m);
-        (&packed[..], k)
+    if use_tiled(m, k, n) {
+        matmul_tiled(a, lda, b, ldb, out, m, k, n, trans_a, trans_b);
     } else {
-        (a, lda)
-    };
+        matmul_small(a, lda, b, ldb, out, m, k, n, trans_a, trans_b);
+    }
+}
+
+/// Strided scalar path for shapes below the tiling threshold. No
+/// scratch: all four transpose modes walk the operands in place, each
+/// output element accumulates in ascending-k order, and zero lhs
+/// entries are skipped exactly as in the tiled path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_small(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
     let min_rows = (PAR_MIN_MULADDS / (k * n).max(1)).max(1);
     pmm_par::for_each_row_chunk(out, n, min_rows, |row0, rows| {
-        matmul_rows(a, lda, b, ldb, rows, row0, k, n, trans_b);
+        if trans_b {
+            // b is [n, k]: its rows are contiguous in k, so dot each
+            // output element.
+            for (ri, orow) in rows.chunks_mut(n).enumerate() {
+                let i = row0 + ri;
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * ldb..j * ldb + k];
+                    let mut acc = *o;
+                    for (kk, &bv) in brow.iter().enumerate() {
+                        let av = if trans_a { a[kk * lda + i] } else { a[i * lda + kk] };
+                        // Zero-skip: uniform across all four modes so
+                        // `record_matmul_skipping` stays honest.
+                        if av == 0.0 {
+                            continue;
+                        }
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            }
+        } else {
+            // b is [k, n]: i-k-j ordering keeps the inner loop
+            // contiguous so the optimizer can vectorise it.
+            for (ri, orow) in rows.chunks_mut(n).enumerate() {
+                let i = row0 + ri;
+                for kk in 0..k {
+                    let av = if trans_a { a[kk * lda + i] } else { a[i * lda + kk] };
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * ldb..kk * ldb + n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
     });
 }
 
-/// Packs a `[k, m]` matrix stored with row stride `lda` into a fresh
-/// contiguous `[m, k]` buffer (plain scratch, not a counted tensor
-/// materialization).
-fn pack_transposed(a: &[f32], lda: usize, k: usize, m: usize) -> Vec<f32> {
-    let mut p = vec![0.0f32; m * k];
-    for kk in 0..k {
-        let arow = &a[kk * lda..kk * lda + m];
-        for (i, &v) in arow.iter().enumerate() {
-            p[i * k + kk] = v;
+/// Packed, register-tiled path. Packs both operands into micro-panels,
+/// dispatches full MR-row tiles through `pmm-par` (worker boundaries
+/// land on tile boundaries, so every tile is computed by exactly one
+/// worker running the same loop as the sequential path), then finishes
+/// the ragged tail rows on the calling thread.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_tiled(
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let ap = pack_a_panels(a, lda, m, k, trans_a);
+    let bp = pack_b_panels(b, ldb, k, n, trans_b);
+    let simd = simd_level();
+    let full_tiles = m / MR;
+    let body_rows = full_tiles * MR;
+    let (body, tail) = out.split_at_mut(body_rows * n);
+    if !body.is_empty() {
+        let min_tiles = (PAR_MIN_MULADDS / (MR * k * n).max(1)).max(1);
+        pmm_par::for_each_row_chunk(body, MR * n, min_tiles, |tile0, block| {
+            let nt = block.len() / (MR * n);
+            tiled_tiles(&ap, &bp, block, tile0, nt, MR, k, n, simd);
+        });
+    }
+    // Ragged tail rows (m % MR): one zero-padded tile, computed on the
+    // calling thread — identical at every worker count.
+    if !tail.is_empty() {
+        tiled_tiles(&ap, &bp, tail, full_tiles, 1, m - body_rows, k, n, simd);
+    }
+}
+
+/// Runs the microkernel over `nt` consecutive row tiles starting at
+/// global tile `tile0`; every tile covers MR rows except the last,
+/// which covers `h_last`. `block` holds exactly those output rows.
+///
+/// Loop order keeps one packed `[kc, NR]` B slice hot in L1 while all
+/// of the worker's row tiles stream past it; the A panels are read
+/// once per (panel, k-block) pair.
+#[allow(clippy::too_many_arguments)]
+fn tiled_tiles(
+    ap: &[f32],
+    bp: &[f32],
+    block: &mut [f32],
+    tile0: usize,
+    nt: usize,
+    h_last: usize,
+    k: usize,
+    n: usize,
+    simd: u8,
+) {
+    for p in 0..n.div_ceil(NR) {
+        let c0 = p * NR;
+        let w = NR.min(n - c0);
+        for kb in (0..k).step_by(KC) {
+            let kc = KC.min(k - kb);
+            let bp_blk = &bp[p * k * NR + kb * NR..p * k * NR + (kb + kc) * NR];
+            for t in 0..nt {
+                let g = tile0 + t;
+                let ap_blk = &ap[g * k * MR + kb * MR..g * k * MR + (kb + kc) * MR];
+                let h = if t + 1 == nt { h_last } else { MR };
+                micro_tile(ap_blk, bp_blk, &mut block[t * MR * n..], n, c0, h, w, simd);
+            }
+        }
+    }
+}
+
+/// One MR×NR register tile: loads the current partial sums, folds in
+/// `kc` ascending-k terms from the packed panels, stores back. Loading
+/// from `out` makes k-blocking *extend* each element's strictly
+/// ascending-k accumulation rather than reassociate it, which is what
+/// keeps the tiled path bit-identical to the scalar one. `h`/`w` mask
+/// the load/store for edge tiles; the padded panel entries beyond them
+/// are zeros, so padded rows cost one predicted branch per k step and
+/// padded columns land in lanes that are never stored.
+///
+/// The body is a plain safe loop; [`micro_tile_avx2`] re-compiles the
+/// identical body with AVX2 codegen for runtime dispatch. Keeping one
+/// body guarantees the wide variant performs the same multiply and add
+/// per element in the same ascending-k order — vector width changes
+/// which *lanes* (output columns) compute together, never the rounding
+/// sequence of any single element, so all variants are bit-identical.
+#[inline(always)]
+fn micro_tile_body(
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    n: usize,
+    c0: usize,
+    h: usize,
+    w: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate().take(h) {
+        accr[..w].copy_from_slice(&out[r * n + c0..r * n + c0 + w]);
+    }
+    for (arow, brow) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let brow = &brow[..NR];
+        // One combined test per k step: when no lhs lane is zero (the
+        // dense common case) the whole MR×NR update runs straight-line,
+        // which is what lets LLVM keep the accumulator tile in vector
+        // registers instead of spilling around per-row branches.
+        if arow.iter().all(|&v| v != 0.0) {
+            for (accr, &av) in acc.iter_mut().zip(arow) {
+                for (o, &bv) in accr.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+            continue;
+        }
+        for (accr, &av) in acc.iter_mut().zip(arow) {
+            // Same zero-skip convention as the scalar path: wins big on
+            // sparse/masked inputs (~3x at 75% zeros), is a wash on
+            // dense, and `matmul_t` reports FLOPs net of these skips.
+            // Skipping is also bit-neutral: the accumulator can never
+            // be -0.0 here (it starts at +0.0 and +0.0 + -0.0 = +0.0),
+            // so adding the skipped ±0.0 product would not change it.
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in accr.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate().take(h) {
+        out[r * n + c0..r * n + c0 + w].copy_from_slice(&accr[..w]);
+    }
+}
+
+/// [`micro_tile_body`] compiled with AVX2 enabled: the NR=16 inner
+/// loop becomes two 8-lane ymm multiply/add pairs instead of four
+/// 4-lane SSE2 ones (the portable baseline the default x86-64 target
+/// is limited to). No intrinsics and no FMA: LLVM only widens the
+/// autovectorization, so every output element still sees the same
+/// round-to-nearest multiply followed by add in ascending-k order.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn micro_tile_avx2(
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    n: usize,
+    c0: usize,
+    h: usize,
+    w: usize,
+) {
+    micro_tile_body(ap, bp, out, n, c0, h, w);
+}
+
+/// [`micro_tile_body`] compiled with AVX-512F enabled: the NR=16 inner
+/// loop is exactly one 16-lane zmm multiply/add pair per tile row, and
+/// the 32-register file keeps the whole MR×NR accumulator tile
+/// resident. Same body, same rounding sequence — see
+/// [`micro_tile_avx2`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn micro_tile_avx512(
+    ap: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    n: usize,
+    c0: usize,
+    h: usize,
+    w: usize,
+) {
+    micro_tile_body(ap, bp, out, n, c0, h, w);
+}
+
+/// Widest microkernel the running CPU can take (0 = portable,
+/// 1 = AVX2, 2 = AVX-512F). std's feature-detection macro caches, so
+/// the per-call cost is a pair of relaxed atomic loads.
+#[inline]
+fn simd_level() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            2
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            1
+        } else {
+            0
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// Microkernel dispatch: the widest variant the CPU reported, the
+/// portable body otherwise. All variants compute bit-identical
+/// results; only throughput differs.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn micro_tile(ap: &[f32], bp: &[f32], out: &mut [f32], n: usize, c0: usize, h: usize, w: usize, simd: u8) {
+    // SAFETY: `simd` comes from `simd_level()`, so a nonzero value
+    // means the running CPU reported the matching target feature —
+    // exactly the contract `#[target_feature]` requires.
+    #[cfg(target_arch = "x86_64")]
+    match simd {
+        2 => return unsafe { micro_tile_avx512(ap, bp, out, n, c0, h, w) },
+        1 => return unsafe { micro_tile_avx2(ap, bp, out, n, c0, h, w) },
+        _ => {}
+    }
+    let _ = simd;
+    micro_tile_body(ap, bp, out, n, c0, h, w);
+}
+
+/// Packs `opA(a)` (an `[m, k]` logical matrix) into zero-padded MR-row
+/// micro-panels: panel `t` holds rows `t*MR..t*MR+MR` laid out
+/// `[k][MR]`, so the microkernel reads one contiguous MR-vector per k
+/// step regardless of the original transpose. Scratch is reported via
+/// `record_pack_alloc` so it shows up next to the tensor allocation
+/// counters instead of bypassing telemetry.
+fn pack_a_panels(a: &[f32], lda: usize, m: usize, k: usize, trans_a: bool) -> Vec<f32> {
+    let panels = m.div_ceil(MR);
+    let mut p = vec![0.0f32; panels * k * MR];
+    pmm_obs::counter::record_pack_alloc(p.len());
+    if trans_a {
+        // a is [k, m]: row kk scatters into slot kk of every panel.
+        for kk in 0..k {
+            let arow = &a[kk * lda..kk * lda + m];
+            for (i, &v) in arow.iter().enumerate() {
+                p[(i / MR) * k * MR + kk * MR + (i % MR)] = v;
+            }
+        }
+    } else {
+        // a is [m, k]: each row streams into its panel at stride MR.
+        for (i, arow) in a.chunks(lda).take(m).enumerate() {
+            let base = (i / MR) * k * MR + (i % MR);
+            for (kk, &v) in arow.iter().take(k).enumerate() {
+                p[base + kk * MR] = v;
+            }
         }
     }
     p
 }
 
-/// Computes output rows `[row0, row0 + out_rows.len()/n)` of a product
-/// with a contiguous (already non-transposed) lhs. i-k-j ordering keeps
-/// the innermost loop contiguous so the optimizer can vectorise it.
-#[allow(clippy::too_many_arguments)]
-fn matmul_rows(
-    a: &[f32],
-    lda: usize,
-    b: &[f32],
-    ldb: usize,
-    out_rows: &mut [f32],
-    row0: usize,
-    k: usize,
-    n: usize,
-    trans_b: bool,
-) {
+/// Packs `opB(b)` (a `[k, n]` logical matrix) into zero-padded
+/// NR-column micro-panels: panel `p` holds columns `p*NR..p*NR+NR`
+/// laid out `[k][NR]`. Generalizes the old transposed-lhs-only packing
+/// to the rhs: after this pass the microkernel never sees a strided
+/// operand in its inner loop.
+fn pack_b_panels(b: &[f32], ldb: usize, k: usize, n: usize, trans_b: bool) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut pk = vec![0.0f32; panels * k * NR];
+    pmm_obs::counter::record_pack_alloc(pk.len());
     if trans_b {
-        // b is [n, k]; dot rows of a with rows of b.
-        for (ri, orow) in out_rows.chunks_mut(n).enumerate() {
-            let i = row0 + ri;
-            let arow = &a[i * lda..i * lda + k];
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = &b[j * ldb..j * ldb + k];
-                let mut acc = 0.0f32;
-                for (av, bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                *o += acc;
+        // b is [n, k]: row j becomes column j % NR of panel j / NR.
+        for j in 0..n {
+            let brow = &b[j * ldb..j * ldb + k];
+            let base = (j / NR) * k * NR + (j % NR);
+            for (kk, &v) in brow.iter().enumerate() {
+                pk[base + kk * NR] = v;
             }
         }
     } else {
-        for (ri, orow) in out_rows.chunks_mut(n).enumerate() {
-            let i = row0 + ri;
-            let arow = &a[i * lda..i * lda + k];
-            for (kk, &av) in arow.iter().enumerate() {
-                // Skipping zero lhs entries wins big on sparse/masked
-                // inputs (~3x at 75% zeros) and is a wash on dense;
-                // `matmul_t` reports FLOPs net of these skips.
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * ldb..kk * ldb + n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
+        // b is [k, n]: each row is sliced across the panels.
+        for kk in 0..k {
+            let brow = &b[kk * ldb..kk * ldb + n];
+            for (pi, chunk) in brow.chunks(NR).enumerate() {
+                let dst = pi * k * NR + kk * NR;
+                pk[dst..dst + chunk.len()].copy_from_slice(chunk);
             }
         }
     }
+    pk
+}
+
+/// Direct access to both matmul kernel paths, bypassing the
+/// [`use_tiled`] dispatch threshold, so the property sweep
+/// (`tests/kernel_tiled.rs`) and `kernel_bench` can pin
+/// tiled == scalar == naive on any shape. Hidden from docs; not a
+/// stable API.
+#[doc(hidden)]
+pub mod testing {
+    use super::*;
+
+    fn dims(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> (usize, usize, usize) {
+        assert_eq!(a.shape.len(), 2, "kernel testing: lhs must be rank 2");
+        assert_eq!(b.shape.len(), 2, "kernel testing: rhs must be rank 2");
+        let (m, ka) = if trans_a { (a.shape[1], a.shape[0]) } else { (a.shape[0], a.shape[1]) };
+        let (kb, n) = if trans_b { (b.shape[1], b.shape[0]) } else { (b.shape[0], b.shape[1]) };
+        assert_eq!(ka, kb, "kernel testing: inner dimensions differ");
+        (m, ka, n)
+    }
+
+    /// The packed, register-tiled path, forced for any shape.
+    pub fn matmul_tiled(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        let (m, k, n) = dims(a, b, trans_a, trans_b);
+        let mut out = vec![0.0f32; m * n];
+        super::matmul_tiled(
+            &a.data, a.shape[1], &b.data, b.shape[1], &mut out, m, k, n, trans_a, trans_b,
+        );
+        Tensor::from_parts(out, vec![m, n])
+    }
+
+    /// The strided scalar path, forced for any shape.
+    pub fn matmul_small(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+        let (m, k, n) = dims(a, b, trans_a, trans_b);
+        let mut out = vec![0.0f32; m * n];
+        super::matmul_small(
+            &a.data, a.shape[1], &b.data, b.shape[1], &mut out, m, k, n, trans_a, trans_b,
+        );
+        Tensor::from_parts(out, vec![m, n])
+    }
+
+    /// The dispatch predicate, exposed so benches can label which path
+    /// a shape takes by default.
+    pub fn takes_tiled_path(m: usize, k: usize, n: usize) -> bool {
+        use_tiled(m, k, n)
+    }
+
+    /// The register-tile dimensions `(MR, NR, KC)`, exposed so the
+    /// edge-shape sweep stays in sync with the kernel constants.
+    pub const TILE: (usize, usize, usize) = (MR, NR, KC);
 }
 
 #[cfg(test)]

@@ -1,0 +1,108 @@
+//! Kernel accounting: pack scratch must be visible in the obs
+//! counters, FLOP accounting must be zero-skip-consistent across all
+//! four transpose modes, and the quantized path must report its own
+//! storage and integer-op counters.
+//!
+//! Everything lives in ONE test function: the counters are process
+//! globals and the test harness runs `#[test]` fns concurrently, so a
+//! second test in this binary would race the deltas.
+
+use pmm_obs::counter as c;
+use pmm_tensor::kernel_testing as kt;
+use pmm_tensor::{QTensor, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pack_scratch_flops_and_qtensor_counters_account_every_kernel() {
+    let was_enabled = pmm_obs::enabled();
+    pmm_obs::set_enabled(true);
+
+    let (mr, nr, _) = kt::TILE;
+    let (m, k, n) = (64usize, 32, 64);
+    assert!(kt::takes_tiled_path(m, k, n), "shape must dispatch to the tiled path");
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut a = Tensor::randn(&[m, k], 1.0, &mut rng);
+    for (i, v) in a.data_mut().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            *v = 0.0;
+        }
+    }
+    let zeros = a.data().iter().filter(|&&v| v == 0.0).count();
+    assert!(zeros > 0, "the sweep must exercise the zero-skip accounting");
+    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+
+    // --- Satellite 1: pack scratch buffers are counted. One A pack +
+    // one B pack per tiled product, with exact panel geometry.
+    let (allocs0, bytes0) = (c::PACK_ALLOCS.get(), c::PACK_ALLOC_BYTES.get());
+    let _ = a.matmul(&b);
+    let pack_elems = m.div_ceil(mr) * k * mr + n.div_ceil(nr) * k * nr;
+    assert_eq!(c::PACK_ALLOCS.delta_since(allocs0), 2, "one A pack + one B pack");
+    assert_eq!(
+        c::PACK_ALLOC_BYTES.delta_since(bytes0),
+        (pack_elems * std::mem::size_of::<f32>()) as u64,
+        "pack bytes must match the padded panel geometry"
+    );
+
+    // --- Satellite 3: all four transpose modes charge the same
+    // zero-skip-adjusted FLOPs for the same logical product.
+    let want_flops = 2 * ((m * k - zeros) as u64) * (n as u64);
+    // Pre-transposed operands hold the same logical values; their zero
+    // patterns (and so the skip credit) are identical by construction.
+    let at = transpose2(&a);
+    let bt = transpose2(&b);
+    for (lhs, rhs, trans_a, trans_b) in [
+        (&a, &b, false, false),
+        (&a, &bt, false, true),
+        (&at, &b, true, false),
+        (&at, &bt, true, true),
+    ] {
+        let flops0 = c::MATMUL_FLOPS.get();
+        let _ = lhs.matmul_t(rhs, trans_a, trans_b);
+        assert_eq!(
+            c::MATMUL_FLOPS.delta_since(flops0),
+            want_flops,
+            "ta={trans_a} tb={trans_b} must charge skip-adjusted FLOPs"
+        );
+    }
+
+    // --- Quantized path: storage and integer ops are attributed to
+    // their own counters, not folded into the float ones.
+    let (qa0, qb0) = (c::QTENSOR_ALLOCS.get(), c::QTENSOR_ALLOC_BYTES.get());
+    let qa = QTensor::quantize_rows(&a);
+    let qb = QTensor::quantize_rows(&transpose2(&b));
+    assert_eq!(c::QTENSOR_ALLOCS.delta_since(qa0), 2);
+    assert_eq!(
+        c::QTENSOR_ALLOC_BYTES.delta_since(qb0),
+        (qa.storage_bytes() + qb.storage_bytes()) as u64,
+        "qtensor bytes must match the reported storage"
+    );
+    let (iops0, flops0) = (c::QMATMUL_INT_OPS.get(), c::MATMUL_FLOPS.get());
+    let _ = qa.matmul_nt(&qb);
+    assert_eq!(
+        c::QMATMUL_INT_OPS.delta_since(iops0),
+        2 * (m as u64) * (k as u64) * (n as u64),
+        "int8 products charge 2·m·k·n integer multiply-adds"
+    );
+    assert_eq!(
+        c::MATMUL_FLOPS.delta_since(flops0),
+        0,
+        "int8 products must not leak into the float FLOP counter"
+    );
+
+    pmm_obs::set_enabled(was_enabled);
+}
+
+/// Out-of-place transpose of a rank-2 tensor via raw indexing, so the
+/// counter math above doesn't depend on library transpose internals.
+fn transpose2(t: &Tensor) -> Tensor {
+    let (r, c) = (t.shape()[0], t.shape()[1]);
+    let mut out = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            out[j * r + i] = t.data()[i * c + j];
+        }
+    }
+    Tensor::from_vec(out, &[c, r]).unwrap()
+}

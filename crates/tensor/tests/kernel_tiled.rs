@@ -1,0 +1,162 @@
+//! Property sweep for the matmul kernel paths: for every shape in the
+//! edge grid (all dims through the register-tile sizes ±1, plus the
+//! KC k-block boundary), all four transpose modes, and worker counts
+//! {1, 4}, the packed register-tiled path, the strided scalar path,
+//! and the public dispatching `matmul_t` must all be bit-identical to
+//! a naive triple-loop reference.
+
+use pmm_tensor::kernel_testing as kt;
+use pmm_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Naive i-k-j reference: ascending-k accumulation per output element,
+/// the exact summation order every kernel path must reproduce.
+fn naive(a: &Tensor, b: &Tensor, trans_a: bool, trans_b: bool) -> Tensor {
+    let (m, k) = if trans_a {
+        (a.shape()[1], a.shape()[0])
+    } else {
+        (a.shape()[0], a.shape()[1])
+    };
+    let n = if trans_b { b.shape()[0] } else { b.shape()[1] };
+    let at = |i: usize, kk: usize| {
+        if trans_a {
+            a.data()[kk * a.shape()[1] + i]
+        } else {
+            a.data()[i * a.shape()[1] + kk]
+        }
+    };
+    let bt = |kk: usize, j: usize| {
+        if trans_b {
+            b.data()[j * b.shape()[1] + kk]
+        } else {
+            b.data()[kk * b.shape()[1] + j]
+        }
+    };
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += at(i, kk) * bt(kk, j);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+/// Builds the `[m, k]` logical lhs and `[k, n]` logical rhs for a
+/// mode, stored pre-transposed when the flag asks for it. Every fourth
+/// lhs element is zeroed so the zero-skip branches run in the sweep.
+fn operands(
+    m: usize,
+    k: usize,
+    n: usize,
+    trans_a: bool,
+    trans_b: bool,
+    rng: &mut StdRng,
+) -> (Tensor, Tensor) {
+    let mut a = if trans_a {
+        Tensor::randn(&[k, m], 1.0, rng)
+    } else {
+        Tensor::randn(&[m, k], 1.0, rng)
+    };
+    for (i, v) in a.data_mut().iter_mut().enumerate() {
+        if i % 4 == 0 {
+            *v = 0.0;
+        }
+    }
+    let b = if trans_b {
+        Tensor::randn(&[n, k], 1.0, rng)
+    } else {
+        Tensor::randn(&[k, n], 1.0, rng)
+    };
+    (a, b)
+}
+
+fn sweep(dims: &[usize], ks: &[usize], rng: &mut StdRng) {
+    for &m in dims {
+        for &k in ks {
+            for &n in dims {
+                for (trans_a, trans_b) in [(false, false), (false, true), (true, false), (true, true)]
+                {
+                    let (a, b) = operands(m, k, n, trans_a, trans_b, rng);
+                    let want = naive(&a, &b, trans_a, trans_b);
+                    for threads in [1usize, 4] {
+                        pmm_par::set_threads(Some(threads));
+                        let tiled = kt::matmul_tiled(&a, &b, trans_a, trans_b);
+                        let small = kt::matmul_small(&a, &b, trans_a, trans_b);
+                        let public = a.matmul_t(&b, trans_a, trans_b);
+                        pmm_par::set_threads(None);
+                        let tag = format!(
+                            "m={m} k={k} n={n} ta={trans_a} tb={trans_b} threads={threads}"
+                        );
+                        assert_eq!(tiled, want, "tiled vs naive: {tag}");
+                        assert_eq!(small, want, "small vs naive: {tag}");
+                        assert_eq!(public, want, "dispatch vs naive: {tag}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn edge_shape_sweep_all_modes_bit_identical() {
+    let (mr, nr, _) = kt::TILE;
+    // 1..17 covers MR±1 and NR±1 for the shipped tile sizes; assert
+    // that so a tile retune forces this grid to be revisited.
+    assert!(mr + 1 <= 17 && nr + 1 <= 17, "sweep grid no longer covers tile±1");
+    let dims = [1usize, 2, 3, mr - 1, mr, mr + 1, 7, 8, 9, nr - 1, nr, nr + 1];
+    let ks = [1usize, 2, 3, mr, 7, 8, nr - 1, nr, nr + 1, 17];
+    let mut rng = StdRng::seed_from_u64(42);
+    sweep(&dims, &ks, &mut rng);
+}
+
+#[test]
+fn kc_block_boundary_sweep_bit_identical() {
+    let (_, _, kc) = kt::TILE;
+    // k crossing the cache-block depth exercises the k-block resume
+    // (load partial sums, extend the ascending-k chain, store back).
+    let dims = [3usize, 5, 16];
+    let ks = [kc - 1, kc, kc + 1];
+    let mut rng = StdRng::seed_from_u64(7);
+    sweep(&dims, &ks, &mut rng);
+}
+
+#[test]
+fn dispatch_threshold_picks_tiled_for_large_scalar_for_small() {
+    assert!(
+        !kt::takes_tiled_path(4, 4, 4),
+        "tiny shapes must stay on the scalar path (packing cannot amortize)"
+    );
+    assert!(
+        !kt::takes_tiled_path(1, 4096, 4096),
+        "single-row products must stay on the scalar path (A panel is 3/4 padding)"
+    );
+    assert!(kt::takes_tiled_path(256, 256, 256), "256^3 must take the tiled path");
+    assert!(kt::takes_tiled_path(64, 32, 64), "ranking-scale products must take the tiled path");
+}
+
+#[test]
+fn thread_sweep_at_acceptance_shape_is_bit_identical() {
+    // The acceptance-criteria shape: 256^3 at threads {1, 2, 4, 7}.
+    let mut rng = StdRng::seed_from_u64(3);
+    let a = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    let b = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    for (trans_a, trans_b) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut reference: Option<Tensor> = None;
+        for threads in [1usize, 2, 4, 7] {
+            pmm_par::set_threads(Some(threads));
+            let got = a.matmul_t(&b, trans_a, trans_b);
+            pmm_par::set_threads(None);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(&got, want, "ta={trans_a} tb={trans_b} threads={threads}")
+                }
+            }
+        }
+    }
+}

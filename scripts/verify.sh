@@ -28,6 +28,9 @@ cargo run --release -q -p pmm-audit -- --fixtures
 echo "==> thread-scaling smoke (kernels bit-identical across worker counts)"
 cargo run --release -q -p pmm-bench --bin par_scaling
 
+echo "==> kernel bench (tiled>=2x scalar at 256^3, dispatch-threshold guard, int8 HR@10 within 1%, >10% speedup regression vs recorded BENCH_kernel.json fails)"
+cargo run --release -q -p pmm-bench --bin kernel_bench -- --gate
+
 echo "==> chaos smoke (fault injection + pre-backward autograd-graph audit on every step)"
 cargo run --release -q -p pmm-bench --bin chaos_smoke -- --scale tiny --epochs 3 --audit-graph
 
