@@ -72,6 +72,10 @@ pub const RULES: &[(&str, &str)] = &[
         "threads in crates/serve are spawned only by the supervisor (supervisor.rs) — a bare spawn() bypasses panic isolation, heartbeats, and restart budgets",
     ),
     (
+        "wal-durability",
+        "fns in crates/ingest that write WAL bytes (write_all) must fsync (sync_all/sync_data) before acknowledging and checksum their payload (crc32)",
+    ),
+    (
         "bad-allow",
         "pmm-audit allow annotations must name a known rule and give a reason",
     ),
@@ -112,6 +116,7 @@ struct Applicability {
     par_spawn_index: bool,
     stage_histogram: bool,
     serve_spawn: bool,
+    wal_durability: bool,
 }
 
 fn applicability(path: &str) -> Option<Applicability> {
@@ -147,6 +152,10 @@ fn applicability(path: &str) -> Option<Applicability> {
         // slot, a heartbeat, and a restart budget. Everyone else in the
         // serve crate must route thread creation through it.
         serve_spawn: serve && !path.ends_with("/supervisor.rs"),
+        // The WAL's whole contract is "acknowledged means durable and
+        // verifiable" — an unfsynced or unchecksummed write silently
+        // voids the replay guarantees.
+        wal_durability: path.starts_with("crates/ingest/src"),
     })
 }
 
@@ -250,8 +259,44 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     let body_allow = |allows: &[Allow], rule: &str, from: u32, to: u32| {
         allows.iter().any(|a| a.rule == rule && a.line + 1 >= from && a.line <= to)
     };
-    if apply.op_telemetry || apply.serve_result || apply.qtensor_telemetry || apply.pack_telemetry {
+    if apply.op_telemetry
+        || apply.serve_result
+        || apply.qtensor_telemetry
+        || apply.pack_telemetry
+        || apply.wal_durability
+    {
         for f in functions(&code) {
+            // WAL durability: a fn that writes log bytes must fsync
+            // before its caller can treat the append as acknowledged,
+            // and must checksum the payload it framed — otherwise
+            // replay cannot tell a torn tail from good data.
+            if apply.wal_durability
+                && f.calls(&code, "write_all")
+                && !body_allow(&allows, "wal-durability", f.line, f.end_line)
+            {
+                if !f.calls(&code, "sync_all") && !f.calls(&code, "sync_data") {
+                    raw.push(Violation {
+                        path: path.into(),
+                        line: f.line,
+                        rule: "wal-durability",
+                        msg: format!(
+                            "fn `{}` writes WAL bytes without fsync (sync_all/sync_data) — an acknowledged append must survive a crash",
+                            f.name
+                        ),
+                    });
+                }
+                if !f.calls(&code, "crc32") {
+                    raw.push(Violation {
+                        path: path.into(),
+                        line: f.line,
+                        rule: "wal-durability",
+                        msg: format!(
+                            "fn `{}` writes WAL bytes without a crc32 checksum — replay cannot verify the record",
+                            f.name
+                        ),
+                    });
+                }
+            }
             // Quantized-kernel telemetry: any pub fn that loops is a
             // kernel and must be visible to the observability stack —
             // a span for attribution plus a recorder (quantized
@@ -884,6 +929,27 @@ mod tests {
         assert!(rules_hit("crates/serve/src/queue.rs", in_tests).is_empty());
         let allowed = "fn boot() {\n// pmm-audit: allow(serve-spawn) — metrics flusher, not a request worker\nstd::thread::spawn(|| {}); }";
         assert!(rules_hit("crates/serve/src/server.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn wal_writes_need_fsync_and_checksum() {
+        let bad = "fn append(&mut self, b: &[u8]) -> R { self.file.write_all(b) }";
+        assert_eq!(
+            rules_hit("crates/ingest/src/wal.rs", bad),
+            vec!["wal-durability", "wal-durability"],
+            "an unfsynced, unchecksummed write fires both arms"
+        );
+        let synced = "fn append(&mut self, b: &[u8]) -> R { self.file.write_all(b)?; self.file.sync_all() }";
+        assert_eq!(rules_hit("crates/ingest/src/wal.rs", synced), vec!["wal-durability"]);
+        let full = "fn append(&mut self, b: &[u8]) -> R { let c = crc32(b); self.file.write_all(&frame(c, b))?; self.file.sync_all() }";
+        assert!(rules_hit("crates/ingest/src/wal.rs", full).is_empty());
+        // Read-side code that never writes is untouched.
+        let reader = "fn replay(&self) -> Vec<u8> { self.bytes.clone() }";
+        assert!(rules_hit("crates/ingest/src/replay.rs", reader).is_empty());
+        // The rule is scoped to the ingest crate.
+        assert!(rules_hit("crates/obs/src/sink.rs", bad).is_empty());
+        let allowed = "fn header(&mut self) -> R {\n// pmm-audit: allow(wal-durability) — fixed magic header, no payload to checksum\nself.file.write_all(MAGIC)?; self.file.sync_all() }";
+        assert!(rules_hit("crates/ingest/src/wal.rs", allowed).is_empty());
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! latency, throughput, and the shed/retry/restart/swap counters, all
 //! into `BENCH_serve.json`; with `--slo-gate` any SLO breach in any
 //! scenario exits non-zero.
+//!
+//! With `--gate`, the previously recorded clean-scenario numbers in
+//! `BENCH_serve.json` become a regression baseline (the `kernel_bench`
+//! pattern): p99 latency more than 10% over the recording, or
+//! throughput more than 10% under it, fails the run. The first gated
+//! run seeds the baseline.
 
 use pmm_baselines::Popularity;
 use pmm_bench::cli::Cli;
@@ -306,10 +312,30 @@ fn outcome_json(o: &Outcome) -> String {
     )
 }
 
+/// Pulls `"key": <number>` out of a previously written
+/// `BENCH_serve.json` (no JSON dependency in the workspace). The clean
+/// scenario is emitted first, so the first occurrence is its value.
+fn read_baseline(src: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = src.find(&pat)? + pat.len();
+    let rest = src[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() -> Result<(), String> {
-    let cli = Cli::from_env();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let gate = raw.iter().any(|a| a.as_str() == "--gate");
+    let cli = Cli::parse(raw.into_iter().filter(|a| a.as_str() != "--gate"));
     pmm_bench::obs::setup(&cli);
     pmm_obs::set_enabled(true);
+
+    // Read the recorded baseline BEFORE this run overwrites the file.
+    let baseline = std::fs::read_to_string("BENCH_serve.json").ok().and_then(|s| {
+        Some((read_baseline(&s, "p99_ns")?, read_baseline(&s, "throughput_rps")?))
+    });
 
     // Injected panics are the scenario, not a crash: silence their
     // backtraces so the run's output stays readable, and let every
@@ -416,6 +442,38 @@ fn main() -> Result<(), String> {
                 let names: Vec<&str> = o.report.breaches().iter().map(|c| c.name).collect();
                 failures.push(format!("{}: SLO gate failed ({})", o.name, names.join(", ")));
             }
+        }
+    }
+    // Recorded-baseline regression gate over the clean scenario: >10%
+    // p99 or throughput regression against the last recorded numbers
+    // fails. A 2ms absolute p99 allowance keeps scheduler jitter on
+    // millisecond-scale baselines from tripping the relative gate.
+    if gate && cli.fault_plan.is_none() && cli.swap_at.is_none() {
+        let clean = &outcomes[0];
+        let (_, _, p99) = latency(&clean.window);
+        let tput = clean.served as f64 / clean.wall.as_secs_f64().max(1e-9);
+        match baseline {
+            Some((base_p99, base_tput)) => {
+                println!(
+                    "serve_load: gate — p99 {:.2}ms vs recorded {:.2}ms, throughput {tput:.0} rps vs recorded {base_tput:.0} rps",
+                    p99 as f64 / 1e6,
+                    base_p99 / 1e6,
+                );
+                let p99_budget = (base_p99 * 1.10).max(base_p99 + 2e6);
+                if p99 as f64 > p99_budget {
+                    failures.push(format!(
+                        "clean: p99 {:.2}ms regressed >10% against the recorded {:.2}ms",
+                        p99 as f64 / 1e6,
+                        base_p99 / 1e6
+                    ));
+                }
+                if tput < base_tput * 0.90 {
+                    failures.push(format!(
+                        "clean: throughput {tput:.0} rps regressed >10% against the recorded {base_tput:.0} rps"
+                    ));
+                }
+            }
+            None => println!("serve_load: gate — no recorded baseline, this run seeds it"),
         }
     }
     if failures.is_empty() {

@@ -54,7 +54,7 @@ fn pretrain_baseline(
     let cfg = runner::train_cfg(cli);
     // Baselines have no objective switches; keying the cache on the
     // default config still folds the epoch budget into the filename.
-    let path = checkpoint_path(tag, cli, &ObjectiveConfig::default(), cfg.max_epochs);
+    let path = checkpoint_path(tag, cli, &ObjectiveConfig::default(), cfg.max_epochs)?;
     if path.exists() {
         obs_info!("table4", "reusing {tag} checkpoint");
         pmm_obs::sink::emit_cache(tag, true, &path.display().to_string());

@@ -89,16 +89,23 @@ pub fn pretrain_fingerprint(obj: &ObjectiveConfig, epochs: usize) -> u64 {
 }
 
 /// Location of the cached pre-training checkpoint for a source set and
-/// pre-training recipe.
-pub fn checkpoint_path(tag: &str, cli: &Cli, obj: &ObjectiveConfig, epochs: usize) -> PathBuf {
+/// pre-training recipe. Errors carry the directory that could not be
+/// created, like every other checkpoint-path failure in this module.
+pub fn checkpoint_path(
+    tag: &str,
+    cli: &Cli,
+    obj: &ObjectiveConfig,
+    epochs: usize,
+) -> Result<PathBuf, String> {
     let dir = std::env::temp_dir().join("pmmrec_checkpoints");
-    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
     let scale = match cli.scale {
         Scale::Tiny => "tiny",
         Scale::Paper => "paper",
     };
     let fp = pretrain_fingerprint(obj, epochs);
-    dir.join(format!("pmmrec_{tag}_{scale}_seed{}_{fp:016x}.ckpt", cli.seed))
+    Ok(dir.join(format!("pmmrec_{tag}_{scale}_seed{}_{fp:016x}.ckpt", cli.seed)))
 }
 
 /// Pre-trains PMMRec on the given source corpus and saves a checkpoint;
@@ -113,7 +120,7 @@ pub fn pretrain_cached(
     world: &World,
 ) -> Result<PathBuf, String> {
     let epochs = pretrain_epochs(cli);
-    let path = checkpoint_path(tag, cli, &obj, epochs);
+    let path = checkpoint_path(tag, cli, &obj, epochs)?;
     if path.exists() {
         obs_info!("pretrain", "[{tag}] reusing cached checkpoint {}", path.display());
         pmm_obs::sink::emit_cache(tag, true, &path.display().to_string());
@@ -199,16 +206,16 @@ mod tests {
         let ablated = ObjectiveConfig { nid: false, ..Default::default() };
         let e = pretrain_epochs(&cli);
         // Same recipe -> same file; any recipe change -> a fresh file.
-        assert_eq!(checkpoint_path("t", &cli, &full, e), checkpoint_path("t", &cli, &full, e));
-        assert_ne!(checkpoint_path("t", &cli, &full, e), checkpoint_path("t", &cli, &ablated, e));
-        assert_ne!(checkpoint_path("t", &cli, &full, e), checkpoint_path("t", &cli, &full, e + 1));
+        assert_eq!(checkpoint_path("t", &cli, &full, e).unwrap(), checkpoint_path("t", &cli, &full, e).unwrap());
+        assert_ne!(checkpoint_path("t", &cli, &full, e).unwrap(), checkpoint_path("t", &cli, &ablated, e).unwrap());
+        assert_ne!(checkpoint_path("t", &cli, &full, e).unwrap(), checkpoint_path("t", &cli, &full, e + 1).unwrap());
     }
 
     #[test]
     fn pretrain_cache_roundtrip() -> Result<(), String> {
         let cli = tiny_cli();
         let w = world();
-        let path = checkpoint_path("test_cache", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli));
+        let path = checkpoint_path("test_cache", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli))?;
         std::fs::remove_file(&path).ok();
         let p1 = pretrain_cached("test_cache", &[DatasetId::Amazon], ObjectiveConfig::default(), &cli, &w)?;
         assert!(p1.exists());
@@ -223,7 +230,7 @@ mod tests {
     fn finetune_model_loads_components() -> Result<(), String> {
         let cli = tiny_cli();
         let w = world();
-        let path = checkpoint_path("test_ft", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli));
+        let path = checkpoint_path("test_ft", &cli, &ObjectiveConfig::default(), pretrain_epochs(&cli))?;
         std::fs::remove_file(&path).ok();
         let ckpt = pretrain_cached("test_ft", &[DatasetId::Hm], ObjectiveConfig::default(), &cli, &w)?;
         let target = split(&w, DatasetId::HmClothes, &cli);

@@ -65,6 +65,13 @@ pub struct FaultPlan {
     /// the heartbeat deadline so the watchdog declares the worker
     /// stuck and replaces it.
     pub stall_workers: Vec<u64>,
+    /// WAL record appends whose frame is torn mid-write (only a prefix
+    /// of the frame reaches the log, simulating a crash between the
+    /// write and the fsync). Replay must truncate and count the tail.
+    pub wal_corrupts: Vec<u64>,
+    /// Per-shard rank executions that panic — the scatter-gather's
+    /// shard quarantine and rebuild-budget path sees these.
+    pub shard_panics: Vec<u64>,
 }
 
 impl FaultPlan {
@@ -77,13 +84,16 @@ impl FaultPlan {
             && self.err_encodes.is_empty()
             && self.panic_workers.is_empty()
             && self.stall_workers.is_empty()
+            && self.wal_corrupts.is_empty()
+            && self.shard_panics.is_empty()
     }
 
     /// Parses a plan spec: comma-separated `kind@N` tokens where kind
     /// is `nan` (training step), `ckpt` (rotating save), `io` (guarded
     /// IO operation), `slow` or `err` (serving encoder call), `panic`
-    /// or `stall` (serving-worker request execution), e.g.
-    /// `"nan@3,nan@4,ckpt@1,io@0,slow@2,err@5,panic@3,stall@7"`.
+    /// or `stall` (serving-worker request execution), `wal_corrupt`
+    /// (WAL record append) or `shard_panic` (per-shard rank execution),
+    /// e.g. `"nan@3,ckpt@1,io@0,slow@2,err@5,panic@3,wal_corrupt@4"`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -101,9 +111,11 @@ impl FaultPlan {
                 "err" => plan.err_encodes.push(n),
                 "panic" => plan.panic_workers.push(n),
                 "stall" => plan.stall_workers.push(n),
+                "wal_corrupt" => plan.wal_corrupts.push(n),
+                "shard_panic" => plan.shard_panics.push(n),
                 other => {
                     return Err(format!(
-                        "unknown fault kind {other:?} (use nan|ckpt|io|slow|err|panic|stall)"
+                        "unknown fault kind {other:?} (use nan|ckpt|io|slow|err|panic|stall|wal_corrupt|shard_panic)"
                     ))
                 }
             }
@@ -115,6 +127,8 @@ impl FaultPlan {
         plan.err_encodes.sort_unstable();
         plan.panic_workers.sort_unstable();
         plan.stall_workers.sort_unstable();
+        plan.wal_corrupts.sort_unstable();
+        plan.shard_panics.sort_unstable();
         Ok(plan)
     }
 }
@@ -128,6 +142,8 @@ struct ActivePlan {
     ios_seen: u64,
     encodes_seen: u64,
     workers_seen: u64,
+    wal_appends_seen: u64,
+    shard_ranks_seen: u64,
     fired_nan: u64,
     fired_corrupt: u64,
     fired_io: u64,
@@ -135,6 +151,8 @@ struct ActivePlan {
     fired_err: u64,
     fired_panic: u64,
     fired_stall: u64,
+    fired_wal: u64,
+    fired_shard: u64,
 }
 
 /// Fast-path switch: true only while a plan is installed.
@@ -178,6 +196,15 @@ pub fn fired_encode() -> (u64, u64) {
 pub fn fired_worker() -> (u64, u64) {
     match active().lock().unwrap().as_ref() {
         Some(a) => (a.fired_panic, a.fired_stall),
+        None => (0, 0),
+    }
+}
+
+/// Counts of ingestion/sharding faults fired so far:
+/// `(wal_corrupt, shard_panic)`.
+pub fn fired_ingest() -> (u64, u64) {
+    match active().lock().unwrap().as_ref() {
+        Some(a) => (a.fired_wal, a.fired_shard),
         None => (0, 0),
     }
 }
@@ -274,6 +301,44 @@ pub fn trip_worker() -> Option<WorkerFault> {
     } else {
         None
     }
+}
+
+/// Consume one WAL record-append occurrence; true when the frame
+/// should be torn mid-write (only a prefix of the frame reaches the
+/// log, as if the process crashed between write and fsync).
+pub fn trip_wal_corrupt() -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut guard = active().lock().unwrap();
+    let Some(a) = guard.as_mut() else { return false };
+    let n = a.wal_appends_seen;
+    a.wal_appends_seen += 1;
+    let hit = a.plan.wal_corrupts.binary_search(&n).is_ok();
+    if hit {
+        a.fired_wal += 1;
+        pmm_obs::counter::FAULTS_WAL.add(1);
+    }
+    hit
+}
+
+/// Consume one per-shard rank-execution occurrence; true when this
+/// shard execution should panic (the scatter-gather quarantines the
+/// shard and serves a partial result).
+pub fn trip_shard_panic() -> bool {
+    if !armed() {
+        return false;
+    }
+    let mut guard = active().lock().unwrap();
+    let Some(a) = guard.as_mut() else { return false };
+    let n = a.shard_ranks_seen;
+    a.shard_ranks_seen += 1;
+    let hit = a.plan.shard_panics.binary_search(&n).is_ok();
+    if hit {
+        a.fired_shard += 1;
+        pmm_obs::counter::FAULTS_SHARD.add(1);
+    }
+    hit
 }
 
 /// Consume one rotating-save occurrence; true when the written file
@@ -424,6 +489,30 @@ mod tests {
         assert_eq!(p.panic_workers, vec![1, 3]);
         assert_eq!(p.stall_workers, vec![5]);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn parse_accepts_ingest_kinds() {
+        let p = FaultPlan::parse("wal_corrupt@3, wal_corrupt@1,shard_panic@2").unwrap();
+        assert_eq!(p.wal_corrupts, vec![1, 3]);
+        assert_eq!(p.shard_panics, vec![2]);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn wal_and_shard_trips_fire_on_exact_occurrences() {
+        let _g = test_guard();
+        install(FaultPlan::parse("wal_corrupt@1,shard_panic@0,shard_panic@2").unwrap());
+        assert!(!trip_wal_corrupt()); // append 0
+        assert!(trip_wal_corrupt()); // append 1
+        assert!(!trip_wal_corrupt()); // append 2
+        assert!(trip_shard_panic()); // shard rank 0
+        assert!(!trip_shard_panic()); // shard rank 1
+        assert!(trip_shard_panic()); // shard rank 2
+        assert_eq!(fired_ingest(), (1, 2));
+        clear();
+        assert!(!trip_wal_corrupt());
+        assert!(!trip_shard_panic());
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The WAL record payload codec for [`pmm_data::world::Item`].
+//!
+//! Little-endian throughout, mirroring the checkpoint codec: a u64
+//! category, then each variable-length field as a u32 count followed
+//! by its elements (f32 bit patterns for floats, u64 for token ids),
+//! then the mismatch flag as one byte. Float bit patterns round-trip
+//! exactly — replayed items are bit-identical to the appended ones,
+//! which is what lets a delta catalog built from a replay serve
+//! bit-identically to a cold build.
+
+use crate::wal::WalError;
+use pmm_data::world::Item;
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialize one item into a WAL record payload.
+pub fn encode_item(item: &Item) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(
+        8 + 4
+            + item.latent.len() * 4
+            + 4
+            + item.tokens.len() * 8
+            + 4
+            + item.patches.len() * 4
+            + 1,
+    );
+    push_u64(&mut buf, item.category as u64);
+    push_u32(&mut buf, item.latent.len() as u32);
+    for &v in &item.latent {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    push_u32(&mut buf, item.tokens.len() as u32);
+    for &t in &item.tokens {
+        push_u64(&mut buf, t as u64);
+    }
+    push_u32(&mut buf, item.patches.len() as u32);
+    for &v in &item.patches {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    buf.push(u8::from(item.mismatched));
+    buf
+}
+
+/// A cursor over a record payload; every read is bounds-checked so a
+/// corrupt payload that slipped past the CRC (or a hand-truncated
+/// fixture) surfaces as a format error, never a panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WalError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len()).ok_or_else(|| {
+            WalError::Format(format!(
+                "record payload truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len()
+            ))
+        })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, WalError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WalError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, WalError> {
+        let b = self.take(n.checked_mul(4).ok_or_else(|| {
+            WalError::Format(format!("record float count {n} overflows"))
+        })?)?;
+        Ok(b.chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
+            .collect())
+    }
+}
+
+/// Deserialize one record payload back into an item.
+pub fn decode_item(payload: &[u8]) -> Result<Item, WalError> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let category = r.u64()? as usize;
+    let n_latent = r.u32()? as usize;
+    let latent = r.f32s(n_latent)?;
+    let n_tokens = r.u32()? as usize;
+    let mut tokens = Vec::with_capacity(n_tokens.min(payload.len() / 8 + 1));
+    for _ in 0..n_tokens {
+        tokens.push(r.u64()? as usize);
+    }
+    let n_patches = r.u32()? as usize;
+    let patches = r.f32s(n_patches)?;
+    let mismatched = r.take(1)?[0] != 0;
+    if r.pos != payload.len() {
+        return Err(WalError::Format(format!(
+            "record payload has {} trailing bytes",
+            payload.len() - r.pos
+        )));
+    }
+    Ok(Item { category, latent, tokens, patches, mismatched })
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    pub(crate) fn sample_item(seed: usize) -> Item {
+        Item {
+            category: seed * 3 + 1,
+            latent: (0..4).map(|i| (seed * 7 + i) as f32 * 0.125 - 1.0).collect(),
+            tokens: (0..6).map(|i| seed * 11 + i).collect(),
+            patches: (0..8).map(|i| ((seed + i) as f32).sin()).collect(),
+            mismatched: seed % 2 == 1,
+        }
+    }
+
+    #[test]
+    fn items_round_trip_bit_exactly() {
+        for seed in 0..5 {
+            let item = sample_item(seed);
+            let back = decode_item(&encode_item(&item)).unwrap();
+            assert_eq!(back.category, item.category);
+            assert_eq!(back.tokens, item.tokens);
+            assert_eq!(back.mismatched, item.mismatched);
+            // Bit-level float equality, not approximate: the replayed
+            // delta catalog must encode identically to the original.
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&back.latent), bits(&item.latent));
+            assert_eq!(bits(&back.patches), bits(&item.patches));
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_survive_the_round_trip() {
+        let mut item = sample_item(0);
+        item.patches = vec![f32::NAN, f32::INFINITY, -0.0, f32::MIN_POSITIVE / 2.0];
+        let back = decode_item(&encode_item(&item)).unwrap();
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&back.patches), bits(&item.patches));
+    }
+
+    #[test]
+    fn truncated_payload_is_a_format_error_not_a_panic() {
+        let full = encode_item(&sample_item(2));
+        for cut in [0, 5, full.len() / 2, full.len() - 1] {
+            let err = decode_item(&full[..cut]).unwrap_err();
+            assert!(matches!(err, WalError::Format(_)), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = encode_item(&sample_item(1));
+        buf.push(0xAB);
+        assert!(matches!(decode_item(&buf).unwrap_err(), WalError::Format(_)));
+    }
+}

@@ -1,0 +1,30 @@
+//! # pmm-ingest
+//!
+//! Crash-safe streaming item ingestion: an append-only write-ahead
+//! log for new catalog items, replay with torn-tail recovery, and a
+//! fold step that retires replayed segments once their items are
+//! baked into a base snapshot.
+//!
+//! ```text
+//! append(item) ──frame──> wal-00000000.seg ──rotate──> wal-00000001.seg ...
+//!                              │ crash?
+//! replay(dir) ─────────────────┴─> items (torn tail truncated, counted)
+//! fold(dir)   ─────────────────────> segments deleted after snapshot bake
+//! ```
+//!
+//! The on-disk discipline mirrors the checkpoint codec
+//! (`pmm_nn::checkpoint`): little-endian fields, an explicit magic
+//! header per segment, CRC32 (IEEE) integrity on every record, and
+//! atomic creation via a tmp sibling + rename. Every append is
+//! fsynced before it is acknowledged, so a record the writer
+//! confirmed survives any crash; a record interrupted mid-write is a
+//! *torn tail* that [`replay`] truncates and counts
+//! (`wal_truncated`) instead of panicking.
+
+pub mod codec;
+pub mod replay;
+pub mod wal;
+
+pub use codec::{decode_item, encode_item};
+pub use replay::{fold, replay, Replay};
+pub use wal::{Wal, WalConfig, WalError};

@@ -114,6 +114,10 @@ pub static FAULTS_ERR: Counter = Counter::new("faults_err");
 pub static FAULTS_PANIC: Counter = Counter::new("faults_panic");
 /// Worker-wedge faults fired (`stall@N`).
 pub static FAULTS_STALL: Counter = Counter::new("faults_stall");
+/// WAL torn-write faults fired (`wal_corrupt@N`).
+pub static FAULTS_WAL: Counter = Counter::new("faults_wal_corrupt");
+/// Shard-panic faults fired (`shard_panic@N`).
+pub static FAULTS_SHARD: Counter = Counter::new("faults_shard_panic");
 
 // --- serving-runtime counters (pmm-serve) ---
 
@@ -162,6 +166,42 @@ pub static SERVE_SWAPS: Counter = Counter::new("serve_swaps");
 /// until every live worker had adopted the new snapshot.
 pub static SERVE_SWAP_DRAIN_NS: Counter = Counter::new("serve_swap_drain_ns");
 
+// --- streaming-ingestion counters (pmm-ingest) ---
+
+/// Item records appended to the write-ahead log (fsynced frames).
+pub static WAL_APPENDS: Counter = Counter::new("wal_appends");
+/// WAL segments opened (the initial segment plus every rotation).
+pub static WAL_SEGMENTS: Counter = Counter::new("wal_segments");
+/// Item records recovered by WAL replay across all segments.
+pub static WAL_REPLAYED: Counter = Counter::new("wal_replayed");
+/// Torn/corrupt WAL tails truncated during replay (each truncation is
+/// one counted event, never a panic).
+pub static WAL_TRUNCATED: Counter = Counter::new("wal_truncated");
+/// Items ingested into a live delta catalogue (WAL append + in-memory
+/// delta made searchable).
+pub static INGEST_ITEMS: Counter = Counter::new("ingest_items");
+/// Delta catalogues folded into the base via a snapshot hot-swap.
+pub static INGEST_FOLDS: Counter = Counter::new("ingest_folds");
+
+// --- sharded scatter-gather counters (pmm-serve shard pool) ---
+
+/// Per-shard rank executions that panicked and were caught by the
+/// shard pool's isolation.
+pub static SERVE_SHARD_PANICS: Counter = Counter::new("serve_shard_panics");
+/// Shards quarantined after a panicking/corrupt rank execution.
+pub static SERVE_SHARD_QUARANTINES: Counter = Counter::new("serve_shard_quarantines");
+/// Quarantined shards rebuilt within the rebuild budget.
+pub static SERVE_SHARD_REBUILDS: Counter = Counter::new("serve_shard_rebuilds");
+/// Shards abandoned after exhausting their rebuild budget.
+pub static SERVE_SHARD_GIVEUPS: Counter = Counter::new("serve_shard_giveups");
+/// Shards that contributed to gathered responses (summed per request).
+pub static SERVE_SHARDS_SERVED: Counter = Counter::new("serve_shards_served");
+/// Shards asked for per gathered response (summed per request).
+pub static SERVE_SHARDS_TOTAL: Counter = Counter::new("serve_shards_total");
+/// Responses gathered from fewer shards than the full pool (tagged
+/// `PartialShards` in the response).
+pub static SERVE_PARTIAL: Counter = Counter::new("serve_partial_responses");
+
 // --- request-tracing counters (pmm-trace) ---
 
 /// Trace events pushed into the bounded trace ring.
@@ -189,6 +229,24 @@ pub fn record_queue_depth(depth: u64) {
 /// High-water mark of the serving queue depth.
 pub fn serve_queue_peak() -> u64 {
     SERVE_QUEUE_PEAK.load(Ordering::Relaxed)
+}
+
+/// High-water mark of the open WAL segment's byte length (how close
+/// the tail got to the rotation threshold).
+static WAL_TAIL_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Record the open WAL segment's byte length after an append, keeping
+/// the high-water mark.
+#[inline]
+pub fn record_wal_tail_bytes(bytes: u64) {
+    if crate::enabled() {
+        WAL_TAIL_PEAK.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+/// High-water mark of the open WAL segment's byte length.
+pub fn wal_tail_peak_bytes() -> u64 {
+    WAL_TAIL_PEAK.load(Ordering::Relaxed)
 }
 
 /// Record a matmul of `[m, k] x [k, n]` (or the equivalent transposed
@@ -340,6 +398,8 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (FAULTS_ERR.name, FAULTS_ERR.get()),
         (FAULTS_PANIC.name, FAULTS_PANIC.get()),
         (FAULTS_STALL.name, FAULTS_STALL.get()),
+        (FAULTS_WAL.name, FAULTS_WAL.get()),
+        (FAULTS_SHARD.name, FAULTS_SHARD.get()),
         (SERVE_REQUESTS.name, SERVE_REQUESTS.get()),
         (SERVE_SHED.name, SERVE_SHED.get()),
         (SERVE_DEADLINE_MISSES.name, SERVE_DEADLINE_MISSES.get()),
@@ -357,9 +417,23 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (SERVE_RETRIES_DENIED.name, SERVE_RETRIES_DENIED.get()),
         (SERVE_SWAPS.name, SERVE_SWAPS.get()),
         (SERVE_SWAP_DRAIN_NS.name, SERVE_SWAP_DRAIN_NS.get()),
+        (WAL_APPENDS.name, WAL_APPENDS.get()),
+        (WAL_SEGMENTS.name, WAL_SEGMENTS.get()),
+        (WAL_REPLAYED.name, WAL_REPLAYED.get()),
+        (WAL_TRUNCATED.name, WAL_TRUNCATED.get()),
+        (INGEST_ITEMS.name, INGEST_ITEMS.get()),
+        (INGEST_FOLDS.name, INGEST_FOLDS.get()),
+        (SERVE_SHARD_PANICS.name, SERVE_SHARD_PANICS.get()),
+        (SERVE_SHARD_QUARANTINES.name, SERVE_SHARD_QUARANTINES.get()),
+        (SERVE_SHARD_REBUILDS.name, SERVE_SHARD_REBUILDS.get()),
+        (SERVE_SHARD_GIVEUPS.name, SERVE_SHARD_GIVEUPS.get()),
+        (SERVE_SHARDS_SERVED.name, SERVE_SHARDS_SERVED.get()),
+        (SERVE_SHARDS_TOTAL.name, SERVE_SHARDS_TOTAL.get()),
+        (SERVE_PARTIAL.name, SERVE_PARTIAL.get()),
         (TRACE_EVENTS.name, TRACE_EVENTS.get()),
         (TRACE_DROPPED.name, TRACE_DROPPED.get()),
         ("serve_queue_peak", serve_queue_peak()),
+        ("wal_tail_peak_bytes", wal_tail_peak_bytes()),
     ]
 }
 
@@ -392,6 +466,8 @@ pub fn reset_counters() {
         &FAULTS_ERR,
         &FAULTS_PANIC,
         &FAULTS_STALL,
+        &FAULTS_WAL,
+        &FAULTS_SHARD,
         &SERVE_REQUESTS,
         &SERVE_SHED,
         &SERVE_DEADLINE_MISSES,
@@ -409,6 +485,19 @@ pub fn reset_counters() {
         &SERVE_RETRIES_DENIED,
         &SERVE_SWAPS,
         &SERVE_SWAP_DRAIN_NS,
+        &WAL_APPENDS,
+        &WAL_SEGMENTS,
+        &WAL_REPLAYED,
+        &WAL_TRUNCATED,
+        &INGEST_ITEMS,
+        &INGEST_FOLDS,
+        &SERVE_SHARD_PANICS,
+        &SERVE_SHARD_QUARANTINES,
+        &SERVE_SHARD_REBUILDS,
+        &SERVE_SHARD_GIVEUPS,
+        &SERVE_SHARDS_SERVED,
+        &SERVE_SHARDS_TOTAL,
+        &SERVE_PARTIAL,
         &TRACE_EVENTS,
         &TRACE_DROPPED,
     ] {
@@ -417,6 +506,7 @@ pub fn reset_counters() {
     TAPE_LIVE.store(0, Ordering::Relaxed);
     TAPE_PEAK.store(0, Ordering::Relaxed);
     SERVE_QUEUE_PEAK.store(0, Ordering::Relaxed);
+    WAL_TAIL_PEAK.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

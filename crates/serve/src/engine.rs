@@ -9,6 +9,7 @@
 //! results against direct `recommend_top_k` calls.
 
 use crate::Tier;
+use pmm_data::world::Item;
 use pmm_eval::SeqRecommender;
 use pmm_tensor::Tensor;
 use pmmrec::{Modality, PmmRec, Precision, RecommendError, Recommendation};
@@ -79,6 +80,26 @@ pub trait ServeEngine {
         k: usize,
         exclude_seen: bool,
     ) -> Vec<Recommendation>;
+
+    /// The exhaustive per-item score row for the user, in catalog
+    /// order — the input the sharded scatter-gather selects over.
+    /// `None` opts the engine out of sharding: the worker falls back
+    /// to [`ServeEngine::rank`] directly. Engines that implement both
+    /// must keep them consistent: selecting the top-k of `scores` with
+    /// the exhaustive sort must equal `rank`'s answer bit-for-bit.
+    fn scores(&self, tier: Tier, catalog: &Tensor, user: &Tensor) -> Option<Vec<f32>> {
+        let _ = (tier, catalog, user);
+        None
+    }
+
+    /// Apply streamed delta items to this replica's catalog (the
+    /// worker calls it between requests, before serving, whenever the
+    /// shared delta log has items this replica has not seen). The
+    /// default ignores deltas — engines without an extensible catalog
+    /// simply keep serving their base.
+    fn apply_delta(&mut self, items: &[Item]) {
+        let _ = items;
+    }
 }
 
 /// Maps a model-backed tier to the modality path it scores through.
@@ -197,5 +218,23 @@ impl ServeEngine for PmmEngine {
             }
         }
         self.model.serve_rank(catalog, user, prefix, k, exclude_seen)
+    }
+
+    fn scores(&self, tier: Tier, catalog: &Tensor, user: &Tensor) -> Option<Vec<f32>> {
+        // Mirror rank()'s precision routing exactly, so the sharded
+        // selection over this row is bit-identical to the unsharded
+        // answer on both the f32 and int8 paths.
+        if self.precision == Precision::Int8 {
+            if let Some(modality) = tier_modality(tier) {
+                if let Ok(qcat) = self.model.serve_catalog_q(modality) {
+                    return Some(self.model.serve_scores_q(&qcat, user));
+                }
+            }
+        }
+        Some(self.model.serve_scores(catalog, user))
+    }
+
+    fn apply_delta(&mut self, items: &[Item]) {
+        self.model.ingest_items(items.to_vec());
     }
 }

@@ -52,6 +52,7 @@ pub mod breaker;
 pub mod engine;
 pub mod queue;
 pub mod server;
+pub mod shards;
 pub mod supervisor;
 pub mod swap;
 
@@ -60,6 +61,7 @@ pub use engine::{Component, PmmEngine, ServeEngine};
 pub use pmm_trace::TraceId;
 pub use queue::BoundedQueue;
 pub use server::{Request, Response, ServeError, Server, ServerConfig};
+pub use shards::{ShardConfig, ShardHealth};
 pub use supervisor::SupervisorConfig;
 pub use swap::SwapReport;
 

@@ -22,18 +22,25 @@
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::engine::{Component, ServeEngine};
 use crate::queue::BoundedQueue;
+use crate::shards::{ShardConfig, ShardHealth, ShardPool};
 use crate::supervisor::{self, SuperCtl, SupervisorConfig, WorkerSlot};
 use crate::swap::{Snapshots, SwapReport};
 use crate::Tier;
 use pmm_baselines::Popularity;
+use pmm_data::world::Item;
 use pmm_obs::counter as ctr;
 use pmm_trace::{hist, Stage, StageClock, TraceId, Tracer};
-use pmmrec::{RecommendError, Recommendation};
+use pmmrec::{PartialShards, RecommendError, Recommendation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Full-coverage tag for answers that never went through the shard
+/// pool (floor tiers, engines without a score row): zero of zero
+/// shards missing, `is_partial() == false`, coverage 1.0.
+const UNSHARDED: PartialShards = PartialShards { served: 0, total: 0 };
 
 /// Server tuning.
 #[derive(Debug, Clone, Copy)]
@@ -58,6 +65,9 @@ pub struct ServerConfig {
     /// Supervision tuning: restart budgets, wedge threshold, retry
     /// budget.
     pub supervisor: SupervisorConfig,
+    /// Scatter-gather tuning: shard count (shard-per-core by default)
+    /// and the per-shard quarantine rebuild budget.
+    pub shards: ShardConfig,
     /// Start with consumers paused (deterministic overflow tests);
     /// release with [`Server::set_paused`].
     pub start_paused: bool,
@@ -73,6 +83,7 @@ impl Default for ServerConfig {
             stall_fault: Duration::from_secs(2),
             breaker: BreakerConfig::default(),
             supervisor: SupervisorConfig::default(),
+            shards: ShardConfig::default(),
             start_paused: false,
         }
     }
@@ -117,6 +128,12 @@ pub struct Response {
     /// answers carry the epoch current when they were served), so
     /// hot-swap tests can prove which snapshot a response came from.
     pub epoch: u64,
+    /// Shard coverage of the answer: how many catalog shards the
+    /// scatter-gather actually served out of how many exist.
+    /// `is_partial()` means quarantined/given-up shards were skipped
+    /// and the ranking covered only part of the catalog; `0/0` tags
+    /// answers that never went through the shard pool (floor tiers).
+    pub shards: PartialShards,
     /// The ranked items.
     pub items: Vec<Recommendation>,
 }
@@ -191,11 +208,41 @@ pub(crate) struct Job {
     pub(crate) resume_seq: u32,
 }
 
+/// The shared streamed-item delta log. Items appended by
+/// [`Server::ingest`] live here (indexed by an *absolute* position
+/// that survives folds) until [`Server::fold_delta`] publishes a base
+/// snapshot containing them and drains the folded prefix. Workers
+/// track the absolute position they have applied to their replica and
+/// catch up between requests.
+pub(crate) struct DeltaState {
+    /// Unfolded items, oldest first.
+    pub(crate) items: Vec<Item>,
+    /// Absolute index of `items[0]`: everything below it was folded
+    /// into a published base snapshot and dropped from the log.
+    pub(crate) start: u64,
+}
+
+impl DeltaState {
+    /// Absolute index one past the newest ingested item.
+    pub(crate) fn total(&self) -> u64 {
+        self.start + self.items.len() as u64
+    }
+
+    /// The items at or past absolute position `applied`, cloned out
+    /// so the caller can apply them outside the lock.
+    pub(crate) fn pending(&self, applied: u64) -> Vec<Item> {
+        let from = (applied.max(self.start) - self.start) as usize;
+        self.items.get(from..).map(<[Item]>::to_vec).unwrap_or_default()
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) queue: BoundedQueue<Job>,
     pub(crate) breakers: [Mutex<CircuitBreaker>; 3],
     pub(crate) cache: Mutex<HashMap<u64, Vec<Recommendation>>>,
     pub(crate) popularity: Popularity,
+    pub(crate) shards: ShardPool,
+    pub(crate) delta: Mutex<DeltaState>,
     pub(crate) slow_fault: Duration,
     pub(crate) stall_fault: Duration,
 }
@@ -269,6 +316,8 @@ impl<E: ServeEngine + 'static> Server<E> {
             ],
             cache: Mutex::new(HashMap::new()),
             popularity,
+            shards: ShardPool::new(cfg.shards),
+            delta: Mutex::new(DeltaState { items: Vec::new(), start: 0 }),
             slow_fault: cfg.slow_fault,
             stall_fault: cfg.stall_fault,
         });
@@ -347,12 +396,21 @@ impl<E: ServeEngine + 'static> Server<E> {
     where
         F: Fn() -> E + Send + Sync + 'static,
     {
+        // A plain swap replaces the base without touching the delta
+        // log: the new snapshot inherits the current fold cut.
+        let cut = self.snaps.delta_cut();
+        self.swap_with_cut(Arc::new(factory), cut)
+    }
+
+    fn swap_with_cut(&self, factory: Arc<dyn Fn() -> E + Send + Sync>, delta_cut: u64) -> SwapReport {
         let start = Instant::now();
-        let epoch = self.snaps.publish(Arc::new(factory));
+        let epoch = self.snaps.publish(factory, delta_cut);
         ctr::SERVE_SWAPS.add(1);
         // A new snapshot is new code as far as crash loops are
-        // concerned: abandoned slots get a fresh budget.
+        // concerned: abandoned slots and quarantined shards both get a
+        // fresh budget.
         self.ctl.revive();
+        self.shared.shards.revive();
         // Wake idle workers so they notice the epoch without waiting
         // for traffic.
         self.shared.queue.poke();
@@ -385,6 +443,74 @@ impl<E: ServeEngine + 'static> Server<E> {
     /// The currently published snapshot epoch.
     pub fn snapshot_epoch(&self) -> u64 {
         self.snaps.epoch()
+    }
+
+    /// Appends streamed items to the shared delta log. Workers apply
+    /// them to their replicas between requests, so the very next
+    /// request each worker serves already ranks over base + delta.
+    /// Returns the absolute delta position after the append (the
+    /// total number of items ever ingested). Call this *after* the
+    /// items are durable in the WAL — the log is the in-memory view,
+    /// `pmm_ingest::Wal` is the crash-safe one.
+    pub fn ingest(&self, items: Vec<Item>) -> u64 {
+        if items.is_empty() {
+            return lock_clean(&self.shared.delta).total();
+        }
+        let start = Instant::now();
+        let n = items.len();
+        let total = {
+            let mut delta = lock_clean(&self.shared.delta);
+            delta.items.extend(items);
+            delta.total()
+        };
+        ctr::INGEST_ITEMS.add(n as u64);
+        let mut tracer = Tracer::start();
+        tracer.observe(Stage::Ingest, start.elapsed(), "ok", &format!("items={n}"));
+        // Wake idle workers so they fold the delta into their replicas
+        // without waiting for traffic.
+        self.shared.queue.poke();
+        total
+    }
+
+    /// Items currently in the delta log (ingested but not yet folded
+    /// into a published base snapshot).
+    pub fn delta_len(&self) -> usize {
+        lock_clean(&self.shared.delta).items.len()
+    }
+
+    /// Folds the delta into a new base snapshot: `factory` must build
+    /// an engine whose base catalog already contains every delta item
+    /// ingested so far (typically a cold build over base ∪ delta).
+    /// Publishes it with the fold cut recorded, waits for every live
+    /// worker to adopt it — zero requests shed, same drain machinery
+    /// as [`Server::swap_snapshot`] — then retires the folded prefix
+    /// from the log. Items ingested *during* the fold stay in the log
+    /// and keep being applied as deltas on top of the new base.
+    pub fn fold_delta<F>(&self, factory: F) -> SwapReport
+    where
+        F: Fn() -> E + Send + Sync + 'static,
+    {
+        let cut = lock_clean(&self.shared.delta).total();
+        let report = self.swap_with_cut(Arc::new(factory), cut);
+        ctr::INGEST_FOLDS.add(1);
+        // Every live worker is on the new epoch now, with
+        // `applied >= cut` — the folded prefix can never be re-applied,
+        // so it is safe to drop.
+        let mut delta = lock_clean(&self.shared.delta);
+        let drop_n = ((cut - delta.start) as usize).min(delta.items.len());
+        delta.items.drain(..drop_n);
+        delta.start = cut;
+        report
+    }
+
+    /// Per-shard health of the scatter-gather pool, shard order.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.shared.shards.health()
+    }
+
+    /// Number of catalog shards the scatter-gather ranks over.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
     }
 
     /// Whether every worker slot has exhausted its restart budget and
@@ -471,6 +597,7 @@ fn deadline_miss(
     let _ = job.reply.send(Err(ServeError::DeadlineExceeded { stage }));
 }
 
+#[allow(clippy::too_many_arguments)]
 fn respond(
     shared: &Shared,
     ctx: &ReplyCtx<'_>,
@@ -478,6 +605,7 @@ fn respond(
     request_clock: StageClock,
     job: &Job,
     tier: Tier,
+    shards: PartialShards,
     items: Vec<Recommendation>,
 ) {
     if !ctx.claim() {
@@ -501,6 +629,7 @@ fn respond(
         user: job.request.user,
         tier,
         epoch: ctx.epoch,
+        shards,
         items,
     }));
 }
@@ -528,7 +657,7 @@ pub(crate) fn respond_floor(
     let cached = lock_clean(&shared.cache).get(&req.user).cloned();
     if let Some(mut items) = cached {
         items.truncate(req.k);
-        respond(shared, ctx, tracer, request_clock, job, Tier::CachedTopK, items);
+        respond(shared, ctx, tracer, request_clock, job, Tier::CachedTopK, UNSHARDED, items);
         return;
     }
     tracer.instant(Stage::Tier, "attempt", Tier::Popularity.label());
@@ -539,7 +668,7 @@ pub(crate) fn respond_floor(
         .into_iter()
         .map(|(item, count)| Recommendation { item, score: count as f32 })
         .collect();
-    respond(shared, ctx, tracer, request_clock, job, Tier::Popularity, items);
+    respond(shared, ctx, tracer, request_clock, job, Tier::Popularity, UNSHARDED, items);
 }
 
 /// Runs one request through the ladder. Every exit path sends exactly
@@ -675,13 +804,24 @@ pub(crate) fn attempt_request<E: ServeEngine>(
             return;
         }
 
-        // Stage 3: rank.
+        // Stage 3: rank. Engines that expose an exhaustive score row
+        // rank through the sharded scatter-gather (bit-identical to
+        // the exhaustive sort, partial under shard quarantine); the
+        // rest rank directly and are tagged unsharded.
         let clock = tracer.begin(Stage::Rank);
-        let items = engine.rank(tier, &encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen);
+        let (items, coverage) = match engine.scores(tier, &encoded.catalog, &user) {
+            Some(scores) => {
+                shared.shards.rank(&scores, &req.prefix, req.k, req.exclude_seen, &clock, tracer)
+            }
+            None => (
+                engine.rank(tier, &encoded.catalog, &user, &req.prefix, req.k, req.exclude_seen),
+                UNSHARDED,
+            ),
+        };
         tracer.finish(clock, "ok", tier.label());
         slot.stamp();
         lock_clean(breaker_of(shared, Component::Ranker)).record(true);
-        respond(shared, &ctx, tracer, request_clock, job, tier, items);
+        respond(shared, &ctx, tracer, request_clock, job, tier, coverage, items);
         return;
     }
 
@@ -697,14 +837,28 @@ mod tests {
     /// A model-free engine with the same fault-gate behaviour as the
     /// real one: catalogue scores descend with item id and carry a
     /// per-rung offset so tests can tell tiers apart by score.
+    /// `sharded` opts into the score-row path (scatter-gather);
+    /// `delta` counts items streamed in via `apply_delta`, growing the
+    /// catalogue so ingest tests can observe base + delta serving.
     struct StubEngine {
         n: usize,
         rungs: Vec<Tier>,
+        sharded: bool,
+        delta: usize,
     }
 
     impl StubEngine {
         fn full() -> StubEngine {
-            StubEngine { n: 10, rungs: vec![Tier::Full, Tier::TextOnly, Tier::VisionOnly] }
+            StubEngine {
+                n: 10,
+                rungs: vec![Tier::Full, Tier::TextOnly, Tier::VisionOnly],
+                sharded: false,
+                delta: 0,
+            }
+        }
+
+        fn sharded() -> StubEngine {
+            StubEngine { sharded: true, ..StubEngine::full() }
         }
     }
 
@@ -719,7 +873,7 @@ mod tests {
 
     impl ServeEngine for StubEngine {
         fn n_items(&self) -> usize {
-            self.n
+            self.n + self.delta
         }
 
         fn ladder(&self) -> Vec<Tier> {
@@ -748,8 +902,9 @@ mod tests {
                 }
             }
             let off = tier_offset(tier);
-            let data: Vec<f32> = (0..self.n).map(|i| off + (self.n - i) as f32).collect();
-            let catalog = Tensor::from_vec(data, &[self.n, 1]).unwrap();
+            let total = self.n_items();
+            let data: Vec<f32> = (0..total).map(|i| off + (total - i) as f32).collect();
+            let catalog = Tensor::from_vec(data, &[total, 1]).unwrap();
             Ok(Encoded { catalog, slept })
         }
 
@@ -784,6 +939,18 @@ mod tests {
             all.sort_by(|a, b| b.score.total_cmp(&a.score));
             all.truncate(k);
             all
+        }
+
+        fn scores(&self, _tier: Tier, catalog: &Tensor, user: &Tensor) -> Option<Vec<f32>> {
+            if !self.sharded {
+                return None;
+            }
+            let u = user.data()[0];
+            Some(catalog.data().iter().map(|&s| s * u).collect())
+        }
+
+        fn apply_delta(&mut self, items: &[Item]) {
+            self.delta += items.len();
         }
     }
 
@@ -1122,12 +1289,150 @@ mod tests {
         let before = server.call(Request::new(1, vec![0, 1], 3)).unwrap();
         assert_eq!((before.epoch, before.tier), (0, Tier::Full));
         // Swap to a single-rung snapshot: tier and epoch both flip.
-        let report = server.swap_snapshot(|| StubEngine { n: 10, rungs: vec![Tier::TextOnly] });
+        let report = server
+            .swap_snapshot(|| StubEngine { rungs: vec![Tier::TextOnly], ..StubEngine::full() });
         assert_eq!(report.epoch, 1);
         assert_eq!(report.workers, 1, "every live worker adopted the new snapshot");
         assert_eq!(server.snapshot_epoch(), 1);
         let after = server.call(Request::new(2, vec![0, 1], 3)).unwrap();
         assert_eq!((after.epoch, after.tier), (1, Tier::TextOnly));
         assert!(after.items[0].score >= 1000.0, "text-rung scores carry the offset");
+    }
+
+    fn stub_item(seed: usize) -> Item {
+        Item {
+            category: seed,
+            latent: vec![seed as f32, 1.0 - seed as f32],
+            tokens: vec![seed, seed + 1],
+            patches: vec![0.5; 4],
+            mismatched: false,
+        }
+    }
+
+    #[test]
+    fn sharded_serving_is_bit_identical_and_tags_full_coverage() {
+        let _fg = pmm_fault::test_guard();
+        let plain = Server::start(cfg(), StubEngine::full, pop());
+        let sharded = Server::start(
+            ServerConfig { shards: ShardConfig { shards: Some(4), ..Default::default() }, ..cfg() },
+            StubEngine::sharded,
+            pop(),
+        );
+        for (user, k) in [(1u64, 3usize), (2, 7), (3, 10), (4, 25)] {
+            let want = plain.call(Request::new(user, vec![0, 1], k)).unwrap();
+            let got = sharded.call(Request::new(user, vec![0, 1], k)).unwrap();
+            assert_eq!(want.shards, UNSHARDED, "rank-path answers are tagged unsharded");
+            assert_eq!(got.shards, PartialShards { served: 4, total: 4 });
+            assert!(!got.shards.is_partial());
+            assert_eq!(got.items, want.items, "scatter-gather == exhaustive rank, k={k}");
+        }
+    }
+
+    #[test]
+    fn quarantined_shard_yields_a_tagged_partial_response_then_heals() {
+        let _fg = pmm_fault::test_guard();
+        // The first admitted shard of the first request panics.
+        pmm_fault::install(pmm_fault::FaultPlan::parse("shard_panic@0").unwrap());
+        let server = Server::start(
+            ServerConfig { shards: ShardConfig { shards: Some(4), ..Default::default() }, ..cfg() },
+            StubEngine::sharded,
+            pop(),
+        );
+        let partial = server.call(Request::new(1, vec![0, 1], 8)).unwrap();
+        assert_eq!(partial.tier, Tier::Full, "a quarantined shard degrades, never errors");
+        assert_eq!(partial.shards, PartialShards { served: 3, total: 4 });
+        assert!(partial.shards.is_partial());
+        assert!((partial.shards.coverage() - 0.75).abs() < 1e-9);
+        assert_eq!(
+            server.shard_health(),
+            vec![
+                ShardHealth::Quarantined,
+                ShardHealth::Healthy,
+                ShardHealth::Healthy,
+                ShardHealth::Healthy
+            ]
+        );
+        // Shard 0 covers items 0-2 (10 items over 4 shards: 3|3|2|2),
+        // so the partial answer is the exhaustive top-k minus them.
+        let served: Vec<usize> = partial.items.iter().map(|r| r.item).collect();
+        assert_eq!(served, vec![3, 4, 5, 6, 7, 8, 9]);
+        // The next request probes the quarantined shard, rebuilds it,
+        // and full coverage returns.
+        let healed = server.call(Request::new(2, vec![0, 1], 8)).unwrap();
+        pmm_fault::clear();
+        assert_eq!(healed.shards, PartialShards { served: 4, total: 4 });
+        let ids: Vec<usize> = healed.items.iter().map(|r| r.item).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        assert!(server.shard_health().iter().all(|h| *h == ShardHealth::Healthy));
+    }
+
+    #[test]
+    fn ingested_items_serve_immediately_and_fold_retires_the_delta() {
+        let _fg = pmm_fault::test_guard();
+        let server = Server::start(cfg(), StubEngine::sharded, pop());
+        let base = server.call(Request::new(1, vec![0, 1], 1)).unwrap();
+        assert_eq!(base.items[0], Recommendation { item: 0, score: 10.0 });
+        // Stream three items in: the very next request ranks over
+        // base + delta (the stub grows its catalogue per delta item,
+        // so the best score rises to 13).
+        let total = server.ingest((0..3).map(stub_item).collect());
+        assert_eq!(total, 3);
+        assert_eq!(server.delta_len(), 3);
+        let grown = server.call(Request::new(2, vec![0, 1], 1)).unwrap();
+        assert_eq!(grown.epoch, 0, "delta serving needs no snapshot swap");
+        assert_eq!(grown.items[0], Recommendation { item: 0, score: 13.0 });
+        // Fold: publish a base that already contains the delta. The
+        // log drains, the epoch moves, and answers are unchanged.
+        let report = server.fold_delta(|| StubEngine { n: 13, ..StubEngine::sharded() });
+        assert_eq!(report.epoch, 1);
+        assert_eq!(server.delta_len(), 0, "the fold retired the delta log");
+        let folded = server.call(Request::new(3, vec![0, 1], 1)).unwrap();
+        assert_eq!(folded.epoch, 1);
+        assert_eq!(folded.items[0], Recommendation { item: 0, score: 13.0 });
+        // Items ingested after the fold stack on the new base.
+        server.ingest(vec![stub_item(9)]);
+        let again = server.call(Request::new(4, vec![0, 1], 1)).unwrap();
+        assert_eq!(again.items[0], Recommendation { item: 0, score: 14.0 });
+    }
+
+    #[test]
+    fn half_open_probe_denials_count_exactly_once_across_a_swap() {
+        let _fg = pmm_fault::test_guard();
+        // Single-rung ladder: each request burns exactly one
+        // text-breaker admission, so denial counts map 1:1 to
+        // requests and any reset or double-count across the swap
+        // shifts which request becomes the half-open probe.
+        let single = || StubEngine { rungs: vec![Tier::TextOnly], ..StubEngine::full() };
+        pmm_fault::install(pmm_fault::FaultPlan::parse("err@0").unwrap());
+        let server = Server::start(
+            ServerConfig {
+                breaker: BreakerConfig { window: 4, trip_failures: 1, cooldown_denials: 3 },
+                ..cfg()
+            },
+            single,
+            pop(),
+        );
+        // Request 1 errs and trips the breaker.
+        assert_eq!(server.call(Request::new(1, vec![0], 2)).unwrap().tier, Tier::Popularity);
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Open);
+        // Requests 2 and 3: denials 1 and 2 — floor answers.
+        assert_eq!(server.call(Request::new(2, vec![0], 2)).unwrap().tier, Tier::Popularity);
+        let report = server.swap_snapshot(single);
+        assert_eq!(report.epoch, 1);
+        assert_eq!(
+            server.breaker_state(Component::TextEncoder),
+            BreakerState::Open,
+            "a snapshot swap must not reset breaker state"
+        );
+        assert_eq!(server.call(Request::new(3, vec![0], 2)).unwrap().tier, Tier::Popularity);
+        // Request 4: denial 3 reaches the cooldown and becomes the
+        // half-open probe — it serves the text rung on the new epoch.
+        // A swap that reset the denial count would floor this request;
+        // one that double-counted would have probed request 3.
+        let probe = server.call(Request::new(4, vec![0], 2)).unwrap();
+        pmm_fault::clear();
+        assert_eq!((probe.tier, probe.epoch), (Tier::TextOnly, 1));
+        assert_eq!(server.breaker_state(Component::TextEncoder), BreakerState::Closed);
+        assert_eq!(server.call(Request::new(5, vec![0], 2)).unwrap().tier, Tier::TextOnly);
     }
 }

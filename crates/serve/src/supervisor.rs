@@ -31,7 +31,9 @@
 
 use crate::engine::ServeEngine;
 use crate::queue::Popped;
-use crate::server::{attempt_request, respond_floor, Job, ReplyCtx, Response, ServeError, Shared};
+use crate::server::{
+    attempt_request, lock_clean, respond_floor, Job, ReplyCtx, Response, ServeError, Shared,
+};
 use crate::swap::Snapshots;
 use pmm_obs::counter as ctr;
 use pmm_trace::{Stage, TraceId, Tracer};
@@ -446,7 +448,10 @@ fn worker_loop<E: ServeEngine>(
 ) {
     let slot = &ctl.slot(index);
     let mut seen_pokes = shared.queue.pokes();
-    let mut engine: Option<(E, u64)> = None;
+    // (replica, epoch, absolute delta position applied to it). A fresh
+    // build starts at the snapshot's fold cut — its base already
+    // contains everything below it.
+    let mut engine: Option<(E, u64, u64)> = None;
     loop {
         if slot.retired(gen) {
             // Wedge takeover: the slot belongs to a replacement now.
@@ -454,13 +459,13 @@ fn worker_loop<E: ServeEngine>(
         }
         let needs_build = match &engine {
             None => true,
-            Some((_, epoch)) => *epoch != snaps.epoch(),
+            Some((_, epoch, _)) => *epoch != snaps.epoch(),
         };
         if needs_build {
-            let (factory, epoch) = snaps.current();
+            let (factory, epoch, cut) = snaps.current();
             match catch_unwind(AssertUnwindSafe(|| factory())) {
                 Ok(e) => {
-                    engine = Some((e, epoch));
+                    engine = Some((e, epoch, cut));
                     slot.engine_epoch.store(epoch, Ordering::Release);
                     slot.stamp();
                 }
@@ -473,7 +478,19 @@ fn worker_loop<E: ServeEngine>(
             // Re-check the epoch: a publish may have raced the build.
             continue;
         }
-        let Some((eng, epoch)) = &engine else { continue };
+        let Some((eng, epoch, applied)) = &mut engine else { continue };
+        // Catch up on streamed deltas before serving: clone the unseen
+        // suffix of the shared log under its lock, apply it outside.
+        let pending = {
+            let delta = lock_clean(&shared.delta);
+            let pending = delta.pending(*applied);
+            *applied = delta.total();
+            pending
+        };
+        if !pending.is_empty() {
+            eng.apply_delta(&pending);
+            slot.stamp();
+        }
         match shared.queue.pop_or_poke(&mut seen_pokes) {
             Popped::Closed => return,
             Popped::Poke => continue,

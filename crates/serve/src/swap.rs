@@ -24,19 +24,25 @@ pub(crate) type Factory<E> = Arc<dyn Fn() -> E + Send + Sync>;
 /// The versioned factory store shared by the server handle and every
 /// worker.
 pub(crate) struct Snapshots<E> {
-    factory: Mutex<Factory<E>>,
+    /// The factory plus the absolute delta-log index this snapshot's
+    /// base already contains (items below the cut were folded into
+    /// the base; a rebuilding worker applies only items at or past
+    /// it). Stored together so a worker can never pair epoch N's
+    /// factory with epoch N+1's cut.
+    factory: Mutex<(Factory<E>, u64)>,
     epoch: AtomicU64,
 }
 
 impl<E> Snapshots<E> {
-    /// Epoch 0 with the boot factory.
+    /// Epoch 0 with the boot factory (nothing folded yet).
     pub(crate) fn new(factory: Factory<E>) -> Snapshots<E> {
-        Snapshots { factory: Mutex::new(factory), epoch: AtomicU64::new(0) }
+        Snapshots { factory: Mutex::new((factory, 0)), epoch: AtomicU64::new(0) }
     }
 
-    fn lock_factory(&self) -> MutexGuard<'_, Factory<E>> {
-        // The stored value is an Arc pointer — valid at every
-        // instruction boundary — so a poisoned guard is safe to adopt.
+    fn lock_factory(&self) -> MutexGuard<'_, (Factory<E>, u64)> {
+        // The stored value is an Arc pointer plus a u64 — valid at
+        // every instruction boundary — so a poisoned guard is safe to
+        // adopt.
         self.factory.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -45,20 +51,26 @@ impl<E> Snapshots<E> {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// A consistent `(factory, epoch)` pair: the epoch is read under
-    /// the factory lock, so a worker never builds epoch N's engine
-    /// from epoch N+1's factory or vice versa.
-    pub(crate) fn current(&self) -> (Factory<E>, u64) {
+    /// A consistent `(factory, epoch, delta cut)` triple: all read
+    /// under the factory lock, so a worker never builds epoch N's
+    /// engine from epoch N+1's factory or cut, or vice versa.
+    pub(crate) fn current(&self) -> (Factory<E>, u64, u64) {
         let guard = self.lock_factory();
         let epoch = self.epoch.load(Ordering::Acquire);
-        (Arc::clone(&guard), epoch)
+        (Arc::clone(&guard.0), epoch, guard.1)
     }
 
-    /// Publish a new factory, bumping the epoch. Returns the new epoch.
-    pub(crate) fn publish(&self, factory: Factory<E>) -> u64 {
+    /// Publish a new factory whose base contains delta items below
+    /// `delta_cut`, bumping the epoch. Returns the new epoch.
+    pub(crate) fn publish(&self, factory: Factory<E>, delta_cut: u64) -> u64 {
         let mut guard = self.lock_factory();
-        *guard = factory;
+        *guard = (factory, delta_cut);
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The delta cut of the currently published snapshot.
+    pub(crate) fn delta_cut(&self) -> u64 {
+        self.lock_factory().1
     }
 }
 
@@ -87,11 +99,12 @@ mod tests {
     fn publish_bumps_epoch_and_swaps_factory() {
         let snaps: Snapshots<u32> = Snapshots::new(Arc::new(|| 1));
         assert_eq!(snaps.epoch(), 0);
-        let (f, e) = snaps.current();
-        assert_eq!((f(), e), (1, 0));
-        let new_epoch = snaps.publish(Arc::new(|| 2));
+        let (f, e, cut) = snaps.current();
+        assert_eq!((f(), e, cut), (1, 0, 0));
+        let new_epoch = snaps.publish(Arc::new(|| 2), 5);
         assert_eq!(new_epoch, 1);
-        let (f, e) = snaps.current();
-        assert_eq!((f(), e), (2, 1));
+        let (f, e, cut) = snaps.current();
+        assert_eq!((f(), e, cut), (2, 1, 5));
+        assert_eq!(snaps.delta_cut(), 5);
     }
 }

@@ -192,11 +192,24 @@ pub static H_TOTAL: Histogram = Histogram::new("request_total_ns");
 /// Snapshot hot-swap drain: epoch flip until every live worker
 /// adopted the new snapshot.
 pub static H_SWAP_DRAIN: Histogram = Histogram::new("swap_drain_ns");
+/// Durable item ingestion: WAL append (frame, CRC, fsync) per item.
+pub static H_INGEST: Histogram = Histogram::new("stage_ingest_ns");
+/// One shard's slice of the scatter-gather rank (score + local top-k).
+pub static H_SHARD_RANK: Histogram = Histogram::new("stage_shard_rank_ns");
 
 fn registry() -> &'static Mutex<Vec<&'static Histogram>> {
     static REGISTRY: OnceLock<Mutex<Vec<&'static Histogram>>> = OnceLock::new();
     REGISTRY.get_or_init(|| {
-        Mutex::new(vec![&H_QUEUE_WAIT, &H_ENCODE, &H_USER_ENCODE, &H_RANK, &H_TOTAL, &H_SWAP_DRAIN])
+        Mutex::new(vec![
+            &H_QUEUE_WAIT,
+            &H_ENCODE,
+            &H_USER_ENCODE,
+            &H_RANK,
+            &H_TOTAL,
+            &H_SWAP_DRAIN,
+            &H_INGEST,
+            &H_SHARD_RANK,
+        ])
     })
 }
 
@@ -323,6 +336,8 @@ mod tests {
             "stage_rank_ns",
             "request_total_ns",
             "swap_drain_ns",
+            "stage_ingest_ns",
+            "stage_shard_rank_ns",
         ] {
             assert_eq!(names.iter().filter(|n| **n == want).count(), 1, "{want}");
         }

@@ -56,7 +56,7 @@ pub mod workers {
 /// Counter names that are high-water marks, not monotonic totals:
 /// exposed as Prometheus gauges and carried through deltas unchanged
 /// (the window peak is the end-of-window peak).
-const GAUGES: &[&str] = &["tape_peak", "serve_queue_peak"];
+const GAUGES: &[&str] = &["tape_peak", "serve_queue_peak", "wal_tail_peak_bytes"];
 
 /// A frozen view of every counter and registered histogram.
 #[derive(Debug, Clone, PartialEq)]

@@ -59,4 +59,17 @@ echo "==> serve load chaos (worker panics + mid-run snapshot swap; supervision m
 cargo run --release -q -p pmm-bench --bin serve_load -- --scale tiny \
   --slo-gate --fault-plan "panic@3,panic@9" --swap-at 12
 
+echo "==> serve load gate (clean p99/throughput vs recorded BENCH_serve.json; >10% regression fails)"
+cargo run --release -q -p pmm-bench --bin serve_load -- --scale tiny --slo-gate --gate
+
+echo "==> ingest chaos (WAL kill-and-replay, delta serving bit-identical to cold build, shard quarantine + heal)"
+cargo run --release -q -p pmm-bench --bin ingest_chaos -- --scale tiny
+
+echo "==> ingest chaos must-fail (skipping replay loses acknowledged items; the gate must catch it)"
+if cargo run --release -q -p pmm-bench --bin ingest_chaos -- --scale tiny \
+  --fault-plan "wal_corrupt@0" --no-replay; then
+  echo "ERROR: durability gate passed with replay disabled and a torn WAL"
+  exit 1
+fi
+
 echo "==> verify OK"
