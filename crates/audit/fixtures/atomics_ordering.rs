@@ -1,0 +1,49 @@
+//~ lint-as: crates/serve/src/fixture_atomics.rs
+//~ expect: atomics-ordering
+//~ expect: atomics-ordering
+//~ expect: atomics-ordering
+
+// Seeded: Relaxed orderings on publication-gating atomics. An
+// epoch/generation/ready flag is the signal that some other data is
+// now safe to read; Relaxed orders only the flag itself, so a reader
+// can observe the new flag value while still seeing the old data it
+// was supposed to gate. Handoffs need store(Release) paired with
+// load(Acquire). Pure counters carry no such pairing and may stay
+// Relaxed.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static SWAP_EPOCH: AtomicU64 = AtomicU64::new(0);
+static TENANT_GENERATION: AtomicU64 = AtomicU64::new(0);
+static READY: AtomicBool = AtomicBool::new(false);
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn seeded_relaxed_gate_load() -> u64 {
+    SWAP_EPOCH.load(Ordering::Relaxed)
+}
+
+fn seeded_relaxed_publish() {
+    TENANT_GENERATION.fetch_add(1, Ordering::Relaxed);
+}
+
+fn seeded_relaxed_flag() {
+    READY.store(true, Ordering::Relaxed);
+}
+
+// Clean: the same gates accessed with the paired orderings.
+
+fn clean_acquire_release() -> u64 {
+    SWAP_EPOCH.store(1, Ordering::Release);
+    SWAP_EPOCH.load(Ordering::Acquire)
+}
+
+// Clean: a counter gates nothing — Relaxed is the right cost.
+
+fn clean_counter() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+fn reasoned_escape() -> u64 {
+    // pmm-audit: allow(atomics-ordering) — fixture-only escape-hatch demo; this read feeds advisory telemetry and pairs with nothing
+    SWAP_EPOCH.load(Ordering::Relaxed)
+}

@@ -1,0 +1,74 @@
+//~ lint-as: crates/serve/src/fixture_lock_order.rs
+//~ expect: lock-order-cycle
+//~ expect: lock-order-cycle
+//~ expect: lock-order-cycle
+//~ expect: lock-order-cycle
+
+// Seeded: inconsistent lock-acquisition orders. One path takes A then
+// B, another takes B then A — two threads on opposite paths can each
+// hold the other's next lock and neither ever proceeds. Both edges of
+// each cycle are reported at their acquisition sites, including the
+// cycle that closes through one level of calls.
+
+use std::sync::Mutex;
+
+static ORDER_A: Mutex<u64> = Mutex::new(0);
+static ORDER_B: Mutex<u64> = Mutex::new(0);
+static ORDER_C: Mutex<u64> = Mutex::new(0);
+static ORDER_D: Mutex<u64> = Mutex::new(0);
+static ORDER_E: Mutex<u64> = Mutex::new(0);
+static ORDER_X: Mutex<u64> = Mutex::new(0);
+static ORDER_Y: Mutex<u64> = Mutex::new(0);
+
+fn seeded_ab() {
+    let ga = ORDER_A.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gb = ORDER_B.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = *ga + *gb;
+}
+
+fn seeded_ba() {
+    let gb = ORDER_B.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let ga = ORDER_A.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = *ga + *gb;
+}
+
+// The D side of the C/D cycle hides behind a call: seeded_via_call
+// holds C while calling take_d, whose body takes D.
+
+fn take_d() -> u64 {
+    let gd = ORDER_D.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *gd
+}
+
+fn seeded_via_call() -> u64 {
+    let gc = ORDER_C.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *gc + take_d()
+}
+
+fn seeded_dc() {
+    let gd = ORDER_D.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gc = ORDER_C.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = *gc + *gd;
+}
+
+// Clean: both paths agree on X-before-Y, so the order graph stays a
+// DAG no matter how many threads run them.
+
+fn consistent_first() {
+    let gx = ORDER_X.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gy = ORDER_Y.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = *gx + *gy;
+}
+
+fn consistent_second() -> u64 {
+    let gx = ORDER_X.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gy = ORDER_Y.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *gx * *gy
+}
+
+fn reasoned_escape() {
+    let g1 = ORDER_E.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // pmm-audit: allow(lock-order-cycle) — fixture-only escape-hatch demo; a real re-entry would self-deadlock
+    let g2 = ORDER_E.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = *g1 + *g2;
+}

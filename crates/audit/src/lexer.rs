@@ -182,12 +182,8 @@ impl Lexer {
             hashes += 1;
         }
         if self.peek(ahead + hashes) != Some('"') {
-            // `b"..."` (no r, no hashes) is a plain-escaped byte string.
-            if ahead == 1 && hashes == 0 && self.peek(1) == Some('"') && self.peek(0) == Some('b') {
-                self.bump(); // b
-                self.string(line);
-                return true;
-            }
+            // Raw identifier (`r#match`) or a plain ident starting
+            // with r/b — fall through to ordinary ident lexing.
             return false;
         }
         let raw = self.peek(ahead - 1) == Some('r');
@@ -368,5 +364,111 @@ mod tests {
         let toks = lex(src);
         assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
         assert!(toks.iter().any(|t| t.is_ident("f")));
+    }
+
+    // --- regression suite: raw strings and nested comments must not
+    // leak their contents into the token stream (a leaked `unwrap()`
+    // inside a raw string would false-positive hot-unwrap).
+
+    #[test]
+    fn raw_string_contents_never_tokenize() {
+        for src in [
+            "let s = r\"plain raw .unwrap() inside\"; g()",
+            "let s = r#\".unwrap() with one hash\"#; g()",
+            "let s = r##\"a \"# fake closer then .unwrap()\"##; g()",
+            "let s = br#\"byte-raw .unwrap()\"#; g()",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.iter().any(|t| t.is_ident("unwrap")), "leaked from {src:?}");
+            assert!(toks.iter().any(|t| t.is_ident("g")), "lost code after {src:?}");
+            assert_eq!(
+                toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+                1,
+                "want one literal in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_multi_hash_does_not_end_early() {
+        // `"#` inside an `r##"..."##` is content, not a terminator; a
+        // lexer that stops there would tokenize `oops()` as code.
+        let src = "let s = r##\"text \"# oops() more\"##; fine()";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("oops")));
+        assert!(toks.iter().any(|t| t.is_ident("fine")));
+    }
+
+    #[test]
+    fn empty_raw_strings() {
+        let src = "let a = r\"\"; let b = r#\"\"#; done()";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Literal).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers() {
+        // `/*` inside a raw string must not open a comment (and vice
+        // versa: `r#"` inside a comment must not open a string).
+        let src = "let s = r#\"/* not a comment */\"#; after()";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("after")));
+        assert!(!toks.iter().any(|t| t.kind == TokenKind::Comment));
+        let src2 = "/* r#\" not a string */ real()";
+        let toks2 = lex(src2);
+        assert!(toks2.iter().any(|t| t.is_ident("real")));
+    }
+
+    #[test]
+    fn raw_identifiers_fall_through_to_idents() {
+        // `r#match` is a raw identifier, not a raw string: the `r`
+        // must lex as an ident and the code after it must survive.
+        let src = "fn r#match() { body() }";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("body")));
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+        // Idents merely starting with r/b stay whole.
+        let src2 = "let rt = brr; rt.unwrap()";
+        assert_eq!(idents(src2), vec!["let", "rt", "brr", "rt", "unwrap"]);
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_derail() {
+        let src = "let nl = b'\\n'; let tick = b'\\''; done()";
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let src = "/* a /* b /* c .unwrap() */ b */ a */ real()";
+        let toks = lex(src);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("real")));
+        // Adjacent closers don't over-close: `/**/` is one comment.
+        let src2 = "/**/ /*/ still open */ after()";
+        let toks2 = lex(src2);
+        assert!(toks2.iter().any(|t| t.is_ident("after")));
+        assert!(!toks2.iter().any(|t| t.is_ident("still")));
+    }
+
+    #[test]
+    fn line_numbers_survive_raw_strings_and_nesting() {
+        let src = "a\nr#\"two\nlines\"#\nb /* x\n/* y */\n*/ c";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 6);
+    }
+
+    #[test]
+    fn raw_string_with_unwrap_does_not_false_positive_end_to_end() {
+        // The full pipeline: a serve-path file whose only `unwrap()`
+        // lives inside a raw string must lint clean.
+        let src = "fn fmt_help() -> String {\n    let t = r#\"call .unwrap() or x[0] to crash\"#;\n    t.into()\n}\n";
+        let v = crate::rules::check_source("crates/serve/src/fixture_probe.rs", src);
+        assert!(v.is_empty(), "false positives: {v:?}");
     }
 }

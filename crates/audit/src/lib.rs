@@ -10,20 +10,34 @@
 //!    scoped threads confined to pmm-par. Violations are suppressed
 //!    in place with `// pmm-audit: allow(<rule>) — <reason>`; the
 //!    reason is mandatory.
-//! 2. **Graph auditor** ([`graph`]): structural verification of the
+//! 2. **Concurrency analyzer** ([`conc`]): an item-level parse of
+//!    `crates/serve` + `crates/ingest` into a symbol table (locks,
+//!    atomics, fns) and call graph, from which it derives the
+//!    lock-acquisition-order graph and reports order cycles, guards
+//!    held across blocking calls, and Relaxed orderings on
+//!    publication-gating atomics.
+//! 3. **Graph auditor** ([`graph`]): structural verification of the
 //!    live autograd tape before `backward()` — acyclicity, shape
 //!    consistency per op, backward-closure bookkeeping, and
 //!    reachability of every trainable parameter from the loss.
+//! 4. **Interleaving harness** ([`sched`]): a loom-lite seeded
+//!    scheduler that runs test threads one-at-a-time, moving control
+//!    only at explicit yield points, so racy protocols are explored
+//!    deterministically and violations replay from a printed seed.
 //!
 //! The `pmm-audit` binary wires the linter into `scripts/verify.sh`;
 //! the trainer calls [`graph::audit_graph`] from its pre-backward
 //! debug hook (always in debug/test builds, opt-in via
 //! `--audit-graph` / `PMM_AUDIT_GRAPH=1` in release).
 
+pub mod conc;
 pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod sched;
 pub mod source;
 
+pub use conc::{check_concurrency, ConcReport};
 pub use graph::{audit_graph, audit_snapshot, GraphReport, GraphSnapshot, GraphViolation};
 pub use rules::{check_source, Violation, RULES};
+pub use sched::{explore, yield_here, Case, Exploration, Scheduler};

@@ -1,27 +1,91 @@
 //! The `pmm-audit` binary: lints the workspace sources (default),
-//! runs the rule-engine fixtures (`--fixtures`), or lists the rules
-//! (`--list-rules`). Exits nonzero on any violation or fixture
-//! mismatch so `scripts/verify.sh` can gate on it.
+//! runs the rule-engine fixtures (`--fixtures`), lints one file
+//! (`--check <path>`, honouring its `//~ lint-as:` header), prints a
+//! concurrency-graph summary (`--race`), or lists the rules
+//! (`--list-rules`). `--json` switches findings to one JSON object
+//! per line on stdout so CI can diff them. Exits nonzero on any
+//! violation or fixture mismatch so `scripts/verify.sh` can gate on
+//! it.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pmm_audit::source::{find_workspace_root, lint_workspace, run_fixtures};
-use pmm_audit::RULES;
+use pmm_audit::conc::{check_concurrency, conc_applicable};
+use pmm_audit::source::{
+    find_workspace_root, lint_file, lint_workspace, run_fixtures, workspace_sources,
+};
+use pmm_audit::{Violation, RULES};
+
+/// Minimal JSON string escaping (the findings only carry paths, rule
+/// ids and prose — no exotic control characters in practice, but the
+/// escaper stays total anyway).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emits findings: JSONL (`--json`) or the human one-per-line form.
+/// The human summary always goes to stderr in JSON mode so stdout
+/// stays machine-parseable.
+fn emit(violations: &[Violation], json: bool) {
+    if json {
+        for v in violations {
+            println!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"reason\":{}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.msg)
+            );
+        }
+    } else {
+        for v in violations {
+            println!("{v}");
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut mode_fixtures = false;
+    let mut mode_race = false;
+    let mut json = false;
+    let mut check_path: Option<PathBuf> = None;
     let mut root_override: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--fixtures" => mode_fixtures = true,
+            "--race" => mode_race = true,
+            "--json" => json = true,
             "--list-rules" => {
                 for (id, desc) in RULES {
                     println!("{id:16} {desc}");
                 }
                 return ExitCode::SUCCESS;
+            }
+            "--check" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => check_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("pmm-audit: --check needs a file path");
+                        return ExitCode::from(2);
+                    }
+                }
             }
             "--root" => {
                 i += 1;
@@ -35,12 +99,32 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!(
-                    "pmm-audit: unknown flag `{other}` (expected --fixtures, --list-rules, --root <path>)"
+                    "pmm-audit: unknown flag `{other}` (expected --fixtures, --race, --json, --check <file>, --list-rules, --root <path>)"
                 );
                 return ExitCode::from(2);
             }
         }
         i += 1;
+    }
+
+    // --check lints one file and needs no workspace root.
+    if let Some(path) = check_path {
+        return match lint_file(&path) {
+            Ok(violations) => {
+                emit(&violations, json);
+                if violations.is_empty() {
+                    eprintln!("pmm-audit: {} clean", path.display());
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!("pmm-audit: {} violation(s) in {}", violations.len(), path.display());
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("pmm-audit: cannot check {}: {e}", path.display());
+                ExitCode::from(2)
+            }
+        };
     }
 
     let root = match root_override.or_else(|| {
@@ -81,17 +165,65 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         }
+    } else if mode_race {
+        // Concurrency pass only, with the graph summary verify.sh and
+        // humans read to see what the analyzer actually modelled.
+        let mut files = Vec::new();
+        let sources = match workspace_sources(&root) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pmm-audit: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        for path in sources {
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            if !conc_applicable(&rel) {
+                continue;
+            }
+            match std::fs::read_to_string(&path) {
+                Ok(src) => files.push((rel, src)),
+                Err(e) => {
+                    eprintln!("pmm-audit: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let report = check_concurrency(&files);
+        emit(&report.violations, json);
+        eprintln!(
+            "pmm-audit --race: {} file(s), {} lock(s), {} atomic(s), {} fn(s), {} lock-order edge(s), {} violation(s)",
+            files.len(),
+            report.locks,
+            report.atomics,
+            report.fns,
+            report.edges,
+            report.violations.len()
+        );
+        if report.violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
     } else {
         match lint_workspace(&root) {
             Ok(violations) => {
-                for v in &violations {
-                    println!("{v}");
-                }
+                emit(&violations, json);
                 if violations.is_empty() {
-                    println!("pmm-audit: workspace clean ({} rules)", RULES.len());
+                    if !json {
+                        println!("pmm-audit: workspace clean ({} rules)", RULES.len());
+                    }
                     ExitCode::SUCCESS
                 } else {
-                    println!("pmm-audit: {} violation(s)", violations.len());
+                    if !json {
+                        println!("pmm-audit: {} violation(s)", violations.len());
+                    }
                     ExitCode::FAILURE
                 }
             }

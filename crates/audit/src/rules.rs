@@ -76,6 +76,18 @@ pub const RULES: &[(&str, &str)] = &[
         "fns in crates/ingest that write WAL bytes (write_all) must fsync (sync_all/sync_data) before acknowledging and checksum their payload (crc32)",
     ),
     (
+        "lock-order-cycle",
+        "lock acquisition order across crates/serve + crates/ingest must form a DAG — taking B while holding A on one path and A while holding B on another can deadlock (checked through one level of calls)",
+    ),
+    (
+        "guard-across-blocking",
+        "a Mutex/RwLock guard must not stay live across a blocking call (fsync/sync_all/sync_data, channel recv, thread join, WAL append) — every other acquirer stalls for the blocking call's duration",
+    ),
+    (
+        "atomics-ordering",
+        "publication-gating atomics (epoch/generation/ready flags) must use Acquire/Release orderings — Relaxed does not order the data they gate; pure counters may stay Relaxed",
+    ),
+    (
         "bad-allow",
         "pmm-audit allow annotations must name a known rule and give a reason",
     ),
@@ -160,22 +172,22 @@ fn applicability(path: &str) -> Option<Applicability> {
 }
 
 /// A parsed `pmm-audit: allow(..)` annotation.
-struct Allow {
-    line: u32,
-    rule: &'static str,
+pub(crate) struct Allow {
+    pub(crate) line: u32,
+    pub(crate) rule: &'static str,
 }
 
-/// Lints one source file. `path` must be workspace-relative with `/`
-/// separators — rule applicability is decided from it.
-pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
-    let Some(apply) = applicability(path) else {
-        return Vec::new();
-    };
-    let tokens = lex(src);
-    let mut out = Vec::new();
+/// Whether `allows` suppresses a `rule` violation on `line` (the
+/// annotation sits on the offending line or the line directly above).
+pub(crate) fn allow_suppresses(allows: &[Allow], rule: &str, line: u32) -> bool {
+    allows.iter().any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+}
 
-    // Pass 1: collect allow annotations (and bad ones) from comments.
+/// Collects every well-formed allow annotation from the comment
+/// tokens, plus a `bad-allow` violation for each malformed one.
+pub(crate) fn collect_allows(path: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Violation>) {
     let mut allows: Vec<Allow> = Vec::new();
+    let mut out: Vec<Violation> = Vec::new();
     for t in tokens.iter().filter(|t| t.kind == TokenKind::Comment) {
         // Doc comments are prose — only plain comments carry
         // annotations, so docs may quote the syntax freely.
@@ -224,6 +236,22 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
             }),
         }
     }
+    (allows, out)
+}
+
+/// Lints one source file. `path` must be workspace-relative with `/`
+/// separators — rule applicability is decided from it. The
+/// concurrency rules (lock order, guard-across-blocking, atomics
+/// ordering) live in [`crate::conc`] because they need a cross-file
+/// view; this pass covers everything token-local.
+pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
+    let Some(apply) = applicability(path) else {
+        return Vec::new();
+    };
+    let tokens = lex(src);
+
+    // Pass 1: collect allow annotations (and bad ones) from comments.
+    let (allows, mut out) = collect_allows(path, &tokens);
 
     // Pass 2: code tokens with `#[cfg(test)]` items removed.
     let code = strip_test_items(
@@ -385,10 +413,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Violation> {
     // Line-attached suppression: an allow on the violation's line or
     // the line directly above it.
     for v in raw {
-        let suppressed = allows
-            .iter()
-            .any(|a| a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line));
-        if !suppressed {
+        if !allow_suppresses(&allows, v.rule, v.line) {
             out.push(v);
         }
     }
@@ -402,14 +427,14 @@ const KEYWORDS: &[&str] = &[
     "return", "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
 ];
 
-fn is_keyword(t: &Token) -> bool {
+pub(crate) fn is_keyword(t: &Token) -> bool {
     t.kind == TokenKind::Ident && KEYWORDS.contains(&t.text.as_str())
 }
 
 /// Removes every `#[cfg(test)]` item (mod, fn, use, …) from the token
 /// stream: attribute through the end of the item (`;` or the matching
 /// close of its first brace block).
-fn strip_test_items(code: Vec<Token>) -> Vec<Token> {
+pub(crate) fn strip_test_items(code: Vec<Token>) -> Vec<Token> {
     let mut out = Vec::with_capacity(code.len());
     let mut i = 0;
     while i < code.len() {
@@ -460,7 +485,7 @@ fn strip_test_items(code: Vec<Token>) -> Vec<Token> {
 }
 
 /// Token-pattern match helper: idents by name, punctuation by char.
-fn matches(code: &[Token], at: usize, pat: &[&str]) -> bool {
+pub(crate) fn matches(code: &[Token], at: usize, pat: &[&str]) -> bool {
     pat.iter().enumerate().all(|(j, p)| {
         code.get(at + j).is_some_and(|t| {
             let mut chars = p.chars();
@@ -671,24 +696,24 @@ fn scan_serve_spawn(path: &str, code: &[Token], out: &mut Vec<Violation>) {
 }
 
 /// A function found in the token stream, with its body extent.
-struct Fn_ {
-    name: String,
+pub(crate) struct Fn_ {
+    pub(crate) name: String,
     /// Line of the `fn` keyword.
-    line: u32,
-    end_line: u32,
-    is_pub: bool,
-    returns_result: bool,
+    pub(crate) line: u32,
+    pub(crate) end_line: u32,
+    pub(crate) is_pub: bool,
+    pub(crate) returns_result: bool,
     /// Token range of the body (inside the braces).
-    body: (usize, usize),
+    pub(crate) body: (usize, usize),
 }
 
 impl Fn_ {
-    fn contains_ident(&self, code: &[Token], name: &str) -> bool {
+    pub(crate) fn contains_ident(&self, code: &[Token], name: &str) -> bool {
         code[self.body.0..self.body.1].iter().any(|t| t.is_ident(name))
     }
 
     /// Whether the body calls `name(..)`.
-    fn calls(&self, code: &[Token], name: &str) -> bool {
+    pub(crate) fn calls(&self, code: &[Token], name: &str) -> bool {
         let b = &code[self.body.0..self.body.1];
         b.iter().enumerate().any(|(i, t)| {
             t.is_ident(name) && b.get(i + 1).is_some_and(|n| n.is_punct('('))
@@ -698,7 +723,7 @@ impl Fn_ {
 
 /// Finds every `fn` with a brace body (signature-only trait items are
 /// skipped), including nested ones — each gets its own entry.
-fn functions(code: &[Token]) -> Vec<Fn_> {
+pub(crate) fn functions(code: &[Token]) -> Vec<Fn_> {
     let mut out = Vec::new();
     for i in 0..code.len() {
         if !code[i].is_ident("fn") {

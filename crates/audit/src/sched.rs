@@ -1,0 +1,375 @@
+//! Loom-lite deterministic interleaving harness.
+//!
+//! The static pass in [`crate::conc`] proves ordering properties about
+//! lock *acquisition*; it cannot see logic races (TOCTOU between a
+//! generation check and a claim, an epoch read paired with a stale
+//! factory). This module explores those dynamically: test threads are
+//! run one-at-a-time under a seeded scheduler, and control only moves
+//! between them at explicit [`yield_here`] points, so a run's entire
+//! interleaving is captured by the sequence of scheduling choices —
+//! the **trace**. Same seed, same yields ⇒ same trace ⇒ same outcome:
+//! a violation printed with its seed is replayed by running that one
+//! seed again.
+//!
+//! # Mechanics
+//!
+//! One grant token passes between threads through a `Mutex<State>` +
+//! `Condvar`. A thread runs while it holds the grant and releases it
+//! at its next yield point (or when its closure returns); the
+//! scheduler then picks the next runnable thread with a splitmix64
+//! stream seeded per run. [`yield_here`] is a no-op on threads the
+//! harness did not spawn, so production code can call it
+//! unconditionally once armed (see `pmm-serve`'s `race` module).
+//!
+//! # Ground rules for instrumented code
+//!
+//! Yield points MUST sit outside critical sections. A thread parked at
+//! a yield while holding a real `std::sync::Mutex` would stall every
+//! other thread that needs that mutex while they *do* hold the grant —
+//! the one interleaving the harness cannot explore its way out of.
+//! All serve-side hooks are therefore placed at method entry, before
+//! any guard exists.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+use pmm_obs::counter::{RACE_SCHEDULES, RACE_VIOLATIONS};
+
+/// A thread body for one interleaving run.
+pub type ThreadFn = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Done,
+}
+
+struct State {
+    status: Vec<Status>,
+    /// Index of the thread currently holding the grant.
+    granted: Option<usize>,
+    /// Scheduling decisions so far — the run's interleaving signature.
+    trace: Vec<usize>,
+    rng: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// `(scheduler, my index)` on harness-spawned threads; `None`
+    /// everywhere else, which is what makes `yield_here` free in
+    /// production.
+    static CTX: RefCell<Option<(Arc<Inner>, usize)>> = const { RefCell::new(None) };
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn lock_state(inner: &Inner) -> std::sync::MutexGuard<'_, State> {
+    // A panicking test thread may poison the scheduler state; recover
+    // so the remaining threads still drain and `run` returns.
+    inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Releases the grant and parks until the scheduler hands it back.
+/// No-op when the calling thread is not harness-spawned. `_site` is a
+/// human label for the yield point (kept for debuggability; traces are
+/// indexed by scheduling decisions, not labels).
+pub fn yield_here(_site: &str) {
+    let ctx = CTX.with(|c| c.borrow().clone());
+    let Some((inner, idx)) = ctx else {
+        return;
+    };
+    let mut st = lock_state(&inner);
+    debug_assert_eq!(st.granted, Some(idx), "yield without holding the grant");
+    st.granted = None;
+    inner.cv.notify_all();
+    while st.granted != Some(idx) {
+        st = inner.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// One deterministic run: all interleaving decisions derive from
+/// `seed` via splitmix64.
+pub struct Scheduler {
+    seed: u64,
+}
+
+impl Scheduler {
+    pub fn new(seed: u64) -> Self {
+        Scheduler { seed }
+    }
+
+    /// Runs `threads` to completion one-at-a-time and returns the
+    /// trace (the chosen thread index at every scheduling decision).
+    /// A panicking thread is marked done and the rest keep running;
+    /// the caller's invariant check decides what the panic means.
+    pub fn run(&self, threads: Vec<ThreadFn>) -> Vec<usize> {
+        let n = threads.len();
+        assert!(n > 0, "scheduler needs at least one thread");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                status: vec![Status::Ready; n],
+                granted: None,
+                trace: Vec::new(),
+                rng: self.seed ^ 0xA076_1D64_78BD_642F,
+            }),
+            cv: Condvar::new(),
+        });
+
+        let handles: Vec<_> = threads
+            .into_iter()
+            .enumerate()
+            .map(|(idx, body)| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner), idx)));
+                    // Wait for the first grant before touching anything.
+                    {
+                        let mut st = lock_state(&inner);
+                        while st.granted != Some(idx) {
+                            st = inner.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    let _ = catch_unwind(AssertUnwindSafe(body));
+                    let mut st = lock_state(&inner);
+                    st.status[idx] = Status::Done;
+                    st.granted = None;
+                    inner.cv.notify_all();
+                })
+            })
+            .collect();
+
+        // Scheduling loop: whenever no thread holds the grant, pick a
+        // ready one; finish when all are done.
+        {
+            let mut st = lock_state(&inner);
+            loop {
+                while st.granted.is_some() {
+                    st = inner.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                let ready: Vec<usize> = (0..n).filter(|&i| st.status[i] == Status::Ready).collect();
+                if ready.is_empty() {
+                    break;
+                }
+                let pick = ready[(splitmix64(&mut st.rng) % ready.len() as u64) as usize];
+                st.trace.push(pick);
+                st.granted = Some(pick);
+                inner.cv.notify_all();
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        let st = lock_state(&inner);
+        st.trace.clone()
+    }
+}
+
+/// One run's worth of material for [`explore`]: the competing thread
+/// bodies plus a post-run invariant check (runs after all threads have
+/// joined, outside the scheduler).
+pub struct Case {
+    pub threads: Vec<ThreadFn>,
+    pub check: Box<dyn FnOnce() -> Result<(), String>>,
+}
+
+/// Result of an exploration sweep.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Schedules actually run.
+    pub runs: usize,
+    /// Distinct traces seen (the coverage number the acceptance bar
+    /// counts).
+    pub distinct: usize,
+    /// `(seed, message)` for every invariant violation; rerun the
+    /// seed through the same case builder to replay one.
+    pub violations: Vec<(u64, String)>,
+}
+
+/// Sweeps seeds `base_seed..base_seed + max_runs`, running the case
+/// each builder call returns under that seed's scheduler, until either
+/// `target_distinct` distinct traces have been observed (and at least
+/// one violation, if any exists in the swept range) or the seed budget
+/// runs out. Violations are printed with their replay seed.
+pub fn explore(
+    label: &str,
+    base_seed: u64,
+    max_runs: usize,
+    target_distinct: usize,
+    mut mk: impl FnMut(u64) -> Case,
+) -> Exploration {
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut violations = Vec::new();
+    let mut runs = 0usize;
+    for step in 0..max_runs as u64 {
+        let seed = base_seed.wrapping_add(step);
+        let case = mk(seed);
+        let trace = Scheduler::new(seed).run(case.threads);
+        runs += 1;
+        RACE_SCHEDULES.add(1);
+        seen.insert(trace);
+        if let Err(msg) = (case.check)() {
+            RACE_VIOLATIONS.add(1);
+            eprintln!("race[{label}]: invariant violated — {msg} (replay seed {seed})");
+            violations.push((seed, msg));
+        }
+        if seen.len() >= target_distinct && !violations.is_empty() {
+            break;
+        }
+    }
+    Exploration { runs, distinct: seen.len(), violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Same seed ⇒ identical trace, different seed ⇒ (eventually)
+    /// different trace.
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let mk_threads = || -> Vec<ThreadFn> {
+            (0..3)
+                .map(|_| {
+                    Box::new(|| {
+                        for _ in 0..4 {
+                            yield_here("step");
+                        }
+                    }) as ThreadFn
+                })
+                .collect()
+        };
+        let a = Scheduler::new(42).run(mk_threads());
+        let b = Scheduler::new(42).run(mk_threads());
+        assert_eq!(a, b);
+        let traces: BTreeSet<Vec<usize>> =
+            (0..16).map(|s| Scheduler::new(s).run(mk_threads())).collect();
+        assert!(traces.len() > 1, "16 seeds should not all collapse to one trace");
+    }
+
+    /// yield_here outside the harness must be a free no-op.
+    #[test]
+    fn yield_off_harness_is_noop() {
+        yield_here("not scheduled");
+    }
+
+    /// A panicking thread is contained; the others finish.
+    #[test]
+    fn panic_in_one_thread_does_not_hang() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        let h2 = Arc::clone(&hits);
+        let trace = Scheduler::new(7).run(vec![
+            Box::new(move || {
+                yield_here("a");
+                h.fetch_add(1, Ordering::SeqCst);
+            }),
+            Box::new(move || {
+                yield_here("b");
+                h2.fetch_add(1, Ordering::SeqCst);
+                panic!("boom");
+            }),
+        ]);
+        assert!(!trace.is_empty());
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    /// The toy TOCTOU model: check a flag, yield, then act on it. The
+    /// sweep must cover >= 200 distinct schedules and find the
+    /// lost-update violation; the printed seed must replay it.
+    #[test]
+    fn toctou_model_violates_and_replays() {
+        fn mk(_seed: u64) -> Case {
+            let claimed = Arc::new(AtomicU64::new(0));
+            let winners = Arc::new(AtomicU64::new(0));
+            let threads: Vec<ThreadFn> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&claimed);
+                    let w = Arc::clone(&winners);
+                    Box::new(move || {
+                        yield_here("enter");
+                        let free = c.load(Ordering::SeqCst) == 0; // check ...
+                        yield_here("between check and act");
+                        yield_here("still between");
+                        if free {
+                            c.store(1, Ordering::SeqCst); // ... then act: racy
+                            w.fetch_add(1, Ordering::SeqCst);
+                        }
+                        yield_here("exit");
+                    }) as ThreadFn
+                })
+                .collect();
+            let w = Arc::clone(&winners);
+            Case {
+                threads,
+                check: Box::new(move || {
+                    let n = w.load(Ordering::SeqCst);
+                    if n == 1 {
+                        Ok(())
+                    } else {
+                        Err(format!("expected exactly one winner, got {n}"))
+                    }
+                }),
+            }
+        }
+        let exp = explore("toctou-model", 1000, 3000, 200, mk);
+        assert!(exp.distinct >= 200, "only {} distinct schedules", exp.distinct);
+        assert!(!exp.violations.is_empty(), "sweep failed to find the seeded race");
+        // Replay: the recorded seed alone reproduces the violation.
+        let (seed, _) = exp.violations[0];
+        let replay = explore("toctou-replay", seed, 1, 1, mk);
+        assert_eq!(replay.violations.len(), 1, "replay seed did not reproduce");
+        assert_eq!(replay.violations[0].0, seed);
+    }
+
+    /// The fixed protocol — compare-and-swap claim — never violates
+    /// across the same sweep.
+    #[test]
+    fn cas_model_is_clean() {
+        fn mk(_seed: u64) -> Case {
+            let claimed = Arc::new(AtomicU64::new(0));
+            let winners = Arc::new(AtomicU64::new(0));
+            let threads: Vec<ThreadFn> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&claimed);
+                    let w = Arc::clone(&winners);
+                    Box::new(move || {
+                        yield_here("enter");
+                        yield_here("contend");
+                        if c.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                            w.fetch_add(1, Ordering::SeqCst);
+                        }
+                        yield_here("exit");
+                    }) as ThreadFn
+                })
+                .collect();
+            let w = Arc::clone(&winners);
+            Case {
+                threads,
+                check: Box::new(move || {
+                    let n = w.load(Ordering::SeqCst);
+                    if n == 1 {
+                        Ok(())
+                    } else {
+                        Err(format!("expected exactly one winner, got {n}"))
+                    }
+                }),
+            }
+        }
+        let exp = explore("cas-model", 500, 800, 200, mk);
+        assert!(exp.distinct >= 200, "only {} distinct schedules", exp.distinct);
+        assert!(exp.violations.is_empty(), "CAS protocol should never double-claim");
+    }
+}

@@ -23,6 +23,7 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::conc::check_concurrency;
 use crate::rules::{check_source, Violation};
 
 /// Ascends from `start` to the directory whose Cargo.toml declares
@@ -68,9 +69,11 @@ pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lints every workspace source file; returns all violations.
+/// Lints every workspace source file — the token-local rules per file
+/// plus the cross-file concurrency pass — and returns all violations.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut all = Vec::new();
+    let mut files: Vec<(String, String)> = Vec::new();
     for path in workspace_sources(root)? {
         let rel = path
             .strip_prefix(root)
@@ -81,7 +84,28 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
             .join("/");
         let src = std::fs::read_to_string(&path)?;
         all.extend(check_source(&rel, &src));
+        files.push((rel, src));
     }
+    all.extend(check_concurrency(&files).violations);
+    all.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(all)
+}
+
+/// Lints a single file standalone: honours a `//~ lint-as:` header for
+/// the virtual path (falling back to the file's own name), runs the
+/// token-local rules and the concurrency pass over just this file.
+/// Used by `pmm-audit --check` so verify.sh can assert that a seeded
+/// fixture still fails.
+pub fn lint_file(path: &Path) -> std::io::Result<Vec<Violation>> {
+    let src = std::fs::read_to_string(path)?;
+    let virt = src
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("//~").and_then(|d| d.trim().strip_prefix("lint-as:")))
+        .map(|v| v.trim().to_string())
+        .unwrap_or_else(|| path.to_string_lossy().replace('\\', "/"));
+    let mut all = check_source(&virt, &src);
+    all.extend(check_concurrency(&[(virt, src)]).violations);
+    all.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(all)
 }
 
@@ -129,6 +153,12 @@ pub fn run_fixtures(dir: &Path) -> std::io::Result<Vec<FixtureResult>> {
         }
         let mut produced: Vec<String> =
             check_source(&lint_as, &src).into_iter().map(|v| v.rule.to_string()).collect();
+        produced.extend(
+            check_concurrency(&[(lint_as.clone(), src.clone())])
+                .violations
+                .into_iter()
+                .map(|v| v.rule.to_string()),
+        );
         produced.sort();
         expected.sort();
         let pass = produced == expected;

@@ -209,6 +209,14 @@ pub static TRACE_EVENTS: Counter = Counter::new("trace_events");
 /// Trace events evicted (oldest-first) because the ring was full.
 pub static TRACE_DROPPED: Counter = Counter::new("trace_dropped");
 
+// --- race-harness counters (pmm-audit sched) ---
+
+/// Interleaving schedules run by the deterministic race harness.
+pub static RACE_SCHEDULES: Counter = Counter::new("race_schedules_explored");
+/// Invariant violations the race harness observed (each is printed
+/// with its replay seed).
+pub static RACE_VIOLATIONS: Counter = Counter::new("race_violations");
+
 /// Currently-live tape nodes. Can dip below zero transiently if
 /// collection is toggled while a graph is alive; the peak is what
 /// matters and is monotone within an enabled window.
@@ -432,6 +440,8 @@ pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
         (SERVE_PARTIAL.name, SERVE_PARTIAL.get()),
         (TRACE_EVENTS.name, TRACE_EVENTS.get()),
         (TRACE_DROPPED.name, TRACE_DROPPED.get()),
+        (RACE_SCHEDULES.name, RACE_SCHEDULES.get()),
+        (RACE_VIOLATIONS.name, RACE_VIOLATIONS.get()),
         ("serve_queue_peak", serve_queue_peak()),
         ("wal_tail_peak_bytes", wal_tail_peak_bytes()),
     ]
@@ -500,6 +510,8 @@ pub fn reset_counters() {
         &SERVE_PARTIAL,
         &TRACE_EVENTS,
         &TRACE_DROPPED,
+        &RACE_SCHEDULES,
+        &RACE_VIOLATIONS,
     ] {
         c.reset();
     }

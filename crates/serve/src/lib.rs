@@ -51,6 +51,7 @@
 pub mod breaker;
 pub mod engine;
 pub mod queue;
+pub(crate) mod race;
 pub mod server;
 pub mod shards;
 pub mod supervisor;

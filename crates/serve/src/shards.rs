@@ -97,6 +97,7 @@ impl ShardPool {
     /// Fresh budgets after a snapshot swap: a new snapshot is new code
     /// for shard crash loops too (mirrors the worker-slot revive).
     pub(crate) fn revive(&self) {
+        crate::race::yield_point("shard-revive");
         for s in &self.states {
             let mut st = lock_state(s);
             st.health = ShardHealth::Healthy;
@@ -107,7 +108,8 @@ impl ShardPool {
     /// Admission decision for shard `i`, advancing the quarantine
     /// ladder: quarantined shards spend a rebuild (probe) while budget
     /// remains, then give up.
-    fn admit(&self, i: usize) -> bool {
+    pub(crate) fn admit(&self, i: usize) -> bool {
+        crate::race::yield_point("shard-admit");
         // pmm-audit: allow(hot-index) — i ranges over 0..self.n and states has n entries by construction
         let mut st = lock_state(&self.states[i]);
         match st.health {
@@ -128,7 +130,8 @@ impl ShardPool {
         }
     }
 
-    fn note_panic(&self, i: usize) {
+    pub(crate) fn note_panic(&self, i: usize) {
+        crate::race::yield_point("shard-note-panic");
         // pmm-audit: allow(hot-index) — i ranges over 0..self.n and states has n entries by construction
         let mut st = lock_state(&self.states[i]);
         st.health = ShardHealth::Quarantined;

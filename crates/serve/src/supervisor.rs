@@ -118,7 +118,7 @@ pub(crate) struct WorkerSlot {
 }
 
 impl WorkerSlot {
-    fn new(index: usize, origin: Instant) -> WorkerSlot {
+    pub(crate) fn new(index: usize, origin: Instant) -> WorkerSlot {
         WorkerSlot {
             index,
             origin,
@@ -173,6 +173,7 @@ impl WorkerSlot {
     /// Park the reply half of `job` so the watchdog can answer for us
     /// if we wedge mid-request.
     pub(crate) fn begin_job(&self, job: &Job) {
+        crate::race::yield_point("slot-begin-job");
         let mut guard = self.lock_inflight();
         *guard = Some(InFlight {
             reply: job.reply.clone(),
@@ -187,6 +188,7 @@ impl WorkerSlot {
     /// Clear the busy flag after a job, generation-gated so a retired
     /// tenant cannot clear its replacement's state.
     pub(crate) fn end_job(&self, gen: u64) {
+        crate::race::yield_point("slot-end-job");
         let mut guard = self.lock_inflight();
         if self.generation() == gen {
             *guard = None;
@@ -199,6 +201,7 @@ impl WorkerSlot {
     /// {owning worker, watchdog} wins: both paths serialize on the
     /// in-flight mutex, and a retired generation never wins.
     pub(crate) fn claim_if(&self, gen: u64) -> bool {
+        crate::race::yield_point("slot-claim");
         let mut guard = self.lock_inflight();
         if self.generation() != gen {
             return false;
@@ -209,7 +212,8 @@ impl WorkerSlot {
     /// Watchdog takeover of a wedged tenant: retire the generation and
     /// seize the in-flight reply (if the worker had not claimed it) in
     /// one critical section.
-    fn wedge_take(&self) -> Option<InFlight> {
+    pub(crate) fn wedge_take(&self) -> Option<InFlight> {
+        crate::race::yield_point("slot-wedge-take");
         let mut guard = self.lock_inflight();
         self.generation.fetch_add(1, Ordering::AcqRel);
         let taken = guard.take();
@@ -221,7 +225,8 @@ impl WorkerSlot {
     /// Install a new tenancy: bump the generation (retiring any
     /// stragglers) and reset per-tenant state. Returns the new
     /// generation.
-    fn install_tenant(&self) -> u64 {
+    pub(crate) fn install_tenant(&self) -> u64 {
+        crate::race::yield_point("slot-install-tenant");
         let mut guard = self.lock_inflight();
         let gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         *guard = None;
@@ -230,6 +235,36 @@ impl WorkerSlot {
         self.engine_epoch.store(u64::MAX, Ordering::Release);
         self.stamp();
         gen
+    }
+
+    /// Park `reply` as the slot's in-flight request without going
+    /// through a full [`Job`], so the interleaving harness can stage
+    /// the claim/wedge protocol in isolation.
+    #[cfg(test)]
+    pub(crate) fn race_park(&self, reply: mpsc::Sender<Result<Response, ServeError>>) {
+        let mut guard = self.lock_inflight();
+        *guard = Some(InFlight { reply, enqueued: Instant::now(), trace: TraceId(0) });
+        drop(guard);
+        self.busy.store(true, Ordering::Release);
+    }
+
+    /// The TOCTOU claim [`WorkerSlot::claim_if`] exists to prevent: the
+    /// generation check and the reply grab are separate steps with a
+    /// schedulable gap between them, and the reply is *cloned out*
+    /// rather than taken, so a wedge takeover between the two steps
+    /// leaves both sides holding a sender. The interleaving harness
+    /// uses this to seed an exactly-one-reply violation.
+    #[cfg(test)]
+    pub(crate) fn race_claim_peek(
+        &self,
+        gen: u64,
+    ) -> Option<mpsc::Sender<Result<Response, ServeError>>> {
+        if self.retired(gen) {
+            return None;
+        }
+        crate::race::yield_point("racy-claim-gap");
+        let guard = self.lock_inflight();
+        guard.as_ref().map(|f| f.reply.clone())
     }
 }
 
@@ -653,6 +688,7 @@ fn process_deaths(ctl: &Arc<SuperCtl>) {
         if let Some(h) = st.slot_mut(index).handle.take() {
             // The worker announced death as its last act; the join is
             // immediate.
+            // pmm-audit: allow(guard-across-blocking) — the joined thread pushed its death notice as its final statement and never takes the supervisor state lock on its exit path, so the join returns immediately and cannot deadlock against the guard
             let _ = h.join();
         }
         schedule_respawn(ctl, &mut st, index, now);

@@ -55,6 +55,7 @@ impl<E> Snapshots<E> {
     /// under the factory lock, so a worker never builds epoch N's
     /// engine from epoch N+1's factory or cut, or vice versa.
     pub(crate) fn current(&self) -> (Factory<E>, u64, u64) {
+        crate::race::yield_point("swap-current");
         let guard = self.lock_factory();
         let epoch = self.epoch.load(Ordering::Acquire);
         (Arc::clone(&guard.0), epoch, guard.1)
@@ -63,9 +64,23 @@ impl<E> Snapshots<E> {
     /// Publish a new factory whose base contains delta items below
     /// `delta_cut`, bumping the epoch. Returns the new epoch.
     pub(crate) fn publish(&self, factory: Factory<E>, delta_cut: u64) -> u64 {
+        crate::race::yield_point("swap-publish");
         let mut guard = self.lock_factory();
         *guard = (factory, delta_cut);
         self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// The unpaired read [`Snapshots::current`] exists to prevent: the
+    /// epoch sampled *outside* the factory lock, with a schedulable gap
+    /// before the factory is read. The interleaving harness drives a
+    /// publish through the gap to demonstrate a worker pairing epoch
+    /// N's tag with epoch N+1's factory and cut.
+    #[cfg(test)]
+    pub(crate) fn race_current_unpaired(&self) -> (Factory<E>, u64, u64) {
+        let epoch = self.epoch.load(Ordering::Acquire);
+        crate::race::yield_point("unpaired-epoch-gap");
+        let guard = self.lock_factory();
+        (Arc::clone(&guard.0), epoch, guard.1)
     }
 
     /// The delta cut of the currently published snapshot.

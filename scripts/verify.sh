@@ -25,6 +25,15 @@ cargo run --release -q -p pmm-audit
 echo "==> pmm-audit --fixtures (rule engine pinned against seeded violations)"
 cargo run --release -q -p pmm-audit -- --fixtures
 
+echo "==> pmm-audit --race (lock-order graph, guard-across-blocking, atomics orderings)"
+cargo run --release -q -p pmm-audit -- --race
+
+echo "==> pmm-audit --check must-fail (seeded lock-order cycle fixture must be caught)"
+if cargo run --release -q -p pmm-audit -- --check crates/audit/fixtures/lock_order.rs; then
+  echo "ERROR: race auditor passed a fixture with a seeded lock-order cycle"
+  exit 1
+fi
+
 echo "==> thread-scaling smoke (kernels bit-identical across worker counts)"
 cargo run --release -q -p pmm-bench --bin par_scaling
 
